@@ -1,0 +1,350 @@
+//! Shared infrastructure for the baseline TGNNs: the [`Baseline`] trait, the
+//! token-packing helpers, and the train/evaluate driver.
+//!
+//! Fidelity note (also in DESIGN.md): the reference implementations maintain
+//! per-node memories over the *entire* history; here the recurrent models
+//! (JODIE, TGN, SLADE) unroll their memory over the node's `k` most recent
+//! events — the same information SLIM sees — and are trained end-to-end by
+//! backpropagation through those `k` steps. This keeps each architecture's
+//! signature (RNN update, memory + attention, self-supervised scoring)
+//! while making all models comparable under one streaming-capture harness.
+
+use std::time::Instant;
+
+use ctdg::Label;
+use datasets::{Dataset, Task};
+use nn::{FixedTimeEncode, Matrix};
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+use splash::{Capture, CapturedQuery, SplashConfig};
+
+/// A trainable baseline model over captured queries.
+pub trait Baseline {
+    /// Display name (without the feature-mode suffix).
+    fn name(&self) -> &'static str;
+
+    /// Total trainable parameter count.
+    fn num_params(&self) -> usize;
+
+    /// One optimization step on a minibatch; returns the batch loss.
+    fn train_batch(&mut self, refs: &[&CapturedQuery], labels: &[&Label], task: Task) -> f32;
+
+    /// Inference over a minibatch; returns logits `(B, out_dim)`.
+    fn predict_batch(&self, refs: &[&CapturedQuery]) -> Matrix;
+
+    /// Node representations for qualitative analysis; models that expose no
+    /// intermediate representation return their logits.
+    fn represent_batch(&self, refs: &[&CapturedQuery]) -> Matrix {
+        self.predict_batch(refs)
+    }
+}
+
+/// Result of one baseline run, mirroring [`splash::SplashOutput`].
+#[derive(Debug, Clone)]
+pub struct BaselineOutput {
+    /// Model name including the feature-mode suffix (e.g. `"tgat+RF"`).
+    pub name: String,
+    /// Test metric (task-dependent).
+    pub metric: f64,
+    /// Trainable parameter count.
+    pub num_params: usize,
+    /// Training wall-clock seconds.
+    pub train_secs: f64,
+    /// Test-inference wall-clock seconds.
+    pub infer_secs: f64,
+    /// Test-set logits.
+    pub test_logits: Matrix,
+    /// `[start, end)` query indices of the test split.
+    pub test_range: (usize, usize),
+}
+
+/// Trains `model` on the capture's train split and evaluates on the test
+/// split under the 10/10/80 protocol.
+pub fn run_baseline(
+    model: &mut dyn Baseline,
+    dataset: &Dataset,
+    cap: &Capture,
+    cfg: &SplashConfig,
+    name_suffix: &str,
+) -> BaselineOutput {
+    run_baseline_frac(model, dataset, cap, cfg, name_suffix, splash::TRAIN_FRAC, splash::SEEN_FRAC)
+}
+
+/// [`run_baseline`] under a custom chronological split (Fig. 9 sweep).
+pub fn run_baseline_frac(
+    model: &mut dyn Baseline,
+    dataset: &Dataset,
+    cap: &Capture,
+    cfg: &SplashConfig,
+    name_suffix: &str,
+    train_frac: f64,
+    seen_frac: f64,
+) -> BaselineOutput {
+    let n = cap.queries.len();
+    let (train_end, val_end) = splash::split_bounds_frac(n, train_frac, seen_frac);
+    let train = &cap.queries[..train_end];
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xBA5E);
+
+    let start = Instant::now();
+    let nt = train.len();
+    if nt > 0 {
+        let mut order: Vec<usize> = (0..nt).collect();
+        for _epoch in 0..cfg.epochs {
+            for i in (1..nt).rev() {
+                let j = rng.random_range(0..=i);
+                order.swap(i, j);
+            }
+            let mut pos = 0;
+            while pos < nt {
+                let end = (pos + cfg.batch_size).min(nt);
+                let refs: Vec<&CapturedQuery> = order[pos..end].iter().map(|&i| &train[i]).collect();
+                let labels: Vec<&Label> = refs.iter().map(|q| &q.label).collect();
+                model.train_batch(&refs, &labels, dataset.task);
+                pos = end;
+            }
+        }
+    }
+    let train_secs = start.elapsed().as_secs_f64();
+
+    let test = &cap.queries[val_end..];
+    let start = Instant::now();
+    let test_logits = predict_all(model, test, cfg.batch_size.max(256));
+    let infer_secs = start.elapsed().as_secs_f64();
+    let labels: Vec<&Label> = test.iter().map(|q| &q.label).collect();
+    let metric = splash::task::evaluate(dataset.task, &test_logits, &labels);
+
+    BaselineOutput {
+        name: format!("{}{}", model.name(), name_suffix),
+        metric,
+        num_params: model.num_params(),
+        train_secs,
+        infer_secs,
+        test_logits,
+        test_range: (val_end, n),
+    }
+}
+
+/// Batched inference over a query slice.
+pub fn predict_all(model: &dyn Baseline, queries: &[CapturedQuery], batch: usize) -> Matrix {
+    let mut blocks = Vec::new();
+    let mut pos = 0;
+    while pos < queries.len() {
+        let end = (pos + batch).min(queries.len());
+        let refs: Vec<&CapturedQuery> = queries[pos..end].iter().collect();
+        blocks.push(model.predict_batch(&refs));
+        pos = end;
+    }
+    if blocks.is_empty() {
+        Matrix::zeros(0, 0)
+    } else {
+        let refs: Vec<&Matrix> = blocks.iter().collect();
+        Matrix::concat_rows(&refs)
+    }
+}
+
+/// Packs each query's recent neighbors into dense token rows
+/// `[x_j ‖ x_ij ‖ φ_t(t − t^{(l)})]`, zero-padded to `k` per query, most
+/// recent `k` kept, oldest-first. Returns `(tokens, lens)`.
+pub fn pack_tokens(
+    refs: &[&CapturedQuery],
+    k: usize,
+    feat_dim: usize,
+    edge_feat_dim: usize,
+    time_enc: &FixedTimeEncode,
+) -> (Matrix, Vec<usize>) {
+    let dt = time_enc.dim();
+    let width = feat_dim + edge_feat_dim + dt;
+    let mut tokens = Matrix::zeros(refs.len() * k, width);
+    let mut lens = vec![0usize; refs.len()];
+    for (qi, q) in refs.iter().enumerate() {
+        let len = q.neighbors.len().min(k);
+        lens[qi] = len;
+        let skip = q.neighbors.len() - len;
+        for (slot, nb) in q.neighbors[skip..].iter().enumerate() {
+            let row = tokens.row_mut(qi * k + slot);
+            row[..feat_dim].copy_from_slice(&nb.feat);
+            row[feat_dim..feat_dim + edge_feat_dim].copy_from_slice(&nb.edge_feat);
+            row[feat_dim + edge_feat_dim..]
+                .copy_from_slice(&time_enc.encode(q.time - nb.time));
+        }
+    }
+    (tokens, lens)
+}
+
+/// Discrete-time (micro-snapshot) one-hot encodings aligned with
+/// [`pack_tokens`]: each query's kept neighbors are bucketed into
+/// `num_windows` equal time windows over the query's own history span
+/// ([`ctdg::bucket_by_window`]), and every token row gets the one-hot of its
+/// window. Padding rows stay zero. This is how the DTDG baselines (DIDA,
+/// SLID) see their snapshot structure at per-query granularity.
+pub fn pack_window_onehot(refs: &[&CapturedQuery], k: usize, num_windows: usize) -> Matrix {
+    let mut onehot = Matrix::zeros(refs.len() * k, num_windows);
+    for (qi, q) in refs.iter().enumerate() {
+        let len = q.neighbors.len().min(k);
+        let skip = q.neighbors.len() - len;
+        let times: Vec<f64> = q.neighbors[skip..].iter().map(|nb| nb.time).collect();
+        for (slot, &w) in ctdg::bucket_by_window(&times, num_windows).iter().enumerate() {
+            onehot.set(qi * k + slot, w, 1.0);
+        }
+    }
+    onehot
+}
+
+/// Mean over each query's valid token rows: `(B·k, d) → (B, d)`.
+pub fn masked_mean(m: &Matrix, lens: &[usize], k: usize) -> Matrix {
+    let d = m.cols();
+    let mut out = Matrix::zeros(lens.len(), d);
+    for (qi, &len) in lens.iter().enumerate() {
+        if len == 0 {
+            continue;
+        }
+        let inv = 1.0 / len as f32;
+        for slot in 0..len {
+            let src = m.row(qi * k + slot);
+            let dst = out.row_mut(qi);
+            for (o, &v) in dst.iter_mut().zip(src) {
+                *o += v * inv;
+            }
+        }
+    }
+    out
+}
+
+/// Adjoint of [`masked_mean`]: spreads `(B, d)` gradients back over valid
+/// token rows.
+pub fn masked_mean_backward(dout: &Matrix, lens: &[usize], k: usize) -> Matrix {
+    let d = dout.cols();
+    let mut dm = Matrix::zeros(lens.len() * k, d);
+    for (qi, &len) in lens.iter().enumerate() {
+        if len == 0 {
+            continue;
+        }
+        let inv = 1.0 / len as f32;
+        for slot in 0..len {
+            let dst = dm.row_mut(qi * k + slot);
+            let src = dout.row(qi);
+            for (o, &v) in dst.iter_mut().zip(src) {
+                *o = v * inv;
+            }
+        }
+    }
+    dm
+}
+
+/// Stacks each query's target feature into a `(B, d)` matrix.
+pub fn stack_targets(refs: &[&CapturedQuery], feat_dim: usize) -> Matrix {
+    let mut out = Matrix::zeros(refs.len(), feat_dim);
+    for (qi, q) in refs.iter().enumerate() {
+        out.set_row(qi, &q.target_feat);
+    }
+    out
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use splash::CapturedNeighbor;
+
+    /// A toy binary task distinguishable by neighbor features.
+    pub fn toy_queries(n: usize, feat_dim: usize) -> (Vec<CapturedQuery>, Vec<Label>) {
+        let mut queries = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let sign = if i % 2 == 0 { 1.0f32 } else { -1.0 };
+            let neighbors = (0..3)
+                .map(|j| CapturedNeighbor {
+                    other: j as u32,
+                    feat: (0..feat_dim)
+                        .map(|d| sign * ((d + j) as f32 * 0.3 + 0.2))
+                        .collect(),
+                    edge_feat: vec![],
+                    time: 90.0 + j as f64,
+                    weight: 1.0,
+                })
+                .collect();
+            queries.push(CapturedQuery {
+                node: i as u32,
+                time: 100.0,
+                target_feat: vec![sign * 0.5; feat_dim],
+                neighbors,
+                label: Label::Class((i % 2 == 1) as usize),
+            });
+            labels.push(Label::Class((i % 2 == 1) as usize));
+        }
+        (queries, labels)
+    }
+
+    /// Trains a model briefly on the toy task and asserts it fits.
+    pub fn assert_model_learns(model: &mut dyn Baseline, feat_dim: usize) {
+        let (queries, labels) = toy_queries(32, feat_dim);
+        let refs: Vec<&CapturedQuery> = queries.iter().collect();
+        let label_refs: Vec<&Label> = labels.iter().collect();
+        let mut last = f32::MAX;
+        for _ in 0..200 {
+            last = model.train_batch(&refs, &label_refs, Task::Classification);
+        }
+        assert!(last < 0.2, "{} failed to fit toy task: loss {last}", model.name());
+        // Predictions must match labels.
+        let logits = model.predict_batch(&refs);
+        for (i, l) in labels.iter().enumerate() {
+            let pred = if logits.get(i, 1) > logits.get(i, 0) { 1 } else { 0 };
+            assert_eq!(pred, l.class(), "{} mispredicts sample {i}", model.name());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splash::CapturedNeighbor;
+
+    fn q(n_neighbors: usize) -> CapturedQuery {
+        CapturedQuery {
+            node: 0,
+            time: 100.0,
+            target_feat: vec![1.0, 2.0],
+            neighbors: (0..n_neighbors)
+                .map(|i| CapturedNeighbor {
+                    other: i as u32,
+                    feat: vec![i as f32, 0.0],
+                    edge_feat: vec![9.0],
+                    time: 90.0 + i as f64,
+                    weight: 1.0,
+                })
+                .collect(),
+            label: Label::Class(0),
+        }
+    }
+
+    #[test]
+    fn pack_tokens_pads_and_truncates() {
+        let te = FixedTimeEncode::new(4, 4.0, 4.0);
+        let q1 = q(1);
+        let q2 = q(5);
+        let (tokens, lens) = pack_tokens(&[&q1, &q2], 3, 2, 1, &te);
+        assert_eq!(tokens.shape(), (6, 2 + 1 + 4));
+        assert_eq!(lens, vec![1, 3]);
+        // q2 keeps its 3 most recent neighbors (ids 2, 3, 4).
+        assert_eq!(tokens.get(3, 0), 2.0);
+        assert_eq!(tokens.get(5, 0), 4.0);
+        // padding rows are zero
+        assert!(tokens.row(1).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn masked_mean_roundtrip() {
+        let m = Matrix::from_vec(4, 2, vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 0.0, 0.0]);
+        let mean = masked_mean(&m, &[2, 1], 2);
+        assert_eq!(mean.row(0), &[2.0, 3.0]);
+        assert_eq!(mean.row(1), &[10.0, 20.0]);
+        let dm = masked_mean_backward(&mean, &[2, 1], 2);
+        assert_eq!(dm.row(0), &[1.0, 1.5]);
+        assert_eq!(dm.row(3), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn stack_targets_shapes() {
+        let q1 = q(0);
+        let t = stack_targets(&[&q1], 2);
+        assert_eq!(t.row(0), &[1.0, 2.0]);
+    }
+}

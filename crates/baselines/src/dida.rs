@@ -1,0 +1,348 @@
+//! DIDA (Zhang et al., NeurIPS 2022): dynamic graph neural network with
+//! disentangled intervention, the first of the two DTDG-based shift-robust
+//! baselines of the paper's Fig. 12.
+//!
+//! The defining mechanism is *disentangled spatio-temporal attention*: two
+//! attention heads split each node's history into an invariant summary
+//! `z_I` and a variant summary `z_V`, and a batch-level intervention
+//! objective (see [`crate::intervention`]) trains the predictor to be
+//! insensitive to swaps of the variant part. As a DTDG method, DIDA sees its
+//! input as a snapshot sequence; here each query's recent events are
+//! bucketed into [`MICRO_WINDOWS`] micro-snapshots whose one-hot window ids
+//! are appended to the tokens ([`pack_window_onehot`]), mirroring the
+//! miniaturization documented in DESIGN.md.
+
+use ctdg::Label;
+use datasets::Task;
+use nn::{Activation, Adam, FixedTimeEncode, Linear, Matrix, Mlp, Parameterized};
+use rand::Rng;
+use splash::{CapturedQuery, SplashConfig};
+
+use crate::common::{pack_tokens, pack_window_onehot, stack_targets, Baseline};
+use crate::intervention::{
+    intervention_loss_weights, intervention_penalty, permute_rows, rotation_perm,
+    scatter_rows_add, LAMBDA_MEAN, LAMBDA_VAR, NUM_INTERVENTIONS,
+};
+
+/// Number of discrete micro-snapshots per query history.
+pub const MICRO_WINDOWS: usize = 4;
+
+/// The DIDA baseline.
+pub struct Dida {
+    proj: Mlp,
+    score_inv: Linear,
+    score_var: Linear,
+    decoder: Mlp,
+    time_enc: FixedTimeEncode,
+    opt: Adam,
+    k: usize,
+    feat_dim: usize,
+    edge_feat_dim: usize,
+    hidden: usize,
+}
+
+/// Trunk activations reused by the main pass and every intervention pass.
+struct Trunk {
+    lens: Vec<usize>,
+    h: Matrix,
+    proj_cache: nn::MlpCache,
+    si_cache: nn::LinearCache,
+    sv_cache: nn::LinearCache,
+    attn_inv: Matrix,
+    attn_var: Matrix,
+    z_inv: Matrix,
+    z_var: Matrix,
+    target: Matrix,
+}
+
+impl Dida {
+    /// Builds DIDA for the given input/output dimensions.
+    pub fn new<R: Rng + ?Sized>(
+        feat_dim: usize,
+        edge_feat_dim: usize,
+        out_dim: usize,
+        cfg: &SplashConfig,
+        rng: &mut R,
+    ) -> Self {
+        let width = feat_dim + edge_feat_dim + cfg.time_dim + MICRO_WINDOWS;
+        let hidden = cfg.hidden;
+        Self {
+            proj: Mlp::new(&[width, hidden, hidden], Activation::Tanh, rng),
+            score_inv: Linear::new(hidden, 1, rng),
+            score_var: Linear::new(hidden, 1, rng),
+            decoder: Mlp::new(&[2 * hidden + feat_dim, hidden, out_dim], Activation::Relu, rng),
+            time_enc: FixedTimeEncode::new(cfg.time_dim, cfg.time_alpha, cfg.time_beta),
+            opt: Adam::new(cfg.lr),
+            k: cfg.k,
+            feat_dim,
+            edge_feat_dim,
+            hidden,
+        }
+    }
+
+    fn trunk(&self, refs: &[&CapturedQuery]) -> Trunk {
+        let (tokens, lens) =
+            pack_tokens(refs, self.k, self.feat_dim, self.edge_feat_dim, &self.time_enc);
+        let windows = pack_window_onehot(refs, self.k, MICRO_WINDOWS);
+        let input = Matrix::concat_cols(&[&tokens, &windows]);
+        let (h, proj_cache) = self.proj.forward(&input);
+        let (s_inv, si_cache) = self.score_inv.forward(&h);
+        let (s_var, sv_cache) = self.score_var.forward(&h);
+        let (z_inv, attn_inv) = attend(&h, &s_inv, &lens, self.k);
+        let (z_var, attn_var) = attend(&h, &s_var, &lens, self.k);
+        let target = stack_targets(refs, self.feat_dim);
+        Trunk { lens, h, proj_cache, si_cache, sv_cache, attn_inv, attn_var, z_inv, z_var, target }
+    }
+
+    fn logits(&self, t: &Trunk) -> Matrix {
+        let concat = Matrix::concat_cols(&[&t.z_inv, &t.z_var, &t.target]);
+        self.decoder.infer(&concat)
+    }
+
+    fn step(&mut self) {
+        let Self { proj, score_inv, score_var, decoder, opt, .. } = self;
+        let mut params = proj.params_mut();
+        params.extend(score_inv.params_mut());
+        params.extend(score_var.params_mut());
+        params.extend(decoder.params_mut());
+        opt.step(params);
+    }
+}
+
+impl Baseline for Dida {
+    fn name(&self) -> &'static str {
+        "dida"
+    }
+
+    fn num_params(&self) -> usize {
+        self.proj.num_params()
+            + self.score_inv.num_params()
+            + self.score_var.num_params()
+            + self.decoder.num_params()
+    }
+
+    fn train_batch(&mut self, refs: &[&CapturedQuery], labels: &[&Label], task: Task) -> f32 {
+        let t = self.trunk(refs);
+        let b = refs.len();
+        let d = self.hidden;
+
+        // Main pass.
+        let concat = Matrix::concat_cols(&[&t.z_inv, &t.z_var, &t.target]);
+        let (logits, dec_cache) = self.decoder.forward(&concat);
+        let (main_loss, dlogits) = splash::task::loss_and_grad(task, &logits, labels);
+        let dconcat = self.decoder.backward(&dec_cache, &dlogits);
+        let mut dz_inv = dconcat.slice_cols(0, d);
+        let mut dz_var = dconcat.slice_cols(d, 2 * d);
+
+        // Intervention passes: swap variant summaries across the batch.
+        let mut penalty = 0.0;
+        if b >= 2 {
+            let mut passes = Vec::with_capacity(NUM_INTERVENTIONS);
+            let mut losses = Vec::with_capacity(NUM_INTERVENTIONS);
+            for p in 0..NUM_INTERVENTIONS {
+                let perm = rotation_perm(b, p);
+                let zv_p = permute_rows(&t.z_var, &perm);
+                let concat_p = Matrix::concat_cols(&[&t.z_inv, &zv_p, &t.target]);
+                let (logits_p, cache_p) = self.decoder.forward(&concat_p);
+                let (loss_p, dlogits_p) = splash::task::loss_and_grad(task, &logits_p, labels);
+                losses.push(loss_p);
+                passes.push((perm, cache_p, dlogits_p));
+            }
+            let weights = intervention_loss_weights(&losses, LAMBDA_MEAN, LAMBDA_VAR);
+            penalty = intervention_penalty(&losses, LAMBDA_MEAN, LAMBDA_VAR);
+            for ((perm, cache_p, dlogits_p), w) in passes.into_iter().zip(weights) {
+                let dconcat_p = self.decoder.backward(&cache_p, &dlogits_p.scale(w));
+                dz_inv.add_assign(&dconcat_p.slice_cols(0, d));
+                scatter_rows_add(&dconcat_p.slice_cols(d, 2 * d), &perm, &mut dz_var);
+            }
+        }
+
+        // Attention backward for both branches.
+        let (mut dh, ds_inv) = attend_backward(&t.h, &t.attn_inv, &t.lens, self.k, &dz_inv);
+        let (dh_var, ds_var) = attend_backward(&t.h, &t.attn_var, &t.lens, self.k, &dz_var);
+        dh.add_assign(&dh_var);
+        dh.add_assign(&self.score_inv.backward(&t.si_cache, &ds_inv));
+        dh.add_assign(&self.score_var.backward(&t.sv_cache, &ds_var));
+        self.proj.backward(&t.proj_cache, &dh);
+        self.step();
+        main_loss + penalty
+    }
+
+    fn predict_batch(&self, refs: &[&CapturedQuery]) -> Matrix {
+        let t = self.trunk(refs);
+        self.logits(&t)
+    }
+
+    fn represent_batch(&self, refs: &[&CapturedQuery]) -> Matrix {
+        // The invariant summary is the representation DIDA trusts.
+        self.trunk(refs).z_inv
+    }
+}
+
+/// Masked softmax attention pooling: per query `q` with `len` valid token
+/// rows, `a = softmax(scores)` over the valid slots and `z_q = Σ_j a_j h_j`.
+/// Returns `(Z (B, d), A (B, k))`; queries with no neighbors get zero rows.
+fn attend(h: &Matrix, scores: &Matrix, lens: &[usize], k: usize) -> (Matrix, Matrix) {
+    let d = h.cols();
+    let b = lens.len();
+    let mut z = Matrix::zeros(b, d);
+    let mut attn = Matrix::zeros(b, k);
+    for (q, &len) in lens.iter().enumerate() {
+        if len == 0 {
+            continue;
+        }
+        let mut max = f32::NEG_INFINITY;
+        for j in 0..len {
+            max = max.max(scores.get(q * k + j, 0));
+        }
+        let mut denom = 0.0;
+        for j in 0..len {
+            let e = (scores.get(q * k + j, 0) - max).exp();
+            attn.set(q, j, e);
+            denom += e;
+        }
+        for j in 0..len {
+            let a = attn.get(q, j) / denom;
+            attn.set(q, j, a);
+            let src = h.row(q * k + j);
+            let dst = z.row_mut(q);
+            for (o, &v) in dst.iter_mut().zip(src) {
+                *o += a * v;
+            }
+        }
+    }
+    (z, attn)
+}
+
+/// Adjoint of [`attend`]: given `dZ (B, d)`, returns the gradient through the
+/// value path `dH (B·k, d)` and through the score path `dS (B·k, 1)`.
+fn attend_backward(
+    h: &Matrix,
+    attn: &Matrix,
+    lens: &[usize],
+    k: usize,
+    dz: &Matrix,
+) -> (Matrix, Matrix) {
+    let d = h.cols();
+    let mut dh = Matrix::zeros(h.rows(), d);
+    let mut ds = Matrix::zeros(h.rows(), 1);
+    for (q, &len) in lens.iter().enumerate() {
+        if len == 0 {
+            continue;
+        }
+        // da_j = <dz_q, h_j>; dh_j = a_j dz_q.
+        let mut da = vec![0.0f32; len];
+        let dzq = dz.row(q);
+        for (j, daj) in da.iter_mut().enumerate() {
+            let a = attn.get(q, j);
+            let src = h.row(q * k + j);
+            let dst = dh.row_mut(q * k + j);
+            let mut dot = 0.0;
+            for ((o, &hv), &g) in dst.iter_mut().zip(src).zip(dzq) {
+                *o += a * g;
+                dot += hv * g;
+            }
+            *daj = dot;
+        }
+        // Softmax backward: ds_j = a_j (da_j − Σ_m a_m da_m).
+        let inner: f32 = (0..len).map(|j| attn.get(q, j) * da[j]).sum();
+        for (j, &daj) in da.iter().enumerate() {
+            ds.set(q * k + j, 0, attn.get(q, j) * (daj - inner));
+        }
+    }
+    (dh, ds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::test_support::{assert_model_learns, toy_queries};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn model() -> Dida {
+        let mut cfg = SplashConfig::tiny();
+        cfg.lr = 5e-3;
+        let mut rng = StdRng::seed_from_u64(7);
+        Dida::new(4, 0, 2, &cfg, &mut rng)
+    }
+
+    #[test]
+    fn learns_toy_task() {
+        assert_model_learns(&mut model(), 4);
+    }
+
+    #[test]
+    fn empty_neighbors_are_finite() {
+        let m = model();
+        let q = CapturedQuery {
+            node: 0,
+            time: 5.0,
+            target_feat: vec![0.2; 4],
+            neighbors: vec![],
+            label: Label::Class(0),
+        };
+        assert!(m.predict_batch(&[&q]).data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn attention_weights_are_a_distribution() {
+        let m = model();
+        let (queries, _) = toy_queries(6, 4);
+        let refs: Vec<&CapturedQuery> = queries.iter().collect();
+        let t = m.trunk(&refs);
+        for (q, &len) in t.lens.iter().enumerate() {
+            let sum: f32 = (0..len).map(|j| t.attn_inv.get(q, j)).sum();
+            assert!((sum - 1.0).abs() < 1e-5, "attention must normalize");
+            for j in len..m.k {
+                assert_eq!(t.attn_inv.get(q, j), 0.0, "padding slots must be masked");
+            }
+        }
+    }
+
+    #[test]
+    fn attend_backward_matches_finite_difference() {
+        // Perturb one score entry and compare dS against finite differences
+        // of a scalar objective <Z, G>.
+        let k = 3;
+        let lens = vec![3usize, 2];
+        let h = Matrix::from_fn(6, 2, |i, j| ((i * 2 + j) as f32 * 0.37).sin());
+        let scores = Matrix::from_fn(6, 1, |i, _| ((i as f32) * 0.51).cos());
+        let g = Matrix::from_fn(2, 2, |i, j| 0.3 + (i + j) as f32 * 0.2);
+        let (_, attn) = attend(&h, &scores, &lens, k);
+        let (_, ds) = attend_backward(&h, &attn, &lens, k, &g);
+        let objective = |s: &Matrix| {
+            let (z, _) = attend(&h, s, &lens, k);
+            z.data().iter().zip(g.data()).map(|(a, b)| a * b).sum::<f32>()
+        };
+        let eps = 1e-3;
+        for i in 0..6 {
+            let mut plus = scores.clone();
+            plus.set(i, 0, plus.get(i, 0) + eps);
+            let mut minus = scores.clone();
+            minus.set(i, 0, minus.get(i, 0) - eps);
+            let fd = (objective(&plus) - objective(&minus)) / (2.0 * eps);
+            assert!(
+                (fd - ds.get(i, 0)).abs() < 1e-3,
+                "score {i}: fd {fd} vs analytic {}",
+                ds.get(i, 0)
+            );
+        }
+    }
+
+    #[test]
+    fn variant_swap_changes_predictions_before_training() {
+        // Untrained, the decoder reads z_V, so swapping variant summaries
+        // across the batch must change the logits (the intervention is not a
+        // no-op); after invariance training its effect is penalized away.
+        let m = model();
+        let (queries, _) = toy_queries(4, 4);
+        let refs: Vec<&CapturedQuery> = queries.iter().collect();
+        let t = m.trunk(&refs);
+        let base = m.logits(&t);
+        let perm = rotation_perm(4, 0);
+        let swapped = Matrix::concat_cols(&[&t.z_inv, &permute_rows(&t.z_var, &perm), &t.target]);
+        let after = m.decoder.infer(&swapped);
+        let diff = base.sub(&after).max_abs();
+        assert!(diff > 1e-6, "intervention must act on the logits");
+    }
+}

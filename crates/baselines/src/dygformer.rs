@@ -1,0 +1,184 @@
+//! DyGFormer (Yu et al., NeurIPS 2023): a transformer over the recent-
+//! neighbor sequence with *neighbor co-occurrence encodings*.
+//!
+//! Each token carries `[x_j ‖ x_ij ‖ φ_t(Δt) ‖ co-occurrence]`, where the
+//! co-occurrence channel encodes how frequently that neighbor appears in the
+//! sequence — DyGFormer's defining feature (adapted from node pairs to
+//! single-node property queries).
+
+use ctdg::Label;
+use datasets::Task;
+use nn::{
+    Activation, Adam, FixedTimeEncode, Linear, Matrix, Mlp, Parameterized, TransformerBlock,
+};
+use rand::Rng;
+use splash::{CapturedQuery, SplashConfig};
+
+use crate::common::{masked_mean, masked_mean_backward, stack_targets, Baseline};
+
+/// The DyGFormer baseline.
+pub struct DyGFormerModel {
+    proj: Linear,
+    block: TransformerBlock,
+    decoder: Mlp,
+    time_enc: FixedTimeEncode,
+    opt: Adam,
+    k: usize,
+    feat_dim: usize,
+    edge_feat_dim: usize,
+    dim: usize,
+}
+
+impl DyGFormerModel {
+    /// Builds DyGFormer for the given input/output dimensions.
+    pub fn new<R: Rng + ?Sized>(
+        feat_dim: usize,
+        edge_feat_dim: usize,
+        out_dim: usize,
+        cfg: &SplashConfig,
+        rng: &mut R,
+    ) -> Self {
+        let dim = cfg.hidden;
+        let token_width = feat_dim + edge_feat_dim + cfg.time_dim + 1;
+        Self {
+            proj: Linear::new(token_width, dim, rng),
+            block: TransformerBlock::new(dim, 2, 2 * dim, rng),
+            decoder: Mlp::new(&[dim + feat_dim, dim, out_dim], Activation::Relu, rng),
+            time_enc: FixedTimeEncode::new(cfg.time_dim, cfg.time_alpha, cfg.time_beta),
+            opt: Adam::new(cfg.lr),
+            k: cfg.k,
+            feat_dim,
+            edge_feat_dim,
+            dim,
+        }
+    }
+
+    /// Tokens with the co-occurrence channel appended.
+    fn tokenize(&self, refs: &[&CapturedQuery]) -> (Matrix, Vec<usize>) {
+        let dt = self.time_enc.dim();
+        let width = self.feat_dim + self.edge_feat_dim + dt + 1;
+        let mut tokens = Matrix::zeros(refs.len() * self.k, width);
+        let mut lens = vec![0usize; refs.len()];
+        for (qi, q) in refs.iter().enumerate() {
+            let len = q.neighbors.len().min(self.k);
+            lens[qi] = len;
+            let skip = q.neighbors.len() - len;
+            let window = &q.neighbors[skip..];
+            for (slot, nb) in window.iter().enumerate() {
+                let cooc =
+                    window.iter().filter(|o| o.other == nb.other).count() as f32 / self.k as f32;
+                let row = tokens.row_mut(qi * self.k + slot);
+                row[..self.feat_dim].copy_from_slice(&nb.feat);
+                row[self.feat_dim..self.feat_dim + self.edge_feat_dim]
+                    .copy_from_slice(&nb.edge_feat);
+                row[self.feat_dim + self.edge_feat_dim..width - 1]
+                    .copy_from_slice(&self.time_enc.encode(q.time - nb.time));
+                row[width - 1] = cooc;
+            }
+        }
+        (tokens, lens)
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn forward(
+        &self,
+        refs: &[&CapturedQuery],
+    ) -> (Matrix, Matrix, Vec<usize>, nn::LinearCache, nn::TransformerBlockCache, nn::MlpCache) {
+        let (tokens, lens) = self.tokenize(refs);
+        let (x, proj_cache) = self.proj.forward(&tokens);
+        let (y, block_cache) = self.block.forward(&x, &lens, self.k);
+        let pooled = masked_mean(&y, &lens, self.k);
+        let target = stack_targets(refs, self.feat_dim);
+        let concat = Matrix::concat_cols(&[&pooled, &target]);
+        let (logits, dec_cache) = self.decoder.forward(&concat);
+        (logits, pooled, lens, proj_cache, block_cache, dec_cache)
+    }
+
+    fn step(&mut self) {
+        let Self { proj, block, decoder, opt, .. } = self;
+        let mut params = proj.params_mut();
+        params.extend(block.params_mut());
+        params.extend(decoder.params_mut());
+        opt.step(params);
+    }
+}
+
+impl Baseline for DyGFormerModel {
+    fn name(&self) -> &'static str {
+        "dygformer"
+    }
+
+    fn num_params(&self) -> usize {
+        self.proj.num_params() + Parameterized::num_params(&self.block) + self.decoder.num_params()
+    }
+
+    fn train_batch(&mut self, refs: &[&CapturedQuery], labels: &[&Label], task: Task) -> f32 {
+        let (logits, _pooled, lens, proj_cache, block_cache, dec_cache) = self.forward(refs);
+        let (loss, dlogits) = splash::task::loss_and_grad(task, &logits, labels);
+        let dconcat = self.decoder.backward(&dec_cache, &dlogits);
+        let dpooled = dconcat.slice_cols(0, self.dim);
+        let dy = masked_mean_backward(&dpooled, &lens, self.k);
+        let dx = self.block.backward(&block_cache, &dy);
+        self.proj.backward(&proj_cache, &dx);
+        self.step();
+        loss
+    }
+
+    fn predict_batch(&self, refs: &[&CapturedQuery]) -> Matrix {
+        self.forward(refs).0
+    }
+
+    fn represent_batch(&self, refs: &[&CapturedQuery]) -> Matrix {
+        self.forward(refs).1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::test_support::assert_model_learns;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn model() -> DyGFormerModel {
+        let mut cfg = SplashConfig::tiny();
+        cfg.lr = 5e-3;
+        let mut rng = StdRng::seed_from_u64(4);
+        DyGFormerModel::new(4, 0, 2, &cfg, &mut rng)
+    }
+
+    #[test]
+    fn learns_toy_task() {
+        assert_model_learns(&mut model(), 4);
+    }
+
+    #[test]
+    fn cooccurrence_channel_counts_repeats() {
+        let m = model();
+        let (mut queries, _) = crate::common::test_support::toy_queries(1, 4);
+        // Make all three neighbors the same node id.
+        for nb in &mut queries[0].neighbors {
+            nb.other = 7;
+        }
+        let refs: Vec<&CapturedQuery> = queries.iter().collect();
+        let (tokens, lens) = m.tokenize(&refs);
+        assert_eq!(lens[0], 3);
+        let width = tokens.cols();
+        // count 3 of k=4 → 0.75 in the last channel of each valid token.
+        for slot in 0..3 {
+            assert!((tokens.get(slot, width - 1) - 0.75).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn empty_neighbors_are_finite() {
+        let m = model();
+        let q = CapturedQuery {
+            node: 0,
+            time: 5.0,
+            target_feat: vec![0.2; 4],
+            neighbors: vec![],
+            label: Label::Class(0),
+        };
+        assert!(m.predict_batch(&[&q]).data().iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,205 @@
+//! DySAT (Sankar et al., WSDM 2020): structural attention within graph
+//! snapshots, self-attention across snapshots.
+//!
+//! The CTDG variant buckets a node's recent temporal edges into a few
+//! time-ordered "snapshots". A structural attention layer (shared across
+//! buckets) aggregates each bucket's neighbors; a temporal self-attention
+//! layer then mixes the bucket embeddings, and the most recent position is
+//! decoded.
+
+use ctdg::Label;
+use datasets::Task;
+use nn::{
+    Activation, Adam, CrossAttention, FixedTimeEncode, Matrix, Mlp, Parameterized, SelfAttention,
+};
+use rand::Rng;
+use splash::{CapturedQuery, SplashConfig};
+
+use crate::common::{pack_tokens, stack_targets, Baseline};
+
+/// Number of time buckets ("snapshots") the recent edges are split into.
+const BUCKETS: usize = 3;
+
+/// The DySAT baseline (CTDG variant).
+pub struct DySat {
+    structural: CrossAttention,
+    temporal: SelfAttention,
+    decoder: Mlp,
+    time_enc: FixedTimeEncode,
+    opt: Adam,
+    k: usize,
+    feat_dim: usize,
+    edge_feat_dim: usize,
+    dim: usize,
+}
+
+impl DySat {
+    /// Builds DySAT for the given input/output dimensions.
+    pub fn new<R: Rng + ?Sized>(
+        feat_dim: usize,
+        edge_feat_dim: usize,
+        out_dim: usize,
+        cfg: &SplashConfig,
+        rng: &mut R,
+    ) -> Self {
+        let dim = cfg.hidden;
+        let token_w = feat_dim + edge_feat_dim + cfg.time_dim;
+        Self {
+            structural: CrossAttention::new(feat_dim, token_w, dim, 2, rng),
+            temporal: SelfAttention::new(dim, 2, rng),
+            decoder: Mlp::new(&[dim + feat_dim, dim, out_dim], Activation::Relu, rng),
+            time_enc: FixedTimeEncode::new(cfg.time_dim, cfg.time_alpha, cfg.time_beta),
+            opt: Adam::new(cfg.lr),
+            k: cfg.k,
+            feat_dim,
+            edge_feat_dim,
+            dim,
+        }
+    }
+
+    /// Slot count per bucket.
+    fn bucket_size(&self) -> usize {
+        self.k.div_ceil(BUCKETS)
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn forward(
+        &self,
+        refs: &[&CapturedQuery],
+    ) -> (
+        Matrix,
+        Matrix,
+        Vec<(Matrix, Vec<usize>, nn::CrossAttentionCache)>,
+        nn::SelfAttentionCache,
+        nn::MlpCache,
+    ) {
+        let b = refs.len();
+        let kb = self.bucket_size();
+        let (tokens, lens) =
+            pack_tokens(refs, self.k, self.feat_dim, self.edge_feat_dim, &self.time_enc);
+        let target = stack_targets(refs, self.feat_dim);
+
+        // Structural attention per bucket (shared weights).
+        let mut bucket_caches = Vec::with_capacity(BUCKETS);
+        let mut stack = Matrix::zeros(b * BUCKETS, self.dim);
+        for bu in 0..BUCKETS {
+            let mut kv = Matrix::zeros(b * kb, tokens.cols());
+            let mut blens = vec![0usize; b];
+            for qi in 0..b {
+                let avail = lens[qi].saturating_sub(bu * kb).min(kb);
+                blens[qi] = avail;
+                for slot in 0..avail {
+                    kv.set_row(qi * kb + slot, tokens.row(qi * self.k + bu * kb + slot));
+                }
+            }
+            let (emb, cache) = self.structural.forward(&target, &kv, &blens, kb);
+            for qi in 0..b {
+                stack.set_row(qi * BUCKETS + bu, emb.row(qi));
+            }
+            bucket_caches.push((kv, blens, cache));
+        }
+
+        // Temporal self-attention over the bucket sequence.
+        let t_lens = vec![BUCKETS; b];
+        let (mixed, temporal_cache) = self.temporal.forward(&stack, &t_lens, BUCKETS);
+        // Read out the most recent bucket position.
+        let mut out = Matrix::zeros(b, self.dim);
+        for qi in 0..b {
+            out.set_row(qi, mixed.row(qi * BUCKETS + (BUCKETS - 1)));
+        }
+        let concat = Matrix::concat_cols(&[&out, &target]);
+        let (logits, dec_cache) = self.decoder.forward(&concat);
+        (logits, out, bucket_caches, temporal_cache, dec_cache)
+    }
+
+    fn step(&mut self) {
+        let Self { structural, temporal, decoder, opt, .. } = self;
+        let mut params = structural.params_mut();
+        params.extend(temporal.params_mut());
+        params.extend(decoder.params_mut());
+        opt.step(params);
+    }
+}
+
+impl Baseline for DySat {
+    fn name(&self) -> &'static str {
+        "dysat"
+    }
+
+    fn num_params(&self) -> usize {
+        self.structural.num_params()
+            + Parameterized::num_params(&self.temporal)
+            + self.decoder.num_params()
+    }
+
+    fn train_batch(&mut self, refs: &[&CapturedQuery], labels: &[&Label], task: Task) -> f32 {
+        let b = refs.len();
+        let (logits, _out, bucket_caches, temporal_cache, dec_cache) = self.forward(refs);
+        let (loss, dlogits) = splash::task::loss_and_grad(task, &logits, labels);
+        let dconcat = self.decoder.backward(&dec_cache, &dlogits);
+        let dout = dconcat.slice_cols(0, self.dim);
+        // Scatter into the last bucket position of the temporal sequence.
+        let mut dmixed = Matrix::zeros(b * BUCKETS, self.dim);
+        for qi in 0..b {
+            dmixed.set_row(qi * BUCKETS + (BUCKETS - 1), dout.row(qi));
+        }
+        let dstack = self.temporal.backward(&temporal_cache, &dmixed);
+        // Back through each bucket's structural attention (shared weights —
+        // gradients accumulate inside the layer).
+        for (bu, (_kv, _blens, cache)) in bucket_caches.iter().enumerate() {
+            let mut demb = Matrix::zeros(b, self.dim);
+            for qi in 0..b {
+                demb.set_row(qi, dstack.row(qi * BUCKETS + bu));
+            }
+            let _ = self.structural.backward(cache, &demb);
+        }
+        self.step();
+        loss
+    }
+
+    fn predict_batch(&self, refs: &[&CapturedQuery]) -> Matrix {
+        self.forward(refs).0
+    }
+
+    fn represent_batch(&self, refs: &[&CapturedQuery]) -> Matrix {
+        self.forward(refs).1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::test_support::assert_model_learns;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn model() -> DySat {
+        let mut cfg = SplashConfig::tiny();
+        cfg.lr = 5e-3;
+        let mut rng = StdRng::seed_from_u64(6);
+        DySat::new(4, 0, 2, &cfg, &mut rng)
+    }
+
+    #[test]
+    fn learns_toy_task() {
+        assert_model_learns(&mut model(), 4);
+    }
+
+    #[test]
+    fn empty_neighbors_are_finite() {
+        let m = model();
+        let q = CapturedQuery {
+            node: 0,
+            time: 5.0,
+            target_feat: vec![0.2; 4],
+            neighbors: vec![],
+            label: Label::Class(0),
+        };
+        assert!(m.predict_batch(&[&q]).data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn bucket_size_covers_k() {
+        let m = model();
+        assert!(m.bucket_size() * BUCKETS >= m.k);
+    }
+}

@@ -1,0 +1,160 @@
+//! The intervention mechanism shared by the DTDG-based shift-robust
+//! baselines (DIDA, SLID).
+//!
+//! Both methods disentangle each sample's history into an *invariant*
+//! summary `z_I` and a *variant* summary `z_V`, then train so the prediction
+//! is insensitive to interventions on the variant part: the variant
+//! summaries are permuted across the batch (each sample receives another
+//! sample's variant pattern) and the objective adds the mean and the
+//! variance of the intervened risks,
+//!
+//! ```text
+//! L = L_task + λ_mean · mean_p L_p + λ_var · var_p L_p ,
+//! ```
+//!
+//! following the invariance principle of DIDA (Zhang et al., NeurIPS 2022,
+//! Eq. 8 there) and SILD's spectral variant (Zhang et al., NeurIPS 2024).
+//! Low variance across interventions means the variant channel carries no
+//! label-relevant signal, which is exactly what robustness to distribution
+//! shift requires.
+
+use nn::Matrix;
+
+/// Number of interventions `P` per training batch.
+pub const NUM_INTERVENTIONS: usize = 3;
+/// Weight `λ_mean` on the mean intervened risk.
+pub const LAMBDA_MEAN: f32 = 0.5;
+/// Weight `λ_var` on the variance of intervened risks.
+pub const LAMBDA_VAR: f32 = 1.0;
+
+/// The `p`-th batch permutation: a rotation by `p + 1`, so every
+/// intervention is a derangement for `n > p + 1` (no sample keeps its own
+/// variant summary) and interventions are deterministic given the batch.
+pub fn rotation_perm(n: usize, p: usize) -> Vec<usize> {
+    if n == 0 {
+        return Vec::new();
+    }
+    (0..n).map(|i| (i + p + 1) % n).collect()
+}
+
+/// Gathers rows: `out[i] = m[perm[i]]`.
+pub fn permute_rows(m: &Matrix, perm: &[usize]) -> Matrix {
+    assert_eq!(m.rows(), perm.len());
+    let mut out = Matrix::zeros(m.rows(), m.cols());
+    for (i, &src) in perm.iter().enumerate() {
+        out.set_row(i, m.row(src));
+    }
+    out
+}
+
+/// Adjoint of [`permute_rows`]: scatters `dperm[i]` into `dout[perm[i]]`,
+/// accumulating.
+pub fn scatter_rows_add(dperm: &Matrix, perm: &[usize], dout: &mut Matrix) {
+    assert_eq!(dperm.rows(), perm.len());
+    assert_eq!(dperm.cols(), dout.cols());
+    for (i, &dst) in perm.iter().enumerate() {
+        let src = dperm.row(i).to_vec();
+        let row = dout.row_mut(dst);
+        for (o, v) in row.iter_mut().zip(src) {
+            *o += v;
+        }
+    }
+}
+
+/// Per-intervention gradient weights of `λ_mean · mean_p L_p + λ_var ·
+/// var_p L_p` with the population variance: `∂/∂L_p = λ_mean/P + λ_var ·
+/// 2(L_p − L̄)/P`. Weights may be negative — the variance term pulls
+/// above-average risks down *and* below-average risks up, toward
+/// intervention-invariance.
+pub fn intervention_loss_weights(losses: &[f32], lambda_mean: f32, lambda_var: f32) -> Vec<f32> {
+    let p = losses.len();
+    if p == 0 {
+        return Vec::new();
+    }
+    let mean = losses.iter().sum::<f32>() / p as f32;
+    losses
+        .iter()
+        .map(|&l| lambda_mean / p as f32 + lambda_var * 2.0 * (l - mean) / p as f32)
+        .collect()
+}
+
+/// Combined intervention penalty value (for loss reporting).
+pub fn intervention_penalty(losses: &[f32], lambda_mean: f32, lambda_var: f32) -> f32 {
+    let p = losses.len();
+    if p == 0 {
+        return 0.0;
+    }
+    let mean = losses.iter().sum::<f32>() / p as f32;
+    let var = losses.iter().map(|&l| (l - mean) * (l - mean)).sum::<f32>() / p as f32;
+    lambda_mean * mean + lambda_var * var
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotation_is_a_derangement() {
+        for p in 0..3 {
+            let perm = rotation_perm(8, p);
+            let mut seen = [false; 8];
+            for (i, &j) in perm.iter().enumerate() {
+                assert_ne!(i, j, "rotation {p} fixed point at {i}");
+                assert!(!seen[j], "not a permutation");
+                seen[j] = true;
+            }
+        }
+        assert!(rotation_perm(0, 0).is_empty());
+    }
+
+    #[test]
+    fn permute_scatter_roundtrip_is_adjoint() {
+        // <permute(m), d> == <m, scatter(d)> for arbitrary m, d.
+        let m = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let d = Matrix::from_vec(3, 2, vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6]);
+        let perm = rotation_perm(3, 0);
+        let pm = permute_rows(&m, &perm);
+        let lhs: f32 = pm.data().iter().zip(d.data()).map(|(a, b)| a * b).sum();
+        let mut dm = Matrix::zeros(3, 2);
+        scatter_rows_add(&d, &perm, &mut dm);
+        let rhs: f32 = m.data().iter().zip(dm.data()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-6);
+    }
+
+    #[test]
+    fn loss_weights_sum_to_lambda_mean() {
+        // Σ_p ∂(λm·mean + λv·var)/∂L_p = λm because Σ (L_p − L̄) = 0.
+        let w = intervention_loss_weights(&[1.0, 2.0, 6.0], 0.5, 1.0);
+        let total: f32 = w.iter().sum();
+        assert!((total - 0.5).abs() < 1e-6);
+        // The largest loss gets the largest weight.
+        assert!(w[2] > w[1] && w[1] > w[0]);
+    }
+
+    #[test]
+    fn equal_losses_have_zero_variance_gradient() {
+        let w = intervention_loss_weights(&[2.0, 2.0, 2.0], 0.6, 1.0);
+        for &x in &w {
+            assert!((x - 0.2).abs() < 1e-6);
+        }
+        assert!((intervention_penalty(&[2.0, 2.0, 2.0], 0.6, 1.0) - 1.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn penalty_matches_finite_difference_of_weights() {
+        // Numerical check: weights are the gradient of the penalty.
+        let base = [0.5f32, 1.5, 0.9];
+        let w = intervention_loss_weights(&base, 0.5, 1.0);
+        let eps = 1e-3;
+        for i in 0..base.len() {
+            let mut plus = base;
+            plus[i] += eps;
+            let mut minus = base;
+            minus[i] -= eps;
+            let fd = (intervention_penalty(&plus, 0.5, 1.0)
+                - intervention_penalty(&minus, 0.5, 1.0))
+                / (2.0 * eps);
+            assert!((fd - w[i]).abs() < 1e-3, "component {i}: fd {fd} vs analytic {}", w[i]);
+        }
+    }
+}

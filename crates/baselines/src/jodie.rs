@@ -1,0 +1,178 @@
+//! JODIE (Kumar et al., KDD 2019): recurrent dynamic node embeddings with a
+//! time-projection operator.
+//!
+//! JODIE updates a node's embedding with an RNN at every interaction and
+//! *projects* it forward in time before making a prediction:
+//! `ĥ(t + Δ) = (1 + Δ·w) ⊙ h(t)`. Here the RNN (a GRU) is unrolled over the
+//! node's `k` most recent interactions (see `recurrent` module docs) and the
+//! projection uses `log(1 + Δt)` as the drift input.
+
+use ctdg::Label;
+use datasets::Task;
+use nn::{Activation, Adam, FixedTimeEncode, GruCell, Matrix, Mlp, Param, Parameterized};
+use rand::Rng;
+use splash::{CapturedQuery, SplashConfig};
+
+use crate::common::{stack_targets, Baseline};
+use crate::recurrent::{gru_unroll, gru_unroll_backward, pack_tokens_right};
+
+/// The JODIE baseline.
+pub struct Jodie {
+    gru: GruCell,
+    /// Time-projection weights `w`, shape `(1, hidden)`.
+    proj: Param,
+    decoder: Mlp,
+    time_enc: FixedTimeEncode,
+    opt: Adam,
+    k: usize,
+    feat_dim: usize,
+    edge_feat_dim: usize,
+}
+
+impl Jodie {
+    /// Builds JODIE for the given input/output dimensions.
+    pub fn new<R: Rng + ?Sized>(
+        feat_dim: usize,
+        edge_feat_dim: usize,
+        out_dim: usize,
+        cfg: &SplashConfig,
+        rng: &mut R,
+    ) -> Self {
+        let dh = cfg.hidden;
+        let width = feat_dim + edge_feat_dim + cfg.time_dim;
+        Self {
+            gru: GruCell::new(width, dh, rng),
+            proj: Param::new(Matrix::zeros(1, dh)),
+            decoder: Mlp::new(&[dh + feat_dim, dh, out_dim], Activation::Relu, rng),
+            time_enc: FixedTimeEncode::new(cfg.time_dim, cfg.time_alpha, cfg.time_beta),
+            opt: Adam::new(cfg.lr),
+            k: cfg.k,
+            feat_dim,
+            edge_feat_dim,
+        }
+    }
+
+    /// `log(1 + Δt)` since each query's last event (0 when eventless).
+    fn drift(&self, refs: &[&CapturedQuery]) -> Vec<f32> {
+        refs.iter()
+            .map(|q| {
+                q.neighbors
+                    .last()
+                    .map(|nb| ((q.time - nb.time).max(0.0) as f32).ln_1p())
+                    .unwrap_or(0.0)
+            })
+            .collect()
+    }
+
+    fn forward(
+        &self,
+        refs: &[&CapturedQuery],
+    ) -> (Matrix, Matrix, Matrix, Vec<f32>, crate::recurrent::UnrollCache, nn::MlpCache) {
+        let b = refs.len();
+        let (tokens, _lens) =
+            pack_tokens_right(refs, self.k, self.feat_dim, self.edge_feat_dim, &self.time_enc);
+        let (h, ucache) = gru_unroll(&self.gru, &tokens, b, self.k);
+        let drift = self.drift(refs);
+        // h_proj = h ⊙ (1 + drift · w)
+        let w = self.proj.value.row(0);
+        let mut h_proj = h.clone();
+        for (qi, &d) in drift.iter().enumerate() {
+            for (v, &wj) in h_proj.row_mut(qi).iter_mut().zip(w) {
+                *v *= 1.0 + d * wj;
+            }
+        }
+        let target = stack_targets(refs, self.feat_dim);
+        let concat = Matrix::concat_cols(&[&h_proj, &target]);
+        let (logits, dec_cache) = self.decoder.forward(&concat);
+        (logits, h, h_proj, drift, ucache, dec_cache)
+    }
+
+    fn step(&mut self) {
+        let Self { gru, proj, decoder, opt, .. } = self;
+        let mut params = gru.params_mut();
+        params.push(proj);
+        params.extend(decoder.params_mut());
+        opt.step(params);
+    }
+}
+
+impl Baseline for Jodie {
+    fn name(&self) -> &'static str {
+        "jodie"
+    }
+
+    fn num_params(&self) -> usize {
+        Parameterized::num_params(&self.gru) + self.proj.len() + self.decoder.num_params()
+    }
+
+    fn train_batch(&mut self, refs: &[&CapturedQuery], labels: &[&Label], task: Task) -> f32 {
+        let (logits, h, _h_proj, drift, ucache, dec_cache) = self.forward(refs);
+        let (loss, dlogits) = splash::task::loss_and_grad(task, &logits, labels);
+        let dconcat = self.decoder.backward(&dec_cache, &dlogits);
+        let dh_proj = dconcat.slice_cols(0, h.cols());
+        // h_proj = h ⊙ (1 + d·w): dh = dh_proj ⊙ (1 + d·w); dw_j += Σ dh_proj ⊙ h · d
+        let w = self.proj.value.row(0).to_vec();
+        let mut dh = dh_proj.clone();
+        {
+            let dw = self.proj.grad.row_mut(0);
+            for (qi, &d) in drift.iter().enumerate() {
+                let dh_row = dh.row_mut(qi);
+                let h_row = h.row(qi);
+                for j in 0..w.len() {
+                    dw[j] += dh_row[j] * h_row[j] * d;
+                    dh_row[j] *= 1.0 + d * w[j];
+                }
+            }
+        }
+        gru_unroll_backward(&mut self.gru, &ucache, &dh);
+        self.step();
+        loss
+    }
+
+    fn predict_batch(&self, refs: &[&CapturedQuery]) -> Matrix {
+        self.forward(refs).0
+    }
+
+    fn represent_batch(&self, refs: &[&CapturedQuery]) -> Matrix {
+        self.forward(refs).2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::test_support::assert_model_learns;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn model() -> Jodie {
+        let mut cfg = SplashConfig::tiny();
+        cfg.lr = 5e-3;
+        let mut rng = StdRng::seed_from_u64(0);
+        Jodie::new(4, 0, 2, &cfg, &mut rng)
+    }
+
+    #[test]
+    fn learns_toy_task() {
+        assert_model_learns(&mut model(), 4);
+    }
+
+    #[test]
+    fn handles_empty_neighbor_lists() {
+        let m = model();
+        let q = CapturedQuery {
+            node: 0,
+            time: 1.0,
+            target_feat: vec![0.0; 4],
+            neighbors: vec![],
+            label: Label::Class(0),
+        };
+        let logits = m.predict_batch(&[&q]);
+        assert_eq!(logits.shape(), (1, 2));
+        assert!(logits.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn param_count_positive() {
+        assert!(model().num_params() > 0);
+    }
+}

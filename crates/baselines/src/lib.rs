@@ -1,0 +1,39 @@
+//! From-scratch reimplementations of the baseline methods the SPLASH paper
+//! compares against: the eight TGNNs of Table III (JODIE, DySAT, TGAT, TGN,
+//! GraphMixer, DyGFormer, FreeDyG, SLADE) — each preserving its
+//! architectural signature on top of the shared streaming-capture harness
+//! (see `common` module docs for the memory-truncation fidelity note) — and
+//! the two DTDG-based shift-robust methods of Fig. 12 (DIDA, SLID), built on
+//! the shared intervention mechanism in [`intervention`].
+
+pub mod common;
+pub mod dida;
+pub mod dygformer;
+pub mod dysat;
+pub mod freedyg;
+pub mod graphmixer;
+pub mod intervention;
+pub mod jodie;
+pub mod recurrent;
+pub mod registry;
+pub mod slade;
+pub mod slid;
+pub mod tgat;
+pub mod tgn;
+
+pub use common::{
+    pack_window_onehot, predict_all, run_baseline, run_baseline_frac, Baseline, BaselineOutput,
+};
+pub use dida::Dida;
+pub use dygformer::DyGFormerModel;
+pub use dysat::DySat;
+pub use freedyg::FreeDyGModel;
+pub use graphmixer::GraphMixerModel;
+pub use jodie::Jodie;
+pub use registry::{
+    build_baseline, build_dtdg, run, run_dtdg, run_frac, run_on_capture, BaselineKind, DtdgKind,
+};
+pub use slade::Slade;
+pub use slid::Slid;
+pub use tgat::Tgat;
+pub use tgn::Tgn;

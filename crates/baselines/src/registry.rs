@@ -1,0 +1,273 @@
+//! Baseline registry: uniform construction and execution of all eight
+//! baselines, with and without random features (`+RF`).
+
+use datasets::{Dataset, Task};
+use rand::{rngs::StdRng, SeedableRng};
+use splash::{Capture, InputFeatures, SplashConfig};
+
+use crate::common::{run_baseline, Baseline, BaselineOutput};
+use crate::dida::Dida;
+use crate::dygformer::DyGFormerModel;
+use crate::dysat::DySat;
+use crate::freedyg::FreeDyGModel;
+use crate::graphmixer::GraphMixerModel;
+use crate::jodie::Jodie;
+use crate::slade::Slade;
+use crate::slid::Slid;
+use crate::tgat::Tgat;
+use crate::tgn::Tgn;
+
+/// The eight baseline architectures of the paper's Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaselineKind {
+    /// JODIE (RNN + time projection).
+    Jodie,
+    /// DySAT (structural + temporal attention over snapshots).
+    DySat,
+    /// TGAT (temporal graph attention, learnable time encoding).
+    Tgat,
+    /// TGN (GRU memory + attention readout).
+    Tgn,
+    /// GraphMixer (all-MLP mixer).
+    GraphMixer,
+    /// DyGFormer (transformer + co-occurrence encoding).
+    DyGFormer,
+    /// FreeDyG (learnable frequency filter).
+    FreeDyG,
+    /// SLADE (self-supervised anomaly scoring; anomaly task only).
+    Slade,
+}
+
+impl BaselineKind {
+    /// All baselines, in the paper's table order.
+    pub const ALL: [BaselineKind; 8] = [
+        BaselineKind::Jodie,
+        BaselineKind::DySat,
+        BaselineKind::Tgat,
+        BaselineKind::Tgn,
+        BaselineKind::GraphMixer,
+        BaselineKind::DyGFormer,
+        BaselineKind::FreeDyG,
+        BaselineKind::Slade,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BaselineKind::Jodie => "jodie",
+            BaselineKind::DySat => "dysat",
+            BaselineKind::Tgat => "tgat",
+            BaselineKind::Tgn => "tgn",
+            BaselineKind::GraphMixer => "graphmixer",
+            BaselineKind::DyGFormer => "dygformer",
+            BaselineKind::FreeDyG => "freedyg",
+            BaselineKind::Slade => "slade",
+        }
+    }
+
+    /// Whether this baseline applies to the given task (SLADE is
+    /// anomaly-detection-only; the paper reports N/A elsewhere).
+    pub fn supports(self, task: Task) -> bool {
+        self != BaselineKind::Slade || task == Task::Anomaly
+    }
+}
+
+/// The two DTDG-based shift-robust methods of the paper's Fig. 12. The
+/// paper keeps them out of Table III because, as DTDG models, they predict a
+/// single label per node per snapshot and cannot serve real-time queries;
+/// they enter only the robustness comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DtdgKind {
+    /// DIDA (disentangled spatio-temporal attention + intervention).
+    Dida,
+    /// SLID/SILD (spectral disentanglement + intervention).
+    Slid,
+}
+
+impl DtdgKind {
+    /// Both DTDG baselines, in the paper's order.
+    pub const ALL: [DtdgKind; 2] = [DtdgKind::Dida, DtdgKind::Slid];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DtdgKind::Dida => "dida",
+            DtdgKind::Slid => "slid",
+        }
+    }
+}
+
+/// Constructs a DTDG baseline model for the given dimensions.
+pub fn build_dtdg(
+    kind: DtdgKind,
+    feat_dim: usize,
+    edge_feat_dim: usize,
+    out_dim: usize,
+    cfg: &SplashConfig,
+) -> Box<dyn Baseline> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ (kind as u64 + 0xD1DA));
+    match kind {
+        DtdgKind::Dida => Box::new(Dida::new(feat_dim, edge_feat_dim, out_dim, cfg, &mut rng)),
+        DtdgKind::Slid => Box::new(Slid::new(feat_dim, edge_feat_dim, out_dim, cfg, &mut rng)),
+    }
+}
+
+/// Captures the dataset under `mode` and runs one DTDG baseline end to end
+/// under the same 10/10/80 protocol as the TGNN baselines.
+pub fn run_dtdg(
+    kind: DtdgKind,
+    dataset: &Dataset,
+    mode: InputFeatures,
+    cfg: &SplashConfig,
+) -> BaselineOutput {
+    let cap = splash::capture(dataset, mode, cfg, splash::SEEN_FRAC);
+    let out_dim = splash::task::output_dim(dataset.task, dataset.num_classes);
+    let mut model = build_dtdg(kind, cap.feat_dim, cap.edge_feat_dim, out_dim, cfg);
+    let suffix = if mode == InputFeatures::RawRandom { "+RF" } else { "" };
+    run_baseline(model.as_mut(), dataset, &cap, cfg, suffix)
+}
+
+/// Constructs a baseline model for the given dimensions.
+pub fn build_baseline(
+    kind: BaselineKind,
+    feat_dim: usize,
+    edge_feat_dim: usize,
+    out_dim: usize,
+    cfg: &SplashConfig,
+) -> Box<dyn Baseline> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ (kind as u64 + 0xB00));
+    match kind {
+        BaselineKind::Jodie => Box::new(Jodie::new(feat_dim, edge_feat_dim, out_dim, cfg, &mut rng)),
+        BaselineKind::DySat => Box::new(DySat::new(feat_dim, edge_feat_dim, out_dim, cfg, &mut rng)),
+        BaselineKind::Tgat => Box::new(Tgat::new(feat_dim, edge_feat_dim, out_dim, cfg, &mut rng)),
+        BaselineKind::Tgn => Box::new(Tgn::new(feat_dim, edge_feat_dim, out_dim, cfg, &mut rng)),
+        BaselineKind::GraphMixer => {
+            Box::new(GraphMixerModel::new(feat_dim, edge_feat_dim, out_dim, cfg, &mut rng))
+        }
+        BaselineKind::DyGFormer => {
+            Box::new(DyGFormerModel::new(feat_dim, edge_feat_dim, out_dim, cfg, &mut rng))
+        }
+        BaselineKind::FreeDyG => {
+            Box::new(FreeDyGModel::new(feat_dim, edge_feat_dim, out_dim, cfg, &mut rng))
+        }
+        BaselineKind::Slade => Box::new(Slade::new(feat_dim, edge_feat_dim, out_dim, cfg, &mut rng)),
+    }
+}
+
+/// Trains and evaluates one baseline on a pre-computed capture. The
+/// `mode` determines the name suffix (`""` for plain, `"+RF"` for random
+/// features, etc.).
+pub fn run_on_capture(
+    kind: BaselineKind,
+    dataset: &Dataset,
+    cap: &Capture,
+    mode: InputFeatures,
+    cfg: &SplashConfig,
+) -> BaselineOutput {
+    let out_dim = splash::task::output_dim(dataset.task, dataset.num_classes);
+    let mut model = build_baseline(kind, cap.feat_dim, cap.edge_feat_dim, out_dim, cfg);
+    let suffix = match mode {
+        InputFeatures::RawRandom => "+RF",
+        InputFeatures::Zero | InputFeatures::External => "",
+        other => {
+            if other == InputFeatures::Joint {
+                "+joint"
+            } else {
+                "+aug"
+            }
+        }
+    };
+    run_baseline(model.as_mut(), dataset, cap, cfg, suffix)
+}
+
+/// Captures the dataset under `mode` and runs one baseline end to end.
+pub fn run(
+    kind: BaselineKind,
+    dataset: &Dataset,
+    mode: InputFeatures,
+    cfg: &SplashConfig,
+) -> BaselineOutput {
+    let cap = splash::capture(dataset, mode, cfg, splash::SEEN_FRAC);
+    run_on_capture(kind, dataset, &cap, mode, cfg)
+}
+
+/// [`run`] under a custom chronological split (Fig. 9 sweep).
+pub fn run_frac(
+    kind: BaselineKind,
+    dataset: &Dataset,
+    mode: InputFeatures,
+    cfg: &SplashConfig,
+    train_frac: f64,
+    seen_frac: f64,
+) -> BaselineOutput {
+    let cap = splash::capture(dataset, mode, cfg, seen_frac);
+    let out_dim = splash::task::output_dim(dataset.task, dataset.num_classes);
+    let mut model = build_baseline(kind, cap.feat_dim, cap.edge_feat_dim, out_dim, cfg);
+    let suffix = if mode == InputFeatures::RawRandom { "+RF" } else { "" };
+    crate::common::run_baseline_frac(
+        model.as_mut(),
+        dataset,
+        &cap,
+        cfg,
+        suffix,
+        train_frac,
+        seen_frac,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_baselines_build() {
+        let cfg = SplashConfig::tiny();
+        for kind in BaselineKind::ALL {
+            let model = build_baseline(kind, 8, 4, 3, &cfg);
+            assert!(model.num_params() > 0, "{} has no params", model.name());
+            assert_eq!(model.name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn slade_is_anomaly_only() {
+        assert!(BaselineKind::Slade.supports(Task::Anomaly));
+        assert!(!BaselineKind::Slade.supports(Task::Classification));
+        assert!(!BaselineKind::Slade.supports(Task::Affinity));
+        assert!(BaselineKind::Tgn.supports(Task::Affinity));
+    }
+
+    #[test]
+    fn dtdg_baselines_build() {
+        let cfg = SplashConfig::tiny();
+        for kind in DtdgKind::ALL {
+            let model = build_dtdg(kind, 8, 4, 3, &cfg);
+            assert!(model.num_params() > 0, "{} has no params", model.name());
+            assert_eq!(model.name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn dtdg_end_to_end_on_small_dataset() {
+        let dataset = datasets::synthetic_shift(50, 23);
+        let small = splash::truncate_to_available(&dataset, 0.25);
+        let mut cfg = SplashConfig::tiny();
+        cfg.epochs = 2;
+        let out = run_dtdg(DtdgKind::Dida, &small, InputFeatures::RawRandom, &cfg);
+        assert!(out.metric > 0.0 && out.metric <= 1.0);
+        assert_eq!(out.name, "dida+RF");
+    }
+
+    #[test]
+    fn end_to_end_on_small_dataset() {
+        let dataset = datasets::synthetic_shift(50, 21);
+        // Shrink the dataset for speed.
+        let small = splash::truncate_to_available(&dataset, 0.3);
+        let mut cfg = SplashConfig::tiny();
+        cfg.epochs = 2;
+        let out = run(BaselineKind::Jodie, &small, InputFeatures::RawRandom, &cfg);
+        assert!(out.metric > 0.0 && out.metric <= 1.0);
+        assert!(out.name.ends_with("+RF"));
+        assert!(out.num_params > 0);
+    }
+}

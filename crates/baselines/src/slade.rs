@@ -1,0 +1,231 @@
+//! SLADE (Lee et al., KDD 2024): self-supervised dynamic anomaly detection
+//! on edge streams, *without labels*.
+//!
+//! SLADE trains a memory module with self-supervised objectives and scores a
+//! node by how poorly its current behaviour matches what the memory
+//! predicts. Here the memory is a GRU over the node's recent messages, the
+//! self-supervised task is next-message prediction, and the anomaly score is
+//! the prediction error on the most recent message — large when the node's
+//! behaviour deviates from its own history, SLADE's core signal. Labels
+//! passed to `train_batch` are ignored (label-free training); the model is
+//! only meaningful for the dynamic anomaly detection task.
+
+use ctdg::Label;
+use datasets::Task;
+use nn::{Activation, Adam, FixedTimeEncode, GruCell, Matrix, Mlp, Parameterized};
+use rand::Rng;
+use splash::{CapturedQuery, SplashConfig};
+
+use crate::common::Baseline;
+use crate::recurrent::{gru_unroll, gru_unroll_backward, pack_tokens_right};
+
+/// The SLADE baseline (anomaly detection only).
+pub struct Slade {
+    memory: GruCell,
+    predictor: Mlp,
+    time_enc: FixedTimeEncode,
+    opt: Adam,
+    k: usize,
+    feat_dim: usize,
+    edge_feat_dim: usize,
+}
+
+impl Slade {
+    /// Builds SLADE for the given input dimensions. `out_dim` is ignored —
+    /// the model emits a 2-column score matrix `[0, anomaly_score]`.
+    pub fn new<R: Rng + ?Sized>(
+        feat_dim: usize,
+        edge_feat_dim: usize,
+        _out_dim: usize,
+        cfg: &SplashConfig,
+        rng: &mut R,
+    ) -> Self {
+        let dh = cfg.hidden;
+        let width = feat_dim + edge_feat_dim + cfg.time_dim;
+        Self {
+            memory: GruCell::new(width, dh, rng),
+            predictor: Mlp::new(&[dh, dh, width], Activation::Relu, rng),
+            time_enc: FixedTimeEncode::new(cfg.time_dim, cfg.time_alpha, cfg.time_beta),
+            opt: Adam::new(cfg.lr),
+            k: cfg.k,
+            feat_dim,
+            edge_feat_dim,
+        }
+    }
+
+    /// Splits each query's right-aligned tokens into (prefix, last message).
+    /// The prefix drops the final slot; queries with no neighbors have an
+    /// all-zero last message and are masked out of the loss.
+    fn split_tokens(&self, refs: &[&CapturedQuery]) -> (Matrix, Matrix, Vec<bool>) {
+        let (tokens, lens) =
+            pack_tokens_right(refs, self.k, self.feat_dim, self.edge_feat_dim, &self.time_enc);
+        let b = refs.len();
+        let width = tokens.cols();
+        let kp = self.k - 1;
+        let mut prefix = Matrix::zeros(b * kp.max(1), width);
+        let mut last = Matrix::zeros(b, width);
+        let mut valid = vec![false; b];
+        for qi in 0..b {
+            valid[qi] = lens[qi] >= 1;
+            for slot in 0..kp {
+                prefix.set_row(qi * kp + slot, tokens.row(qi * self.k + slot));
+            }
+            last.set_row(qi, tokens.row(qi * self.k + (self.k - 1)));
+        }
+        (prefix, last, valid)
+    }
+
+    fn step(&mut self) {
+        let Self { memory, predictor, opt, .. } = self;
+        let mut params = memory.params_mut();
+        params.extend(predictor.params_mut());
+        opt.step(params);
+    }
+}
+
+impl Baseline for Slade {
+    fn name(&self) -> &'static str {
+        "slade"
+    }
+
+    fn num_params(&self) -> usize {
+        Parameterized::num_params(&self.memory) + self.predictor.num_params()
+    }
+
+    fn train_batch(&mut self, refs: &[&CapturedQuery], _labels: &[&Label], _task: Task) -> f32 {
+        assert!(self.k >= 2, "SLADE needs k >= 2");
+        let b = refs.len();
+        let kp = self.k - 1;
+        let (prefix, last, valid) = self.split_tokens(refs);
+        let (mem, ucache) = gru_unroll(&self.memory, &prefix, b, kp);
+        let (pred, pred_cache) = self.predictor.forward(&mem);
+        // Masked MSE against the most recent message.
+        let n_valid = valid.iter().filter(|&&v| v).count().max(1);
+        let diff = pred.sub(&last);
+        let mut loss = 0.0f32;
+        let mut dpred = Matrix::zeros(pred.rows(), pred.cols());
+        let scale = 2.0 / (n_valid * pred.cols()) as f32;
+        for (qi, &ok) in valid.iter().enumerate().take(b) {
+            if !ok {
+                continue;
+            }
+            for j in 0..pred.cols() {
+                let d = diff.get(qi, j);
+                loss += d * d;
+                dpred.set(qi, j, d * scale);
+            }
+        }
+        loss /= (n_valid * pred.cols()) as f32;
+        let dmem = self.predictor.backward(&pred_cache, &dpred);
+        gru_unroll_backward(&mut self.memory, &ucache, &dmem);
+        self.step();
+        loss
+    }
+
+    fn predict_batch(&self, refs: &[&CapturedQuery]) -> Matrix {
+        let b = refs.len();
+        let kp = self.k - 1;
+        let (prefix, last, valid) = self.split_tokens(refs);
+        let (mem, _) = gru_unroll(&self.memory, &prefix, b, kp);
+        let pred = self.predictor.infer(&mem);
+        // Anomaly score = mean squared prediction error on the latest message.
+        let mut out = Matrix::zeros(b, 2);
+        for (qi, &ok) in valid.iter().enumerate().take(b) {
+            if !ok {
+                continue;
+            }
+            let mut err = 0.0f32;
+            for j in 0..pred.cols() {
+                let d = pred.get(qi, j) - last.get(qi, j);
+                err += d * d;
+            }
+            out.set(qi, 1, err / pred.cols() as f32);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splash::CapturedNeighbor;
+
+    fn model() -> Slade {
+        let mut cfg = SplashConfig::tiny();
+        cfg.lr = 5e-3;
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7);
+        Slade::new(4, 0, 2, &cfg, &mut rng)
+    }
+
+    fn behavioral_query(pattern: f32, noise_tag: f32, time: f64) -> CapturedQuery {
+        let neighbors = (0..4)
+            .map(|j| CapturedNeighbor {
+                other: j as u32,
+                feat: vec![pattern, pattern * 0.5, -pattern, noise_tag],
+                edge_feat: vec![],
+                time: time - 4.0 + j as f64,
+                weight: 1.0,
+            })
+            .collect();
+        CapturedQuery {
+            node: 0,
+            time,
+            target_feat: vec![0.0; 4],
+            neighbors,
+            label: Label::Class(0),
+        }
+    }
+
+    #[test]
+    fn scores_deviant_behavior_higher() {
+        let mut m = model();
+        // Train on a homogeneous "normal" pattern.
+        let normal: Vec<CapturedQuery> =
+            (0..64).map(|i| behavioral_query(0.5, 0.1, 100.0 + i as f64)).collect();
+        let refs: Vec<&CapturedQuery> = normal.iter().collect();
+        let labels: Vec<&Label> = normal.iter().map(|q| &q.label).collect();
+        for _ in 0..150 {
+            m.train_batch(&refs, &labels, Task::Anomaly);
+        }
+        // A consistent node scores low; a deviant one scores high.
+        let consistent = behavioral_query(0.5, 0.1, 200.0);
+        let mut deviant = behavioral_query(0.5, 0.1, 200.0);
+        // Replace the deviant's *last* message with an out-of-pattern one.
+        let last = deviant.neighbors.last_mut().unwrap();
+        last.feat = vec![-3.0, 3.0, 3.0, -3.0];
+        let scores = m.predict_batch(&[&consistent, &deviant]);
+        assert!(
+            scores.get(1, 1) > scores.get(0, 1) * 2.0,
+            "deviant {} vs consistent {}",
+            scores.get(1, 1),
+            scores.get(0, 1)
+        );
+    }
+
+    #[test]
+    fn training_ignores_labels() {
+        // Identical batches with different labels yield identical losses.
+        let mut m1 = model();
+        let mut m2 = model();
+        let q = behavioral_query(0.3, 0.0, 50.0);
+        let l0 = Label::Class(0);
+        let l1 = Label::Class(1);
+        let a = m1.train_batch(&[&q], &[&l0], Task::Anomaly);
+        let b = m2.train_batch(&[&q], &[&l1], Task::Anomaly);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn eventless_queries_score_zero() {
+        let m = model();
+        let q = CapturedQuery {
+            node: 0,
+            time: 5.0,
+            target_feat: vec![0.0; 4],
+            neighbors: vec![],
+            label: Label::Class(0),
+        };
+        let s = m.predict_batch(&[&q]);
+        assert_eq!(s.get(0, 1), 0.0);
+    }
+}

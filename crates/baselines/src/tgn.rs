@@ -1,0 +1,147 @@
+//! TGN (Rossi et al., 2020): a per-node memory module updated by a GRU,
+//! read out with temporal graph attention.
+//!
+//! The defining composition is memory → embedding: the GRU digests the
+//! node's recent messages into a memory vector, which then *queries* an
+//! attention layer over the same recent neighbors to produce the embedding.
+
+use ctdg::Label;
+use datasets::Task;
+use nn::{Activation, Adam, CrossAttention, FixedTimeEncode, GruCell, Matrix, Mlp, Parameterized};
+use rand::Rng;
+use splash::{CapturedQuery, SplashConfig};
+
+use crate::common::{pack_tokens, stack_targets, Baseline};
+use crate::recurrent::{gru_unroll, gru_unroll_backward, pack_tokens_right};
+
+/// The TGN baseline.
+pub struct Tgn {
+    memory: GruCell,
+    attn: CrossAttention,
+    decoder: Mlp,
+    time_enc: FixedTimeEncode,
+    opt: Adam,
+    k: usize,
+    feat_dim: usize,
+    edge_feat_dim: usize,
+}
+
+impl Tgn {
+    /// Builds TGN for the given input/output dimensions.
+    pub fn new<R: Rng + ?Sized>(
+        feat_dim: usize,
+        edge_feat_dim: usize,
+        out_dim: usize,
+        cfg: &SplashConfig,
+        rng: &mut R,
+    ) -> Self {
+        let dh = cfg.hidden;
+        let width = feat_dim + edge_feat_dim + cfg.time_dim;
+        Self {
+            memory: GruCell::new(width, dh, rng),
+            attn: CrossAttention::new(dh + feat_dim, width, dh, 2, rng),
+            decoder: Mlp::new(&[dh, dh, out_dim], Activation::Relu, rng),
+            time_enc: FixedTimeEncode::new(cfg.time_dim, cfg.time_alpha, cfg.time_beta),
+            opt: Adam::new(cfg.lr),
+            k: cfg.k,
+            feat_dim,
+            edge_feat_dim,
+        }
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn forward(
+        &self,
+        refs: &[&CapturedQuery],
+    ) -> (
+        Matrix,
+        Matrix,
+        crate::recurrent::UnrollCache,
+        nn::CrossAttentionCache,
+        nn::MlpCache,
+    ) {
+        let b = refs.len();
+        let (tokens_r, _) =
+            pack_tokens_right(refs, self.k, self.feat_dim, self.edge_feat_dim, &self.time_enc);
+        let (mem, ucache) = gru_unroll(&self.memory, &tokens_r, b, self.k);
+        let (tokens_l, lens) =
+            pack_tokens(refs, self.k, self.feat_dim, self.edge_feat_dim, &self.time_enc);
+        let target = stack_targets(refs, self.feat_dim);
+        let query = Matrix::concat_cols(&[&mem, &target]);
+        let (attn_out, attn_cache) = self.attn.forward(&query, &tokens_l, &lens, self.k);
+        let (logits, dec_cache) = self.decoder.forward(&attn_out);
+        (logits, attn_out, ucache, attn_cache, dec_cache)
+    }
+
+    fn step(&mut self) {
+        let Self { memory, attn, decoder, opt, .. } = self;
+        let mut params = memory.params_mut();
+        params.extend(attn.params_mut());
+        params.extend(decoder.params_mut());
+        opt.step(params);
+    }
+}
+
+impl Baseline for Tgn {
+    fn name(&self) -> &'static str {
+        "tgn"
+    }
+
+    fn num_params(&self) -> usize {
+        Parameterized::num_params(&self.memory)
+            + self.attn.num_params()
+            + self.decoder.num_params()
+    }
+
+    fn train_batch(&mut self, refs: &[&CapturedQuery], labels: &[&Label], task: Task) -> f32 {
+        let (logits, _attn_out, ucache, attn_cache, dec_cache) = self.forward(refs);
+        let (loss, dlogits) = splash::task::loss_and_grad(task, &logits, labels);
+        let dattn_out = self.decoder.backward(&dec_cache, &dlogits);
+        let (dquery, _dkv) = self.attn.backward(&attn_cache, &dattn_out);
+        // query = [memory ‖ target]: only the memory part backpropagates.
+        let dmem = dquery.slice_cols(0, dquery.cols() - self.feat_dim);
+        gru_unroll_backward(&mut self.memory, &ucache, &dmem);
+        self.step();
+        loss
+    }
+
+    fn predict_batch(&self, refs: &[&CapturedQuery]) -> Matrix {
+        self.forward(refs).0
+    }
+
+    fn represent_batch(&self, refs: &[&CapturedQuery]) -> Matrix {
+        self.forward(refs).1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::test_support::assert_model_learns;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn model() -> Tgn {
+        let mut cfg = SplashConfig::tiny();
+        cfg.lr = 5e-3;
+        let mut rng = StdRng::seed_from_u64(2);
+        Tgn::new(4, 0, 2, &cfg, &mut rng)
+    }
+
+    #[test]
+    fn learns_toy_task() {
+        assert_model_learns(&mut model(), 4);
+    }
+
+    #[test]
+    fn empty_neighbors_are_finite() {
+        let m = model();
+        let q = CapturedQuery {
+            node: 0,
+            time: 5.0,
+            target_feat: vec![0.1; 4],
+            neighbors: vec![],
+            label: Label::Class(0),
+        };
+        assert!(m.predict_batch(&[&q]).data().iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,198 @@
+//! Criterion micro-benchmarks for the hot paths of the SPLASH pipeline:
+//! stream ingestion, feature propagation, SLIM forward/backward, node2vec
+//! walk generation, and the evaluation metrics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use baselines::Baseline;
+use ctdg::{DegreeTracker, EdgeStream, GraphSnapshot, NeighborMemory, TemporalEdge};
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+use splash::{capture, FeatureProcess, InputFeatures, SplashConfig, SEEN_FRAC};
+
+fn random_stream(n_edges: usize, n_nodes: u32, seed: u64) -> EdgeStream {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let edges = (0..n_edges)
+        .map(|i| {
+            let src = rng.random_range(0..n_nodes);
+            let dst = rng.random_range(0..n_nodes);
+            TemporalEdge::plain(src, dst, i as f64)
+        })
+        .collect();
+    EdgeStream::new_unchecked(edges)
+}
+
+fn bench_memory_update(c: &mut Criterion) {
+    let stream = random_stream(10_000, 500, 0);
+    c.bench_function("neighbor_memory_ingest_10k_edges", |b| {
+        b.iter(|| {
+            let mut mem = NeighborMemory::new(500, 10);
+            for (i, e) in stream.edges().iter().enumerate() {
+                mem.update(i, e);
+            }
+            black_box(mem.edges_seen())
+        })
+    });
+}
+
+fn bench_degree_update(c: &mut Criterion) {
+    let stream = random_stream(10_000, 500, 1);
+    c.bench_function("degree_tracker_ingest_10k_edges", |b| {
+        b.iter(|| {
+            let mut deg = DegreeTracker::new(500);
+            for e in stream.edges() {
+                deg.update(e);
+            }
+            black_box(deg.total())
+        })
+    });
+}
+
+fn bench_feature_propagation(c: &mut Criterion) {
+    let stream = random_stream(5_000, 400, 2);
+    let cfg = SplashConfig::default();
+    let mut aug = splash::Augmenter::new(
+        &stream,
+        1_000,
+        400,
+        cfg.feat_dim,
+        &cfg.node2vec,
+        cfg.degree_alpha,
+        7,
+    );
+    let tail: Vec<TemporalEdge> = stream.edges()[1_000..].to_vec();
+    c.bench_function("feature_propagation_4k_edges", |b| {
+        b.iter(|| {
+            let mut a = aug.clone();
+            for e in &tail {
+                a.observe(e);
+            }
+            black_box(a.feature(FeatureProcess::Random, 10))
+        })
+    });
+    // keep `aug` alive for cloning costs symmetry
+    aug.observe(&tail[0]);
+}
+
+fn bench_slim_forward_backward(c: &mut Criterion) {
+    let dataset = datasets::synthetic_shift(50, 5);
+    let cfg = SplashConfig::default();
+    let cap = capture(&dataset, InputFeatures::RawRandom, &cfg, SEEN_FRAC);
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut model = splash::SlimModel::new(&cfg, cap.feat_dim, cap.edge_feat_dim, 5, &mut rng);
+    let refs: Vec<&splash::CapturedQuery> = cap.queries[..128].iter().collect();
+    let batch = model.build_batch(&refs);
+    c.bench_function("slim_forward_batch128", |b| {
+        b.iter(|| black_box(model.infer(&batch)))
+    });
+    c.bench_function("slim_forward_backward_batch128", |b| {
+        b.iter(|| {
+            let (logits, _, cache) = model.forward(&batch);
+            let coef = nn::test_util::probe_coefficients(logits.rows(), logits.cols());
+            model.backward(&cache, &coef);
+            black_box(logits.sum())
+        })
+    });
+}
+
+fn bench_node2vec_walks(c: &mut Criterion) {
+    let stream = random_stream(5_000, 300, 3);
+    let snap = GraphSnapshot::from_stream_prefix(&stream, stream.len());
+    let config = embed::WalkConfig { walks_per_node: 4, walk_length: 12, ..Default::default() };
+    c.bench_function("node2vec_walks_300_nodes", |b| {
+        b.iter(|| black_box(embed::generate_walks(&snap, &config, 9).len()))
+    });
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let scores: Vec<f32> = (0..10_000).map(|_| rng.random::<f32>()).collect();
+    let labels: Vec<bool> = (0..10_000).map(|_| rng.random::<f32>() < 0.1).collect();
+    c.bench_function("roc_auc_10k", |b| {
+        b.iter(|| black_box(eval::roc_auc(&scores, &labels)))
+    });
+    let queries: Vec<(Vec<f32>, Vec<f32>)> = (0..200)
+        .map(|_| {
+            (
+                (0..64).map(|_| rng.random::<f32>()).collect(),
+                (0..64).map(|_| rng.random::<f32>()).collect(),
+            )
+        })
+        .collect();
+    c.bench_function("ndcg_at_10_200x64", |b| {
+        b.iter(|| black_box(eval::mean_ndcg_at_k(&queries, 10)))
+    });
+}
+
+fn bench_embeddings(c: &mut Criterion) {
+    let stream = random_stream(5_000, 300, 7);
+    let snap = GraphSnapshot::from_stream_prefix(&stream, stream.len());
+    c.bench_function("pagerank_300_nodes", |b| {
+        b.iter(|| black_box(embed::pagerank(&snap, &embed::PageRankConfig::default())[0]))
+    });
+    let gr = embed::GraRepConfig { dim: 16, transition_steps: 2, svd_iters: 3 };
+    c.bench_function("grarep_300_nodes_dim16", |b| {
+        b.iter(|| black_box(embed::grarep(&snap, &gr, 9).sum()))
+    });
+    let m = nn::Matrix::from_fn(300, 300, |i, j| ((i * 13 + j * 7) as f32 * 0.29).sin());
+    c.bench_function("truncated_svd_300x300_k8", |b| {
+        b.iter(|| black_box(nn::truncated_svd(&m, 8, 2, 3).s[0]))
+    });
+}
+
+fn bench_dtdg_view(c: &mut Criterion) {
+    let stream = random_stream(10_000, 500, 5);
+    c.bench_function("dtdg_view_10k_edges_8_windows", |b| {
+        b.iter(|| black_box(ctdg::DtdgView::new(&stream, 8).total_temporal_edges()))
+    });
+}
+
+fn bench_dtdg_baselines(c: &mut Criterion) {
+    let dataset = datasets::synthetic_shift(50, 6);
+    let cfg = SplashConfig::default();
+    let cap = capture(&dataset, InputFeatures::RawRandom, &cfg, SEEN_FRAC);
+    let refs: Vec<&splash::CapturedQuery> = cap.queries[..128].iter().collect();
+    let labels: Vec<&ctdg::Label> = refs.iter().map(|q| &q.label).collect();
+    let mut rng = StdRng::seed_from_u64(6);
+    let dida = baselines::Dida::new(cap.feat_dim, cap.edge_feat_dim, 5, &cfg, &mut rng);
+    c.bench_function("dida_forward_batch128", |b| {
+        b.iter(|| black_box(dida.predict_batch(&refs).sum()))
+    });
+    let mut dida = dida;
+    c.bench_function("dida_train_step_batch128", |b| {
+        b.iter(|| black_box(dida.train_batch(&refs, &labels, datasets::Task::Classification)))
+    });
+    let mut slid = baselines::Slid::new(cap.feat_dim, cap.edge_feat_dim, 5, &cfg, &mut rng);
+    c.bench_function("slid_train_step_batch128", |b| {
+        b.iter(|| black_box(slid.train_batch(&refs, &labels, datasets::Task::Classification)))
+    });
+}
+
+fn bench_capture_scaling(c: &mut Criterion) {
+    let cfg = SplashConfig::default();
+    let mut group = c.benchmark_group("capture_per_edge");
+    for &size in &[2_000usize, 8_000] {
+        let dataset = datasets::scalability_stream(size, 500, 11);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &dataset, |b, d| {
+            b.iter(|| black_box(capture(d, InputFeatures::RawRandom, &cfg, SEEN_FRAC).queries.len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets =
+        bench_memory_update,
+        bench_degree_update,
+        bench_feature_propagation,
+        bench_slim_forward_backward,
+        bench_node2vec_walks,
+        bench_metrics,
+        bench_embeddings,
+        bench_dtdg_view,
+        bench_dtdg_baselines,
+        bench_capture_scaling,
+}
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Extra design-choice ablations flagged in DESIGN.md §5:
+//! the skip-connection weight λ_s, the degree-encoding resolution α, the
+//! number of selection splits, the linear-selector cost, and SLIM's core
+//! bet — mean aggregation vs attention aggregation.
+
+use baselines::run_baseline;
+use bench::{config, prep, AttnSlim};
+use datasets::{reddit, synthetic_shift};
+use rand::{rngs::StdRng, SeedableRng};
+use splash::{
+    capture, run_slim_with, select_features_with_splits, FeatureProcess, InputFeatures,
+    SEEN_FRAC, SPLIT_FRACTIONS,
+};
+
+fn main() {
+    let base_cfg = config();
+    println!("Extra ablations (DESIGN.md §5)");
+
+    // (1) Skip-connection weight λ_s (Eq. 18) on the Reddit analogue.
+    let dataset = prep(reddit());
+    println!("\n(1) λ_s skip-connection weight — SLIM+S on {}", dataset.name);
+    for lambda in [0.0f32, 0.5, 1.0] {
+        let mut cfg = base_cfg;
+        cfg.lambda_s = lambda;
+        let out = run_slim_with(
+            &dataset,
+            &cfg,
+            InputFeatures::Process(FeatureProcess::Structural),
+        );
+        println!("  λ_s = {lambda:<4}  AUC {:.4}", out.metric);
+    }
+
+    // (2) Degree-encoding resolution α (Eq. 3).
+    println!("\n(2) degree-encoding resolution α — SLIM+S on {}", dataset.name);
+    for alpha in [2.0f32, 50.0, 1000.0] {
+        let mut cfg = base_cfg;
+        cfg.degree_alpha = alpha;
+        let out = run_slim_with(
+            &dataset,
+            &cfg,
+            InputFeatures::Process(FeatureProcess::Structural),
+        );
+        println!("  α = {alpha:<6}  AUC {:.4}", out.metric);
+    }
+
+    // (3) Number of selection splits (1 vs 5) on Synthetic-70.
+    let shifted = prep(synthetic_shift(70, 1));
+    println!("\n(3) selection splits — {}", shifted.name);
+    for (label, splits) in [("1 split (50/50)", &[0.5f64][..]), ("5 splits", &SPLIT_FRACTIONS[..])] {
+        let t = std::time::Instant::now();
+        let report = select_features_with_splits(&shifted, &base_cfg, SEEN_FRAC, splits);
+        println!(
+            "  {label:<18} selected {:<2} risks [R {:.3} | P {:.3} | S {:.3}] in {:.2}s",
+            report.selected.name(),
+            report.risks[0],
+            report.risks[1],
+            report.risks[2],
+            t.elapsed().as_secs_f64()
+        );
+    }
+
+    // (4) Linear selector vs training SLIM per process (§IV-B's efficiency
+    // argument): the linear 5-split selector must be much cheaper than even
+    // one full SLIM training run per process.
+    println!("\n(4) selector cost — {}", shifted.name);
+    let t = std::time::Instant::now();
+    let _ = select_features_with_splits(&shifted, &base_cfg, SEEN_FRAC, &SPLIT_FRACTIONS);
+    let linear_cost = t.elapsed().as_secs_f64();
+    let t = std::time::Instant::now();
+    for process in FeatureProcess::ALL {
+        let _ = run_slim_with(&shifted, &base_cfg, InputFeatures::Process(process));
+    }
+    let slim_cost = t.elapsed().as_secs_f64();
+    println!(
+        "  linear selector (3 processes x 5 splits): {linear_cost:.2}s\n  \
+         full SLIM training per process (3 runs):   {slim_cost:.2}s\n  \
+         speedup: {:.1}x",
+        slim_cost / linear_cost.max(1e-9)
+    );
+
+    // (5) Mean aggregation (Eq. 17) vs attention aggregation — SLIM's core
+    // architectural bet, on the low- and high-shift synthetic datasets.
+    println!("\n(5) mean vs attention aggregation — SLIM+P");
+    for intensity in [50u32, 90] {
+        let d = prep(synthetic_shift(intensity, 1));
+        let mode = InputFeatures::Process(FeatureProcess::Positional);
+        let mean_out = run_slim_with(&d, &base_cfg, mode);
+        let cap = capture(&d, mode, &base_cfg, SEEN_FRAC);
+        let out_dim = splash::task::output_dim(d.task, d.num_classes);
+        let mut rng = StdRng::seed_from_u64(base_cfg.seed ^ 0xA77);
+        let mut attn =
+            AttnSlim::new(cap.feat_dim, cap.edge_feat_dim, out_dim, &base_cfg, &mut rng);
+        let attn_out = run_baseline(&mut attn, &d, &cap, &base_cfg, "");
+        println!(
+            "  intensity {intensity}: mean {:.4} ({} params, {:.2}s) vs attention {:.4} ({} params, {:.2}s)",
+            mean_out.metric,
+            mean_out.num_params,
+            mean_out.train_secs,
+            attn_out.metric,
+            attn_out.num_params,
+            attn_out.train_secs
+        );
+    }
+}

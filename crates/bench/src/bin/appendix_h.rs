@@ -1,0 +1,45 @@
+//! Online Appendix H: training-time comparison on the Reddit analogue —
+//! the companion to Fig. 10's inference-time trade-off. Prints training
+//! wall-clock seconds, metric, and parameter count for every Table III
+//! model plus SPLASH, and the headline training-speedup ratio.
+
+use bench::{config, prep, print_csv, run_suite};
+use datasets::reddit;
+
+fn main() {
+    let cfg = config();
+    let dataset = prep(reddit());
+    println!("Appendix H — training time on {}", dataset.name);
+    let rows = run_suite(&dataset, &cfg);
+
+    println!(
+        "\n{:<16} {:>12} {:>10} {:>10}",
+        "model", "train (s)", "AUC", "#params"
+    );
+    for r in &rows {
+        println!(
+            "{:<16} {:>12.2} {:>10.4} {:>10}",
+            r.name, r.train_secs, r.metric, r.params
+        );
+    }
+
+    let lines: Vec<String> = rows
+        .iter()
+        .map(|r| format!("{},{:.4},{:.4},{}", r.name, r.train_secs, r.metric, r.params))
+        .collect();
+    print_csv("model,train_secs,auc,params", &lines);
+
+    let splash = rows.iter().find(|r| r.name == "SPLASH").expect("SPLASH row");
+    if let Some(best_other) = rows
+        .iter()
+        .filter(|r| r.name != "SPLASH")
+        .max_by(|a, b| a.metric.partial_cmp(&b.metric).unwrap())
+    {
+        println!(
+            "\nSPLASH vs best baseline ({}): {:.2}x faster training, {:+.2}% metric",
+            best_other.name,
+            best_other.train_secs / splash.train_secs.max(1e-9),
+            (splash.metric - best_other.metric) * 100.0
+        );
+    }
+}

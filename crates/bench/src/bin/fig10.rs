@@ -1,0 +1,35 @@
+//! Figure 10: trade-offs on the Reddit analogue — (left) inference time vs
+//! AUC, (right) model size vs AUC, for every model of Table III.
+
+use bench::{config, prep, print_csv, print_rows, run_suite};
+use datasets::reddit;
+
+fn main() {
+    let cfg = config();
+    let dataset = prep(reddit());
+    println!("Figure 10 — efficiency/accuracy trade-offs on {}", dataset.name);
+    let rows = run_suite(&dataset, &cfg);
+    print_rows("trade-off inputs", "AUC", &rows);
+
+    let lines: Vec<String> = rows
+        .iter()
+        .map(|r| format!("{},{:.4},{:.4},{}", r.name, r.infer_secs, r.metric, r.params))
+        .collect();
+    print_csv("model,infer_secs,auc,params", &lines);
+
+    // Headline ratios vs the best non-SPLASH model.
+    let splash = rows.iter().find(|r| r.name == "SPLASH").expect("SPLASH row");
+    if let Some(best_other) = rows
+        .iter()
+        .filter(|r| r.name != "SPLASH")
+        .max_by(|a, b| a.metric.partial_cmp(&b.metric).unwrap())
+    {
+        println!(
+            "\nSPLASH vs best baseline ({}): {:.2}x faster inference, {:.2}x fewer parameters, {:+.2}% metric",
+            best_other.name,
+            best_other.infer_secs / splash.infer_secs.max(1e-9),
+            best_other.params as f64 / splash.params.max(1) as f64,
+            (splash.metric - best_other.metric) * 100.0
+        );
+    }
+}

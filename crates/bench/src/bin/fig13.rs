@@ -1,0 +1,128 @@
+//! Figure 13: qualitative analysis — anomaly scores over time for one user
+//! that transitions between normal and abnormal states (Reddit analogue),
+//! from SPLASH and three baselines.
+
+use baselines::{build_baseline, run_baseline, BaselineKind};
+use bench::{config, prep, print_csv};
+use datasets::reddit;
+use nn::Matrix;
+use splash::{capture, run_splash, InputFeatures, SEEN_FRAC};
+
+/// Per-query anomaly score: the abnormal-vs-normal logit margin,
+/// z-normalized over the test set so different models are comparable on one
+/// axis (rank-equivalent to the softmax probability, but not squashed to ~0
+/// under class imbalance).
+fn scores(logits: &Matrix) -> Vec<f64> {
+    let raw: Vec<f64> = (0..logits.rows())
+        .map(|i| (logits.get(i, 1) - logits.get(i, 0)) as f64)
+        .collect();
+    let n = raw.len().max(1) as f64;
+    let mean = raw.iter().sum::<f64>() / n;
+    let std = (raw.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n)
+        .sqrt()
+        .max(1e-9);
+    raw.iter().map(|v| (v - mean) / std).collect()
+}
+
+fn main() {
+    let cfg = config();
+    let dataset = prep(reddit());
+    println!("Figure 13 — anomaly scores over time for a state-flipping user");
+
+    // SPLASH.
+    let splash_out = run_splash(&dataset, &cfg);
+    let (test_start, _) = splash_out.test_range;
+    let test_queries = &dataset.queries[test_start..];
+
+    // Find a target user whose test-period state flips and has many queries.
+    let mut best: Option<(u32, usize)> = None;
+    let mut per_user: std::collections::HashMap<u32, (usize, bool, bool)> = Default::default();
+    for q in test_queries {
+        let e = per_user.entry(q.node).or_insert((0, false, false));
+        e.0 += 1;
+        if q.label.class() == 0 {
+            e.1 = true;
+        } else {
+            e.2 = true;
+        }
+    }
+    // Prefer users with a substantial abnormal episode (≥ 10 abnormal
+    // queries) and many total queries.
+    let mut abn_counts: std::collections::HashMap<u32, usize> = Default::default();
+    for q in test_queries {
+        if q.label.class() == 1 {
+            *abn_counts.entry(q.node).or_default() += 1;
+        }
+    }
+    for (&node, &(count, has_norm, has_abn)) in &per_user {
+        let abn = abn_counts.get(&node).copied().unwrap_or(0);
+        if has_norm && has_abn && abn >= 10 && best.is_none_or(|(_, c)| count > c) {
+            best = Some((node, count));
+        }
+    }
+    let Some((target, count)) = best else {
+        println!("no state-flipping user in the test period — rerun with SPLASH_SCALE=1");
+        return;
+    };
+    println!("target user: {target} ({count} test queries)");
+
+    // Baselines: DyGFormer+RF, FreeDyG+RF, TGAT (plain), per the paper.
+    let cap_rf = capture(&dataset, InputFeatures::RawRandom, &cfg, SEEN_FRAC);
+    let cap_plain = capture(&dataset, InputFeatures::External, &cfg, SEEN_FRAC);
+    let mut outputs = Vec::new();
+    for (kind, cap, label) in [
+        (BaselineKind::DyGFormer, &cap_rf, "dygformer+RF"),
+        (BaselineKind::FreeDyG, &cap_rf, "freedyg+RF"),
+        (BaselineKind::Tgat, &cap_plain, "tgat"),
+    ] {
+        let mut model = build_baseline(kind, cap.feat_dim, cap.edge_feat_dim, 2, &cfg);
+        let out = run_baseline(model.as_mut(), &dataset, cap, &cfg, "");
+        eprintln!("  {label} done (AUC {:.3})", out.metric);
+        outputs.push((label, scores(&out.test_logits)));
+    }
+    let splash_scores = scores(&splash_out.test_logits);
+
+    let mut lines = Vec::new();
+    for (i, q) in test_queries.iter().enumerate() {
+        if q.node != target {
+            continue;
+        }
+        let mut cells = vec![
+            format!("{:.1}", q.time),
+            format!("{}", q.label.class()),
+            format!("{:.4}", splash_scores[i]),
+        ];
+        for (_, s) in &outputs {
+            cells.push(format!("{:.4}", s[i]));
+        }
+        lines.push(cells.join(","));
+    }
+    print_csv("time,true_state,SPLASH,dygformer+RF,freedyg+RF,tgat", &lines);
+
+    // Summary: mean score while normal vs while abnormal for each model.
+    let summarize = |name: &str, s: &[f64]| {
+        let (mut sn, mut cn, mut sa, mut ca) = (0.0, 0usize, 0.0, 0usize);
+        for (i, q) in test_queries.iter().enumerate() {
+            if q.node != target {
+                continue;
+            }
+            if q.label.class() == 0 {
+                sn += s[i];
+                cn += 1;
+            } else {
+                sa += s[i];
+                ca += 1;
+            }
+        }
+        println!(
+            "{name:<14} mean score normal {:.4} | abnormal {:.4} | separation {:+.4}",
+            sn / cn.max(1) as f64,
+            sa / ca.max(1) as f64,
+            sa / ca.max(1) as f64 - sn / cn.max(1) as f64
+        );
+    };
+    summarize("SPLASH", &splash_scores);
+    for (name, s) in &outputs {
+        summarize(name, s);
+    }
+}

@@ -1,0 +1,94 @@
+//! Figure 14: node representations on the Email-EU analogue — t-SNE layouts
+//! and silhouette scores for SPLASH vs TGAT+RF vs TGN+RF.
+
+use baselines::{build_baseline, run_baseline, BaselineKind};
+use bench::{config, prep};
+use datasets::email_eu;
+use eval::{pca, silhouette_score, tsne, TsneConfig};
+use nn::Matrix;
+use splash::{
+    capture, predict_slim, represent_slim, select_features, train_slim, InputFeatures, SEEN_FRAC,
+};
+
+/// Keeps each node's *last* test representation and its label; caps at
+/// `max_nodes` nodes for the O(n²) analyses.
+fn last_per_node(
+    reps: &Matrix,
+    queries: &[ctdg::PropertyQuery],
+    max_nodes: usize,
+) -> (Matrix, Vec<usize>) {
+    let mut last: std::collections::HashMap<u32, usize> = Default::default();
+    for (i, q) in queries.iter().enumerate() {
+        last.insert(q.node, i);
+    }
+    let mut picked: Vec<(u32, usize)> = last.into_iter().collect();
+    picked.sort_unstable();
+    picked.truncate(max_nodes);
+    let mut out = Matrix::zeros(picked.len(), reps.cols());
+    let mut labels = Vec::with_capacity(picked.len());
+    for (row, &(_, qi)) in picked.iter().enumerate() {
+        out.set_row(row, reps.row(qi));
+        labels.push(queries[qi].label.class());
+    }
+    (out, labels)
+}
+
+fn analyze(name: &str, reps: &Matrix, labels: &[usize]) {
+    let reduced = pca(reps, 16.min(reps.cols()));
+    let layout = tsne(&reduced, &TsneConfig { perplexity: 15.0, iterations: 300, ..Default::default() });
+    let raw_sil = silhouette_score(reps, labels);
+    let layout_sil = silhouette_score(&layout, labels);
+    println!(
+        "{name:<12} silhouette(raw reps) {raw_sil:+.4} | silhouette(t-SNE layout) {layout_sil:+.4} | {} nodes",
+        labels.len()
+    );
+}
+
+fn main() {
+    let cfg = config();
+    let dataset = prep(email_eu());
+    println!("Figure 14 — representation quality on {}", dataset.name);
+    let n = dataset.queries.len();
+    let (_, val_end) = splash::split_bounds(n);
+    let test_queries = &dataset.queries[val_end..];
+
+    // SPLASH representations (Eq. 18 outputs).
+    let report = select_features(&dataset, &cfg, SEEN_FRAC);
+    let cap = capture(&dataset, InputFeatures::Process(report.selected), &cfg, SEEN_FRAC);
+    let (train_end, _) = splash::split_bounds(cap.queries.len());
+    let (model, _) = train_slim(&cap, &dataset, &cap.queries[..train_end], &cfg);
+    let test_cap = &cap.queries[val_end..];
+    let logits = predict_slim(&model, test_cap, 256);
+    let labels_ref: Vec<&ctdg::Label> = test_cap.iter().map(|q| &q.label).collect();
+    eprintln!(
+        "  SPLASH trained (selected {}, F1 {:.3})",
+        report.selected.name(),
+        splash::task::evaluate(dataset.task, &logits, &labels_ref)
+    );
+    let reps = represent_slim(&model, test_cap, 256);
+    let (r, l) = last_per_node(&reps, test_queries, 200);
+    analyze("SPLASH", &r, &l);
+
+    // TGAT+RF and TGN+RF representations.
+    let cap_rf = capture(&dataset, InputFeatures::RawRandom, &cfg, SEEN_FRAC);
+    for kind in [BaselineKind::Tgat, BaselineKind::Tgn] {
+        let out_dim = dataset.num_classes;
+        let mut model = build_baseline(kind, cap_rf.feat_dim, cap_rf.edge_feat_dim, out_dim, &cfg);
+        let out = run_baseline(model.as_mut(), &dataset, &cap_rf, &cfg, "+RF");
+        eprintln!("  {} trained (F1 {:.3})", out.name, out.metric);
+        // Representations over the test split, batched.
+        let test_cap = &cap_rf.queries[val_end..];
+        let mut blocks = Vec::new();
+        let mut pos = 0;
+        while pos < test_cap.len() {
+            let end = (pos + 256).min(test_cap.len());
+            let refs: Vec<&splash::CapturedQuery> = test_cap[pos..end].iter().collect();
+            blocks.push(model.represent_batch(&refs));
+            pos = end;
+        }
+        let refs: Vec<&Matrix> = blocks.iter().collect();
+        let reps = Matrix::concat_rows(&refs);
+        let (r, l) = last_per_node(&reps, test_queries, 200);
+        analyze(&out.name, &r, &l);
+    }
+}

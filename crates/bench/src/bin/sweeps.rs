@@ -1,0 +1,126 @@
+//! Hyperparameter ablation sweeps for the design choices DESIGN.md calls
+//! out: the recent-neighbor memory size `k` (Eq. 6), the degree-encoding
+//! resolution `α` (Eq. 3), the skip-connection weight `λ_s` (Eq. 18), the
+//! feature dimension `d_v`, and the number of chronological validation
+//! splits in the feature selector (§IV-B footnote 1).
+//!
+//! Each sweep varies one knob around the paper-default configuration on the
+//! Reddit analogue (SLIM + structural features, the Table IV winner there),
+//! except the split-count sweep which exercises the selector itself.
+
+use bench::{config, prep, print_csv};
+use datasets::reddit;
+use splash::{
+    run_slim_with, select_features_with_splits, FeatureProcess, InputFeatures, SEEN_FRAC,
+    SPLIT_FRACTIONS,
+};
+
+fn main() {
+    let base = config();
+    let dataset = prep(reddit());
+    let mode = InputFeatures::Process(FeatureProcess::Structural);
+    println!("Ablation sweeps on {} (SLIM + structural features, AUC)", dataset.name);
+
+    // Sweep 1: recent-neighbor memory size k.
+    let mut lines = Vec::new();
+    for k in [2usize, 5, 10, 20] {
+        let mut cfg = base;
+        cfg.k = k;
+        let out = run_slim_with(&dataset, &cfg, mode);
+        eprintln!("  k={k}: {:.4}", out.metric);
+        lines.push(format!("{k},{:.4},{:.3}", out.metric, out.infer_secs));
+    }
+    print_csv("k,auc,infer_secs", &lines);
+
+    // Sweep 2: degree-encoding resolution α (Eq. 3). Too small → noisy
+    // high-frequency encodings; too large → smoothed-out degree detail.
+    let mut lines = Vec::new();
+    for alpha in [5.0f32, 20.0, 50.0, 200.0, 1000.0] {
+        let mut cfg = base;
+        cfg.degree_alpha = alpha;
+        let out = run_slim_with(&dataset, &cfg, mode);
+        eprintln!("  alpha={alpha}: {:.4}", out.metric);
+        lines.push(format!("{alpha},{:.4}", out.metric));
+    }
+    print_csv("degree_alpha,auc", &lines);
+
+    // Sweep 3: skip-connection weight λ_s (Eq. 18; 0 disables the skip).
+    let mut lines = Vec::new();
+    for lambda in [0.0f32, 0.25, 0.5, 1.0, 2.0] {
+        let mut cfg = base;
+        cfg.lambda_s = lambda;
+        let out = run_slim_with(&dataset, &cfg, mode);
+        eprintln!("  lambda_s={lambda}: {:.4}", out.metric);
+        lines.push(format!("{lambda},{:.4}", out.metric));
+    }
+    print_csv("lambda_s,auc", &lines);
+
+    // Sweep 4: feature dimension d_v (node2vec dims follow d_v).
+    let mut lines = Vec::new();
+    for dv in [8usize, 16, 32, 64] {
+        let mut cfg = base;
+        cfg.feat_dim = dv;
+        cfg.node2vec = embed::Node2VecConfig::fast(dv);
+        let out = run_slim_with(&dataset, &cfg, mode);
+        eprintln!("  d_v={dv}: {:.4}", out.metric);
+        lines.push(format!("{dv},{:.4},{}", out.metric, out.num_params));
+    }
+    print_csv("feat_dim,auc,params", &lines);
+
+    // Sweep 5: the positional Embedding function of Eq. 1. The paper uses
+    // node2vec; DeepWalk is its p = q = 1 special case (uniform second-order
+    // walks), q > 1 biases walks toward BFS-like locality, and GraRep
+    // (§II-D's cited alternative) factorizes log transition powers. Run on
+    // the Email-EU analogue, where positional features carry the labels.
+    let email = prep(datasets::email_eu());
+    let mode_p = InputFeatures::Process(FeatureProcess::Positional);
+    let mut lines = Vec::new();
+    for (name, p, q) in [
+        ("node2vec(q=0.5)", 1.0f32, 0.5f32),
+        ("deepwalk(p=q=1)", 1.0, 1.0),
+        ("bfs-biased(q=2)", 1.0, 2.0),
+    ] {
+        let mut cfg = base;
+        cfg.node2vec.walk.p = p;
+        cfg.node2vec.walk.q = q;
+        let out = run_slim_with(&email, &cfg, mode_p);
+        eprintln!("  {name}: {:.4}", out.metric);
+        lines.push(format!("{name},{:.4}", out.metric));
+    }
+    for steps in [1usize, 2, 4] {
+        let mut cfg = base;
+        cfg.positional = splash::PositionalSource::GraRep(embed::GraRepConfig {
+            dim: cfg.feat_dim,
+            transition_steps: steps,
+            svd_iters: 3,
+        });
+        let out = run_slim_with(&email, &cfg, mode_p);
+        eprintln!("  grarep(K={steps}): {:.4}", out.metric);
+        lines.push(format!("grarep(K={steps}),{:.4}", out.metric));
+    }
+    print_csv("embedding,f1", &lines);
+
+    // Sweep 6: number of validation splits in the selector. The paper uses
+    // five (10/90 … 90/10); fewer splits make selection cheaper but less
+    // robust to the shift intensity of any single split.
+    let split_sets: [&[f64]; 3] = [&[0.5], &[0.3, 0.7], &SPLIT_FRACTIONS];
+    let mut lines = Vec::new();
+    for splits in split_sets {
+        let report = select_features_with_splits(&dataset, &base, SEEN_FRAC, splits);
+        eprintln!(
+            "  {} splits: selected {} (risks {:?})",
+            splits.len(),
+            report.selected.name(),
+            report.risks
+        );
+        lines.push(format!(
+            "{},{},{:.4},{:.4},{:.4}",
+            splits.len(),
+            report.selected.name(),
+            report.risks[0],
+            report.risks[1],
+            report.risks[2]
+        ));
+    }
+    print_csv("num_splits,selected,risk_R,risk_P,risk_S", &lines);
+}

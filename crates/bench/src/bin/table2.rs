@@ -1,0 +1,11 @@
+//! Table II: statistics of the seven dataset analogues.
+
+use datasets::{all_benchmarks, DatasetStats};
+
+fn main() {
+    println!("Table II — dataset statistics (synthetic analogues, scaled down)");
+    println!("{}", DatasetStats::table_header());
+    for dataset in all_benchmarks() {
+        println!("{}", DatasetStats::compute(&dataset).table_row());
+    }
+}

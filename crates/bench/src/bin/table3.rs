@@ -1,0 +1,20 @@
+//! Table III: main accuracy comparison — eight baselines, their `+RF`
+//! variants, and SPLASH, across all seven dataset analogues.
+
+use bench::{config, metric_name, prep, print_rows, run_suite};
+use datasets::all_benchmarks;
+
+fn main() {
+    let cfg = config();
+    println!("Table III — node property prediction performance");
+    for dataset in all_benchmarks() {
+        let dataset = prep(dataset);
+        eprintln!("dataset {} ({} queries)…", dataset.name, dataset.queries.len());
+        let rows = run_suite(&dataset, &cfg);
+        print_rows(
+            &format!("{} ({})", dataset.name, metric_name(dataset.task)),
+            metric_name(dataset.task),
+            &rows,
+        );
+    }
+}

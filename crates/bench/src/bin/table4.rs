@@ -1,0 +1,45 @@
+//! Table IV: ablation — SLIM+ZF / +RF / +Process R / P / S / +Joint vs the
+//! full SPLASH pipeline (with automatic selection), on all seven datasets.
+
+use bench::{config, metric_name, prep, print_rows, Row};
+use datasets::all_benchmarks;
+use splash::{run_slim_with, run_splash, FeatureProcess, InputFeatures};
+
+fn main() {
+    let cfg = config();
+    println!("Table IV — ablation of feature augmentation and selection");
+    for dataset in all_benchmarks() {
+        let dataset = prep(dataset);
+        eprintln!("dataset {}…", dataset.name);
+        let variants = [
+            ("SLIM+ZF", InputFeatures::Zero),
+            ("SLIM+RF", InputFeatures::RawRandom),
+            ("SLIM+ProcessR", InputFeatures::Process(FeatureProcess::Random)),
+            ("SLIM+ProcessP", InputFeatures::Process(FeatureProcess::Positional)),
+            ("SLIM+ProcessS", InputFeatures::Process(FeatureProcess::Structural)),
+            ("SLIM+Joint", InputFeatures::Joint),
+        ];
+        let mut rows = Vec::new();
+        for (name, mode) in variants {
+            let out = run_slim_with(&dataset, &cfg, mode);
+            rows.push(Row {
+                name: name.into(),
+                metric: out.metric,
+                params: out.num_params,
+                train_secs: out.train_secs,
+                infer_secs: out.infer_secs,
+            });
+            eprintln!("  done {name}");
+        }
+        let out = run_splash(&dataset, &cfg);
+        let selected = out.selected.map(|p| p.name()).unwrap_or("?");
+        let mut row = Row::from_splash(&out);
+        row.name = format!("SPLASH (X*={selected})");
+        rows.push(row);
+        print_rows(
+            &format!("{} ({})", dataset.name, metric_name(dataset.task)),
+            metric_name(dataset.task),
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! Shared harness for the per-table / per-figure experiment binaries.
+//!
+//! Every binary regenerates one table or figure of the paper's §V (see
+//! DESIGN.md §3 for the index). The environment variable `SPLASH_SCALE`
+//! (0 < scale ≤ 1, default 1.0) truncates every dataset chronologically for
+//! quick smoke runs, and `SPLASH_EPOCHS` overrides the training epochs.
+
+pub mod attn_slim;
+
+pub use attn_slim::AttnSlim;
+
+use baselines::{run_on_capture, BaselineKind, BaselineOutput};
+use datasets::{Dataset, Task};
+use splash::{capture, run_splash, InputFeatures, SplashConfig, SplashOutput, SEEN_FRAC};
+
+/// One result row shared by the harness tables.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Model name (with feature-mode suffix).
+    pub name: String,
+    /// Test metric (task-dependent; higher is better).
+    pub metric: f64,
+    /// Trainable parameter count.
+    pub params: usize,
+    /// Training seconds.
+    pub train_secs: f64,
+    /// Test-inference seconds.
+    pub infer_secs: f64,
+}
+
+impl From<BaselineOutput> for Row {
+    fn from(o: BaselineOutput) -> Self {
+        Row {
+            name: o.name,
+            metric: o.metric,
+            params: o.num_params,
+            train_secs: o.train_secs,
+            infer_secs: o.infer_secs,
+        }
+    }
+}
+
+impl Row {
+    /// Builds a row from a SPLASH pipeline output.
+    pub fn from_splash(o: &SplashOutput) -> Self {
+        Row {
+            name: "SPLASH".into(),
+            metric: o.metric,
+            params: o.num_params,
+            train_secs: o.train_secs,
+            infer_secs: o.infer_secs,
+        }
+    }
+}
+
+/// Scale factor from `SPLASH_SCALE` (default 1.0).
+pub fn scale() -> f64 {
+    std::env::var("SPLASH_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|&s| s > 0.0 && s <= 1.0)
+        .unwrap_or(1.0)
+}
+
+/// The harness-wide experiment configuration (paper defaults, with an
+/// optional `SPLASH_EPOCHS` override).
+pub fn config() -> SplashConfig {
+    let mut cfg = SplashConfig::default();
+    if let Some(e) = std::env::var("SPLASH_EPOCHS").ok().and_then(|s| s.parse().ok()) {
+        cfg.epochs = e;
+    }
+    cfg
+}
+
+/// Applies `SPLASH_SCALE` truncation to a dataset.
+pub fn prep(dataset: Dataset) -> Dataset {
+    let s = scale();
+    if s >= 1.0 {
+        dataset
+    } else {
+        splash::truncate_to_available(&dataset, s)
+    }
+}
+
+/// The paper's metric name for a task.
+pub fn metric_name(task: Task) -> &'static str {
+    match task {
+        Task::Anomaly => "AUC",
+        Task::Classification => "F1",
+        Task::Affinity => "NDCG@10",
+    }
+}
+
+/// Runs the full Table III model suite on one dataset: every applicable
+/// baseline plain and `+RF`, then SPLASH.
+pub fn run_suite(dataset: &Dataset, cfg: &SplashConfig) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let cap_plain = capture(dataset, InputFeatures::External, cfg, SEEN_FRAC);
+    let cap_rf = capture(dataset, InputFeatures::RawRandom, cfg, SEEN_FRAC);
+    for kind in BaselineKind::ALL {
+        if !kind.supports(dataset.task) {
+            continue;
+        }
+        rows.push(run_on_capture(kind, dataset, &cap_plain, InputFeatures::External, cfg).into());
+        eprintln!("  done {} plain", kind.name());
+    }
+    for kind in BaselineKind::ALL {
+        if !kind.supports(dataset.task) {
+            continue;
+        }
+        rows.push(run_on_capture(kind, dataset, &cap_rf, InputFeatures::RawRandom, cfg).into());
+        eprintln!("  done {}+RF", kind.name());
+    }
+    let splash_out = run_splash(dataset, cfg);
+    eprintln!(
+        "  done SPLASH (selected {:?})",
+        splash_out.selected.map(|p| p.name())
+    );
+    rows.push(Row::from_splash(&splash_out));
+    rows
+}
+
+/// Prints an aligned metric table; highlights the best row with `*`.
+pub fn print_rows(title: &str, metric: &str, rows: &[Row]) {
+    println!("\n== {title} ==");
+    println!(
+        "{:<16} {:>10} {:>10} {:>12} {:>12}",
+        "model", metric, "#params", "train (s)", "infer (s)"
+    );
+    let best = rows
+        .iter()
+        .map(|r| r.metric)
+        .fold(f64::NEG_INFINITY, f64::max);
+    for r in rows {
+        let mark = if (r.metric - best).abs() < 1e-12 { "*" } else { " " };
+        println!(
+            "{:<16} {:>9.4}{} {:>10} {:>12.2} {:>12.3}",
+            r.name, r.metric, mark, r.params, r.train_secs, r.infer_secs
+        );
+    }
+}
+
+/// Prints a simple CSV block (for plotting figures).
+pub fn print_csv(header: &str, lines: &[String]) {
+    println!("\n--- csv ---");
+    println!("{header}");
+    for l in lines {
+        println!("{l}");
+    }
+    println!("--- end csv ---");
+}

@@ -1,0 +1,151 @@
+//! A small dependency-free argument parser for the `splash` binary:
+//! `--key value` flags and positional arguments, with typed accessors and
+//! unknown-flag rejection.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed command line: the subcommand, positional arguments, and
+/// `--key value` options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The first positional token (the subcommand).
+    pub command: Option<String>,
+    /// Remaining positional tokens.
+    pub positional: Vec<String>,
+    flags: BTreeMap<String, String>,
+    consumed: std::cell::RefCell<Vec<String>>,
+}
+
+/// A CLI usage error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses raw tokens (without the program name). Every `--key` must be
+    /// followed by a value token.
+    pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Self, ArgError> {
+        let mut out = Args::default();
+        let mut it = tokens.into_iter();
+        while let Some(tok) = it.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                if key.is_empty() {
+                    return Err(ArgError("empty flag name '--'".into()));
+                }
+                let value = it
+                    .next()
+                    .ok_or_else(|| ArgError(format!("flag --{key} expects a value")))?;
+                if out.flags.insert(key.to_string(), value).is_some() {
+                    return Err(ArgError(format!("flag --{key} given twice")));
+                }
+            } else if out.command.is_none() {
+                out.command = Some(tok);
+            } else {
+                out.positional.push(tok);
+            }
+        }
+        Ok(out)
+    }
+
+    /// String flag value, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        let v = self.flags.get(key).map(String::as_str);
+        if v.is_some() {
+            self.consumed.borrow_mut().push(key.to_string());
+        }
+        v
+    }
+
+    /// Required string flag.
+    pub fn require(&self, key: &str) -> Result<&str, ArgError> {
+        self.get(key)
+            .ok_or_else(|| ArgError(format!("missing required flag --{key}")))
+    }
+
+    /// Typed flag with a default.
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError>
+    where
+        T::Err: fmt::Display,
+    {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse::<T>()
+                .map_err(|e| ArgError(format!("--{key} {raw:?}: {e}"))),
+        }
+    }
+
+    /// Errors on any flag that was parsed but never read by the subcommand —
+    /// catches typos like `--epoch` for `--epochs`.
+    pub fn reject_unused(&self) -> Result<(), ArgError> {
+        let consumed = self.consumed.borrow();
+        for key in self.flags.keys() {
+            if !consumed.iter().any(|c| c == key) {
+                return Err(ArgError(format!("unknown flag --{key}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_command_positionals_and_flags() {
+        let a = Args::parse(toks("run extra --epochs 5 --task anomaly")).unwrap();
+        assert_eq!(a.command.as_deref(), Some("run"));
+        assert_eq!(a.positional, vec!["extra"]);
+        assert_eq!(a.get("epochs"), Some("5"));
+        assert_eq!(a.get("task"), Some("anomaly"));
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let err = Args::parse(toks("run --epochs")).unwrap_err();
+        assert!(err.0.contains("--epochs"));
+    }
+
+    #[test]
+    fn duplicate_flag_is_an_error() {
+        let err = Args::parse(toks("run --k 1 --k 2")).unwrap_err();
+        assert!(err.0.contains("twice"));
+    }
+
+    #[test]
+    fn typed_access_with_default() {
+        let a = Args::parse(toks("run --k 7")).unwrap();
+        assert_eq!(a.get_parsed("k", 10usize).unwrap(), 7);
+        assert_eq!(a.get_parsed("epochs", 10usize).unwrap(), 10);
+        let bad = Args::parse(toks("run --k nope")).unwrap();
+        assert!(bad.get_parsed("k", 1usize).is_err());
+    }
+
+    #[test]
+    fn unused_flags_are_rejected() {
+        let a = Args::parse(toks("run --epoch 5")).unwrap();
+        assert!(a.reject_unused().is_err());
+        let b = Args::parse(toks("run --epochs 5")).unwrap();
+        let _ = b.get("epochs");
+        assert!(b.reject_unused().is_ok());
+    }
+
+    #[test]
+    fn require_reports_missing() {
+        let a = Args::parse(toks("run")).unwrap();
+        assert!(a.require("edges").is_err());
+    }
+}

@@ -1,0 +1,455 @@
+//! Subcommand implementations for the `splash` binary.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use baselines::{run as run_baseline, run_dtdg, BaselineKind, DtdgKind};
+use ctdg::Label;
+use datasets::{
+    edges_from_csv, export_csv, queries_from_csv, Dataset, DatasetStats, Task,
+};
+use splash::{
+    capture, load_model, predict_slim, run_slim_with, run_splash, save_model, split_bounds,
+    FeatureProcess, InputFeatures, SplashConfig, SEEN_FRAC,
+};
+
+use crate::args::{ArgError, Args};
+
+/// The user-facing usage text.
+pub fn usage() -> String {
+    "splash — node property prediction on edge streams (SPLASH reproduction)
+
+USAGE:
+  splash generate --dataset <name|all> --out <dir>
+  splash stats    --edges <csv> --queries <csv> --task <task> [--classes N]
+  splash run      --edges <csv> --queries <csv> --task <task> [--classes N]
+                  [--features auto|R|P|S|RF|ZF|joint] [--epochs N] [--k N]
+                  [--dv N] [--hidden N] [--seed N] [--save <model.bin>]
+  splash predict  --model-file <model.bin> --edges <csv> --queries <csv>
+                  --task <task> [--scores <out.csv>]
+  splash baseline --model <name> --edges <csv> --queries <csv> --task <task>
+                  [--classes N] [--features plain|RF] [--epochs N] [--seed N]
+  splash drift    --edges <csv> --queries <csv> --task <task> [--buckets N]
+
+  <task>  anomaly | classification | affinity
+  <name>  reddit | wiki | mooc | email-eu | gdelt | tgbn-trade | tgbn-genre
+  <model> jodie | dysat | tgat | tgn | graphmixer | dygformer | freedyg |
+          slade | dida | slid
+"
+    .to_string()
+}
+
+/// Parses and executes one command line; returns the rendered report.
+pub fn dispatch(tokens: Vec<String>) -> Result<String, ArgError> {
+    let args = Args::parse(tokens)?;
+    let out = match args.command.as_deref() {
+        Some("generate") => cmd_generate(&args)?,
+        Some("stats") => cmd_stats(&args)?,
+        Some("run") => cmd_run(&args)?,
+        Some("predict") => cmd_predict(&args)?,
+        Some("baseline") => cmd_baseline(&args)?,
+        Some("drift") => cmd_drift(&args)?,
+        Some("help") | None => return Ok(usage()),
+        Some(other) => return Err(ArgError(format!("unknown command {other:?}\n\n{}", usage()))),
+    };
+    args.reject_unused()?;
+    Ok(out)
+}
+
+fn parse_task(raw: &str) -> Result<Task, ArgError> {
+    match raw {
+        "anomaly" => Ok(Task::Anomaly),
+        "classification" => Ok(Task::Classification),
+        "affinity" => Ok(Task::Affinity),
+        other => Err(ArgError(format!(
+            "unknown task {other:?} (anomaly | classification | affinity)"
+        ))),
+    }
+}
+
+/// Loads a dataset from the two-file CSV interchange format. When
+/// `classes` is `None`, the label cardinality is inferred from the queries.
+pub fn load_dataset(
+    edges_path: &Path,
+    queries_path: &Path,
+    task: Task,
+    classes: Option<usize>,
+) -> Result<Dataset, ArgError> {
+    let read = |p: &Path| {
+        std::fs::read_to_string(p).map_err(|e| ArgError(format!("{}: {e}", p.display())))
+    };
+    let stream = edges_from_csv(&read(edges_path)?)
+        .map_err(|e| ArgError(format!("{}: {e}", edges_path.display())))?;
+    let queries = queries_from_csv(&read(queries_path)?, task)
+        .map_err(|e| ArgError(format!("{}: {e}", queries_path.display())))?;
+    if queries.is_empty() {
+        return Err(ArgError("the query file contains no queries".into()));
+    }
+    let num_classes = match classes {
+        Some(c) => c,
+        None => match task {
+            Task::Affinity => queries[0].label.affinity().len(),
+            _ => queries
+                .iter()
+                .map(|q| q.label.class() + 1)
+                .max()
+                .unwrap_or(2)
+                .max(2),
+        },
+    };
+    let dataset = Dataset {
+        name: edges_path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "cli".into()),
+        task,
+        stream,
+        queries,
+        num_classes,
+        node_feats: None,
+    };
+    // Surface label/task mismatches as CLI errors instead of panics.
+    for q in &dataset.queries {
+        match (task, &q.label) {
+            (Task::Affinity, Label::Affinity(a)) if a.len() == num_classes => {}
+            (Task::Anomaly | Task::Classification, Label::Class(c)) if *c < num_classes => {}
+            _ => {
+                return Err(ArgError(format!(
+                    "query at t={} has a label incompatible with task/classes",
+                    q.time
+                )))
+            }
+        }
+    }
+    Ok(dataset)
+}
+
+fn config_from(args: &Args) -> Result<SplashConfig, ArgError> {
+    let mut cfg = SplashConfig::default();
+    cfg.epochs = args.get_parsed("epochs", cfg.epochs)?;
+    cfg.k = args.get_parsed("k", cfg.k)?;
+    cfg.feat_dim = args.get_parsed("dv", cfg.feat_dim)?;
+    cfg.node2vec = embed::Node2VecConfig::fast(cfg.feat_dim);
+    cfg.hidden = args.get_parsed("hidden", cfg.hidden)?;
+    cfg.seed = args.get_parsed("seed", cfg.seed)?;
+    Ok(cfg)
+}
+
+fn load_from(args: &Args) -> Result<(Dataset, Task), ArgError> {
+    let task = parse_task(args.require("task")?)?;
+    let classes = match args.get("classes") {
+        None => None,
+        Some(raw) => Some(
+            raw.parse::<usize>()
+                .map_err(|e| ArgError(format!("--classes {raw:?}: {e}")))?,
+        ),
+    };
+    let edges = args.require("edges")?.to_string();
+    let queries = args.require("queries")?.to_string();
+    let d = load_dataset(Path::new(&edges), Path::new(&queries), task, classes)?;
+    Ok((d, task))
+}
+
+fn metric_name(task: Task) -> &'static str {
+    match task {
+        Task::Anomaly => "AUC",
+        Task::Classification => "weighted F1",
+        Task::Affinity => "NDCG@10",
+    }
+}
+
+fn cmd_generate(args: &Args) -> Result<String, ArgError> {
+    let which = args.require("dataset")?.to_string();
+    let out_dir = args.require("out")?.to_string();
+    let all = datasets::all_benchmarks();
+    let selected: Vec<Dataset> = if which == "all" {
+        all
+    } else {
+        let found = all.into_iter().find(|d| d.name == which);
+        vec![found.ok_or_else(|| ArgError(format!("unknown dataset {which:?}")))?]
+    };
+    let mut report = String::new();
+    for d in &selected {
+        export_csv(d, Path::new(&out_dir)).map_err(|e| ArgError(format!("{out_dir}: {e}")))?;
+        let _ = writeln!(
+            report,
+            "wrote {out_dir}/{name}.edges.csv and {out_dir}/{name}.queries.csv ({} edges, {} queries)",
+            d.stream.len(),
+            d.queries.len(),
+            name = d.name,
+        );
+    }
+    Ok(report)
+}
+
+fn cmd_stats(args: &Args) -> Result<String, ArgError> {
+    let (dataset, _) = load_from(args)?;
+    let stats = DatasetStats::compute(&dataset);
+    Ok(format!("{}\n{}\n", DatasetStats::table_header(), stats.table_row()))
+}
+
+fn parse_features(raw: &str) -> Result<Option<InputFeatures>, ArgError> {
+    Ok(Some(match raw {
+        "auto" => return Ok(None),
+        "R" => InputFeatures::Process(FeatureProcess::Random),
+        "P" => InputFeatures::Process(FeatureProcess::Positional),
+        "S" => InputFeatures::Process(FeatureProcess::Structural),
+        "RF" => InputFeatures::RawRandom,
+        "ZF" => InputFeatures::Zero,
+        "joint" => InputFeatures::Joint,
+        other => {
+            return Err(ArgError(format!(
+                "unknown feature mode {other:?} (auto|R|P|S|RF|ZF|joint)"
+            )))
+        }
+    }))
+}
+
+fn cmd_run(args: &Args) -> Result<String, ArgError> {
+    let (dataset, task) = load_from(args)?;
+    let cfg = config_from(args)?;
+    let mode = parse_features(args.get("features").unwrap_or("auto"))?;
+    let save_path = args.get("save").map(String::from);
+    let out = match mode {
+        None => run_splash(&dataset, &cfg),
+        Some(m) => run_slim_with(&dataset, &cfg, m),
+    };
+    let mut report = String::new();
+    let _ = writeln!(report, "dataset        : {} ({} queries)", dataset.name, dataset.queries.len());
+    if let (Some(sel), Some(risks)) = (out.selected, out.risks) {
+        let _ = writeln!(report, "selected       : process {} (risks R/P/S = {:.4}/{:.4}/{:.4})",
+            sel.name(), risks[0], risks[1], risks[2]);
+    }
+    let _ = writeln!(report, "test {:<10}: {:.4}", metric_name(task), out.metric);
+    let _ = writeln!(report, "parameters     : {}", out.num_params);
+    let _ = writeln!(report, "train/infer (s): {:.2} / {:.3}", out.train_secs, out.infer_secs);
+
+    if let Some(path) = save_path {
+        // Retrain the same model deterministically through the lower-level
+        // path (the pipeline call above does not expose the model).
+        let final_mode = out
+            .selected
+            .map(InputFeatures::Process)
+            .or(mode)
+            .expect("run always resolves a feature mode");
+        let cap = capture(&dataset, final_mode, &cfg, SEEN_FRAC);
+        let (train_end, _) = split_bounds(cap.queries.len());
+        let (mut model, _) =
+            splash::train_slim(&cap, &dataset, &cap.queries[..train_end], &cfg);
+        let out_dim = splash::task::output_dim(dataset.task, dataset.num_classes);
+        save_model(
+            std::path::Path::new(&path),
+            &mut model,
+            &cfg,
+            final_mode,
+            cap.feat_dim,
+            cap.edge_feat_dim,
+            out_dim,
+        )
+        .map_err(|e| ArgError(format!("{path}: {e}")))?;
+        let _ = writeln!(report, "saved model    : {path} (mode {})", final_mode.name());
+    }
+    Ok(report)
+}
+
+fn cmd_predict(args: &Args) -> Result<String, ArgError> {
+    let model_path = args.require("model-file")?.to_string();
+    let saved = load_model(Path::new(&model_path))
+        .map_err(|e| ArgError(format!("{model_path}: {e}")))?;
+    let task = parse_task(args.require("task")?)?;
+    let edges = args.require("edges")?.to_string();
+    let queries = args.require("queries")?.to_string();
+    let dataset = load_dataset(
+        Path::new(&edges),
+        Path::new(&queries),
+        task,
+        Some(saved.out_dim),
+    )?;
+
+    let cap = capture(&dataset, saved.mode, &saved.cfg, SEEN_FRAC);
+    if cap.feat_dim != saved.feat_dim || cap.edge_feat_dim != saved.edge_feat_dim {
+        return Err(ArgError(format!(
+            "input dimensions ({} node / {} edge) do not match the saved model ({} / {})",
+            cap.feat_dim, cap.edge_feat_dim, saved.feat_dim, saved.edge_feat_dim
+        )));
+    }
+    let (_, val_end) = split_bounds(cap.queries.len());
+    let test = &cap.queries[val_end..];
+    let logits = predict_slim(&saved.model, test, 256);
+    let labels: Vec<&Label> = test.iter().map(|q| &q.label).collect();
+    let metric = splash::task::evaluate(dataset.task, &logits, &labels);
+
+    if let Some(scores_path) = args.get("scores") {
+        let mut csv = String::from("node,time");
+        for c in 0..logits.cols() {
+            let _ = write!(csv, ",s{c}");
+        }
+        csv.push('\n');
+        for (i, q) in test.iter().enumerate() {
+            let _ = write!(csv, "{},{}", q.node, q.time);
+            for &v in logits.row(i) {
+                let _ = write!(csv, ",{v}");
+            }
+            csv.push('\n');
+        }
+        std::fs::write(scores_path, csv).map_err(|e| ArgError(format!("{scores_path}: {e}")))?;
+    }
+
+    Ok(format!(
+        "model          : {model_path} (mode {})\nqueries scored : {} (test split of {})\ntest {:<10}: {metric:.4}\n",
+        saved.mode.name(),
+        test.len(),
+        cap.queries.len(),
+        metric_name(task),
+    ))
+}
+
+fn cmd_baseline(args: &Args) -> Result<String, ArgError> {
+    let (dataset, task) = load_from(args)?;
+    let cfg = config_from(args)?;
+    let model = args.require("model")?.to_string();
+    let mode = match args.get("features").unwrap_or("RF") {
+        "plain" => InputFeatures::External,
+        "RF" => InputFeatures::RawRandom,
+        other => {
+            return Err(ArgError(format!("unknown feature mode {other:?} (plain|RF)")))
+        }
+    };
+    let out = if let Some(kind) = baseline_kind(&model) {
+        if !kind.supports(dataset.task) {
+            return Err(ArgError(format!("{model} does not support the {task:?} task")));
+        }
+        run_baseline(kind, &dataset, mode, &cfg)
+    } else if let Some(kind) = dtdg_kind(&model) {
+        run_dtdg(kind, &dataset, mode, &cfg)
+    } else {
+        return Err(ArgError(format!("unknown model {model:?}\n\n{}", usage())));
+    };
+    Ok(format!(
+        "model          : {}\ntest {:<10}: {:.4}\nparameters     : {}\ntrain/infer (s): {:.2} / {:.3}\n",
+        out.name,
+        metric_name(task),
+        out.metric,
+        out.num_params,
+        out.train_secs,
+        out.infer_secs,
+    ))
+}
+
+fn cmd_drift(args: &Args) -> Result<String, ArgError> {
+    let (dataset, _) = load_from(args)?;
+    let buckets: usize = args.get_parsed("buckets", 8)?;
+    if buckets == 0 {
+        return Err(ArgError("--buckets must be positive".into()));
+    }
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "distribution-shift diagnostics for {} ({buckets} time buckets)",
+        dataset.name
+    );
+
+    // Positional drift of arrival cohorts in node2vec space.
+    let snap = ctdg::GraphSnapshot::from_stream_prefix(&dataset.stream, dataset.stream.len());
+    let emb = embed::node2vec(&snap, &embed::Node2VecConfig::fast(16), 7);
+    let cohorts = datasets::cohort_drift(&dataset, &emb, buckets);
+    let _ = writeln!(
+        report,
+        "positional : cumulative cohort drift {:.4} (cohort sizes {:?})",
+        cohorts.cumulative_drift, cohorts.counts
+    );
+
+    let deg = datasets::degree_trend(&dataset, buckets);
+    let _ = writeln!(
+        report,
+        "structural : avg degree {}",
+        deg.iter().map(|d| format!("{d:.1}")).collect::<Vec<_>>().join(" → ")
+    );
+    let pr = datasets::pagerank_concentration_trend(&dataset, buckets);
+    let _ = writeln!(
+        report,
+        "structural : top-decile PageRank mass {}",
+        pr.iter().map(|x| format!("{x:.3}")).collect::<Vec<_>>().join(" → ")
+    );
+
+    if dataset.task != Task::Affinity {
+        // Property shift: per-class occupancy of the most drifting class.
+        let drifts: Vec<(usize, f64)> = (0..dataset.num_classes)
+            .map(|c| {
+                let trend = datasets::label_ratio_trend(&dataset, c, buckets);
+                let spread = trend.iter().cloned().fold(f64::MIN, f64::max)
+                    - trend.iter().cloned().fold(f64::MAX, f64::min);
+                (c, spread)
+            })
+            .collect();
+        let (worst_class, spread) = drifts
+            .iter()
+            .cloned()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap_or((0, 0.0));
+        let trend = datasets::label_ratio_trend(&dataset, worst_class, buckets);
+        let _ = writeln!(
+            report,
+            "property   : class {worst_class} ratio {} (spread {spread:.3})",
+            trend.iter().map(|x| format!("{x:.3}")).collect::<Vec<_>>().join(" → ")
+        );
+    }
+    Ok(report)
+}
+
+fn baseline_kind(name: &str) -> Option<BaselineKind> {
+    BaselineKind::ALL.into_iter().find(|k| k.name() == name)
+}
+
+fn dtdg_kind(name: &str) -> Option<DtdgKind> {
+    DtdgKind::ALL.into_iter().find(|k| k.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn help_and_empty_print_usage() {
+        assert!(dispatch(toks("help")).unwrap().contains("USAGE"));
+        assert!(dispatch(vec![]).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let err = dispatch(toks("frobnicate")).unwrap_err();
+        assert!(err.0.contains("unknown command"));
+    }
+
+    #[test]
+    fn unknown_task_and_model_error() {
+        assert!(parse_task("anomaly").is_ok());
+        assert!(parse_task("nope").is_err());
+        assert!(baseline_kind("tgat").is_some());
+        assert!(baseline_kind("dida").is_none());
+        assert!(dtdg_kind("dida").is_some());
+    }
+
+    #[test]
+    fn feature_modes_parse() {
+        assert_eq!(parse_features("auto").unwrap(), None);
+        assert_eq!(parse_features("RF").unwrap(), Some(InputFeatures::RawRandom));
+        assert!(parse_features("XYZ").is_err());
+    }
+
+    #[test]
+    fn generate_rejects_unknown_dataset() {
+        let err = dispatch(toks("generate --dataset nope --out /tmp/x")).unwrap_err();
+        assert!(err.0.contains("unknown dataset"));
+    }
+
+    #[test]
+    fn run_requires_inputs() {
+        let err = dispatch(toks("run --task anomaly")).unwrap_err();
+        assert!(err.0.contains("--edges"));
+    }
+}

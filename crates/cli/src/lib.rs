@@ -1,0 +1,19 @@
+//! Command-line interface to the SPLASH reproduction.
+//!
+//! Four subcommands cover the bring-your-own-data workflow end to end:
+//!
+//! * `generate` — write any built-in dataset analogue to CSV;
+//! * `stats` — Table II-style statistics of a CSV dataset;
+//! * `run` — the full SPLASH pipeline (or a fixed-feature SLIM ablation) on
+//!   a CSV dataset, printing the selection report and test metric;
+//! * `baseline` — any Table III baseline (or DTDG method) on the same data.
+//!
+//! The library half is fully testable: [`dispatch`] takes raw argument
+//! tokens and returns the rendered report, so integration tests can drive
+//! the CLI without spawning processes.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{ArgError, Args};
+pub use commands::{dispatch, load_dataset, usage};

@@ -1,0 +1,198 @@
+//! End-to-end CLI tests: export a dataset to CSV, then drive every
+//! subcommand through `cli::dispatch` exactly as a shell user would.
+
+use std::path::PathBuf;
+
+use datasets::export_csv;
+use splash::truncate_to_available;
+
+fn toks(s: &str) -> Vec<String> {
+    s.split_whitespace().map(String::from).collect()
+}
+
+/// Writes a small classification dataset to a fresh temp dir and returns
+/// (dir, edges_path, queries_path).
+fn fixture(tag: &str) -> (PathBuf, String, String) {
+    let dir = std::env::temp_dir().join(format!("splash-cli-test-{tag}-{}", std::process::id()));
+    let mut dataset = truncate_to_available(&datasets::synthetic_shift(70, 5), 0.3);
+    dataset.name = "fixture".into();
+    export_csv(&dataset, &dir).expect("export");
+    let edges = dir.join("fixture.edges.csv").to_string_lossy().into_owned();
+    let queries = dir.join("fixture.queries.csv").to_string_lossy().into_owned();
+    (dir, edges, queries)
+}
+
+#[test]
+fn stats_reports_table2_columns() {
+    let (_dir, edges, queries) = fixture("stats");
+    let report = cli::dispatch(toks(&format!(
+        "stats --edges {edges} --queries {queries} --task classification"
+    )))
+    .expect("stats runs");
+    assert!(report.contains("#nodes"), "{report}");
+    assert!(report.contains("fixture"), "{report}");
+}
+
+#[test]
+fn run_auto_selects_and_reports_metric() {
+    let (_dir, edges, queries) = fixture("run");
+    let report = cli::dispatch(toks(&format!(
+        "run --edges {edges} --queries {queries} --task classification --epochs 2 --dv 8 --hidden 16 --k 4"
+    )))
+    .expect("run succeeds");
+    assert!(report.contains("selected"), "{report}");
+    assert!(report.contains("test weighted F1"), "{report}");
+    assert!(report.contains("parameters"), "{report}");
+}
+
+#[test]
+fn run_with_fixed_features_skips_selection() {
+    let (_dir, edges, queries) = fixture("fixed");
+    let report = cli::dispatch(toks(&format!(
+        "run --edges {edges} --queries {queries} --task classification --features RF --epochs 2 --dv 8 --hidden 16 --k 4"
+    )))
+    .expect("run succeeds");
+    assert!(!report.contains("selected"), "fixed mode must not select: {report}");
+    assert!(report.contains("test weighted F1"), "{report}");
+}
+
+#[test]
+fn run_save_then_predict_reproduces_the_metric() {
+    let (dir, edges, queries) = fixture("save");
+    let model_path = dir.join("model.bin");
+    let report = cli::dispatch(toks(&format!(
+        "run --edges {edges} --queries {queries} --task classification --features P \
+         --epochs 2 --dv 8 --hidden 16 --k 4 --save {}",
+        model_path.display()
+    )))
+    .expect("run --save succeeds");
+    assert!(report.contains("saved model"), "{report}");
+    let metric_line = report
+        .lines()
+        .find(|l| l.starts_with("test weighted F1"))
+        .expect("metric line");
+
+    let predict = cli::dispatch(toks(&format!(
+        "predict --model-file {} --edges {edges} --queries {queries} --task classification",
+        model_path.display()
+    )))
+    .expect("predict succeeds");
+    // The same dataset + stored config must reproduce the training run's
+    // test metric exactly (deterministic capture + deterministic model).
+    let predicted_line = predict
+        .lines()
+        .find(|l| l.starts_with("test weighted F1"))
+        .expect("metric line");
+    assert_eq!(
+        metric_line.split(':').nth(1).map(str::trim),
+        predicted_line.split(':').nth(1).map(str::trim),
+        "run: {report}\npredict: {predict}"
+    );
+}
+
+#[test]
+fn predict_writes_score_csv() {
+    let (dir, edges, queries) = fixture("scores");
+    let model_path = dir.join("model.bin");
+    cli::dispatch(toks(&format!(
+        "run --edges {edges} --queries {queries} --task classification --features RF \
+         --epochs 1 --dv 8 --hidden 16 --k 4 --save {}",
+        model_path.display()
+    )))
+    .expect("run --save succeeds");
+    let scores_path = dir.join("scores.csv");
+    cli::dispatch(toks(&format!(
+        "predict --model-file {} --edges {edges} --queries {queries} --task classification \
+         --scores {}",
+        model_path.display(),
+        scores_path.display()
+    )))
+    .expect("predict --scores succeeds");
+    let csv = std::fs::read_to_string(&scores_path).expect("scores written");
+    assert!(csv.starts_with("node,time,s0,s1"), "{}", &csv[..40.min(csv.len())]);
+    assert!(csv.lines().count() > 1, "scores must contain rows");
+}
+
+#[test]
+fn predict_rejects_garbage_model_files() {
+    let (dir, edges, queries) = fixture("badmodel");
+    let model_path = dir.join("bogus.bin");
+    std::fs::write(&model_path, b"definitely not a model").unwrap();
+    let err = cli::dispatch(toks(&format!(
+        "predict --model-file {} --edges {edges} --queries {queries} --task classification",
+        model_path.display()
+    )))
+    .unwrap_err();
+    assert!(err.0.contains("magic"), "{err}");
+}
+
+#[test]
+fn baseline_runs_tgnn_and_dtdg_models() {
+    let (_dir, edges, queries) = fixture("baseline");
+    for model in ["jodie", "slid"] {
+        let report = cli::dispatch(toks(&format!(
+            "baseline --model {model} --edges {edges} --queries {queries} --task classification --epochs 1"
+        )))
+        .expect("baseline runs");
+        assert!(report.contains(&format!("{model}+RF")), "{report}");
+    }
+}
+
+#[test]
+fn drift_reports_all_three_shift_families() {
+    let (_dir, edges, queries) = fixture("drift");
+    let report = cli::dispatch(toks(&format!(
+        "drift --edges {edges} --queries {queries} --task classification --buckets 4"
+    )))
+    .expect("drift runs");
+    assert!(report.contains("positional"), "{report}");
+    assert!(report.contains("structural"), "{report}");
+    assert!(report.contains("property"), "{report}");
+}
+
+#[test]
+fn slade_is_rejected_off_task() {
+    let (_dir, edges, queries) = fixture("slade");
+    let err = cli::dispatch(toks(&format!(
+        "baseline --model slade --edges {edges} --queries {queries} --task classification"
+    )))
+    .unwrap_err();
+    assert!(err.0.contains("does not support"), "{err}");
+}
+
+#[test]
+fn typo_flags_are_rejected() {
+    let (_dir, edges, queries) = fixture("typo");
+    let err = cli::dispatch(toks(&format!(
+        "stats --edges {edges} --queries {queries} --task classification --epoch 5"
+    )))
+    .unwrap_err();
+    assert!(err.0.contains("unknown flag --epoch"), "{err}");
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    let err = cli::dispatch(toks(
+        "stats --edges /nonexistent/a.csv --queries /nonexistent/b.csv --task anomaly",
+    ))
+    .unwrap_err();
+    assert!(err.0.contains("a.csv"), "{err}");
+}
+
+#[test]
+fn generate_writes_loadable_csvs() {
+    let dir = std::env::temp_dir().join(format!("splash-cli-gen-{}", std::process::id()));
+    let report = cli::dispatch(toks(&format!(
+        "generate --dataset tgbn-trade --out {}",
+        dir.display()
+    )))
+    .expect("generate runs");
+    assert!(report.contains("tgbn-trade.edges.csv"), "{report}");
+    // The generated files immediately round-trip through `stats`.
+    let stats = cli::dispatch(toks(&format!(
+        "stats --edges {d}/tgbn-trade.edges.csv --queries {d}/tgbn-trade.queries.csv --task affinity",
+        d = dir.display()
+    )))
+    .expect("stats on generated files");
+    assert!(stats.contains("tgbn-trade"), "{stats}");
+}

@@ -1,0 +1,123 @@
+//! Incremental node degrees (paper Eq. 2).
+//!
+//! The degree of node `v_i` at time `t` is the number of temporal edges
+//! incident to it that arrived up to `t`. Degrees drive the structural
+//! feature augmentation (sinusoidal degree encoding, Eq. 3) and the
+//! propagation weights for random/positional features of unseen nodes
+//! (Eqs. 4–5), so they must be maintainable in `O(1)` per edge.
+
+use crate::edge::{NodeId, TemporalEdge};
+
+/// Incremental degree counts for every node.
+#[derive(Debug, Clone, Default)]
+pub struct DegreeTracker {
+    degrees: Vec<u64>,
+    total: u64,
+}
+
+impl DegreeTracker {
+    /// Creates a tracker pre-sized for `num_nodes_hint` nodes.
+    pub fn new(num_nodes_hint: usize) -> Self {
+        Self { degrees: vec![0; num_nodes_hint], total: 0 }
+    }
+
+    fn ensure(&mut self, node: NodeId) {
+        let need = node as usize + 1;
+        if self.degrees.len() < need {
+            self.degrees.resize(need, 0);
+        }
+    }
+
+    /// Ingests one temporal edge, incrementing both endpoint degrees
+    /// (a self-loop contributes 2 to its node, matching Eq. 2's count of
+    /// incident temporal edges per endpoint slot).
+    pub fn update(&mut self, edge: &TemporalEdge) {
+        self.ensure(edge.src);
+        self.ensure(edge.dst);
+        self.degrees[edge.src as usize] += 1;
+        self.degrees[edge.dst as usize] += 1;
+        self.total += 2;
+    }
+
+    /// The degree of `node` (0 for unseen nodes).
+    pub fn degree(&self, node: NodeId) -> u64 {
+        self.degrees.get(node as usize).copied().unwrap_or(0)
+    }
+
+    /// Sum of all node degrees (= 2 × number of ingested edges).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean degree over nodes with at least one incident edge; 0 when empty.
+    pub fn mean_active_degree(&self) -> f64 {
+        let active: Vec<u64> = self.degrees.iter().copied().filter(|&d| d > 0).collect();
+        if active.is_empty() {
+            0.0
+        } else {
+            active.iter().sum::<u64>() as f64 / active.len() as f64
+        }
+    }
+
+    /// Builds a tracker from a stream prefix of `prefix_len` edges.
+    pub fn from_stream_prefix(stream: &crate::EdgeStream, prefix_len: usize) -> Self {
+        let mut t = Self::new(stream.num_nodes());
+        for edge in &stream.edges()[..prefix_len.min(stream.len())] {
+            t.update(edge);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::{EdgeStream, TemporalEdge};
+
+    fn e(src: u32, dst: u32, t: f64) -> TemporalEdge {
+        TemporalEdge::plain(src, dst, t)
+    }
+
+    #[test]
+    fn counts_both_endpoints() {
+        let mut d = DegreeTracker::new(3);
+        d.update(&e(0, 1, 1.0));
+        d.update(&e(0, 2, 2.0));
+        assert_eq!(d.degree(0), 2);
+        assert_eq!(d.degree(1), 1);
+        assert_eq!(d.degree(2), 1);
+        assert_eq!(d.total(), 4);
+    }
+
+    #[test]
+    fn unseen_nodes_have_zero_degree() {
+        let d = DegreeTracker::new(0);
+        assert_eq!(d.degree(42), 0);
+    }
+
+    #[test]
+    fn self_loop_counts_twice() {
+        let mut d = DegreeTracker::new(1);
+        d.update(&e(0, 0, 1.0));
+        assert_eq!(d.degree(0), 2);
+    }
+
+    #[test]
+    fn mean_active_degree_ignores_isolated() {
+        let mut d = DegreeTracker::new(10);
+        d.update(&e(0, 1, 1.0));
+        d.update(&e(0, 2, 2.0));
+        // active degrees: 2, 1, 1 -> mean 4/3
+        assert!((d.mean_active_degree() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_prefix_matches_incremental() {
+        let stream =
+            EdgeStream::new(vec![e(0, 1, 1.0), e(1, 2, 2.0), e(0, 2, 3.0)]).unwrap();
+        let d = DegreeTracker::from_stream_prefix(&stream, 2);
+        assert_eq!(d.degree(0), 1);
+        assert_eq!(d.degree(1), 2);
+        assert_eq!(d.degree(2), 1);
+    }
+}

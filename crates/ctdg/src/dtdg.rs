@@ -1,0 +1,238 @@
+//! Discrete-time dynamic graph (DTDG) view of an edge stream.
+//!
+//! The paper's robustness experiment (§V-B, Fig. 12) compares SPLASH against
+//! DTDG-based methods for handling distribution shifts — DIDA (Zhang et al.,
+//! NeurIPS 2022) and SLID/SILD (Zhang et al., NeurIPS 2024). Those methods
+//! are not defined on a CTDG: they consume a *sequence of graph snapshots*,
+//! one per discrete time window. This module is the conversion substrate: it
+//! partitions the stream's time range into `W` equal windows and materializes
+//! a per-window (non-cumulative) [`GraphSnapshot`] for each, exactly the
+//! input representation DTDG models assume.
+//!
+//! The same bucketing is reused at per-query granularity by the DIDA/SLID
+//! baselines in the `baselines` crate: a node's `k` most recent events are
+//! grouped into micro-snapshots with [`bucket_by_window`], giving each query
+//! a local DTDG view of its own history.
+
+use crate::edge::{EdgeStream, Time};
+use crate::snapshot::GraphSnapshot;
+
+/// A stream partitioned into `W` half-open windows `[start_w, end_w)` of
+/// equal duration, each materialized as a static weighted snapshot of only
+/// the edges that arrived inside that window.
+#[derive(Debug, Clone)]
+pub struct DtdgView {
+    windows: Vec<GraphSnapshot>,
+    /// `bounds[w] = (start, end)`; the final window is closed on the right so
+    /// the stream's last edge is never dropped.
+    bounds: Vec<(Time, Time)>,
+    start: Time,
+    width: f64,
+}
+
+impl DtdgView {
+    /// Partitions `stream` into `num_windows` equal-duration windows.
+    ///
+    /// With an empty stream or a single distinct timestamp every edge lands
+    /// in the first window and the remaining windows are empty snapshots.
+    ///
+    /// ```
+    /// use ctdg::{DtdgView, EdgeStream, TemporalEdge};
+    ///
+    /// let stream = EdgeStream::new(vec![
+    ///     TemporalEdge::plain(0, 1, 0.0),
+    ///     TemporalEdge::plain(1, 2, 10.0),
+    /// ]).unwrap();
+    /// let view = DtdgView::new(&stream, 2);
+    /// assert_eq!(view.window(0).num_temporal_edges(), 1);
+    /// assert_eq!(view.window_of(9.9), 1);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_windows == 0`.
+    pub fn new(stream: &EdgeStream, num_windows: usize) -> Self {
+        assert!(num_windows > 0, "a DTDG view needs at least one window");
+        let start = stream.start_time().unwrap_or(0.0);
+        let end = stream.end_time().unwrap_or(start);
+        let span = (end - start).max(0.0);
+        let width = if span > 0.0 { span / num_windows as f64 } else { 1.0 };
+
+        let n = stream.num_nodes();
+        let mut per_window: Vec<Vec<crate::edge::TemporalEdge>> =
+            (0..num_windows).map(|_| Vec::new()).collect();
+        for edge in stream.edges() {
+            let w = window_index(edge.time, start, width, num_windows);
+            per_window[w].push(edge.clone());
+        }
+        let windows = per_window
+            .iter()
+            .map(|edges| GraphSnapshot::from_edges(n, edges))
+            .collect();
+        let bounds = (0..num_windows)
+            .map(|w| (start + w as f64 * width, start + (w + 1) as f64 * width))
+            .collect();
+        Self { windows, bounds, start, width }
+    }
+
+    /// Number of windows `W`.
+    pub fn num_windows(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// The per-window snapshot of window `w`.
+    pub fn window(&self, w: usize) -> &GraphSnapshot {
+        &self.windows[w]
+    }
+
+    /// All window snapshots in chronological order.
+    pub fn windows(&self) -> &[GraphSnapshot] {
+        &self.windows
+    }
+
+    /// The half-open `[start, end)` bounds of window `w` (the final window
+    /// additionally includes its right endpoint).
+    pub fn bounds(&self, w: usize) -> (Time, Time) {
+        self.bounds[w]
+    }
+
+    /// The window containing time `t`, clamped into `0..W` for out-of-range
+    /// times (DTDG models route unseen-future queries to the last window).
+    pub fn window_of(&self, t: Time) -> usize {
+        window_index(t, self.start, self.width, self.windows.len())
+    }
+
+    /// Total temporal edges across all windows (equals the stream length).
+    pub fn total_temporal_edges(&self) -> usize {
+        self.windows.iter().map(GraphSnapshot::num_temporal_edges).sum()
+    }
+}
+
+/// Clamped equal-width bucketing shared by [`DtdgView`] and
+/// [`bucket_by_window`].
+fn window_index(t: Time, start: Time, width: f64, num_windows: usize) -> usize {
+    if num_windows == 0 {
+        return 0;
+    }
+    let raw = ((t - start) / width).floor();
+    if raw.is_nan() || raw < 0.0 {
+        0
+    } else {
+        (raw as usize).min(num_windows - 1)
+    }
+}
+
+/// Buckets chronologically ordered event times in `[t_min, t_max]` into
+/// `num_windows` equal windows, returning the window index of each event.
+/// This is the per-query micro-snapshot grouping used by the DTDG baselines:
+/// a node's recent events become a short snapshot sequence.
+///
+/// Degenerate spans (all events simultaneous, or no events) map everything
+/// to window 0.
+pub fn bucket_by_window(times: &[Time], num_windows: usize) -> Vec<usize> {
+    assert!(num_windows > 0, "bucketing needs at least one window");
+    let (Some(&first), Some(&last)) = (times.first(), times.last()) else {
+        return Vec::new();
+    };
+    let span = (last - first).max(0.0);
+    let width = if span > 0.0 { span / num_windows as f64 } else { 1.0 };
+    times
+        .iter()
+        .map(|&t| window_index(t, first, width, num_windows))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::TemporalEdge;
+
+    fn stream() -> EdgeStream {
+        EdgeStream::new(vec![
+            TemporalEdge::plain(0, 1, 0.0),
+            TemporalEdge::plain(1, 2, 2.5),
+            TemporalEdge::plain(2, 3, 5.0),
+            TemporalEdge::plain(0, 3, 7.5),
+            TemporalEdge::plain(1, 3, 10.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn edges_are_partitioned_not_accumulated() {
+        let view = DtdgView::new(&stream(), 4);
+        assert_eq!(view.num_windows(), 4);
+        assert_eq!(view.total_temporal_edges(), 5);
+        // Window 0 covers [0, 2.5): only the t=0 edge.
+        assert_eq!(view.window(0).num_temporal_edges(), 1);
+        assert_eq!(view.window(0).weight(0, 1), 1.0);
+        assert_eq!(view.window(0).weight(1, 2), 0.0);
+        // The final (closed) window keeps the t=10 edge.
+        assert!(view.window(3).num_temporal_edges() >= 1);
+        assert_eq!(view.window(3).weight(1, 3), 1.0);
+    }
+
+    #[test]
+    fn window_of_is_monotone_and_clamped() {
+        let view = DtdgView::new(&stream(), 4);
+        let mut prev = 0;
+        for t in [-5.0, 0.0, 2.4, 2.5, 9.9, 10.0, 99.0] {
+            let w = view.window_of(t);
+            assert!(w >= prev, "window_of must be monotone in t");
+            assert!(w < 4);
+            prev = w;
+        }
+        assert_eq!(view.window_of(-5.0), 0);
+        assert_eq!(view.window_of(99.0), 3);
+    }
+
+    #[test]
+    fn bounds_tile_the_span() {
+        let view = DtdgView::new(&stream(), 5);
+        assert_eq!(view.bounds(0).0, 0.0);
+        assert!((view.bounds(4).1 - 10.0).abs() < 1e-9);
+        for w in 1..5 {
+            assert!((view.bounds(w).0 - view.bounds(w - 1).1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_window_matches_full_snapshot() {
+        let s = stream();
+        let view = DtdgView::new(&s, 1);
+        let full = GraphSnapshot::from_stream_prefix(&s, s.len());
+        assert_eq!(view.window(0).num_edges(), full.num_edges());
+        assert_eq!(view.window(0).num_temporal_edges(), full.num_temporal_edges());
+    }
+
+    #[test]
+    fn degenerate_spans_go_to_window_zero() {
+        let s = EdgeStream::new(vec![
+            TemporalEdge::plain(0, 1, 3.0),
+            TemporalEdge::plain(1, 2, 3.0),
+        ])
+        .unwrap();
+        let view = DtdgView::new(&s, 3);
+        assert_eq!(view.window(0).num_temporal_edges(), 2);
+        assert_eq!(view.window(1).num_temporal_edges(), 0);
+
+        let empty = EdgeStream::new(vec![]).unwrap();
+        let view = DtdgView::new(&empty, 2);
+        assert_eq!(view.total_temporal_edges(), 0);
+    }
+
+    #[test]
+    fn bucket_by_window_groups_chronological_events() {
+        let buckets = bucket_by_window(&[0.0, 1.0, 2.0, 3.0], 2);
+        assert_eq!(buckets, vec![0, 0, 1, 1]);
+        assert_eq!(bucket_by_window(&[], 3), Vec::<usize>::new());
+        // All-simultaneous events collapse into window 0.
+        assert_eq!(bucket_by_window(&[5.0, 5.0, 5.0], 4), vec![0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one window")]
+    fn zero_windows_panics() {
+        DtdgView::new(&stream(), 0);
+    }
+}

@@ -1,0 +1,305 @@
+//! Temporal edges, edge streams, and node-property queries.
+
+/// Identifier of a node in a CTDG. Node ids are dense `u32` indices.
+pub type NodeId = u32;
+
+/// Timestamp of a temporal edge or label query. Timestamps are real-valued
+/// and non-decreasing along the stream.
+pub type Time = f64;
+
+/// A single temporal edge `δ(n) = (v_i, v_j, x_ij, w_ij, t)` (paper §II-A).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemporalEdge {
+    /// Source node `v_i`.
+    pub src: NodeId,
+    /// Destination node `v_j`.
+    pub dst: NodeId,
+    /// Edge feature `x_ij ∈ R^{d_e}` (empty when the dataset has none).
+    pub feat: Box<[f32]>,
+    /// Edge weight `w_ij` (1.0 when the dataset has no explicit weights).
+    pub weight: f32,
+    /// Arrival time `t(n)`.
+    pub time: Time,
+}
+
+impl TemporalEdge {
+    /// Creates a featureless, unit-weight temporal edge.
+    pub fn plain(src: NodeId, dst: NodeId, time: Time) -> Self {
+        Self { src, dst, feat: Box::new([]), weight: 1.0, time }
+    }
+
+    /// Creates a weighted, featureless temporal edge.
+    pub fn weighted(src: NodeId, dst: NodeId, weight: f32, time: Time) -> Self {
+        Self { src, dst, feat: Box::new([]), weight, time }
+    }
+
+    /// Returns the endpoint of this edge other than `node`.
+    ///
+    /// For self-loops returns the node itself. Callers must pass one of the
+    /// two endpoints.
+    pub fn other(&self, node: NodeId) -> NodeId {
+        if self.src == node {
+            self.dst
+        } else {
+            debug_assert_eq!(self.dst, node, "`other` called with a non-endpoint");
+            self.src
+        }
+    }
+
+    /// Whether `node` is an endpoint of this edge.
+    pub fn touches(&self, node: NodeId) -> bool {
+        self.src == node || self.dst == node
+    }
+}
+
+/// Property label of a node at a query time (paper §III).
+///
+/// The three task instances of node property prediction use two label forms:
+/// dynamic node classification and dynamic anomaly detection use
+/// [`Label::Class`] (anomaly detection is binary classification with class 1
+/// = abnormal), node affinity prediction uses [`Label::Affinity`] — the
+/// normalized future affinity of the node to `d_a` candidate nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Label {
+    /// Categorical class index in `0..num_classes`.
+    Class(usize),
+    /// Normalized affinity distribution over candidate nodes (sums to 1
+    /// unless all-zero).
+    Affinity(Box<[f32]>),
+}
+
+impl Label {
+    /// The class index, panicking for affinity labels.
+    pub fn class(&self) -> usize {
+        match self {
+            Label::Class(c) => *c,
+            Label::Affinity(_) => panic!("expected a class label, found an affinity label"),
+        }
+    }
+
+    /// The affinity vector, panicking for class labels.
+    pub fn affinity(&self) -> &[f32] {
+        match self {
+            Label::Affinity(a) => a,
+            Label::Class(_) => panic!("expected an affinity label, found a class label"),
+        }
+    }
+}
+
+/// A node-property label query `(v_i, t, Y_i(t))` (Eq. 8).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PropertyQuery {
+    /// The queried node `v_i`.
+    pub node: NodeId,
+    /// Query time `t`. Predictions may use only edges with `t(l) <= t`.
+    pub time: Time,
+    /// Ground-truth property `Y_i(t)`.
+    pub label: Label,
+}
+
+/// Errors raised when constructing an [`EdgeStream`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamError {
+    /// Edge timestamps must be non-decreasing; holds the offending index.
+    OutOfOrder(usize),
+    /// All edges must carry features of the declared dimension; holds the
+    /// offending index.
+    FeatDim(usize),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::OutOfOrder(i) => {
+                write!(f, "edge {i} has a timestamp smaller than its predecessor")
+            }
+            StreamError::FeatDim(i) => {
+                write!(f, "edge {i} has a feature dimension different from the stream's")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// A chronologically ordered stream of temporal edges — the CTDG `G`.
+///
+/// The stream owns its edges; all other substrate structures
+/// ([`crate::GraphSnapshot`], [`crate::NeighborMemory`],
+/// [`crate::DegreeTracker`]) are built from (prefixes of) a stream and refer
+/// to edges by index.
+#[derive(Debug, Clone, Default)]
+pub struct EdgeStream {
+    edges: Vec<TemporalEdge>,
+    num_nodes: usize,
+    feat_dim: usize,
+}
+
+impl EdgeStream {
+    /// Builds a stream, validating chronological order and uniform edge
+    /// feature dimensionality.
+    pub fn new(edges: Vec<TemporalEdge>) -> Result<Self, StreamError> {
+        let feat_dim = edges.first().map_or(0, |e| e.feat.len());
+        let mut num_nodes = 0usize;
+        let mut prev = Time::NEG_INFINITY;
+        for (i, e) in edges.iter().enumerate() {
+            if e.time < prev {
+                return Err(StreamError::OutOfOrder(i));
+            }
+            prev = e.time;
+            if e.feat.len() != feat_dim {
+                return Err(StreamError::FeatDim(i));
+            }
+            num_nodes = num_nodes.max(e.src as usize + 1).max(e.dst as usize + 1);
+        }
+        Ok(Self { edges, num_nodes, feat_dim })
+    }
+
+    /// Builds a stream without validation. Intended for generators that
+    /// construct edges in order by design; debug builds still assert order.
+    pub fn new_unchecked(edges: Vec<TemporalEdge>) -> Self {
+        debug_assert!(edges.windows(2).all(|w| w[0].time <= w[1].time));
+        let feat_dim = edges.first().map_or(0, |e| e.feat.len());
+        let num_nodes = edges
+            .iter()
+            .map(|e| e.src.max(e.dst) as usize + 1)
+            .max()
+            .unwrap_or(0);
+        Self { edges, num_nodes, feat_dim }
+    }
+
+    /// The edges in chronological order.
+    pub fn edges(&self) -> &[TemporalEdge] {
+        &self.edges
+    }
+
+    /// Number of edges in the stream.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the stream has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Number of nodes `|V|` (dense id space: `max id + 1`).
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Edge feature dimension `d_e` (0 when features are absent).
+    pub fn feat_dim(&self) -> usize {
+        self.feat_dim
+    }
+
+    /// The edge at stream position `idx`.
+    pub fn edge(&self, idx: usize) -> &TemporalEdge {
+        &self.edges[idx]
+    }
+
+    /// Index of the first edge with `time > t`, i.e. the number of edges in
+    /// the prefix `G_{<=t}`.
+    pub fn prefix_len_at(&self, t: Time) -> usize {
+        self.edges.partition_point(|e| e.time <= t)
+    }
+
+    /// Largest timestamp in the stream, or `None` when empty.
+    pub fn end_time(&self) -> Option<Time> {
+        self.edges.last().map(|e| e.time)
+    }
+
+    /// Smallest timestamp in the stream, or `None` when empty.
+    pub fn start_time(&self) -> Option<Time> {
+        self.edges.first().map(|e| e.time)
+    }
+
+    /// Timestamp at the given quantile of the stream's edge positions
+    /// (e.g. `0.1` → the time of the edge 10% into the stream). Used for the
+    /// chronological 10/10/80 train/val/test split.
+    pub fn time_at_fraction(&self, frac: f64) -> Time {
+        assert!(!self.edges.is_empty(), "time_at_fraction on an empty stream");
+        let idx = ((self.edges.len() as f64 * frac) as usize).min(self.edges.len() - 1);
+        self.edges[idx].time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(src: u32, dst: u32, t: f64) -> TemporalEdge {
+        TemporalEdge::plain(src, dst, t)
+    }
+
+    #[test]
+    fn stream_validates_order() {
+        let err = EdgeStream::new(vec![e(0, 1, 2.0), e(1, 2, 1.0)]).unwrap_err();
+        assert_eq!(err, StreamError::OutOfOrder(1));
+    }
+
+    #[test]
+    fn stream_accepts_ties() {
+        let s = EdgeStream::new(vec![e(0, 1, 1.0), e(1, 2, 1.0)]).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.num_nodes(), 3);
+    }
+
+    #[test]
+    fn stream_validates_feat_dim() {
+        let mut a = e(0, 1, 1.0);
+        a.feat = vec![1.0, 2.0].into();
+        let b = e(1, 2, 2.0);
+        let err = EdgeStream::new(vec![a, b]).unwrap_err();
+        assert_eq!(err, StreamError::FeatDim(1));
+    }
+
+    #[test]
+    fn prefix_len_at_bounds() {
+        let s = EdgeStream::new(vec![e(0, 1, 1.0), e(1, 2, 2.0), e(2, 3, 2.0), e(0, 3, 5.0)])
+            .unwrap();
+        assert_eq!(s.prefix_len_at(0.5), 0);
+        assert_eq!(s.prefix_len_at(1.0), 1);
+        assert_eq!(s.prefix_len_at(2.0), 3);
+        assert_eq!(s.prefix_len_at(4.9), 3);
+        assert_eq!(s.prefix_len_at(5.0), 4);
+        assert_eq!(s.prefix_len_at(9.0), 4);
+    }
+
+    #[test]
+    fn other_endpoint() {
+        let edge = e(3, 7, 1.0);
+        assert_eq!(edge.other(3), 7);
+        assert_eq!(edge.other(7), 3);
+        assert!(edge.touches(3) && edge.touches(7) && !edge.touches(5));
+    }
+
+    #[test]
+    fn label_accessors() {
+        assert_eq!(Label::Class(4).class(), 4);
+        let a = Label::Affinity(vec![0.5, 0.5].into());
+        assert_eq!(a.affinity(), &[0.5, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected a class label")]
+    fn label_class_panics_on_affinity() {
+        Label::Affinity(Box::new([1.0])).class();
+    }
+
+    #[test]
+    fn empty_stream() {
+        let s = EdgeStream::new(vec![]).unwrap();
+        assert!(s.is_empty());
+        assert_eq!(s.num_nodes(), 0);
+        assert_eq!(s.end_time(), None);
+    }
+
+    #[test]
+    fn time_at_fraction_monotone() {
+        let s = EdgeStream::new((0..100).map(|i| e(0, 1, i as f64)).collect()).unwrap();
+        assert_eq!(s.time_at_fraction(0.0), 0.0);
+        assert_eq!(s.time_at_fraction(0.5), 50.0);
+        assert_eq!(s.time_at_fraction(1.0), 99.0);
+    }
+}

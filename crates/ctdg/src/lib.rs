@@ -1,0 +1,33 @@
+//! Continuous-time dynamic graph (CTDG) substrate.
+//!
+//! This crate implements the data structures from Section II-A of the SPLASH
+//! paper (Lee et al., ICDE 2025):
+//!
+//! * [`TemporalEdge`] / [`EdgeStream`] — the chronologically ordered stream of
+//!   temporal edges `δ(n) = (v_i, v_j, x_ij, w_ij, t)`;
+//! * [`GraphSnapshot`] — the accumulated snapshot `G(n) = (V(n), E(n), Ω(n))`
+//!   with the additive edge-weight function `Ω`;
+//! * [`NeighborMemory`] — the per-node memory `N_i(t)` of the `k` most recent
+//!   incident temporal edges, the only state a trained model needs at
+//!   inference time (sub-linear in the total edge count);
+//! * [`DegreeTracker`] — incremental node degrees (Eq. 2);
+//! * chronological splitting utilities for property-query sets (Eq. 9) and a
+//!   merged [`replay`](fn@replay) of edges and label queries (Fig. 4);
+//! * [`DtdgView`] — the discrete-time (snapshot-sequence) view consumed by
+//!   the DTDG-based shift-robust baselines of Fig. 12 (DIDA, SLID).
+
+pub mod degree;
+pub mod dtdg;
+pub mod edge;
+pub mod memory;
+pub mod replay;
+pub mod snapshot;
+pub mod split;
+
+pub use degree::DegreeTracker;
+pub use dtdg::{bucket_by_window, DtdgView};
+pub use edge::{EdgeStream, Label, NodeId, PropertyQuery, TemporalEdge, Time};
+pub use memory::{MemEntry, NeighborMemory};
+pub use replay::{replay, Event};
+pub use snapshot::GraphSnapshot;
+pub use split::{chronological_split, split_at_fraction, split_at_time, train_val_test};

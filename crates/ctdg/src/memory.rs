@@ -1,0 +1,236 @@
+//! Per-node memory of the `k` most recent incident temporal edges.
+//!
+//! TGNNs (and SPLASH's SLIM model) compute a node's representation at time
+//! `t` from `N_i(t)`, the `k` most recent temporal edges incident to the node
+//! (paper Eq. 6). Keeping only `k` entries per node makes the memory
+//! footprint `O(|V| · k)` — sub-linear in the total number of edges, which is
+//! the space guarantee the paper inherits from graph-stream processing
+//! (§II-E).
+
+use crate::edge::{NodeId, TemporalEdge, Time};
+
+/// One remembered incident edge, as seen from the owning node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemEntry {
+    /// Index of the edge in the originating [`crate::EdgeStream`].
+    pub edge_idx: usize,
+    /// The other endpoint of the edge.
+    pub other: NodeId,
+    /// Arrival time of the edge.
+    pub time: Time,
+    /// Weight of the edge.
+    pub weight: f32,
+}
+
+/// Fixed-capacity ring buffer holding the `k` most recent entries.
+#[derive(Debug, Clone, Default)]
+struct Ring {
+    entries: Vec<MemEntry>,
+    /// Position of the oldest entry once the ring is full.
+    head: usize,
+}
+
+/// The recent-neighbor memory `N_i(t)` for every node.
+///
+/// Updated incrementally, one temporal edge at a time, in `O(1)` per
+/// endpoint. Reads return entries in chronological (oldest → newest) order.
+#[derive(Debug, Clone)]
+pub struct NeighborMemory {
+    rings: Vec<Ring>,
+    k: usize,
+    last_time: Time,
+    edges_seen: usize,
+}
+
+impl NeighborMemory {
+    /// Creates a memory keeping the `k` most recent incident edges per node.
+    /// `num_nodes_hint` pre-sizes the node table; it grows on demand.
+    pub fn new(num_nodes_hint: usize, k: usize) -> Self {
+        assert!(k > 0, "neighbor memory capacity k must be positive");
+        Self {
+            rings: vec![Ring::default(); num_nodes_hint],
+            k,
+            last_time: Time::NEG_INFINITY,
+            edges_seen: 0,
+        }
+    }
+
+    /// The per-node capacity `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of edges ingested so far.
+    pub fn edges_seen(&self) -> usize {
+        self.edges_seen
+    }
+
+    /// Arrival time of the most recently ingested edge.
+    pub fn last_time(&self) -> Time {
+        self.last_time
+    }
+
+    fn ensure(&mut self, node: NodeId) {
+        let need = node as usize + 1;
+        if self.rings.len() < need {
+            self.rings.resize(need, Ring::default());
+        }
+    }
+
+    fn push(&mut self, node: NodeId, entry: MemEntry) {
+        self.ensure(node);
+        let k = self.k;
+        let ring = &mut self.rings[node as usize];
+        if ring.entries.len() < k {
+            ring.entries.push(entry);
+        } else {
+            ring.entries[ring.head] = entry;
+            ring.head = (ring.head + 1) % k;
+        }
+    }
+
+    /// Ingests one temporal edge, updating both endpoints' memories.
+    ///
+    /// `edge_idx` is the edge's position in its stream; edges must be fed in
+    /// chronological order.
+    pub fn update(&mut self, edge_idx: usize, edge: &TemporalEdge) {
+        debug_assert!(
+            edge.time >= self.last_time,
+            "edges must be ingested chronologically"
+        );
+        self.last_time = edge.time;
+        self.edges_seen += 1;
+        self.push(
+            edge.src,
+            MemEntry { edge_idx, other: edge.dst, time: edge.time, weight: edge.weight },
+        );
+        if edge.src != edge.dst {
+            self.push(
+                edge.dst,
+                MemEntry { edge_idx, other: edge.src, time: edge.time, weight: edge.weight },
+            );
+        }
+    }
+
+    /// The remembered entries for `node`, oldest first. Empty for nodes not
+    /// yet seen.
+    pub fn neighbors(&self, node: NodeId) -> Vec<MemEntry> {
+        match self.rings.get(node as usize) {
+            None => Vec::new(),
+            Some(ring) => {
+                let n = ring.entries.len();
+                (0..n)
+                    .map(|i| ring.entries[(ring.head + i) % n.max(1)])
+                    .collect()
+            }
+        }
+    }
+
+    /// Number of remembered entries for `node` (`min(degree, k)`).
+    pub fn count(&self, node: NodeId) -> usize {
+        self.rings.get(node as usize).map_or(0, |r| r.entries.len())
+    }
+
+    /// Calls `f` for each remembered entry of `node`, oldest first, without
+    /// allocating.
+    pub fn for_each(&self, node: NodeId, mut f: impl FnMut(&MemEntry)) {
+        if let Some(ring) = self.rings.get(node as usize) {
+            let n = ring.entries.len();
+            for i in 0..n {
+                f(&ring.entries[(ring.head + i) % n]);
+            }
+        }
+    }
+
+    /// Builds a memory from a stream prefix of `prefix_len` edges.
+    pub fn from_stream_prefix(
+        stream: &crate::EdgeStream,
+        prefix_len: usize,
+        k: usize,
+    ) -> Self {
+        let mut mem = Self::new(stream.num_nodes(), k);
+        for (idx, edge) in stream.edges()[..prefix_len.min(stream.len())].iter().enumerate() {
+            mem.update(idx, edge);
+        }
+        mem
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::{EdgeStream, TemporalEdge};
+
+    fn e(src: u32, dst: u32, t: f64) -> TemporalEdge {
+        TemporalEdge::plain(src, dst, t)
+    }
+
+    #[test]
+    fn keeps_k_most_recent() {
+        let mut mem = NeighborMemory::new(4, 2);
+        mem.update(0, &e(0, 1, 1.0));
+        mem.update(1, &e(0, 2, 2.0));
+        mem.update(2, &e(0, 3, 3.0));
+        let ns = mem.neighbors(0);
+        assert_eq!(ns.len(), 2);
+        assert_eq!(ns[0].other, 2);
+        assert_eq!(ns[1].other, 3);
+        assert_eq!(ns[0].time, 2.0);
+    }
+
+    #[test]
+    fn chronological_order_preserved() {
+        let mut mem = NeighborMemory::new(1, 5);
+        for (i, t) in [3.0, 4.0, 7.0].iter().enumerate() {
+            mem.update(i, &e(0, (i + 1) as u32, *t));
+        }
+        let ns = mem.neighbors(0);
+        assert!(ns.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+
+    #[test]
+    fn both_endpoints_updated() {
+        let mut mem = NeighborMemory::new(2, 3);
+        mem.update(0, &e(0, 1, 1.0));
+        assert_eq!(mem.count(0), 1);
+        assert_eq!(mem.count(1), 1);
+        assert_eq!(mem.neighbors(1)[0].other, 0);
+    }
+
+    #[test]
+    fn self_loop_counted_once() {
+        let mut mem = NeighborMemory::new(1, 3);
+        mem.update(0, &e(0, 0, 1.0));
+        assert_eq!(mem.count(0), 1);
+    }
+
+    #[test]
+    fn grows_for_unseen_nodes() {
+        let mut mem = NeighborMemory::new(0, 2);
+        mem.update(0, &e(100, 200, 1.0));
+        assert_eq!(mem.count(100), 1);
+        assert_eq!(mem.count(200), 1);
+        assert_eq!(mem.count(50), 0);
+    }
+
+    #[test]
+    fn from_stream_prefix_matches_incremental() {
+        let stream = EdgeStream::new(vec![e(0, 1, 1.0), e(1, 2, 2.0), e(0, 2, 3.0)]).unwrap();
+        let full = NeighborMemory::from_stream_prefix(&stream, 3, 2);
+        let partial = NeighborMemory::from_stream_prefix(&stream, 2, 2);
+        assert_eq!(full.neighbors(0).len(), 2);
+        assert_eq!(partial.neighbors(0).len(), 1);
+        assert_eq!(full.edges_seen(), 3);
+    }
+
+    #[test]
+    fn for_each_matches_neighbors() {
+        let mut mem = NeighborMemory::new(1, 3);
+        for (i, t) in [1.0, 2.0, 3.0, 4.0].iter().enumerate() {
+            mem.update(i, &e(0, i as u32 + 1, *t));
+        }
+        let mut collected = Vec::new();
+        mem.for_each(0, |m| collected.push(*m));
+        assert_eq!(collected, mem.neighbors(0));
+    }
+}

@@ -1,0 +1,99 @@
+//! Chronological replay of an edge stream merged with label queries
+//! (paper Fig. 4).
+//!
+//! Node property prediction on a CTDG interleaves two event kinds: arriving
+//! temporal edges (which update the memory) and label queries (which trigger
+//! a prediction from the memory as updated so far). [`replay`] merges the
+//! two ordered sequences into a single chronological event sequence; ties
+//! are resolved edge-first so a query at time `t` observes all edges with
+//! `time <= t`, matching the problem definition in §III.
+
+use crate::edge::{EdgeStream, PropertyQuery, TemporalEdge};
+
+/// One event in a merged replay.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event<'a> {
+    /// A temporal edge arrived; holds its stream index and the edge.
+    Edge(usize, &'a TemporalEdge),
+    /// A label query fired; holds its index in the query slice and the query.
+    Query(usize, &'a PropertyQuery),
+}
+
+impl Event<'_> {
+    /// The event's timestamp.
+    pub fn time(&self) -> f64 {
+        match self {
+            Event::Edge(_, e) => e.time,
+            Event::Query(_, q) => q.time,
+        }
+    }
+}
+
+/// Merges `stream` and `queries` into one chronological event sequence.
+///
+/// Both inputs must already be chronologically ordered. At equal timestamps
+/// edges precede queries, so a prediction at time `t` may use every edge
+/// with `t(l) <= t` and nothing later.
+pub fn replay<'a>(stream: &'a EdgeStream, queries: &'a [PropertyQuery]) -> Vec<Event<'a>> {
+    debug_assert!(queries.windows(2).all(|w| w[0].time <= w[1].time));
+    let mut events = Vec::with_capacity(stream.len() + queries.len());
+    let mut qi = 0usize;
+    for (ei, edge) in stream.edges().iter().enumerate() {
+        while qi < queries.len() && queries[qi].time < edge.time {
+            events.push(Event::Query(qi, &queries[qi]));
+            qi += 1;
+        }
+        events.push(Event::Edge(ei, edge));
+    }
+    for (rest, q) in queries[qi..].iter().enumerate() {
+        events.push(Event::Query(qi + rest, q));
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::{Label, TemporalEdge};
+
+    fn q(t: f64) -> PropertyQuery {
+        PropertyQuery { node: 0, time: t, label: Label::Class(0) }
+    }
+
+    #[test]
+    fn merged_order_is_chronological_edge_first() {
+        let stream = EdgeStream::new(vec![
+            TemporalEdge::plain(0, 1, 1.0),
+            TemporalEdge::plain(1, 2, 3.0),
+        ])
+        .unwrap();
+        let queries = vec![q(0.5), q(1.0), q(3.0), q(4.0)];
+        let events = replay(&stream, &queries);
+        let times: Vec<f64> = events.iter().map(Event::time).collect();
+        assert_eq!(times, vec![0.5, 1.0, 1.0, 3.0, 3.0, 4.0]);
+        // At the t=1.0 tie the edge comes first.
+        assert!(matches!(events[1], Event::Edge(0, _)));
+        assert!(matches!(events[2], Event::Query(1, _)));
+        // At the t=3.0 tie the edge comes first as well.
+        assert!(matches!(events[3], Event::Edge(1, _)));
+        assert!(matches!(events[4], Event::Query(2, _)));
+    }
+
+    #[test]
+    fn all_events_present() {
+        let stream = EdgeStream::new(vec![TemporalEdge::plain(0, 1, 2.0)]).unwrap();
+        let queries = vec![q(1.0), q(5.0)];
+        let events = replay(&stream, &queries);
+        assert_eq!(events.len(), 3);
+        let n_edges = events.iter().filter(|e| matches!(e, Event::Edge(..))).count();
+        assert_eq!(n_edges, 1);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let stream = EdgeStream::new(vec![]).unwrap();
+        assert!(replay(&stream, &[]).is_empty());
+        let queries = vec![q(1.0)];
+        assert_eq!(replay(&stream, &queries).len(), 1);
+    }
+}

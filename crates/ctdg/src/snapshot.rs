@@ -1,0 +1,168 @@
+//! Accumulated graph snapshots `G(n) = (V(n), E(n), Ω(n))` (paper §II-A).
+//!
+//! A snapshot materializes the prefix of an edge stream as a static weighted
+//! graph: the node set, the de-duplicated edge set, and the additive edge
+//! weight function `Ω` that sums the weights of repeated temporal edges.
+//! Snapshots are only ever built for the *training* prefix (the paper assumes
+//! training-period edges are few enough to keep, §IV-A-2); test-time
+//! processing uses the incremental structures instead.
+
+use std::collections::HashMap;
+
+use crate::edge::{EdgeStream, NodeId};
+
+/// A static weighted view of a stream prefix, with adjacency lists.
+#[derive(Debug, Clone)]
+pub struct GraphSnapshot {
+    /// `adj[v]` lists `(neighbor, accumulated weight)` pairs; the graph is
+    /// treated as undirected for embedding purposes, so every temporal edge
+    /// appears in both endpoints' lists.
+    adj: Vec<Vec<(NodeId, f32)>>,
+    num_edges: usize,
+    num_temporal_edges: usize,
+}
+
+impl GraphSnapshot {
+    /// Builds the snapshot of the first `prefix_len` edges of `stream`.
+    pub fn from_stream_prefix(stream: &EdgeStream, prefix_len: usize) -> Self {
+        let prefix_len = prefix_len.min(stream.len());
+        Self::from_edges(stream.num_nodes(), &stream.edges()[..prefix_len])
+    }
+
+    /// Builds the snapshot of an arbitrary edge slice over a dense id space
+    /// of `num_nodes` slots. Used by [`crate::dtdg::DtdgView`] to materialize
+    /// per-window (non-cumulative) snapshots.
+    pub fn from_edges(num_nodes: usize, edges: &[crate::edge::TemporalEdge]) -> Self {
+        let n = num_nodes;
+        let prefix_len = edges.len();
+        // Accumulate Ω((u, v)) over the de-duplicated undirected edge set.
+        let mut weights: HashMap<(NodeId, NodeId), f32> = HashMap::new();
+        for edge in edges {
+            let key = if edge.src <= edge.dst {
+                (edge.src, edge.dst)
+            } else {
+                (edge.dst, edge.src)
+            };
+            *weights.entry(key).or_insert(0.0) += edge.weight;
+        }
+        let mut adj = vec![Vec::new(); n];
+        for (&(u, v), &w) in &weights {
+            adj[u as usize].push((v, w));
+            if u != v {
+                adj[v as usize].push((u, w));
+            }
+        }
+        for list in &mut adj {
+            list.sort_unstable_by_key(|&(nbr, _)| nbr);
+        }
+        Self { adj, num_edges: weights.len(), num_temporal_edges: prefix_len }
+    }
+
+    /// Builds the snapshot of all edges with `time <= t`.
+    pub fn at_time(stream: &EdgeStream, t: f64) -> Self {
+        Self::from_stream_prefix(stream, stream.prefix_len_at(t))
+    }
+
+    /// Number of node slots (dense id space of the originating stream).
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of distinct (undirected) edges `|E(n)|`.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Number of temporal edges accumulated into this snapshot.
+    pub fn num_temporal_edges(&self) -> usize {
+        self.num_temporal_edges
+    }
+
+    /// The `(neighbor, Ω-weight)` adjacency list of `node`, sorted by
+    /// neighbor id.
+    pub fn neighbors(&self, node: NodeId) -> &[(NodeId, f32)] {
+        self.adj
+            .get(node as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Static degree of `node`: the number of distinct neighbors.
+    pub fn static_degree(&self, node: NodeId) -> usize {
+        self.neighbors(node).len()
+    }
+
+    /// Accumulated weight `Ω((u, v))`, 0 when the edge is absent.
+    pub fn weight(&self, u: NodeId, v: NodeId) -> f32 {
+        self.neighbors(u)
+            .binary_search_by_key(&v, |&(nbr, _)| nbr)
+            .map(|i| self.neighbors(u)[i].1)
+            .unwrap_or(0.0)
+    }
+
+    /// Nodes that have at least one incident edge in the snapshot.
+    pub fn active_nodes(&self) -> Vec<NodeId> {
+        (0..self.adj.len() as NodeId)
+            .filter(|&v| !self.adj[v as usize].is_empty())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::TemporalEdge;
+
+    fn stream() -> EdgeStream {
+        EdgeStream::new(vec![
+            TemporalEdge::weighted(0, 1, 1.0, 1.0),
+            TemporalEdge::weighted(1, 0, 2.0, 2.0), // same undirected edge, reversed
+            TemporalEdge::weighted(1, 2, 0.5, 3.0),
+            TemporalEdge::weighted(3, 3, 1.0, 4.0), // self loop
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn accumulates_weights_across_directions() {
+        let s = GraphSnapshot::from_stream_prefix(&stream(), 4);
+        assert_eq!(s.weight(0, 1), 3.0);
+        assert_eq!(s.weight(1, 0), 3.0);
+        assert_eq!(s.weight(1, 2), 0.5);
+        assert_eq!(s.weight(0, 2), 0.0);
+    }
+
+    #[test]
+    fn edge_set_deduplicated() {
+        let s = GraphSnapshot::from_stream_prefix(&stream(), 4);
+        assert_eq!(s.num_edges(), 3); // {0,1}, {1,2}, {3,3}
+        assert_eq!(s.num_temporal_edges(), 4);
+    }
+
+    #[test]
+    fn prefix_respected() {
+        let s = GraphSnapshot::from_stream_prefix(&stream(), 1);
+        assert_eq!(s.weight(0, 1), 1.0);
+        assert_eq!(s.num_edges(), 1);
+    }
+
+    #[test]
+    fn at_time_uses_inclusive_prefix() {
+        let s = GraphSnapshot::at_time(&stream(), 2.0);
+        assert_eq!(s.num_temporal_edges(), 2);
+        assert_eq!(s.weight(0, 1), 3.0);
+    }
+
+    #[test]
+    fn self_loop_listed_once() {
+        let s = GraphSnapshot::from_stream_prefix(&stream(), 4);
+        assert_eq!(s.neighbors(3), &[(3, 1.0)]);
+        assert_eq!(s.static_degree(3), 1);
+    }
+
+    #[test]
+    fn active_nodes_excludes_isolated() {
+        let s = GraphSnapshot::from_stream_prefix(&stream(), 3);
+        assert_eq!(s.active_nodes(), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,130 @@
+//! Chronological splitting of property-query sets (paper Eq. 9, §V-A).
+//!
+//! All experiments in the paper split label queries chronologically: the
+//! standard evaluation protocol is a 10/10/80 train/validation/test split,
+//! and the feature-selection step (§IV-B) re-splits the available queries at
+//! five different split times (10/90 … 90/10) to simulate varying degrees of
+//! distribution shift.
+
+use crate::edge::{PropertyQuery, Time};
+
+/// Splits queries into `(before, after)` at `t_split`: `before` holds all
+/// queries with `time <= t_split` (the training property set `Y_T`), `after`
+/// the rest (`Y_V`). Queries must be chronologically ordered.
+pub fn split_at_time(queries: &[PropertyQuery], t_split: Time) -> (&[PropertyQuery], &[PropertyQuery]) {
+    debug_assert!(queries.windows(2).all(|w| w[0].time <= w[1].time));
+    let idx = queries.partition_point(|q| q.time <= t_split);
+    queries.split_at(idx)
+}
+
+/// Splits queries into `(head, tail)` where `head` contains the first
+/// `frac` fraction of queries by position.
+pub fn split_at_fraction(queries: &[PropertyQuery], frac: f64) -> (&[PropertyQuery], &[PropertyQuery]) {
+    assert!((0.0..=1.0).contains(&frac), "fraction must be within [0, 1]");
+    let idx = ((queries.len() as f64) * frac).round() as usize;
+    queries.split_at(idx.min(queries.len()))
+}
+
+/// Chronological multi-way split by cumulative fractions.
+///
+/// `fractions` must sum to (approximately) 1; returns one slice per
+/// fraction, in order. Used for the 10/10/80 protocol via
+/// `chronological_split(qs, &[0.1, 0.1, 0.8])`.
+pub fn chronological_split<'a>(
+    queries: &'a [PropertyQuery],
+    fractions: &[f64],
+) -> Vec<&'a [PropertyQuery]> {
+    let total: f64 = fractions.iter().sum();
+    assert!(
+        (total - 1.0).abs() < 1e-6,
+        "split fractions must sum to 1, got {total}"
+    );
+    let n = queries.len();
+    let mut out = Vec::with_capacity(fractions.len());
+    let mut start = 0usize;
+    let mut cum = 0.0;
+    for (i, f) in fractions.iter().enumerate() {
+        cum += f;
+        let end = if i + 1 == fractions.len() {
+            n
+        } else {
+            ((n as f64) * cum).round() as usize
+        };
+        let end = end.clamp(start, n);
+        out.push(&queries[start..end]);
+        start = end;
+    }
+    out
+}
+
+/// The paper's standard chronological 10/10/80 train/val/test split.
+pub fn train_val_test(
+    queries: &[PropertyQuery],
+) -> (&[PropertyQuery], &[PropertyQuery], &[PropertyQuery]) {
+    let parts = chronological_split(queries, &[0.1, 0.1, 0.8]);
+    (parts[0], parts[1], parts[2])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::Label;
+
+    fn qs(n: usize) -> Vec<PropertyQuery> {
+        (0..n)
+            .map(|i| PropertyQuery { node: 0, time: i as f64, label: Label::Class(0) })
+            .collect()
+    }
+
+    #[test]
+    fn split_at_time_inclusive() {
+        let q = qs(10);
+        let (a, b) = split_at_time(&q, 4.0);
+        assert_eq!(a.len(), 5);
+        assert_eq!(b.len(), 5);
+        assert_eq!(b[0].time, 5.0);
+    }
+
+    #[test]
+    fn split_at_fraction_rounds() {
+        let q = qs(10);
+        let (a, b) = split_at_fraction(&q, 0.25);
+        assert_eq!(a.len(), 3); // 2.5 rounds to 3
+        assert_eq!(b.len(), 7);
+    }
+
+    #[test]
+    fn chronological_partition_is_exhaustive() {
+        let q = qs(100);
+        let parts = chronological_split(&q, &[0.1, 0.1, 0.8]);
+        assert_eq!(parts.iter().map(|p| p.len()).sum::<usize>(), 100);
+        assert_eq!(parts[0].len(), 10);
+        assert_eq!(parts[1].len(), 10);
+        assert_eq!(parts[2].len(), 80);
+    }
+
+    #[test]
+    fn train_val_test_covers_all() {
+        let q = qs(37);
+        let (tr, va, te) = train_val_test(&q);
+        assert_eq!(tr.len() + va.len() + te.len(), 37);
+        // Chronology: every train time <= every val time <= every test time.
+        assert!(tr.last().is_none_or(|a| a.time <= va.first().map_or(f64::MAX, |b| b.time)));
+        assert!(va.last().is_none_or(|a| a.time <= te.first().map_or(f64::MAX, |b| b.time)));
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn fractions_must_sum_to_one() {
+        chronological_split(&qs(5), &[0.5, 0.4]);
+    }
+
+    #[test]
+    fn empty_queries_ok() {
+        let q = qs(0);
+        let (a, b) = split_at_fraction(&q, 0.5);
+        assert!(a.is_empty() && b.is_empty());
+        let parts = chronological_split(&q, &[0.3, 0.7]);
+        assert!(parts.iter().all(|p| p.is_empty()));
+    }
+}

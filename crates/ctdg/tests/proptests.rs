@@ -1,0 +1,184 @@
+//! Property-based tests for the CTDG substrate invariants.
+
+use ctdg::{
+    chronological_split, replay, DegreeTracker, EdgeStream, Event, GraphSnapshot, Label,
+    NeighborMemory, PropertyQuery, TemporalEdge,
+};
+use proptest::prelude::*;
+
+/// Strategy: a chronologically ordered stream over `n` nodes.
+fn arb_stream(max_nodes: u32, max_edges: usize) -> impl Strategy<Value = EdgeStream> {
+    prop::collection::vec(
+        (0..max_nodes, 0..max_nodes, 0.0f64..1000.0, 0.1f32..5.0),
+        0..max_edges,
+    )
+    .prop_map(|mut raw| {
+        raw.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap());
+        let edges = raw
+            .into_iter()
+            .map(|(s, d, t, w)| TemporalEdge::weighted(s, d, w, t))
+            .collect();
+        EdgeStream::new(edges).expect("sorted edges must form a valid stream")
+    })
+}
+
+proptest! {
+    #[test]
+    fn memory_holds_at_most_k_per_node(stream in arb_stream(12, 80), k in 1usize..6) {
+        let mem = NeighborMemory::from_stream_prefix(&stream, stream.len(), k);
+        for v in 0..stream.num_nodes() as u32 {
+            prop_assert!(mem.count(v) <= k);
+            let ns = mem.neighbors(v);
+            // chronological order within the memory
+            prop_assert!(ns.windows(2).all(|w| w[0].time <= w[1].time));
+        }
+    }
+
+    #[test]
+    fn memory_matches_bruteforce_suffix(stream in arb_stream(8, 60), k in 1usize..5) {
+        let mem = NeighborMemory::from_stream_prefix(&stream, stream.len(), k);
+        for v in 0..stream.num_nodes() as u32 {
+            // Brute force: the last k incident edges by stream order.
+            let incident: Vec<usize> = stream
+                .edges()
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.touches(v))
+                .map(|(i, _)| i)
+                .collect();
+            let expected: Vec<usize> =
+                incident.iter().rev().take(k).rev().copied().collect();
+            let got: Vec<usize> = mem.neighbors(v).iter().map(|m| m.edge_idx).collect();
+            prop_assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn degree_total_is_twice_edge_count(stream in arb_stream(10, 100)) {
+        let d = DegreeTracker::from_stream_prefix(&stream, stream.len());
+        prop_assert_eq!(d.total(), 2 * stream.len() as u64);
+        let sum: u64 = (0..stream.num_nodes() as u32).map(|v| d.degree(v)).sum();
+        prop_assert_eq!(sum, d.total());
+    }
+
+    #[test]
+    fn snapshot_weight_symmetric_and_additive(stream in arb_stream(8, 50)) {
+        let snap = GraphSnapshot::from_stream_prefix(&stream, stream.len());
+        for u in 0..stream.num_nodes() as u32 {
+            for v in 0..stream.num_nodes() as u32 {
+                let w_uv = snap.weight(u, v);
+                let w_vu = snap.weight(v, u);
+                prop_assert!((w_uv - w_vu).abs() < 1e-4);
+                // Additivity: matches the sum of raw temporal edge weights.
+                let expected: f32 = stream
+                    .edges()
+                    .iter()
+                    .filter(|e| {
+                        (e.src == u && e.dst == v) || (e.src == v && e.dst == u)
+                    })
+                    .map(|e| e.weight)
+                    .sum();
+                // Avoid double counting (u,v) and (v,u) enumeration overlap at u==v.
+                if u <= v {
+                    prop_assert!((w_uv - expected).abs() < 1e-3,
+                        "weight({u},{v}) = {w_uv}, expected {expected}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_monotone_in_prefix(stream in arb_stream(8, 50), cut in 0usize..50) {
+        let cut = cut.min(stream.len());
+        let small = GraphSnapshot::from_stream_prefix(&stream, cut);
+        let full = GraphSnapshot::from_stream_prefix(&stream, stream.len());
+        prop_assert!(small.num_edges() <= full.num_edges());
+        prop_assert!(small.num_temporal_edges() <= full.num_temporal_edges());
+    }
+
+    #[test]
+    fn replay_preserves_order_and_counts(
+        stream in arb_stream(6, 40),
+        qtimes in prop::collection::vec(0.0f64..1000.0, 0..30),
+    ) {
+        let mut qtimes = qtimes;
+        qtimes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let queries: Vec<PropertyQuery> = qtimes
+            .iter()
+            .map(|&t| PropertyQuery { node: 0, time: t, label: Label::Class(0) })
+            .collect();
+        let events = replay(&stream, &queries);
+        prop_assert_eq!(events.len(), stream.len() + queries.len());
+        prop_assert!(events.windows(2).all(|w| w[0].time() <= w[1].time()));
+        // Every query sees all edges at or before its own time.
+        let mut edges_seen = 0usize;
+        for ev in &events {
+            match ev {
+                Event::Edge(..) => edges_seen += 1,
+                Event::Query(_, q) => {
+                    prop_assert_eq!(edges_seen, stream.prefix_len_at(q.time));
+                }
+            }
+        }
+    }
+
+    /// A DTDG view is a *partition* of the stream: every temporal edge lands
+    /// in exactly one window, and that window's bounds contain its time.
+    #[test]
+    fn dtdg_partitions_the_stream(stream in arb_stream(10, 80), w in 1usize..8) {
+        let view = ctdg::DtdgView::new(&stream, w);
+        prop_assert_eq!(view.num_windows(), w);
+        prop_assert_eq!(view.total_temporal_edges(), stream.len());
+        for edge in stream.edges() {
+            let idx = view.window_of(edge.time);
+            let (lo, hi) = view.bounds(idx);
+            let last = idx == w - 1;
+            prop_assert!(
+                edge.time >= lo - 1e-9 && (edge.time < hi + 1e-9 || last),
+                "edge at {} outside window {idx} [{lo}, {hi})",
+                edge.time
+            );
+        }
+        // Per-window weight mass sums to the full snapshot's mass.
+        let full = GraphSnapshot::from_stream_prefix(&stream, stream.len());
+        let total_weight = |s: &GraphSnapshot| -> f64 {
+            (0..s.num_nodes() as u32)
+                .flat_map(|v| s.neighbors(v).iter().map(move |&(n, wt)| {
+                    // Self-loops appear once, other edges twice.
+                    if n == v { wt as f64 } else { wt as f64 / 2.0 }
+                }))
+                .sum()
+        };
+        let parts: f64 = view.windows().iter().map(total_weight).sum();
+        prop_assert!((parts - total_weight(&full)).abs() < 1e-3);
+    }
+
+    /// Window bucketing of event times is monotone and in range.
+    #[test]
+    fn bucketing_is_monotone(
+        times in prop::collection::vec(0.0f64..500.0, 0..40),
+        w in 1usize..6,
+    ) {
+        let mut times = times;
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let buckets = ctdg::bucket_by_window(&times, w);
+        prop_assert_eq!(buckets.len(), times.len());
+        prop_assert!(buckets.windows(2).all(|x| x[0] <= x[1]));
+        prop_assert!(buckets.iter().all(|&b| b < w));
+        if !buckets.is_empty() {
+            prop_assert_eq!(buckets[0], 0, "the earliest event anchors window 0");
+        }
+    }
+
+    #[test]
+    fn chronological_split_partitions(n in 0usize..200) {
+        let queries: Vec<PropertyQuery> = (0..n)
+            .map(|i| PropertyQuery { node: 0, time: i as f64, label: Label::Class(0) })
+            .collect();
+        let parts = chronological_split(&queries, &[0.1, 0.1, 0.8]);
+        prop_assert_eq!(parts.iter().map(|p| p.len()).sum::<usize>(), n);
+        // Parts are contiguous and ordered.
+        let flat: Vec<f64> = parts.iter().flat_map(|p| p.iter().map(|q| q.time)).collect();
+        prop_assert!(flat.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,292 @@
+//! Synthetic analogues of the dynamic-node-classification datasets
+//! (Email-EU — Paranjape et al. 2017; GDELT — Zhou et al. 2022).
+//!
+//! Email-EU is a communication network whose node labels are department
+//! memberships; GDELT is a larger event network with many classes and
+//! external node features. Both exhibit the shifts the paper studies: new
+//! nodes keep arriving (positional shift), some nodes migrate between
+//! communities over time (label dynamics, Example 1 / Fig. 1 of the paper),
+//! and — for the GDELT analogue — class priors drift.
+
+use ctdg::{EdgeStream, Label, NodeId, PropertyQuery, TemporalEdge};
+use nn::Matrix;
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+use crate::common::{
+    class_prototypes, noisy_feature, sorted_times, weighted_choice, zipf_activity, Dataset, Task,
+};
+
+/// Parameters of a classification stream.
+#[derive(Debug, Clone)]
+pub struct ClassificationSpec {
+    /// Dataset name.
+    pub name: &'static str,
+    /// Number of nodes.
+    pub num_nodes: usize,
+    /// Number of temporal edges.
+    pub num_edges: usize,
+    /// Number of label queries.
+    pub num_queries: usize,
+    /// Number of classes (departments/communities).
+    pub num_classes: usize,
+    /// Probability that an edge stays within the source's community.
+    pub p_intra: f64,
+    /// Fraction of nodes that migrate to another community mid-stream.
+    pub migrate_frac: f64,
+    /// External node feature dimension (GDELT analogue), if any.
+    pub node_feat_dim: Option<usize>,
+    /// Whether class priors drift over time (late arrivals concentrate in
+    /// a subset of classes).
+    pub prior_drift: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Scaled-down Email-EU analogue (Table II: 986 nodes / 332k edges /
+/// 42 classes, scaled to 200 nodes / 12k edges / 10 classes).
+pub fn email_eu() -> Dataset {
+    generate_classification(&ClassificationSpec {
+        name: "email-eu",
+        num_nodes: 200,
+        num_edges: 12_000,
+        num_queries: 7_000,
+        num_classes: 10,
+        p_intra: 0.82,
+        migrate_frac: 0.12,
+        node_feat_dim: None,
+        prior_drift: false,
+        seed: 0xCAFE_0001,
+    })
+}
+
+/// Scaled-down GDELT analogue (6,829 nodes / 1.9M edges / 81 classes /
+/// 413-d node features, scaled to 450 nodes / 22k edges / 16 classes /
+/// 16-d features).
+pub fn gdelt() -> Dataset {
+    generate_classification(&ClassificationSpec {
+        name: "gdelt",
+        num_nodes: 450,
+        num_edges: 22_000,
+        num_queries: 9_000,
+        num_classes: 16,
+        p_intra: 0.7,
+        migrate_frac: 0.2,
+        node_feat_dim: Some(16),
+        prior_drift: true,
+        seed: 0xCAFE_0002,
+    })
+}
+
+const HORIZON: f64 = 1000.0;
+
+/// Generates one classification dataset from a spec.
+pub fn generate_classification(spec: &ClassificationSpec) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let n = spec.num_nodes;
+    let c = spec.num_classes;
+
+    // Arrivals: most mass early, arrivals continue through the stream.
+    let arrival: Vec<f64> = (0..n)
+        .map(|_| {
+            let x: f64 = rng.random::<f64>();
+            HORIZON * 0.9 * x * x
+        })
+        .collect();
+    let activity = zipf_activity(n, 0.8, &mut rng);
+
+    // Initial classes; under prior drift, late-arriving nodes concentrate
+    // in the second half of the class space.
+    let initial_class: Vec<usize> = (0..n)
+        .map(|i| {
+            if spec.prior_drift && arrival[i] > HORIZON * 0.4 {
+                c / 2 + rng.random_range(0..c - c / 2)
+            } else {
+                rng.random_range(0..c)
+            }
+        })
+        .collect();
+
+    // Migration events: (time, new class) for a subset of nodes.
+    let migration: Vec<Option<(f64, usize)>> = (0..n)
+        .map(|_| {
+            if rng.random::<f64>() < spec.migrate_frac {
+                let t = HORIZON * (0.2 + 0.8 * rng.random::<f64>());
+                let new_class = rng.random_range(0..c);
+                Some((t, new_class))
+            } else {
+                None
+            }
+        })
+        .collect();
+    let class_at = |node: usize, t: f64| -> usize {
+        match migration[node] {
+            Some((mt, nc)) if t >= mt => nc,
+            _ => initial_class[node],
+        }
+    };
+
+    // External node features (GDELT): prototype of the *initial* class plus
+    // noise. Features are static, so migrated nodes carry stale features —
+    // exactly the weakly-informative-feature regime the paper discusses.
+    let node_feats = spec.node_feat_dim.map(|d| {
+        let protos = class_prototypes(c, d, &mut rng);
+        let mut m = Matrix::zeros(n, d);
+        for i in 0..n {
+            m.set_row(i, &noisy_feature(&protos[initial_class[i]], 3.0, &mut rng));
+        }
+        m
+    });
+
+    // Edges.
+    let times = sorted_times(spec.num_edges, HORIZON, &mut rng);
+    let mut edges = Vec::with_capacity(spec.num_edges);
+    let mut weights_buf = vec![0.0f32; n];
+    for &t in &times {
+        for (i, w) in weights_buf.iter_mut().enumerate() {
+            *w = if arrival[i] <= t { activity[i] } else { 0.0 };
+        }
+        let Some(src) = weighted_choice(&weights_buf, |_| true, &mut rng) else {
+            continue;
+        };
+        let src_class = class_at(src, t);
+        let dst = if rng.random::<f64>() < spec.p_intra {
+            weighted_choice(&weights_buf, |j| j != src && class_at(j, t) == src_class, &mut rng)
+        } else {
+            weighted_choice(&weights_buf, |j| j != src, &mut rng)
+        };
+        let Some(dst) = dst.or_else(|| weighted_choice(&weights_buf, |j| j != src, &mut rng))
+        else {
+            continue;
+        };
+        edges.push(TemporalEdge::plain(src as NodeId, dst as NodeId, t));
+    }
+
+    // Label queries at independent times on arrived nodes.
+    let qtimes = sorted_times(spec.num_queries, HORIZON, &mut rng);
+    let mut queries = Vec::with_capacity(spec.num_queries);
+    for &t in &qtimes {
+        for (i, w) in weights_buf.iter_mut().enumerate() {
+            *w = if arrival[i] <= t { activity[i] } else { 0.0 };
+        }
+        let Some(node) = weighted_choice(&weights_buf, |_| true, &mut rng) else {
+            continue;
+        };
+        queries.push(PropertyQuery {
+            node: node as NodeId,
+            time: t,
+            label: Label::Class(class_at(node, t)),
+        });
+    }
+
+    // Pad the node-feature matrix to the stream's dense id space (all ids
+    // appear as endpoints, so sizes match; this guards tiny configs).
+    let stream = EdgeStream::new_unchecked(edges);
+    let node_feats = node_feats.map(|m| {
+        if m.rows() == stream.num_nodes() {
+            m
+        } else {
+            let mut padded = Matrix::zeros(stream.num_nodes(), m.cols());
+            for i in 0..m.rows().min(stream.num_nodes()) {
+                padded.set_row(i, m.row(i));
+            }
+            padded
+        }
+    });
+
+    let dataset = Dataset {
+        name: spec.name.to_string(),
+        task: Task::Classification,
+        stream,
+        queries,
+        num_classes: c,
+        node_feats,
+    };
+    dataset.validate();
+    dataset
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn email_eu_shape() {
+        let d = email_eu();
+        assert_eq!(d.task, Task::Classification);
+        assert_eq!(d.num_classes, 10);
+        assert!(d.stream.len() > 11_000);
+        assert!(d.queries.len() > 6_000);
+        assert!(d.node_feats.is_none());
+    }
+
+    #[test]
+    fn gdelt_has_node_features() {
+        let d = gdelt();
+        let f = d.node_feats.as_ref().expect("gdelt carries node features");
+        assert_eq!(f.rows(), d.stream.num_nodes());
+        assert_eq!(f.cols(), 16);
+    }
+
+    #[test]
+    fn edges_are_mostly_intra_community() {
+        let d = email_eu();
+        // Recover each node's majority query label as its "community".
+        let mut label_of = vec![usize::MAX; d.stream.num_nodes()];
+        for q in &d.queries {
+            label_of[q.node as usize] = q.label.class();
+        }
+        let mut intra = 0usize;
+        let mut known = 0usize;
+        for e in d.stream.edges() {
+            let (a, b) = (label_of[e.src as usize], label_of[e.dst as usize]);
+            if a != usize::MAX && b != usize::MAX {
+                known += 1;
+                if a == b {
+                    intra += 1;
+                }
+            }
+        }
+        let frac = intra as f64 / known as f64;
+        assert!(frac > 0.5, "intra-community edge fraction {frac}");
+    }
+
+    #[test]
+    fn some_nodes_change_label_over_time() {
+        let d = email_eu();
+        let mut first: std::collections::HashMap<u32, usize> = Default::default();
+        let mut changed = 0usize;
+        for q in &d.queries {
+            match first.entry(q.node) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(q.label.class());
+                }
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    if *e.get() != q.label.class() {
+                        changed += 1;
+                    }
+                }
+            }
+        }
+        assert!(changed > 0, "expected dynamic label changes");
+    }
+
+    #[test]
+    fn gdelt_prior_drift() {
+        let d = gdelt();
+        let n = d.queries.len();
+        let hi_class_frac = |qs: &[PropertyQuery]| {
+            qs.iter().filter(|q| q.label.class() >= 8).count() as f64 / qs.len() as f64
+        };
+        let early = hi_class_frac(&d.queries[..n / 4]);
+        let late = hi_class_frac(&d.queries[3 * n / 4..]);
+        assert!(late > early, "class prior should drift: early {early:.3} late {late:.3}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = email_eu();
+        let b = email_eu();
+        assert_eq!(a.queries[17], b.queries[17]);
+        assert_eq!(a.stream.edges()[123], b.stream.edges()[123]);
+    }
+}

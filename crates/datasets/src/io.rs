@@ -1,0 +1,247 @@
+//! Plain-text (CSV) export and import of datasets, so streams generated
+//! here can be consumed by other tooling (plotting, external baselines) and
+//! external CTDGs can be loaded into this harness.
+//!
+//! Two files describe a dataset:
+//!
+//! * `<name>.edges.csv` — `src,dst,time,weight[,f0,f1,…]` rows in
+//!   chronological order;
+//! * `<name>.queries.csv` — `node,time,label` rows for classification and
+//!   anomaly tasks, or `node,time,a0,a1,…` rows for affinity tasks.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use ctdg::{EdgeStream, Label, PropertyQuery, TemporalEdge};
+
+use crate::common::{Dataset, Task};
+
+/// Serializes the edge stream as CSV (with a header line).
+pub fn edges_to_csv(dataset: &Dataset) -> String {
+    let de = dataset.stream.feat_dim();
+    let mut out = String::from("src,dst,time,weight");
+    for i in 0..de {
+        let _ = write!(out, ",f{i}");
+    }
+    out.push('\n');
+    for e in dataset.stream.edges() {
+        let _ = write!(out, "{},{},{},{}", e.src, e.dst, e.time, e.weight);
+        for v in e.feat.iter() {
+            let _ = write!(out, ",{v}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Serializes the label queries as CSV (with a header line).
+pub fn queries_to_csv(dataset: &Dataset) -> String {
+    let mut out = match dataset.task {
+        Task::Affinity => {
+            let mut h = String::from("node,time");
+            for i in 0..dataset.num_classes {
+                let _ = write!(h, ",a{i}");
+            }
+            h
+        }
+        _ => String::from("node,time,label"),
+    };
+    out.push('\n');
+    for q in &dataset.queries {
+        let _ = write!(out, "{},{}", q.node, q.time);
+        match &q.label {
+            Label::Class(c) => {
+                let _ = write!(out, ",{c}");
+            }
+            Label::Affinity(a) => {
+                for v in a.iter() {
+                    let _ = write!(out, ",{v}");
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes `<dir>/<name>.edges.csv` and `<dir>/<name>.queries.csv`.
+pub fn export_csv(dataset: &Dataset, dir: &Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join(format!("{}.edges.csv", dataset.name)), edges_to_csv(dataset))?;
+    std::fs::write(dir.join(format!("{}.queries.csv", dataset.name)), queries_to_csv(dataset))?;
+    Ok(())
+}
+
+/// Errors raised while parsing dataset CSVs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number within the offending file.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError { line, message: message.into() }
+}
+
+/// Parses an edge CSV produced by [`edges_to_csv`] (header required).
+pub fn edges_from_csv(text: &str) -> Result<EdgeStream, ParseError> {
+    let mut edges = Vec::new();
+    for (i, line) in text.lines().enumerate().skip(1) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').collect();
+        if cells.len() < 4 {
+            return Err(err(i + 1, "expected at least src,dst,time,weight"));
+        }
+        let parse_f =
+            |s: &str| s.trim().parse::<f64>().map_err(|e| err(i + 1, format!("{s:?}: {e}")));
+        let src = cells[0]
+            .trim()
+            .parse::<u32>()
+            .map_err(|e| err(i + 1, format!("src: {e}")))?;
+        let dst = cells[1]
+            .trim()
+            .parse::<u32>()
+            .map_err(|e| err(i + 1, format!("dst: {e}")))?;
+        let time = parse_f(cells[2])?;
+        let weight = parse_f(cells[3])? as f32;
+        let feat: Vec<f32> = cells[4..]
+            .iter()
+            .map(|s| parse_f(s).map(|v| v as f32))
+            .collect::<Result<_, _>>()?;
+        edges.push(TemporalEdge { src, dst, feat: feat.into(), weight, time });
+    }
+    EdgeStream::new(edges).map_err(|e| err(0, e.to_string()))
+}
+
+/// Parses a query CSV produced by [`queries_to_csv`]; `task` selects the
+/// label layout.
+pub fn queries_from_csv(text: &str, task: Task) -> Result<Vec<PropertyQuery>, ParseError> {
+    let mut queries = Vec::new();
+    for (i, line) in text.lines().enumerate().skip(1) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').collect();
+        if cells.len() < 3 {
+            return Err(err(i + 1, "expected at least node,time,label"));
+        }
+        let node = cells[0]
+            .trim()
+            .parse::<u32>()
+            .map_err(|e| err(i + 1, format!("node: {e}")))?;
+        let time = cells[1]
+            .trim()
+            .parse::<f64>()
+            .map_err(|e| err(i + 1, format!("time: {e}")))?;
+        let label = match task {
+            Task::Affinity => {
+                let a: Vec<f32> = cells[2..]
+                    .iter()
+                    .map(|s| {
+                        s.trim()
+                            .parse::<f32>()
+                            .map_err(|e| err(i + 1, format!("affinity: {e}")))
+                    })
+                    .collect::<Result<_, _>>()?;
+                Label::Affinity(a.into())
+            }
+            _ => Label::Class(
+                cells[2]
+                    .trim()
+                    .parse::<usize>()
+                    .map_err(|e| err(i + 1, format!("label: {e}")))?,
+            ),
+        };
+        queries.push(PropertyQuery { node, time, label });
+    }
+    Ok(queries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{synthetic_shift, tgbn_trade};
+
+    #[test]
+    fn classification_roundtrip() {
+        let d = crate::common::Dataset {
+            queries: synthetic_shift(50, 1).queries[..200].to_vec(),
+            ..synthetic_shift(50, 1)
+        };
+        let stream = edges_from_csv(&edges_to_csv(&d)).unwrap();
+        assert_eq!(stream.len(), d.stream.len());
+        assert_eq!(stream.edges()[5], d.stream.edges()[5]);
+        let queries = queries_from_csv(&queries_to_csv(&d), d.task).unwrap();
+        assert_eq!(queries.len(), d.queries.len());
+        assert_eq!(queries[7], d.queries[7]);
+    }
+
+    #[test]
+    fn affinity_roundtrip() {
+        let d = tgbn_trade();
+        let queries = queries_from_csv(&queries_to_csv(&d), d.task).unwrap();
+        assert_eq!(queries.len(), d.queries.len());
+        let a = queries[3].label.affinity();
+        let b = d.queries[3].label.affinity();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn edge_features_roundtrip() {
+        let d = crate::anomaly::generate_anomaly(&crate::AnomalySpec {
+            name: "t",
+            num_users: 20,
+            num_items: 5,
+            num_edges: 300,
+            edge_feat_dim: 3,
+            abnormal_frac: 0.1,
+            burst: 2.0,
+            seed: 4,
+        });
+        let stream = edges_from_csv(&edges_to_csv(&d)).unwrap();
+        assert_eq!(stream.feat_dim(), 3);
+        for (a, b) in stream.edges().iter().zip(d.stream.edges()).take(20) {
+            for (x, y) in a.feat.iter().zip(b.feat.iter()) {
+                assert!((x - y).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let bad = "src,dst,time,weight\n1,2,notatime,1.0\n";
+        let e = edges_from_csv(bad).unwrap_err();
+        assert_eq!(e.line, 2);
+        let bad_q = "node,time,label\nxyz,1.0,0\n";
+        let e = queries_from_csv(bad_q, Task::Classification).unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn export_writes_both_files() {
+        let dir = std::env::temp_dir().join("splash_csv_test");
+        let d = crate::common::Dataset {
+            queries: synthetic_shift(50, 2).queries[..50].to_vec(),
+            ..synthetic_shift(50, 2)
+        };
+        export_csv(&d, &dir).unwrap();
+        assert!(dir.join("synthetic-50.edges.csv").exists());
+        assert!(dir.join("synthetic-50.queries.csv").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,78 @@
+//! Parameterized streams for the scalability experiment (paper Fig. 11:
+//! near-linear training/inference time in the number of edges).
+//!
+//! The paper sweeps 100M–1B edges on a server; we sweep a laptop-scale range
+//! with the same *shape* claim — time per edge independent of stream size.
+//! Each edge carries one label query, matching the paper's setup.
+
+use ctdg::{EdgeStream, Label, NodeId, PropertyQuery, TemporalEdge};
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+use crate::common::{Dataset, Task};
+
+/// Generates a classification stream with `num_edges` edges over
+/// `num_nodes` nodes; one query per edge. Generation is O(num_edges).
+pub fn scalability_stream(num_edges: usize, num_nodes: usize, seed: u64) -> Dataset {
+    assert!(num_nodes >= 4, "need at least 4 nodes");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let num_classes = 4usize;
+    let class_of = |v: usize| v % num_classes;
+    let mut edges = Vec::with_capacity(num_edges);
+    let mut queries = Vec::with_capacity(num_edges);
+    let dt = 1.0 / num_edges.max(1) as f64;
+    for i in 0..num_edges {
+        let t = i as f64 * dt * 1000.0;
+        let src = rng.random_range(0..num_nodes);
+        // Mostly intra-class edges so the labels are learnable.
+        let dst = if rng.random::<f64>() < 0.8 {
+            let base = rng.random_range(0..num_nodes / num_classes);
+            (base * num_classes + class_of(src)) % num_nodes
+        } else {
+            rng.random_range(0..num_nodes)
+        };
+        let dst = if dst == src { (dst + num_classes) % num_nodes } else { dst };
+        edges.push(TemporalEdge::plain(src as NodeId, dst as NodeId, t));
+        queries.push(PropertyQuery {
+            node: src as NodeId,
+            time: t,
+            label: Label::Class(class_of(src)),
+        });
+    }
+    let dataset = Dataset {
+        name: format!("scalability-{num_edges}"),
+        task: Task::Classification,
+        stream: EdgeStream::new_unchecked(edges),
+        queries,
+        num_classes,
+        node_feats: None,
+    };
+    dataset.validate();
+    dataset
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_request() {
+        let d = scalability_stream(5000, 100, 0);
+        assert_eq!(d.stream.len(), 5000);
+        assert_eq!(d.queries.len(), 5000);
+        assert!(d.stream.num_nodes() <= 100);
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let d = scalability_stream(2000, 40, 1);
+        assert!(d.stream.edges().iter().all(|e| e.src != e.dst));
+    }
+
+    #[test]
+    fn labels_follow_class_rule() {
+        let d = scalability_stream(1000, 40, 2);
+        for q in &d.queries {
+            assert_eq!(q.label.class(), q.node as usize % 4);
+        }
+    }
+}

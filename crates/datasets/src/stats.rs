@@ -1,0 +1,116 @@
+//! Dataset statistics — the reproduction of the paper's Table II.
+
+use crate::common::{Dataset, Task};
+
+/// Summary statistics of one dataset, mirroring Table II's rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: String,
+    /// Task instance.
+    pub task: Task,
+    /// Number of nodes that appear in the stream.
+    pub num_nodes: usize,
+    /// Number of temporal edges.
+    pub num_edges: usize,
+    /// Number of label queries.
+    pub num_queries: usize,
+    /// Whether external node features are present, and their dimension.
+    pub node_feat_dim: Option<usize>,
+    /// Edge feature dimension (0 when absent).
+    pub edge_feat_dim: usize,
+    /// Whether edges carry non-unit weights.
+    pub has_edge_weights: bool,
+    /// Number of labels (classes or affinity dimension).
+    pub num_labels: usize,
+}
+
+impl DatasetStats {
+    /// Computes the statistics of a dataset.
+    pub fn compute(dataset: &Dataset) -> Self {
+        let has_edge_weights = dataset
+            .stream
+            .edges()
+            .iter()
+            .any(|e| (e.weight - 1.0).abs() > 1e-9);
+        Self {
+            name: dataset.name.clone(),
+            task: dataset.task,
+            num_nodes: dataset.stream.num_nodes(),
+            num_edges: dataset.stream.len(),
+            num_queries: dataset.queries.len(),
+            node_feat_dim: dataset.node_feats.as_ref().map(|m| m.cols()),
+            edge_feat_dim: dataset.stream.feat_dim(),
+            has_edge_weights,
+            num_labels: dataset.num_classes,
+        }
+    }
+
+    /// One aligned text row for the Table II harness.
+    pub fn table_row(&self) -> String {
+        format!(
+            "{:<12} {:>8} {:>8} {:>9} {:>10} {:>10} {:>12} {:>8}",
+            self.name,
+            self.num_nodes,
+            self.num_edges,
+            self.num_queries,
+            self.node_feat_dim.map_or("no".to_string(), |d| format!("yes({d})")),
+            if self.edge_feat_dim > 0 {
+                format!("yes({})", self.edge_feat_dim)
+            } else {
+                "no".to_string()
+            },
+            if self.has_edge_weights { "yes" } else { "no" },
+            self.num_labels,
+        )
+    }
+
+    /// The header matching [`Self::table_row`].
+    pub fn table_header() -> String {
+        format!(
+            "{:<12} {:>8} {:>8} {:>9} {:>10} {:>10} {:>12} {:>8}",
+            "dataset", "#nodes", "#edges", "#queries", "node-feat", "edge-feat", "edge-weight", "#labels"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{affinity, anomaly, classification};
+
+    #[test]
+    fn reddit_stats_match_table2_shape() {
+        let s = DatasetStats::compute(&anomaly::reddit());
+        assert_eq!(s.task, Task::Anomaly);
+        assert_eq!(s.num_labels, 2);
+        assert!(s.edge_feat_dim > 0, "Reddit analogue has edge features");
+        assert!(s.node_feat_dim.is_none(), "Reddit analogue has no node features");
+        assert!(!s.has_edge_weights);
+        // queries == edges in the anomaly datasets (one query per interaction)
+        assert_eq!(s.num_queries, s.num_edges);
+    }
+
+    #[test]
+    fn gdelt_is_the_only_node_featured_dataset() {
+        assert!(DatasetStats::compute(&classification::gdelt()).node_feat_dim.is_some());
+        assert!(DatasetStats::compute(&classification::email_eu()).node_feat_dim.is_none());
+        assert!(DatasetStats::compute(&anomaly::wiki()).node_feat_dim.is_none());
+    }
+
+    #[test]
+    fn affinity_datasets_are_weighted_featureless() {
+        for d in [affinity::tgbn_trade(), affinity::tgbn_genre()] {
+            let s = DatasetStats::compute(&d);
+            assert!(s.has_edge_weights, "{} should be weighted", s.name);
+            assert_eq!(s.edge_feat_dim, 0);
+        }
+    }
+
+    #[test]
+    fn table_row_is_aligned() {
+        let s = DatasetStats::compute(&anomaly::mooc());
+        assert_eq!(s.table_row().split_whitespace().count(), 8);
+        assert_eq!(DatasetStats::table_header().split_whitespace().count(), 8);
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests for the dataset substrate: CSV interchange
+//! round-trips and generator invariants.
+
+use ctdg::{EdgeStream, Label, PropertyQuery, TemporalEdge};
+use datasets::{
+    edges_from_csv, edges_to_csv, queries_from_csv, queries_to_csv, Dataset, Task,
+};
+use proptest::prelude::*;
+
+/// Strategy: a chronologically ordered edge stream with optional per-edge
+/// features of a fixed dimension.
+fn arb_stream(feat_dim: usize) -> impl Strategy<Value = EdgeStream> {
+    prop::collection::vec(
+        (
+            0u32..20,
+            0u32..20,
+            0.0f64..1e6,
+            -5.0f32..5.0,
+            prop::collection::vec(-3.0f32..3.0, feat_dim),
+        ),
+        0..60,
+    )
+    .prop_map(|mut raw| {
+        raw.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap());
+        let edges = raw
+            .into_iter()
+            .map(|(s, d, t, w, f)| TemporalEdge { src: s, dst: d, time: t, weight: w, feat: f.into() })
+            .collect();
+        EdgeStream::new(edges).expect("sorted edges form a stream")
+    })
+}
+
+fn wrap(stream: EdgeStream, queries: Vec<PropertyQuery>, task: Task, classes: usize) -> Dataset {
+    Dataset {
+        name: "prop".into(),
+        task,
+        stream,
+        queries,
+        num_classes: classes,
+        node_feats: None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Edge CSV round-trips exactly (Rust's shortest-round-trip float
+    /// formatting guarantees bit-identical times, weights and features).
+    #[test]
+    fn edge_csv_roundtrip(stream in arb_stream(3)) {
+        let d = wrap(stream, vec![], Task::Classification, 2);
+        let csv = edges_to_csv(&d);
+        let back = edges_from_csv(&csv).expect("own output must parse");
+        prop_assert_eq!(back.len(), d.stream.len());
+        for (a, b) in back.edges().iter().zip(d.stream.edges()) {
+            prop_assert_eq!(a.src, b.src);
+            prop_assert_eq!(a.dst, b.dst);
+            prop_assert_eq!(a.time, b.time);
+            prop_assert_eq!(a.weight, b.weight);
+            prop_assert_eq!(a.feat.as_ref(), b.feat.as_ref());
+        }
+    }
+
+    /// Classification query CSV round-trips exactly.
+    #[test]
+    fn class_query_csv_roundtrip(
+        raw in prop::collection::vec((0u32..50, 0.0f64..1e5, 0usize..7), 0..50)
+    ) {
+        let mut raw = raw;
+        raw.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        let queries: Vec<PropertyQuery> = raw
+            .into_iter()
+            .map(|(v, t, c)| PropertyQuery { node: v, time: t, label: Label::Class(c) })
+            .collect();
+        let d = wrap(
+            EdgeStream::new(vec![]).unwrap(),
+            queries.clone(),
+            Task::Classification,
+            7,
+        );
+        let csv = queries_to_csv(&d);
+        let back = queries_from_csv(&csv, Task::Classification).expect("parses");
+        prop_assert_eq!(back.len(), queries.len());
+        for (a, b) in back.iter().zip(&queries) {
+            prop_assert_eq!(a.node, b.node);
+            prop_assert_eq!(a.time, b.time);
+            prop_assert_eq!(a.label.class(), b.label.class());
+        }
+    }
+
+    /// Affinity query CSV round-trips exactly, including the vector labels.
+    #[test]
+    fn affinity_query_csv_roundtrip(
+        raw in prop::collection::vec(
+            (0u32..30, 0.0f64..1e5, prop::collection::vec(0.0f32..1.0, 4)),
+            0..30,
+        )
+    ) {
+        let mut raw = raw;
+        raw.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        let queries: Vec<PropertyQuery> = raw
+            .into_iter()
+            .map(|(v, t, a)| PropertyQuery { node: v, time: t, label: Label::Affinity(a.into()) })
+            .collect();
+        let d = wrap(EdgeStream::new(vec![]).unwrap(), queries.clone(), Task::Affinity, 4);
+        let csv = queries_to_csv(&d);
+        let back = queries_from_csv(&csv, Task::Affinity).expect("parses");
+        prop_assert_eq!(back.len(), queries.len());
+        for (a, b) in back.iter().zip(&queries) {
+            prop_assert_eq!(a.node, b.node);
+            prop_assert_eq!(a.label.affinity(), b.label.affinity());
+        }
+    }
+
+    /// Corrupting any single data cell of a valid edge CSV into a
+    /// non-numeric token must produce a ParseError carrying that line's
+    /// number — never a panic or silent acceptance.
+    #[test]
+    fn corrupted_edge_cell_is_rejected_with_line_number(
+        stream in arb_stream(2),
+        row_pick in 0usize..64,
+        col_pick in 0usize..6,
+    ) {
+        prop_assume!(!stream.is_empty());
+        let d = wrap(stream, vec![], Task::Classification, 2);
+        let csv = edges_to_csv(&d);
+        let mut lines: Vec<String> = csv.lines().map(String::from).collect();
+        let row = 1 + (row_pick % (lines.len() - 1)); // skip header
+        let mut cells: Vec<String> = lines[row].split(',').map(String::from).collect();
+        let col = col_pick % cells.len();
+        cells[col] = "bogus".into();
+        lines[row] = cells.join(",");
+        let corrupted = lines.join("\n");
+        let errored = edges_from_csv(&corrupted).expect_err("corruption must be rejected");
+        prop_assert_eq!(errored.line, row + 1, "error must point at the corrupted line");
+    }
+}
+
+#[test]
+fn exported_benchmarks_reimport_losslessly() {
+    // The full seven-analogue suite must survive the interchange format:
+    // this is the bring-your-own-data contract.
+    for dataset in datasets::all_benchmarks() {
+        let edges = edges_from_csv(&edges_to_csv(&dataset)).expect("edges parse");
+        let queries =
+            queries_from_csv(&queries_to_csv(&dataset), dataset.task).expect("queries parse");
+        assert_eq!(edges.len(), dataset.stream.len(), "{}", dataset.name);
+        assert_eq!(queries.len(), dataset.queries.len(), "{}", dataset.name);
+        let reloaded = Dataset {
+            name: dataset.name.clone(),
+            task: dataset.task,
+            stream: edges,
+            queries,
+            num_classes: dataset.num_classes,
+            node_feats: None,
+        };
+        reloaded.validate();
+    }
+}

@@ -1,0 +1,132 @@
+//! Walker's alias method for O(1) sampling from a discrete distribution.
+//!
+//! Used for negative sampling in skip-gram training (unigram^0.75
+//! distribution) and for first-order steps of the random walks.
+
+use rand::{Rng, RngExt};
+
+/// A pre-processed discrete distribution supporting O(1) sampling.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Builds the table from non-negative weights; at least one weight must
+    /// be positive.
+    pub fn new(weights: &[f32]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one weight");
+        let total: f64 = weights.iter().map(|&w| w as f64).sum();
+        assert!(
+            total > 0.0 && weights.iter().all(|&w| w >= 0.0),
+            "weights must be non-negative with positive sum"
+        );
+        let n = weights.len();
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w as f64 * n as f64 / total).collect();
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s] = l;
+            prob[l] = (prob[l] + prob[s]) - 1.0;
+            if prob[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Remaining entries are numerically 1.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i] = 1.0;
+        }
+        Self { prob, alias }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one index distributed proportionally to the input weights.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.random_range(0..self.prob.len());
+        if rng.random::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn uniform_weights_sample_uniformly() {
+        let table = AliasTable::new(&[1.0, 1.0, 1.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut counts = [0usize; 4];
+        let n = 40_000;
+        for _ in 0..n {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            let f = c as f64 / n as f64;
+            assert!((f - 0.25).abs() < 0.02, "freq {f}");
+        }
+    }
+
+    #[test]
+    fn skewed_weights_match_expected_frequencies() {
+        let table = AliasTable::new(&[1.0, 3.0, 6.0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 3];
+        let n = 60_000;
+        for _ in 0..n {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        let expected = [0.1, 0.3, 0.6];
+        for (c, e) in counts.iter().zip(expected) {
+            let f = *c as f64 / n as f64;
+            assert!((f - e).abs() < 0.02, "freq {f} expected {e}");
+        }
+    }
+
+    #[test]
+    fn zero_weight_never_sampled() {
+        let table = AliasTable::new(&[0.0, 1.0, 0.0]);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            assert_eq!(table.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn single_outcome() {
+        let table = AliasTable::new(&[42.0]);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(table.sample(&mut rng), 0);
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_all_zero() {
+        AliasTable::new(&[0.0, 0.0]);
+    }
+}

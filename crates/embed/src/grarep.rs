@@ -1,0 +1,163 @@
+//! GraRep-style positional embeddings (Cao, Lu & Xu, CIKM 2015).
+//!
+//! The SPLASH paper (§II-D) cites GraRep as a positional embedding that
+//! captures multi-hop proximity: for each transition step `k = 1..K`, the
+//! log of the k-step transition-probability matrix (shifted by the log of
+//! the uniform baseline, clipped at zero) is factorized with a truncated
+//! SVD, and the per-step embeddings `U_k · diag(S_k)^{1/2}` are
+//! concatenated. Together with node2vec this gives the `embed` crate two
+//! interchangeable implementations of the `Embedding(G^(s))` function of
+//! the paper's Eq. (1).
+//!
+//! Training snapshots in this reproduction have at most a few thousand
+//! nodes, so the dense `O(n²)` transition powers are cheap.
+
+use ctdg::{GraphSnapshot, NodeId};
+use nn::{truncated_svd, Matrix};
+
+/// Configuration for [`grarep`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraRepConfig {
+    /// Total embedding dimension (split evenly across transition steps).
+    pub dim: usize,
+    /// Maximum transition step `K` (GraRep's order).
+    pub transition_steps: usize,
+    /// Power iterations inside each truncated SVD.
+    pub svd_iters: usize,
+}
+
+impl Default for GraRepConfig {
+    fn default() -> Self {
+        Self { dim: 32, transition_steps: 2, svd_iters: 3 }
+    }
+}
+
+/// Computes GraRep embeddings `(num_nodes, dim)` over the snapshot's
+/// Ω-weighted undirected adjacency. Isolated nodes get zero rows.
+pub fn grarep(snapshot: &GraphSnapshot, config: &GraRepConfig, seed: u64) -> Matrix {
+    let n = snapshot.num_nodes();
+    let steps = config.transition_steps.max(1);
+    if n == 0 || config.dim == 0 {
+        return Matrix::zeros(n, config.dim);
+    }
+    let per_step = (config.dim / steps).max(1);
+
+    // Row-normalized transition matrix over Ω weights.
+    let mut transition = Matrix::zeros(n, n);
+    for v in 0..n as NodeId {
+        let nbrs = snapshot.neighbors(v);
+        let total: f32 = nbrs.iter().map(|&(_, w)| w).sum();
+        if total <= 0.0 {
+            continue;
+        }
+        for &(u, w) in nbrs {
+            transition.set(v as usize, u as usize, w / total);
+        }
+    }
+
+    let log_uniform = (1.0 / n as f32).ln();
+    let mut power = transition.clone();
+    let mut blocks: Vec<Matrix> = Vec::with_capacity(steps);
+    for step in 0..steps {
+        if step > 0 {
+            power = power.matmul(&transition);
+        }
+        // Positive log co-occurrence: log p_k(u|v) − log (1/n), clipped.
+        let target = power.map(|p| if p > 0.0 { (p.ln() - log_uniform).max(0.0) } else { 0.0 });
+        let svd = truncated_svd(&target, per_step, config.svd_iters, seed ^ (step as u64 + 1));
+        blocks.push(svd.embedding(0.5));
+    }
+    let refs: Vec<&Matrix> = blocks.iter().collect();
+    let concat = Matrix::concat_cols(&refs);
+    // Pad or truncate to exactly `dim` columns (the block split may not
+    // divide evenly), and zero isolated nodes' rows to match node2vec's
+    // convention.
+    let mut emb = Matrix::zeros(n, config.dim);
+    let copy = concat.cols().min(config.dim);
+    for v in 0..n {
+        emb.row_mut(v)[..copy].copy_from_slice(&concat.row(v)[..copy]);
+    }
+    for v in 0..n as NodeId {
+        if snapshot.neighbors(v).is_empty() {
+            emb.row_mut(v as usize).iter_mut().for_each(|x| *x = 0.0);
+        }
+    }
+    emb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctdg::{EdgeStream, TemporalEdge};
+
+    fn two_cliques() -> GraphSnapshot {
+        let mut edges = Vec::new();
+        let mut t = 0.0;
+        for base in [0u32, 5] {
+            for a in base..base + 5 {
+                for b in (a + 1)..base + 5 {
+                    edges.push(TemporalEdge::plain(a, b, t));
+                    t += 1.0;
+                }
+            }
+        }
+        edges.push(TemporalEdge::plain(4, 5, t)); // bridge
+        let stream = EdgeStream::new(edges).unwrap();
+        GraphSnapshot::from_stream_prefix(&stream, stream.len())
+    }
+
+    fn cosine(a: &[f32], b: &[f32]) -> f32 {
+        let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+        dot / (na * nb).max(1e-8)
+    }
+
+    #[test]
+    fn same_clique_nodes_embed_closer() {
+        let cfg = GraRepConfig { dim: 8, transition_steps: 2, svd_iters: 4 };
+        let emb = grarep(&two_cliques(), &cfg, 7);
+        assert_eq!(emb.shape(), (10, 8));
+        // Node 1 (clique A, away from the bridge) vs node 2 (same clique)
+        // and node 7 (other clique).
+        let same = cosine(emb.row(1), emb.row(2));
+        let cross = cosine(emb.row(1), emb.row(7));
+        assert!(
+            same > cross + 0.1,
+            "same-clique cosine {same} must exceed cross-clique {cross}"
+        );
+    }
+
+    #[test]
+    fn shape_and_finiteness() {
+        let cfg = GraRepConfig { dim: 6, transition_steps: 3, svd_iters: 2 };
+        let emb = grarep(&two_cliques(), &cfg, 0);
+        assert_eq!(emb.shape(), (10, 6)); // 3 blocks of 2
+        assert!(emb.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn isolated_nodes_are_zero() {
+        let stream = EdgeStream::new(vec![TemporalEdge::plain(0, 1, 0.0)]).unwrap();
+        let snap = GraphSnapshot::from_edges(4, stream.edges());
+        let emb = grarep(&snap, &GraRepConfig { dim: 4, ..Default::default() }, 1);
+        assert!(emb.row(2).iter().all(|&x| x == 0.0));
+        assert!(emb.row(3).iter().all(|&x| x == 0.0));
+        assert!(emb.row(0).iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn empty_graph_is_handled() {
+        let snap = GraphSnapshot::from_edges(0, &[]);
+        let emb = grarep(&snap, &GraRepConfig::default(), 0);
+        assert_eq!(emb.shape(), (0, 32));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = GraRepConfig { dim: 8, transition_steps: 2, svd_iters: 3 };
+        let a = grarep(&two_cliques(), &cfg, 42);
+        let b = grarep(&two_cliques(), &cfg, 42);
+        assert_eq!(a.data(), b.data());
+    }
+}

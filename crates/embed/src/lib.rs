@@ -1,0 +1,28 @@
+//! Node embeddings over training-prefix snapshots, built from scratch.
+//!
+//! The SPLASH paper's positional feature augmentation (Eq. 1) embeds the
+//! training-prefix snapshot with node2vec; §II-D also cites GraRep as an
+//! alternative positional embedding and PageRank scores as a structural
+//! one. This crate provides all three:
+//!
+//! * **node2vec** — Walker's alias method for O(1) discrete sampling,
+//!   biased second-order random walks (parallelized with crossbeam scoped
+//!   threads), and skip-gram training with negative sampling. DeepWalk is
+//!   the `p = q = 1` special case of the walk configuration.
+//! * **GraRep** — truncated-SVD factorization of log multi-step transition
+//!   matrices ([`grarep`](fn@grarep)).
+//! * **PageRank** — damped weighted power iteration ([`pagerank`](fn@pagerank)).
+
+pub mod alias;
+pub mod grarep;
+pub mod node2vec;
+pub mod pagerank;
+pub mod skipgram;
+pub mod walks;
+
+pub use alias::AliasTable;
+pub use grarep::{grarep, GraRepConfig};
+pub use node2vec::{node2vec, Node2VecConfig};
+pub use pagerank::{pagerank, PageRankConfig};
+pub use skipgram::{train_skipgram, SkipGramConfig};
+pub use walks::{generate_walks, WalkConfig};

@@ -1,0 +1,128 @@
+//! End-to-end node2vec: walks → SGNS → positional embedding matrix.
+//!
+//! This is the positional embedding function `Embedding(G^(s))` of the
+//! paper's Eq. (1): applied to the training-prefix snapshot, it produces the
+//! positional feature `p_i` for every seen node.
+
+use ctdg::GraphSnapshot;
+use nn::Matrix;
+
+use crate::skipgram::{train_skipgram, SkipGramConfig};
+use crate::walks::{generate_walks, WalkConfig};
+
+/// Combined node2vec configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Node2VecConfig {
+    /// Random-walk parameters.
+    pub walk: WalkConfig,
+    /// Skip-gram parameters.
+    pub sgns: SkipGramConfig,
+}
+
+impl Node2VecConfig {
+    /// A small, fast configuration suited to training-prefix snapshots of
+    /// the scaled-down datasets.
+    pub fn fast(dim: usize) -> Self {
+        Self {
+            walk: WalkConfig { walks_per_node: 6, walk_length: 16, p: 1.0, q: 0.5, threads: 4 },
+            sgns: SkipGramConfig { dim, window: 3, negatives: 3, epochs: 2, lr: 0.03 },
+        }
+    }
+}
+
+/// Runs node2vec over `snapshot` and returns `(num_nodes, dim)` embeddings.
+/// Isolated nodes get zero rows.
+pub fn node2vec(snapshot: &GraphSnapshot, config: &Node2VecConfig, seed: u64) -> Matrix {
+    let walks = generate_walks(snapshot, &config.walk, seed);
+    let n = snapshot.num_nodes();
+    // Negative-sampling distribution: static degree^0.75 over active nodes.
+    let noise: Vec<f32> = (0..n as u32)
+        .map(|v| (snapshot.static_degree(v) as f32).powf(0.75))
+        .collect();
+    if noise.iter().all(|&w| w == 0.0) {
+        return Matrix::zeros(n, config.sgns.dim);
+    }
+    train_skipgram(&walks, n, &noise, &config.sgns, seed ^ 0xA5A5_5A5A)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctdg::{EdgeStream, TemporalEdge};
+
+    /// Two cliques joined by one bridge edge: positional embeddings must
+    /// place same-clique nodes closer than cross-clique nodes.
+    fn two_cliques() -> GraphSnapshot {
+        let mut edges = Vec::new();
+        let mut t = 0.0;
+        for a in 0..5u32 {
+            for b in (a + 1)..5 {
+                edges.push(TemporalEdge::plain(a, b, t));
+                t += 1.0;
+            }
+        }
+        for a in 5..10u32 {
+            for b in (a + 1)..10 {
+                edges.push(TemporalEdge::plain(a, b, t));
+                t += 1.0;
+            }
+        }
+        edges.push(TemporalEdge::plain(4, 5, t));
+        let stream = EdgeStream::new(edges).unwrap();
+        GraphSnapshot::from_stream_prefix(&stream, stream.len())
+    }
+
+    fn cosine(a: &[f32], b: &[f32]) -> f32 {
+        let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+        dot / (na * nb).max(1e-8)
+    }
+
+    #[test]
+    fn clusters_by_community() {
+        let snap = two_cliques();
+        let emb = node2vec(&snap, &Node2VecConfig::fast(16), 13);
+        // Average within- vs cross-community cosine similarity.
+        let mut within = 0.0f32;
+        let mut wn = 0;
+        let mut across = 0.0f32;
+        let mut an = 0;
+        for a in 0..10u32 {
+            for b in (a + 1)..10u32 {
+                let c = cosine(emb.row(a as usize), emb.row(b as usize));
+                if (a < 5) == (b < 5) {
+                    within += c;
+                    wn += 1;
+                } else {
+                    across += c;
+                    an += 1;
+                }
+            }
+        }
+        let within = within / wn as f32;
+        let across = across / an as f32;
+        assert!(
+            within > across + 0.1,
+            "within {within} should exceed across {across}"
+        );
+    }
+
+    #[test]
+    fn shapes_and_determinism() {
+        let snap = two_cliques();
+        let cfg = Node2VecConfig::fast(8);
+        let a = node2vec(&snap, &cfg, 5);
+        let b = node2vec(&snap, &cfg, 5);
+        assert_eq!(a.shape(), (10, 8));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_graph_all_zero() {
+        let stream = EdgeStream::new(vec![]).unwrap();
+        let snap = GraphSnapshot::from_stream_prefix(&stream, 0);
+        let emb = node2vec(&snap, &Node2VecConfig::fast(4), 0);
+        assert_eq!(emb.shape(), (0, 4));
+    }
+}

@@ -1,0 +1,155 @@
+//! Weighted PageRank over a graph snapshot.
+//!
+//! The SPLASH paper (§II-D) lists PageRank scores among the structural node
+//! embeddings that feature augmentation can draw on. This module provides
+//! the classic damped power iteration over the snapshot's Ω-weighted
+//! undirected adjacency, with dangling mass redistributed uniformly.
+
+use ctdg::{GraphSnapshot, NodeId};
+
+/// Configuration for [`pagerank`].
+#[derive(Debug, Clone, Copy)]
+pub struct PageRankConfig {
+    /// Damping factor `d` (teleport probability is `1 − d`).
+    pub damping: f64,
+    /// Maximum power iterations.
+    pub max_iters: usize,
+    /// L1 convergence tolerance.
+    pub tol: f64,
+}
+
+impl Default for PageRankConfig {
+    fn default() -> Self {
+        Self { damping: 0.85, max_iters: 100, tol: 1e-10 }
+    }
+}
+
+/// Weighted PageRank scores, one per node slot, summing to 1 (for nonempty
+/// graphs). Isolated nodes act as dangling nodes: they receive teleport and
+/// redistributed mass but forward everything uniformly.
+///
+/// ```
+/// use ctdg::{EdgeStream, GraphSnapshot, TemporalEdge};
+/// use embed::{pagerank, PageRankConfig};
+///
+/// // A star: node 0 is the hub.
+/// let stream = EdgeStream::new(
+///     (1..5).map(|i| TemporalEdge::plain(0, i, i as f64)).collect(),
+/// ).unwrap();
+/// let snap = GraphSnapshot::from_stream_prefix(&stream, stream.len());
+/// let pr = pagerank(&snap, &PageRankConfig::default());
+/// assert!(pr[0] > pr[1]);
+/// assert!((pr.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+/// ```
+pub fn pagerank(snapshot: &GraphSnapshot, config: &PageRankConfig) -> Vec<f64> {
+    let n = snapshot.num_nodes();
+    if n == 0 {
+        return Vec::new();
+    }
+    let uniform = 1.0 / n as f64;
+    // Per-node total outgoing weight (undirected: the Ω-weighted degree).
+    let out_weight: Vec<f64> = (0..n as NodeId)
+        .map(|v| snapshot.neighbors(v).iter().map(|&(_, w)| w as f64).sum())
+        .collect();
+
+    let mut rank = vec![uniform; n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..config.max_iters {
+        // Teleport + dangling mass, spread uniformly.
+        let dangling: f64 = (0..n).filter(|&v| out_weight[v] <= 0.0).map(|v| rank[v]).sum();
+        let base = (1.0 - config.damping) * uniform + config.damping * dangling * uniform;
+        next.iter_mut().for_each(|x| *x = base);
+        for v in 0..n {
+            if out_weight[v] <= 0.0 {
+                continue;
+            }
+            let share = config.damping * rank[v] / out_weight[v];
+            for &(u, w) in snapshot.neighbors(v as NodeId) {
+                next[u as usize] += share * w as f64;
+            }
+        }
+        let delta: f64 = rank.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+        std::mem::swap(&mut rank, &mut next);
+        if delta < config.tol {
+            break;
+        }
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctdg::{EdgeStream, TemporalEdge};
+
+    fn snapshot(edges: Vec<TemporalEdge>) -> GraphSnapshot {
+        let stream = EdgeStream::new(edges).unwrap();
+        GraphSnapshot::from_stream_prefix(&stream, stream.len())
+    }
+
+    #[test]
+    fn sums_to_one() {
+        let s = snapshot(vec![
+            TemporalEdge::plain(0, 1, 0.0),
+            TemporalEdge::plain(1, 2, 1.0),
+            TemporalEdge::plain(2, 3, 2.0),
+        ]);
+        let pr = pagerank(&s, &PageRankConfig::default());
+        let total: f64 = pr.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "{total}");
+    }
+
+    #[test]
+    fn uniform_on_a_cycle() {
+        // A 5-cycle is vertex-transitive: all scores equal.
+        let edges = (0..5u32)
+            .map(|i| TemporalEdge::plain(i, (i + 1) % 5, i as f64))
+            .collect();
+        let pr = pagerank(&snapshot(edges), &PageRankConfig::default());
+        for &x in &pr {
+            assert!((x - 0.2).abs() < 1e-9, "{pr:?}");
+        }
+    }
+
+    #[test]
+    fn star_center_dominates() {
+        let edges = (1..6u32).map(|i| TemporalEdge::plain(0, i, i as f64)).collect();
+        let pr = pagerank(&snapshot(edges), &PageRankConfig::default());
+        for leaf in 1..6 {
+            assert!(pr[0] > 2.0 * pr[leaf], "center {} vs leaf {}", pr[0], pr[leaf]);
+        }
+        // Leaves are symmetric.
+        for leaf in 2..6 {
+            assert!((pr[leaf] - pr[1]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn edge_weights_steer_rank() {
+        // 0—1 heavy, 0—2 light: node 1 outranks node 2.
+        let s = snapshot(vec![
+            TemporalEdge::weighted(0, 1, 10.0, 0.0),
+            TemporalEdge::weighted(0, 2, 1.0, 1.0),
+        ]);
+        let pr = pagerank(&s, &PageRankConfig::default());
+        assert!(pr[1] > pr[2], "{pr:?}");
+    }
+
+    #[test]
+    fn isolated_nodes_keep_teleport_mass() {
+        // Node 3 never appears in an edge but exists in the id space.
+        let stream = EdgeStream::new(vec![TemporalEdge::plain(0, 1, 0.0)]).unwrap();
+        let s = GraphSnapshot::from_edges(4, stream.edges());
+        let pr = pagerank(&s, &PageRankConfig::default());
+        assert_eq!(pr.len(), 4);
+        assert!(pr[3] > 0.0, "dangling node must retain mass: {pr:?}");
+        let total: f64 = pr.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_graph_is_empty() {
+        let s = GraphSnapshot::from_edges(0, &[]);
+        assert!(pagerank(&s, &PageRankConfig::default()).is_empty());
+    }
+}

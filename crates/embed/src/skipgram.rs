@@ -1,0 +1,241 @@
+//! Skip-gram with negative sampling (SGNS), the word2vec objective applied
+//! to random-walk corpora (DeepWalk / node2vec).
+
+use ctdg::NodeId;
+use nn::{sigmoid, Matrix};
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::alias::AliasTable;
+
+/// SGNS hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SkipGramConfig {
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Context window radius.
+    pub window: usize,
+    /// Negative samples per positive pair.
+    pub negatives: usize,
+    /// Training epochs over the walk corpus.
+    pub epochs: usize,
+    /// Initial learning rate, decayed linearly to 1e-4 of itself.
+    pub lr: f32,
+}
+
+impl Default for SkipGramConfig {
+    fn default() -> Self {
+        Self { dim: 32, window: 4, negatives: 4, epochs: 2, lr: 0.025 }
+    }
+}
+
+/// Trains SGNS embeddings over a walk corpus.
+///
+/// `num_nodes` sizes the embedding table (dense id space); `noise_weights`
+/// gives the negative-sampling distribution (typically degree^0.75, zero for
+/// inactive nodes). Returns the input-embedding matrix `(num_nodes, dim)`
+/// with rows L2-normalized; nodes never visited keep zero rows.
+pub fn train_skipgram(
+    walks: &[Vec<NodeId>],
+    num_nodes: usize,
+    noise_weights: &[f32],
+    config: &SkipGramConfig,
+    seed: u64,
+) -> Matrix {
+    assert_eq!(noise_weights.len(), num_nodes, "noise weights must cover all nodes");
+    let dim = config.dim;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut in_emb = nn::randn_matrix(num_nodes, dim, 0.5 / dim as f32, &mut rng);
+    let mut out_emb = Matrix::zeros(num_nodes, dim);
+    if walks.is_empty() || num_nodes == 0 {
+        return Matrix::zeros(num_nodes, dim);
+    }
+    let noise = AliasTable::new(noise_weights);
+
+    let total_pairs_estimate: usize = walks.iter().map(|w| w.len() * 2 * config.window).sum();
+    let total_steps = (total_pairs_estimate * config.epochs).max(1);
+    let mut step_count = 0usize;
+
+    let mut grad_center = vec![0.0f32; dim];
+    for _epoch in 0..config.epochs {
+        for walk in walks {
+            for (i, &center) in walk.iter().enumerate() {
+                let lo = i.saturating_sub(config.window);
+                let hi = (i + config.window + 1).min(walk.len());
+                for (j, &context) in walk.iter().enumerate().take(hi).skip(lo) {
+                    if j == i {
+                        continue;
+                    }
+                    let lr = config.lr
+                        * (1.0 - step_count as f32 / total_steps as f32).max(1e-4);
+                    step_count += 1;
+                    grad_center.iter_mut().for_each(|g| *g = 0.0);
+                    // positive pair
+                    sgns_pair(
+                        &mut in_emb,
+                        &mut out_emb,
+                        center as usize,
+                        context as usize,
+                        1.0,
+                        lr,
+                        &mut grad_center,
+                    );
+                    // negatives
+                    for _ in 0..config.negatives {
+                        let neg = noise.sample(&mut rng);
+                        if neg == context as usize {
+                            continue;
+                        }
+                        sgns_pair(
+                            &mut in_emb,
+                            &mut out_emb,
+                            center as usize,
+                            neg,
+                            0.0,
+                            lr,
+                            &mut grad_center,
+                        );
+                    }
+                    // apply accumulated center gradient
+                    let c_row = in_emb.row_mut(center as usize);
+                    for (v, g) in c_row.iter_mut().zip(&grad_center) {
+                        *v -= lr * g;
+                    }
+                }
+            }
+        }
+    }
+
+    // Zero never-visited rows and L2-normalize the rest.
+    let mut visited = vec![false; num_nodes];
+    for walk in walks {
+        for &v in walk {
+            visited[v as usize] = true;
+        }
+    }
+    for (i, &was_visited) in visited.iter().enumerate().take(num_nodes) {
+        let row = in_emb.row_mut(i);
+        if !was_visited {
+            row.iter_mut().for_each(|v| *v = 0.0);
+            continue;
+        }
+        let norm = row.iter().map(|v| v * v).sum::<f32>().sqrt();
+        if norm > 1e-8 {
+            row.iter_mut().for_each(|v| *v /= norm);
+        }
+    }
+    in_emb
+}
+
+/// One SGNS update for a (center, other) pair with label `y ∈ {0, 1}`.
+/// The output-side embedding is updated immediately; the center gradient is
+/// accumulated into `grad_center` (applied once per positive + negatives
+/// group, the standard word2vec scheme).
+fn sgns_pair(
+    in_emb: &mut Matrix,
+    out_emb: &mut Matrix,
+    center: usize,
+    other: usize,
+    y: f32,
+    lr: f32,
+    grad_center: &mut [f32],
+) {
+    let dim = grad_center.len();
+    let mut dot = 0.0f32;
+    {
+        let c = in_emb.row(center);
+        let o = out_emb.row(other);
+        for k in 0..dim {
+            dot += c[k] * o[k];
+        }
+    }
+    let g = sigmoid(dot) - y;
+    // accumulate center grad, update output row
+    let c_snapshot: Vec<f32> = in_emb.row(center).to_vec();
+    {
+        let o = out_emb.row(other);
+        for k in 0..dim {
+            grad_center[k] += g * o[k];
+        }
+    }
+    let o = out_emb.row_mut(other);
+    for k in 0..dim {
+        o[k] -= lr * g * c_snapshot[k];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cosine(a: &[f32], b: &[f32]) -> f32 {
+        let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if na < 1e-8 || nb < 1e-8 {
+            0.0
+        } else {
+            dot / (na * nb)
+        }
+    }
+
+    /// Two disjoint "communities" of nodes that only co-occur within their
+    /// own walks must embed closer within than across.
+    #[test]
+    fn separates_cooccurrence_communities() {
+        let walks: Vec<Vec<NodeId>> = (0..60)
+            .map(|i| {
+                if i % 2 == 0 {
+                    vec![0, 1, 2, 0, 2, 1, 0, 1]
+                } else {
+                    vec![3, 4, 5, 3, 5, 4, 3, 4]
+                }
+            })
+            .collect();
+        let noise = vec![1.0f32; 6];
+        let config = SkipGramConfig { dim: 16, window: 3, negatives: 4, epochs: 8, lr: 0.05 };
+        let emb = train_skipgram(&walks, 6, &noise, &config, 42);
+        let within = cosine(emb.row(0), emb.row(1));
+        let across = cosine(emb.row(0), emb.row(4));
+        assert!(
+            within > across + 0.2,
+            "within {within} should exceed across {across}"
+        );
+    }
+
+    #[test]
+    fn unvisited_nodes_have_zero_rows() {
+        let walks = vec![vec![0u32, 1, 0, 1]];
+        let noise = vec![1.0f32; 4];
+        let emb = train_skipgram(&walks, 4, &noise, &SkipGramConfig::default(), 0);
+        assert!(emb.row(2).iter().all(|&v| v == 0.0));
+        assert!(emb.row(3).iter().all(|&v| v == 0.0));
+        assert!(emb.row(0).iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn rows_are_unit_norm() {
+        let walks = vec![vec![0u32, 1, 2, 0, 1, 2]; 10];
+        let noise = vec![1.0f32; 3];
+        let emb = train_skipgram(&walks, 3, &noise, &SkipGramConfig::default(), 1);
+        for i in 0..3 {
+            let n: f32 = emb.row(i).iter().map(|v| v * v).sum::<f32>().sqrt();
+            assert!((n - 1.0).abs() < 1e-4, "row {i} norm {n}");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let walks = vec![vec![0u32, 1, 2, 1, 0]; 5];
+        let noise = vec![1.0f32; 3];
+        let c = SkipGramConfig::default();
+        let a = train_skipgram(&walks, 3, &noise, &c, 9);
+        let b = train_skipgram(&walks, 3, &noise, &c, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_corpus_is_all_zero() {
+        let emb = train_skipgram(&[], 5, &[1.0; 5], &SkipGramConfig::default(), 0);
+        assert!(emb.data().iter().all(|&v| v == 0.0));
+    }
+}

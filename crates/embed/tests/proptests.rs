@@ -1,0 +1,133 @@
+//! Property-based tests for the embedding substrate: alias-method sampling
+//! correctness, random-walk validity, and skip-gram output sanity.
+
+use ctdg::{EdgeStream, GraphSnapshot, TemporalEdge};
+use embed::{generate_walks, node2vec, AliasTable, Node2VecConfig, WalkConfig};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Builds a snapshot from arbitrary undirected edges.
+fn snapshot_from(raw: &[(u32, u32)]) -> GraphSnapshot {
+    let edges: Vec<TemporalEdge> = raw
+        .iter()
+        .enumerate()
+        .map(|(i, &(a, b))| TemporalEdge::plain(a, b, i as f64))
+        .collect();
+    let stream = EdgeStream::new(edges).expect("increasing times");
+    GraphSnapshot::from_stream_prefix(&stream, stream.len())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Alias sampling reproduces the weight distribution: empirical
+    /// frequencies converge to the normalized weights (loose 5σ binomial
+    /// bound per bucket).
+    #[test]
+    fn alias_sampling_matches_weights(
+        weights in prop::collection::vec(0.0f32..10.0, 1..8)
+    ) {
+        prop_assume!(weights.iter().sum::<f32>() > 0.1);
+        let table = AliasTable::new(&weights);
+        let mut rng = StdRng::seed_from_u64(42);
+        let draws = 20_000usize;
+        let mut counts = vec![0usize; weights.len()];
+        for _ in 0..draws {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        let total: f32 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let p = (w / total) as f64;
+            let expected = p * draws as f64;
+            let sigma = (draws as f64 * p * (1.0 - p)).sqrt();
+            prop_assert!(
+                (counts[i] as f64 - expected).abs() <= 5.0 * sigma + 1.0,
+                "bucket {i}: {} draws, expected {expected:.1} ± {sigma:.1}",
+                counts[i]
+            );
+        }
+    }
+
+    /// Zero-weight buckets are never sampled.
+    #[test]
+    fn alias_never_samples_zero_weight(mask in prop::collection::vec(any::<bool>(), 2..8)) {
+        prop_assume!(mask.iter().any(|&m| m));
+        let weights: Vec<f32> = mask.iter().map(|&m| if m { 1.0 } else { 0.0 }).collect();
+        let table = AliasTable::new(&weights);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..2_000 {
+            let s = table.sample(&mut rng);
+            prop_assert!(mask[s], "sampled zero-weight bucket {s}");
+        }
+    }
+
+    /// Every consecutive pair in a generated walk is an edge of the
+    /// snapshot, and every walk starts at an active node.
+    #[test]
+    fn walks_follow_edges(
+        raw in prop::collection::vec((0u32..12, 0u32..12), 1..40),
+        p in 0.3f32..3.0,
+        q in 0.3f32..3.0,
+    ) {
+        let snap = snapshot_from(&raw);
+        let config = WalkConfig { walks_per_node: 2, walk_length: 8, p, q, threads: 2 };
+        for walk in generate_walks(&snap, &config, 5) {
+            prop_assert!(!walk.is_empty());
+            prop_assert!(!snap.neighbors(walk[0]).is_empty(), "walk starts at isolated node");
+            for pair in walk.windows(2) {
+                prop_assert!(
+                    snap.weight(pair[0], pair[1]) > 0.0,
+                    "walk step {} → {} is not an edge",
+                    pair[0],
+                    pair[1]
+                );
+            }
+        }
+    }
+
+    /// Walk generation is deterministic in the seed and covers every
+    /// active node as a start.
+    #[test]
+    fn walks_are_seeded_and_cover_active_nodes(
+        raw in prop::collection::vec((0u32..10, 0u32..10), 1..30)
+    ) {
+        let snap = snapshot_from(&raw);
+        let config = WalkConfig { walks_per_node: 3, walk_length: 5, p: 1.0, q: 1.0, threads: 2 };
+        let a = generate_walks(&snap, &config, 11);
+        let b = generate_walks(&snap, &config, 11);
+        prop_assert_eq!(&a, &b, "same seed must give same walks");
+        let active = snap.active_nodes();
+        prop_assert_eq!(a.len(), active.len() * config.walks_per_node);
+        for v in active {
+            prop_assert!(
+                a.iter().filter(|w| w[0] == v).count() >= config.walks_per_node,
+                "node {v} missing walk starts"
+            );
+        }
+    }
+
+    /// node2vec embeddings: finite everywhere, zero rows exactly for
+    /// isolated nodes, requested dimension.
+    #[test]
+    fn node2vec_output_contract(
+        raw in prop::collection::vec((0u32..10, 0u32..10), 1..30),
+        dim in 2usize..10,
+    ) {
+        let snap = snapshot_from(&raw);
+        let mut cfg = Node2VecConfig::fast(dim);
+        cfg.walk.walks_per_node = 2;
+        cfg.walk.walk_length = 6;
+        cfg.sgns.epochs = 1;
+        let emb = node2vec(&snap, &cfg, 3);
+        prop_assert_eq!(emb.shape(), (snap.num_nodes(), dim));
+        prop_assert!(emb.data().iter().all(|v| v.is_finite()));
+        for v in 0..snap.num_nodes() as u32 {
+            if snap.neighbors(v).is_empty() {
+                prop_assert!(
+                    emb.row(v as usize).iter().all(|&x| x == 0.0),
+                    "isolated node {v} must embed to zero"
+                );
+            }
+        }
+    }
+}

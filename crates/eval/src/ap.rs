@@ -1,0 +1,72 @@
+//! Average precision (area under the precision–recall curve), a common
+//! companion metric to ROC-AUC for the heavily imbalanced anomaly-detection
+//! datasets.
+
+/// Average precision: mean of precision values at each positive hit when
+/// items are ranked by score (descending). Returns 0 when there are no
+/// positives.
+pub fn average_precision(scores: &[f32], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    if n_pos == 0 {
+        return 0.0;
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut hits = 0usize;
+    let mut sum_precision = 0.0f64;
+    for (rank, &idx) in order.iter().enumerate() {
+        if labels[idx] {
+            hits += 1;
+            sum_precision += hits as f64 / (rank + 1) as f64;
+        }
+    }
+    sum_precision / n_pos as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_is_one() {
+        let scores = [0.9f32, 0.8, 0.2, 0.1];
+        let labels = [true, true, false, false];
+        assert_eq!(average_precision(&scores, &labels), 1.0);
+    }
+
+    #[test]
+    fn worst_ranking_hand_computed() {
+        // positives ranked last among 4: precisions 1/3, 2/4
+        let scores = [0.9f32, 0.8, 0.2, 0.1];
+        let labels = [false, false, true, true];
+        let expected = (1.0 / 3.0 + 2.0 / 4.0) / 2.0;
+        assert!((average_precision(&scores, &labels) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_positives_is_zero() {
+        assert_eq!(average_precision(&[0.5, 0.4], &[false, false]), 0.0);
+    }
+
+    #[test]
+    fn all_positives_is_one() {
+        assert_eq!(average_precision(&[0.5, 0.4], &[true, true]), 1.0);
+    }
+
+    #[test]
+    fn random_scores_approximate_prevalence() {
+        // With random scores, AP ≈ positive prevalence.
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0);
+        let n = 20_000;
+        let scores: Vec<f32> = (0..n).map(|_| rng.random::<f32>()).collect();
+        let labels: Vec<bool> = (0..n).map(|_| rng.random::<f32>() < 0.1).collect();
+        let ap = average_precision(&scores, &labels);
+        assert!((ap - 0.1).abs() < 0.02, "AP {ap}");
+    }
+}

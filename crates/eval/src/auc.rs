@@ -1,0 +1,95 @@
+//! Area under the ROC curve, the paper's metric for dynamic anomaly
+//! detection.
+
+/// ROC-AUC via the rank-sum (Mann–Whitney U) formulation with average ranks
+/// for tied scores. Returns 0.5 when either class is empty.
+pub fn roc_auc(scores: &[f32], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+    // Average ranks over tie groups (1-based ranks).
+    let mut ranks = vec![0.0f64; scores.len()];
+    let mut i = 0usize;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j + 2) as f64 / 2.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg_rank;
+        }
+        i = j + 1;
+    }
+    let rank_sum_pos: f64 = labels
+        .iter()
+        .zip(&ranks)
+        .filter(|(&l, _)| l)
+        .map(|(_, &r)| r)
+        .sum();
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    u / (n_pos as f64 * n_neg as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation() {
+        let scores = [0.1f32, 0.2, 0.8, 0.9];
+        let labels = [false, false, true, true];
+        assert_eq!(roc_auc(&scores, &labels), 1.0);
+    }
+
+    #[test]
+    fn inverted_separation() {
+        let scores = [0.9f32, 0.8, 0.2, 0.1];
+        let labels = [false, false, true, true];
+        assert_eq!(roc_auc(&scores, &labels), 0.0);
+    }
+
+    #[test]
+    fn all_tied_is_half() {
+        let scores = [0.5f32; 6];
+        let labels = [true, false, true, false, true, false];
+        assert_eq!(roc_auc(&scores, &labels), 0.5);
+    }
+
+    #[test]
+    fn single_class_is_half() {
+        assert_eq!(roc_auc(&[0.1, 0.9], &[true, true]), 0.5);
+        assert_eq!(roc_auc(&[], &[]), 0.5);
+    }
+
+    #[test]
+    fn matches_pairwise_definition() {
+        // AUC = P(score_pos > score_neg) + 0.5 P(tie)
+        let scores = [0.3f32, 0.7, 0.7, 0.1, 0.9, 0.5];
+        let labels = [false, true, false, false, true, true];
+        let mut wins = 0.0f64;
+        let mut total = 0.0f64;
+        for (i, &li) in labels.iter().enumerate() {
+            if !li {
+                continue;
+            }
+            for (j, &lj) in labels.iter().enumerate() {
+                if lj {
+                    continue;
+                }
+                total += 1.0;
+                if scores[i] > scores[j] {
+                    wins += 1.0;
+                } else if scores[i] == scores[j] {
+                    wins += 0.5;
+                }
+            }
+        }
+        assert!((roc_auc(&scores, &labels) - wins / total).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,186 @@
+//! F1 scores and confusion matrices, the paper's metric for dynamic node
+//! classification.
+
+/// A dense multi-class confusion matrix; `m[t][p]` counts samples of true
+/// class `t` predicted as class `p`.
+#[derive(Debug, Clone)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<u64>>,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix from aligned prediction/target class indices.
+    pub fn new(predictions: &[usize], targets: &[usize], num_classes: usize) -> Self {
+        assert_eq!(predictions.len(), targets.len());
+        let mut counts = vec![vec![0u64; num_classes]; num_classes];
+        for (&p, &t) in predictions.iter().zip(targets) {
+            assert!(p < num_classes && t < num_classes, "class index out of range");
+            counts[t][p] += 1;
+        }
+        Self { counts }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total sample count.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let correct: u64 = (0..self.num_classes()).map(|c| self.counts[c][c]).sum();
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+
+    /// True positives for a class.
+    pub fn tp(&self, c: usize) -> u64 {
+        self.counts[c][c]
+    }
+
+    /// Samples whose true class is `c`.
+    pub fn support(&self, c: usize) -> u64 {
+        self.counts[c].iter().sum()
+    }
+
+    /// Samples predicted as class `c`.
+    pub fn predicted(&self, c: usize) -> u64 {
+        self.counts.iter().map(|row| row[c]).sum()
+    }
+
+    /// Per-class precision (0 when nothing was predicted as `c`).
+    pub fn precision(&self, c: usize) -> f64 {
+        let p = self.predicted(c);
+        if p == 0 {
+            0.0
+        } else {
+            self.tp(c) as f64 / p as f64
+        }
+    }
+
+    /// Per-class recall (0 when the class has no support).
+    pub fn recall(&self, c: usize) -> f64 {
+        let s = self.support(c);
+        if s == 0 {
+            0.0
+        } else {
+            self.tp(c) as f64 / s as f64
+        }
+    }
+
+    /// Per-class F1.
+    pub fn f1(&self, c: usize) -> f64 {
+        let p = self.precision(c);
+        let r = self.recall(c);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Micro-averaged F1 (= accuracy for single-label classification).
+    pub fn micro_f1(&self) -> f64 {
+        self.accuracy()
+    }
+
+    /// Macro-averaged F1 over classes with nonzero support.
+    pub fn macro_f1(&self) -> f64 {
+        let classes: Vec<usize> =
+            (0..self.num_classes()).filter(|&c| self.support(c) > 0).collect();
+        if classes.is_empty() {
+            return 0.0;
+        }
+        classes.iter().map(|&c| self.f1(c)).sum::<f64>() / classes.len() as f64
+    }
+
+    /// Support-weighted F1, the "F1 Score" the paper reports for dynamic
+    /// node classification.
+    pub fn weighted_f1(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        (0..self.num_classes())
+            .map(|c| self.f1(c) * self.support(c) as f64)
+            .sum::<f64>()
+            / total as f64
+    }
+}
+
+/// Convenience: support-weighted F1 straight from label vectors.
+pub fn weighted_f1(predictions: &[usize], targets: &[usize], num_classes: usize) -> f64 {
+    ConfusionMatrix::new(predictions, targets, num_classes).weighted_f1()
+}
+
+/// Convenience: micro F1 (accuracy) straight from label vectors.
+pub fn micro_f1(predictions: &[usize], targets: &[usize], num_classes: usize) -> f64 {
+    ConfusionMatrix::new(predictions, targets, num_classes).micro_f1()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let t = [0usize, 1, 2, 1, 0];
+        let cm = ConfusionMatrix::new(&t, &t, 3);
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.weighted_f1(), 1.0);
+        assert_eq!(cm.macro_f1(), 1.0);
+    }
+
+    #[test]
+    fn binary_f1_hand_computed() {
+        // TP=2, FP=1, FN=1, TN=1 for class 1
+        let pred = [1usize, 1, 1, 0, 0];
+        let targ = [1usize, 1, 0, 1, 0];
+        let cm = ConfusionMatrix::new(&pred, &targ, 2);
+        assert!((cm.precision(1) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cm.recall(1) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cm.f1(1) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn macro_ignores_empty_classes() {
+        // class 2 never appears as a target
+        let pred = [0usize, 1, 0, 1];
+        let targ = [0usize, 1, 0, 1];
+        let cm = ConfusionMatrix::new(&pred, &targ, 3);
+        assert_eq!(cm.macro_f1(), 1.0);
+    }
+
+    #[test]
+    fn weighted_f1_weights_by_support() {
+        // Class 0: 3 samples all correct (f1 = 1); class 1: 1 sample wrong (f1 = 0).
+        let pred = [0usize, 0, 0, 0];
+        let targ = [0usize, 0, 0, 1];
+        let cm = ConfusionMatrix::new(&pred, &targ, 2);
+        // class 0: p = 3/4, r = 1 → f1 = 6/7; class 1: f1 = 0
+        let expected = (6.0 / 7.0) * 3.0 / 4.0;
+        assert!((cm.weighted_f1() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let cm = ConfusionMatrix::new(&[], &[], 3);
+        assert_eq!(cm.accuracy(), 0.0);
+        assert_eq!(cm.weighted_f1(), 0.0);
+    }
+
+    #[test]
+    fn micro_equals_accuracy() {
+        let pred = [0usize, 1, 1, 2, 0];
+        let targ = [0usize, 1, 2, 2, 1];
+        assert_eq!(micro_f1(&pred, &targ, 3), 3.0 / 5.0);
+    }
+}

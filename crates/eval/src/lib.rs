@@ -1,0 +1,22 @@
+//! Evaluation substrate for the SPLASH reproduction.
+//!
+//! The paper evaluates with ROC-AUC (dynamic anomaly detection), weighted F1
+//! (dynamic node classification), and NDCG@10 (node affinity prediction),
+//! and analyses representations with silhouette scores and t-SNE. All of it
+//! is implemented here from scratch.
+
+pub mod ap;
+pub mod auc;
+pub mod f1;
+pub mod ndcg;
+pub mod pca;
+pub mod silhouette;
+pub mod tsne;
+
+pub use ap::average_precision;
+pub use auc::roc_auc;
+pub use f1::{micro_f1, weighted_f1, ConfusionMatrix};
+pub use ndcg::{mean_ndcg_at_k, ndcg_at_k};
+pub use pca::pca;
+pub use silhouette::silhouette_score;
+pub use tsne::{tsne, TsneConfig};

@@ -1,0 +1,103 @@
+//! NDCG@k, the paper's metric for node affinity prediction (following the
+//! Temporal Graph Benchmark protocol).
+
+/// DCG of `relevance` values already ordered by predicted rank.
+fn dcg(ordered_relevance: &[f32]) -> f64 {
+    ordered_relevance
+        .iter()
+        .enumerate()
+        .map(|(i, &rel)| rel as f64 / ((i + 2) as f64).log2())
+        .sum()
+}
+
+/// NDCG@k of one query: items are ranked by `predicted` (descending) and
+/// gains are the ground-truth `relevance` values. Returns 1 when the
+/// ground-truth relevance is all-zero (nothing to rank).
+pub fn ndcg_at_k(predicted: &[f32], relevance: &[f32], k: usize) -> f64 {
+    assert_eq!(predicted.len(), relevance.len(), "score/relevance length mismatch");
+    let k = k.min(predicted.len());
+    if k == 0 {
+        return 1.0;
+    }
+    let mut by_pred: Vec<usize> = (0..predicted.len()).collect();
+    by_pred.sort_by(|&a, &b| {
+        predicted[b].partial_cmp(&predicted[a]).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let top: Vec<f32> = by_pred[..k].iter().map(|&i| relevance[i]).collect();
+
+    let mut ideal: Vec<f32> = relevance.to_vec();
+    ideal.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    let ideal_dcg = dcg(&ideal[..k]);
+    if ideal_dcg == 0.0 {
+        return 1.0;
+    }
+    dcg(&top) / ideal_dcg
+}
+
+/// Mean NDCG@k over a batch of `(predicted, relevance)` query pairs.
+pub fn mean_ndcg_at_k(queries: &[(Vec<f32>, Vec<f32>)], k: usize) -> f64 {
+    if queries.is_empty() {
+        return 0.0;
+    }
+    queries
+        .iter()
+        .map(|(p, r)| ndcg_at_k(p, r, k))
+        .sum::<f64>()
+        / queries.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_is_one() {
+        let rel = [3.0f32, 2.0, 1.0, 0.0];
+        let pred = [0.9f32, 0.7, 0.3, 0.1];
+        assert!((ndcg_at_k(&pred, &rel, 4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reversed_ranking_below_one() {
+        let rel = [3.0f32, 2.0, 1.0, 0.0];
+        let pred = [0.1f32, 0.3, 0.7, 0.9];
+        let v = ndcg_at_k(&pred, &rel, 4);
+        assert!(v < 1.0 && v > 0.0, "ndcg {v}");
+    }
+
+    #[test]
+    fn hand_computed_at_2() {
+        // relevance [1, 0, 2]; prediction ranks item1 > item2 > item0
+        let rel = [1.0f32, 0.0, 2.0];
+        let pred = [0.1f32, 0.9, 0.5];
+        // top-2 by prediction: items 1, 2 → gains [0, 2]
+        // dcg = 0/log2(2) + 2/log2(3)
+        // ideal top-2: [2, 1] → 2/log2(2) + 1/log2(3)
+        let dcg = 2.0 / 3f64.log2();
+        let idcg = 2.0 + 1.0 / 3f64.log2();
+        assert!((ndcg_at_k(&pred, &rel, 2) - dcg / idcg).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_relevance_is_one() {
+        assert_eq!(ndcg_at_k(&[0.5, 0.1], &[0.0, 0.0], 2), 1.0);
+    }
+
+    #[test]
+    fn k_larger_than_items_clamped() {
+        let rel = [1.0f32, 2.0];
+        let pred = [0.9f32, 0.1];
+        let a = ndcg_at_k(&pred, &rel, 10);
+        let b = ndcg_at_k(&pred, &rel, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mean_over_queries() {
+        let q1 = (vec![0.9f32, 0.1], vec![1.0f32, 0.0]); // perfect → 1
+        let q2 = (vec![0.1f32, 0.9], vec![1.0f32, 0.0]); // worst at k=1 → 0
+        let m = mean_ndcg_at_k(&[q1, q2], 1);
+        assert!((m - 0.5).abs() < 1e-12);
+        assert_eq!(mean_ndcg_at_k(&[], 5), 0.0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Principal component analysis via power iteration with deflation.
+//!
+//! Used to pre-reduce high-dimensional node representations before t-SNE and
+//! to summarize embedding drift (paper Fig. 3a).
+
+use nn::Matrix;
+
+/// Projects `points` (rows) onto their top `k` principal components.
+/// Returns an `(n, k)` matrix. Deterministic (fixed starting vectors).
+pub fn pca(points: &Matrix, k: usize) -> Matrix {
+    let (n, d) = points.shape();
+    let k = k.min(d);
+    if n == 0 || k == 0 {
+        return Matrix::zeros(n, k);
+    }
+    // Center.
+    let mut mean = vec![0.0f32; d];
+    for i in 0..n {
+        for (m, &v) in mean.iter_mut().zip(points.row(i)) {
+            *m += v;
+        }
+    }
+    mean.iter_mut().for_each(|m| *m /= n as f32);
+    let mut centered = points.clone();
+    for i in 0..n {
+        for (v, &m) in centered.row_mut(i).iter_mut().zip(&mean) {
+            *v -= m;
+        }
+    }
+    // Covariance (d, d).
+    let mut cov = centered.matmul_tn(&centered);
+    cov.scale_assign(1.0 / (n.max(2) - 1) as f32);
+
+    let mut components: Vec<Vec<f32>> = Vec::with_capacity(k);
+    for comp_idx in 0..k {
+        // Deterministic start vector, roughly uncorrelated with earlier ones.
+        let mut v: Vec<f32> = (0..d)
+            .map(|j| ((j * 37 + comp_idx * 101 + 13) as f32 * 0.613).sin())
+            .collect();
+        normalize(&mut v);
+        for _ in 0..200 {
+            // w = cov · v, deflated against previous components.
+            let mut w = vec![0.0f32; d];
+            for (r, wr) in w.iter_mut().enumerate() {
+                let row = cov.row(r);
+                *wr = row.iter().zip(&v).map(|(a, b)| a * b).sum();
+            }
+            for c in &components {
+                let proj: f32 = w.iter().zip(c).map(|(a, b)| a * b).sum();
+                for (wv, cv) in w.iter_mut().zip(c) {
+                    *wv -= proj * cv;
+                }
+            }
+            let norm = normalize(&mut w);
+            if norm < 1e-12 {
+                break;
+            }
+            let diff: f32 = w.iter().zip(&v).map(|(a, b)| (a - b).abs()).sum();
+            v = w;
+            if diff < 1e-7 {
+                break;
+            }
+        }
+        components.push(v);
+    }
+
+    let mut out = Matrix::zeros(n, k);
+    for i in 0..n {
+        let row = centered.row(i);
+        for (j, c) in components.iter().enumerate() {
+            out.set(i, j, row.iter().zip(c).map(|(a, b)| a * b).sum());
+        }
+    }
+    out
+}
+
+fn normalize(v: &mut [f32]) -> f32 {
+    let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 1e-12 {
+        v.iter_mut().for_each(|x| *x /= norm);
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nn::randn_matrix;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn recovers_dominant_direction() {
+        // Points along (1, 1, 0) with small noise: PC1 captures most variance.
+        let mut rng = StdRng::seed_from_u64(0);
+        let n = 200;
+        let mut data = Vec::with_capacity(n * 3);
+        for _ in 0..n {
+            let t = nn::randn(&mut rng) * 10.0;
+            let noise = nn::randn(&mut rng) * 0.1;
+            data.extend_from_slice(&[t + noise, t - noise, noise]);
+        }
+        let points = Matrix::from_vec(n, 3, data);
+        let proj = pca(&points, 2);
+        let var = |col: usize| {
+            let m: f32 = (0..n).map(|i| proj.get(i, col)).sum::<f32>() / n as f32;
+            (0..n).map(|i| (proj.get(i, col) - m).powi(2)).sum::<f32>() / n as f32
+        };
+        assert!(var(0) > 50.0 * var(1), "pc1 var {} pc2 var {}", var(0), var(1));
+    }
+
+    #[test]
+    fn projection_shape_and_centering() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let points = randn_matrix(50, 8, 1.0, &mut rng);
+        let proj = pca(&points, 3);
+        assert_eq!(proj.shape(), (50, 3));
+        // Projections of centered data have ~zero mean.
+        for j in 0..3 {
+            let m: f32 = (0..50).map(|i| proj.get(i, j)).sum::<f32>() / 50.0;
+            assert!(m.abs() < 1e-3, "col {j} mean {m}");
+        }
+    }
+
+    #[test]
+    fn k_clamped_to_dim() {
+        let points = Matrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+        let proj = pca(&points, 10);
+        assert_eq!(proj.cols(), 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        let proj = pca(&Matrix::zeros(0, 4), 2);
+        assert_eq!(proj.shape(), (0, 2));
+    }
+}

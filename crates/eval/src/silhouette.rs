@@ -1,0 +1,116 @@
+//! Silhouette score for labeled point sets (paper Fig. 14 reports it for
+//! node representations).
+
+use nn::Matrix;
+
+fn euclidean(a: &[f32], b: &[f32]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = (x - y) as f64;
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Mean silhouette coefficient of `points` (rows) under integer `labels`.
+///
+/// Exact O(n²) computation. Points in singleton clusters contribute 0, the
+/// sklearn convention. Returns 0 when fewer than 2 distinct clusters exist.
+pub fn silhouette_score(points: &Matrix, labels: &[usize]) -> f64 {
+    let n = points.rows();
+    assert_eq!(n, labels.len(), "points/labels length mismatch");
+    if n == 0 {
+        return 0.0;
+    }
+    let num_clusters = labels.iter().copied().max().map_or(0, |m| m + 1);
+    let mut cluster_sizes = vec![0usize; num_clusters];
+    for &l in labels {
+        cluster_sizes[l] += 1;
+    }
+    if cluster_sizes.iter().filter(|&&s| s > 0).count() < 2 {
+        return 0.0;
+    }
+
+    let mut total = 0.0f64;
+    let mut dist_sums = vec![0.0f64; num_clusters];
+    for i in 0..n {
+        dist_sums.iter_mut().for_each(|d| *d = 0.0);
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            dist_sums[labels[j]] += euclidean(points.row(i), points.row(j));
+        }
+        let own = labels[i];
+        if cluster_sizes[own] <= 1 {
+            continue; // singleton → silhouette 0
+        }
+        let a = dist_sums[own] / (cluster_sizes[own] - 1) as f64;
+        let b = (0..num_clusters)
+            .filter(|&c| c != own && cluster_sizes[c] > 0)
+            .map(|c| dist_sums[c] / cluster_sizes[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        let s = if a.max(b) > 0.0 { (b - a) / a.max(b) } else { 0.0 };
+        total += s;
+    }
+    total / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_separated_clusters_near_one() {
+        // Two tight clusters far apart.
+        let mut data = Vec::new();
+        for i in 0..5 {
+            data.extend_from_slice(&[i as f32 * 0.01, 0.0]);
+        }
+        for i in 0..5 {
+            data.extend_from_slice(&[100.0 + i as f32 * 0.01, 0.0]);
+        }
+        let points = Matrix::from_vec(10, 2, data);
+        let labels: Vec<usize> = (0..10).map(|i| i / 5).collect();
+        let s = silhouette_score(&points, &labels);
+        assert!(s > 0.95, "score {s}");
+    }
+
+    #[test]
+    fn mislabeled_clusters_negative() {
+        let mut data = Vec::new();
+        for i in 0..4 {
+            data.extend_from_slice(&[i as f32 * 0.01, 0.0]);
+        }
+        for i in 0..4 {
+            data.extend_from_slice(&[100.0 + i as f32 * 0.01, 0.0]);
+        }
+        let points = Matrix::from_vec(8, 2, data);
+        // Labels alternate across the true split.
+        let labels = vec![0usize, 1, 0, 1, 0, 1, 0, 1];
+        let s = silhouette_score(&points, &labels);
+        assert!(s < 0.0, "score {s}");
+    }
+
+    #[test]
+    fn single_cluster_is_zero() {
+        let points = Matrix::from_vec(3, 1, vec![1.0, 2.0, 3.0]);
+        assert_eq!(silhouette_score(&points, &[0, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        let points = Matrix::zeros(0, 2);
+        assert_eq!(silhouette_score(&points, &[]), 0.0);
+    }
+
+    #[test]
+    fn score_in_valid_range() {
+        let points = Matrix::from_vec(6, 1, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        let labels = [0usize, 0, 1, 1, 0, 1];
+        let s = silhouette_score(&points, &labels);
+        assert!((-1.0..=1.0).contains(&s));
+    }
+}

@@ -1,0 +1,229 @@
+//! Exact t-SNE (van der Maaten & Hinton 2008).
+//!
+//! The paper visualizes node representations and embedding drift with t-SNE
+//! (Figs. 3 and 14). This is the exact O(n²) algorithm: perplexity-calibrated
+//! conditional Gaussians, symmetrized affinities, early exaggeration, and
+//! momentum gradient descent on the Student-t low-dimensional affinities.
+//! Inputs beyond ~2k points should be PCA-reduced first (see
+//! [`crate::pca::pca`]).
+
+use nn::Matrix;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// t-SNE hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TsneConfig {
+    /// Target perplexity (effective neighbor count).
+    pub perplexity: f64,
+    /// Gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Early-exaggeration factor applied for the first quarter of
+    /// iterations.
+    pub exaggeration: f64,
+    /// RNG seed for the initial layout.
+    pub seed: u64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        Self { perplexity: 20.0, iterations: 350, learning_rate: 100.0, exaggeration: 12.0, seed: 0 }
+    }
+}
+
+/// Embeds `points` (rows) into 2-D.
+pub fn tsne(points: &Matrix, config: &TsneConfig) -> Matrix {
+    let n = points.rows();
+    if n == 0 {
+        return Matrix::zeros(0, 2);
+    }
+    if n == 1 {
+        return Matrix::zeros(1, 2);
+    }
+    let p = joint_affinities(points, config.perplexity.min((n as f64 - 1.0) / 3.0).max(1.0));
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut y: Vec<[f64; 2]> = (0..n)
+        .map(|_| [nn::randn(&mut rng) as f64 * 1e-2, nn::randn(&mut rng) as f64 * 1e-2])
+        .collect();
+    let mut velocity = vec![[0.0f64; 2]; n];
+    let exag_end = config.iterations / 4;
+
+    for iter in 0..config.iterations {
+        let exag = if iter < exag_end { config.exaggeration } else { 1.0 };
+        // Student-t affinities.
+        let mut num = vec![0.0f64; n * n];
+        let mut z = 0.0f64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dx = y[i][0] - y[j][0];
+                let dy = y[i][1] - y[j][1];
+                let v = 1.0 / (1.0 + dx * dx + dy * dy);
+                num[i * n + j] = v;
+                num[j * n + i] = v;
+                z += 2.0 * v;
+            }
+        }
+        let z = z.max(1e-12);
+        // Gradient: 4 Σ_j (exag·p_ij − q_ij) · num_ij · (y_i − y_j)
+        let momentum = if iter < exag_end { 0.5 } else { 0.8 };
+        for i in 0..n {
+            let mut g = [0.0f64; 2];
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let q = num[i * n + j] / z;
+                let mult = (exag * p[i * n + j] - q) * num[i * n + j];
+                g[0] += mult * (y[i][0] - y[j][0]);
+                g[1] += mult * (y[i][1] - y[j][1]);
+            }
+            for d in 0..2 {
+                velocity[i][d] =
+                    momentum * velocity[i][d] - config.learning_rate * 4.0 * g[d];
+            }
+        }
+        for i in 0..n {
+            y[i][0] += velocity[i][0];
+            y[i][1] += velocity[i][1];
+        }
+        // Re-center to keep the layout bounded.
+        let mean = y.iter().fold([0.0f64; 2], |acc, p| [acc[0] + p[0], acc[1] + p[1]]);
+        let mean = [mean[0] / n as f64, mean[1] / n as f64];
+        for p in &mut y {
+            p[0] -= mean[0];
+            p[1] -= mean[1];
+        }
+    }
+
+    let mut out = Matrix::zeros(n, 2);
+    for (i, p) in y.iter().enumerate() {
+        out.set(i, 0, p[0] as f32);
+        out.set(i, 1, p[1] as f32);
+    }
+    out
+}
+
+/// Symmetrized joint affinities `P` with per-point perplexity calibration.
+fn joint_affinities(points: &Matrix, perplexity: f64) -> Vec<f64> {
+    let n = points.rows();
+    let d = points.cols();
+    // Pairwise squared distances.
+    let mut dist2 = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let mut s = 0.0f64;
+            let (ri, rj) = (points.row(i), points.row(j));
+            for k in 0..d {
+                let diff = (ri[k] - rj[k]) as f64;
+                s += diff * diff;
+            }
+            dist2[i * n + j] = s;
+            dist2[j * n + i] = s;
+        }
+    }
+    let target_entropy = perplexity.ln();
+    let mut p_cond = vec![0.0f64; n * n];
+    for i in 0..n {
+        // Binary search beta = 1/(2σ²) for target entropy.
+        let row = &dist2[i * n..(i + 1) * n];
+        let mut beta = 1.0f64;
+        let (mut lo, mut hi) = (0.0f64, f64::INFINITY);
+        let mut probs = vec![0.0f64; n];
+        for _ in 0..64 {
+            let mut sum = 0.0f64;
+            for j in 0..n {
+                probs[j] = if j == i { 0.0 } else { (-beta * row[j]).exp() };
+                sum += probs[j];
+            }
+            let sum = sum.max(1e-300);
+            let mut entropy = 0.0f64;
+            for p in probs.iter_mut() {
+                *p /= sum;
+                if *p > 1e-300 {
+                    entropy -= *p * p.ln();
+                }
+            }
+            let diff = entropy - target_entropy;
+            if diff.abs() < 1e-5 {
+                break;
+            }
+            if diff > 0.0 {
+                lo = beta;
+                beta = if hi.is_finite() { (beta + hi) / 2.0 } else { beta * 2.0 };
+            } else {
+                hi = beta;
+                beta = (beta + lo) / 2.0;
+            }
+        }
+        p_cond[i * n..(i + 1) * n].copy_from_slice(&probs);
+    }
+    // Symmetrize.
+    let mut p = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            p[i * n + j] = ((p_cond[i * n + j] + p_cond[j * n + i]) / (2.0 * n as f64)).max(1e-12);
+        }
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs(per: usize, gap: f32) -> (Matrix, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..2 {
+            for _ in 0..per {
+                data.push(c as f32 * gap + nn::randn(&mut rng) * 0.3);
+                data.push(nn::randn(&mut rng) * 0.3);
+                data.push(nn::randn(&mut rng) * 0.3);
+                labels.push(c);
+            }
+        }
+        (Matrix::from_vec(2 * per, 3, data), labels)
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let (points, labels) = two_blobs(20, 20.0);
+        let config = TsneConfig {
+            iterations: 600,
+            perplexity: 8.0,
+            learning_rate: 200.0,
+            ..Default::default()
+        };
+        let emb = tsne(&points, &config);
+        let score = crate::silhouette::silhouette_score(&emb, &labels);
+        assert!(score > 0.5, "silhouette after t-SNE = {score}");
+    }
+
+    #[test]
+    fn output_shape_and_determinism() {
+        let (points, _) = two_blobs(5, 5.0);
+        let config = TsneConfig { iterations: 50, ..Default::default() };
+        let a = tsne(&points, &config);
+        let b = tsne(&points, &config);
+        assert_eq!(a.shape(), (10, 2));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(tsne(&Matrix::zeros(0, 3), &TsneConfig::default()).shape(), (0, 2));
+        assert_eq!(tsne(&Matrix::zeros(1, 3), &TsneConfig::default()).shape(), (1, 2));
+    }
+
+    #[test]
+    fn affinities_are_a_distribution() {
+        let (points, _) = two_blobs(6, 4.0);
+        let p = joint_affinities(&points, 3.0);
+        let total: f64 = p.iter().sum();
+        // Σ p_ij ≈ 1 (up to the 1e-12 clamps on the diagonal)
+        assert!((total - 1.0).abs() < 1e-6, "total {total}");
+    }
+}

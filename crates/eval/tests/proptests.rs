@@ -1,0 +1,173 @@
+//! Property-based tests for the evaluation substrate: metric identities
+//! that must hold for *every* input, checked against brute-force
+//! definitions.
+
+use eval::{
+    average_precision, mean_ndcg_at_k, micro_f1, ndcg_at_k, roc_auc, silhouette_score,
+    weighted_f1, ConfusionMatrix,
+};
+use nn::Matrix;
+use proptest::prelude::*;
+
+/// Brute-force AUC: the Mann–Whitney U statistic with half-credit for ties.
+fn auc_bruteforce(scores: &[f32], labels: &[bool]) -> f64 {
+    let mut pairs = 0.0f64;
+    let mut wins = 0.0f64;
+    for (i, &si) in scores.iter().enumerate() {
+        if !labels[i] {
+            continue;
+        }
+        for (j, &sj) in scores.iter().enumerate() {
+            if labels[j] {
+                continue;
+            }
+            pairs += 1.0;
+            if si > sj {
+                wins += 1.0;
+            } else if si == sj {
+                wins += 0.5;
+            }
+        }
+    }
+    if pairs == 0.0 {
+        0.5
+    } else {
+        wins / pairs
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The sort-based AUC equals the O(n²) Mann–Whitney definition.
+    #[test]
+    fn auc_matches_mann_whitney(
+        raw in prop::collection::vec((0.0f32..1.0, any::<bool>()), 1..60)
+    ) {
+        let scores: Vec<f32> = raw.iter().map(|&(s, _)| (s * 20.0).round() / 20.0).collect();
+        let labels: Vec<bool> = raw.iter().map(|&(_, l)| l).collect();
+        let fast = roc_auc(&scores, &labels);
+        let slow = auc_bruteforce(&scores, &labels);
+        prop_assert!((fast - slow).abs() < 1e-9, "{fast} vs {slow}");
+    }
+
+    /// AUC is invariant under strictly increasing score transforms.
+    #[test]
+    fn auc_is_rank_based(
+        raw in prop::collection::vec((0.0f32..1.0, any::<bool>()), 2..50)
+    ) {
+        let scores: Vec<f32> = raw.iter().map(|&(s, _)| s).collect();
+        let labels: Vec<bool> = raw.iter().map(|&(_, l)| l).collect();
+        let transformed: Vec<f32> = scores.iter().map(|&s| (3.0 * s).exp()).collect();
+        prop_assert!((roc_auc(&scores, &labels) - roc_auc(&transformed, &labels)).abs() < 1e-9);
+    }
+
+    /// Flipping every label maps AUC to 1 − AUC (when both classes exist).
+    #[test]
+    fn auc_complement_under_label_flip(
+        raw in prop::collection::vec((0.0f32..1.0, any::<bool>()), 2..50)
+    ) {
+        let scores: Vec<f32> = raw.iter().map(|&(s, _)| s).collect();
+        let labels: Vec<bool> = raw.iter().map(|&(_, l)| l).collect();
+        prop_assume!(labels.iter().any(|&l| l) && labels.iter().any(|&l| !l));
+        let flipped: Vec<bool> = labels.iter().map(|&l| !l).collect();
+        let a = roc_auc(&scores, &labels);
+        let b = roc_auc(&scores, &flipped);
+        prop_assert!((a + b - 1.0).abs() < 1e-9, "{a} + {b} != 1");
+    }
+
+    /// All F1 variants live in [0, 1]; perfect predictions give exactly 1;
+    /// micro-F1 equals accuracy in single-label classification.
+    #[test]
+    fn f1_bounds_and_identities(
+        raw in prop::collection::vec((0usize..4, 0usize..4), 1..80)
+    ) {
+        let preds: Vec<usize> = raw.iter().map(|&(p, _)| p).collect();
+        let targets: Vec<usize> = raw.iter().map(|&(_, t)| t).collect();
+        let cm = ConfusionMatrix::new(&preds, &targets, 4);
+        for v in [cm.micro_f1(), cm.macro_f1(), cm.weighted_f1(), cm.accuracy()] {
+            prop_assert!((0.0..=1.0).contains(&v), "{v}");
+        }
+        prop_assert!((cm.micro_f1() - cm.accuracy()).abs() < 1e-12);
+        prop_assert_eq!(weighted_f1(&targets, &targets, 4), 1.0);
+        prop_assert_eq!(micro_f1(&targets, &targets, 4), 1.0);
+    }
+
+    /// NDCG@k is 1 for the perfect ranking, in [0, 1] always, and invariant
+    /// to k beyond the list length.
+    #[test]
+    fn ndcg_bounds_and_perfect_ranking(
+        rel in prop::collection::vec(0.0f32..1.0, 1..30),
+        k in 1usize..40,
+    ) {
+        prop_assume!(rel.iter().any(|&r| r > 0.0));
+        // Predicting the relevance itself is a perfect ranking.
+        let perfect = ndcg_at_k(&rel, &rel, k);
+        prop_assert!((perfect - 1.0).abs() < 1e-9, "perfect ranking ndcg {perfect}");
+        // Any other prediction is bounded.
+        let arbitrary: Vec<f32> = rel.iter().rev().copied().collect();
+        let v = ndcg_at_k(&arbitrary, &rel, k);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&v), "{v}");
+        // k larger than the list changes nothing.
+        prop_assert!((ndcg_at_k(&rel, &rel, rel.len() + 5) - 1.0).abs() < 1e-9);
+    }
+
+    /// Mean NDCG averages per-query NDCG.
+    #[test]
+    fn mean_ndcg_is_the_mean(
+        rels in prop::collection::vec(prop::collection::vec(0.01f32..1.0, 3..6), 1..8)
+    ) {
+        let queries: Vec<(Vec<f32>, Vec<f32>)> = rels
+            .iter()
+            .map(|r| (r.iter().rev().copied().collect(), r.clone()))
+            .collect();
+        let mean = mean_ndcg_at_k(&queries, 10);
+        let manual: f64 = queries.iter().map(|(p, r)| ndcg_at_k(p, r, 10)).sum::<f64>()
+            / queries.len() as f64;
+        prop_assert!((mean - manual).abs() < 1e-12);
+    }
+
+    /// Average precision is within [0, 1] and is 1 when every positive
+    /// outranks every negative.
+    #[test]
+    fn ap_bounds_and_perfect_separation(
+        n_pos in 1usize..10,
+        n_neg in 1usize..10,
+    ) {
+        let mut scores = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n_pos {
+            scores.push(10.0 + i as f32);
+            labels.push(true);
+        }
+        for i in 0..n_neg {
+            scores.push(-(i as f32));
+            labels.push(false);
+        }
+        let ap = average_precision(&scores, &labels);
+        prop_assert!((ap - 1.0).abs() < 1e-9, "{ap}");
+    }
+
+    /// Silhouette scores live in [−1, 1]; clearly separated clusters score
+    /// positive; a random relabeling scores no better.
+    #[test]
+    fn silhouette_bounds_and_separation(offset in 5.0f32..50.0, n in 4usize..12) {
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            data.extend_from_slice(&[i as f32 * 0.1, 0.0]);
+            labels.push(0usize);
+            data.extend_from_slice(&[i as f32 * 0.1 + offset, 0.0]);
+            labels.push(1usize);
+        }
+        let points = Matrix::from_vec(2 * n, 2, data);
+        let good = silhouette_score(&points, &labels);
+        prop_assert!((-1.0..=1.0).contains(&good));
+        prop_assert!(good > 0.5, "separated clusters must score high: {good}");
+        // Points were pushed as (cluster0, cluster1) pairs, so grouping by
+        // pair index mixes both true clusters into each label.
+        let bad_labels: Vec<usize> = (0..2 * n).map(|i| (i / 2) % 2).collect();
+        let bad = silhouette_score(&points, &bad_labels);
+        prop_assert!(good > bad, "{good} vs {bad}");
+    }
+}

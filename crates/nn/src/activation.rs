@@ -1,0 +1,129 @@
+//! Element-wise activations with functional forward/backward.
+
+use crate::matrix::Matrix;
+
+/// Supported element-wise activations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Identity (no-op), useful as a final-layer "activation".
+    Identity,
+}
+
+/// Backward cache for activations: the forward *output* (sufficient for all
+/// supported functions).
+#[derive(Debug, Clone)]
+pub struct ActCache {
+    output: Matrix,
+}
+
+impl Activation {
+    /// Applies the activation element-wise.
+    pub fn forward(self, x: &Matrix) -> (Matrix, ActCache) {
+        let y = self.infer(x);
+        (y.clone(), ActCache { output: y })
+    }
+
+    /// Inference-only application.
+    pub fn infer(self, x: &Matrix) -> Matrix {
+        match self {
+            Activation::Relu => x.map(|a| a.max(0.0)),
+            Activation::Tanh => x.map(f32::tanh),
+            Activation::Sigmoid => x.map(sigmoid),
+            Activation::Identity => x.clone(),
+        }
+    }
+
+    /// Backward pass given the upstream gradient `dy`.
+    pub fn backward(self, cache: &ActCache, dy: &Matrix) -> Matrix {
+        match self {
+            Activation::Relu => cache.output.zip_map(dy, |y, d| if y > 0.0 { d } else { 0.0 }),
+            Activation::Tanh => cache.output.zip_map(dy, |y, d| d * (1.0 - y * y)),
+            Activation::Sigmoid => cache.output.zip_map(dy, |y, d| d * y * (1.0 - y)),
+            Activation::Identity => dy.clone(),
+        }
+    }
+}
+
+/// Numerically stable logistic sigmoid.
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::randn_matrix;
+    use crate::test_util::probe_coefficients;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn numeric_check(act: Activation) {
+        let mut rng = StdRng::seed_from_u64(9);
+        let x = randn_matrix(3, 4, 1.0, &mut rng);
+        let (y, cache) = act.forward(&x);
+        let coef = probe_coefficients(y.rows(), y.cols());
+        let dx = act.backward(&cache, &coef);
+        let eps = 5e-3f32;
+        for idx in 0..x.len() {
+            // ReLU kink: skip elements too close to 0 where FD is invalid.
+            if act == Activation::Relu && x.data()[idx].abs() < 2.0 * eps {
+                continue;
+            }
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let lp = act.infer(&xp).hadamard(&coef).sum();
+            let lm = act.infer(&xm).hadamard(&coef).sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = dx.data()[idx];
+            assert!(
+                (analytic - numeric).abs() < 2e-2 * 1.0f32.max(analytic.abs()),
+                "{act:?}[{idx}]: {analytic} vs {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn relu_gradient() {
+        numeric_check(Activation::Relu);
+    }
+
+    #[test]
+    fn tanh_gradient() {
+        numeric_check(Activation::Tanh);
+    }
+
+    #[test]
+    fn sigmoid_gradient() {
+        numeric_check(Activation::Sigmoid);
+    }
+
+    #[test]
+    fn identity_gradient() {
+        numeric_check(Activation::Identity);
+    }
+
+    #[test]
+    fn sigmoid_stable_at_extremes() {
+        assert!(sigmoid(100.0) <= 1.0 && sigmoid(100.0) > 0.999);
+        assert!(sigmoid(-100.0) >= 0.0 && sigmoid(-100.0) < 1e-8);
+        assert_eq!(sigmoid(0.0), 0.5);
+    }
+
+    #[test]
+    fn relu_clamps() {
+        let x = Matrix::from_vec(1, 3, vec![-1.0, 0.0, 2.0]);
+        assert_eq!(Activation::Relu.infer(&x).data(), &[0.0, 0.0, 2.0]);
+    }
+}

@@ -1,0 +1,638 @@
+//! Multi-head attention with hand-written backpropagation.
+//!
+//! Two shapes are used by the baseline TGNNs:
+//!
+//! * [`CrossAttention`] — one query per batch item attending over that item's
+//!   (variable-length) neighbor sequence. This is the aggregation used by
+//!   TGAT, TGN, and DySAT's structural layer.
+//! * [`SelfAttention`] / [`TransformerBlock`] — full self-attention over the
+//!   neighbor sequence, used by DyGFormer.
+//!
+//! Sequences are packed densely: a batch of `B` items with maximum length
+//! `L` is a `(B·L, d)` matrix plus a `lens: &[usize]` vector; rows beyond an
+//! item's length are ignored (masked).
+
+use rand::Rng;
+
+use crate::activation::Activation;
+use crate::init::xavier;
+use crate::layer_norm::{LayerNorm, LayerNormCache};
+use crate::linear::{Linear, LinearCache};
+use crate::matrix::Matrix;
+use crate::param::{Param, Parameterized};
+
+fn head_slice(row: &[f32], head: usize, dh: usize) -> &[f32] {
+    &row[head * dh..(head + 1) * dh]
+}
+
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Softmax over a small slice, in place.
+fn softmax_slice(scores: &mut [f32]) {
+    let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for s in scores.iter_mut() {
+        *s = (*s - max).exp();
+        sum += *s;
+    }
+    for s in scores.iter_mut() {
+        *s /= sum;
+    }
+}
+
+/// Multi-head attention of a single query over a packed key/value sequence.
+#[derive(Debug, Clone)]
+pub struct CrossAttention {
+    wq: Param,
+    wk: Param,
+    wv: Param,
+    wo: Param,
+    heads: usize,
+}
+
+/// Backward cache for [`CrossAttention`].
+#[derive(Debug)]
+pub struct CrossAttentionCache {
+    query: Matrix,
+    kv: Matrix,
+    q: Matrix,
+    k: Matrix,
+    v: Matrix,
+    /// Attention weights, `(B * heads, L)`, zero beyond each item's length.
+    attn: Matrix,
+    ctx: Matrix,
+    lens: Vec<usize>,
+    max_len: usize,
+}
+
+impl CrossAttention {
+    /// Attention with `heads` heads over model dimension `dim`
+    /// (`dim % heads == 0`); queries have dimension `q_dim`, keys/values
+    /// `kv_dim`.
+    pub fn new<R: Rng + ?Sized>(
+        q_dim: usize,
+        kv_dim: usize,
+        dim: usize,
+        heads: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(dim.is_multiple_of(heads), "dim must be divisible by heads");
+        Self {
+            wq: Param::new(xavier(q_dim, dim, rng)),
+            wk: Param::new(xavier(kv_dim, dim, rng)),
+            wv: Param::new(xavier(kv_dim, dim, rng)),
+            wo: Param::new(xavier(dim, dim, rng)),
+            heads,
+        }
+    }
+
+    /// Model dimension.
+    pub fn dim(&self) -> usize {
+        self.wq.value.cols()
+    }
+
+    /// Forward pass.
+    ///
+    /// * `query`: `(B, q_dim)`;
+    /// * `kv`: `(B · max_len, kv_dim)` packed sequences;
+    /// * `lens`: valid length per item (`lens[b] <= max_len`).
+    ///
+    /// Returns `(B, dim)`; items with `lens[b] == 0` get a zero context.
+    pub fn forward(
+        &self,
+        query: &Matrix,
+        kv: &Matrix,
+        lens: &[usize],
+        max_len: usize,
+    ) -> (Matrix, CrossAttentionCache) {
+        let b_size = query.rows();
+        assert_eq!(lens.len(), b_size);
+        assert_eq!(kv.rows(), b_size * max_len, "packed kv shape mismatch");
+        let dim = self.dim();
+        let dh = dim / self.heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+
+        let q = query.matmul(&self.wq.value);
+        let k = kv.matmul(&self.wk.value);
+        let v = kv.matmul(&self.wv.value);
+
+        let mut attn = Matrix::zeros(b_size * self.heads, max_len.max(1));
+        let mut ctx = Matrix::zeros(b_size, dim);
+        for (b, &qlen) in lens.iter().enumerate().take(b_size) {
+            let len = qlen.min(max_len);
+            if len == 0 {
+                continue;
+            }
+            for h in 0..self.heads {
+                let q_h = head_slice(q.row(b), h, dh);
+                let mut scores: Vec<f32> = (0..len)
+                    .map(|l| dot(q_h, head_slice(k.row(b * max_len + l), h, dh)) * scale)
+                    .collect();
+                softmax_slice(&mut scores);
+                let attn_row = attn.row_mut(b * self.heads + h);
+                attn_row[..len].copy_from_slice(&scores);
+                let ctx_row = ctx.row_mut(b);
+                for (l, &a) in scores.iter().enumerate() {
+                    let v_h = head_slice(v.row(b * max_len + l), h, dh);
+                    for (j, &vv) in v_h.iter().enumerate() {
+                        ctx_row[h * dh + j] += a * vv;
+                    }
+                }
+            }
+        }
+        let out = ctx.matmul(&self.wo.value);
+        (
+            out,
+            CrossAttentionCache {
+                query: query.clone(),
+                kv: kv.clone(),
+                q,
+                k,
+                v,
+                attn,
+                ctx,
+                lens: lens.to_vec(),
+                max_len,
+            },
+        )
+    }
+
+    /// Inference-only forward.
+    pub fn infer(&self, query: &Matrix, kv: &Matrix, lens: &[usize], max_len: usize) -> Matrix {
+        self.forward(query, kv, lens, max_len).0
+    }
+
+    /// Backward pass; returns `(dquery, dkv)`.
+    pub fn backward(
+        &mut self,
+        cache: &CrossAttentionCache,
+        dout: &Matrix,
+    ) -> (Matrix, Matrix) {
+        let b_size = cache.query.rows();
+        let dim = self.dim();
+        let dh = dim / self.heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        let max_len = cache.max_len;
+
+        // out = ctx · Wo
+        self.wo.grad.add_assign(&cache.ctx.matmul_tn(dout));
+        let dctx = dout.matmul_nt(&self.wo.value);
+
+        let mut dq = Matrix::zeros(b_size, dim);
+        let mut dk = Matrix::zeros(cache.k.rows(), dim);
+        let mut dv = Matrix::zeros(cache.v.rows(), dim);
+
+        for b in 0..b_size {
+            let len = cache.lens[b].min(max_len);
+            if len == 0 {
+                continue;
+            }
+            for h in 0..self.heads {
+                let attn_row = &cache.attn.row(b * self.heads + h)[..len];
+                let dctx_h = head_slice(dctx.row(b), h, dh).to_vec();
+                // dv and d(attention weights)
+                let mut dattn = vec![0.0f32; len];
+                for l in 0..len {
+                    let a = attn_row[l];
+                    let v_h = head_slice(cache.v.row(b * max_len + l), h, dh);
+                    dattn[l] = dot(&dctx_h, v_h);
+                    let dv_row = dv.row_mut(b * max_len + l);
+                    for (j, &d) in dctx_h.iter().enumerate() {
+                        dv_row[h * dh + j] += a * d;
+                    }
+                }
+                // softmax backward
+                let inner: f32 = dattn.iter().zip(attn_row).map(|(d, a)| d * a).sum();
+                let ds: Vec<f32> = dattn
+                    .iter()
+                    .zip(attn_row)
+                    .map(|(d, a)| a * (d - inner))
+                    .collect();
+                // dq_h and dk
+                let q_h = head_slice(cache.q.row(b), h, dh).to_vec();
+                {
+                    let dq_row = dq.row_mut(b);
+                    for (l, &s) in ds.iter().enumerate() {
+                        let k_h = head_slice(cache.k.row(b * max_len + l), h, dh);
+                        for (j, &kv_) in k_h.iter().enumerate() {
+                            dq_row[h * dh + j] += s * kv_ * scale;
+                        }
+                    }
+                }
+                for (l, &s) in ds.iter().enumerate() {
+                    let dk_row = dk.row_mut(b * max_len + l);
+                    for (j, &qv) in q_h.iter().enumerate() {
+                        dk_row[h * dh + j] += s * qv * scale;
+                    }
+                }
+            }
+        }
+
+        self.wq.grad.add_assign(&cache.query.matmul_tn(&dq));
+        self.wk.grad.add_assign(&cache.kv.matmul_tn(&dk));
+        self.wv.grad.add_assign(&cache.kv.matmul_tn(&dv));
+        let dquery = dq.matmul_nt(&self.wq.value);
+        let mut dkv = dk.matmul_nt(&self.wk.value);
+        dkv.add_assign(&dv.matmul_nt(&self.wv.value));
+        (dquery, dkv)
+    }
+}
+
+impl Parameterized for CrossAttention {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.wq, &mut self.wk, &mut self.wv, &mut self.wo]
+    }
+
+    fn num_params(&self) -> usize {
+        self.wq.len() + self.wk.len() + self.wv.len() + self.wo.len()
+    }
+}
+
+/// Multi-head self-attention over packed sequences.
+#[derive(Debug, Clone)]
+pub struct SelfAttention {
+    wq: Param,
+    wk: Param,
+    wv: Param,
+    wo: Param,
+    heads: usize,
+}
+
+/// Backward cache for [`SelfAttention`].
+#[derive(Debug)]
+pub struct SelfAttentionCache {
+    x: Matrix,
+    q: Matrix,
+    k: Matrix,
+    v: Matrix,
+    /// Attention rows, `(B * heads * L, L)` flattened per (b, h).
+    attn: Vec<Matrix>,
+    o: Matrix,
+    lens: Vec<usize>,
+    max_len: usize,
+}
+
+impl SelfAttention {
+    /// Self-attention with `heads` heads over model dimension `dim`.
+    pub fn new<R: Rng + ?Sized>(dim: usize, heads: usize, rng: &mut R) -> Self {
+        assert!(dim.is_multiple_of(heads), "dim must be divisible by heads");
+        Self {
+            wq: Param::new(xavier(dim, dim, rng)),
+            wk: Param::new(xavier(dim, dim, rng)),
+            wv: Param::new(xavier(dim, dim, rng)),
+            wo: Param::new(xavier(dim, dim, rng)),
+            heads,
+        }
+    }
+
+    /// Model dimension.
+    pub fn dim(&self) -> usize {
+        self.wq.value.cols()
+    }
+
+    /// Forward over packed sequences `x: (B · max_len, dim)`.
+    pub fn forward(
+        &self,
+        x: &Matrix,
+        lens: &[usize],
+        max_len: usize,
+    ) -> (Matrix, SelfAttentionCache) {
+        let b_size = lens.len();
+        assert_eq!(x.rows(), b_size * max_len);
+        let dim = self.dim();
+        let dh = dim / self.heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+
+        let q = x.matmul(&self.wq.value);
+        let k = x.matmul(&self.wk.value);
+        let v = x.matmul(&self.wv.value);
+
+        let mut o = Matrix::zeros(x.rows(), dim);
+        let mut attn = Vec::with_capacity(b_size * self.heads);
+        for (b, &qlen) in lens.iter().enumerate().take(b_size) {
+            let len = qlen.min(max_len);
+            for h in 0..self.heads {
+                let mut a = Matrix::zeros(len.max(1), len.max(1));
+                for i in 0..len {
+                    let q_h = head_slice(q.row(b * max_len + i), h, dh);
+                    let mut scores: Vec<f32> = (0..len)
+                        .map(|j| dot(q_h, head_slice(k.row(b * max_len + j), h, dh)) * scale)
+                        .collect();
+                    softmax_slice(&mut scores);
+                    a.row_mut(i)[..len].copy_from_slice(&scores);
+                    let o_row = o.row_mut(b * max_len + i);
+                    for (j, &w) in scores.iter().enumerate() {
+                        let v_h = head_slice(v.row(b * max_len + j), h, dh);
+                        for (c, &vv) in v_h.iter().enumerate() {
+                            o_row[h * dh + c] += w * vv;
+                        }
+                    }
+                }
+                attn.push(a);
+            }
+        }
+        let out = o.matmul(&self.wo.value);
+        (
+            out,
+            SelfAttentionCache {
+                x: x.clone(),
+                q,
+                k,
+                v,
+                attn,
+                o,
+                lens: lens.to_vec(),
+                max_len,
+            },
+        )
+    }
+
+    /// Backward pass; returns `dx` over the packed layout.
+    pub fn backward(&mut self, cache: &SelfAttentionCache, dout: &Matrix) -> Matrix {
+        let b_size = cache.lens.len();
+        let dim = self.dim();
+        let dh = dim / self.heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        let max_len = cache.max_len;
+
+        self.wo.grad.add_assign(&cache.o.matmul_tn(dout));
+        let do_ = dout.matmul_nt(&self.wo.value);
+
+        let mut dq = Matrix::zeros(cache.q.rows(), dim);
+        let mut dk = Matrix::zeros(cache.k.rows(), dim);
+        let mut dv = Matrix::zeros(cache.v.rows(), dim);
+
+        for b in 0..b_size {
+            let len = cache.lens[b].min(max_len);
+            if len == 0 {
+                continue;
+            }
+            for h in 0..self.heads {
+                let a = &cache.attn[b * self.heads + h];
+                for i in 0..len {
+                    let do_h = head_slice(do_.row(b * max_len + i), h, dh).to_vec();
+                    let a_row = &a.row(i)[..len];
+                    let mut dattn = vec![0.0f32; len];
+                    for j in 0..len {
+                        let v_h = head_slice(cache.v.row(b * max_len + j), h, dh);
+                        dattn[j] = dot(&do_h, v_h);
+                        let dv_row = dv.row_mut(b * max_len + j);
+                        for (c, &d) in do_h.iter().enumerate() {
+                            dv_row[h * dh + c] += a_row[j] * d;
+                        }
+                    }
+                    let inner: f32 = dattn.iter().zip(a_row).map(|(d, w)| d * w).sum();
+                    let q_h = head_slice(cache.q.row(b * max_len + i), h, dh).to_vec();
+                    for j in 0..len {
+                        let ds = a_row[j] * (dattn[j] - inner);
+                        {
+                            let dq_row = dq.row_mut(b * max_len + i);
+                            let k_h = head_slice(cache.k.row(b * max_len + j), h, dh);
+                            for (c, &kv_) in k_h.iter().enumerate() {
+                                dq_row[h * dh + c] += ds * kv_ * scale;
+                            }
+                        }
+                        let dk_row = dk.row_mut(b * max_len + j);
+                        for (c, &qv) in q_h.iter().enumerate() {
+                            dk_row[h * dh + c] += ds * qv * scale;
+                        }
+                    }
+                }
+            }
+        }
+
+        self.wq.grad.add_assign(&cache.x.matmul_tn(&dq));
+        self.wk.grad.add_assign(&cache.x.matmul_tn(&dk));
+        self.wv.grad.add_assign(&cache.x.matmul_tn(&dv));
+        let mut dx = dq.matmul_nt(&self.wq.value);
+        dx.add_assign(&dk.matmul_nt(&self.wk.value));
+        dx.add_assign(&dv.matmul_nt(&self.wv.value));
+        dx
+    }
+}
+
+impl Parameterized for SelfAttention {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.wq, &mut self.wk, &mut self.wv, &mut self.wo]
+    }
+
+    fn num_params(&self) -> usize {
+        self.wq.len() + self.wk.len() + self.wv.len() + self.wo.len()
+    }
+}
+
+/// Pre-LN transformer encoder block: self-attention and a two-layer FFN,
+/// each with a residual connection.
+#[derive(Debug, Clone)]
+pub struct TransformerBlock {
+    attn: SelfAttention,
+    ln1: LayerNorm,
+    ln2: LayerNorm,
+    ff1: Linear,
+    ff2: Linear,
+}
+
+/// Backward cache for [`TransformerBlock`].
+#[derive(Debug)]
+pub struct TransformerBlockCache {
+    ln1: LayerNormCache,
+    attn: SelfAttentionCache,
+    ln2: LayerNormCache,
+    ff1: LinearCache,
+    ff1_out: Matrix,
+    ff2: LinearCache,
+}
+
+impl TransformerBlock {
+    /// A block over model dimension `dim`, `heads` attention heads, and FFN
+    /// width `ff_dim`.
+    pub fn new<R: Rng + ?Sized>(dim: usize, heads: usize, ff_dim: usize, rng: &mut R) -> Self {
+        Self {
+            attn: SelfAttention::new(dim, heads, rng),
+            ln1: LayerNorm::new(dim),
+            ln2: LayerNorm::new(dim),
+            ff1: Linear::new(dim, ff_dim, rng),
+            ff2: Linear::new(ff_dim, dim, rng),
+        }
+    }
+
+    /// Forward over packed sequences.
+    pub fn forward(
+        &self,
+        x: &Matrix,
+        lens: &[usize],
+        max_len: usize,
+    ) -> (Matrix, TransformerBlockCache) {
+        let (n1, ln1_cache) = self.ln1.forward(x);
+        let (a, attn_cache) = self.attn.forward(&n1, lens, max_len);
+        let h = x.add(&a);
+        let (n2, ln2_cache) = self.ln2.forward(&h);
+        let (f1, ff1_cache) = self.ff1.forward(&n2);
+        let f1_act = Activation::Relu.infer(&f1);
+        let (f2, ff2_cache) = self.ff2.forward(&f1_act);
+        let out = h.add(&f2);
+        (
+            out,
+            TransformerBlockCache {
+                ln1: ln1_cache,
+                attn: attn_cache,
+                ln2: ln2_cache,
+                ff1: ff1_cache,
+                ff1_out: f1,
+                ff2: ff2_cache,
+            },
+        )
+    }
+
+    /// Backward pass; returns `dx`.
+    pub fn backward(&mut self, cache: &TransformerBlockCache, dout: &Matrix) -> Matrix {
+        // out = h + ff2(relu(ff1(ln2(h))))
+        let df2 = dout;
+        let df1_act = self.ff2.backward(&cache.ff2, df2);
+        let df1 = cache
+            .ff1_out
+            .zip_map(&df1_act, |pre, d| if pre > 0.0 { d } else { 0.0 });
+        let dn2 = self.ff1.backward(&cache.ff1, &df1);
+        let mut dh = self.ln2.backward(&cache.ln2, &dn2);
+        dh.add_assign(dout); // residual
+        // h = x + attn(ln1(x))
+        let dn1 = self.attn.backward(&cache.attn, &dh);
+        let mut dx = self.ln1.backward(&cache.ln1, &dn1);
+        dx.add_assign(&dh); // residual
+        dx
+    }
+}
+
+impl Parameterized for TransformerBlock {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut out = self.attn.params_mut();
+        out.extend(self.ln1.params_mut());
+        out.extend(self.ln2.params_mut());
+        out.extend(self.ff1.params_mut());
+        out.extend(self.ff2.params_mut());
+        out
+    }
+
+    fn num_params(&self) -> usize {
+        self.attn.num_params()
+            + self.ln1.num_params()
+            + self.ln2.num_params()
+            + self.ff1.num_params()
+            + self.ff2.num_params()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::randn_matrix;
+    use crate::test_util::{grad_check, probe_coefficients};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn cross_attention_shapes_and_masking() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let attn = CrossAttention::new(5, 7, 8, 2, &mut rng);
+        let query = randn_matrix(3, 5, 1.0, &mut rng);
+        let kv = randn_matrix(3 * 4, 7, 1.0, &mut rng);
+        let (out, cache) = attn.forward(&query, &kv, &[4, 2, 0], 4);
+        assert_eq!(out.shape(), (3, 8));
+        // zero-length item yields zero context → zero output row after Wo
+        assert!(out.row(2).iter().all(|&v| v == 0.0));
+        // attention rows sum to 1 over valid length
+        let a0: f32 = cache.attn.row(0).iter().sum();
+        assert!((a0 - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_attention_kv_gradient_matches_fd() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let attn = CrossAttention::new(4, 4, 4, 2, &mut rng);
+        let query = randn_matrix(2, 4, 1.0, &mut rng);
+        let kv = randn_matrix(2 * 3, 4, 1.0, &mut rng);
+        let lens = [3usize, 2];
+        // grad-check w.r.t. kv (and all params)
+        grad_check(
+            attn,
+            kv,
+            |a, kv| a.forward(&query, kv, &lens, 3),
+            |a, c, dy| a.backward(c, dy).1,
+            4e-2,
+        );
+    }
+
+    #[test]
+    fn cross_attention_query_gradient_matches_fd() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let attn = CrossAttention::new(4, 4, 4, 1, &mut rng);
+        let query = randn_matrix(2, 4, 1.0, &mut rng);
+        let kv = randn_matrix(2 * 3, 4, 1.0, &mut rng);
+        let lens = [2usize, 3];
+        let (y, cache) = attn.forward(&query, &kv, &lens, 3);
+        let coef = probe_coefficients(y.rows(), y.cols());
+        let mut attn2 = attn.clone();
+        let (dquery, _) = attn2.backward(&cache, &coef);
+        let eps = 5e-3f32;
+        for idx in 0..query.len() {
+            let mut qp = query.clone();
+            qp.data_mut()[idx] += eps;
+            let mut qm = query.clone();
+            qm.data_mut()[idx] -= eps;
+            let lp = attn.infer(&qp, &kv, &lens, 3).hadamard(&coef).sum();
+            let lm = attn.infer(&qm, &kv, &lens, 3).hadamard(&coef).sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = dquery.data()[idx];
+            assert!(
+                (analytic - numeric).abs() < 4e-2 * 1.0f32.max(analytic.abs()),
+                "dquery[{idx}]: {analytic} vs {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn self_attention_gradient_matches_fd() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let attn = SelfAttention::new(4, 2, &mut rng);
+        let x = randn_matrix(2 * 3, 4, 1.0, &mut rng);
+        let lens = [3usize, 2];
+        grad_check(
+            attn,
+            x,
+            |a, x| a.forward(x, &lens, 3),
+            |a, c, dy| a.backward(c, dy),
+            4e-2,
+        );
+    }
+
+    #[test]
+    fn transformer_block_gradient_matches_fd() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let block = TransformerBlock::new(4, 2, 6, &mut rng);
+        let x = randn_matrix(2 * 2, 4, 1.0, &mut rng);
+        let lens = [2usize, 2];
+        grad_check(
+            block,
+            x,
+            |b, x| b.forward(x, &lens, 2),
+            |b, c, dy| b.backward(c, dy),
+            6e-2,
+        );
+    }
+
+    #[test]
+    fn attention_is_permutation_equivariant_over_values() {
+        // Attention over identical keys averages values, independent of order.
+        let mut rng = StdRng::seed_from_u64(5);
+        let attn = CrossAttention::new(4, 4, 4, 1, &mut rng);
+        let query = randn_matrix(1, 4, 1.0, &mut rng);
+        let row = randn_matrix(1, 4, 1.0, &mut rng);
+        let kv = Matrix::concat_rows(&[&row, &row, &row]);
+        let (out, cache) = attn.forward(&query, &kv, &[3], 3);
+        // all weights equal
+        let a = cache.attn.row(0);
+        assert!((a[0] - a[1]).abs() < 1e-5 && (a[1] - a[2]).abs() < 1e-5);
+        assert_eq!(out.shape(), (1, 4));
+    }
+}

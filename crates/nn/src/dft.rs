@@ -1,0 +1,256 @@
+//! Learnable frequency-domain filter over token sequences, the signature
+//! component of FreeDyG (Tian et al., ICLR 2024).
+//!
+//! A sequence of `L` tokens with `C` channels is transformed channel-wise
+//! with an explicit discrete Fourier transform, multiplied by a learnable
+//! complex filter per (frequency, channel), and transformed back. The whole
+//! operation is linear in the input, so backpropagation uses the adjoint
+//! DFT; gradients for the complex filter follow the complex product rule.
+
+use crate::matrix::Matrix;
+use crate::param::{Param, Parameterized};
+
+/// Learnable complex frequency filter for packed `(B · L, C)` sequences.
+#[derive(Debug, Clone)]
+pub struct FrequencyFilter {
+    seq_len: usize,
+    channels: usize,
+    /// Real filter part, `(L, C)`, initialized to 1 (identity filter).
+    pub re: Param,
+    /// Imaginary filter part, `(L, C)`, initialized to 0.
+    pub im: Param,
+    cos: Matrix, // (L, L): cos(2π k n / L)
+    sin: Matrix, // (L, L): sin(2π k n / L)
+}
+
+/// Backward cache: forward spectra per item.
+#[derive(Debug)]
+pub struct FrequencyFilterCache {
+    /// `(B · L, C)` real spectra `F_re`.
+    f_re: Matrix,
+    /// `(B · L, C)` imaginary spectra `F_im`.
+    f_im: Matrix,
+}
+
+impl FrequencyFilter {
+    /// Identity-initialized filter for sequences of length `seq_len` with
+    /// `channels` channels.
+    pub fn new(seq_len: usize, channels: usize) -> Self {
+        assert!(seq_len > 0 && channels > 0);
+        let w = 2.0 * std::f32::consts::PI / seq_len as f32;
+        let cos = Matrix::from_fn(seq_len, seq_len, |k, n| (w * (k * n) as f32).cos());
+        let sin = Matrix::from_fn(seq_len, seq_len, |k, n| (w * (k * n) as f32).sin());
+        Self {
+            seq_len,
+            channels,
+            re: Param::new(Matrix::filled(seq_len, channels, 1.0)),
+            im: Param::new(Matrix::zeros(seq_len, channels)),
+            cos,
+            sin,
+        }
+    }
+
+    /// Sequence length `L`.
+    pub fn seq_len(&self) -> usize {
+        self.seq_len
+    }
+
+    /// DFT of packed sequences: returns `(F_re, F_im)`, each `(B · L, C)`.
+    fn dft(&self, x: &Matrix) -> (Matrix, Matrix) {
+        let b_size = x.rows() / self.seq_len;
+        let mut f_re = Matrix::zeros(x.rows(), self.channels);
+        let mut f_im = Matrix::zeros(x.rows(), self.channels);
+        for b in 0..b_size {
+            let base = b * self.seq_len;
+            for k in 0..self.seq_len {
+                let cos_k = self.cos.row(k);
+                let sin_k = self.sin.row(k);
+                let fr = f_re.row_mut(base + k);
+                for (n, &ck) in cos_k.iter().enumerate() {
+                    let xr = x.row(base + n);
+                    for (c, f) in fr.iter_mut().enumerate() {
+                        *f += ck * xr[c];
+                    }
+                }
+                let fi = f_im.row_mut(base + k);
+                for (n, &sk) in sin_k.iter().enumerate() {
+                    let xr = x.row(base + n);
+                    for (c, f) in fi.iter_mut().enumerate() {
+                        *f -= sk * xr[c];
+                    }
+                }
+            }
+        }
+        (f_re, f_im)
+    }
+
+    /// Forward: filter packed sequences `x: (B · L, C)` in the frequency
+    /// domain and return the real part of the inverse transform.
+    pub fn forward(&self, x: &Matrix) -> (Matrix, FrequencyFilterCache) {
+        assert_eq!(x.cols(), self.channels);
+        assert_eq!(x.rows() % self.seq_len, 0);
+        let b_size = x.rows() / self.seq_len;
+        let (f_re, f_im) = self.dft(x);
+        let mut y = Matrix::zeros(x.rows(), self.channels);
+        let inv_l = 1.0 / self.seq_len as f32;
+        for b in 0..b_size {
+            let base = b * self.seq_len;
+            for n in 0..self.seq_len {
+                for c in 0..self.channels {
+                    let mut acc = 0.0f32;
+                    for k in 0..self.seq_len {
+                        let a = self.re.value.get(k, c);
+                        let bb = self.im.value.get(k, c);
+                        let fr = f_re.get(base + k, c);
+                        let fi = f_im.get(base + k, c);
+                        let g_re = a * fr - bb * fi;
+                        let g_im = bb * fr + a * fi;
+                        acc += self.cos.get(k, n) * g_re - self.sin.get(k, n) * g_im;
+                    }
+                    y.set(base + n, c, acc * inv_l);
+                }
+            }
+        }
+        (y, FrequencyFilterCache { f_re, f_im })
+    }
+
+    /// Inference-only forward.
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        self.forward(x).0
+    }
+
+    /// Backward pass; accumulates filter gradients and returns `dx`.
+    pub fn backward(&mut self, cache: &FrequencyFilterCache, dy: &Matrix) -> Matrix {
+        let b_size = dy.rows() / self.seq_len;
+        let inv_l = 1.0 / self.seq_len as f32;
+        let mut dx = Matrix::zeros(dy.rows(), self.channels);
+        for b in 0..b_size {
+            let base = b * self.seq_len;
+            for k in 0..self.seq_len {
+                for c in 0..self.channels {
+                    // adjoint of the inverse transform
+                    let mut dg_re = 0.0f32;
+                    let mut dg_im = 0.0f32;
+                    for n in 0..self.seq_len {
+                        let d = dy.get(base + n, c);
+                        dg_re += self.cos.get(k, n) * d;
+                        dg_im -= self.sin.get(k, n) * d;
+                    }
+                    dg_re *= inv_l;
+                    dg_im *= inv_l;
+                    // complex product rule
+                    let a = self.re.value.get(k, c);
+                    let bb = self.im.value.get(k, c);
+                    let fr = cache.f_re.get(base + k, c);
+                    let fi = cache.f_im.get(base + k, c);
+                    *self
+                        .re
+                        .grad
+                        .row_mut(k)
+                        .get_mut(c)
+                        .expect("channel in range") += fr * dg_re + fi * dg_im;
+                    *self
+                        .im
+                        .grad
+                        .row_mut(k)
+                        .get_mut(c)
+                        .expect("channel in range") += -fi * dg_re + fr * dg_im;
+                    let df_re = a * dg_re + bb * dg_im;
+                    let df_im = -bb * dg_re + a * dg_im;
+                    // adjoint of the forward DFT
+                    for n in 0..self.seq_len {
+                        let v = self.cos.get(k, n) * df_re - self.sin.get(k, n) * df_im;
+                        *dx.row_mut(base + n).get_mut(c).expect("channel in range") += v;
+                    }
+                }
+            }
+        }
+        dx
+    }
+}
+
+impl Parameterized for FrequencyFilter {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.re, &mut self.im]
+    }
+
+    fn num_params(&self) -> usize {
+        self.re.len() + self.im.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::randn_matrix;
+    use crate::test_util::grad_check;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn identity_filter_is_identity_map() {
+        // With re=1, im=0 the filter is DFT followed by inverse DFT.
+        let filt = FrequencyFilter::new(5, 3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = randn_matrix(5, 3, 1.0, &mut rng);
+        let (y, _) = filt.forward(&x);
+        for (a, b) in x.data().iter().zip(y.data()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn zero_filter_zeroes_output() {
+        let mut filt = FrequencyFilter::new(4, 2);
+        filt.re.value = Matrix::zeros(4, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = randn_matrix(8, 2, 1.0, &mut rng);
+        let (y, _) = filt.forward(&x);
+        assert!(y.max_abs() < 1e-5);
+    }
+
+    #[test]
+    fn dc_only_filter_averages() {
+        // Keeping only the k=0 bin yields a constant sequence equal to the mean.
+        let mut filt = FrequencyFilter::new(4, 1);
+        filt.re.value = Matrix::zeros(4, 1);
+        filt.re.value.set(0, 0, 1.0);
+        let x = Matrix::from_vec(4, 1, vec![1.0, 2.0, 3.0, 6.0]);
+        let (y, _) = filt.forward(&x);
+        for n in 0..4 {
+            assert!((y.get(n, 0) - 3.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn gradients_match_fd() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut filt = FrequencyFilter::new(3, 2);
+        // Non-trivial filter so both re and im gradients are exercised.
+        filt.re.value = randn_matrix(3, 2, 1.0, &mut rng);
+        filt.im.value = randn_matrix(3, 2, 0.5, &mut rng);
+        let x = randn_matrix(6, 2, 1.0, &mut rng); // B = 2
+        grad_check(
+            filt,
+            x,
+            |f, x| f.forward(x),
+            |f, c, dy| f.backward(c, dy),
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn batch_items_independent() {
+        let filt = FrequencyFilter::new(4, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = randn_matrix(4, 2, 1.0, &mut rng);
+        let b = randn_matrix(4, 2, 1.0, &mut rng);
+        let packed = Matrix::concat_rows(&[&a, &b]);
+        let (y, _) = filt.forward(&packed);
+        let (ya, _) = filt.forward(&a);
+        for i in 0..4 {
+            for j in 0..2 {
+                assert!((y.get(i, j) - ya.get(i, j)).abs() < 1e-4);
+            }
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! GRU cell with hand-written backpropagation.
+//!
+//! JODIE's recurrent embedding update, TGN's memory updater, and SLADE's
+//! memory module are all GRU-style recurrent updates over per-node state.
+
+use rand::Rng;
+
+use crate::activation::sigmoid;
+use crate::init::xavier;
+use crate::matrix::Matrix;
+use crate::param::{Param, Parameterized};
+
+/// A gated recurrent unit cell:
+///
+/// ```text
+/// z = σ(x·Wz + h·Uz + bz)        (update gate)
+/// r = σ(x·Wr + h·Ur + br)        (reset gate)
+/// h̃ = tanh(x·Wh + (r ⊙ h)·Uh + bh)
+/// h' = (1 − z) ⊙ h + z ⊙ h̃
+/// ```
+#[derive(Debug, Clone)]
+pub struct GruCell {
+    wz: Param,
+    uz: Param,
+    bz: Param,
+    wr: Param,
+    ur: Param,
+    br: Param,
+    wh: Param,
+    uh: Param,
+    bh: Param,
+}
+
+/// Backward cache for one GRU step.
+#[derive(Debug, Clone)]
+pub struct GruCache {
+    x: Matrix,
+    h: Matrix,
+    z: Matrix,
+    r: Matrix,
+    h_cand: Matrix,
+    rh: Matrix,
+}
+
+impl GruCell {
+    /// A GRU cell mapping inputs of `x_dim` and states of `h_dim`.
+    pub fn new<R: Rng + ?Sized>(x_dim: usize, h_dim: usize, rng: &mut R) -> Self {
+        let b = || Param::new(Matrix::zeros(1, h_dim));
+        Self {
+            wz: Param::new(xavier(x_dim, h_dim, rng)),
+            uz: Param::new(xavier(h_dim, h_dim, rng)),
+            bz: b(),
+            wr: Param::new(xavier(x_dim, h_dim, rng)),
+            ur: Param::new(xavier(h_dim, h_dim, rng)),
+            br: b(),
+            wh: Param::new(xavier(x_dim, h_dim, rng)),
+            uh: Param::new(xavier(h_dim, h_dim, rng)),
+            bh: b(),
+        }
+    }
+
+    /// Input dimension.
+    pub fn x_dim(&self) -> usize {
+        self.wz.value.rows()
+    }
+
+    /// State dimension.
+    pub fn h_dim(&self) -> usize {
+        self.wz.value.cols()
+    }
+
+    /// One step `(x: (B, x_dim), h: (B, h_dim)) → h': (B, h_dim)`.
+    pub fn forward(&self, x: &Matrix, h: &Matrix) -> (Matrix, GruCache) {
+        let z = x
+            .matmul(&self.wz.value)
+            .add(&h.matmul(&self.uz.value))
+            .add_row_broadcast(self.bz.value.row(0))
+            .map(sigmoid);
+        let r = x
+            .matmul(&self.wr.value)
+            .add(&h.matmul(&self.ur.value))
+            .add_row_broadcast(self.br.value.row(0))
+            .map(sigmoid);
+        let rh = r.hadamard(h);
+        let h_cand = x
+            .matmul(&self.wh.value)
+            .add(&rh.matmul(&self.uh.value))
+            .add_row_broadcast(self.bh.value.row(0))
+            .map(f32::tanh);
+        let h_new = h
+            .zip_map(&z, |hv, zv| (1.0 - zv) * hv)
+            .add(&z.hadamard(&h_cand));
+        (
+            h_new,
+            GruCache { x: x.clone(), h: h.clone(), z, r, h_cand, rh },
+        )
+    }
+
+    /// Inference-only step.
+    pub fn infer(&self, x: &Matrix, h: &Matrix) -> Matrix {
+        self.forward(x, h).0
+    }
+
+    /// Backward pass; returns `(dx, dh)` and accumulates parameter grads.
+    pub fn backward(&mut self, cache: &GruCache, dh_new: &Matrix) -> (Matrix, Matrix) {
+        let GruCache { x, h, z, r, h_cand, rh } = cache;
+
+        // h' = (1 - z) ⊙ h + z ⊙ h̃
+        let dh_cand = dh_new.hadamard(z);
+        let dz = dh_new.hadamard(&h_cand.sub(h));
+        let mut dh = dh_new.zip_map(z, |d, zv| d * (1.0 - zv));
+
+        // candidate pre-activation
+        let da_h = dh_cand.zip_map(h_cand, |d, y| d * (1.0 - y * y));
+        let mut dx = da_h.matmul_nt(&self.wh.value);
+        self.wh.grad.add_assign(&x.matmul_tn(&da_h));
+        let drh = da_h.matmul_nt(&self.uh.value);
+        self.uh.grad.add_assign(&rh.matmul_tn(&da_h));
+        self.bh
+            .grad
+            .add_assign(&Matrix::from_vec(1, da_h.cols(), da_h.col_sums()));
+
+        let dr = drh.hadamard(h);
+        dh.add_assign(&drh.hadamard(r));
+
+        // update gate pre-activation
+        let da_z = dz.zip_map(z, |d, zv| d * zv * (1.0 - zv));
+        dx.add_assign(&da_z.matmul_nt(&self.wz.value));
+        dh.add_assign(&da_z.matmul_nt(&self.uz.value));
+        self.wz.grad.add_assign(&x.matmul_tn(&da_z));
+        self.uz.grad.add_assign(&h.matmul_tn(&da_z));
+        self.bz
+            .grad
+            .add_assign(&Matrix::from_vec(1, da_z.cols(), da_z.col_sums()));
+
+        // reset gate pre-activation
+        let da_r = dr.zip_map(r, |d, rv| d * rv * (1.0 - rv));
+        dx.add_assign(&da_r.matmul_nt(&self.wr.value));
+        dh.add_assign(&da_r.matmul_nt(&self.ur.value));
+        self.wr.grad.add_assign(&x.matmul_tn(&da_r));
+        self.ur.grad.add_assign(&h.matmul_tn(&da_r));
+        self.br
+            .grad
+            .add_assign(&Matrix::from_vec(1, da_r.cols(), da_r.col_sums()));
+
+        (dx, dh)
+    }
+}
+
+impl Parameterized for GruCell {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![
+            &mut self.wz,
+            &mut self.uz,
+            &mut self.bz,
+            &mut self.wr,
+            &mut self.ur,
+            &mut self.br,
+            &mut self.wh,
+            &mut self.uh,
+            &mut self.bh,
+        ]
+    }
+
+    fn num_params(&self) -> usize {
+        let d_in = self.x_dim();
+        let d_h = self.h_dim();
+        3 * (d_in * d_h + d_h * d_h + d_h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::randn_matrix;
+    use crate::test_util::grad_check;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn state_shape_and_bounds() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cell = GruCell::new(3, 5, &mut rng);
+        let x = randn_matrix(4, 3, 1.0, &mut rng);
+        let h = Matrix::zeros(4, 5);
+        let (h2, _) = cell.forward(&x, &h);
+        assert_eq!(h2.shape(), (4, 5));
+        // From zero state, |h'| = |z ⊙ tanh(...)| < 1
+        assert!(h2.max_abs() < 1.0);
+    }
+
+    #[test]
+    fn input_gradient_matches_fd() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cell = GruCell::new(3, 4, &mut rng);
+        let h = randn_matrix(2, 4, 0.5, &mut rng);
+        let x = randn_matrix(2, 3, 1.0, &mut rng);
+        // grad_check varies x and all params; h is held fixed inside forward.
+        grad_check(
+            cell,
+            x,
+            |c, x| c.forward(x, &h),
+            |c, cache, dy| c.backward(cache, dy).0,
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn state_gradient_matches_fd() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut cell = GruCell::new(3, 4, &mut rng);
+        let x = randn_matrix(2, 3, 1.0, &mut rng);
+        let h = randn_matrix(2, 4, 0.5, &mut rng);
+        let (y, cache) = cell.forward(&x, &h);
+        let coef = crate::test_util::probe_coefficients(y.rows(), y.cols());
+        let (_, dh) = cell.backward(&cache, &coef);
+        let eps = 5e-3f32;
+        for idx in 0..h.len() {
+            let mut hp = h.clone();
+            hp.data_mut()[idx] += eps;
+            let mut hm = h.clone();
+            hm.data_mut()[idx] -= eps;
+            let lp = cell.infer(&x, &hp).hadamard(&coef).sum();
+            let lm = cell.infer(&x, &hm).hadamard(&coef).sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = dh.data()[idx];
+            assert!(
+                (analytic - numeric).abs() < 3e-2 * 1.0f32.max(analytic.abs()),
+                "dh[{idx}]: {analytic} vs {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cell = GruCell::new(3, 4, &mut rng);
+        assert_eq!(Parameterized::num_params(&cell), 3 * (12 + 16 + 4));
+    }
+}

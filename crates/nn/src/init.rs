@@ -1,0 +1,70 @@
+//! Weight initialization and Gaussian sampling.
+//!
+//! Gaussian samples are produced with the Box–Muller transform over `rand`'s
+//! uniform source, so the crate needs no extra distribution dependency.
+
+use rand::{Rng, RngExt};
+
+use crate::matrix::Matrix;
+
+/// One standard-normal sample via Box–Muller.
+pub fn randn<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    // Guard against log(0) by sampling u1 in (0, 1].
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+}
+
+/// A matrix of i.i.d. `N(0, std²)` entries.
+pub fn randn_matrix<R: Rng + ?Sized>(rows: usize, cols: usize, std: f32, rng: &mut R) -> Matrix {
+    let mut m = Matrix::zeros(rows, cols);
+    for v in m.data_mut() {
+        *v = randn(rng) * std;
+    }
+    m
+}
+
+/// Xavier/Glorot initialization for a `(fan_in, fan_out)` weight matrix.
+pub fn xavier<R: Rng + ?Sized>(fan_in: usize, fan_out: usize, rng: &mut R) -> Matrix {
+    let std = (2.0 / (fan_in + fan_out) as f32).sqrt();
+    randn_matrix(fan_in, fan_out, std, rng)
+}
+
+/// He/Kaiming initialization, suited to ReLU hidden layers.
+pub fn he<R: Rng + ?Sized>(fan_in: usize, fan_out: usize, rng: &mut R) -> Matrix {
+    let std = (2.0 / fan_in as f32).sqrt();
+    randn_matrix(fan_in, fan_out, std, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn randn_moments_are_standard_normal() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 50_000;
+        let samples: Vec<f32> = (0..n).map(|_| randn(&mut rng)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn xavier_scale() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = xavier(100, 100, &mut rng);
+        let std = (w.data().iter().map(|x| x * x).sum::<f32>() / w.len() as f32).sqrt();
+        let expected = (2.0 / 200.0f32).sqrt();
+        assert!((std - expected).abs() < 0.01, "std {std} expected {expected}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = randn_matrix(3, 3, 1.0, &mut StdRng::seed_from_u64(42));
+        let b = randn_matrix(3, 3, 1.0, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,174 @@
+//! Layer normalization (Ba et al. 2016) over the last dimension.
+//!
+//! The SLIM model applies LayerNorm to its aggregated representation and to
+//! the skip-connection branch (paper Eq. 18); it is also part of the
+//! transformer and mixer blocks used by the baselines.
+
+use crate::matrix::Matrix;
+use crate::param::{Param, Parameterized};
+
+/// Per-row layer normalization with learnable gain and bias.
+#[derive(Debug, Clone)]
+pub struct LayerNorm {
+    /// Learnable gain `γ`, shape `(1, dim)`.
+    pub gain: Param,
+    /// Learnable bias `β`, shape `(1, dim)`.
+    pub bias: Param,
+    eps: f32,
+}
+
+/// Backward cache: normalized activations and per-row inverse std.
+#[derive(Debug, Clone)]
+pub struct LayerNormCache {
+    xhat: Matrix,
+    inv_std: Vec<f32>,
+}
+
+impl LayerNorm {
+    /// LayerNorm over `dim` features (γ=1, β=0).
+    pub fn new(dim: usize) -> Self {
+        Self {
+            gain: Param::new(Matrix::filled(1, dim, 1.0)),
+            bias: Param::new(Matrix::zeros(1, dim)),
+            eps: 1e-5,
+        }
+    }
+
+    /// Normalized feature dimension.
+    pub fn dim(&self) -> usize {
+        self.gain.value.cols()
+    }
+
+    /// Forward pass `(B, dim) → (B, dim)`.
+    pub fn forward(&self, x: &Matrix) -> (Matrix, LayerNormCache) {
+        let (rows, cols) = x.shape();
+        assert_eq!(cols, self.dim(), "LayerNorm dimension mismatch");
+        let mut xhat = Matrix::zeros(rows, cols);
+        let mut inv_std = Vec::with_capacity(rows);
+        let g = self.gain.value.row(0);
+        let b = self.bias.value.row(0);
+        let mut y = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            let row = x.row(i);
+            let mean = row.iter().sum::<f32>() / cols as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
+            let istd = 1.0 / (var + self.eps).sqrt();
+            inv_std.push(istd);
+            for j in 0..cols {
+                let xh = (row[j] - mean) * istd;
+                xhat.set(i, j, xh);
+                y.set(i, j, g[j] * xh + b[j]);
+            }
+        }
+        (y, LayerNormCache { xhat, inv_std })
+    }
+
+    /// Inference-only forward.
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        self.forward(x).0
+    }
+
+    /// Backward pass: accumulates `dγ`, `dβ` and returns `dx`.
+    pub fn backward(&mut self, cache: &LayerNormCache, dy: &Matrix) -> Matrix {
+        let (rows, cols) = dy.shape();
+        let g = self.gain.value.row(0);
+        let mut dx = Matrix::zeros(rows, cols);
+        {
+            let dgain = self.gain.grad.row_mut(0);
+            for i in 0..rows {
+                for (j, dg) in dgain.iter_mut().enumerate() {
+                    *dg += dy.get(i, j) * cache.xhat.get(i, j);
+                }
+            }
+        }
+        {
+            let dbias = self.bias.grad.row_mut(0);
+            for i in 0..rows {
+                for (j, db) in dbias.iter_mut().enumerate() {
+                    *db += dy.get(i, j);
+                }
+            }
+        }
+        let n = cols as f32;
+        for i in 0..rows {
+            // dxhat = dy * gain
+            let mut sum_dxhat = 0.0f32;
+            let mut sum_dxhat_xhat = 0.0f32;
+            for (j, &gj) in g.iter().enumerate() {
+                let dxh = dy.get(i, j) * gj;
+                sum_dxhat += dxh;
+                sum_dxhat_xhat += dxh * cache.xhat.get(i, j);
+            }
+            let istd = cache.inv_std[i];
+            for (j, &gj) in g.iter().enumerate() {
+                let dxh = dy.get(i, j) * gj;
+                let xh = cache.xhat.get(i, j);
+                dx.set(i, j, istd * (dxh - sum_dxhat / n - xh * sum_dxhat_xhat / n));
+            }
+        }
+        dx
+    }
+}
+
+impl Parameterized for LayerNorm {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gain, &mut self.bias]
+    }
+
+    fn num_params(&self) -> usize {
+        self.gain.len() + self.bias.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::randn_matrix;
+    use crate::test_util::grad_check;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn output_rows_are_normalized() {
+        let ln = LayerNorm::new(8);
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = randn_matrix(4, 8, 3.0, &mut rng).map(|v| v + 10.0);
+        let (y, _) = ln.forward(&x);
+        for i in 0..4 {
+            let row = y.row(i);
+            let mean = row.iter().sum::<f32>() / 8.0;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 8.0;
+            assert!(mean.abs() < 1e-4, "row {i} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "row {i} var {var}");
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut ln = LayerNorm::new(5);
+        // Non-trivial gain/bias so their gradients are exercised.
+        ln.gain.value = randn_matrix(1, 5, 1.0, &mut rng).map(|v| v + 1.0);
+        ln.bias.value = randn_matrix(1, 5, 0.5, &mut rng);
+        let x = randn_matrix(3, 5, 2.0, &mut rng);
+        grad_check(
+            ln,
+            x,
+            |l, x| l.forward(x),
+            |l, c, dy| l.backward(c, dy),
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn scale_invariance() {
+        // LayerNorm output is invariant to a positive rescaling of its input.
+        let ln = LayerNorm::new(6);
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = randn_matrix(2, 6, 1.0, &mut rng);
+        let (y1, _) = ln.forward(&x);
+        let (y2, _) = ln.forward(&x.scale(7.5));
+        for (a, b) in y1.data().iter().zip(y2.data()) {
+            assert!((a - b).abs() < 1e-3);
+        }
+    }
+}

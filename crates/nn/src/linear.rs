@@ -1,0 +1,139 @@
+//! Fully connected layer with functional forward/backward.
+//!
+//! Layers in this crate are *functional*: `forward` returns the output plus a
+//! cache, and `backward` consumes that cache. This lets one layer be applied
+//! several times inside a single training step (e.g. SLIM's message MLP runs
+//! over every remembered edge of every query) with gradients accumulating
+//! correctly across applications.
+
+use rand::Rng;
+
+use crate::init::xavier;
+use crate::matrix::Matrix;
+use crate::param::{Param, Parameterized};
+
+/// Affine map `y = x·W + b` with `W: (in, out)`, `b: (1, out)`.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    /// Weight matrix.
+    pub w: Param,
+    /// Bias row.
+    pub b: Param,
+}
+
+/// Backward cache for [`Linear`]: the forward input.
+#[derive(Debug, Clone)]
+pub struct LinearCache {
+    input: Matrix,
+}
+
+impl Linear {
+    /// Xavier-initialized layer.
+    pub fn new<R: Rng + ?Sized>(in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
+        Self {
+            w: Param::new(xavier(in_dim, out_dim, rng)),
+            b: Param::new(Matrix::zeros(1, out_dim)),
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.w.value.rows()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.w.value.cols()
+    }
+
+    /// Forward pass over a batch `(B, in) → (B, out)`.
+    pub fn forward(&self, x: &Matrix) -> (Matrix, LinearCache) {
+        let y = x.matmul(&self.w.value).add_row_broadcast(self.b.value.row(0));
+        (y, LinearCache { input: x.clone() })
+    }
+
+    /// Inference-only forward without caching.
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        x.matmul(&self.w.value).add_row_broadcast(self.b.value.row(0))
+    }
+
+    /// Backward pass: accumulates `dW`, `db` and returns `dx`.
+    pub fn backward(&mut self, cache: &LinearCache, dy: &Matrix) -> Matrix {
+        self.w.grad.add_assign(&cache.input.matmul_tn(dy));
+        self.b.grad.add_assign(&Matrix::from_vec(1, dy.cols(), dy.col_sums()));
+        dy.matmul_nt(&self.w.value)
+    }
+}
+
+impl Parameterized for Linear {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.b]
+    }
+
+    fn num_params(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::grad_check;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut layer = Linear::new(3, 2, &mut rng);
+        layer.w.value = Matrix::zeros(3, 2);
+        layer.b.value = Matrix::from_vec(1, 2, vec![1.0, -1.0]);
+        let x = Matrix::filled(4, 3, 5.0);
+        let (y, _) = layer.forward(&x);
+        assert_eq!(y.shape(), (4, 2));
+        assert_eq!(y.row(2), &[1.0, -1.0]);
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let layer = Linear::new(5, 4, &mut rng);
+        let x = crate::init::randn_matrix(2, 5, 1.0, &mut rng);
+        let (y, _) = layer.forward(&x);
+        assert_eq!(y, layer.infer(&x));
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let layer = Linear::new(4, 3, &mut rng);
+        let x = crate::init::randn_matrix(5, 4, 1.0, &mut rng);
+        grad_check(
+            layer,
+            x,
+            |l, x| l.forward(x),
+            |l, cache, dy| l.backward(cache, dy),
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_accumulates_across_calls() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut layer = Linear::new(2, 2, &mut rng);
+        let x = Matrix::filled(1, 2, 1.0);
+        let dy = Matrix::filled(1, 2, 1.0);
+        let (_, c1) = layer.forward(&x);
+        let (_, c2) = layer.forward(&x);
+        layer.backward(&c1, &dy);
+        let g1 = layer.w.grad.clone();
+        layer.backward(&c2, &dy);
+        assert_eq!(layer.w.grad, g1.scale(2.0));
+    }
+
+    #[test]
+    fn num_params() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let layer = Linear::new(7, 5, &mut rng);
+        assert_eq!(Parameterized::num_params(&layer), 7 * 5 + 5);
+    }
+}

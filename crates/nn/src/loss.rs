@@ -1,0 +1,228 @@
+//! Losses: softmax cross-entropy (hard and soft labels), binary
+//! cross-entropy with logits, and mean squared error.
+//!
+//! Every loss returns `(mean loss, d loss / d logits)` so callers feed the
+//! gradient straight into a model's backward pass. Empirical risk
+//! minimization (paper Eqs. 10, 20) uses these for classification, anomaly
+//! detection, and — via soft labels — node affinity prediction.
+
+use crate::activation::sigmoid;
+use crate::matrix::Matrix;
+
+/// Row-wise numerically stable softmax.
+pub fn softmax(logits: &Matrix) -> Matrix {
+    let (rows, cols) = logits.shape();
+    let mut out = Matrix::zeros(rows, cols);
+    for i in 0..rows {
+        let row = logits.row(i);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        let out_row = out.row_mut(i);
+        for j in 0..cols {
+            let e = (row[j] - max).exp();
+            out_row[j] = e;
+            sum += e;
+        }
+        for v in out_row {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+/// Row-wise log-softmax.
+pub fn log_softmax(logits: &Matrix) -> Matrix {
+    let (rows, cols) = logits.shape();
+    let mut out = Matrix::zeros(rows, cols);
+    for i in 0..rows {
+        let row = logits.row(i);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let lse = row.iter().map(|v| (v - max).exp()).sum::<f32>().ln() + max;
+        for (j, &v) in row.iter().enumerate().take(cols) {
+            out.set(i, j, v - lse);
+        }
+    }
+    out
+}
+
+/// Mean softmax cross-entropy against integer class targets.
+///
+/// Returns `(loss, dlogits)` with `dlogits = (softmax − onehot) / B`.
+pub fn softmax_cross_entropy(logits: &Matrix, targets: &[usize]) -> (f32, Matrix) {
+    let (rows, cols) = logits.shape();
+    assert_eq!(rows, targets.len(), "batch/target mismatch");
+    assert!(rows > 0, "empty batch");
+    let log_p = log_softmax(logits);
+    let mut loss = 0.0f32;
+    let mut dlogits = softmax(logits);
+    let inv_b = 1.0 / rows as f32;
+    for (i, &t) in targets.iter().enumerate() {
+        assert!(t < cols, "target {t} out of range for {cols} classes");
+        loss -= log_p.get(i, t);
+        let row = dlogits.row_mut(i);
+        row[t] -= 1.0;
+        for v in row {
+            *v *= inv_b;
+        }
+    }
+    (loss * inv_b, dlogits)
+}
+
+/// Mean cross-entropy against soft target distributions (rows of `targets`).
+///
+/// Used for node affinity prediction, where `Y_i(t)` is a normalized affinity
+/// vector. Target rows need not sum to 1; the general gradient
+/// `dlogits = (softmax · Σ_j t_j − t) / B` is used.
+pub fn soft_cross_entropy(logits: &Matrix, targets: &Matrix) -> (f32, Matrix) {
+    assert_eq!(logits.shape(), targets.shape(), "logits/targets shape mismatch");
+    let rows = logits.rows();
+    assert!(rows > 0, "empty batch");
+    let log_p = log_softmax(logits);
+    let p = softmax(logits);
+    let inv_b = 1.0 / rows as f32;
+    let mut loss = 0.0f32;
+    let mut dlogits = Matrix::zeros(logits.rows(), logits.cols());
+    for i in 0..rows {
+        let t_row = targets.row(i);
+        let t_sum: f32 = t_row.iter().sum();
+        for (j, &t) in t_row.iter().enumerate() {
+            loss -= t * log_p.get(i, j);
+            dlogits.set(i, j, (p.get(i, j) * t_sum - t) * inv_b);
+        }
+    }
+    (loss * inv_b, dlogits)
+}
+
+/// Mean binary cross-entropy with logits; `logits` is `(B, 1)`.
+///
+/// Returns `(loss, dlogits)` with `dlogits = (σ(x) − y) / B`.
+pub fn bce_with_logits(logits: &Matrix, targets: &[f32]) -> (f32, Matrix) {
+    assert_eq!(logits.cols(), 1, "bce expects (B, 1) logits");
+    assert_eq!(logits.rows(), targets.len(), "batch/target mismatch");
+    assert!(!targets.is_empty(), "empty batch");
+    let b = targets.len() as f32;
+    let mut loss = 0.0f32;
+    let mut dlogits = Matrix::zeros(logits.rows(), 1);
+    for (i, &y) in targets.iter().enumerate() {
+        let x = logits.get(i, 0);
+        // log(1 + e^{-|x|}) + max(x, 0) - x*y  is the stable BCE.
+        loss += (1.0 + (-x.abs()).exp()).ln() + x.max(0.0) - x * y;
+        dlogits.set(i, 0, (sigmoid(x) - y) / b);
+    }
+    (loss / b, dlogits)
+}
+
+/// Mean squared error, averaged over all elements.
+pub fn mse(pred: &Matrix, target: &Matrix) -> (f32, Matrix) {
+    assert_eq!(pred.shape(), target.shape(), "mse shape mismatch");
+    assert!(!pred.is_empty(), "empty batch");
+    let n = pred.len() as f32;
+    let diff = pred.sub(target);
+    let loss = diff.data().iter().map(|d| d * d).sum::<f32>() / n;
+    let grad = diff.scale(2.0 / n);
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::randn_matrix;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = randn_matrix(4, 6, 3.0, &mut rng);
+        let p = softmax(&x);
+        for i in 0..4 {
+            let s: f32 = p.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(p.row(i).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_stable_with_large_logits() {
+        let x = Matrix::from_vec(1, 3, vec![1000.0, 1000.0, 999.0]);
+        let p = softmax(&x);
+        assert!(p.data().iter().all(|v| v.is_finite()));
+        assert!((p.get(0, 0) - p.get(0, 1)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hard_ce_matches_soft_ce_with_onehot() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let logits = randn_matrix(5, 4, 1.0, &mut rng);
+        let targets = [0usize, 3, 1, 2, 2];
+        let (l1, g1) = softmax_cross_entropy(&logits, &targets);
+        let mut onehot = Matrix::zeros(5, 4);
+        for (i, &t) in targets.iter().enumerate() {
+            onehot.set(i, t, 1.0);
+        }
+        let (l2, g2) = soft_cross_entropy(&logits, &onehot);
+        assert!((l1 - l2).abs() < 1e-5);
+        for (a, b) in g1.data().iter().zip(g2.data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn ce_gradient_is_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let logits = randn_matrix(3, 4, 1.0, &mut rng);
+        let targets = [1usize, 0, 3];
+        let (_, grad) = softmax_cross_entropy(&logits, &targets);
+        let eps = 1e-2f32;
+        for idx in 0..logits.len() {
+            let mut lp = logits.clone();
+            lp.data_mut()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[idx] -= eps;
+            let numeric = (softmax_cross_entropy(&lp, &targets).0
+                - softmax_cross_entropy(&lm, &targets).0)
+                / (2.0 * eps);
+            assert!((grad.data()[idx] - numeric).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn bce_gradient_is_finite_difference() {
+        let logits = Matrix::from_vec(4, 1, vec![0.3, -1.2, 2.0, 0.0]);
+        let targets = [1.0f32, 0.0, 1.0, 0.0];
+        let (_, grad) = bce_with_logits(&logits, &targets);
+        let eps = 1e-2f32;
+        for idx in 0..4 {
+            let mut lp = logits.clone();
+            lp.data_mut()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[idx] -= eps;
+            let numeric =
+                (bce_with_logits(&lp, &targets).0 - bce_with_logits(&lm, &targets).0) / (2.0 * eps);
+            assert!((grad.data()[idx] - numeric).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn bce_loss_value() {
+        // logits 0 => p = 0.5 => loss = ln 2 regardless of target
+        let logits = Matrix::zeros(2, 1);
+        let (loss, _) = bce_with_logits(&logits, &[0.0, 1.0]);
+        assert!((loss - std::f32::consts::LN_2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mse_basics() {
+        let pred = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let target = Matrix::from_vec(1, 2, vec![0.0, 0.0]);
+        let (loss, grad) = mse(&pred, &target);
+        assert!((loss - 2.5).abs() < 1e-6);
+        assert_eq!(grad.data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn perfect_prediction_zero_loss() {
+        let logits = Matrix::from_vec(1, 2, vec![100.0, -100.0]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-6);
+    }
+}

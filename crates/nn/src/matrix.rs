@@ -1,0 +1,508 @@
+//! Dense row-major `f32` matrices with the handful of operations the
+//! hand-written backpropagation layers need.
+//!
+//! This is deliberately not a general linear-algebra library: every operation
+//! here is used by at least one layer in this crate or one model built on it.
+
+use std::fmt;
+
+/// A dense row-major matrix of `f32`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)?;
+        if self.rows * self.cols <= 16 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+impl Matrix {
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Builds a matrix from row-major data; `data.len()` must equal
+    /// `rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape/data mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Builds a matrix element-wise from `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// A 1×n row matrix borrowing-copying from a slice.
+    pub fn row_from_slice(v: &[f32]) -> Self {
+        Self { rows: 1, cols: v.len(), data: v.to_vec() }
+    }
+
+    /// Stacks equal-width rows into a matrix. Panics on ragged input.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        let cols = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        Self { rows: rows.len(), cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Raw row-major data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw row-major data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f32) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Borrow of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copies `src` into row `i`.
+    pub fn set_row(&mut self, i: usize, src: &[f32]) {
+        assert_eq!(src.len(), self.cols);
+        self.row_mut(i).copy_from_slice(src);
+    }
+
+    /// Matrix product `self · other`; shapes `(m,n)·(n,p) → (m,p)`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let (m, n, p) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, p);
+        for i in 0..m {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * p..(i + 1) * p];
+            for (kk, &a) in a_row.iter().enumerate().take(n) {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[kk * p..(kk + 1) * p];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other`; shapes `(m,n)ᵀ·(m,p) → (n,p)`. Used for weight
+    /// gradients without materializing transposes.
+    pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "matmul_tn shape mismatch");
+        let (m, n, p) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(n, p);
+        for k in 0..m {
+            let a_row = self.row(k);
+            let b_row = other.row(k);
+            for (i, &a) in a_row.iter().enumerate().take(n) {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * p..(i + 1) * p];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ`; shapes `(m,n)·(p,n)ᵀ → (m,p)`. Used for input
+    /// gradients without materializing transposes.
+    pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_nt shape mismatch");
+        let (m, n, p) = (self.rows, self.cols, other.rows);
+        let mut out = Matrix::zeros(m, p);
+        for i in 0..m {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * p..(i + 1) * p];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = other.row(j);
+                let mut acc = 0.0f32;
+                for k in 0..n {
+                    acc += a_row[k] * b_row[k];
+                }
+                *o = acc;
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        out
+    }
+
+    fn assert_same_shape(&self, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "element-wise shape mismatch");
+    }
+
+    /// Element-wise sum.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        self.assert_same_shape(other);
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Element-wise difference.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        self.assert_same_shape(other);
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        self.assert_same_shape(other);
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Scaled copy.
+    pub fn scale(&self, s: f32) -> Matrix {
+        self.map(|a| a * s)
+    }
+
+    /// In-place `self += other`.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        self.assert_same_shape(other);
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place `self += alpha * other`.
+    pub fn axpy(&mut self, alpha: f32, other: &Matrix) {
+        self.assert_same_shape(other);
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// In-place scale.
+    pub fn scale_assign(&mut self, s: f32) {
+        for a in &mut self.data {
+            *a *= s;
+        }
+    }
+
+    /// Zeroes all elements, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|a| *a = 0.0);
+    }
+
+    /// Adds the row vector `v` to every row (bias broadcast).
+    pub fn add_row_broadcast(&self, v: &[f32]) -> Matrix {
+        assert_eq!(v.len(), self.cols);
+        let mut out = self.clone();
+        for i in 0..out.rows {
+            for (o, &b) in out.row_mut(i).iter_mut().zip(v) {
+                *o += b;
+            }
+        }
+        out
+    }
+
+    /// Per-column scaling: column `j` is multiplied by `s[j]`.
+    pub fn scale_cols(&self, s: &[f32]) -> Matrix {
+        assert_eq!(s.len(), self.cols);
+        let mut out = self.clone();
+        for i in 0..out.rows {
+            for (o, &f) in out.row_mut(i).iter_mut().zip(s) {
+                *o *= f;
+            }
+        }
+        out
+    }
+
+    /// Per-row scaling: row `i` is multiplied by `s[i]`.
+    pub fn scale_rows(&self, s: &[f32]) -> Matrix {
+        assert_eq!(s.len(), self.rows);
+        let mut out = self.clone();
+        for (i, &f) in s.iter().enumerate() {
+            for o in out.row_mut(i) {
+                *o *= f;
+            }
+        }
+        out
+    }
+
+    /// Element-wise map.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&a| f(a)).collect(),
+        }
+    }
+
+    /// Element-wise binary map.
+    pub fn zip_map(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
+        self.assert_same_shape(other);
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Column sums as a vector of length `cols` (bias gradients).
+    pub fn col_sums(&self) -> Vec<f32> {
+        let mut out = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            for (o, &a) in out.iter_mut().zip(self.row(i)) {
+                *o += a;
+            }
+        }
+        out
+    }
+
+    /// Row sums as a vector of length `rows`.
+    pub fn row_sums(&self) -> Vec<f32> {
+        (0..self.rows).map(|i| self.row(i).iter().sum()).collect()
+    }
+
+    /// Horizontal concatenation `[a | b | …]` of equal-height matrices.
+    pub fn concat_cols(parts: &[&Matrix]) -> Matrix {
+        assert!(!parts.is_empty());
+        let rows = parts[0].rows;
+        assert!(parts.iter().all(|p| p.rows == rows), "concat_cols height mismatch");
+        let cols: usize = parts.iter().map(|p| p.cols).sum();
+        let mut out = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            let mut off = 0;
+            for p in parts {
+                out.data[i * cols + off..i * cols + off + p.cols].copy_from_slice(p.row(i));
+                off += p.cols;
+            }
+        }
+        out
+    }
+
+    /// Vertical concatenation of equal-width matrices.
+    pub fn concat_rows(parts: &[&Matrix]) -> Matrix {
+        assert!(!parts.is_empty());
+        let cols = parts[0].cols;
+        assert!(parts.iter().all(|p| p.cols == cols), "concat_rows width mismatch");
+        let rows: usize = parts.iter().map(|p| p.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for p in parts {
+            data.extend_from_slice(&p.data);
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Copy of the column block `col_range`.
+    pub fn slice_cols(&self, start: usize, end: usize) -> Matrix {
+        assert!(start <= end && end <= self.cols);
+        let mut out = Matrix::zeros(self.rows, end - start);
+        for i in 0..self.rows {
+            out.row_mut(i).copy_from_slice(&self.row(i)[start..end]);
+        }
+        out
+    }
+
+    /// Copy of the row block `start..end`.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Matrix {
+        assert!(start <= end && end <= self.rows);
+        Matrix {
+            rows: end - start,
+            cols: self.cols,
+            data: self.data[start * self.cols..end * self.cols].to_vec(),
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|a| a * a).sum::<f32>().sqrt()
+    }
+
+    /// Largest absolute element; 0 for empty matrices.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &a| m.max(a.abs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, data: &[f32]) -> Matrix {
+        Matrix::from_vec(rows, cols, data.to_vec())
+    }
+
+    #[test]
+    fn matmul_basic() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = m(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 4, &(0..12).map(|x| x as f32).collect::<Vec<_>>());
+        assert_eq!(a.matmul_tn(&b).data(), a.transpose().matmul(&b).data());
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = m(2, 3, &[1.0, -2.0, 3.0, 0.5, 5.0, 6.0]);
+        let b = m(4, 3, &(0..12).map(|x| x as f32 * 0.5).collect::<Vec<_>>());
+        assert_eq!(a.matmul_nt(&b).data(), a.matmul(&b.transpose()).data());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = m(1, 3, &[1.0, 2.0, 3.0]);
+        let b = m(1, 3, &[4.0, 5.0, 6.0]);
+        assert_eq!(a.add(&b).data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).data(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.hadamard(&b).data(), &[4.0, 10.0, 18.0]);
+        assert_eq!(a.scale(2.0).data(), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn broadcast_and_row_scale() {
+        let a = Matrix::zeros(2, 2);
+        let b = a.add_row_broadcast(&[1.0, 2.0]);
+        assert_eq!(b.data(), &[1.0, 2.0, 1.0, 2.0]);
+        let c = b.scale_rows(&[2.0, 3.0]);
+        assert_eq!(c.data(), &[2.0, 4.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn sums() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.sum(), 21.0);
+        assert_eq!(a.col_sums(), vec![5.0, 7.0, 9.0]);
+        assert_eq!(a.row_sums(), vec![6.0, 15.0]);
+    }
+
+    #[test]
+    fn concat_and_slice_roundtrip() {
+        let a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = m(2, 1, &[5.0, 6.0]);
+        let c = Matrix::concat_cols(&[&a, &b]);
+        assert_eq!(c.shape(), (2, 3));
+        assert_eq!(c.row(0), &[1.0, 2.0, 5.0]);
+        assert_eq!(c.slice_cols(0, 2), a);
+        assert_eq!(c.slice_cols(2, 3), b);
+
+        let d = Matrix::concat_rows(&[&a, &a]);
+        assert_eq!(d.shape(), (4, 2));
+        assert_eq!(d.slice_rows(2, 4), a);
+    }
+
+    #[test]
+    fn axpy_and_norms() {
+        let mut a = m(1, 2, &[3.0, 4.0]);
+        assert_eq!(a.frobenius_norm(), 5.0);
+        assert_eq!(a.max_abs(), 4.0);
+        let b = m(1, 2, &[1.0, 1.0]);
+        a.axpy(2.0, &b);
+        assert_eq!(a.data(), &[5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_shape_checked() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn from_rows_and_set_row() {
+        let mut a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        a.set_row(1, &[7.0, 8.0]);
+        assert_eq!(a.row(1), &[7.0, 8.0]);
+    }
+}

@@ -1,0 +1,176 @@
+//! Multi-layer perceptron: a stack of [`Linear`] layers with a hidden
+//! activation and a linear (identity) output layer.
+
+use rand::Rng;
+
+use crate::activation::{ActCache, Activation};
+use crate::linear::{Linear, LinearCache};
+use crate::matrix::Matrix;
+use crate::param::{Param, Parameterized};
+
+/// An MLP `in → hidden → … → out` with `activation` after every layer except
+/// the last.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    activation: Activation,
+}
+
+/// Backward cache for [`Mlp`].
+#[derive(Debug)]
+pub struct MlpCache {
+    linear: Vec<LinearCache>,
+    act: Vec<ActCache>,
+}
+
+impl Mlp {
+    /// Builds an MLP from the full dimension sequence, e.g. `[16, 64, 8]`
+    /// gives one hidden layer of width 64. `dims.len() >= 2`.
+    pub fn new<R: Rng + ?Sized>(dims: &[usize], activation: Activation, rng: &mut R) -> Self {
+        assert!(dims.len() >= 2, "an MLP needs at least input and output dims");
+        let layers = dims
+            .windows(2)
+            .map(|w| Linear::new(w[0], w[1], rng))
+            .collect();
+        Self { layers, activation }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().unwrap().out_dim()
+    }
+
+    /// Number of affine layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Forward pass `(B, in) → (B, out)`.
+    pub fn forward(&self, x: &Matrix) -> (Matrix, MlpCache) {
+        let mut cache = MlpCache { linear: Vec::new(), act: Vec::new() };
+        let mut h = x.clone();
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let (y, lc) = layer.forward(&h);
+            cache.linear.push(lc);
+            if i < last {
+                let (a, ac) = self.activation.forward(&y);
+                cache.act.push(ac);
+                h = a;
+            } else {
+                h = y;
+            }
+        }
+        (h, cache)
+    }
+
+    /// Inference-only forward.
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        let mut h = x.clone();
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.infer(&h);
+            if i < last {
+                h = self.activation.infer(&h);
+            }
+        }
+        h
+    }
+
+    /// Backward pass: accumulates parameter gradients, returns `dx`.
+    pub fn backward(&mut self, cache: &MlpCache, dy: &Matrix) -> Matrix {
+        let last = self.layers.len() - 1;
+        let mut grad = dy.clone();
+        for i in (0..self.layers.len()).rev() {
+            if i < last {
+                grad = self.activation.backward(&cache.act[i], &grad);
+            }
+            grad = self.layers[i].backward(&cache.linear[i], &grad);
+        }
+        grad
+    }
+}
+
+impl Parameterized for Mlp {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+
+    fn num_params(&self) -> usize {
+        self.layers.iter().map(|l| l.num_params()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::randn_matrix;
+    use crate::loss::softmax_cross_entropy;
+    use crate::param::Adam;
+    use crate::test_util::grad_check;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mlp = Mlp::new(&[6, 16, 16, 3], Activation::Relu, &mut rng);
+        assert_eq!(mlp.in_dim(), 6);
+        assert_eq!(mlp.out_dim(), 3);
+        assert_eq!(mlp.num_layers(), 3);
+        let x = randn_matrix(5, 6, 1.0, &mut rng);
+        let (y, _) = mlp.forward(&x);
+        assert_eq!(y.shape(), (5, 3));
+        assert_eq!(mlp.infer(&x), y);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences_tanh() {
+        // Tanh avoids the ReLU kink issue in finite differences.
+        let mut rng = StdRng::seed_from_u64(1);
+        let mlp = Mlp::new(&[4, 6, 3], Activation::Tanh, &mut rng);
+        let x = randn_matrix(3, 4, 1.0, &mut rng);
+        grad_check(
+            mlp,
+            x,
+            |m, x| m.forward(x),
+            |m, c, dy| m.backward(c, dy),
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn learns_xor() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut mlp = Mlp::new(&[2, 16, 2], Activation::Relu, &mut rng);
+        let x = Matrix::from_vec(4, 2, vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0]);
+        let targets = [0usize, 1, 1, 0];
+        let mut opt = Adam::new(0.02);
+        let mut final_loss = f32::MAX;
+        for _ in 0..400 {
+            let (logits, cache) = mlp.forward(&x);
+            let (loss, dlogits) = softmax_cross_entropy(&logits, &targets);
+            final_loss = loss;
+            mlp.backward(&cache, &dlogits);
+            opt.step(mlp.params_mut());
+        }
+        assert!(final_loss < 0.05, "XOR loss stayed at {final_loss}");
+        let logits = mlp.infer(&x);
+        for (i, &t) in targets.iter().enumerate() {
+            let row = logits.row(i);
+            let pred = if row[1] > row[0] { 1 } else { 0 };
+            assert_eq!(pred, t, "sample {i}");
+        }
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mlp = Mlp::new(&[3, 5, 2], Activation::Relu, &mut rng);
+        assert_eq!(Parameterized::num_params(&mlp), (3 * 5 + 5) + (5 * 2 + 2));
+    }
+}

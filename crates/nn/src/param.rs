@@ -1,0 +1,201 @@
+//! Trainable parameters and the Adam optimizer.
+//!
+//! Each [`Param`] carries its value, its accumulated gradient, and its Adam
+//! moment estimates, so optimizers stay stateless apart from hyperparameters
+//! and the global step counter.
+
+use crate::matrix::Matrix;
+
+/// One trainable tensor (weight matrix or bias row) with gradient and Adam
+/// moments.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current value.
+    pub value: Matrix,
+    /// Accumulated gradient; layers add into this during backward passes.
+    pub grad: Matrix,
+    m: Matrix,
+    v: Matrix,
+}
+
+impl Param {
+    /// Wraps an initial value as a trainable parameter.
+    pub fn new(value: Matrix) -> Self {
+        let (r, c) = value.shape();
+        Self { value, grad: Matrix::zeros(r, c), m: Matrix::zeros(r, c), v: Matrix::zeros(r, c) }
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Whether the parameter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill_zero();
+    }
+
+    /// One Adam update with bias correction at global step `t` (1-based).
+    pub fn adam_step(&mut self, lr: f32, beta1: f32, beta2: f32, eps: f32, t: u64) {
+        let bc1 = 1.0 - beta1.powi(t as i32);
+        let bc2 = 1.0 - beta2.powi(t as i32);
+        let value = self.value.data_mut();
+        let grad = self.grad.data();
+        let m = self.m.data_mut();
+        let v = self.v.data_mut();
+        for i in 0..value.len() {
+            let g = grad[i];
+            m[i] = beta1 * m[i] + (1.0 - beta1) * g;
+            v[i] = beta2 * v[i] + (1.0 - beta2) * g * g;
+            let m_hat = m[i] / bc1;
+            let v_hat = v[i] / bc2;
+            value[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+        }
+    }
+
+    /// Plain SGD update.
+    pub fn sgd_step(&mut self, lr: f32) {
+        let value = self.value.data_mut();
+        let grad = self.grad.data();
+        for i in 0..value.len() {
+            value[i] -= lr * grad[i];
+        }
+    }
+}
+
+/// A layer or model exposing its trainable parameters.
+pub trait Parameterized {
+    /// Mutable references to every parameter, in a stable order.
+    fn params_mut(&mut self) -> Vec<&mut Param>;
+
+    /// Total scalar parameter count.
+    fn num_params(&self) -> usize;
+
+    /// Clears all gradients.
+    fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+}
+
+/// The Adam optimizer (Kingma & Ba). Moment state lives inside each
+/// [`Param`]; the optimizer tracks only hyperparameters and the step count.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    /// Optional global-gradient-norm clip applied before each step.
+    pub clip_norm: Option<f32>,
+    t: u64,
+}
+
+impl Adam {
+    /// Adam with standard defaults (β₁=0.9, β₂=0.999, ε=1e-8) and gradient
+    /// clipping at global norm 5.
+    pub fn new(lr: f32) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, clip_norm: Some(5.0), t: 0 }
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Applies one update to every parameter, then clears gradients.
+    pub fn step(&mut self, mut params: Vec<&mut Param>) {
+        self.t += 1;
+        if let Some(max_norm) = self.clip_norm {
+            clip_global_norm(&mut params, max_norm);
+        }
+        for p in params {
+            p.adam_step(self.lr, self.beta1, self.beta2, self.eps, self.t);
+            p.zero_grad();
+        }
+    }
+}
+
+/// Scales all gradients so their global L2 norm is at most `max_norm`.
+pub fn clip_global_norm(params: &mut [&mut Param], max_norm: f32) {
+    let total: f32 = params
+        .iter()
+        .map(|p| p.grad.data().iter().map(|g| g * g).sum::<f32>())
+        .sum();
+    let norm = total.sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let s = max_norm / norm;
+        for p in params.iter_mut() {
+            p.grad.scale_assign(s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        // minimize f(x) = (x - 3)^2 elementwise
+        let mut p = Param::new(Matrix::zeros(1, 4));
+        let mut opt = Adam::new(0.1);
+        for _ in 0..500 {
+            let g: Vec<f32> = p.value.data().iter().map(|&x| 2.0 * (x - 3.0)).collect();
+            p.grad = Matrix::from_vec(1, 4, g);
+            opt.step(vec![&mut p]);
+        }
+        for &x in p.value.data() {
+            assert!((x - 3.0).abs() < 1e-3, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn sgd_direction() {
+        let mut p = Param::new(Matrix::filled(1, 1, 1.0));
+        p.grad = Matrix::filled(1, 1, 2.0);
+        p.sgd_step(0.5);
+        assert_eq!(p.value.data()[0], 0.0);
+    }
+
+    #[test]
+    fn clip_scales_to_max_norm() {
+        let mut a = Param::new(Matrix::zeros(1, 1));
+        let mut b = Param::new(Matrix::zeros(1, 1));
+        a.grad = Matrix::filled(1, 1, 3.0);
+        b.grad = Matrix::filled(1, 1, 4.0);
+        let mut refs = vec![&mut a, &mut b];
+        clip_global_norm(&mut refs, 1.0);
+        let norm = (a.grad.data()[0].powi(2) + b.grad.data()[0].powi(2)).sqrt();
+        assert!((norm - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clip_noop_below_threshold() {
+        let mut a = Param::new(Matrix::zeros(1, 1));
+        a.grad = Matrix::filled(1, 1, 0.5);
+        let mut refs = vec![&mut a];
+        clip_global_norm(&mut refs, 1.0);
+        assert_eq!(a.grad.data()[0], 0.5);
+    }
+
+    #[test]
+    fn step_clears_gradients() {
+        let mut p = Param::new(Matrix::zeros(2, 2));
+        p.grad = Matrix::filled(2, 2, 1.0);
+        let mut opt = Adam::new(0.01);
+        opt.step(vec![&mut p]);
+        assert_eq!(p.grad, Matrix::zeros(2, 2));
+        assert_eq!(opt.steps(), 1);
+    }
+}

@@ -1,0 +1,281 @@
+//! Truncated singular value decomposition via randomized subspace
+//! iteration (Halko, Martinsson & Tropp 2011).
+//!
+//! Used by the GraRep-style positional embedding in the `embed` crate,
+//! which factorizes log transition-probability matrices of the training
+//! snapshot. The matrices involved are dense and small (training snapshots
+//! have at most a few thousand nodes), so a randomized range finder with a
+//! handful of power iterations recovers the leading subspace to high
+//! accuracy at O(r·c·k) per iteration.
+
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::init::randn_matrix;
+use crate::matrix::Matrix;
+
+/// The truncated factorization `M ≈ U · diag(S) · Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct TruncatedSvd {
+    /// Left singular vectors, `(rows, k)`, orthonormal columns.
+    pub u: Matrix,
+    /// Singular values, descending, non-negative.
+    pub s: Vec<f32>,
+    /// Right singular vectors, `(cols, k)`, orthonormal columns.
+    pub v: Matrix,
+}
+
+impl TruncatedSvd {
+    /// Reconstructs `U · diag(S) · Vᵀ` (for tests and diagnostics).
+    pub fn reconstruct(&self) -> Matrix {
+        let us = self.u.scale_cols(&self.s);
+        us.matmul_nt(&self.v)
+    }
+
+    /// The embedding `U · diag(S^power)` — GraRep uses `power = 0.5`.
+    pub fn embedding(&self, power: f32) -> Matrix {
+        let sp: Vec<f32> = self.s.iter().map(|&x| x.max(0.0).powf(power)).collect();
+        self.u.scale_cols(&sp)
+    }
+}
+
+/// Rank-`k` truncated SVD of `m` with `iters` power iterations. `k` is
+/// clamped to `min(rows, cols)`; with `k = 0` or an empty matrix, empty
+/// factors are returned.
+pub fn truncated_svd(m: &Matrix, k: usize, iters: usize, seed: u64) -> TruncatedSvd {
+    let (r, c) = m.shape();
+    let k = k.min(r).min(c);
+    if k == 0 {
+        return TruncatedSvd { u: Matrix::zeros(r, 0), s: Vec::new(), v: Matrix::zeros(c, 0) };
+    }
+    // Oversample the range finder for accuracy, then truncate back to k.
+    let p = (k + 4).min(r).min(c);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Y = M · Ω, then orthonormalize; power iterations sharpen the spectrum.
+    let omega = randn_matrix(c, p, 1.0, &mut rng);
+    let mut q = orthonormalize(&m.matmul(&omega));
+    for _ in 0..iters {
+        // One power iteration: Q ← orth(M · (Mᵀ · Q)).
+        q = orthonormalize(&m.matmul(&m.matmul_tn(&q)));
+    }
+    // B = Qᵀ·M is p×c; SVD of B via the eigendecomposition of B·Bᵀ (p×p).
+    let b = q.matmul_tn(m); // (p, c) = Qᵀ M
+    let bbt = b.matmul_nt(&b); // (p, p)
+    let (eigvals, eigvecs) = jacobi_eigen_symmetric(&bbt, 100);
+    // Sort eigenpairs descending.
+    let mut order: Vec<usize> = (0..p).collect();
+    order.sort_by(|&a, &bi| eigvals[bi].partial_cmp(&eigvals[a]).unwrap());
+    let mut s = Vec::with_capacity(k);
+    let mut u = Matrix::zeros(q.rows(), k);
+    let mut v = Matrix::zeros(b.cols(), k);
+    for (out_col, &src_col) in order.iter().take(k).enumerate() {
+        let sigma = eigvals[src_col].max(0.0).sqrt();
+        s.push(sigma);
+        // u_i = Q · w_i, where w_i is the eigenvector of B·Bᵀ.
+        for row in 0..q.rows() {
+            let mut acc = 0.0;
+            for j in 0..p {
+                acc += q.get(row, j) * eigvecs.get(j, src_col);
+            }
+            u.set(row, out_col, acc);
+        }
+        // v_i = Bᵀ · w_i / σ_i.
+        if sigma > 1e-12 {
+            for row in 0..b.cols() {
+                let mut acc = 0.0;
+                for j in 0..p {
+                    acc += b.get(j, row) * eigvecs.get(j, src_col);
+                }
+                v.set(row, out_col, acc / sigma);
+            }
+        }
+    }
+    TruncatedSvd { u, s, v }
+}
+
+/// Modified Gram–Schmidt orthonormalization of the columns of `m`, with
+/// re-orthogonalization ("twice is enough") for f32 stability. Columns whose
+/// residual is negligible *relative to their original norm* are zeroed —
+/// an absolute threshold would keep amplified rounding noise whenever a
+/// column is linearly dependent on its predecessors.
+fn orthonormalize(m: &Matrix) -> Matrix {
+    let (r, c) = m.shape();
+    let mut q = m.clone();
+    for j in 0..c {
+        let original_norm =
+            (0..r).map(|i| q.get(i, j) * q.get(i, j)).sum::<f32>().sqrt();
+        for _pass in 0..2 {
+            for prev in 0..j {
+                let mut dot = 0.0f32;
+                for i in 0..r {
+                    dot += q.get(i, j) * q.get(i, prev);
+                }
+                for i in 0..r {
+                    let v = q.get(i, j) - dot * q.get(i, prev);
+                    q.set(i, j, v);
+                }
+            }
+        }
+        let norm = (0..r).map(|i| q.get(i, j) * q.get(i, j)).sum::<f32>().sqrt();
+        if norm > (1e-5 * original_norm).max(1e-10) {
+            for i in 0..r {
+                q.set(i, j, q.get(i, j) / norm);
+            }
+        } else {
+            for i in 0..r {
+                q.set(i, j, 0.0);
+            }
+        }
+    }
+    q
+}
+
+/// Cyclic Jacobi eigendecomposition of a symmetric matrix. Returns
+/// `(eigenvalues, eigenvectors-as-columns)`.
+fn jacobi_eigen_symmetric(m: &Matrix, max_sweeps: usize) -> (Vec<f32>, Matrix) {
+    let n = m.rows();
+    assert_eq!(n, m.cols(), "Jacobi needs a square matrix");
+    let mut a = m.clone();
+    let mut v = Matrix::from_fn(n, n, |i, j| if i == j { 1.0 } else { 0.0 });
+    for _sweep in 0..max_sweeps {
+        let mut off = 0.0f32;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += a.get(i, j) * a.get(i, j);
+            }
+        }
+        if off < 1e-18 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = a.get(p, q);
+                if apq.abs() < 1e-15 {
+                    continue;
+                }
+                let app = a.get(p, p);
+                let aqq = a.get(q, q);
+                // Classic Jacobi rotation angle.
+                let phi = 0.5 * (2.0 * apq).atan2(app - aqq);
+                let (sin, cos) = phi.sin_cos();
+                for i in 0..n {
+                    let aip = a.get(i, p);
+                    let aiq = a.get(i, q);
+                    a.set(i, p, cos * aip + sin * aiq);
+                    a.set(i, q, -sin * aip + cos * aiq);
+                }
+                for i in 0..n {
+                    let api = a.get(p, i);
+                    let aqi = a.get(q, i);
+                    a.set(p, i, cos * api + sin * aqi);
+                    a.set(q, i, -sin * api + cos * aqi);
+                }
+                for i in 0..n {
+                    let vip = v.get(i, p);
+                    let viq = v.get(i, q);
+                    v.set(i, p, cos * vip + sin * viq);
+                    v.set(i, q, -sin * vip + cos * viq);
+                }
+            }
+        }
+    }
+    let eig = (0..n).map(|i| a.get(i, i)).collect();
+    (eig, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frob_diff(a: &Matrix, b: &Matrix) -> f32 {
+        a.sub(b).frobenius_norm()
+    }
+
+    #[test]
+    fn reconstructs_low_rank_matrices() {
+        // rank-2 matrix: outer products of two fixed vectors.
+        let u1 = [1.0f32, 2.0, -1.0, 0.5, 3.0];
+        let u2 = [0.0f32, 1.0, 1.0, -2.0, 0.3];
+        let v1 = [2.0f32, -1.0, 0.4];
+        let v2 = [1.0f32, 1.0, -1.0];
+        let m = Matrix::from_fn(5, 3, |i, j| 3.0 * u1[i] * v1[j] + 0.7 * u2[i] * v2[j]);
+        let svd = truncated_svd(&m, 2, 4, 0);
+        let err = frob_diff(&svd.reconstruct(), &m) / m.frobenius_norm();
+        assert!(err < 1e-3, "relative reconstruction error {err}");
+    }
+
+    #[test]
+    fn singular_values_descend_and_are_nonnegative() {
+        let m = Matrix::from_fn(8, 6, |i, j| ((i * 7 + j * 3) as f32 * 0.41).sin());
+        let svd = truncated_svd(&m, 4, 5, 1);
+        for w in svd.s.windows(2) {
+            assert!(w[0] >= w[1] - 1e-5, "{:?}", svd.s);
+        }
+        assert!(svd.s.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn factors_are_orthonormal() {
+        // A full-rank-by-construction matrix: a smooth part plus a diagonal
+        // boost keeps all singular values well away from zero.
+        let m = Matrix::from_fn(10, 7, |i, j| {
+            ((i + 2 * j) as f32 * 0.73).cos() + if i == j { 2.0 + j as f32 } else { 0.0 }
+        });
+        let svd = truncated_svd(&m, 3, 5, 2);
+        assert!(svd.s.iter().all(|&s| s > 0.1), "test needs nonzero σ: {:?}", svd.s);
+        for a in 0..3 {
+            for b in 0..3 {
+                let dot_u: f32 = (0..10).map(|i| svd.u.get(i, a) * svd.u.get(i, b)).sum();
+                let dot_v: f32 = (0..7).map(|i| svd.v.get(i, a) * svd.v.get(i, b)).sum();
+                let want = if a == b { 1.0 } else { 0.0 };
+                assert!((dot_u - want).abs() < 1e-2, "UᵀU[{a}{b}] = {dot_u}");
+                assert!((dot_v - want).abs() < 1e-2, "VᵀV[{a}{b}] = {dot_v}");
+            }
+        }
+    }
+
+    #[test]
+    fn rank_deficient_inputs_zero_surplus_factors() {
+        // sin(αi + βj) is exactly rank 2; asking for rank 3 must yield a
+        // zero third factor (not amplified rounding noise) and still
+        // reconstruct the matrix from the first two.
+        let m = Matrix::from_fn(10, 7, |i, j| ((i + 2 * j) as f32 * 0.73).cos());
+        let svd = truncated_svd(&m, 3, 5, 2);
+        assert!(svd.s[2] < 1e-3 * svd.s[0], "third σ must vanish: {:?}", svd.s);
+        let err = frob_diff(&svd.reconstruct(), &m) / m.frobenius_norm();
+        assert!(err < 1e-3, "relative reconstruction error {err}");
+    }
+
+    #[test]
+    fn leading_singular_value_matches_known_diagonal() {
+        let mut m = Matrix::zeros(4, 4);
+        for (i, &s) in [5.0f32, 3.0, 1.0, 0.1].iter().enumerate() {
+            m.set(i, i, s);
+        }
+        let svd = truncated_svd(&m, 2, 6, 3);
+        assert!((svd.s[0] - 5.0).abs() < 1e-2, "{:?}", svd.s);
+        assert!((svd.s[1] - 3.0).abs() < 1e-2, "{:?}", svd.s);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_handled() {
+        let empty = truncated_svd(&Matrix::zeros(0, 0), 3, 2, 0);
+        assert!(empty.s.is_empty());
+        let zero = truncated_svd(&Matrix::zeros(4, 4), 2, 2, 0);
+        assert!(zero.s.iter().all(|&x| x.abs() < 1e-6));
+        let k_clamped = truncated_svd(&Matrix::filled(2, 3, 1.0), 10, 2, 0);
+        assert_eq!(k_clamped.s.len(), 2);
+    }
+
+    #[test]
+    fn embedding_scales_by_sqrt_singular_values() {
+        let m = Matrix::from_fn(6, 6, |i, j| if i == j { (i + 1) as f32 } else { 0.0 });
+        let svd = truncated_svd(&m, 2, 6, 4);
+        let emb = svd.embedding(0.5);
+        assert_eq!(emb.shape(), (6, 2));
+        // Column norms equal s^0.5 because U has unit columns.
+        for c in 0..2 {
+            let norm: f32 = (0..6).map(|i| emb.get(i, c) * emb.get(i, c)).sum::<f32>().sqrt();
+            assert!((norm - svd.s[c].sqrt()).abs() < 1e-2);
+        }
+    }
+}

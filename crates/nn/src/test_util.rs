@@ -1,0 +1,88 @@
+//! Finite-difference gradient checking used by this crate's layer tests and
+//! by model tests in dependent crates.
+
+use crate::matrix::Matrix;
+use crate::param::Parameterized;
+
+/// Deterministic pseudo-random coefficients in roughly `[-1, 1]`, used as the
+/// upstream gradient so the scalar test loss `Σ coef ⊙ y` probes every output
+/// element with a distinct weight.
+pub fn probe_coefficients(rows: usize, cols: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |i, j| ((i * 31 + j * 17 + 1) as f32 * 0.7).sin())
+}
+
+/// Verifies a layer's backward pass against central finite differences.
+///
+/// `forward` must be a pure function of `(layer, x)`; `backward` must
+/// accumulate parameter gradients and return `dx`. Both the input gradient
+/// and every parameter gradient are checked element-wise with tolerance
+/// `tol` relative to the gradient magnitude.
+pub fn grad_check<L, C>(
+    mut layer: L,
+    x: Matrix,
+    forward: impl Fn(&L, &Matrix) -> (Matrix, C),
+    backward: impl Fn(&mut L, &C, &Matrix) -> Matrix,
+    tol: f32,
+) where
+    L: Parameterized,
+{
+    let (y0, cache) = forward(&layer, &x);
+    let coef = probe_coefficients(y0.rows(), y0.cols());
+    let loss_of = |y: &Matrix| y.hadamard(&coef).sum();
+
+    layer.zero_grad();
+    let dx = backward(&mut layer, &cache, &coef);
+    let analytic_param_grads: Vec<Matrix> =
+        layer.params_mut().iter().map(|p| p.grad.clone()).collect();
+
+    let eps = 5e-3f32;
+    let assert_close = |analytic: f32, numeric: f32, what: &str| {
+        let scale = 1.0f32.max(analytic.abs()).max(numeric.abs());
+        assert!(
+            (analytic - numeric).abs() <= tol * scale,
+            "{what}: analytic {analytic} vs numeric {numeric}"
+        );
+    };
+
+    // Input gradient.
+    for idx in 0..x.len() {
+        let mut xp = x.clone();
+        xp.data_mut()[idx] += eps;
+        let mut xm = x.clone();
+        xm.data_mut()[idx] -= eps;
+        let numeric = (loss_of(&forward(&layer, &xp).0) - loss_of(&forward(&layer, &xm).0))
+            / (2.0 * eps);
+        assert_close(dx.data()[idx], numeric, &format!("dx[{idx}]"));
+    }
+
+    // Parameter gradients.
+    let n_params = analytic_param_grads.len();
+    for pi in 0..n_params {
+        let n_elems = analytic_param_grads[pi].len();
+        for ei in 0..n_elems {
+            let orig = {
+                let mut ps = layer.params_mut();
+                let v = ps[pi].value.data_mut();
+                let orig = v[ei];
+                v[ei] = orig + eps;
+                orig
+            };
+            let lp = loss_of(&forward(&layer, &x).0);
+            {
+                let mut ps = layer.params_mut();
+                ps[pi].value.data_mut()[ei] = orig - eps;
+            }
+            let lm = loss_of(&forward(&layer, &x).0);
+            {
+                let mut ps = layer.params_mut();
+                ps[pi].value.data_mut()[ei] = orig;
+            }
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert_close(
+                analytic_param_grads[pi].data()[ei],
+                numeric,
+                &format!("param[{pi}][{ei}]"),
+            );
+        }
+    }
+}

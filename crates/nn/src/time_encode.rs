@@ -1,0 +1,287 @@
+//! Time encodings.
+//!
+//! Two flavours are needed across the paper and its baselines:
+//!
+//! * [`FixedTimeEncode`] — SPLASH's fixed cosine encoding (paper Eq. 15):
+//!   `φ_t(t') = cos(t' · [α^{-0/β}, …, α^{-(d_t-1)/β}])`, with no trainable
+//!   parameters;
+//! * [`LearnableTimeEncode`] — the TGAT-family encoding
+//!   `z(t) = cos(t·w + b)` with trainable frequencies `w` and phases `b`.
+
+use rand::Rng;
+
+use crate::init::randn_matrix;
+use crate::matrix::Matrix;
+use crate::param::{Param, Parameterized};
+
+/// SPLASH's fixed sinusoidal time encoding (Eq. 15).
+#[derive(Debug, Clone)]
+pub struct FixedTimeEncode {
+    freqs: Vec<f32>,
+}
+
+impl FixedTimeEncode {
+    /// Encoding of dimension `dim` with scale hyperparameters `alpha` and
+    /// `beta` (the paper's `α`, `β`).
+    pub fn new(dim: usize, alpha: f32, beta: f32) -> Self {
+        assert!(dim > 0 && alpha > 0.0 && beta > 0.0);
+        let freqs = (0..dim)
+            .map(|i| alpha.powf(-(i as f32) / beta))
+            .collect();
+        Self { freqs }
+    }
+
+    /// The paper's default configuration: `α = β = √d_t`, mirroring the
+    /// GraphMixer encoding it cites.
+    pub fn with_default_scale(dim: usize) -> Self {
+        let s = (dim as f32).sqrt();
+        Self::new(dim, s.max(1.0 + 1e-3), s.max(1.0 + 1e-3))
+    }
+
+    /// Encoding dimension `d_t`.
+    pub fn dim(&self) -> usize {
+        self.freqs.len()
+    }
+
+    /// Encodes one time delta.
+    pub fn encode(&self, dt: f64) -> Vec<f32> {
+        self.freqs.iter().map(|&f| ((dt as f32) * f).cos()).collect()
+    }
+
+    /// Encodes a batch of time deltas into a `(B, d_t)` matrix.
+    pub fn encode_batch(&self, dts: &[f64]) -> Matrix {
+        let mut out = Matrix::zeros(dts.len(), self.dim());
+        for (i, &dt) in dts.iter().enumerate() {
+            out.set_row(i, &self.encode(dt));
+        }
+        out
+    }
+}
+
+/// Sinusoidal *degree* encoding (paper Eq. 3): interleaved cos/sin of the
+/// degree scaled by geometric frequencies `α^{-n/2 / √d_v}`-style decay.
+///
+/// Even indices hold cosines, odd indices sines, matching the equation's
+/// case split.
+#[derive(Debug, Clone)]
+pub struct DegreeEncode {
+    dim: usize,
+    alpha: f32,
+}
+
+impl DegreeEncode {
+    /// Degree encoding of dimension `dim` with resolution hyperparameter
+    /// `alpha` (larger `α` smooths small degree differences).
+    pub fn new(dim: usize, alpha: f32) -> Self {
+        assert!(dim > 0 && alpha > 1.0, "degree encoding needs dim > 0 and α > 1");
+        Self { dim, alpha }
+    }
+
+    /// Encoding dimension `d_v`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Encodes a degree into a `d_v`-dimensional feature (Eq. 3).
+    pub fn encode(&self, degree: u64) -> Vec<f32> {
+        let sqrt_dv = (self.dim as f32).sqrt();
+        let d = degree as f32;
+        (0..self.dim)
+            .map(|n| {
+                if n % 2 == 0 {
+                    let scale = self.alpha.powf(-((n / 2) as f32) / sqrt_dv);
+                    (scale * d).cos()
+                } else {
+                    let scale = self.alpha.powf(-(((n - 1) / 2) as f32) / sqrt_dv);
+                    (scale * d).sin()
+                }
+            })
+            .collect()
+    }
+}
+
+/// TGAT-style learnable time encoding `z(t) = cos(t ⊙ w + b)`.
+#[derive(Debug, Clone)]
+pub struct LearnableTimeEncode {
+    /// Frequencies, shape `(1, dim)`.
+    pub w: Param,
+    /// Phases, shape `(1, dim)`.
+    pub b: Param,
+}
+
+/// Backward cache for [`LearnableTimeEncode`].
+#[derive(Debug, Clone)]
+pub struct TimeEncodeCache {
+    dts: Vec<f64>,
+    /// `sin(t·w + b)` per element, needed for both parameter gradients.
+    sin_arg: Matrix,
+}
+
+impl LearnableTimeEncode {
+    /// Geometric frequency initialization `w_i = 1 / 10^{4i/dim}` plus small
+    /// noise, the standard TGAT initialization.
+    pub fn new<R: Rng + ?Sized>(dim: usize, rng: &mut R) -> Self {
+        let mut w = Matrix::zeros(1, dim);
+        for (i, v) in w.data_mut().iter_mut().enumerate() {
+            *v = 1.0 / 10f32.powf(4.0 * i as f32 / dim as f32);
+        }
+        w.add_assign(&randn_matrix(1, dim, 1e-3, rng));
+        Self { w: Param::new(w), b: Param::new(Matrix::zeros(1, dim)) }
+    }
+
+    /// Encoding dimension.
+    pub fn dim(&self) -> usize {
+        self.w.value.cols()
+    }
+
+    /// Encodes a batch of time deltas `(B) → (B, dim)`.
+    pub fn forward(&self, dts: &[f64]) -> (Matrix, TimeEncodeCache) {
+        let dim = self.dim();
+        let mut out = Matrix::zeros(dts.len(), dim);
+        let mut sin_arg = Matrix::zeros(dts.len(), dim);
+        let w = self.w.value.row(0);
+        let b = self.b.value.row(0);
+        for (i, &dt) in dts.iter().enumerate() {
+            for j in 0..dim {
+                let arg = dt as f32 * w[j] + b[j];
+                out.set(i, j, arg.cos());
+                sin_arg.set(i, j, arg.sin());
+            }
+        }
+        (out, TimeEncodeCache { dts: dts.to_vec(), sin_arg })
+    }
+
+    /// Inference-only forward.
+    pub fn infer(&self, dts: &[f64]) -> Matrix {
+        self.forward(dts).0
+    }
+
+    /// Backward pass: accumulates `dw`, `db`. Time deltas are inputs, not
+    /// activations, so no input gradient is returned.
+    pub fn backward(&mut self, cache: &TimeEncodeCache, dy: &Matrix) {
+        let dw = self.w.grad.row_mut(0);
+        for (i, &dt) in cache.dts.iter().enumerate() {
+            for (j, w) in dw.iter_mut().enumerate() {
+                // d cos(arg)/d arg = -sin(arg); d arg/d w = t, d arg/d b = 1.
+                let d_arg = -dy.get(i, j) * cache.sin_arg.get(i, j);
+                *w += d_arg * dt as f32;
+            }
+        }
+        let db = self.b.grad.row_mut(0);
+        for i in 0..cache.dts.len() {
+            for (j, b) in db.iter_mut().enumerate() {
+                *b += -dy.get(i, j) * cache.sin_arg.get(i, j);
+            }
+        }
+    }
+}
+
+impl Parameterized for LearnableTimeEncode {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.b]
+    }
+
+    fn num_params(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::probe_coefficients;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn fixed_encoding_bounded_and_deterministic() {
+        let enc = FixedTimeEncode::new(8, 10.0, 4.0);
+        let a = enc.encode(123.456);
+        let b = enc.encode(123.456);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|v| (-1.0..=1.0).contains(v)));
+        assert_eq!(enc.encode(0.0), vec![1.0; 8]);
+    }
+
+    #[test]
+    fn fixed_encoding_distinguishes_times() {
+        let enc = FixedTimeEncode::with_default_scale(16);
+        let a = enc.encode(1.0);
+        let b = enc.encode(100.0);
+        let dist: f32 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+        assert!(dist > 0.1, "encodings of distant times too close: {dist}");
+    }
+
+    #[test]
+    fn degree_encoding_structure() {
+        let enc = DegreeEncode::new(8, 50.0);
+        let z = enc.encode(0);
+        // at degree 0: cos terms are 1, sin terms are 0
+        for (n, &v) in z.iter().enumerate() {
+            if n % 2 == 0 {
+                assert!((v - 1.0).abs() < 1e-6);
+            } else {
+                assert!(v.abs() < 1e-6);
+            }
+        }
+        // equal degrees share encodings, different degrees differ
+        assert_eq!(enc.encode(5), enc.encode(5));
+        assert_ne!(enc.encode(5), enc.encode(6));
+    }
+
+    #[test]
+    fn degree_alpha_controls_resolution() {
+        // Larger α ⇒ neighboring degrees map to closer encodings.
+        let coarse = DegreeEncode::new(16, 1000.0);
+        let fine = DegreeEncode::new(16, 2.0);
+        let dist = |e: &DegreeEncode| -> f32 {
+            e.encode(10)
+                .iter()
+                .zip(e.encode(11))
+                .map(|(a, b)| (a - b).powi(2))
+                .sum::<f32>()
+                .sqrt()
+        };
+        assert!(dist(&coarse) < dist(&fine));
+    }
+
+    #[test]
+    fn learnable_encode_param_grads_match_fd() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut enc = LearnableTimeEncode::new(6, &mut rng);
+        let dts = [0.5f64, 3.0, 10.0];
+        let (y, cache) = enc.forward(&dts);
+        let coef = probe_coefficients(y.rows(), y.cols());
+        enc.zero_grad();
+        enc.backward(&cache, &coef);
+        let dw = enc.w.grad.clone();
+        let db = enc.b.grad.clone();
+        let eps = 1e-3f32;
+        for j in 0..6 {
+            for (grad, param_is_w) in [(&dw, true), (&db, false)] {
+                let orig = if param_is_w {
+                    enc.w.value.get(0, j)
+                } else {
+                    enc.b.value.get(0, j)
+                };
+                let set = |enc: &mut LearnableTimeEncode, v: f32| {
+                    if param_is_w {
+                        enc.w.value.set(0, j, v)
+                    } else {
+                        enc.b.value.set(0, j, v)
+                    }
+                };
+                set(&mut enc, orig + eps);
+                let lp = enc.infer(&dts).hadamard(&coef).sum();
+                set(&mut enc, orig - eps);
+                let lm = enc.infer(&dts).hadamard(&coef).sum();
+                set(&mut enc, orig);
+                let numeric = (lp - lm) / (2.0 * eps);
+                let analytic = grad.get(0, j);
+                assert!(
+                    (analytic - numeric).abs() < 2e-2 * 1.0f32.max(analytic.abs()),
+                    "j={j} w={param_is_w}: {analytic} vs {numeric}"
+                );
+            }
+        }
+    }
+}

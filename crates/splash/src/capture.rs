@@ -1,0 +1,479 @@
+//! Streaming capture of per-query model inputs.
+//!
+//! TGNN training and inference on a CTDG are defined over the memory state
+//! *at each query's time* (paper Fig. 4). This module replays edges and
+//! queries chronologically once, snapshotting — at the moment each edge
+//! arrives — the features its endpoints have *then* (Eq. 7 and Eq. 14 use
+//! `x_j(t^{(l)})`, the neighbor feature at edge time). The captured inputs
+//! are immutable afterwards, so models can train for multiple epochs over
+//! minibatches without violating streaming semantics.
+
+use ctdg::{replay, Event, Label, NodeId};
+use datasets::Dataset;
+use nn::{Matrix, randn_matrix};
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::augment::{Augmenter, FeatureProcess};
+use crate::config::SplashConfig;
+
+/// Which node features a model receives as input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputFeatures {
+    /// Zero vectors (featureless baselines; the SLIM+ZF ablation).
+    Zero,
+    /// A fixed random vector per node, *including* unseen nodes, without
+    /// propagation — the paper's `+RF` baselines and the SLIM+RF ablation.
+    RawRandom,
+    /// External dataset node features when present, zeros otherwise
+    /// (what plain baselines consume on GDELT).
+    External,
+    /// One augmented process with propagation for unseen nodes (§IV-A).
+    Process(FeatureProcess),
+    /// All three augmented processes concatenated (the SLIM+Joint ablation).
+    Joint,
+}
+
+impl InputFeatures {
+    /// Short display name used in harness tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            InputFeatures::Zero => "ZF",
+            InputFeatures::RawRandom => "RF",
+            InputFeatures::External => "ext",
+            InputFeatures::Process(FeatureProcess::Random) => "R",
+            InputFeatures::Process(FeatureProcess::Positional) => "P",
+            InputFeatures::Process(FeatureProcess::Structural) => "S",
+            InputFeatures::Joint => "joint",
+        }
+    }
+}
+
+/// One remembered incident edge with feature snapshots taken at its arrival.
+#[derive(Debug, Clone)]
+pub struct CapturedNeighbor {
+    /// The other endpoint.
+    pub other: NodeId,
+    /// The other endpoint's node feature at edge time, `x_j(t^{(l)})`.
+    pub feat: Vec<f32>,
+    /// The edge's feature `x_ij`.
+    pub edge_feat: Vec<f32>,
+    /// The edge's arrival time `t^{(l)}`.
+    pub time: f64,
+    /// The edge's weight `w_ij`.
+    pub weight: f32,
+}
+
+/// Everything a model needs to answer one label query.
+#[derive(Debug, Clone)]
+pub struct CapturedQuery {
+    /// The queried node.
+    pub node: NodeId,
+    /// Query time `t`.
+    pub time: f64,
+    /// The queried node's feature at query time, `x_i(t)`.
+    pub target_feat: Vec<f32>,
+    /// `N_i(t)`: the `k` most recent incident edges, oldest first.
+    pub neighbors: Vec<CapturedNeighbor>,
+    /// Ground truth `Y_i(t)`.
+    pub label: Label,
+}
+
+/// A full capture: one entry per dataset query, in chronological order.
+#[derive(Debug, Clone)]
+pub struct Capture {
+    /// Captured inputs, aligned with the dataset's query order.
+    pub queries: Vec<CapturedQuery>,
+    /// Node feature dimension of the captured features.
+    pub feat_dim: usize,
+    /// Edge feature dimension.
+    pub edge_feat_dim: usize,
+}
+
+/// A fixed-size ring of [`CapturedNeighbor`]s per node.
+struct FeatRing {
+    entries: Vec<CapturedNeighbor>,
+    head: usize,
+}
+
+struct FeatMemory {
+    rings: Vec<FeatRing>,
+    k: usize,
+}
+
+impl FeatMemory {
+    fn new(n: usize, k: usize) -> Self {
+        Self {
+            rings: (0..n).map(|_| FeatRing { entries: Vec::new(), head: 0 }).collect(),
+            k,
+        }
+    }
+
+    fn grow(&mut self, node: NodeId) {
+        let need = node as usize + 1;
+        while self.rings.len() < need {
+            self.rings.push(FeatRing { entries: Vec::new(), head: 0 });
+        }
+    }
+
+    fn push(&mut self, node: NodeId, entry: CapturedNeighbor) {
+        self.grow(node);
+        let k = self.k;
+        let ring = &mut self.rings[node as usize];
+        if ring.entries.len() < k {
+            ring.entries.push(entry);
+        } else {
+            ring.entries[ring.head] = entry;
+            ring.head = (ring.head + 1) % k;
+        }
+    }
+
+    fn collect(&self, node: NodeId) -> Vec<CapturedNeighbor> {
+        match self.rings.get(node as usize) {
+            None => Vec::new(),
+            Some(ring) => {
+                let n = ring.entries.len();
+                (0..n)
+                    .map(|i| ring.entries[(ring.head + i) % n.max(1)].clone())
+                    .collect()
+            }
+        }
+    }
+}
+
+/// The feature provider behind a capture run.
+enum Provider {
+    Constant { table: ConstantTable },
+    Augmented { aug: Augmenter, process: FeatureProcess },
+    Joint { aug: Augmenter },
+}
+
+enum ConstantTable {
+    Zero(usize),
+    Random { dv: usize, seed: u64 },
+    External { feats: Matrix },
+}
+
+impl ConstantTable {
+    fn feat(&self, node: NodeId) -> Vec<f32> {
+        match self {
+            ConstantTable::Zero(dv) => vec![0.0; *dv],
+            ConstantTable::Random { dv, seed } => {
+                // Deterministic per-node Gaussian, lazily derived so unseen
+                // nodes get features too (the +RF convention).
+                let mut rng =
+                    StdRng::seed_from_u64(seed ^ (node as u64).wrapping_mul(0x9E37_79B9));
+                randn_matrix(1, *dv, 1.0, &mut rng).row(0).to_vec()
+            }
+            ConstantTable::External { feats } => {
+                if (node as usize) < feats.rows() {
+                    feats.row(node as usize).to_vec()
+                } else {
+                    vec![0.0; feats.cols()]
+                }
+            }
+        }
+    }
+
+    fn dim(&self) -> usize {
+        match self {
+            ConstantTable::Zero(dv) | ConstantTable::Random { dv, .. } => *dv,
+            ConstantTable::External { feats } => feats.cols(),
+        }
+    }
+}
+
+impl Provider {
+    fn observe(&mut self, edge: &ctdg::TemporalEdge) {
+        match self {
+            Provider::Constant { .. } => {}
+            Provider::Augmented { aug, .. } | Provider::Joint { aug } => aug.observe(edge),
+        }
+    }
+
+    fn feat(&self, node: NodeId) -> Vec<f32> {
+        match self {
+            Provider::Constant { table } => table.feat(node),
+            Provider::Augmented { aug, process } => aug.feature(*process, node),
+            Provider::Joint { aug } => aug.joint_feature(node),
+        }
+    }
+
+    fn dim(&self) -> usize {
+        match self {
+            Provider::Constant { table } => table.dim(),
+            Provider::Augmented { aug, .. } => aug.feat_dim(),
+            Provider::Joint { aug } => 3 * aug.feat_dim(),
+        }
+    }
+}
+
+/// The timestamp ending the "seen" period: the time of the last query in the
+/// first `seen_frac` of queries (train + validation under 10/10/80).
+pub fn seen_end_time(dataset: &Dataset, seen_frac: f64) -> f64 {
+    if dataset.queries.is_empty() {
+        return f64::NEG_INFINITY;
+    }
+    let idx = (((dataset.queries.len() as f64) * seen_frac) as usize)
+        .saturating_sub(1)
+        .min(dataset.queries.len() - 1);
+    dataset.queries[idx].time
+}
+
+fn build_provider(dataset: &Dataset, mode: InputFeatures, cfg: &SplashConfig, seen_frac: f64) -> Provider {
+    match mode {
+        InputFeatures::Zero => {
+            Provider::Constant { table: ConstantTable::Zero(cfg.feat_dim) }
+        }
+        InputFeatures::RawRandom => Provider::Constant {
+            table: ConstantTable::Random { dv: cfg.feat_dim, seed: cfg.seed ^ 0x0BAD_F00D },
+        },
+        InputFeatures::External => match &dataset.node_feats {
+            Some(f) => Provider::Constant { table: ConstantTable::External { feats: f.clone() } },
+            None => Provider::Constant { table: ConstantTable::Zero(cfg.feat_dim) },
+        },
+        InputFeatures::Process(process) => {
+            let aug = make_augmenter(dataset, cfg, seen_frac);
+            Provider::Augmented { aug, process }
+        }
+        InputFeatures::Joint => {
+            let aug = make_augmenter(dataset, cfg, seen_frac);
+            Provider::Joint { aug }
+        }
+    }
+}
+
+fn make_augmenter(dataset: &Dataset, cfg: &SplashConfig, seen_frac: f64) -> Augmenter {
+    let t_seen = seen_end_time(dataset, seen_frac);
+    let prefix = dataset.stream.prefix_len_at(t_seen);
+    Augmenter::with_source(
+        &dataset.stream,
+        prefix,
+        dataset.stream.num_nodes(),
+        cfg.feat_dim,
+        &cfg.node2vec,
+        cfg.positional,
+        cfg.degree_alpha,
+        cfg.seed,
+    )
+}
+
+/// Replays `dataset` chronologically and captures every query's model input
+/// under feature mode `mode`. `seen_frac` is the fraction of queries whose
+/// period defines `V_seen` (0.2 under the 10/10/80 protocol).
+pub fn capture(dataset: &Dataset, mode: InputFeatures, cfg: &SplashConfig, seen_frac: f64) -> Capture {
+    let mut provider = build_provider(dataset, mode, cfg, seen_frac);
+    let t_seen = seen_end_time(dataset, seen_frac);
+    let prefix = dataset.stream.prefix_len_at(t_seen);
+    let feat_dim = provider.dim();
+    let edge_feat_dim = dataset.stream.feat_dim();
+
+    let mut memory = FeatMemory::new(dataset.stream.num_nodes(), cfg.k);
+    let mut captured = Vec::with_capacity(dataset.queries.len());
+
+    // Augmented providers were already fed the training prefix by
+    // `Augmenter::new`; feed constant providers nothing. Track which edges
+    // still need `observe`.
+    let events = replay(&dataset.stream, &dataset.queries);
+    for event in events {
+        match event {
+            Event::Edge(idx, edge) => {
+                let needs_observe = match &provider {
+                    Provider::Constant { .. } => false,
+                    _ => idx >= prefix,
+                };
+                if needs_observe {
+                    provider.observe(edge);
+                }
+                // Snapshot post-edge features (degrees include this edge).
+                let src_feat = provider.feat(edge.src);
+                let dst_feat = provider.feat(edge.dst);
+                memory.push(
+                    edge.src,
+                    CapturedNeighbor {
+                        other: edge.dst,
+                        feat: dst_feat,
+                        edge_feat: edge.feat.to_vec(),
+                        time: edge.time,
+                        weight: edge.weight,
+                    },
+                );
+                if edge.src != edge.dst {
+                    memory.push(
+                        edge.dst,
+                        CapturedNeighbor {
+                            other: edge.src,
+                            feat: src_feat,
+                            edge_feat: edge.feat.to_vec(),
+                            time: edge.time,
+                            weight: edge.weight,
+                        },
+                    );
+                }
+            }
+            Event::Query(_, q) => {
+                captured.push(CapturedQuery {
+                    node: q.node,
+                    time: q.time,
+                    target_feat: provider.feat(q.node),
+                    neighbors: memory.collect(q.node),
+                    label: q.label.clone(),
+                });
+            }
+        }
+    }
+    Capture { queries: captured, feat_dim, edge_feat_dim }
+}
+
+/// The node encoding of Eq. 7: `[x_i(t) ‖ mean_{δ ∈ N_i(t)} x_j(t^{(l)})]`,
+/// one row per captured query. Zero mean part when `N_i(t)` is empty.
+pub fn encodings(capture: &Capture) -> Matrix {
+    let dv = capture.feat_dim;
+    let mut out = Matrix::zeros(capture.queries.len(), 2 * dv);
+    for (i, q) in capture.queries.iter().enumerate() {
+        let row = out.row_mut(i);
+        row[..dv].copy_from_slice(&q.target_feat);
+        if !q.neighbors.is_empty() {
+            for nb in &q.neighbors {
+                for (j, &v) in nb.feat.iter().enumerate() {
+                    row[dv + j] += v;
+                }
+            }
+            let inv = 1.0 / q.neighbors.len() as f32;
+            for v in &mut row[dv..] {
+                *v *= inv;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctdg::{EdgeStream, PropertyQuery, TemporalEdge};
+    use datasets::Task;
+
+    fn tiny_dataset() -> Dataset {
+        let edges = vec![
+            TemporalEdge::plain(0, 1, 1.0),
+            TemporalEdge::plain(1, 2, 2.0),
+            TemporalEdge::plain(0, 2, 3.0),
+            TemporalEdge::plain(3, 0, 10.0),
+            TemporalEdge::plain(3, 1, 11.0),
+        ];
+        let queries = vec![
+            PropertyQuery { node: 0, time: 1.5, label: Label::Class(0) },
+            PropertyQuery { node: 1, time: 2.5, label: Label::Class(1) },
+            PropertyQuery { node: 3, time: 10.5, label: Label::Class(0) },
+            PropertyQuery { node: 3, time: 12.0, label: Label::Class(1) },
+        ];
+        Dataset {
+            name: "tiny".into(),
+            task: Task::Classification,
+            stream: EdgeStream::new(edges).unwrap(),
+            queries,
+            num_classes: 2,
+            node_feats: None,
+        }
+    }
+
+    #[test]
+    fn queries_see_only_past_edges() {
+        let d = tiny_dataset();
+        let cfg = SplashConfig::tiny();
+        let cap = capture(&d, InputFeatures::RawRandom, &cfg, 0.5);
+        // Query 0 at t=1.5: node 0 has one incident edge (t=1).
+        assert_eq!(cap.queries[0].neighbors.len(), 1);
+        assert_eq!(cap.queries[0].neighbors[0].other, 1);
+        // Query 2 at t=10.5: node 3 has one incident edge (t=10).
+        assert_eq!(cap.queries[2].neighbors.len(), 1);
+        // Query 3 at t=12: node 3 has two.
+        assert_eq!(cap.queries[3].neighbors.len(), 2);
+    }
+
+    #[test]
+    fn k_bounds_neighbor_lists() {
+        let d = tiny_dataset();
+        let mut cfg = SplashConfig::tiny();
+        cfg.k = 1;
+        let cap = capture(&d, InputFeatures::Zero, &cfg, 0.5);
+        assert!(cap.queries.iter().all(|q| q.neighbors.len() <= 1));
+        // With k = 1, node 3's last query sees only the latest edge (t=11).
+        assert_eq!(cap.queries[3].neighbors[0].time, 11.0);
+    }
+
+    #[test]
+    fn raw_random_is_deterministic_and_distinct() {
+        let d = tiny_dataset();
+        let cfg = SplashConfig::tiny();
+        let a = capture(&d, InputFeatures::RawRandom, &cfg, 0.5);
+        let b = capture(&d, InputFeatures::RawRandom, &cfg, 0.5);
+        assert_eq!(a.queries[0].target_feat, b.queries[0].target_feat);
+        // Distinct nodes get distinct features.
+        assert_ne!(a.queries[0].target_feat, a.queries[1].target_feat);
+    }
+
+    #[test]
+    fn zero_mode_is_all_zero() {
+        let d = tiny_dataset();
+        let cfg = SplashConfig::tiny();
+        let cap = capture(&d, InputFeatures::Zero, &cfg, 0.5);
+        for q in &cap.queries {
+            assert!(q.target_feat.iter().all(|&v| v == 0.0));
+            for nb in &q.neighbors {
+                assert!(nb.feat.iter().all(|&v| v == 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn structural_snapshots_freeze_edge_time_degrees() {
+        let d = tiny_dataset();
+        let cfg = SplashConfig::tiny();
+        let cap = capture(
+            &d,
+            InputFeatures::Process(FeatureProcess::Structural),
+            &cfg,
+            0.5,
+        );
+        // Node 3's second query: the first remembered edge snapshotted node
+        // 0's structural feature at t=10, when node 0 had degree 3.
+        let enc = nn::DegreeEncode::new(cfg.feat_dim, cfg.degree_alpha);
+        let q3 = &cap.queries[3];
+        assert_eq!(q3.neighbors[0].feat, enc.encode(3));
+        // And the target feature reflects node 3's current degree (2).
+        assert_eq!(q3.target_feat, enc.encode(2));
+    }
+
+    #[test]
+    fn encodings_shape_and_mean() {
+        let d = tiny_dataset();
+        let cfg = SplashConfig::tiny();
+        let cap = capture(&d, InputFeatures::RawRandom, &cfg, 0.5);
+        let enc = encodings(&cap);
+        assert_eq!(enc.shape(), (4, 2 * cfg.feat_dim));
+        // Row 3: mean of two neighbor snapshots.
+        let q = &cap.queries[3];
+        for j in 0..cfg.feat_dim {
+            let expected = (q.neighbors[0].feat[j] + q.neighbors[1].feat[j]) / 2.0;
+            assert!((enc.get(3, cfg.feat_dim + j) - expected).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn joint_dim_is_triple() {
+        let d = tiny_dataset();
+        let cfg = SplashConfig::tiny();
+        let cap = capture(&d, InputFeatures::Joint, &cfg, 0.5);
+        assert_eq!(cap.feat_dim, 3 * cfg.feat_dim);
+        assert_eq!(cap.queries[0].target_feat.len(), 3 * cfg.feat_dim);
+    }
+
+    #[test]
+    fn external_falls_back_to_zero() {
+        let d = tiny_dataset();
+        let cfg = SplashConfig::tiny();
+        let cap = capture(&d, InputFeatures::External, &cfg, 0.5);
+        assert!(cap.queries[0].target_feat.iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,94 @@
+//! SPLASH hyperparameters.
+
+use embed::{GraRepConfig, Node2VecConfig};
+
+/// Which implementation of the positional `Embedding(G^(s))` function
+/// (paper Eq. 1) augmentation uses for seen nodes. The paper uses node2vec
+/// and notes any positional embedding works; GraRep is the §II-D
+/// alternative provided here (DeepWalk is node2vec with `p = q = 1`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PositionalSource {
+    /// node2vec over the training snapshot (the paper's choice).
+    Node2Vec,
+    /// GraRep: truncated-SVD factorization of log transition powers.
+    GraRep(GraRepConfig),
+}
+
+/// All knobs of the SPLASH pipeline. Defaults follow the paper's spirit at
+//  the scaled-down dataset sizes used in this reproduction.
+#[derive(Debug, Clone, Copy)]
+pub struct SplashConfig {
+    /// Augmented node feature dimension `d_v`.
+    pub feat_dim: usize,
+    /// Recent-neighbor memory size `k` (Eq. 6).
+    pub k: usize,
+    /// Time-encoding dimension `d_t` (Eq. 15).
+    pub time_dim: usize,
+    /// Hidden width of the SLIM MLPs.
+    pub hidden: usize,
+    /// Skip-connection weight `λ_s` (Eq. 18).
+    pub lambda_s: f32,
+    /// Degree-encoding resolution `α` (Eq. 3).
+    pub degree_alpha: f32,
+    /// Time-encoding scale `α` (Eq. 15).
+    pub time_alpha: f32,
+    /// Time-encoding scale `β` (Eq. 15).
+    pub time_beta: f32,
+    /// node2vec configuration for positional augmentation (Eq. 1).
+    pub node2vec: Node2VecConfig,
+    /// Which positional embedding implements Eq. 1 (node2vec by default).
+    pub positional: PositionalSource,
+    /// Adam learning rate for SLIM training.
+    pub lr: f32,
+    /// SLIM training epochs over the training property set.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Epochs for the linear feature-selection models (§IV-B).
+    pub selector_epochs: usize,
+    /// Learning rate for the linear feature-selection models.
+    pub selector_lr: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SplashConfig {
+    fn default() -> Self {
+        let feat_dim = 32;
+        Self {
+            feat_dim,
+            k: 10,
+            time_dim: 16,
+            hidden: 64,
+            lambda_s: 0.5,
+            degree_alpha: 50.0,
+            time_alpha: 4.0,
+            time_beta: 4.0,
+            node2vec: Node2VecConfig::fast(feat_dim),
+            positional: PositionalSource::Node2Vec,
+            lr: 1e-3,
+            epochs: 10,
+            batch_size: 128,
+            selector_epochs: 6,
+            selector_lr: 5e-3,
+            seed: 17,
+        }
+    }
+}
+
+impl SplashConfig {
+    /// A smaller/faster configuration for unit tests.
+    pub fn tiny() -> Self {
+        let feat_dim = 8;
+        Self {
+            feat_dim,
+            k: 4,
+            time_dim: 4,
+            hidden: 16,
+            node2vec: Node2VecConfig::fast(feat_dim),
+            epochs: 4,
+            selector_epochs: 3,
+            ..Self::default()
+        }
+    }
+}

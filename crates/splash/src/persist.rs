@@ -1,0 +1,456 @@
+//! Save and load trained SLIM models.
+//!
+//! A saved file carries everything needed to rebuild a deployable
+//! predictor: the full [`SplashConfig`], the selected augmentation process,
+//! the model's input/output dimensions, and every trainable parameter.
+//! Feature augmentation itself is *not* stored — the augmenter is fully
+//! determined by the training stream and the (seeded) config, so a loaded
+//! model paired with the same training prefix reproduces the original
+//! predictor bit-for-bit (see `roundtrip_predictions_are_identical`).
+//!
+//! The on-disk format is a little-endian binary layout with an 8-byte magic
+//! and a version word, written and parsed by hand: the model is a flat list
+//! of shaped `f32` tensors plus a dozen scalars, which does not justify a
+//! serialization dependency.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use embed::{GraRepConfig, Node2VecConfig};
+use nn::Parameterized;
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::augment::FeatureProcess;
+use crate::capture::InputFeatures;
+use crate::config::{PositionalSource, SplashConfig};
+use crate::slim::SlimModel;
+
+const MAGIC: &[u8; 8] = b"SPLASHM\x01";
+const VERSION: u32 = 1;
+
+/// A model restored from disk, with everything needed to serve it.
+#[derive(Debug)]
+pub struct SavedModel {
+    /// The configuration the model was trained with.
+    pub cfg: SplashConfig,
+    /// The feature mode the model consumes (the selected process for a full
+    /// SPLASH run, or the fixed mode of an ablation run) — this is what
+    /// `capture` must be called with at serving time.
+    pub mode: InputFeatures,
+    /// Node-feature input width.
+    pub feat_dim: usize,
+    /// Edge-feature input width.
+    pub edge_feat_dim: usize,
+    /// Output (label) width.
+    pub out_dim: usize,
+    /// The restored model.
+    pub model: SlimModel,
+}
+
+impl SavedModel {
+    /// The selected augmentation process, when the mode is a single process.
+    pub fn selected(&self) -> Option<FeatureProcess> {
+        match self.mode {
+            InputFeatures::Process(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+/// Writes `model` and its context to `path`.
+///
+/// `model` is taken mutably only because parameter access goes through
+/// [`Parameterized::params_mut`]; values are not modified.
+pub fn save_model(
+    path: &Path,
+    model: &mut SlimModel,
+    cfg: &SplashConfig,
+    mode: InputFeatures,
+    feat_dim: usize,
+    edge_feat_dim: usize,
+    out_dim: usize,
+) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    put_u32(&mut w, VERSION)?;
+    write_config(&mut w, cfg)?;
+    put_u8(&mut w, match mode {
+        InputFeatures::Zero => 0,
+        InputFeatures::RawRandom => 1,
+        InputFeatures::External => 2,
+        InputFeatures::Process(FeatureProcess::Random) => 3,
+        InputFeatures::Process(FeatureProcess::Positional) => 4,
+        InputFeatures::Process(FeatureProcess::Structural) => 5,
+        InputFeatures::Joint => 6,
+    })?;
+    put_u64(&mut w, feat_dim as u64)?;
+    put_u64(&mut w, edge_feat_dim as u64)?;
+    put_u64(&mut w, out_dim as u64)?;
+
+    let params = model.params_mut();
+    put_u64(&mut w, params.len() as u64)?;
+    for p in params {
+        let (r, c) = p.value.shape();
+        put_u64(&mut w, r as u64)?;
+        put_u64(&mut w, c as u64)?;
+        for &x in p.value.data() {
+            put_f32(&mut w, x)?;
+        }
+    }
+    w.flush()
+}
+
+/// Reads a model written by [`save_model`]. Shape or format mismatches
+/// surface as `InvalidData` errors with a description of what went wrong.
+pub fn load_model(path: &Path) -> io::Result<SavedModel> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("not a SPLASH model file (bad magic)"));
+    }
+    let version = get_u32(&mut r)?;
+    if version != VERSION {
+        return Err(bad(format!("unsupported model version {version}")));
+    }
+    let cfg = read_config(&mut r)?;
+    let mode = match get_u8(&mut r)? {
+        0 => InputFeatures::Zero,
+        1 => InputFeatures::RawRandom,
+        2 => InputFeatures::External,
+        3 => InputFeatures::Process(FeatureProcess::Random),
+        4 => InputFeatures::Process(FeatureProcess::Positional),
+        5 => InputFeatures::Process(FeatureProcess::Structural),
+        6 => InputFeatures::Joint,
+        t => return Err(bad(format!("unknown feature-mode tag {t}"))),
+    };
+    let feat_dim = get_u64(&mut r)? as usize;
+    let edge_feat_dim = get_u64(&mut r)? as usize;
+    let out_dim = get_u64(&mut r)? as usize;
+
+    // Rebuild the architecture, then overwrite every parameter in the
+    // stable `params_mut` order.
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x511D);
+    let mut model = SlimModel::new(&cfg, feat_dim, edge_feat_dim, out_dim, &mut rng);
+    let stored = get_u64(&mut r)? as usize;
+    let params = model.params_mut();
+    if stored != params.len() {
+        return Err(bad(format!(
+            "parameter count mismatch: file has {stored}, architecture has {}",
+            params.len()
+        )));
+    }
+    for (i, p) in params.into_iter().enumerate() {
+        let rows = get_u64(&mut r)? as usize;
+        let cols = get_u64(&mut r)? as usize;
+        if (rows, cols) != p.value.shape() {
+            return Err(bad(format!(
+                "parameter {i} shape mismatch: file {rows}x{cols}, architecture {:?}",
+                p.value.shape()
+            )));
+        }
+        for x in p.value.data_mut() {
+            *x = get_f32(&mut r)?;
+        }
+    }
+    Ok(SavedModel { cfg, mode, feat_dim, edge_feat_dim, out_dim, model })
+}
+
+fn write_config<W: Write>(w: &mut W, cfg: &SplashConfig) -> io::Result<()> {
+    put_u64(w, cfg.feat_dim as u64)?;
+    put_u64(w, cfg.k as u64)?;
+    put_u64(w, cfg.time_dim as u64)?;
+    put_u64(w, cfg.hidden as u64)?;
+    put_f32(w, cfg.lambda_s)?;
+    put_f32(w, cfg.degree_alpha)?;
+    put_f32(w, cfg.time_alpha)?;
+    put_f32(w, cfg.time_beta)?;
+    put_f32(w, cfg.lr)?;
+    put_u64(w, cfg.epochs as u64)?;
+    put_u64(w, cfg.batch_size as u64)?;
+    put_u64(w, cfg.selector_epochs as u64)?;
+    put_f32(w, cfg.selector_lr)?;
+    put_u64(w, cfg.seed)?;
+    // node2vec
+    put_u64(w, cfg.node2vec.walk.walks_per_node as u64)?;
+    put_u64(w, cfg.node2vec.walk.walk_length as u64)?;
+    put_f32(w, cfg.node2vec.walk.p)?;
+    put_f32(w, cfg.node2vec.walk.q)?;
+    put_u64(w, cfg.node2vec.walk.threads as u64)?;
+    put_u64(w, cfg.node2vec.sgns.dim as u64)?;
+    put_u64(w, cfg.node2vec.sgns.window as u64)?;
+    put_u64(w, cfg.node2vec.sgns.negatives as u64)?;
+    put_u64(w, cfg.node2vec.sgns.epochs as u64)?;
+    put_f32(w, cfg.node2vec.sgns.lr)?;
+    // positional source
+    match cfg.positional {
+        PositionalSource::Node2Vec => put_u8(w, 0)?,
+        PositionalSource::GraRep(g) => {
+            put_u8(w, 1)?;
+            put_u64(w, g.dim as u64)?;
+            put_u64(w, g.transition_steps as u64)?;
+            put_u64(w, g.svd_iters as u64)?;
+        }
+    }
+    Ok(())
+}
+
+fn read_config<R: Read>(r: &mut R) -> io::Result<SplashConfig> {
+    // Field order mirrors `write_config` exactly.
+    let feat_dim = get_u64(r)? as usize;
+    let k = get_u64(r)? as usize;
+    let time_dim = get_u64(r)? as usize;
+    let hidden = get_u64(r)? as usize;
+    let lambda_s = get_f32(r)?;
+    let degree_alpha = get_f32(r)?;
+    let time_alpha = get_f32(r)?;
+    let time_beta = get_f32(r)?;
+    let lr = get_f32(r)?;
+    let epochs = get_u64(r)? as usize;
+    let batch_size = get_u64(r)? as usize;
+    let selector_epochs = get_u64(r)? as usize;
+    let selector_lr = get_f32(r)?;
+    let seed = get_u64(r)?;
+    let node2vec = Node2VecConfig {
+        walk: embed::WalkConfig {
+            walks_per_node: get_u64(r)? as usize,
+            walk_length: get_u64(r)? as usize,
+            p: get_f32(r)?,
+            q: get_f32(r)?,
+            threads: get_u64(r)? as usize,
+        },
+        sgns: embed::SkipGramConfig {
+            dim: get_u64(r)? as usize,
+            window: get_u64(r)? as usize,
+            negatives: get_u64(r)? as usize,
+            epochs: get_u64(r)? as usize,
+            lr: get_f32(r)?,
+        },
+    };
+    let positional = match get_u8(r)? {
+        0 => PositionalSource::Node2Vec,
+        1 => PositionalSource::GraRep(GraRepConfig {
+            dim: get_u64(r)? as usize,
+            transition_steps: get_u64(r)? as usize,
+            svd_iters: get_u64(r)? as usize,
+        }),
+        t => return Err(bad(format!("unknown positional-source tag {t}"))),
+    };
+    Ok(SplashConfig {
+        feat_dim,
+        k,
+        time_dim,
+        hidden,
+        lambda_s,
+        degree_alpha,
+        time_alpha,
+        time_beta,
+        node2vec,
+        positional,
+        lr,
+        epochs,
+        batch_size,
+        selector_epochs,
+        selector_lr,
+        seed,
+    })
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn put_u8<W: Write>(w: &mut W, v: u8) -> io::Result<()> {
+    w.write_all(&[v])
+}
+
+fn put_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn put_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn put_f32<W: Write>(w: &mut W, v: f32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn get_u8<R: Read>(r: &mut R) -> io::Result<u8> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+fn get_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn get_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn get_f32<R: Read>(r: &mut R) -> io::Result<f32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(f32::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capture::{capture, InputFeatures};
+    use crate::pipeline::{predict_slim, split_bounds, train_slim, SEEN_FRAC};
+    use crate::select::truncate_to_available;
+    use datasets::synthetic_shift;
+
+    fn tmp(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("splash-persist-{tag}-{}.bin", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_predictions_are_identical() {
+        let dataset = truncate_to_available(&synthetic_shift(50, 13), 0.3);
+        let mut cfg = SplashConfig::tiny();
+        cfg.epochs = 2;
+        let cap = capture(&dataset, InputFeatures::Process(FeatureProcess::Positional), &cfg, SEEN_FRAC);
+        let (train_end, val_end) = split_bounds(cap.queries.len());
+        let (mut model, _) = train_slim(&cap, &dataset, &cap.queries[..train_end], &cfg);
+        let before = predict_slim(&model, &cap.queries[val_end..], 64);
+
+        let path = tmp("roundtrip");
+        save_model(
+            &path,
+            &mut model,
+            &cfg,
+            InputFeatures::Process(FeatureProcess::Positional),
+            cap.feat_dim,
+            cap.edge_feat_dim,
+            dataset.num_classes,
+        )
+        .unwrap();
+        let restored = load_model(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(restored.selected(), Some(FeatureProcess::Positional));
+        assert_eq!(restored.mode, InputFeatures::Process(FeatureProcess::Positional));
+        assert_eq!(restored.feat_dim, cap.feat_dim);
+        assert_eq!(restored.cfg.k, cfg.k);
+        let after = predict_slim(&restored.model, &cap.queries[val_end..], 64);
+        assert_eq!(before.data(), after.data(), "restored model must predict identically");
+    }
+
+    #[test]
+    fn config_with_grarep_source_roundtrips() {
+        let mut cfg = SplashConfig::tiny();
+        cfg.positional = PositionalSource::GraRep(GraRepConfig {
+            dim: 8,
+            transition_steps: 3,
+            svd_iters: 2,
+        });
+        let mut buf = Vec::new();
+        write_config(&mut buf, &cfg).unwrap();
+        let back = read_config(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.positional, cfg.positional);
+        assert_eq!(back.feat_dim, cfg.feat_dim);
+        assert_eq!(back.node2vec.walk.q, cfg.node2vec.walk.q);
+    }
+
+    #[test]
+    fn config_roundtrips_every_field() {
+        // Exercise every serialized field with non-default values.
+        let cfg = SplashConfig {
+            feat_dim: 17,
+            k: 3,
+            time_dim: 9,
+            hidden: 21,
+            lambda_s: 0.123,
+            degree_alpha: 77.7,
+            time_alpha: 2.5,
+            time_beta: 6.25,
+            node2vec: Node2VecConfig {
+                walk: embed::WalkConfig {
+                    walks_per_node: 11,
+                    walk_length: 31,
+                    p: 0.25,
+                    q: 4.0,
+                    threads: 3,
+                },
+                sgns: embed::SkipGramConfig {
+                    dim: 17,
+                    window: 5,
+                    negatives: 7,
+                    epochs: 4,
+                    lr: 0.07,
+                },
+            },
+            positional: PositionalSource::Node2Vec,
+            lr: 3.5e-4,
+            epochs: 13,
+            batch_size: 57,
+            selector_epochs: 2,
+            selector_lr: 0.011,
+            seed: 0xDEAD_BEEF,
+        };
+        let mut buf = Vec::new();
+        write_config(&mut buf, &cfg).unwrap();
+        let back = read_config(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.feat_dim, cfg.feat_dim);
+        assert_eq!(back.k, cfg.k);
+        assert_eq!(back.time_dim, cfg.time_dim);
+        assert_eq!(back.hidden, cfg.hidden);
+        assert_eq!(back.lambda_s, cfg.lambda_s);
+        assert_eq!(back.degree_alpha, cfg.degree_alpha);
+        assert_eq!(back.time_alpha, cfg.time_alpha);
+        assert_eq!(back.time_beta, cfg.time_beta);
+        assert_eq!(back.lr, cfg.lr);
+        assert_eq!(back.epochs, cfg.epochs);
+        assert_eq!(back.batch_size, cfg.batch_size);
+        assert_eq!(back.selector_epochs, cfg.selector_epochs);
+        assert_eq!(back.selector_lr, cfg.selector_lr);
+        assert_eq!(back.seed, cfg.seed);
+        assert_eq!(back.node2vec.walk.p, cfg.node2vec.walk.p);
+        assert_eq!(back.node2vec.walk.q, cfg.node2vec.walk.q);
+        assert_eq!(back.node2vec.walk.walks_per_node, cfg.node2vec.walk.walks_per_node);
+        assert_eq!(back.node2vec.walk.walk_length, cfg.node2vec.walk.walk_length);
+        assert_eq!(back.node2vec.walk.threads, cfg.node2vec.walk.threads);
+        assert_eq!(back.node2vec.sgns.dim, cfg.node2vec.sgns.dim);
+        assert_eq!(back.node2vec.sgns.window, cfg.node2vec.sgns.window);
+        assert_eq!(back.node2vec.sgns.negatives, cfg.node2vec.sgns.negatives);
+        assert_eq!(back.node2vec.sgns.epochs, cfg.node2vec.sgns.epochs);
+        assert_eq!(back.node2vec.sgns.lr, cfg.node2vec.sgns.lr);
+        assert_eq!(back.positional, cfg.positional);
+    }
+
+    #[test]
+    fn wrong_magic_is_rejected() {
+        let path = tmp("magic");
+        std::fs::write(&path, b"NOTAMODELFILE....").unwrap();
+        let err = load_model(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("magic"), "{err}");
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let dataset = truncate_to_available(&synthetic_shift(50, 13), 0.2);
+        let mut cfg = SplashConfig::tiny();
+        cfg.epochs = 1;
+        let cap = capture(&dataset, InputFeatures::RawRandom, &cfg, SEEN_FRAC);
+        let (train_end, _) = split_bounds(cap.queries.len());
+        let (mut model, _) = train_slim(&cap, &dataset, &cap.queries[..train_end], &cfg);
+        let path = tmp("trunc");
+        save_model(&path, &mut model, &cfg, InputFeatures::RawRandom, cap.feat_dim, cap.edge_feat_dim, 2)
+            .unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(load_model(&path).is_err(), "truncation must not load");
+        std::fs::remove_file(&path).ok();
+    }
+}

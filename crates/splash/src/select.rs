@@ -1,0 +1,319 @@
+//! Automatic node feature selection (paper §IV-B).
+//!
+//! For each augmentation process, a *linear* model is fit by empirical risk
+//! minimization on node encodings (Eq. 7) over the available property set
+//! `Y_A` (everything before the test period). The set is split
+//! chronologically at five split times (10/90 … 90/10 — footnote 1 of the
+//! paper), simulating distribution shifts of varying strength; the process
+//! whose linear model accumulates the lowest summed validation risk
+//! (Eqs. 11–13) is selected. The three processes are evaluated in parallel
+//! with crossbeam scoped threads — feasible precisely because the selector
+//! is linear, the paper's efficiency argument.
+
+use ctdg::Label;
+use datasets::{Dataset, Task};
+use nn::{Adam, Linear, Matrix, Parameterized};
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::augment::FeatureProcess;
+use crate::capture::{capture, encodings, InputFeatures};
+use crate::config::SplashConfig;
+use crate::task::{loss, loss_and_grad, output_dim};
+
+/// The paper's five chronological split fractions (footnote 1).
+pub const SPLIT_FRACTIONS: [f64; 5] = [0.1, 0.3, 0.5, 0.7, 0.9];
+
+/// Outcome of feature selection.
+#[derive(Debug, Clone)]
+pub struct SelectionReport {
+    /// The selected process `X*` (Eq. 13).
+    pub selected: FeatureProcess,
+    /// Summed validation risks per process, in [`FeatureProcess::ALL`] order.
+    pub risks: [f64; 3],
+}
+
+/// Restricts a dataset to its available portion: the first `avail_frac` of
+/// queries and the edges up to the last such query's time.
+pub fn truncate_to_available(dataset: &Dataset, avail_frac: f64) -> Dataset {
+    let n_avail = (((dataset.queries.len() as f64) * avail_frac) as usize)
+        .clamp(1, dataset.queries.len());
+    let queries: Vec<_> = dataset.queries[..n_avail].to_vec();
+    let t_end = queries.last().map_or(f64::NEG_INFINITY, |q| q.time);
+    let prefix = dataset.stream.prefix_len_at(t_end);
+    let edges = dataset.stream.edges()[..prefix].to_vec();
+    Dataset {
+        name: dataset.name.clone(),
+        task: dataset.task,
+        stream: ctdg::EdgeStream::new_unchecked(edges),
+        queries,
+        num_classes: dataset.num_classes,
+        node_feats: dataset.node_feats.clone(),
+    }
+}
+
+/// Runs feature selection over the available portion of `dataset`
+/// (`avail_frac` = 0.2 under the 10/10/80 protocol).
+pub fn select_features(dataset: &Dataset, cfg: &SplashConfig, avail_frac: f64) -> SelectionReport {
+    select_features_with_splits(dataset, cfg, avail_frac, &SPLIT_FRACTIONS)
+}
+
+/// [`select_features`] with custom split fractions (the "number of
+/// validation splits" ablation from DESIGN.md).
+pub fn select_features_with_splits(
+    dataset: &Dataset,
+    cfg: &SplashConfig,
+    avail_frac: f64,
+    splits: &[f64],
+) -> SelectionReport {
+    let available = truncate_to_available(dataset, avail_frac);
+    let mut risks = [0.0f64; 3];
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = FeatureProcess::ALL
+            .iter()
+            .map(|&process| {
+                let available = &available;
+                scope.spawn(move |_| process_risk(available, process, cfg, splits))
+            })
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            risks[i] = h.join().expect("selection worker panicked");
+        }
+    })
+    .expect("selection scope panicked");
+
+    let best = FeatureProcess::ALL
+        .iter()
+        .enumerate()
+        .min_by(|a, b| risks[a.0].partial_cmp(&risks[b.0]).unwrap())
+        .map(|(_, &p)| p)
+        .expect("at least one process");
+    SelectionReport { selected: best, risks }
+}
+
+/// Summed multi-split validation risk of one process (Eq. 13's inner sum).
+///
+/// Each split re-simulates deployment: the augmentation's "seen" period is
+/// the split's training period, so nodes appearing after `t_split` get
+/// *propagated* features — exactly the regime the real test period will
+/// exhibit. This is what lets the selector detect that identity-like
+/// features (process `R`) stop working for unseen nodes while propagated
+/// positional features keep their meaning.
+fn process_risk(
+    available: &Dataset,
+    process: FeatureProcess,
+    cfg: &SplashConfig,
+    splits: &[f64],
+) -> f64 {
+    let n = available.queries.len();
+    let mut total = 0.0f64;
+    for &frac in splits {
+        let split = (((n as f64) * frac) as usize).clamp(0, n);
+        if split == 0 || split == n {
+            continue;
+        }
+        let cap = capture(available, InputFeatures::Process(process), cfg, frac);
+        let enc = encodings(&cap);
+        let labels: Vec<&Label> = cap.queries.iter().map(|q| &q.label).collect();
+        let train_enc = enc.slice_rows(0, split);
+        let val_enc = enc.slice_rows(split, n);
+        let risk = fit_linear_and_risk(
+            &train_enc,
+            &labels[..split],
+            &val_enc,
+            &labels[split..],
+            available.task,
+            output_dim(available.task, available.num_classes),
+            cfg,
+        );
+        total += risk as f64;
+    }
+    total
+}
+
+/// Trains one linear model with ERM on the training rows (Eq. 10) and
+/// returns its empirical risk on the validation rows (Eq. 11).
+pub fn fit_linear_and_risk(
+    train_enc: &Matrix,
+    train_labels: &[&Label],
+    val_enc: &Matrix,
+    val_labels: &[&Label],
+    task: Task,
+    out_dim: usize,
+    cfg: &SplashConfig,
+) -> f32 {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x11EA2);
+    let mut model = Linear::new(train_enc.cols(), out_dim, &mut rng);
+    let mut opt = Adam::new(cfg.selector_lr);
+    let n = train_enc.rows();
+    let bs = cfg.batch_size.min(n.max(1));
+    for _epoch in 0..cfg.selector_epochs {
+        let mut start = 0;
+        while start < n {
+            let end = (start + bs).min(n);
+            let x = train_enc.slice_rows(start, end);
+            let (logits, cache) = model.forward(&x);
+            let (_, dlogits) = loss_and_grad(task, &logits, &train_labels[start..end]);
+            model.backward(&cache, &dlogits);
+            opt.step(model.params_mut());
+            start = end;
+        }
+    }
+    let logits = model.infer(val_enc);
+    loss(task, &logits, val_labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctdg::{EdgeStream, PropertyQuery, TemporalEdge};
+    use datasets::Task;
+    use rand::RngExt;
+
+    /// A dataset whose labels follow node *roles* (hub vs leaf) while new
+    /// nodes of both roles keep arriving. Role is visible in a node's degree
+    /// (a stationary structural signal) but not in its identity — new hubs
+    /// were never seen during early splits — so the selector must pick `S`.
+    fn structural_dataset() -> Dataset {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 400usize;
+        let is_hub: Vec<bool> = (0..n).map(|_| rng.random::<f64>() < 0.12).collect();
+        let arrival: Vec<f64> = (0..n).map(|_| rng.random::<f64>() * 4000.0).collect();
+        let activity: Vec<f32> = is_hub.iter().map(|&h| if h { 15.0 } else { 1.0 }).collect();
+        let mut edges = Vec::new();
+        let mut queries = Vec::new();
+        for i in 0..6000 {
+            let t = i as f64;
+            let arrived = |v: usize| arrival[v] <= t;
+            let Some(src) = crate::select::tests::pick(&activity, &arrived, &mut rng) else {
+                continue;
+            };
+            let uniform: Vec<f32> = (0..n).map(|v| if arrived(v) { 1.0 } else { 0.0 }).collect();
+            let Some(dst) = crate::select::tests::pick(&uniform, &|v| v != src, &mut rng) else {
+                continue;
+            };
+            edges.push(TemporalEdge::plain(src as u32, dst as u32, t));
+            // Query a uniformly random arrived node.
+            if let Some(probe) = crate::select::tests::pick(&uniform, &|_| true, &mut rng) {
+                queries.push(PropertyQuery {
+                    node: probe as u32,
+                    time: t,
+                    label: Label::Class(is_hub[probe] as usize),
+                });
+            }
+        }
+        Dataset {
+            name: "structural".into(),
+            task: Task::Classification,
+            stream: EdgeStream::new_unchecked(edges),
+            queries,
+            num_classes: 2,
+            node_feats: None,
+        }
+    }
+
+    /// Weighted choice helper shared by the test generators.
+    pub(super) fn pick(
+        weights: &[f32],
+        eligible: &dyn Fn(usize) -> bool,
+        rng: &mut StdRng,
+    ) -> Option<usize> {
+        let total: f64 = weights
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| eligible(*i))
+            .map(|(_, &w)| w as f64)
+            .sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let mut r = rng.random::<f64>() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if !eligible(i) {
+                continue;
+            }
+            r -= w as f64;
+            if r <= 0.0 {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn selects_structural_when_labels_follow_degree() {
+        let d = structural_dataset();
+        let cfg = SplashConfig::tiny();
+        let report = select_features(&d, &cfg, 1.0);
+        assert_eq!(
+            report.selected,
+            FeatureProcess::Structural,
+            "risks: {:?}",
+            report.risks
+        );
+        // And the winning risk is strictly smallest.
+        assert!(report.risks[2] < report.risks[0]);
+        assert!(report.risks[2] < report.risks[1]);
+    }
+
+    /// Labels follow stable community membership → positional or random
+    /// features must beat structural ones.
+    fn community_dataset() -> Dataset {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 60u32;
+        let community = |v: u32| (v % 2) as usize;
+        let mut edges = Vec::new();
+        let mut t = 0.0;
+        for _ in 0..4000 {
+            let a = rng.random_range(0..n);
+            let b = loop {
+                let b = rng.random_range(0..n);
+                if b != a && (community(a) == community(b)) == (rng.random::<f64>() < 0.9) {
+                    break b;
+                }
+            };
+            edges.push(TemporalEdge::plain(a, b, t));
+            t += 1.0;
+        }
+        let stream = EdgeStream::new_unchecked(edges);
+        let queries: Vec<PropertyQuery> = stream
+            .edges()
+            .iter()
+            .step_by(2)
+            .map(|e| PropertyQuery {
+                node: e.src,
+                time: e.time,
+                label: Label::Class(community(e.src)),
+            })
+            .collect();
+        Dataset {
+            name: "community".into(),
+            task: Task::Classification,
+            stream,
+            queries,
+            num_classes: 2,
+            node_feats: None,
+        }
+    }
+
+    #[test]
+    fn rejects_structural_when_labels_follow_identity() {
+        let d = community_dataset();
+        let cfg = SplashConfig::tiny();
+        let report = select_features(&d, &cfg, 1.0);
+        assert_ne!(
+            report.selected,
+            FeatureProcess::Structural,
+            "risks: {:?}",
+            report.risks
+        );
+    }
+
+    #[test]
+    fn truncation_respects_chronology() {
+        let d = structural_dataset();
+        let avail = truncate_to_available(&d, 0.25);
+        assert_eq!(avail.queries.len(), d.queries.len() / 4);
+        let t_last = avail.queries.last().unwrap().time;
+        assert!(avail.stream.edges().iter().all(|e| e.time <= t_last));
+    }
+}

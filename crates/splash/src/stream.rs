@@ -1,0 +1,435 @@
+//! Online streaming inference (paper Fig. 4).
+//!
+//! The batch pipeline in [`crate::pipeline`] trains and evaluates over
+//! captured snapshots. Deployment looks different: temporal edges arrive one
+//! at a time, each label query must be answered *immediately* from state
+//! maintained so far, and the state must stay sub-linear in the number of
+//! edges. [`StreamingPredictor`] packages a trained SLIM model with exactly
+//! that state — the feature [`Augmenter`] (fixed seen-node features,
+//! propagated unseen-node features, incremental degrees) and a per-node ring
+//! of the `k` most recent incident edges with feature snapshots.
+//!
+//! Predictions are bit-identical to the batch pipeline's (verified by the
+//! `streaming_matches_batch_pipeline` test): both paths snapshot neighbor
+//! features at edge-arrival time, as Eq. 14 requires.
+
+use ctdg::{Label, NodeId, TemporalEdge};
+use datasets::Dataset;
+use nn::Matrix;
+
+use crate::augment::{Augmenter, FeatureProcess};
+use crate::capture::{capture, seen_end_time, CapturedNeighbor, CapturedQuery, InputFeatures};
+use crate::config::SplashConfig;
+use crate::pipeline::{split_bounds, train_slim, SEEN_FRAC};
+use crate::select::select_features;
+use crate::slim::SlimModel;
+
+/// A ring of the `k` most recent incident edges, with feature snapshots.
+#[derive(Debug, Clone, Default)]
+struct Ring {
+    entries: Vec<CapturedNeighbor>,
+    head: usize,
+}
+
+/// A trained SPLASH model plus all streaming state, ready to consume a live
+/// edge stream and answer label queries in real time.
+#[derive(Debug, Clone)]
+pub struct StreamingPredictor {
+    model: SlimModel,
+    augmenter: Augmenter,
+    process: FeatureProcess,
+    rings: Vec<Ring>,
+    k: usize,
+    last_time: f64,
+}
+
+impl StreamingPredictor {
+    /// Trains SPLASH on the dataset's training period (with automatic
+    /// feature selection) and returns a predictor primed with every edge up
+    /// to the end of the seen period, ready to continue from there.
+    pub fn train(dataset: &Dataset, cfg: &SplashConfig) -> Self {
+        let report = select_features(dataset, cfg, SEEN_FRAC);
+        Self::train_with_process(dataset, cfg, report.selected)
+    }
+
+    /// Like [`StreamingPredictor::train`] but with a fixed augmentation
+    /// process (skipping selection).
+    pub fn train_with_process(
+        dataset: &Dataset,
+        cfg: &SplashConfig,
+        process: FeatureProcess,
+    ) -> Self {
+        let cap = capture(dataset, InputFeatures::Process(process), cfg, SEEN_FRAC);
+        let (train_end, _) = split_bounds(cap.queries.len());
+        let (model, _) = train_slim(&cap, dataset, &cap.queries[..train_end], cfg);
+
+        let t_seen = seen_end_time(dataset, SEEN_FRAC);
+        let prefix = dataset.stream.prefix_len_at(t_seen);
+        let augmenter = Augmenter::with_source(
+            &dataset.stream,
+            prefix,
+            dataset.stream.num_nodes(),
+            cfg.feat_dim,
+            &cfg.node2vec,
+            cfg.positional,
+            cfg.degree_alpha,
+            cfg.seed,
+        );
+        let mut predictor = Self {
+            model,
+            augmenter,
+            process,
+            rings: Vec::new(),
+            k: cfg.k,
+            last_time: f64::NEG_INFINITY,
+        };
+        // Prime the neighbor rings with the seen-period edges. The
+        // augmenter already observed them in `Augmenter::new`, so only the
+        // rings are updated here.
+        for edge in &dataset.stream.edges()[..prefix] {
+            predictor.remember(edge);
+            predictor.last_time = edge.time;
+        }
+        predictor
+    }
+
+    /// Rebuilds a predictor from a model restored with
+    /// [`crate::persist::load_model`], skipping training entirely: the
+    /// augmenter is reconstructed deterministically from the training
+    /// stream and the stored (seeded) config, so the result is identical to
+    /// the predictor that existed when the model was saved.
+    ///
+    /// Returns `None` when the saved model's feature mode is not a single
+    /// augmentation process (streaming state is defined per process).
+    pub fn from_saved(saved: crate::persist::SavedModel, dataset: &Dataset) -> Option<Self> {
+        let process = saved.selected()?;
+        let cfg = saved.cfg;
+        let t_seen = seen_end_time(dataset, SEEN_FRAC);
+        let prefix = dataset.stream.prefix_len_at(t_seen);
+        let augmenter = Augmenter::with_source(
+            &dataset.stream,
+            prefix,
+            dataset.stream.num_nodes(),
+            cfg.feat_dim,
+            &cfg.node2vec,
+            cfg.positional,
+            cfg.degree_alpha,
+            cfg.seed,
+        );
+        let mut predictor = Self {
+            model: saved.model,
+            augmenter,
+            process,
+            rings: Vec::new(),
+            k: cfg.k,
+            last_time: f64::NEG_INFINITY,
+        };
+        for edge in &dataset.stream.edges()[..prefix] {
+            predictor.remember(edge);
+            predictor.last_time = edge.time;
+        }
+        Some(predictor)
+    }
+
+    /// The selected (or fixed) augmentation process this predictor uses.
+    pub fn process(&self) -> FeatureProcess {
+        self.process
+    }
+
+    /// Arrival time of the most recently observed edge.
+    pub fn last_time(&self) -> f64 {
+        self.last_time
+    }
+
+    fn ring_mut(&mut self, node: NodeId) -> &mut Ring {
+        let need = node as usize + 1;
+        if self.rings.len() < need {
+            self.rings.resize_with(need, Ring::default);
+        }
+        &mut self.rings[node as usize]
+    }
+
+    fn push(&mut self, node: NodeId, entry: CapturedNeighbor) {
+        let k = self.k;
+        let ring = self.ring_mut(node);
+        if ring.entries.len() < k {
+            ring.entries.push(entry);
+        } else {
+            ring.entries[ring.head] = entry;
+            ring.head = (ring.head + 1) % k;
+        }
+    }
+
+    /// Snapshots both endpoints' current features into the rings.
+    fn remember(&mut self, edge: &TemporalEdge) {
+        let src_feat = self.augmenter.feature(self.process, edge.src);
+        let dst_feat = self.augmenter.feature(self.process, edge.dst);
+        self.push(
+            edge.src,
+            CapturedNeighbor {
+                other: edge.dst,
+                feat: dst_feat,
+                edge_feat: edge.feat.to_vec(),
+                time: edge.time,
+                weight: edge.weight,
+            },
+        );
+        if edge.src != edge.dst {
+            self.push(
+                edge.dst,
+                CapturedNeighbor {
+                    other: edge.src,
+                    feat: src_feat,
+                    edge_feat: edge.feat.to_vec(),
+                    time: edge.time,
+                    weight: edge.weight,
+                },
+            );
+        }
+    }
+
+    /// Ingests one live temporal edge: O(d_v) feature propagation plus O(1)
+    /// ring updates — independent of the total stream length.
+    pub fn observe_edge(&mut self, edge: &TemporalEdge) {
+        assert!(
+            edge.time >= self.last_time,
+            "edges must arrive chronologically ({} < {})",
+            edge.time,
+            self.last_time
+        );
+        self.augmenter.observe(edge);
+        self.remember(edge);
+        self.last_time = edge.time;
+    }
+
+    /// Builds the model input for `node` as of time `t`.
+    fn query_input(&self, node: NodeId, time: f64) -> CapturedQuery {
+        let neighbors = match self.rings.get(node as usize) {
+            None => Vec::new(),
+            Some(ring) => {
+                let n = ring.entries.len();
+                (0..n)
+                    .map(|i| ring.entries[(ring.head + i) % n.max(1)].clone())
+                    .collect()
+            }
+        };
+        CapturedQuery {
+            node,
+            time,
+            target_feat: self.augmenter.feature(self.process, node),
+            neighbors,
+            label: Label::Class(0), // placeholder; predictions ignore labels
+        }
+    }
+
+    /// Predicts the property logits of `node` at time `time` (which must
+    /// not precede the last observed edge).
+    pub fn predict(&self, node: NodeId, time: f64) -> Vec<f32> {
+        debug_assert!(time >= self.last_time, "cannot predict in the past");
+        let q = self.query_input(node, time);
+        let batch = self.model.build_batch(&[&q]);
+        self.model.infer(&batch).row(0).to_vec()
+    }
+
+    /// Predicts logits for several nodes at once (single shared timestamp).
+    pub fn predict_many(&self, nodes: &[NodeId], time: f64) -> Matrix {
+        let qs: Vec<CapturedQuery> = nodes.iter().map(|&v| self.query_input(v, time)).collect();
+        let refs: Vec<&CapturedQuery> = qs.iter().collect();
+        let batch = self.model.build_batch(&refs);
+        self.model.infer(&batch)
+    }
+
+    /// The dynamic representation `h_i(t)` of a node (Eq. 18).
+    pub fn represent(&self, node: NodeId, time: f64) -> Vec<f32> {
+        let q = self.query_input(node, time);
+        let batch = self.model.build_batch(&[&q]);
+        self.model.represent(&batch).row(0).to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::predict_slim;
+    use crate::truncate_to_available;
+    use ctdg::{replay, Event};
+    use datasets::synthetic_shift;
+
+    fn setup() -> (Dataset, SplashConfig) {
+        let dataset = truncate_to_available(&synthetic_shift(50, 8), 0.4);
+        let mut cfg = SplashConfig::tiny();
+        cfg.epochs = 3;
+        (dataset, cfg)
+    }
+
+    /// The streaming path must produce exactly the batch pipeline's logits
+    /// at every test query.
+    #[test]
+    fn streaming_matches_batch_pipeline() {
+        let (dataset, cfg) = setup();
+        let process = FeatureProcess::Random;
+
+        // Batch path.
+        let cap = capture(&dataset, InputFeatures::Process(process), &cfg, SEEN_FRAC);
+        let (train_end, val_end) = split_bounds(cap.queries.len());
+        let (model, _) = train_slim(&cap, &dataset, &cap.queries[..train_end], &cfg);
+        let batch_logits = predict_slim(&model, &cap.queries[val_end..], 64);
+
+        // Streaming path: same trained weights arrive via the same seeds.
+        let mut predictor = StreamingPredictor::train_with_process(&dataset, &cfg, process);
+        let t_seen = seen_end_time(&dataset, SEEN_FRAC);
+        let prefix = dataset.stream.prefix_len_at(t_seen);
+
+        // Replay the post-seen period event by event.
+        let events = replay(&dataset.stream, &dataset.queries);
+        let mut qi = 0usize;
+        let mut checked = 0usize;
+        for ev in events {
+            match ev {
+                Event::Edge(idx, edge) => {
+                    if idx >= prefix {
+                        predictor.observe_edge(edge);
+                    }
+                }
+                Event::Query(_, q) => {
+                    if qi >= val_end {
+                        let logits = predictor.predict(q.node, q.time);
+                        let expected = batch_logits.row(qi - val_end);
+                        for (a, b) in logits.iter().zip(expected) {
+                            assert!(
+                                (a - b).abs() < 1e-4,
+                                "query {qi}: streaming {a} vs batch {b}"
+                            );
+                        }
+                        checked += 1;
+                    }
+                    qi += 1;
+                }
+            }
+        }
+        assert!(checked > 50, "only {checked} queries compared");
+    }
+
+    /// A predictor rebuilt from a saved model must behave exactly like the
+    /// predictor trained in-process — including on edges observed after the
+    /// save point.
+    #[test]
+    fn from_saved_matches_in_process_training() {
+        let (dataset, cfg) = setup();
+        let process = FeatureProcess::Positional;
+        let mut live = StreamingPredictor::train_with_process(&dataset, &cfg, process);
+
+        // Save the equivalent model through the lower-level path (training
+        // is deterministic, so the weights are identical).
+        let cap = capture(&dataset, InputFeatures::Process(process), &cfg, SEEN_FRAC);
+        let (train_end, _) = split_bounds(cap.queries.len());
+        let (mut model, _) = train_slim(&cap, &dataset, &cap.queries[..train_end], &cfg);
+        let path = std::env::temp_dir()
+            .join(format!("splash-stream-saved-{}.bin", std::process::id()));
+        crate::persist::save_model(
+            &path,
+            &mut model,
+            &cfg,
+            InputFeatures::Process(process),
+            cap.feat_dim,
+            cap.edge_feat_dim,
+            dataset.num_classes,
+        )
+        .unwrap();
+        let saved = crate::persist::load_model(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let mut restored = StreamingPredictor::from_saved(saved, &dataset)
+            .expect("process-mode models restore");
+
+        // Continue both predictors over the unseen tail and compare.
+        let t_seen = seen_end_time(&dataset, SEEN_FRAC);
+        let prefix = dataset.stream.prefix_len_at(t_seen);
+        let tail = &dataset.stream.edges()[prefix..];
+        for (i, edge) in tail.iter().enumerate() {
+            live.observe_edge(edge);
+            restored.observe_edge(edge);
+            if i % 97 == 0 {
+                let t = edge.time;
+                for node in [edge.src, edge.dst] {
+                    assert_eq!(
+                        live.predict(node, t),
+                        restored.predict(node, t),
+                        "diverged at edge {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_saved_requires_a_process_mode() {
+        let (dataset, cfg) = setup();
+        let cap = capture(&dataset, InputFeatures::RawRandom, &cfg, SEEN_FRAC);
+        let (train_end, _) = split_bounds(cap.queries.len());
+        let (mut model, _) = train_slim(&cap, &dataset, &cap.queries[..train_end], &cfg);
+        let path = std::env::temp_dir()
+            .join(format!("splash-stream-rf-{}.bin", std::process::id()));
+        crate::persist::save_model(
+            &path,
+            &mut model,
+            &cfg,
+            InputFeatures::RawRandom,
+            cap.feat_dim,
+            cap.edge_feat_dim,
+            dataset.num_classes,
+        )
+        .unwrap();
+        let saved = crate::persist::load_model(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(StreamingPredictor::from_saved(saved, &dataset).is_none());
+    }
+
+    #[test]
+    fn streaming_predictor_trains_end_to_end() {
+        let (dataset, cfg) = setup();
+        let predictor = StreamingPredictor::train(&dataset, &cfg);
+        // It can predict for any node, including ones it has never seen.
+        let logits = predictor.predict(0, predictor.last_time() + 1.0);
+        assert_eq!(logits.len(), dataset.num_classes);
+        assert!(logits.iter().all(|v| v.is_finite()));
+        let unseen = dataset.stream.num_nodes() as u32 - 1;
+        assert!(predictor
+            .predict(unseen, predictor.last_time() + 1.0)
+            .iter()
+            .all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn predict_many_matches_predict() {
+        let (dataset, cfg) = setup();
+        let predictor =
+            StreamingPredictor::train_with_process(&dataset, &cfg, FeatureProcess::Structural);
+        let t = predictor.last_time() + 5.0;
+        let many = predictor.predict_many(&[0, 1, 2], t);
+        for (i, node) in [0u32, 1, 2].iter().enumerate() {
+            let one = predictor.predict(*node, t);
+            for (a, b) in many.row(i).iter().zip(&one) {
+                assert!((a - b).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chronologically")]
+    fn rejects_out_of_order_edges() {
+        let (dataset, cfg) = setup();
+        let mut predictor =
+            StreamingPredictor::train_with_process(&dataset, &cfg, FeatureProcess::Random);
+        let stale = TemporalEdge::plain(0, 1, predictor.last_time() - 100.0);
+        predictor.observe_edge(&stale);
+    }
+
+    #[test]
+    fn representations_have_model_width() {
+        let (dataset, cfg) = setup();
+        let predictor =
+            StreamingPredictor::train_with_process(&dataset, &cfg, FeatureProcess::Random);
+        let h = predictor.represent(3, predictor.last_time() + 1.0);
+        assert_eq!(h.len(), cfg.hidden);
+    }
+}

@@ -1,0 +1,143 @@
+//! Task-generic glue: losses and metrics keyed by the dataset's task.
+//!
+//! * dynamic anomaly detection → softmax CE training, ROC-AUC evaluation;
+//! * dynamic node classification → softmax CE training, weighted-F1
+//!   evaluation;
+//! * node affinity prediction → soft-label CE training, NDCG@10 evaluation
+//!   (the paper's Table III metrics).
+
+use ctdg::Label;
+use datasets::Task;
+use eval::{mean_ndcg_at_k, roc_auc, weighted_f1};
+use nn::{soft_cross_entropy, softmax, softmax_cross_entropy, Matrix};
+
+/// The paper's ranking cutoff for affinity prediction.
+pub const NDCG_K: usize = 10;
+
+/// Model output width for a task: `num_classes` for (anomaly)
+/// classification, `d_a` for affinity.
+pub fn output_dim(_task: Task, num_classes: usize) -> usize {
+    num_classes
+}
+
+/// Empirical risk and its gradient w.r.t. `logits` for a labeled batch.
+pub fn loss_and_grad(task: Task, logits: &Matrix, labels: &[&Label]) -> (f32, Matrix) {
+    assert_eq!(logits.rows(), labels.len());
+    match task {
+        Task::Anomaly | Task::Classification => {
+            let targets: Vec<usize> = labels.iter().map(|l| l.class()).collect();
+            softmax_cross_entropy(logits, &targets)
+        }
+        Task::Affinity => {
+            let mut target = Matrix::zeros(logits.rows(), logits.cols());
+            for (i, l) in labels.iter().enumerate() {
+                target.set_row(i, l.affinity());
+            }
+            soft_cross_entropy(logits, &target)
+        }
+    }
+}
+
+/// Empirical risk only (validation-side of feature selection, Eq. 11).
+pub fn loss(task: Task, logits: &Matrix, labels: &[&Label]) -> f32 {
+    loss_and_grad(task, logits, labels).0
+}
+
+/// The paper's evaluation metric for a task (higher is better, in [0, 1]).
+pub fn evaluate(task: Task, logits: &Matrix, labels: &[&Label]) -> f64 {
+    assert_eq!(logits.rows(), labels.len());
+    if labels.is_empty() {
+        return 0.0;
+    }
+    match task {
+        Task::Anomaly => {
+            let p = softmax(logits);
+            let scores: Vec<f32> = (0..p.rows()).map(|i| p.get(i, 1)).collect();
+            let truth: Vec<bool> = labels.iter().map(|l| l.class() == 1).collect();
+            roc_auc(&scores, &truth)
+        }
+        Task::Classification => {
+            let preds: Vec<usize> = (0..logits.rows())
+                .map(|i| argmax(logits.row(i)))
+                .collect();
+            let targets: Vec<usize> = labels.iter().map(|l| l.class()).collect();
+            let num_classes = logits.cols();
+            weighted_f1(&preds, &targets, num_classes)
+        }
+        Task::Affinity => {
+            let queries: Vec<(Vec<f32>, Vec<f32>)> = (0..logits.rows())
+                .map(|i| (logits.row(i).to_vec(), labels[i].affinity().to_vec()))
+                .collect();
+            mean_ndcg_at_k(&queries, NDCG_K)
+        }
+    }
+}
+
+/// Index of the largest element.
+pub fn argmax(row: &[f32]) -> usize {
+    row.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_metric_is_weighted_f1() {
+        let logits = Matrix::from_vec(3, 2, vec![2.0, -1.0, -1.0, 2.0, 2.0, -1.0]);
+        let labels = [Label::Class(0), Label::Class(1), Label::Class(1)];
+        let refs: Vec<&Label> = labels.iter().collect();
+        let m = evaluate(Task::Classification, &logits, &refs);
+        // predictions [0, 1, 0] vs targets [0, 1, 1]
+        let expected = weighted_f1(&[0, 1, 0], &[0, 1, 1], 2);
+        assert!((m - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn anomaly_metric_is_auc() {
+        let logits = Matrix::from_vec(4, 2, vec![
+            2.0, -2.0, // strongly normal
+            -2.0, 2.0, // strongly abnormal
+            1.0, -1.0, 0.5, -0.5,
+        ]);
+        let labels = [Label::Class(0), Label::Class(1), Label::Class(0), Label::Class(0)];
+        let refs: Vec<&Label> = labels.iter().collect();
+        assert_eq!(evaluate(Task::Anomaly, &logits, &refs), 1.0);
+    }
+
+    #[test]
+    fn affinity_metric_is_ndcg() {
+        let logits = Matrix::from_vec(1, 3, vec![3.0, 2.0, 1.0]);
+        let labels = [Label::Affinity(vec![0.7, 0.2, 0.1].into())];
+        let refs: Vec<&Label> = labels.iter().collect();
+        assert!((evaluate(Task::Affinity, &logits, &refs) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_decreases_with_better_logits() {
+        let labels = [Label::Class(1)];
+        let refs: Vec<&Label> = labels.iter().collect();
+        let bad = Matrix::from_vec(1, 2, vec![2.0, -2.0]);
+        let good = Matrix::from_vec(1, 2, vec![-2.0, 2.0]);
+        assert!(loss(Task::Classification, &good, &refs) < loss(Task::Classification, &bad, &refs));
+    }
+
+    #[test]
+    fn grad_shape_matches_logits() {
+        let labels = [Label::Affinity(vec![0.5, 0.5].into()), Label::Affinity(vec![1.0, 0.0].into())];
+        let refs: Vec<&Label> = labels.iter().collect();
+        let logits = Matrix::zeros(2, 2);
+        let (_, g) = loss_and_grad(Task::Affinity, &logits, &refs);
+        assert_eq!(g.shape(), (2, 2));
+    }
+
+    #[test]
+    fn argmax_basics() {
+        assert_eq!(argmax(&[0.1, 0.9, 0.5]), 1);
+        assert_eq!(argmax(&[1.0]), 0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for the SPLASH core invariants.
+
+use ctdg::{EdgeStream, Label, PropertyQuery, TemporalEdge};
+use datasets::{Dataset, Task};
+use proptest::prelude::*;
+use splash::{capture, encodings, Augmenter, FeatureProcess, InputFeatures, SplashConfig};
+
+fn arb_dataset(max_nodes: u32, max_edges: usize) -> impl Strategy<Value = Dataset> {
+    (
+        prop::collection::vec((0..max_nodes, 0..max_nodes, 0.0f64..500.0), 2..max_edges),
+        prop::collection::vec((0..max_nodes, 0.0f64..500.0, 0..3usize), 1..40),
+    )
+        .prop_map(|(mut raw_edges, mut raw_queries)| {
+            raw_edges.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap());
+            raw_queries.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            let edges: Vec<TemporalEdge> = raw_edges
+                .into_iter()
+                .map(|(s, d, t)| TemporalEdge::plain(s, d, t))
+                .collect();
+            let num_nodes = edges
+                .iter()
+                .map(|e| e.src.max(e.dst) + 1)
+                .max()
+                .unwrap_or(1);
+            let queries: Vec<PropertyQuery> = raw_queries
+                .into_iter()
+                .map(|(v, t, c)| PropertyQuery {
+                    node: v % num_nodes,
+                    time: t,
+                    label: Label::Class(c),
+                })
+                .collect();
+            Dataset {
+                name: "prop".into(),
+                task: Task::Classification,
+                stream: EdgeStream::new_unchecked(edges),
+                queries,
+                num_classes: 3,
+                node_feats: None,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Propagated features are convex combinations of seen features, so
+    /// their magnitude never exceeds the largest seen-feature magnitude.
+    #[test]
+    fn propagation_stays_in_convex_hull(dataset in arb_dataset(10, 60)) {
+        let cfg = SplashConfig::tiny();
+        let prefix = dataset.stream.len() / 2;
+        let mut aug = Augmenter::new(
+            &dataset.stream, prefix, dataset.stream.num_nodes(),
+            cfg.feat_dim, &cfg.node2vec, cfg.degree_alpha, 1,
+        );
+        let mut max_seen = 0.0f32;
+        for v in 0..dataset.stream.num_nodes() as u32 {
+            if aug.is_seen(v) {
+                for x in aug.feature(FeatureProcess::Random, v) {
+                    max_seen = max_seen.max(x.abs());
+                }
+            }
+        }
+        for e in &dataset.stream.edges()[prefix..] {
+            aug.observe(e);
+        }
+        for v in 0..dataset.stream.num_nodes() as u32 {
+            if !aug.is_seen(v) {
+                for x in aug.feature(FeatureProcess::Random, v) {
+                    prop_assert!(
+                        x.abs() <= max_seen + 1e-4,
+                        "propagated |{x}| exceeds seen max {max_seen}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Capture respects k, produces finite features, and aligns 1:1 with
+    /// the dataset's queries.
+    #[test]
+    fn capture_invariants(dataset in arb_dataset(12, 80)) {
+        let cfg = SplashConfig::tiny();
+        for mode in [
+            InputFeatures::Zero,
+            InputFeatures::RawRandom,
+            InputFeatures::Process(FeatureProcess::Structural),
+            InputFeatures::Joint,
+        ] {
+            let cap = capture(&dataset, mode, &cfg, 0.5);
+            prop_assert_eq!(cap.queries.len(), dataset.queries.len());
+            for (cq, dq) in cap.queries.iter().zip(&dataset.queries) {
+                prop_assert_eq!(cq.node, dq.node);
+                prop_assert!(cq.neighbors.len() <= cfg.k);
+                prop_assert!(cq.target_feat.iter().all(|v| v.is_finite()));
+                prop_assert!(cq
+                    .neighbors
+                    .iter()
+                    .all(|nb| nb.time <= cq.time && nb.feat.iter().all(|v| v.is_finite())));
+            }
+        }
+    }
+
+    /// Node encodings (Eq. 7) are finite and have the documented width.
+    #[test]
+    fn encoding_shape_and_finiteness(dataset in arb_dataset(8, 50)) {
+        let cfg = SplashConfig::tiny();
+        let cap = capture(
+            &dataset,
+            InputFeatures::Process(FeatureProcess::Random),
+            &cfg,
+            0.5,
+        );
+        let enc = encodings(&cap);
+        prop_assert_eq!(enc.shape(), (dataset.queries.len(), 2 * cfg.feat_dim));
+        prop_assert!(enc.data().iter().all(|v| v.is_finite()));
+    }
+
+    /// The augmenter is insensitive to how the stream suffix is chunked:
+    /// observing edges one-by-one equals observing them in any grouping.
+    #[test]
+    fn augmenter_is_incremental(dataset in arb_dataset(8, 40), split in 0usize..40) {
+        let cfg = SplashConfig::tiny();
+        let prefix = dataset.stream.len() / 3;
+        let make = || Augmenter::new(
+            &dataset.stream, prefix, dataset.stream.num_nodes(),
+            cfg.feat_dim, &cfg.node2vec, cfg.degree_alpha, 2,
+        );
+        let tail = &dataset.stream.edges()[prefix..];
+        let split = split.min(tail.len());
+        let mut a = make();
+        for e in tail { a.observe(e); }
+        let mut b = make();
+        for e in &tail[..split] { b.observe(e); }
+        for e in &tail[split..] { b.observe(e); }
+        for v in 0..dataset.stream.num_nodes() as u32 {
+            for p in FeatureProcess::ALL {
+                prop_assert_eq!(a.feature(p, v), b.feature(p, v));
+            }
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Node affinity prediction on the TGBN-trade analogue (NDCG@10), plus a
+//! simple non-learned baseline: predicting each node's *historical* affinity
+//! (the empirical distribution of its past edges) — the "persistent
+//! forecast" that any learned model has to beat.
+//!
+//! ```sh
+//! cargo run --release --example affinity_prediction
+//! ```
+
+use splash_repro::ctdg::Label;
+use splash_repro::datasets::tgbn_trade;
+use splash_repro::eval::mean_ndcg_at_k;
+use splash_repro::splash::{run_splash, split_bounds, SplashConfig};
+
+fn main() {
+    let dataset = tgbn_trade();
+    let cfg = SplashConfig::default();
+    println!(
+        "node affinity prediction on '{}' (d_a = {}, {} checkpoint queries)",
+        dataset.name, dataset.num_classes, dataset.queries.len()
+    );
+
+    // Persistent-history baseline: affinity ∝ accumulated past edge weights.
+    let (_, val_end) = split_bounds(dataset.queries.len());
+    let mut history = vec![vec![0.0f32; dataset.num_classes]; dataset.stream.num_nodes()];
+    let mut edge_idx = 0usize;
+    let edges = dataset.stream.edges();
+    let mut queries_eval = Vec::new();
+    for (qi, q) in dataset.queries.iter().enumerate() {
+        while edge_idx < edges.len() && edges[edge_idx].time <= q.time {
+            let e = &edges[edge_idx];
+            let dst = e.dst as usize % dataset.num_classes;
+            history[e.src as usize][dst] += e.weight;
+            edge_idx += 1;
+        }
+        if qi >= val_end {
+            if let Label::Affinity(truth) = &q.label {
+                queries_eval.push((history[q.node as usize].clone(), truth.to_vec()));
+            }
+        }
+    }
+    let persistent = mean_ndcg_at_k(&queries_eval, 10);
+    println!("persistent-history baseline  NDCG@10 {persistent:.3}");
+
+    let out = run_splash(&dataset, &cfg);
+    println!(
+        "SPLASH (selected {:?})        NDCG@10 {:.3}  ({} params)",
+        out.selected.map(|p| p.name()),
+        out.metric,
+        out.num_params
+    );
+}

@@ -1,0 +1,9 @@
+//! Umbrella crate: re-exports every crate of the SPLASH reproduction so that
+//! workspace-level examples and integration tests have one import root.
+pub use baselines;
+pub use ctdg;
+pub use datasets;
+pub use embed;
+pub use eval;
+pub use nn;
+pub use splash;

@@ -1,0 +1,187 @@
+//! Cross-crate integration tests: the full pipeline on small datasets,
+//! streaming causality, and determinism.
+
+use splash_repro::baselines::{run as run_baseline_kind, BaselineKind};
+use splash_repro::ctdg::{EdgeStream, Label, PropertyQuery, TemporalEdge};
+use splash_repro::datasets::{synthetic_shift, Dataset, Task};
+use splash_repro::splash::{
+    capture, run_slim_with, run_splash, truncate_to_available, FeatureProcess, InputFeatures,
+    SplashConfig, SEEN_FRAC,
+};
+
+fn small_dataset() -> Dataset {
+    truncate_to_available(&synthetic_shift(50, 3), 0.35)
+}
+
+fn tiny_cfg() -> SplashConfig {
+    let mut cfg = SplashConfig::tiny();
+    cfg.epochs = 3;
+    cfg.selector_epochs = 2;
+    cfg
+}
+
+#[test]
+fn full_pipeline_produces_valid_output() {
+    let dataset = small_dataset();
+    let out = run_splash(&dataset, &tiny_cfg());
+    assert!(out.selected.is_some());
+    assert!(out.metric >= 0.0 && out.metric <= 1.0);
+    assert!(out.num_params > 0);
+    let (s, e) = out.test_range;
+    assert!(e > s);
+    assert_eq!(out.test_logits.rows(), e - s);
+    assert!(out.test_logits.data().iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let dataset = small_dataset();
+    let cfg = tiny_cfg();
+    let a = run_splash(&dataset, &cfg);
+    let b = run_splash(&dataset, &cfg);
+    assert_eq!(a.metric, b.metric);
+    assert_eq!(a.selected, b.selected);
+    assert_eq!(a.test_logits, b.test_logits);
+}
+
+/// Streaming causality: a prediction at time `t` must not change when
+/// *future* edges change. We capture the same dataset twice, the second time
+/// with the post-test-period suffix of the stream rewired, and compare the
+/// captured inputs of early queries.
+#[test]
+fn captures_are_causal() {
+    let dataset = small_dataset();
+    let cfg = tiny_cfg();
+    let cap_a = capture(&dataset, InputFeatures::Process(FeatureProcess::Random), &cfg, SEEN_FRAC);
+
+    // Rewire every edge after the median query time.
+    let cut_time = dataset.queries[dataset.queries.len() / 2].time;
+    let mut edges: Vec<TemporalEdge> = dataset.stream.edges().to_vec();
+    for e in edges.iter_mut().filter(|e| e.time > cut_time) {
+        std::mem::swap(&mut e.src, &mut e.dst);
+        e.weight += 1.0;
+    }
+    let mutated = Dataset {
+        name: dataset.name.clone(),
+        task: dataset.task,
+        stream: EdgeStream::new_unchecked(edges),
+        queries: dataset.queries.clone(),
+        num_classes: dataset.num_classes,
+        node_feats: None,
+    };
+    let cap_b = capture(&mutated, InputFeatures::Process(FeatureProcess::Random), &cfg, SEEN_FRAC);
+
+    for (qa, qb) in cap_a.queries.iter().zip(&cap_b.queries) {
+        if qa.time >= cut_time {
+            continue;
+        }
+        assert_eq!(qa.target_feat, qb.target_feat, "feature at t={} leaked", qa.time);
+        assert_eq!(qa.neighbors.len(), qb.neighbors.len());
+        for (na, nb) in qa.neighbors.iter().zip(&qb.neighbors) {
+            assert_eq!(na.feat, nb.feat);
+            assert_eq!(na.time, nb.time);
+        }
+    }
+}
+
+#[test]
+fn every_baseline_runs_on_every_task() {
+    let mut cfg = tiny_cfg();
+    cfg.epochs = 1;
+    let class_data = small_dataset();
+    let anomaly_data = truncate_to_available(&splash_repro::datasets::mooc(), 0.2);
+    let affinity_data = splash_repro::datasets::tgbn_trade();
+    for kind in BaselineKind::ALL {
+        for dataset in [&class_data, &anomaly_data, &affinity_data] {
+            if !kind.supports(dataset.task) {
+                continue;
+            }
+            let out = run_baseline_kind(kind, dataset, InputFeatures::RawRandom, &cfg);
+            assert!(
+                out.metric >= 0.0 && out.metric <= 1.0,
+                "{} on {:?}: metric {}",
+                out.name,
+                dataset.task,
+                out.metric
+            );
+            assert!(out.test_logits.data().iter().all(|v| v.is_finite()));
+        }
+    }
+}
+
+#[test]
+fn dtdg_baselines_run_on_every_task() {
+    use splash_repro::baselines::{run_dtdg, DtdgKind};
+    let mut cfg = tiny_cfg();
+    cfg.epochs = 1;
+    let class_data = small_dataset();
+    let anomaly_data = truncate_to_available(&splash_repro::datasets::mooc(), 0.2);
+    let affinity_data = splash_repro::datasets::tgbn_trade();
+    for kind in DtdgKind::ALL {
+        for dataset in [&class_data, &anomaly_data, &affinity_data] {
+            let out = run_dtdg(kind, dataset, InputFeatures::RawRandom, &cfg);
+            assert!(
+                out.metric >= 0.0 && out.metric <= 1.0,
+                "{} on {:?}: metric {}",
+                out.name,
+                dataset.task,
+                out.metric
+            );
+            assert!(out.test_logits.data().iter().all(|v| v.is_finite()));
+        }
+    }
+}
+
+#[test]
+fn dtdg_view_agrees_with_capture_chronology() {
+    // The DTDG snapshot-sequence view and the streaming capture describe
+    // the same data: every captured neighbor's window index must be
+    // consistent with the view's bucketing of its edge time.
+    let dataset = small_dataset();
+    let view = splash_repro::ctdg::DtdgView::new(&dataset.stream, 6);
+    let cfg = tiny_cfg();
+    let cap = capture(&dataset, InputFeatures::RawRandom, &cfg, SEEN_FRAC);
+    for q in &cap.queries {
+        for nb in &q.neighbors {
+            let w = view.window_of(nb.time);
+            let (lo, hi) = view.bounds(w);
+            assert!(
+                nb.time >= lo - 1e-9 && (nb.time < hi + 1e-9 || w == view.num_windows() - 1),
+                "neighbor at t={} bucketed into [{lo}, {hi})",
+                nb.time
+            );
+        }
+    }
+}
+
+#[test]
+fn slim_handles_queries_with_no_history() {
+    // A dataset whose very first query precedes every edge.
+    let edges = vec![TemporalEdge::plain(0, 1, 10.0), TemporalEdge::plain(1, 2, 20.0)];
+    let queries: Vec<PropertyQuery> = (0..20)
+        .map(|i| PropertyQuery {
+            node: (i % 3) as u32,
+            time: i as f64 * 2.0,
+            label: Label::Class((i % 2) as usize),
+        })
+        .collect();
+    let dataset = Dataset {
+        name: "cold".into(),
+        task: Task::Classification,
+        stream: EdgeStream::new(edges).unwrap(),
+        queries,
+        num_classes: 2,
+        node_feats: None,
+    };
+    let out = run_slim_with(&dataset, &tiny_cfg(), InputFeatures::RawRandom);
+    assert!(out.test_logits.data().iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn affinity_pipeline_end_to_end() {
+    let dataset = splash_repro::datasets::tgbn_trade();
+    let mut cfg = tiny_cfg();
+    cfg.epochs = 2;
+    let out = run_slim_with(&dataset, &cfg, InputFeatures::Process(FeatureProcess::Random));
+    assert!(out.metric > 0.0 && out.metric <= 1.0, "NDCG out of range: {}", out.metric);
+}
