@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# The repo's verification gate: build, test, docs.
+#
+#   ./ci/check.sh          # everything (tier-1 + docs gate + bench compile)
+#   ./ci/check.sh --quick  # tier-1 only (build + tests)
+#
+# Tier-1 (must stay green on every PR):
+#   cargo build --release && cargo test -q
+#
+# Docs gate: `nn` and `splash` carry `#![deny(missing_docs)]`, and their
+# rustdoc builds must be warning-free.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+if [[ "${1:-}" == "--quick" ]]; then
+    echo "==> quick mode: skipping docs gate and bench compile"
+    exit 0
+fi
+
+echo "==> docs gate: rustdoc warning-free on nn + splash"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -p nn -p splash
+
+echo "==> serial fallback: nn alone without 'parallel'"
+# nn must be tested by itself: any workspace sibling that depends on nn
+# with default features would re-enable 'parallel' via feature unification.
+cargo test -q -p nn --no-default-features
+
+echo "==> serial fallback: splash without its 'parallel' chunking"
+cargo test -q -p splash --no-default-features
+
+echo "==> forced threading: the 1-core container never spawns by default"
+NN_THREADS=4 cargo test -q -p nn -p splash
+
+echo "==> benches compile"
+cargo bench --no-run -p bench
+
+echo "==> all checks passed"

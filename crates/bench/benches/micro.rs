@@ -6,9 +6,13 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use baselines::Baseline;
-use ctdg::{DegreeTracker, EdgeStream, GraphSnapshot, NeighborMemory, TemporalEdge};
+use ctdg::{DegreeTracker, EdgeStream, GraphSnapshot, NeighborMemory, PropertyQuery, TemporalEdge};
+use nn::{BlockedBackend, Matrix, NaiveBackend, ParallelBackend};
 use rand::{rngs::StdRng, RngExt, SeedableRng};
-use splash::{capture, FeatureProcess, InputFeatures, SplashConfig, SEEN_FRAC};
+use splash::{
+    capture, seen_end_time, truncate_to_available, FeatureProcess, InputFeatures, SplashConfig,
+    StreamingPredictor, SEEN_FRAC,
+};
 
 fn random_stream(n_edges: usize, n_nodes: u32, seed: u64) -> EdgeStream {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -168,6 +172,101 @@ fn bench_dtdg_baselines(c: &mut Criterion) {
     });
 }
 
+/// Serial-naive vs serial-blocked vs parallel matmul on square matrices.
+/// The acceptance bar for the backend work: at ≥256×256 the parallel path
+/// must beat the serial paths (all three return bit-identical results).
+fn bench_matmul_backends(c: &mut Criterion) {
+    for &size in &[128usize, 256, 512] {
+        let a = Matrix::from_fn(size, size, |i, j| ((i * 31 + j * 17) as f32 * 0.37).sin());
+        let b = Matrix::from_fn(size, size, |i, j| ((i * 13 + j * 29) as f32 * 0.53).cos());
+        let mut group = c.benchmark_group(format!("matmul_{size}x{size}"));
+        group.bench_function("naive", |bch| {
+            bch.iter(|| black_box(a.matmul_with(&b, &NaiveBackend).sum()))
+        });
+        group.bench_function("blocked", |bch| {
+            bch.iter(|| black_box(a.matmul_with(&b, &BlockedBackend).sum()))
+        });
+        group.bench_function("parallel", |bch| {
+            bch.iter(|| black_box(a.matmul_with(&b, &ParallelBackend).sum()))
+        });
+        group.finish();
+    }
+}
+
+/// Streaming serving throughput: edge ingestion (single vs micro-batched)
+/// and query answering (single vs batched), plus headline edges/sec and
+/// queries/sec figures printed directly.
+fn bench_streaming_throughput(c: &mut Criterion) {
+    let dataset = truncate_to_available(&datasets::synthetic_shift(50, 8), 0.6);
+    let mut cfg = SplashConfig::tiny();
+    cfg.epochs = 2;
+    let predictor =
+        StreamingPredictor::train_with_process(&dataset, &cfg, FeatureProcess::Random);
+    let t_seen = seen_end_time(&dataset, SEEN_FRAC);
+    let prefix = dataset.stream.prefix_len_at(t_seen);
+    let tail: Vec<TemporalEdge> = dataset.stream.edges()[prefix..].to_vec();
+
+    // A primed predictor (tail ingested) for the query-side benchmarks.
+    let mut primed = predictor.clone();
+    primed.push_edges(&tail);
+    let t0 = primed.last_time();
+    let n_nodes = dataset.stream.num_nodes() as u32;
+    let queries: Vec<PropertyQuery> = (0..1024u32)
+        .map(|i| PropertyQuery {
+            node: (i * 7) % n_nodes,
+            time: t0 + i as f64,
+            label: ctdg::Label::Class(0),
+        })
+        .collect();
+
+    // Headline throughput numbers (single measured pass each).
+    let start = std::time::Instant::now();
+    let mut p = predictor.clone();
+    p.push_edges(&tail);
+    let eps = tail.len() as f64 / start.elapsed().as_secs_f64();
+    let start = std::time::Instant::now();
+    let logits = primed.predict_batch(&queries);
+    let qps = queries.len() as f64 / start.elapsed().as_secs_f64();
+    println!(
+        "streaming_throughput: {eps:.0} edges/sec ingested, {qps:.0} queries/sec answered \
+         ({} tail edges, {} queries, {} logit cols)",
+        tail.len(),
+        queries.len(),
+        logits.cols()
+    );
+
+    let mut group = c.benchmark_group("streaming");
+    group.bench_function(format!("observe_edge_x{}", tail.len()), |b| {
+        b.iter(|| {
+            let mut p = predictor.clone();
+            for e in &tail {
+                p.observe_edge(e);
+            }
+            black_box(p.last_time())
+        })
+    });
+    group.bench_function(format!("push_edges_x{}", tail.len()), |b| {
+        b.iter(|| {
+            let mut p = predictor.clone();
+            p.push_edges(&tail);
+            black_box(p.last_time())
+        })
+    });
+    group.bench_function("predict_single_x1024", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for q in &queries {
+                acc += primed.predict(q.node, q.time)[0];
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("predict_batch_x1024", |b| {
+        b.iter(|| black_box(primed.predict_batch(&queries).sum()))
+    });
+    group.finish();
+}
+
 fn bench_capture_scaling(c: &mut Criterion) {
     let cfg = SplashConfig::default();
     let mut group = c.benchmark_group("capture_per_edge");
@@ -184,6 +283,8 @@ criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets =
+        bench_matmul_backends,
+        bench_streaming_throughput,
         bench_memory_update,
         bench_degree_update,
         bench_feature_propagation,

@@ -6,7 +6,7 @@
 //! one. This crate provides all three:
 //!
 //! * **node2vec** — Walker's alias method for O(1) discrete sampling,
-//!   biased second-order random walks (parallelized with crossbeam scoped
+//!   biased second-order random walks (parallelized with scoped
 //!   threads), and skip-gram training with negative sampling. DeepWalk is
 //!   the `p = q = 1` special case of the walk configuration.
 //! * **GraRep** — truncated-SVD factorization of log multi-step transition

@@ -4,7 +4,7 @@
 //! transition from node `v` (having arrived from `u`) to neighbor `x` is
 //! proportional to `Ω((v, x)) · bias(x)` with `bias = 1/p` when `x = u`,
 //! `1` when `x` is adjacent to `u`, and `1/q` otherwise. Walk generation is
-//! embarrassingly parallel and fans out over crossbeam scoped threads.
+//! embarrassingly parallel and fans out over scoped threads.
 
 use ctdg::{GraphSnapshot, NodeId};
 use rand::{rngs::StdRng, RngExt, SeedableRng};
@@ -114,11 +114,9 @@ pub fn generate_walks(snapshot: &GraphSnapshot, config: &WalkConfig, seed: u64) 
     let mut walks: Vec<Vec<NodeId>> = vec![Vec::new(); jobs.len()];
     let threads = config.threads.max(1);
     let chunk = jobs.len().div_ceil(threads).max(1);
-    crossbeam::scope(|scope| {
-        for (chunk_idx, (job_chunk, out_chunk)) in
-            jobs.chunks(chunk).zip(walks.chunks_mut(chunk)).enumerate()
-        {
-            scope.spawn(move |_| {
+    std::thread::scope(|scope| {
+        for (job_chunk, out_chunk) in jobs.chunks(chunk).zip(walks.chunks_mut(chunk)) {
+            scope.spawn(move || {
                 for ((r, v), out) in job_chunk.iter().zip(out_chunk.iter_mut()) {
                     // Stable per-job seed independent of threading.
                     let job_seed = seed
@@ -128,11 +126,9 @@ pub fn generate_walks(snapshot: &GraphSnapshot, config: &WalkConfig, seed: u64) 
                     let mut rng = StdRng::seed_from_u64(job_seed);
                     *out = walk_from(snapshot, *v, config.walk_length, config.p, config.q, &mut rng);
                 }
-                let _ = chunk_idx;
             });
         }
-    })
-    .expect("walk generation threads panicked");
+    });
     walks
 }
 

@@ -191,10 +191,12 @@ mod tests {
     #[test]
     fn separates_two_blobs() {
         let (points, labels) = two_blobs(20, 20.0);
+        // lr 200 oscillates between layouts on this fixture; 50 converges
+        // smoothly (silhouette ≥ 0.88 from ~800 iterations on).
         let config = TsneConfig {
-            iterations: 600,
+            iterations: 800,
             perplexity: 8.0,
-            learning_rate: 200.0,
+            learning_rate: 50.0,
             ..Default::default()
         };
         let emb = tsne(&points, &config);

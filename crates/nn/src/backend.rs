@@ -1,0 +1,510 @@
+//! Pluggable linear-algebra backends for [`Matrix`] products.
+//!
+//! Every dense product in the workspace (SLIM forward/backward, every
+//! baseline, the embedding solvers) funnels through the three kernels on
+//! this trait, so swapping the execution strategy here retunes the whole
+//! stack. Three backends ship today:
+//!
+//! * [`NaiveBackend`] — the original reference triple loops, kept as the
+//!   semantic ground truth and for debugging;
+//! * [`BlockedBackend`] — serial cache-blocked kernels (row-chunked with a
+//!   depth-blocked inner loop) that keep the hot panel of the right-hand
+//!   side in cache;
+//! * [`ParallelBackend`] (feature `parallel`, on by default) — the blocked
+//!   kernels fanned out over scoped threads, partitioned by output row.
+//!
+//! **Determinism.** All three backends accumulate every output element in
+//! ascending-`k` order with a single `f32` accumulation chain, so their
+//! results are *bit-identical* — to each other and to the pre-backend
+//! scalar code. Parallelism only changes which thread computes a row, never
+//! the order of floating-point operations within it. Tests therefore pass
+//! unchanged with any backend, and `--no-default-features` builds are a
+//! scheduling fallback, not a numeric fork.
+//!
+//! Future SIMD or GPU backends slot in by implementing [`Backend`]; batch
+//! call sites that want an explicit choice use [`Matrix::matmul_with`].
+
+use crate::matrix::Matrix;
+
+/// Rows of the left operand processed per cache block.
+const MC: usize = 32;
+/// Depth (`k`) elements processed per cache block.
+const KC: usize = 256;
+/// Minimum multiply-add count before [`ParallelBackend`] spawns threads;
+/// below this the fork/join overhead outweighs the speedup.
+#[cfg(feature = "parallel")]
+const PAR_MIN_FLOPS: usize = 1 << 18;
+
+/// A linear-algebra execution strategy for the three dense products the
+/// layers need. Implementations must return results bit-identical to
+/// [`NaiveBackend`] (ascending-`k` single-chain accumulation per element).
+pub trait Backend: Send + Sync {
+    /// Human-readable backend name (used by benchmarks and diagnostics).
+    fn name(&self) -> &'static str;
+
+    /// `a · b`; shapes `(m,n)·(n,p) → (m,p)`.
+    fn matmul(&self, a: &Matrix, b: &Matrix) -> Matrix;
+
+    /// `aᵀ · b`; shapes `(m,n)ᵀ·(m,p) → (n,p)` (weight gradients).
+    fn matmul_tn(&self, a: &Matrix, b: &Matrix) -> Matrix;
+
+    /// `a · bᵀ`; shapes `(m,n)·(p,n)ᵀ → (m,p)` (input gradients).
+    fn matmul_nt(&self, a: &Matrix, b: &Matrix) -> Matrix;
+}
+
+fn check_nn(a: &Matrix, b: &Matrix) {
+    assert_eq!(a.cols(), b.rows(), "matmul shape mismatch");
+}
+
+fn check_tn(a: &Matrix, b: &Matrix) {
+    assert_eq!(a.rows(), b.rows(), "matmul_tn shape mismatch");
+}
+
+fn check_nt(a: &Matrix, b: &Matrix) {
+    assert_eq!(a.cols(), b.cols(), "matmul_nt shape mismatch");
+}
+
+/// The original single-threaded scalar loops, kept verbatim as the
+/// reference implementation every other backend must match bit-for-bit.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NaiveBackend;
+
+impl Backend for NaiveBackend {
+    fn name(&self) -> &'static str {
+        "naive"
+    }
+
+    fn matmul(&self, a: &Matrix, b: &Matrix) -> Matrix {
+        check_nn(a, b);
+        let (m, n, p) = (a.rows(), a.cols(), b.cols());
+        let mut out = Matrix::zeros(m, p);
+        for i in 0..m {
+            let a_row = a.row(i);
+            let out_row = out.row_mut(i);
+            for (k, &av) in a_row.iter().enumerate().take(n) {
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = b.row(k);
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+        }
+        out
+    }
+
+    fn matmul_tn(&self, a: &Matrix, b: &Matrix) -> Matrix {
+        check_tn(a, b);
+        let (m, n, p) = (a.rows(), a.cols(), b.cols());
+        let mut out = Matrix::zeros(n, p);
+        for k in 0..m {
+            let a_row = a.row(k);
+            let b_row = b.row(k);
+            for (i, &av) in a_row.iter().enumerate().take(n) {
+                if av == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(i);
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+        }
+        out
+    }
+
+    fn matmul_nt(&self, a: &Matrix, b: &Matrix) -> Matrix {
+        check_nt(a, b);
+        let (m, n, p) = (a.rows(), a.cols(), b.rows());
+        let mut out = Matrix::zeros(m, p);
+        for i in 0..m {
+            let a_row = a.row(i);
+            let out_row = out.row_mut(i);
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = b.row(j);
+                let mut acc = 0.0f32;
+                for k in 0..n {
+                    acc += a_row[k] * b_row[k];
+                }
+                *o = acc;
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared blocked kernels. Each writes a contiguous *chunk* of output rows,
+// so the serial backend passes the whole output and the parallel backend
+// passes per-thread slices. `row0` is the absolute index of the chunk's
+// first output row.
+
+/// `a · b` into `out_chunk` (rows `row0 ..`), depth-blocked by [`KC`] and
+/// row-chunked by [`MC`] so the active panel of `b` is reused across rows.
+fn nn_chunk(a: &[f32], n: usize, b: &[f32], p: usize, out_chunk: &mut [f32], row0: usize) {
+    let rows = out_chunk.len() / p.max(1);
+    for rr in (0..rows).step_by(MC) {
+        let rend = (rr + MC).min(rows);
+        for kk in (0..n).step_by(KC) {
+            let kend = (kk + KC).min(n);
+            for r in rr..rend {
+                let a_row = &a[(row0 + r) * n..(row0 + r) * n + n];
+                let out_row = &mut out_chunk[r * p..(r + 1) * p];
+                for (k, &av) in a_row.iter().enumerate().take(kend).skip(kk) {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[k * p..k * p + p];
+                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `aᵀ · b` into `out_chunk` (output rows `row0 ..`, i.e. columns of `a`).
+/// Streams `a` and `b` row-by-row (fully sequential access) and scatters
+/// into the chunk's rows, so no transpose is ever materialized.
+fn tn_chunk(
+    a: &[f32],
+    m: usize,
+    n: usize,
+    b: &[f32],
+    p: usize,
+    out_chunk: &mut [f32],
+    row0: usize,
+) {
+    let rows = out_chunk.len() / p.max(1);
+    for k in 0..m {
+        let a_row = &a[k * n..k * n + n];
+        let b_row = &b[k * p..k * p + p];
+        for r in 0..rows {
+            let av = a_row[row0 + r];
+            if av == 0.0 {
+                continue;
+            }
+            let out_row = &mut out_chunk[r * p..(r + 1) * p];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// `a · bᵀ` into `out_chunk` (rows `row0 ..`): blocked dot products, one
+/// single-chain accumulator per element (bit-identical to the naive loop).
+fn nt_chunk(a: &[f32], n: usize, b: &[f32], p: usize, out_chunk: &mut [f32], row0: usize) {
+    let rows = out_chunk.len() / p.max(1);
+    for rr in (0..rows).step_by(MC) {
+        let rend = (rr + MC).min(rows);
+        for jj in (0..p).step_by(MC) {
+            let jend = (jj + MC).min(p);
+            for r in rr..rend {
+                let a_row = &a[(row0 + r) * n..(row0 + r) * n + n];
+                let out_row = &mut out_chunk[r * p..(r + 1) * p];
+                for (j, o) in out_row.iter_mut().enumerate().take(jend).skip(jj) {
+                    let b_row = &b[j * n..j * n + n];
+                    let mut acc = 0.0f32;
+                    for k in 0..n {
+                        acc += a_row[k] * b_row[k];
+                    }
+                    *o = acc;
+                }
+            }
+        }
+    }
+}
+
+/// Serial cache-blocked kernels; the single-thread fallback of
+/// [`ParallelBackend`] and the default when the `parallel` feature is off.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BlockedBackend;
+
+impl Backend for BlockedBackend {
+    fn name(&self) -> &'static str {
+        "blocked"
+    }
+
+    fn matmul(&self, a: &Matrix, b: &Matrix) -> Matrix {
+        check_nn(a, b);
+        let (m, n, p) = (a.rows(), a.cols(), b.cols());
+        let mut out = Matrix::zeros(m, p);
+        nn_chunk(a.data(), n, b.data(), p, out.data_mut(), 0);
+        out
+    }
+
+    fn matmul_tn(&self, a: &Matrix, b: &Matrix) -> Matrix {
+        check_tn(a, b);
+        let (m, n, p) = (a.rows(), a.cols(), b.cols());
+        let mut out = Matrix::zeros(n, p);
+        tn_chunk(a.data(), m, n, b.data(), p, out.data_mut(), 0);
+        out
+    }
+
+    fn matmul_nt(&self, a: &Matrix, b: &Matrix) -> Matrix {
+        check_nt(a, b);
+        let (m, n, p) = (a.rows(), a.cols(), b.rows());
+        let mut out = Matrix::zeros(m, p);
+        nt_chunk(a.data(), n, b.data(), p, out.data_mut(), 0);
+        out
+    }
+}
+
+#[cfg(feature = "parallel")]
+thread_local! {
+    static SERIAL_ONLY: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Runs `f` with [`ParallelBackend`] pinned to its serial blocked kernels
+/// on the current thread.
+///
+/// For callers that already fan out at a coarser grain (e.g. chunk-parallel
+/// batched inference): nesting thread spawns inside worker threads
+/// oversubscribes the machine without changing any result, so workers wrap
+/// their inner loop in this guard. Results are unaffected — serial and
+/// parallel kernels are bit-identical by contract.
+#[cfg(feature = "parallel")]
+pub fn with_serial_backend<T>(f: impl FnOnce() -> T) -> T {
+    let prev = SERIAL_ONLY.with(|c| c.replace(true));
+    let out = f();
+    SERIAL_ONLY.with(|c| c.set(prev));
+    out
+}
+
+/// No-`parallel` builds are always serial; the guard is a plain call.
+#[cfg(not(feature = "parallel"))]
+pub fn with_serial_backend<T>(f: impl FnOnce() -> T) -> T {
+    f()
+}
+
+/// Worker-thread count for [`ParallelBackend`]: the machine's available
+/// parallelism, resolved once. The `NN_THREADS` environment variable
+/// overrides it (useful for pinning benchmark comparisons and for
+/// exercising the threaded code path on small machines).
+#[cfg(feature = "parallel")]
+pub fn num_threads() -> usize {
+    use std::sync::OnceLock;
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::env::var("NN_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// Splits `out`'s rows into contiguous per-thread chunks and runs `kernel`
+/// on each chunk in a scoped thread (`kernel(chunk, row0)` receives the
+/// chunk's backing slice and the absolute index of its first row). Chunks
+/// are disjoint, so no synchronization is needed beyond the scope join.
+///
+/// Shared by the matmul kernels and by coarser-grained callers (e.g.
+/// `splash::capture::encodings`) so every fan-out in the workspace honors
+/// the same [`num_threads`] / `NN_THREADS` policy.
+#[cfg(feature = "parallel")]
+pub fn par_rows(out: &mut Matrix, kernel: impl Fn(&mut [f32], usize) + Sync) {
+    par_rows_threads(out, num_threads(), kernel);
+}
+
+/// [`par_rows`] with an explicit thread count — the testable seam: unit
+/// tests force uneven thread/row splits regardless of the host's cores.
+#[cfg(feature = "parallel")]
+fn par_rows_threads(out: &mut Matrix, threads: usize, kernel: impl Fn(&mut [f32], usize) + Sync) {
+    let rows = out.rows();
+    let p = out.cols();
+    let threads = threads.min(rows).max(1);
+    if threads <= 1 || p == 0 {
+        kernel(out.data_mut(), 0);
+        return;
+    }
+    let chunk_rows = rows.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (ci, chunk) in out.data_mut().chunks_mut(chunk_rows * p).enumerate() {
+            let kernel = &kernel;
+            scope.spawn(move || kernel(chunk, ci * chunk_rows));
+        }
+    });
+}
+
+/// The blocked kernels partitioned over output rows across scoped threads.
+/// Small products (fewer than ~2¹⁸ multiply-adds) run serially, where the
+/// blocked kernel already wins; either way the bits are identical.
+#[cfg(feature = "parallel")]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ParallelBackend;
+
+#[cfg(feature = "parallel")]
+impl Backend for ParallelBackend {
+    fn name(&self) -> &'static str {
+        "parallel"
+    }
+
+    fn matmul(&self, a: &Matrix, b: &Matrix) -> Matrix {
+        check_nn(a, b);
+        let (m, n, p) = (a.rows(), a.cols(), b.cols());
+        if m * n * p < PAR_MIN_FLOPS || SERIAL_ONLY.with(|c| c.get()) {
+            return BlockedBackend.matmul(a, b);
+        }
+        let mut out = Matrix::zeros(m, p);
+        par_rows(&mut out, |chunk, row0| {
+            nn_chunk(a.data(), n, b.data(), p, chunk, row0)
+        });
+        out
+    }
+
+    fn matmul_tn(&self, a: &Matrix, b: &Matrix) -> Matrix {
+        check_tn(a, b);
+        let (m, n, p) = (a.rows(), a.cols(), b.cols());
+        if m * n * p < PAR_MIN_FLOPS || SERIAL_ONLY.with(|c| c.get()) {
+            return BlockedBackend.matmul_tn(a, b);
+        }
+        let mut out = Matrix::zeros(n, p);
+        par_rows(&mut out, |chunk, row0| {
+            tn_chunk(a.data(), m, n, b.data(), p, chunk, row0)
+        });
+        out
+    }
+
+    fn matmul_nt(&self, a: &Matrix, b: &Matrix) -> Matrix {
+        check_nt(a, b);
+        let (m, n, p) = (a.rows(), a.cols(), b.rows());
+        if m * n * p < PAR_MIN_FLOPS || SERIAL_ONLY.with(|c| c.get()) {
+            return BlockedBackend.matmul_nt(a, b);
+        }
+        let mut out = Matrix::zeros(m, p);
+        par_rows(&mut out, |chunk, row0| {
+            nt_chunk(a.data(), n, b.data(), p, chunk, row0)
+        });
+        out
+    }
+}
+
+/// The backend behind [`Matrix::matmul`] and friends: [`ParallelBackend`]
+/// when the `parallel` feature is on (the default), [`BlockedBackend`]
+/// otherwise.
+pub fn default_backend() -> &'static dyn Backend {
+    #[cfg(feature = "parallel")]
+    {
+        static BACKEND: ParallelBackend = ParallelBackend;
+        &BACKEND
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        static BACKEND: BlockedBackend = BlockedBackend;
+        &BACKEND
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::randn_matrix;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn cases() -> Vec<(Matrix, Matrix, Matrix)> {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut out = Vec::new();
+        for &(m, n, p) in &[
+            (1usize, 1usize, 1usize),
+            (2, 3, 4),
+            (7, 5, 9),
+            (16, 16, 16),
+            (33, 65, 17),
+            (70, 129, 48),
+        ] {
+            out.push((
+                randn_matrix(m, n, 1.0, &mut rng),
+                randn_matrix(n, p, 1.0, &mut rng),
+                randn_matrix(m, p, 1.0, &mut rng),
+            ));
+        }
+        out
+    }
+
+    #[test]
+    fn blocked_matches_naive_bitwise() {
+        for (a, b, _) in cases() {
+            assert_eq!(
+                NaiveBackend.matmul(&a, &b).data(),
+                BlockedBackend.matmul(&a, &b).data()
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_tn_nt_match_naive_bitwise() {
+        for (a, b, c) in cases() {
+            // aᵀ·c : (m,n)ᵀ·(m,p); a·bᵀ needs matching cols: use (m,n)·(p,n).
+            assert_eq!(
+                NaiveBackend.matmul_tn(&a, &c).data(),
+                BlockedBackend.matmul_tn(&a, &c).data()
+            );
+            let bt = b.transpose();
+            assert_eq!(
+                NaiveBackend.matmul_nt(&a, &bt).data(),
+                BlockedBackend.matmul_nt(&a, &bt).data()
+            );
+        }
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_matches_naive_bitwise() {
+        let mut rng = StdRng::seed_from_u64(7);
+        // Big enough to cross PAR_MIN_FLOPS and exercise real threading.
+        let a = randn_matrix(130, 90, 1.0, &mut rng);
+        let b = randn_matrix(90, 110, 1.0, &mut rng);
+        assert_eq!(
+            NaiveBackend.matmul(&a, &b).data(),
+            ParallelBackend.matmul(&a, &b).data()
+        );
+        let c = randn_matrix(130, 110, 1.0, &mut rng);
+        assert_eq!(
+            NaiveBackend.matmul_tn(&a, &c).data(),
+            ParallelBackend.matmul_tn(&a, &c).data()
+        );
+        let bt = b.transpose();
+        assert_eq!(
+            NaiveBackend.matmul_nt(&a, &bt).data(),
+            ParallelBackend.matmul_nt(&a, &bt).data()
+        );
+    }
+
+    /// Forces the scoped-thread chunking (uneven splits included) no matter
+    /// how many cores the host has: the row0/chunk arithmetic must place
+    /// every output row exactly where the serial kernel would.
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn forced_thread_counts_match_serial_bitwise() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let (m, n, p) = (37usize, 29usize, 23usize); // awkward, non-divisible
+        let a = randn_matrix(m, n, 1.0, &mut rng);
+        let b = randn_matrix(n, p, 1.0, &mut rng);
+        let reference = NaiveBackend.matmul(&a, &b);
+        for threads in [2usize, 3, 5, 16, 64] {
+            let mut out = Matrix::zeros(m, p);
+            super::par_rows_threads(&mut out, threads, |chunk, row0| {
+                super::nn_chunk(a.data(), n, b.data(), p, chunk, row0)
+            });
+            assert_eq!(reference.data(), out.data(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn zero_sized_products() {
+        let a = Matrix::zeros(0, 4);
+        let b = Matrix::zeros(4, 3);
+        assert_eq!(BlockedBackend.matmul(&a, &b).shape(), (0, 3));
+        let e = Matrix::zeros(3, 0);
+        let f = Matrix::zeros(0, 2);
+        assert_eq!(BlockedBackend.matmul(&e, &f).shape(), (3, 2));
+    }
+}

@@ -13,9 +13,30 @@
 //! applied to every remembered edge) with correct gradient accumulation.
 //! Every layer's backward pass is verified against central finite
 //! differences in its unit tests.
+//!
+//! Execution is pluggable: every dense product dispatches through the
+//! [`backend`] seam ([`Matrix::matmul`] → [`default_backend`]), whose
+//! implementations — naive reference loops, cache-blocked serial kernels,
+//! and a row-partitioned parallel path (feature `parallel`, on by
+//! default) — are **bit-identical** by contract. Training and inference
+//! therefore stay deterministic for a fixed seed regardless of thread
+//! count; see the [`backend`] module docs for how that is guaranteed.
+//!
+//! ```
+//! use nn::{Matrix, BlockedBackend, NaiveBackend};
+//!
+//! let a = Matrix::from_fn(64, 32, |i, j| (i + j) as f32 * 0.01);
+//! let b = Matrix::from_fn(32, 48, |i, j| (i * j) as f32 * 0.001);
+//! // Same bits from every backend, and from the default path:
+//! assert_eq!(a.matmul(&b).data(), a.matmul_with(&b, &NaiveBackend).data());
+//! assert_eq!(a.matmul(&b).data(), a.matmul_with(&b, &BlockedBackend).data());
+//! ```
+
+#![deny(missing_docs)]
 
 pub mod activation;
 pub mod attention;
+pub mod backend;
 pub mod dft;
 pub mod gru;
 pub mod init;
@@ -31,6 +52,9 @@ pub mod test_util;
 pub mod time_encode;
 
 pub use activation::{sigmoid, ActCache, Activation};
+#[cfg(feature = "parallel")]
+pub use backend::ParallelBackend;
+pub use backend::{default_backend, with_serial_backend, Backend, BlockedBackend, NaiveBackend};
 pub use attention::{
     CrossAttention, CrossAttentionCache, SelfAttention, SelfAttentionCache, TransformerBlock,
     TransformerBlockCache,

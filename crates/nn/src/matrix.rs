@@ -137,67 +137,30 @@ impl Matrix {
     }
 
     /// Matrix product `self · other`; shapes `(m,n)·(n,p) → (m,p)`.
+    ///
+    /// Executes on [`crate::backend::default_backend`] — parallel blocked
+    /// kernels by default, bit-identical to the serial reference (see the
+    /// [`crate::backend`] module docs for the determinism contract).
     pub fn matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
-        let (m, n, p) = (self.rows, self.cols, other.cols);
-        let mut out = Matrix::zeros(m, p);
-        for i in 0..m {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * p..(i + 1) * p];
-            for (kk, &a) in a_row.iter().enumerate().take(n) {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[kk * p..(kk + 1) * p];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
-        out
+        crate::backend::default_backend().matmul(self, other)
     }
 
     /// `selfᵀ · other`; shapes `(m,n)ᵀ·(m,p) → (n,p)`. Used for weight
     /// gradients without materializing transposes.
     pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.rows, other.rows, "matmul_tn shape mismatch");
-        let (m, n, p) = (self.rows, self.cols, other.cols);
-        let mut out = Matrix::zeros(n, p);
-        for k in 0..m {
-            let a_row = self.row(k);
-            let b_row = other.row(k);
-            for (i, &a) in a_row.iter().enumerate().take(n) {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * p..(i + 1) * p];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
-        out
+        crate::backend::default_backend().matmul_tn(self, other)
     }
 
     /// `self · otherᵀ`; shapes `(m,n)·(p,n)ᵀ → (m,p)`. Used for input
     /// gradients without materializing transposes.
     pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.cols, "matmul_nt shape mismatch");
-        let (m, n, p) = (self.rows, self.cols, other.rows);
-        let mut out = Matrix::zeros(m, p);
-        for i in 0..m {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * p..(i + 1) * p];
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = other.row(j);
-                let mut acc = 0.0f32;
-                for k in 0..n {
-                    acc += a_row[k] * b_row[k];
-                }
-                *o = acc;
-            }
-        }
-        out
+        crate::backend::default_backend().matmul_nt(self, other)
+    }
+
+    /// [`Matrix::matmul`] on an explicit [`crate::backend::Backend`]
+    /// (benchmark comparisons, or pinning a path regardless of features).
+    pub fn matmul_with(&self, other: &Matrix, backend: &dyn crate::backend::Backend) -> Matrix {
+        backend.matmul(self, other)
     }
 
     /// Transposed copy.

@@ -89,6 +89,45 @@ proptest! {
         prop_assert_eq!(once, twice);
     }
 
+    /// Every backend must produce the same bits for all three products —
+    /// the determinism contract the parallel path is built on. Shapes are
+    /// drawn freely (including degenerate 1×1) and values include exact
+    /// zeros, which exercise the kernels' zero-skip branches.
+    #[test]
+    fn backends_agree_bitwise(
+        a in arb_matrix(40, 24),
+        b in arb_matrix(24, 32),
+        zero_mask in prop::collection::vec(any::<bool>(), 40 * 24),
+    ) {
+        use nn::{Backend, BlockedBackend, NaiveBackend};
+        // Respect matmul's shape contract: regenerate b with matching rows.
+        let b = Matrix::from_fn(a.cols(), b.cols(), |i, j| b.get(i % b.rows(), j));
+        // Sprinkle exact zeros into a to hit the sparse skip paths.
+        let a = Matrix::from_fn(a.rows(), a.cols(), |i, j| {
+            if zero_mask[(i * a.cols() + j) % zero_mask.len()] { 0.0 } else { a.get(i, j) }
+        });
+        let reference = NaiveBackend.matmul(&a, &b);
+        prop_assert_eq!(reference.data(), BlockedBackend.matmul(&a, &b).data());
+        let tn_ref = NaiveBackend.matmul_tn(&b, &b);
+        prop_assert_eq!(tn_ref.data(), BlockedBackend.matmul_tn(&b, &b).data());
+        let nt_ref = NaiveBackend.matmul_nt(&a, &a);
+        prop_assert_eq!(nt_ref.data(), BlockedBackend.matmul_nt(&a, &a).data());
+        #[cfg(feature = "parallel")]
+        {
+            // These shapes sit below the parallel threshold, so this pins
+            // ParallelBackend's serial dispatch arm; the actual threaded
+            // chunking is pinned by backend::tests
+            // (forced_thread_counts_match_serial_bitwise) and the
+            // NN_THREADS=4 leg of ci/check.sh.
+            use nn::ParallelBackend;
+            prop_assert_eq!(reference.data(), ParallelBackend.matmul(&a, &b).data());
+            prop_assert_eq!(tn_ref.data(), ParallelBackend.matmul_tn(&b, &b).data());
+            prop_assert_eq!(nt_ref.data(), ParallelBackend.matmul_nt(&a, &a).data());
+        }
+        // And the default backend (whatever the feature set) matches too.
+        prop_assert_eq!(reference.data(), a.matmul(&b).data());
+    }
+
     /// LN(s·x) = LN(x) holds exactly only for ε = 0; with the stabilizing
     /// ε the property degrades when the scaled row variance approaches ε,
     /// so near-constant rows are skipped — the invariance claim is about

@@ -1,0 +1,226 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements exactly the surface the workspace's property tests use:
+//! [`Strategy`] with `prop_map` / `prop_flat_map`, range and tuple
+//! strategies, [`collection::vec`], [`any`], the [`proptest!`] macro
+//! (including `#![proptest_config(...)]`), and the `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assume!` assertion macros.
+//!
+//! Unlike real proptest there is **no shrinking**: a failing case panics
+//! with the failure message and the case index so it can be replayed (the
+//! sampler is seeded deterministically from the test's name). That trade
+//! keeps the shim small while preserving the tests' bug-finding power.
+
+use rand::rngs::StdRng;
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{Any, Just, Strategy};
+
+/// Namespaced re-exports mirroring `proptest::prelude::prop`.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Test-runner configuration (`ProptestConfig`).
+pub mod test_runner {
+    /// How many passing cases a property must accumulate.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of successful cases required before the test passes.
+        pub cases: usize,
+    }
+
+    impl Config {
+        /// A config running `cases` successful cases per property.
+        pub fn with_cases(cases: usize) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+}
+
+/// The deterministic generator driving strategy sampling.
+pub type TestRng = StdRng;
+
+// Re-exported for the `proptest!` macro expansion: call sites depend on
+// this crate but not necessarily on `rand`, so macro paths must stay
+// `$crate`-anchored.
+#[doc(hidden)]
+pub use rand::SeedableRng as __SeedableRng;
+
+/// Why a single test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the property is falsified.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; draw a fresh case.
+    Reject,
+}
+
+/// Everything a property-test module needs, in one glob import.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::prop;
+    pub use crate::strategy::{any, Any, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+pub use strategy::any;
+
+/// Seeds the per-test RNG from the test's name so runs are reproducible
+/// yet distinct across tests. (FNV-1a over the name bytes.)
+#[doc(hidden)]
+pub fn __seed_from_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that draws `cases` inputs and runs the body on each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::test_runner::Config = $cfg;
+            let mut rng = <$crate::TestRng as $crate::__SeedableRng>::seed_from_u64(
+                $crate::__seed_from_name(concat!(module_path!(), "::", stringify!($name))),
+            );
+            let mut passed = 0usize;
+            let mut rejected = 0usize;
+            let mut case = 0usize;
+            while passed < cfg.cases {
+                case += 1;
+                assert!(
+                    rejected <= cfg.cases * 16 + 256,
+                    "proptest {}: too many prop_assume! rejections ({rejected})",
+                    stringify!($name),
+                );
+                $(
+                    let $arg = $crate::Strategy::generate(&($strat), &mut rng);
+                )+
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    { $body }
+                    ::std::result::Result::Ok(())
+                })();
+                match outcome {
+                    Ok(()) => passed += 1,
+                    Err($crate::TestCaseError::Reject) => rejected += 1,
+                    Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest {} falsified at case {case}: {msg}",
+                            stringify!($name)
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// `assert!` for property bodies: fails the case instead of panicking, so
+/// the runner can report the case index.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `assert_eq!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        // A `match` keeps the operand temporaries alive through the
+        // comparison (the same trick std's `assert_eq!` uses).
+        match (&$a, &$b) {
+            (lhs, rhs) => {
+                if !(*lhs == *rhs) {
+                    return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                        "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                        stringify!($a),
+                        stringify!($b),
+                        lhs,
+                        rhs
+                    )));
+                }
+            }
+        }
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        match (&$a, &$b) {
+            (lhs, rhs) => {
+                if !(*lhs == *rhs) {
+                    return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                        format!($($fmt)+),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// `assert_ne!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {
+        match (&$a, &$b) {
+            (lhs, rhs) => {
+                if *lhs == *rhs {
+                    return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                        "assertion failed: `{} != {}`\n  both: {:?}",
+                        stringify!($a),
+                        stringify!($b),
+                        lhs
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Rejects the current case (drawing a replacement) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}

@@ -324,25 +324,46 @@ pub fn capture(dataset: &Dataset, mode: InputFeatures, cfg: &SplashConfig, seen_
     Capture { queries: captured, feat_dim, edge_feat_dim }
 }
 
-/// The node encoding of Eq. 7: `[x_i(t) ‖ mean_{δ ∈ N_i(t)} x_j(t^{(l)})]`,
-/// one row per captured query. Zero mean part when `N_i(t)` is empty.
-pub fn encodings(capture: &Capture) -> Matrix {
-    let dv = capture.feat_dim;
-    let mut out = Matrix::zeros(capture.queries.len(), 2 * dv);
-    for (i, q) in capture.queries.iter().enumerate() {
-        let row = out.row_mut(i);
-        row[..dv].copy_from_slice(&q.target_feat);
-        if !q.neighbors.is_empty() {
-            for nb in &q.neighbors {
-                for (j, &v) in nb.feat.iter().enumerate() {
-                    row[dv + j] += v;
-                }
-            }
-            let inv = 1.0 / q.neighbors.len() as f32;
-            for v in &mut row[dv..] {
-                *v *= inv;
+/// Fills one Eq. 7 encoding row: `[x_i(t) ‖ mean_{δ ∈ N_i(t)} x_j(t^{(l)})]`.
+fn encoding_row(q: &CapturedQuery, dv: usize, row: &mut [f32]) {
+    row[..dv].copy_from_slice(&q.target_feat);
+    if !q.neighbors.is_empty() {
+        for nb in &q.neighbors {
+            for (j, &v) in nb.feat.iter().enumerate() {
+                row[dv + j] += v;
             }
         }
+        let inv = 1.0 / q.neighbors.len() as f32;
+        for v in &mut row[dv..] {
+            *v *= inv;
+        }
+    }
+}
+
+/// The node encoding of Eq. 7, one row per captured query. Zero mean part
+/// when `N_i(t)` is empty. Rows are independent, so under the `parallel`
+/// feature they are filled by scoped threads (identical output either way).
+pub fn encodings(capture: &Capture) -> Matrix {
+    let dv = capture.feat_dim;
+    let width = 2 * dv;
+    let mut out = Matrix::zeros(capture.queries.len(), width);
+
+    #[cfg(feature = "parallel")]
+    {
+        // Row fills are cheap; only fan out when there is real work.
+        // par_rows honors the shared num_threads()/NN_THREADS policy.
+        if capture.queries.len() * width >= 1 << 16 {
+            nn::backend::par_rows(&mut out, |rows, row0| {
+                for (r, row) in rows.chunks_mut(width.max(1)).enumerate() {
+                    encoding_row(&capture.queries[row0 + r], dv, row);
+                }
+            });
+            return out;
+        }
+    }
+
+    for (i, q) in capture.queries.iter().enumerate() {
+        encoding_row(q, dv, out.row_mut(i));
     }
     out
 }

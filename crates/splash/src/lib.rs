@@ -21,6 +21,8 @@
 //! assert!(out.metric > 0.2);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod augment;
 pub mod capture;
 pub mod config;
@@ -32,7 +34,9 @@ pub mod stream;
 pub mod task;
 
 pub use augment::{Augmenter, FeatureProcess};
-pub use capture::{capture, encodings, Capture, CapturedNeighbor, CapturedQuery, InputFeatures};
+pub use capture::{
+    capture, encodings, seen_end_time, Capture, CapturedNeighbor, CapturedQuery, InputFeatures,
+};
 pub use config::{PositionalSource, SplashConfig};
 pub use persist::{load_model, save_model, SavedModel};
 pub use pipeline::{

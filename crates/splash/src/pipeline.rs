@@ -97,45 +97,80 @@ pub fn train_slim(
     (model, start.elapsed().as_secs_f64())
 }
 
-/// Batched inference over captured queries; returns the logits.
+/// Runs `apply` over `queries` in chunks of `batch_size` and stacks the
+/// resulting row blocks in query order.
+///
+/// With the `parallel` feature (the default) the chunks are distributed
+/// over scoped threads; each chunk's rows depend only on that chunk's
+/// queries, so the stacked result is bit-identical to the serial loop —
+/// parallelism changes wall-clock time, never logits.
+fn map_query_chunks(
+    model: &SlimModel,
+    queries: &[CapturedQuery],
+    batch_size: usize,
+    apply: impl Fn(&SlimModel, &[CapturedQuery]) -> Matrix + Sync,
+) -> Matrix {
+    let batch_size = batch_size.max(1);
+    let n_chunks = queries.len().div_ceil(batch_size);
+    if n_chunks == 0 {
+        return Matrix::zeros(0, 0);
+    }
+    let mut blocks: Vec<Matrix> = vec![Matrix::zeros(0, 0); n_chunks];
+
+    #[cfg(feature = "parallel")]
+    {
+        // Same thread policy as the matmul backend (NN_THREADS honored).
+        let threads = nn::backend::num_threads().min(n_chunks);
+        if threads > 1 {
+            let per_thread = n_chunks.div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (ti, out_chunk) in blocks.chunks_mut(per_thread).enumerate() {
+                    let apply = &apply;
+                    scope.spawn(move || {
+                        // Already parallel at chunk grain: pin the inner
+                        // matmuls to the serial kernels (same bits) so the
+                        // machine isn't oversubscribed with nested spawns.
+                        nn::backend::with_serial_backend(|| {
+                            for (oi, out) in out_chunk.iter_mut().enumerate() {
+                                let ci = ti * per_thread + oi;
+                                let start = ci * batch_size;
+                                let end = (start + batch_size).min(queries.len());
+                                *out = apply(model, &queries[start..end]);
+                            }
+                        });
+                    });
+                }
+            });
+            let refs: Vec<&Matrix> = blocks.iter().collect();
+            return Matrix::concat_rows(&refs);
+        }
+    }
+
+    for (ci, out) in blocks.iter_mut().enumerate() {
+        let start = ci * batch_size;
+        let end = (start + batch_size).min(queries.len());
+        *out = apply(model, &queries[start..end]);
+    }
+    let refs: Vec<&Matrix> = blocks.iter().collect();
+    Matrix::concat_rows(&refs)
+}
+
+/// Batched inference over captured queries; returns the logits
+/// (chunk-parallel under the `parallel` feature, same bits either way).
 pub fn predict_slim(model: &SlimModel, queries: &[CapturedQuery], batch_size: usize) -> Matrix {
-    let out_dim_probe = 1; // replaced below from the first batch
-    let _ = out_dim_probe;
-    let mut blocks: Vec<Matrix> = Vec::new();
-    let mut pos = 0;
-    while pos < queries.len() {
-        let end = (pos + batch_size).min(queries.len());
-        let refs: Vec<&CapturedQuery> = queries[pos..end].iter().collect();
-        let batch = model.build_batch(&refs);
-        blocks.push(model.infer(&batch));
-        pos = end;
-    }
-    if blocks.is_empty() {
-        Matrix::zeros(0, 0)
-    } else {
-        let refs: Vec<&Matrix> = blocks.iter().collect();
-        Matrix::concat_rows(&refs)
-    }
+    map_query_chunks(model, queries, batch_size, |m, chunk| {
+        let refs: Vec<&CapturedQuery> = chunk.iter().collect();
+        m.infer(&m.build_batch(&refs))
+    })
 }
 
 /// Batched representation extraction (Eq. 18 outputs) for qualitative
 /// analysis.
 pub fn represent_slim(model: &SlimModel, queries: &[CapturedQuery], batch_size: usize) -> Matrix {
-    let mut blocks: Vec<Matrix> = Vec::new();
-    let mut pos = 0;
-    while pos < queries.len() {
-        let end = (pos + batch_size).min(queries.len());
-        let refs: Vec<&CapturedQuery> = queries[pos..end].iter().collect();
-        let batch = model.build_batch(&refs);
-        blocks.push(model.represent(&batch));
-        pos = end;
-    }
-    if blocks.is_empty() {
-        Matrix::zeros(0, 0)
-    } else {
-        let refs: Vec<&Matrix> = blocks.iter().collect();
-        Matrix::concat_rows(&refs)
-    }
+    map_query_chunks(model, queries, batch_size, |m, chunk| {
+        let refs: Vec<&CapturedQuery> = chunk.iter().collect();
+        m.represent(&m.build_batch(&refs))
+    })
 }
 
 /// Runs SLIM with a fixed feature mode (the ablation entry point:

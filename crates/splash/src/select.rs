@@ -7,7 +7,7 @@
 //! paper), simulating distribution shifts of varying strength; the process
 //! whose linear model accumulates the lowest summed validation risk
 //! (Eqs. 11–13) is selected. The three processes are evaluated in parallel
-//! with crossbeam scoped threads — feasible precisely because the selector
+//! with scoped threads — feasible precisely because the selector
 //! is linear, the paper's efficiency argument.
 
 use ctdg::Label;
@@ -67,19 +67,18 @@ pub fn select_features_with_splits(
 ) -> SelectionReport {
     let available = truncate_to_available(dataset, avail_frac);
     let mut risks = [0.0f64; 3];
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = FeatureProcess::ALL
             .iter()
             .map(|&process| {
                 let available = &available;
-                scope.spawn(move |_| process_risk(available, process, cfg, splits))
+                scope.spawn(move || process_risk(available, process, cfg, splits))
             })
             .collect();
         for (i, h) in handles.into_iter().enumerate() {
             risks[i] = h.join().expect("selection worker panicked");
         }
-    })
-    .expect("selection scope panicked");
+    });
 
     let best = FeatureProcess::ALL
         .iter()

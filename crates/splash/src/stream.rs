@@ -13,7 +13,7 @@
 //! `streaming_matches_batch_pipeline` test): both paths snapshot neighbor
 //! features at edge-arrival time, as Eq. 14 requires.
 
-use ctdg::{Label, NodeId, TemporalEdge};
+use ctdg::{Label, NodeId, PropertyQuery, TemporalEdge};
 use datasets::Dataset;
 use nn::Matrix;
 
@@ -23,6 +23,10 @@ use crate::config::SplashConfig;
 use crate::pipeline::{split_bounds, train_slim, SEEN_FRAC};
 use crate::select::select_features;
 use crate::slim::SlimModel;
+
+/// Chunk size [`StreamingPredictor::predict_batch`] hands to the
+/// (chunk-parallel) batched forward pass.
+const STREAM_BATCH: usize = 256;
 
 /// A ring of the `k` most recent incident edges, with feature snapshots.
 #[derive(Debug, Clone, Default)]
@@ -202,6 +206,35 @@ impl StreamingPredictor {
         self.last_time = edge.time;
     }
 
+    /// Ingests a chronologically ordered micro-batch of edges.
+    ///
+    /// Equivalent to calling [`StreamingPredictor::observe_edge`] on each
+    /// edge in order — feature snapshots are still taken per edge, as
+    /// Eq. 14 requires — but the fixed costs are paid once per batch
+    /// instead of once per edge: the chronology check is a single pass,
+    /// and the per-node ring table is grown to the batch's maximum
+    /// endpoint up front so no ring push ever reallocates mid-batch.
+    pub fn push_edges(&mut self, edges: &[TemporalEdge]) {
+        let Some(last) = edges.last() else { return };
+        let mut prev = self.last_time;
+        let mut max_node = 0;
+        for edge in edges {
+            assert!(
+                edge.time >= prev,
+                "edges must arrive chronologically ({} < {prev})",
+                edge.time
+            );
+            prev = edge.time;
+            max_node = max_node.max(edge.src).max(edge.dst);
+        }
+        self.ring_mut(max_node);
+        for edge in edges {
+            self.augmenter.observe(edge);
+            self.remember(edge);
+        }
+        self.last_time = last.time;
+    }
+
     /// Builds the model input for `node` as of time `t`.
     fn query_input(&self, node: NodeId, time: f64) -> CapturedQuery {
         let neighbors = match self.rings.get(node as usize) {
@@ -237,6 +270,28 @@ impl StreamingPredictor {
         let refs: Vec<&CapturedQuery> = qs.iter().collect();
         let batch = self.model.build_batch(&refs);
         self.model.infer(&batch)
+    }
+
+    /// Answers a micro-batch of label queries in one SLIM forward pass;
+    /// row `i` of the result holds the logits for `queries[i]` (labels on
+    /// the queries are ignored).
+    ///
+    /// Bit-identical to calling [`StreamingPredictor::predict`] per query
+    /// (the `predict_batch_matches_single_predictions` test pins this):
+    /// batching amortizes input assembly and lets the blocked/parallel
+    /// matmul backend work on tall matrices instead of single rows, but
+    /// every query's logits are still computed from exactly the same
+    /// captured state. Queries may carry distinct timestamps; none may
+    /// precede the last observed edge.
+    pub fn predict_batch(&self, queries: &[PropertyQuery]) -> Matrix {
+        let qs: Vec<CapturedQuery> = queries
+            .iter()
+            .map(|q| {
+                debug_assert!(q.time >= self.last_time, "cannot predict in the past");
+                self.query_input(q.node, q.time)
+            })
+            .collect();
+        crate::pipeline::predict_slim(&self.model, &qs, STREAM_BATCH)
     }
 
     /// The dynamic representation `h_i(t)` of a node (Eq. 18).
@@ -397,6 +452,76 @@ mod tests {
             .predict(unseen, predictor.last_time() + 1.0)
             .iter()
             .all(|v| v.is_finite()));
+    }
+
+    /// Batched ingestion + batched prediction must be *bit-identical* to
+    /// the one-edge/one-query path: batching buys throughput, not a
+    /// different model.
+    #[test]
+    fn predict_batch_matches_single_predictions() {
+        let (dataset, cfg) = setup();
+        let process = FeatureProcess::Random;
+        let mut single = StreamingPredictor::train_with_process(&dataset, &cfg, process);
+        let mut batched = single.clone();
+
+        let t_seen = seen_end_time(&dataset, SEEN_FRAC);
+        let prefix = dataset.stream.prefix_len_at(t_seen);
+        let tail = &dataset.stream.edges()[prefix..];
+        assert!(tail.len() > 20, "fixture too small to exercise batching");
+
+        // Ingest the tail edge-by-edge on one predictor and in micro-batches
+        // on its clone.
+        for edge in tail {
+            single.observe_edge(edge);
+        }
+        for chunk in tail.chunks(17) {
+            batched.push_edges(chunk);
+        }
+        assert_eq!(single.last_time(), batched.last_time());
+
+        // Query a spread of nodes (some never seen) at staggered times.
+        let t0 = single.last_time();
+        let queries: Vec<PropertyQuery> = (0..40u32)
+            .map(|i| PropertyQuery {
+                node: (i * 3) % dataset.stream.num_nodes() as u32,
+                time: t0 + i as f64,
+                label: Label::Class(0),
+            })
+            .collect();
+        let logits = batched.predict_batch(&queries);
+        assert_eq!(logits.rows(), queries.len());
+        for (i, q) in queries.iter().enumerate() {
+            let one = single.predict(q.node, q.time);
+            assert_eq!(
+                logits.row(i),
+                &one[..],
+                "query {i} (node {}, t {}) diverged",
+                q.node,
+                q.time
+            );
+        }
+    }
+
+    #[test]
+    fn predict_batch_empty_is_empty() {
+        let (dataset, cfg) = setup();
+        let predictor =
+            StreamingPredictor::train_with_process(&dataset, &cfg, FeatureProcess::Random);
+        assert_eq!(predictor.predict_batch(&[]).shape(), (0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "chronologically")]
+    fn push_edges_rejects_out_of_order_batches() {
+        let (dataset, cfg) = setup();
+        let mut predictor =
+            StreamingPredictor::train_with_process(&dataset, &cfg, FeatureProcess::Random);
+        let t = predictor.last_time();
+        let batch = [
+            TemporalEdge::plain(0, 1, t + 2.0),
+            TemporalEdge::plain(1, 2, t + 1.0), // goes backwards inside the batch
+        ];
+        predictor.push_edges(&batch);
     }
 
     #[test]
