@@ -37,7 +37,13 @@ cargo test -q -p splash --no-default-features
 echo "==> forced threading: the 1-core container never spawns by default"
 NN_THREADS=4 cargo test -q -p nn -p splash
 
+echo "==> alloc regression: steady-state streaming stays off the allocator"
+cargo test -q -p splash --test alloc
+
 echo "==> benches compile"
 cargo bench --no-run -p bench
+
+echo "==> quick bench: hot-loop timings + allocation counts"
+cargo bench -p bench --bench hotloop
 
 echo "==> all checks passed"

@@ -1,0 +1,215 @@
+//! Hot-loop benchmarks with heap-allocation accounting.
+//!
+//! This is the quick perf gate for the zero-allocation work: a train-epoch
+//! benchmark, a steady-state streaming-predict benchmark, and the serial
+//! matmul kernels, each reported with wall-clock time *and* the number of
+//! global-allocator calls per iteration. `ci/check.sh` runs this target;
+//! `BENCH_PR2.json` records its numbers across PRs so regressions in either
+//! time or allocation count are visible.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ctdg::{Label, PropertyQuery};
+use nn::{Adam, BlockedBackend, Matrix, NaiveBackend, Parameterized};
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+use splash::{
+    capture, split_bounds, train_slim, truncate_to_available, Capture, CapturedQuery,
+    FeatureProcess, InputFeatures, SlimModel, SplashConfig, StreamingPredictor, SEEN_FRAC,
+};
+
+/// Counts every allocation and reallocation that reaches the global
+/// allocator (deallocations are not counted: the interesting signal for the
+/// zero-allocation claim is how often the hot loop *asks* for memory).
+/// Kept in sync with the identical wrapper in
+/// `crates/splash/tests/alloc.rs`; see the note there on why the two
+/// copies cannot share a crate.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Runs `f` once and returns how many allocator calls it made.
+fn count_allocs(mut f: impl FnMut()) -> u64 {
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    f();
+    ALLOC_CALLS.load(Ordering::Relaxed) - before
+}
+
+/// Serial matmul kernels on training-shaped operands (tall-skinny products
+/// like SLIM's `(B·k, raw) · (raw, hidden)` and square ones).
+fn bench_matmul_kernels(c: &mut Criterion) {
+    for &(m, n, p) in &[(1024usize, 60usize, 64usize), (256, 256, 256), (384, 384, 384)] {
+        let a = Matrix::from_fn(m, n, |i, j| ((i * 31 + j * 17) as f32 * 0.37).sin());
+        let b = Matrix::from_fn(n, p, |i, j| ((i * 13 + j * 29) as f32 * 0.53).cos());
+        let mut group = c.benchmark_group(format!("matmul_{m}x{n}x{p}"));
+        group.bench_function("naive", |bch| {
+            bch.iter(|| black_box(a.matmul_with(&b, &NaiveBackend).sum()))
+        });
+        group.bench_function("blocked", |bch| {
+            bch.iter(|| black_box(a.matmul_with(&b, &BlockedBackend).sum()))
+        });
+        group.finish();
+    }
+}
+
+/// The pre-workspace training loop: identical math and identical step
+/// order to `train_slim`, but every step packs a fresh batch and allocates
+/// fresh forward/backward buffers through the convenience wrappers. Kept as
+/// the reuse-vs-allocate comparison baseline.
+fn train_epoch_alloc_style(
+    cap: &Capture,
+    dataset: &datasets::Dataset,
+    train_queries: &[CapturedQuery],
+    cfg: &SplashConfig,
+) -> f32 {
+    use splash::task::{loss_and_grad, output_dim};
+    let out_dim = output_dim(dataset.task, dataset.num_classes);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x511D);
+    let mut model = SlimModel::new(cfg, cap.feat_dim, cap.edge_feat_dim, out_dim, &mut rng);
+    let mut opt = Adam::new(cfg.lr);
+    let n = train_queries.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut sink = 0.0f32;
+    for _epoch in 0..cfg.epochs {
+        for i in (1..n).rev() {
+            let j = rng.random_range(0..=i);
+            order.swap(i, j);
+        }
+        let mut pos = 0;
+        while pos < n {
+            let end = (pos + cfg.batch_size).min(n);
+            let refs: Vec<&CapturedQuery> =
+                order[pos..end].iter().map(|&i| &train_queries[i]).collect();
+            let labels: Vec<&Label> = refs.iter().map(|q| &q.label).collect();
+            let batch = model.build_batch(&refs);
+            let (logits, _, cache) = model.forward(&batch);
+            let (loss, dlogits) = loss_and_grad(dataset.task, &logits, &labels);
+            sink += loss;
+            model.backward(&cache, &dlogits);
+            opt.step(model.params_mut());
+            pos = end;
+        }
+    }
+    sink
+}
+
+/// One full SLIM training epoch over a captured query set (the whole hot
+/// path: batch packing, forward, backward, Adam), plus its allocator-call
+/// count per epoch — once through the workspace-reusing `train_slim` and
+/// once through the per-step-allocating wrapper loop.
+fn bench_train_epoch(c: &mut Criterion) {
+    let dataset = datasets::synthetic_shift(50, 5);
+    let mut cfg = SplashConfig::default();
+    cfg.epochs = 1;
+    let cap = capture(&dataset, InputFeatures::RawRandom, &cfg, SEEN_FRAC);
+    let (train_end, _) = split_bounds(cap.queries.len());
+    let train = &cap.queries[..train_end];
+
+    let allocs_reuse = count_allocs(|| {
+        black_box(train_slim(&cap, &dataset, train, &cfg).1);
+    });
+    let allocs_alloc = count_allocs(|| {
+        black_box(train_epoch_alloc_style(&cap, &dataset, train, &cfg));
+    });
+    println!(
+        "train_epoch: {allocs_reuse} allocator calls with workspace reuse vs \
+         {allocs_alloc} allocating per step ({} train queries)",
+        train.len()
+    );
+    let mut group = c.benchmark_group("train_epoch");
+    group.bench_function("workspace_reuse", |b| {
+        b.iter(|| black_box(train_slim(&cap, &dataset, train, &cfg).1))
+    });
+    group.bench_function("alloc_per_step", |b| {
+        b.iter(|| black_box(train_epoch_alloc_style(&cap, &dataset, train, &cfg)))
+    });
+    group.finish();
+}
+
+/// Steady-state streaming prediction: one warmed-up predictor answering
+/// queries one at a time, with the allocator-call count per query.
+fn bench_stream_predict_steady(c: &mut Criterion) {
+    let dataset = truncate_to_available(&datasets::synthetic_shift(50, 8), 0.5);
+    let mut cfg = SplashConfig::tiny();
+    cfg.epochs = 2;
+    let predictor =
+        StreamingPredictor::train_with_process(&dataset, &cfg, FeatureProcess::Random);
+    let t0 = predictor.last_time();
+    let n_nodes = dataset.stream.num_nodes() as u32;
+    let queries: Vec<PropertyQuery> = (0..512u32)
+        .map(|i| PropertyQuery {
+            node: (i * 7) % n_nodes,
+            time: t0 + i as f64,
+            label: Label::Class(0),
+        })
+        .collect();
+
+    // Warm up every buffer, then count a steady-state pass of the
+    // allocation-free form.
+    let mut sink = 0.0f32;
+    let mut out = Vec::new();
+    for q in &queries {
+        predictor.predict_into(q.node, q.time, &mut out);
+        sink += out[0];
+    }
+    let allocs = count_allocs(|| {
+        for q in &queries {
+            predictor.predict_into(q.node, q.time, &mut out);
+            sink += out[0];
+        }
+    });
+    println!(
+        "stream_predict_into: {:.2} allocator calls per query over {} queries (sink {sink:.3})",
+        allocs as f64 / queries.len() as f64,
+        queries.len()
+    );
+    let mut group = c.benchmark_group("stream_predict");
+    group.bench_function("predict_into_x512", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for q in &queries {
+                predictor.predict_into(q.node, q.time, &mut out);
+                acc += out[0];
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("predict_x512", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for q in &queries {
+                acc += predictor.predict(q.node, q.time)[0];
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_matmul_kernels, bench_train_epoch, bench_stream_predict_steady,
+}
+criterion_main!(benches);

@@ -16,8 +16,9 @@ pub enum Activation {
 }
 
 /// Backward cache for activations: the forward *output* (sufficient for all
-/// supported functions).
-#[derive(Debug, Clone)]
+/// supported functions). `Default` yields an empty cache that
+/// [`Activation::forward_inplace`] fills and reuses across steps.
+#[derive(Debug, Clone, Default)]
 pub struct ActCache {
     output: Matrix,
 }
@@ -27,6 +28,14 @@ impl Activation {
     pub fn forward(self, x: &Matrix) -> (Matrix, ActCache) {
         let y = self.infer(x);
         (y.clone(), ActCache { output: y })
+    }
+
+    /// Applies the activation to `m` in place, snapshotting the output into
+    /// the reusable `cache`. Allocation-free after warm-up; bit-identical
+    /// to [`Activation::forward`].
+    pub fn forward_inplace(self, m: &mut Matrix, cache: &mut ActCache) {
+        self.infer_inplace(m);
+        cache.output.copy_from(m);
     }
 
     /// Inference-only application.
@@ -39,13 +48,43 @@ impl Activation {
         }
     }
 
+    /// [`Activation::infer`] in place (no allocation).
+    pub fn infer_inplace(self, m: &mut Matrix) {
+        let apply = |f: fn(f32) -> f32, m: &mut Matrix| {
+            for v in m.data_mut() {
+                *v = f(*v);
+            }
+        };
+        match self {
+            Activation::Relu => apply(|a| a.max(0.0), m),
+            Activation::Tanh => apply(f32::tanh, m),
+            Activation::Sigmoid => apply(sigmoid, m),
+            Activation::Identity => {}
+        }
+    }
+
     /// Backward pass given the upstream gradient `dy`.
     pub fn backward(self, cache: &ActCache, dy: &Matrix) -> Matrix {
+        let mut dx = dy.clone();
+        self.backward_inplace(cache, &mut dx);
+        dx
+    }
+
+    /// [`Activation::backward`] in place on the upstream gradient: `dy` is
+    /// rewritten into the input gradient (no allocation; bit-identical to
+    /// the allocating form).
+    pub fn backward_inplace(self, cache: &ActCache, dy: &mut Matrix) {
+        assert_eq!(cache.output.shape(), dy.shape(), "activation cache/grad shape mismatch");
+        let apply = |f: fn(f32, f32) -> f32, cache: &ActCache, dy: &mut Matrix| {
+            for (d, &y) in dy.data_mut().iter_mut().zip(cache.output.data()) {
+                *d = f(y, *d);
+            }
+        };
         match self {
-            Activation::Relu => cache.output.zip_map(dy, |y, d| if y > 0.0 { d } else { 0.0 }),
-            Activation::Tanh => cache.output.zip_map(dy, |y, d| d * (1.0 - y * y)),
-            Activation::Sigmoid => cache.output.zip_map(dy, |y, d| d * y * (1.0 - y)),
-            Activation::Identity => dy.clone(),
+            Activation::Relu => apply(|y, d| if y > 0.0 { d } else { 0.0 }, cache, dy),
+            Activation::Tanh => apply(|y, d| d * (1.0 - y * y), cache, dy),
+            Activation::Sigmoid => apply(|y, d| d * y * (1.0 - y), cache, dy),
+            Activation::Identity => {}
         }
     }
 }

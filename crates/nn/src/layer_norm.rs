@@ -18,7 +18,10 @@ pub struct LayerNorm {
 }
 
 /// Backward cache: normalized activations and per-row inverse std.
-#[derive(Debug, Clone)]
+///
+/// `Default` yields an empty cache that [`LayerNorm::forward_into`] sizes
+/// and reuses across steps.
+#[derive(Debug, Clone, Default)]
 pub struct LayerNormCache {
     xhat: Matrix,
     inv_std: Vec<f32>,
@@ -41,26 +44,42 @@ impl LayerNorm {
 
     /// Forward pass `(B, dim) → (B, dim)`.
     pub fn forward(&self, x: &Matrix) -> (Matrix, LayerNormCache) {
+        let mut cache = LayerNormCache::default();
+        let mut y = Matrix::default();
+        self.forward_into(x, &mut y, &mut cache);
+        (y, cache)
+    }
+
+    /// Per-row normalization statistics — the single home of the LayerNorm
+    /// numerics, so the cached and cache-free paths cannot diverge.
+    #[inline]
+    fn row_stats(&self, row: &[f32]) -> (f32, f32) {
+        let cols = row.len() as f32;
+        let mean = row.iter().sum::<f32>() / cols;
+        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols;
+        (mean, 1.0 / (var + self.eps).sqrt())
+    }
+
+    /// [`LayerNorm::forward`] into a caller-owned output with a reusable
+    /// cache (allocation-free after warm-up, bit-identical results).
+    pub fn forward_into(&self, x: &Matrix, out: &mut Matrix, cache: &mut LayerNormCache) {
         let (rows, cols) = x.shape();
         assert_eq!(cols, self.dim(), "LayerNorm dimension mismatch");
-        let mut xhat = Matrix::zeros(rows, cols);
-        let mut inv_std = Vec::with_capacity(rows);
+        cache.xhat.resize_zeroed(rows, cols);
+        cache.inv_std.clear();
+        out.resize_zeroed(rows, cols);
         let g = self.gain.value.row(0);
         let b = self.bias.value.row(0);
-        let mut y = Matrix::zeros(rows, cols);
         for i in 0..rows {
             let row = x.row(i);
-            let mean = row.iter().sum::<f32>() / cols as f32;
-            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
-            let istd = 1.0 / (var + self.eps).sqrt();
-            inv_std.push(istd);
+            let (mean, istd) = self.row_stats(row);
+            cache.inv_std.push(istd);
             for j in 0..cols {
                 let xh = (row[j] - mean) * istd;
-                xhat.set(i, j, xh);
-                y.set(i, j, g[j] * xh + b[j]);
+                cache.xhat.set(i, j, xh);
+                out.set(i, j, g[j] * xh + b[j]);
             }
         }
-        (y, LayerNormCache { xhat, inv_std })
     }
 
     /// Inference-only forward.
@@ -68,11 +87,38 @@ impl LayerNorm {
         self.forward(x).0
     }
 
+    /// [`LayerNorm::infer`] into a caller-owned buffer, skipping the cache
+    /// (allocation-free after warm-up, bit-identical to the forward pass —
+    /// both paths share the private `row_stats` numerics).
+    pub fn infer_into(&self, x: &Matrix, out: &mut Matrix) {
+        let (rows, cols) = x.shape();
+        assert_eq!(cols, self.dim(), "LayerNorm dimension mismatch");
+        out.resize_zeroed(rows, cols);
+        let g = self.gain.value.row(0);
+        let b = self.bias.value.row(0);
+        for i in 0..rows {
+            let row = x.row(i);
+            let (mean, istd) = self.row_stats(row);
+            for j in 0..cols {
+                let xh = (row[j] - mean) * istd;
+                out.set(i, j, g[j] * xh + b[j]);
+            }
+        }
+    }
+
     /// Backward pass: accumulates `dγ`, `dβ` and returns `dx`.
     pub fn backward(&mut self, cache: &LayerNormCache, dy: &Matrix) -> Matrix {
+        let mut dx = Matrix::default();
+        self.backward_into(cache, dy, &mut dx);
+        dx
+    }
+
+    /// [`LayerNorm::backward`] into a caller-owned `dx` (allocation-free
+    /// after warm-up, bit-identical results).
+    pub fn backward_into(&mut self, cache: &LayerNormCache, dy: &Matrix, dx: &mut Matrix) {
         let (rows, cols) = dy.shape();
         let g = self.gain.value.row(0);
-        let mut dx = Matrix::zeros(rows, cols);
+        dx.resize_zeroed(rows, cols);
         {
             let dgain = self.gain.grad.row_mut(0);
             for i in 0..rows {
@@ -106,7 +152,6 @@ impl LayerNorm {
                 dx.set(i, j, istd * (dxh - sum_dxhat / n - xh * sum_dxhat_xhat / n));
             }
         }
-        dx
     }
 }
 

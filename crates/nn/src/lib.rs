@@ -50,6 +50,7 @@ pub mod param;
 pub mod svd;
 pub mod test_util;
 pub mod time_encode;
+pub mod workspace;
 
 pub use activation::{sigmoid, ActCache, Activation};
 #[cfg(feature = "parallel")]
@@ -73,3 +74,4 @@ pub use svd::{truncated_svd, TruncatedSvd};
 pub use time_encode::{
     DegreeEncode, FixedTimeEncode, LearnableTimeEncode, TimeEncodeCache,
 };
+pub use workspace::Workspace;

@@ -11,6 +11,7 @@ use rand::Rng;
 use crate::init::xavier;
 use crate::matrix::Matrix;
 use crate::param::{Param, Parameterized};
+use crate::workspace::Workspace;
 
 /// Affine map `y = x·W + b` with `W: (in, out)`, `b: (1, out)`.
 #[derive(Debug, Clone)]
@@ -22,7 +23,10 @@ pub struct Linear {
 }
 
 /// Backward cache for [`Linear`]: the forward input.
-#[derive(Debug, Clone)]
+///
+/// `Default` yields an empty cache whose buffer is filled (and reused) by
+/// [`Linear::forward_into`] — construct it once and carry it across steps.
+#[derive(Debug, Clone, Default)]
 pub struct LinearCache {
     input: Matrix,
 }
@@ -48,20 +52,65 @@ impl Linear {
 
     /// Forward pass over a batch `(B, in) → (B, out)`.
     pub fn forward(&self, x: &Matrix) -> (Matrix, LinearCache) {
-        let y = x.matmul(&self.w.value).add_row_broadcast(self.b.value.row(0));
-        (y, LinearCache { input: x.clone() })
+        let mut cache = LinearCache::default();
+        let mut y = Matrix::default();
+        self.forward_into(x, &mut y, &mut cache);
+        (y, cache)
+    }
+
+    /// [`Linear::forward`] into caller-owned buffers: `out` is resized to
+    /// `(B, out_dim)` and overwritten, and the cache's input snapshot
+    /// reuses its previous allocation. Allocation-free once `out` and
+    /// `cache` have warmed up to the batch shape. Bit-identical to
+    /// [`Linear::forward`].
+    pub fn forward_into(&self, x: &Matrix, out: &mut Matrix, cache: &mut LinearCache) {
+        self.infer_into(x, out);
+        cache.input.copy_from(x);
     }
 
     /// Inference-only forward without caching.
     pub fn infer(&self, x: &Matrix) -> Matrix {
-        x.matmul(&self.w.value).add_row_broadcast(self.b.value.row(0))
+        let mut y = Matrix::default();
+        self.infer_into(x, &mut y);
+        y
+    }
+
+    /// [`Linear::infer`] into a caller-owned buffer (resized and
+    /// overwritten; allocation-free after warm-up).
+    pub fn infer_into(&self, x: &Matrix, out: &mut Matrix) {
+        x.matmul_into(&self.w.value, out);
+        out.add_row_broadcast_assign(self.b.value.row(0));
     }
 
     /// Backward pass: accumulates `dW`, `db` and returns `dx`.
     pub fn backward(&mut self, cache: &LinearCache, dy: &Matrix) -> Matrix {
-        self.w.grad.add_assign(&cache.input.matmul_tn(dy));
-        self.b.grad.add_assign(&Matrix::from_vec(1, dy.cols(), dy.col_sums()));
-        dy.matmul_nt(&self.w.value)
+        let mut dx = Matrix::default();
+        self.backward_into(cache, dy, &mut dx, &mut Workspace::new());
+        dx
+    }
+
+    /// [`Linear::backward`] into a caller-owned `dx` buffer, drawing its
+    /// gradient temporaries from `ws`. Allocation-free once `dx` and the
+    /// workspace have warmed up; bit-identical to [`Linear::backward`]
+    /// (gradient products are computed in their own zeroed buffers and then
+    /// added to the parameter gradients, preserving the accumulation
+    /// chains).
+    pub fn backward_into(
+        &mut self,
+        cache: &LinearCache,
+        dy: &Matrix,
+        dx: &mut Matrix,
+        ws: &mut Workspace,
+    ) {
+        let mut dw = ws.take(self.w.value.rows(), self.w.value.cols());
+        cache.input.matmul_tn_into(dy, &mut dw);
+        self.w.grad.add_assign(&dw);
+        ws.give(dw);
+        let mut db = ws.take(1, dy.cols());
+        dy.col_sums_into(db.row_mut(0));
+        self.b.grad.add_assign(&db);
+        ws.give(db);
+        dy.matmul_nt_into(&self.w.value, dx);
     }
 }
 

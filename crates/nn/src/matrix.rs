@@ -14,6 +14,14 @@ pub struct Matrix {
     data: Vec<f32>,
 }
 
+impl Default for Matrix {
+    /// An empty 0×0 matrix (no heap allocation); the natural seed value for
+    /// reusable buffers that are later [`Matrix::resize_zeroed`].
+    fn default() -> Self {
+        Self { rows: 0, cols: 0, data: Vec::new() }
+    }
+}
+
 impl fmt::Debug for Matrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Matrix({}x{})", self.rows, self.cols)?;
@@ -53,7 +61,8 @@ impl Matrix {
         Self { rows, cols, data }
     }
 
-    /// A 1×n row matrix borrowing-copying from a slice.
+    /// A 1×n row matrix holding a copy of `v` (the slice is copied, not
+    /// borrowed; the matrix owns its data).
     pub fn row_from_slice(v: &[f32]) -> Self {
         Self { rows: 1, cols: v.len(), data: v.to_vec() }
     }
@@ -136,6 +145,44 @@ impl Matrix {
         self.row_mut(i).copy_from_slice(src);
     }
 
+    /// Heap capacity of the backing buffer, in elements. Used by
+    /// [`crate::workspace::Workspace`] to pick a buffer that can hold a
+    /// requested shape without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
+    /// Reshapes to `rows × cols` with every element zero, reusing the
+    /// existing heap buffer. Allocates only when the current capacity is
+    /// smaller than `rows * cols` — repeated same-shape (or shrinking)
+    /// resizes are allocation-free.
+    pub fn resize_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Reshapes to `rows × cols` without clearing: existing elements keep
+    /// whatever values they had (any grown tail is zeroed). Only for
+    /// callers that overwrite every element immediately — the `matmul*_into`
+    /// wrappers use this so the backend's single zeroing/assignment pass is
+    /// the only full sweep over the output.
+    fn resize_for_overwrite(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Makes `self` an element-wise copy of `src` (shape included), reusing
+    /// the existing heap buffer when capacity allows.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
     /// Matrix product `self · other`; shapes `(m,n)·(n,p) → (m,p)`.
     ///
     /// Executes on [`crate::backend::default_backend`] — parallel blocked
@@ -161,6 +208,38 @@ impl Matrix {
     /// (benchmark comparisons, or pinning a path regardless of features).
     pub fn matmul_with(&self, other: &Matrix, backend: &dyn crate::backend::Backend) -> Matrix {
         backend.matmul(self, other)
+    }
+
+    /// [`Matrix::matmul`] into a caller-owned buffer: `out` is reshaped to
+    /// `(self.rows, other.cols)` (reusing its heap allocation when capacity
+    /// allows) and overwritten with `self · other`.
+    ///
+    /// Panics when `self.cols != other.rows` — the same shape contract as
+    /// [`Matrix::matmul`]; `out`'s incoming shape is irrelevant because it
+    /// is resized first. Bit-identical to the allocating version.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        out.resize_for_overwrite(self.rows, other.cols());
+        crate::backend::default_backend().matmul_into(self, other, out);
+    }
+
+    /// [`Matrix::matmul_tn`] into a caller-owned buffer (`out` becomes
+    /// `selfᵀ · other`, shape `(self.cols, other.cols)`).
+    ///
+    /// Panics when `self.rows != other.rows`; `out` is resized, so its
+    /// incoming shape is irrelevant.
+    pub fn matmul_tn_into(&self, other: &Matrix, out: &mut Matrix) {
+        out.resize_for_overwrite(self.cols, other.cols());
+        crate::backend::default_backend().matmul_tn_into(self, other, out);
+    }
+
+    /// [`Matrix::matmul_nt`] into a caller-owned buffer (`out` becomes
+    /// `self · otherᵀ`, shape `(self.rows, other.rows)`).
+    ///
+    /// Panics when `self.cols != other.cols`; `out` is resized, so its
+    /// incoming shape is irrelevant.
+    pub fn matmul_nt_into(&self, other: &Matrix, out: &mut Matrix) {
+        out.resize_for_overwrite(self.rows, other.rows());
+        crate::backend::default_backend().matmul_nt_into(self, other, out);
     }
 
     /// Transposed copy.
@@ -231,14 +310,19 @@ impl Matrix {
 
     /// Adds the row vector `v` to every row (bias broadcast).
     pub fn add_row_broadcast(&self, v: &[f32]) -> Matrix {
-        assert_eq!(v.len(), self.cols);
         let mut out = self.clone();
-        for i in 0..out.rows {
-            for (o, &b) in out.row_mut(i).iter_mut().zip(v) {
+        out.add_row_broadcast_assign(v);
+        out
+    }
+
+    /// In-place bias broadcast: adds `v` to every row.
+    pub fn add_row_broadcast_assign(&mut self, v: &[f32]) {
+        assert_eq!(v.len(), self.cols);
+        for i in 0..self.rows {
+            for (o, &b) in self.row_mut(i).iter_mut().zip(v) {
                 *o += b;
             }
         }
-        out
     }
 
     /// Per-column scaling: column `j` is multiplied by `s[j]`.
@@ -255,14 +339,19 @@ impl Matrix {
 
     /// Per-row scaling: row `i` is multiplied by `s[i]`.
     pub fn scale_rows(&self, s: &[f32]) -> Matrix {
-        assert_eq!(s.len(), self.rows);
         let mut out = self.clone();
+        out.scale_rows_assign(s);
+        out
+    }
+
+    /// In-place per-row scaling: row `i` is multiplied by `s[i]`.
+    pub fn scale_rows_assign(&mut self, s: &[f32]) {
+        assert_eq!(s.len(), self.rows);
         for (i, &f) in s.iter().enumerate() {
-            for o in out.row_mut(i) {
+            for o in self.row_mut(i) {
                 *o *= f;
             }
         }
-        out
     }
 
     /// Element-wise map.
@@ -292,12 +381,20 @@ impl Matrix {
     /// Column sums as a vector of length `cols` (bias gradients).
     pub fn col_sums(&self) -> Vec<f32> {
         let mut out = vec![0.0; self.cols];
+        self.col_sums_into(&mut out);
+        out
+    }
+
+    /// [`Matrix::col_sums`] into a caller-owned slice of length `cols`.
+    /// `out` is overwritten (zeroed first), not accumulated into.
+    pub fn col_sums_into(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.cols, "col_sums_into length mismatch");
+        out.fill(0.0);
         for i in 0..self.rows {
             for (o, &a) in out.iter_mut().zip(self.row(i)) {
                 *o += a;
             }
         }
-        out
     }
 
     /// Row sums as a vector of length `rows`.

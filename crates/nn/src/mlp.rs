@@ -7,6 +7,7 @@ use crate::activation::{ActCache, Activation};
 use crate::linear::{Linear, LinearCache};
 use crate::matrix::Matrix;
 use crate::param::{Param, Parameterized};
+use crate::workspace::Workspace;
 
 /// An MLP `in → hidden → … → out` with `activation` after every layer except
 /// the last.
@@ -17,7 +18,11 @@ pub struct Mlp {
 }
 
 /// Backward cache for [`Mlp`].
-#[derive(Debug)]
+///
+/// `Default` yields an empty cache that [`Mlp::forward_into`] sizes on
+/// first use and reuses afterwards — carry one across training steps for
+/// allocation-free forward passes.
+#[derive(Debug, Default)]
 pub struct MlpCache {
     linear: Vec<LinearCache>,
     act: Vec<ActCache>,
@@ -52,47 +57,100 @@ impl Mlp {
 
     /// Forward pass `(B, in) → (B, out)`.
     pub fn forward(&self, x: &Matrix) -> (Matrix, MlpCache) {
-        let mut cache = MlpCache { linear: Vec::new(), act: Vec::new() };
-        let mut h = x.clone();
+        let mut cache = MlpCache::default();
+        let mut out = Matrix::default();
+        self.forward_into(x, &mut out, &mut cache, &mut Workspace::new());
+        (out, cache)
+    }
+
+    /// [`Mlp::forward`] into a caller-owned output, reusing `cache` and
+    /// drawing layer intermediates from `ws`. Allocation-free once the
+    /// buffers have warmed up to the batch shape; bit-identical to
+    /// [`Mlp::forward`].
+    pub fn forward_into(
+        &self,
+        x: &Matrix,
+        out: &mut Matrix,
+        cache: &mut MlpCache,
+        ws: &mut Workspace,
+    ) {
         let last = self.layers.len() - 1;
+        cache.linear.resize_with(self.layers.len(), Default::default);
+        cache.act.resize_with(last, Default::default);
+        let mut h = ws.take(0, 0);
+        let mut next = ws.take(0, 0);
         for (i, layer) in self.layers.iter().enumerate() {
-            let (y, lc) = layer.forward(&h);
-            cache.linear.push(lc);
+            let input = if i == 0 { x } else { &h };
+            let dst = if i == last { &mut *out } else { &mut next };
+            layer.forward_into(input, dst, &mut cache.linear[i]);
             if i < last {
-                let (a, ac) = self.activation.forward(&y);
-                cache.act.push(ac);
-                h = a;
-            } else {
-                h = y;
+                self.activation.forward_inplace(&mut next, &mut cache.act[i]);
+                std::mem::swap(&mut h, &mut next);
             }
         }
-        (h, cache)
+        ws.give(h);
+        ws.give(next);
     }
 
     /// Inference-only forward.
     pub fn infer(&self, x: &Matrix) -> Matrix {
-        let mut h = x.clone();
+        let mut out = Matrix::default();
+        self.infer_into(x, &mut out, &mut Workspace::new());
+        out
+    }
+
+    /// [`Mlp::infer`] into a caller-owned output, drawing intermediates
+    /// from `ws` (allocation-free after warm-up, bit-identical results).
+    pub fn infer_into(&self, x: &Matrix, out: &mut Matrix, ws: &mut Workspace) {
         let last = self.layers.len() - 1;
+        let mut h = ws.take(0, 0);
+        let mut next = ws.take(0, 0);
         for (i, layer) in self.layers.iter().enumerate() {
-            h = layer.infer(&h);
+            let input = if i == 0 { x } else { &h };
+            let dst = if i == last { &mut *out } else { &mut next };
+            layer.infer_into(input, dst);
             if i < last {
-                h = self.activation.infer(&h);
+                self.activation.infer_inplace(&mut next);
+                std::mem::swap(&mut h, &mut next);
             }
         }
-        h
+        ws.give(h);
+        ws.give(next);
     }
 
     /// Backward pass: accumulates parameter gradients, returns `dx`.
     pub fn backward(&mut self, cache: &MlpCache, dy: &Matrix) -> Matrix {
+        let mut dx = Matrix::default();
+        self.backward_into(cache, dy, &mut dx, &mut Workspace::new());
+        dx
+    }
+
+    /// [`Mlp::backward`] into a caller-owned `dx`, drawing gradient
+    /// temporaries from `ws` (allocation-free after warm-up, bit-identical
+    /// to [`Mlp::backward`]).
+    pub fn backward_into(
+        &mut self,
+        cache: &MlpCache,
+        dy: &Matrix,
+        dx: &mut Matrix,
+        ws: &mut Workspace,
+    ) {
         let last = self.layers.len() - 1;
-        let mut grad = dy.clone();
+        let mut grad = ws.take(0, 0);
+        grad.copy_from(dy);
+        let mut next = ws.take(0, 0);
         for i in (0..self.layers.len()).rev() {
             if i < last {
-                grad = self.activation.backward(&cache.act[i], &grad);
+                self.activation.backward_inplace(&cache.act[i], &mut grad);
             }
-            grad = self.layers[i].backward(&cache.linear[i], &grad);
+            let dst = if i == 0 { &mut *dx } else { &mut next };
+            self.layers[i].backward_into(&cache.linear[i], &grad, dst, ws);
+            if i > 0 {
+                std::mem::swap(&mut grad, &mut next);
+            }
         }
-        grad
+        ws.give(grad);
+        ws.give(next);
     }
 }
 

@@ -48,6 +48,15 @@ impl FixedTimeEncode {
         self.freqs.iter().map(|&f| ((dt as f32) * f).cos()).collect()
     }
 
+    /// Encodes one time delta into a caller-owned slice of length
+    /// [`FixedTimeEncode::dim`] (panics otherwise; no allocation).
+    pub fn encode_into(&self, dt: f64, out: &mut [f32]) {
+        assert_eq!(out.len(), self.freqs.len(), "encode_into length mismatch");
+        for (o, &f) in out.iter_mut().zip(&self.freqs) {
+            *o = ((dt as f32) * f).cos();
+        }
+    }
+
     /// Encodes a batch of time deltas into a `(B, d_t)` matrix.
     pub fn encode_batch(&self, dts: &[f64]) -> Matrix {
         let mut out = Matrix::zeros(dts.len(), self.dim());
@@ -84,19 +93,26 @@ impl DegreeEncode {
 
     /// Encodes a degree into a `d_v`-dimensional feature (Eq. 3).
     pub fn encode(&self, degree: u64) -> Vec<f32> {
+        let mut out = vec![0.0; self.dim];
+        self.encode_into(degree, &mut out);
+        out
+    }
+
+    /// [`DegreeEncode::encode`] into a caller-owned slice of length
+    /// [`DegreeEncode::dim`] (panics otherwise; no allocation).
+    pub fn encode_into(&self, degree: u64, out: &mut [f32]) {
+        assert_eq!(out.len(), self.dim, "encode_into length mismatch");
         let sqrt_dv = (self.dim as f32).sqrt();
         let d = degree as f32;
-        (0..self.dim)
-            .map(|n| {
-                if n % 2 == 0 {
-                    let scale = self.alpha.powf(-((n / 2) as f32) / sqrt_dv);
-                    (scale * d).cos()
-                } else {
-                    let scale = self.alpha.powf(-(((n - 1) / 2) as f32) / sqrt_dv);
-                    (scale * d).sin()
-                }
-            })
-            .collect()
+        for (n, o) in out.iter_mut().enumerate() {
+            *o = if n % 2 == 0 {
+                let scale = self.alpha.powf(-((n / 2) as f32) / sqrt_dv);
+                (scale * d).cos()
+            } else {
+                let scale = self.alpha.powf(-(((n - 1) / 2) as f32) / sqrt_dv);
+                (scale * d).sin()
+            };
+        }
     }
 }
 

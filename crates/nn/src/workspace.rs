@@ -1,0 +1,120 @@
+//! Reusable scratch buffers for allocation-free hot loops.
+//!
+//! Training steps and streaming-inference queries need a handful of
+//! intermediate matrices per call (layer outputs, gradient temporaries,
+//! packed batches). Allocating them fresh each time puts the allocator on
+//! the critical path; a [`Workspace`] instead owns a pool of [`Matrix`]
+//! buffers that callers check out, use, and return.
+//!
+//! # Ownership protocol
+//!
+//! * [`Workspace::take`] hands out an *owned*, zeroed matrix of the
+//!   requested shape, reusing a pooled buffer's heap allocation when one
+//!   with enough capacity exists (best-fit; otherwise the largest pooled
+//!   buffer is grown, and only an empty pool allocates from scratch).
+//! * [`Workspace::give`] returns a buffer to the pool, keeping its
+//!   capacity for the next `take`.
+//!
+//! After a warm-up pass with the loop's steady shapes, every `take` is
+//! satisfied from the pool and the loop performs **zero heap
+//! allocations** — the property the `alloc_free_streaming_predict` test in
+//! `splash` pins. Buffers that are never given back simply migrate out of
+//! the pool; the workspace never frees capacity behind the caller's back.
+
+use crate::matrix::Matrix;
+
+/// A pool of reusable [`Matrix`] buffers (see the module docs for the
+/// take/give protocol).
+#[derive(Debug, Clone, Default)]
+pub struct Workspace {
+    pool: Vec<Matrix>,
+}
+
+impl Workspace {
+    /// An empty workspace; buffers are created lazily by the first passes.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of buffers currently parked in the pool.
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Checks out a zeroed `rows × cols` matrix.
+    ///
+    /// Best-fit reuse: the pooled buffer with the smallest sufficient
+    /// capacity is used as-is; if none fits, the largest pooled buffer is
+    /// grown (one allocation, amortized away by reuse); an empty pool
+    /// allocates fresh. Return the buffer with [`Workspace::give`] when
+    /// done so later takes can reuse it.
+    pub fn take(&mut self, rows: usize, cols: usize) -> Matrix {
+        let need = rows * cols;
+        let mut best: Option<(usize, usize)> = None;
+        let mut largest: Option<(usize, usize)> = None;
+        for (i, m) in self.pool.iter().enumerate() {
+            let cap = m.capacity();
+            if cap >= need && best.is_none_or(|(_, c)| cap < c) {
+                best = Some((i, cap));
+            }
+            if largest.is_none_or(|(_, c)| cap > c) {
+                largest = Some((i, cap));
+            }
+        }
+        let mut m = match best.or(largest) {
+            Some((i, _)) => self.pool.swap_remove(i),
+            None => Matrix::default(),
+        };
+        m.resize_zeroed(rows, cols);
+        m
+    }
+
+    /// Returns a buffer to the pool, preserving its capacity for reuse.
+    pub fn give(&mut self, m: Matrix) {
+        self.pool.push(m);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_is_zeroed_and_shaped() {
+        let mut ws = Workspace::new();
+        let mut m = ws.take(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert!(m.data().iter().all(|&v| v == 0.0));
+        m.data_mut()[5] = 7.0;
+        ws.give(m);
+        // The dirtied buffer comes back clean.
+        let m = ws.take(3, 4);
+        assert!(m.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn reuse_preserves_capacity() {
+        let mut ws = Workspace::new();
+        let m = ws.take(10, 10);
+        let ptr_cap = m.capacity();
+        ws.give(m);
+        // Smaller request reuses the same buffer without shrinking it.
+        let m = ws.take(2, 2);
+        assert!(m.capacity() >= ptr_cap);
+        ws.give(m);
+        assert_eq!(ws.pooled(), 1);
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_sufficient_buffer() {
+        let mut ws = Workspace::new();
+        let big = ws.take(100, 100);
+        let small = ws.take(2, 2);
+        ws.give(big);
+        ws.give(small);
+        // A tiny request must not burn the big buffer.
+        let m = ws.take(1, 2);
+        assert!(m.capacity() < 100 * 100);
+        ws.give(m);
+    }
+}

@@ -92,7 +92,9 @@ proptest! {
     /// Every backend must produce the same bits for all three products —
     /// the determinism contract the parallel path is built on. Shapes are
     /// drawn freely (including degenerate 1×1) and values include exact
-    /// zeros, which exercise the kernels' zero-skip branches.
+    /// zeros, which exercise both the kernels' zero-skip branches and the
+    /// register microkernels' fused-vs-fallback dispatch (a zero inside a
+    /// `k` quad forces the scalar path mid-row).
     #[test]
     fn backends_agree_bitwise(
         a in arb_matrix(40, 24),
@@ -126,6 +128,56 @@ proptest! {
         }
         // And the default backend (whatever the feature set) matches too.
         prop_assert_eq!(reference.data(), a.matmul(&b).data());
+    }
+
+    /// Register-tiled microkernel edge shapes: dimensions are drawn around
+    /// the tile/unroll boundaries (1, tile−1, tile, tile+1, …), covering
+    /// non-multiple-of-tile rows/cols, tall/skinny and 1×n outputs, plus
+    /// the `_into` forms writing over dirty caller buffers.
+    #[test]
+    fn backends_agree_bitwise_on_tile_edges(
+        m in prop::sample::select(vec![1usize, 2, 3, 4, 5, 7, 8, 9, 31, 32, 33, 65]),
+        n in prop::sample::select(vec![1usize, 3, 4, 5, 8, 9, 255, 256, 257]),
+        p in prop::sample::select(vec![1usize, 2, 3, 4, 5, 7, 9, 33]),
+        seed_vals in prop::collection::vec(-10.0f32..10.0, 64),
+        zero_mask in prop::collection::vec(any::<bool>(), 64),
+    ) {
+        use nn::{Backend, BlockedBackend, NaiveBackend};
+        let fill = |r: usize, c: usize, off: usize| {
+            Matrix::from_fn(r, c, |i, j| {
+                let idx = (i * c + j + off) % seed_vals.len();
+                if zero_mask[idx] { 0.0 } else { seed_vals[idx] }
+            })
+        };
+        let a = fill(m, n, 0);
+        let b = fill(n, p, 17);
+        let c = fill(m, p, 29);
+        let bt = fill(p, n, 41);
+
+        let nn_ref = NaiveBackend.matmul(&a, &b);
+        prop_assert_eq!(nn_ref.data(), BlockedBackend.matmul(&a, &b).data());
+        let tn_ref = NaiveBackend.matmul_tn(&a, &c);
+        prop_assert_eq!(tn_ref.data(), BlockedBackend.matmul_tn(&a, &c).data());
+        let nt_ref = NaiveBackend.matmul_nt(&a, &bt);
+        prop_assert_eq!(nt_ref.data(), BlockedBackend.matmul_nt(&a, &bt).data());
+
+        // The workspace-oriented `_into` entry points must resize dirty
+        // buffers and produce the same bits as the allocating calls.
+        let mut out = Matrix::filled(3, 3, f32::NAN);
+        a.matmul_into(&b, &mut out);
+        prop_assert_eq!(nn_ref.data(), out.data());
+        a.matmul_tn_into(&c, &mut out);
+        prop_assert_eq!(tn_ref.data(), out.data());
+        a.matmul_nt_into(&bt, &mut out);
+        prop_assert_eq!(nt_ref.data(), out.data());
+
+        #[cfg(feature = "parallel")]
+        {
+            use nn::ParallelBackend;
+            prop_assert_eq!(nn_ref.data(), ParallelBackend.matmul(&a, &b).data());
+            prop_assert_eq!(tn_ref.data(), ParallelBackend.matmul_tn(&a, &c).data());
+            prop_assert_eq!(nt_ref.data(), ParallelBackend.matmul_nt(&a, &bt).data());
+        }
     }
 
     /// LN(s·x) = LN(x) holds exactly only for ε = 0; with the stabilizing

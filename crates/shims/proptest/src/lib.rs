@@ -21,6 +21,11 @@ pub use strategy::{Any, Just, Strategy};
 /// Namespaced re-exports mirroring `proptest::prelude::prop`.
 pub mod prop {
     pub use crate::collection;
+
+    /// Mirrors `proptest::sample`: strategies drawing from fixed lists.
+    pub mod sample {
+        pub use crate::strategy::{select, Select};
+    }
 }
 
 /// Test-runner configuration (`ProptestConfig`).

@@ -112,6 +112,24 @@ impl<T: Clone> Strategy for Just<T> {
     }
 }
 
+/// Uniformly picks one of a fixed list of values; see [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T>(Vec<T>);
+
+/// `sample::select(values)` — uniform choice from a non-empty list, used to
+/// pin test shapes to interesting boundary values.
+pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+    assert!(!values.is_empty(), "select needs at least one value");
+    Select(values)
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0[rng.random_range(0..self.0.len())].clone()
+    }
+}
+
 /// Strategy for `T`'s full standard distribution; see [`any`].
 pub struct Any<T>(PhantomData<T>);
 

@@ -63,6 +63,19 @@ pub struct Augmenter {
     positional_prop: Vec<Option<Vec<f32>>>,
     degrees: DegreeTracker,
     degree_enc: DegreeEncode,
+    /// Reusable pre-update feature snapshots for [`Augmenter::observe`] so
+    /// steady-state edge ingestion performs no heap allocation.
+    scratch: ObserveScratch,
+}
+
+/// Scratch buffers holding the endpoints' pre-update features during one
+/// [`Augmenter::observe`] call.
+#[derive(Debug, Clone, Default)]
+struct ObserveScratch {
+    src_rand: Vec<f32>,
+    src_pos: Vec<f32>,
+    dst_rand: Vec<f32>,
+    dst_pos: Vec<f32>,
 }
 
 impl Augmenter {
@@ -147,6 +160,7 @@ impl Augmenter {
             positional_prop: vec![None; n],
             degrees: DegreeTracker::new(n),
             degree_enc: DegreeEncode::new(dv, degree_alpha),
+            scratch: ObserveScratch::default(),
         };
         for e in &stream.edges()[..prefix_len] {
             aug.observe(e);
@@ -188,49 +202,70 @@ impl Augmenter {
     pub fn observe(&mut self, edge: &TemporalEdge) {
         self.grow(edge.src.max(edge.dst));
         // Pre-update degrees and features (Eqs. 4–5 use t(n−1) values).
+        // Feature snapshots land in the reusable scratch (taken out of
+        // `self` for the duration so `feature_into` can borrow `&self`),
+        // and only the snapshots a propagation will read are computed.
         let deg_src = self.degrees.degree(edge.src);
         let deg_dst = self.degrees.degree(edge.dst);
-        let src_rand = self.feature(FeatureProcess::Random, edge.src);
-        let src_pos = self.feature(FeatureProcess::Positional, edge.src);
-        let dst_rand = self.feature(FeatureProcess::Random, edge.dst);
-        let dst_pos = self.feature(FeatureProcess::Positional, edge.dst);
-
-        if !self.is_seen(edge.src) {
-            propagate(&mut self.random_prop[edge.src as usize], deg_src, &dst_rand);
-            propagate(&mut self.positional_prop[edge.src as usize], deg_src, &dst_pos);
+        let src_unseen = !self.is_seen(edge.src);
+        let dst_unseen = !self.is_seen(edge.dst) && edge.src != edge.dst;
+        let mut s = std::mem::take(&mut self.scratch);
+        if src_unseen {
+            self.feature_into(FeatureProcess::Random, edge.dst, &mut s.dst_rand);
+            self.feature_into(FeatureProcess::Positional, edge.dst, &mut s.dst_pos);
         }
-        if !self.is_seen(edge.dst) && edge.src != edge.dst {
-            propagate(&mut self.random_prop[edge.dst as usize], deg_dst, &src_rand);
-            propagate(&mut self.positional_prop[edge.dst as usize], deg_dst, &src_pos);
+        if dst_unseen {
+            self.feature_into(FeatureProcess::Random, edge.src, &mut s.src_rand);
+            self.feature_into(FeatureProcess::Positional, edge.src, &mut s.src_pos);
         }
+        if src_unseen {
+            propagate(&mut self.random_prop[edge.src as usize], deg_src, &s.dst_rand);
+            propagate(&mut self.positional_prop[edge.src as usize], deg_src, &s.dst_pos);
+        }
+        if dst_unseen {
+            propagate(&mut self.random_prop[edge.dst as usize], deg_dst, &s.src_rand);
+            propagate(&mut self.positional_prop[edge.dst as usize], deg_dst, &s.src_pos);
+        }
+        self.scratch = s;
         self.degrees.update(edge);
     }
 
     /// The current feature `x_i(t) = X(v_i(t))` of `node` under `process`.
     pub fn feature(&self, process: FeatureProcess, node: NodeId) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.dv);
+        self.feature_into(process, node, &mut out);
+        out
+    }
+
+    /// [`Augmenter::feature`] into a caller-owned vector: `out` is cleared
+    /// and refilled, reusing its allocation. The streaming hot paths call
+    /// this per edge/query, so after warm-up it performs no heap
+    /// allocation.
+    pub fn feature_into(&self, process: FeatureProcess, node: NodeId, out: &mut Vec<f32>) {
+        out.clear();
         let idx = node as usize;
+        let fixed_or_propagated =
+            |seen: &Matrix, prop: &[Option<Vec<f32>>], out: &mut Vec<f32>| {
+                if self.is_seen(node) {
+                    out.extend_from_slice(seen.row(idx));
+                } else {
+                    match prop.get(idx).and_then(|o| o.as_deref()) {
+                        Some(f) => out.extend_from_slice(f),
+                        None => out.resize(self.dv, 0.0),
+                    }
+                }
+            };
         match process {
             FeatureProcess::Random => {
-                if self.is_seen(node) {
-                    self.random_seen.row(idx).to_vec()
-                } else {
-                    self.random_prop
-                        .get(idx)
-                        .and_then(|o| o.clone())
-                        .unwrap_or_else(|| vec![0.0; self.dv])
-                }
+                fixed_or_propagated(&self.random_seen, &self.random_prop, out)
             }
             FeatureProcess::Positional => {
-                if self.is_seen(node) {
-                    self.positional_seen.row(idx).to_vec()
-                } else {
-                    self.positional_prop
-                        .get(idx)
-                        .and_then(|o| o.clone())
-                        .unwrap_or_else(|| vec![0.0; self.dv])
-                }
+                fixed_or_propagated(&self.positional_seen, &self.positional_prop, out)
             }
-            FeatureProcess::Structural => self.degree_enc.encode(self.degrees.degree(node)),
+            FeatureProcess::Structural => {
+                out.resize(self.dv, 0.0);
+                self.degree_enc.encode_into(self.degrees.degree(node), out);
+            }
         }
     }
 

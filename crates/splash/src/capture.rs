@@ -49,7 +49,7 @@ impl InputFeatures {
 }
 
 /// One remembered incident edge with feature snapshots taken at its arrival.
-#[derive(Debug, Clone)]
+#[derive(Debug, Default)]
 pub struct CapturedNeighbor {
     /// The other endpoint.
     pub other: NodeId,
@@ -61,6 +61,29 @@ pub struct CapturedNeighbor {
     pub time: f64,
     /// The edge's weight `w_ij`.
     pub weight: f32,
+}
+
+impl Clone for CapturedNeighbor {
+    fn clone(&self) -> Self {
+        Self {
+            other: self.other,
+            feat: self.feat.clone(),
+            edge_feat: self.edge_feat.clone(),
+            time: self.time,
+            weight: self.weight,
+        }
+    }
+
+    /// Allocation-reusing overwrite: the feature vectors keep their heap
+    /// buffers (the streaming predictor leans on this for zero-allocation
+    /// steady-state query assembly).
+    fn clone_from(&mut self, source: &Self) {
+        self.other = source.other;
+        self.feat.clone_from(&source.feat);
+        self.edge_feat.clone_from(&source.edge_feat);
+        self.time = source.time;
+        self.weight = source.weight;
+    }
 }
 
 /// Everything a model needs to answer one label query.
@@ -76,6 +99,20 @@ pub struct CapturedQuery {
     pub neighbors: Vec<CapturedNeighbor>,
     /// Ground truth `Y_i(t)`.
     pub label: Label,
+}
+
+impl Default for CapturedQuery {
+    /// An empty query (class-0 placeholder label) whose buffers are meant
+    /// to be refilled in place by streaming query assembly.
+    fn default() -> Self {
+        Self {
+            node: 0,
+            time: 0.0,
+            target_feat: Vec::new(),
+            neighbors: Vec::new(),
+            label: Label::Class(0),
+        }
+    }
 }
 
 /// A full capture: one entry per dataset query, in chronological order.
@@ -131,10 +168,13 @@ impl FeatMemory {
         match self.rings.get(node as usize) {
             None => Vec::new(),
             Some(ring) => {
-                let n = ring.entries.len();
-                (0..n)
-                    .map(|i| ring.entries[(ring.head + i) % n.max(1)].clone())
-                    .collect()
+                // Oldest-first = entries[head..] then entries[..head]: two
+                // contiguous memcpy-able slices instead of a per-entry
+                // modulo walk.
+                let mut out = Vec::with_capacity(ring.entries.len());
+                out.extend_from_slice(&ring.entries[ring.head..]);
+                out.extend_from_slice(&ring.entries[..ring.head]);
+                out
             }
         }
     }

@@ -6,14 +6,14 @@ use std::time::Instant;
 
 use ctdg::Label;
 use datasets::Dataset;
-use nn::{Adam, Matrix, Parameterized};
+use nn::{Adam, Matrix, Parameterized, Workspace};
 use rand::{rngs::StdRng, RngExt, SeedableRng};
 
 use crate::augment::FeatureProcess;
 use crate::capture::{capture, Capture, CapturedQuery, InputFeatures};
 use crate::config::SplashConfig;
 use crate::select::{select_features, SelectionReport};
-use crate::slim::SlimModel;
+use crate::slim::{SlimBatch, SlimCache, SlimModel};
 use crate::task::{evaluate, loss_and_grad, output_dim};
 
 /// Fraction of queries in the train split.
@@ -58,6 +58,11 @@ pub fn split_bounds_frac(n: usize, train_frac: f64, seen_frac: f64) -> (usize, u
 }
 
 /// Trains a SLIM model on the given captured queries.
+///
+/// The whole run shares one [`Workspace`], one packed batch, one forward
+/// cache, and one pair of output buffers: after the first step warms them
+/// up, the per-step hot loop (pack → forward → backward → Adam) stays off
+/// the allocator.
 pub fn train_slim(
     cap: &Capture,
     dataset: &Dataset,
@@ -71,6 +76,13 @@ pub fn train_slim(
     let n = train_queries.len();
     let start = Instant::now();
     if n > 0 {
+        let mut ws = Workspace::new();
+        let mut batch = SlimBatch::default();
+        let mut cache = SlimCache::default();
+        let mut logits = Matrix::default();
+        let mut h = Matrix::default();
+        let mut refs: Vec<&CapturedQuery> = Vec::with_capacity(cfg.batch_size.min(n));
+        let mut labels: Vec<&Label> = Vec::with_capacity(cfg.batch_size.min(n));
         let mut order: Vec<usize> = (0..n).collect();
         for _epoch in 0..cfg.epochs {
             // Fisher–Yates shuffle per epoch; captured inputs are immutable
@@ -82,13 +94,14 @@ pub fn train_slim(
             let mut pos = 0;
             while pos < n {
                 let end = (pos + cfg.batch_size).min(n);
-                let idx = &order[pos..end];
-                let refs: Vec<&CapturedQuery> = idx.iter().map(|&i| &train_queries[i]).collect();
-                let labels: Vec<&Label> = refs.iter().map(|q| &q.label).collect();
-                let batch = model.build_batch(&refs);
-                let (logits, _, cache) = model.forward(&batch);
+                refs.clear();
+                refs.extend(order[pos..end].iter().map(|&i| &train_queries[i]));
+                labels.clear();
+                labels.extend(refs.iter().map(|q| &q.label));
+                model.build_batch_into(&refs, &mut batch);
+                model.forward_into(&batch, &mut logits, &mut h, &mut cache, &mut ws);
                 let (_, dlogits) = loss_and_grad(dataset.task, &logits, &labels);
-                model.backward(&cache, &dlogits);
+                model.backward_ws(&cache, &dlogits, &mut ws);
                 opt.step(model.params_mut());
                 pos = end;
             }

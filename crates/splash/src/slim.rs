@@ -15,6 +15,7 @@
 
 use nn::{
     FixedTimeEncode, LayerNorm, LayerNormCache, Matrix, Mlp, MlpCache, Param, Parameterized,
+    Workspace,
 };
 use rand::Rng;
 
@@ -37,7 +38,10 @@ pub struct SlimModel {
 }
 
 /// A packed minibatch of captured queries.
-#[derive(Debug)]
+///
+/// `Default` yields an empty batch meant to be (re)filled with
+/// [`SlimModel::build_batch_into`], reusing its buffers across steps.
+#[derive(Debug, Clone, Default)]
 pub struct SlimBatch {
     /// Raw messages `(B·k, d_v + d_e + d_t)`; zero rows pad short lists.
     raw: Matrix,
@@ -50,7 +54,10 @@ pub struct SlimBatch {
 }
 
 /// Backward cache for one SLIM forward.
-#[derive(Debug)]
+///
+/// `Default` yields an empty cache that [`SlimModel::forward_into`] sizes
+/// and reuses — carry one across training steps.
+#[derive(Debug, Default)]
 pub struct SlimCache {
     mlp1: MlpCache,
     mlp2: MlpCache,
@@ -94,41 +101,47 @@ impl SlimModel {
 
     /// Packs captured queries into a dense batch.
     pub fn build_batch(&self, queries: &[&CapturedQuery]) -> SlimBatch {
+        let mut batch = SlimBatch::default();
+        self.build_batch_into(queries, &mut batch);
+        batch
+    }
+
+    /// [`SlimModel::build_batch`] into a reusable batch: every buffer is
+    /// resized in place, so repacking with a steady batch size performs no
+    /// heap allocation after the first call.
+    pub fn build_batch_into(&self, queries: &[&CapturedQuery], batch: &mut SlimBatch) {
         let b = queries.len();
         let raw_dim = self.feat_dim + self.edge_feat_dim + self.time_enc.dim();
-        let mut raw = Matrix::zeros(b * self.k, raw_dim);
-        let mut weights = vec![0.0f32; b * self.k];
-        let mut lens = vec![0usize; b];
-        let mut target = Matrix::zeros(b, self.feat_dim);
+        batch.raw.resize_zeroed(b * self.k, raw_dim);
+        batch.weights.clear();
+        batch.weights.resize(b * self.k, 0.0);
+        batch.lens.clear();
+        batch.lens.resize(b, 0);
+        batch.target.resize_zeroed(b, self.feat_dim);
         for (qi, q) in queries.iter().enumerate() {
-            target.set_row(qi, &q.target_feat);
+            batch.target.set_row(qi, &q.target_feat);
             let len = q.neighbors.len().min(self.k);
-            lens[qi] = len;
+            batch.lens[qi] = len;
             // Use the most recent `len` entries (they are oldest-first).
             let skip = q.neighbors.len() - len;
             for (slot, nb) in q.neighbors[skip..].iter().enumerate() {
-                let row = raw.row_mut(qi * self.k + slot);
+                let row = batch.raw.row_mut(qi * self.k + slot);
                 row[..self.feat_dim].copy_from_slice(&nb.feat);
                 row[self.feat_dim..self.feat_dim + self.edge_feat_dim]
                     .copy_from_slice(&nb.edge_feat);
-                let te = self.time_enc.encode(q.time - nb.time);
-                row[self.feat_dim + self.edge_feat_dim..].copy_from_slice(&te);
-                weights[qi * self.k + slot] = nb.weight;
+                self.time_enc.encode_into(
+                    q.time - nb.time,
+                    &mut row[self.feat_dim + self.edge_feat_dim..],
+                );
+                batch.weights[qi * self.k + slot] = nb.weight;
             }
         }
-        SlimBatch { raw, weights, lens, target }
     }
 
-    /// Forward pass producing `(logits, representation, cache)`.
-    pub fn forward(&self, batch: &SlimBatch) -> (Matrix, Matrix, SlimCache) {
-        let b = batch.lens.len();
-        let dh = self.ln1.dim();
-        let (m_all, c_mlp1) = self.mlp1.forward(&batch.raw);
-        let m = m_all.scale_rows(&batch.weights);
-        let mut mean = Matrix::zeros(b, dh);
-        let mut sum = Matrix::zeros(b, dh);
-        for qi in 0..b {
-            let len = batch.lens[qi];
+    /// Sums the (weighted) messages of each query into `sum` and writes the
+    /// per-query mean into `mean` (both pre-sized `(B, d_h)` and zeroed).
+    fn aggregate_messages(&self, m: &Matrix, lens: &[usize], sum: &mut Matrix, mean: &mut Matrix) {
+        for (qi, &len) in lens.iter().enumerate() {
             for slot in 0..len {
                 let src = m.row(qi * self.k + slot);
                 let s = sum.row_mut(qi);
@@ -138,57 +151,161 @@ impl SlimModel {
             }
             if len > 0 {
                 let inv = 1.0 / len as f32;
-                let (s_row, m_row) = (sum.row(qi).to_vec(), mean.row_mut(qi));
-                for (o, &v) in m_row.iter_mut().zip(&s_row) {
+                for (o, &v) in mean.row_mut(qi).iter_mut().zip(sum.row(qi)) {
                     *o = v * inv;
                 }
             }
         }
-        let concat = Matrix::concat_cols(&[&batch.target, &mean]);
-        let (h_tilde, c_mlp2) = self.mlp2.forward(&concat);
-        let (n1, c_ln1) = self.ln1.forward(&h_tilde);
-        let (n2, c_ln2) = self.ln2.forward(&sum);
-        let h = n1.add(&n2.scale(self.lambda_s));
-        let (logits, c_dec) = self.decoder.forward(&h);
-        (
-            logits,
-            h,
-            SlimCache {
-                mlp1: c_mlp1,
-                mlp2: c_mlp2,
-                ln1: c_ln1,
-                ln2: c_ln2,
-                decoder: c_dec,
-                weights: batch.weights.clone(),
-                lens: batch.lens.clone(),
-            },
-        )
+    }
+
+    /// Fills `concat` (pre-sized `(B, d_v + d_h)`) with `[target ‖ mean]`.
+    fn fill_concat(&self, target: &Matrix, mean: &Matrix, concat: &mut Matrix) {
+        let dv = self.feat_dim;
+        for qi in 0..target.rows() {
+            let row = concat.row_mut(qi);
+            row[..dv].copy_from_slice(target.row(qi));
+            row[dv..].copy_from_slice(mean.row(qi));
+        }
+    }
+
+    /// Forward pass producing `(logits, representation, cache)`.
+    pub fn forward(&self, batch: &SlimBatch) -> (Matrix, Matrix, SlimCache) {
+        let mut cache = SlimCache::default();
+        let mut logits = Matrix::default();
+        let mut h = Matrix::default();
+        self.forward_into(batch, &mut logits, &mut h, &mut cache, &mut Workspace::new());
+        (logits, h, cache)
+    }
+
+    /// [`SlimModel::forward`] into caller-owned `logits`/`h` buffers with a
+    /// reusable cache, drawing intermediates from `ws`. Allocation-free
+    /// once the buffers have warmed up to the batch shape; bit-identical to
+    /// [`SlimModel::forward`].
+    pub fn forward_into(
+        &self,
+        batch: &SlimBatch,
+        logits: &mut Matrix,
+        h: &mut Matrix,
+        cache: &mut SlimCache,
+        ws: &mut Workspace,
+    ) {
+        let b = batch.lens.len();
+        let dh = self.ln1.dim();
+        let mut m = ws.take(0, 0);
+        self.mlp1.forward_into(&batch.raw, &mut m, &mut cache.mlp1, ws);
+        m.scale_rows_assign(&batch.weights);
+        let mut mean = ws.take(b, dh);
+        let mut sum = ws.take(b, dh);
+        self.aggregate_messages(&m, &batch.lens, &mut sum, &mut mean);
+        let mut concat = ws.take(b, self.feat_dim + dh);
+        self.fill_concat(&batch.target, &mean, &mut concat);
+        let mut h_tilde = ws.take(0, 0);
+        self.mlp2.forward_into(&concat, &mut h_tilde, &mut cache.mlp2, ws);
+        let mut n1 = ws.take(0, 0);
+        self.ln1.forward_into(&h_tilde, &mut n1, &mut cache.ln1);
+        let mut n2 = ws.take(0, 0);
+        self.ln2.forward_into(&sum, &mut n2, &mut cache.ln2);
+        // h = LN1(h̃) + λ_s · LN2(sum), fused in place (same mul-then-add
+        // per element as the allocating `n1.add(&n2.scale(λ_s))`).
+        h.copy_from(&n1);
+        h.axpy(self.lambda_s, &n2);
+        self.decoder.forward_into(h, logits, &mut cache.decoder, ws);
+        cache.weights.clone_from(&batch.weights);
+        cache.lens.clone_from(&batch.lens);
+        ws.give(m);
+        ws.give(mean);
+        ws.give(sum);
+        ws.give(concat);
+        ws.give(h_tilde);
+        ws.give(n1);
+        ws.give(n2);
+    }
+
+    /// Cache-free representation `h_i(t)` (Eq. 18) into `h` — the shared
+    /// trunk of the inference paths.
+    fn represent_core(&self, batch: &SlimBatch, h: &mut Matrix, ws: &mut Workspace) {
+        let b = batch.lens.len();
+        let dh = self.ln1.dim();
+        let mut m = ws.take(0, 0);
+        self.mlp1.infer_into(&batch.raw, &mut m, ws);
+        m.scale_rows_assign(&batch.weights);
+        let mut mean = ws.take(b, dh);
+        let mut sum = ws.take(b, dh);
+        self.aggregate_messages(&m, &batch.lens, &mut sum, &mut mean);
+        let mut concat = ws.take(b, self.feat_dim + dh);
+        self.fill_concat(&batch.target, &mean, &mut concat);
+        let mut h_tilde = ws.take(0, 0);
+        self.mlp2.infer_into(&concat, &mut h_tilde, ws);
+        let mut n2 = ws.take(0, 0);
+        self.ln1.infer_into(&h_tilde, h);
+        self.ln2.infer_into(&sum, &mut n2);
+        h.axpy(self.lambda_s, &n2);
+        ws.give(m);
+        ws.give(mean);
+        ws.give(sum);
+        ws.give(concat);
+        ws.give(h_tilde);
+        ws.give(n2);
     }
 
     /// Inference-only logits.
     pub fn infer(&self, batch: &SlimBatch) -> Matrix {
-        self.forward(batch).0
+        let mut out = Matrix::default();
+        self.infer_into(batch, &mut out, &mut Workspace::new());
+        out
+    }
+
+    /// [`SlimModel::infer`] into a caller-owned buffer, drawing every
+    /// intermediate from `ws`: the streaming predictor's steady-state path,
+    /// which performs zero heap allocations once warmed up. Bit-identical
+    /// to `forward(batch).0`.
+    pub fn infer_into(&self, batch: &SlimBatch, out: &mut Matrix, ws: &mut Workspace) {
+        let mut h = ws.take(0, 0);
+        self.represent_core(batch, &mut h, ws);
+        self.decoder.infer_into(&h, out, ws);
+        ws.give(h);
     }
 
     /// Inference-only representation `h_i(t)` (Eq. 18), for qualitative
     /// analysis (paper Fig. 14).
     pub fn represent(&self, batch: &SlimBatch) -> Matrix {
-        self.forward(batch).1
+        let mut h = Matrix::default();
+        self.represent_core(batch, &mut h, &mut Workspace::new());
+        h
+    }
+
+    /// [`SlimModel::represent`] into a caller-owned buffer, drawing every
+    /// intermediate from `ws` (allocation-free after warm-up).
+    pub fn represent_into(&self, batch: &SlimBatch, h: &mut Matrix, ws: &mut Workspace) {
+        self.represent_core(batch, h, ws);
     }
 
     /// Backward pass from `dlogits`; accumulates all parameter gradients.
     pub fn backward(&mut self, cache: &SlimCache, dlogits: &Matrix) {
+        self.backward_ws(cache, dlogits, &mut Workspace::new());
+    }
+
+    /// [`SlimModel::backward`] drawing every gradient temporary from `ws`
+    /// (allocation-free after warm-up, bit-identical gradients).
+    pub fn backward_ws(&mut self, cache: &SlimCache, dlogits: &Matrix, ws: &mut Workspace) {
         let b = cache.lens.len();
         let dh_width = self.ln1.dim();
-        let dh = self.decoder.backward(&cache.decoder, dlogits);
+        let mut dh = ws.take(0, 0);
+        self.decoder.backward_into(&cache.decoder, dlogits, &mut dh, ws);
         // h = LN1(h̃) + λ_s · LN2(sum)
-        let dh_tilde = self.ln1.backward(&cache.ln1, &dh);
-        let dsum = self.ln2.backward(&cache.ln2, &dh.scale(self.lambda_s));
+        let mut dh_tilde = ws.take(0, 0);
+        self.ln1.backward_into(&cache.ln1, &dh, &mut dh_tilde);
+        let mut dh_scaled = ws.take(0, 0);
+        dh_scaled.copy_from(&dh);
+        dh_scaled.scale_assign(self.lambda_s);
+        let mut dsum = ws.take(0, 0);
+        self.ln2.backward_into(&cache.ln2, &dh_scaled, &mut dsum);
         // h̃ = MLP2([target ‖ mean])
-        let dconcat = self.mlp2.backward(&cache.mlp2, &dh_tilde);
-        let dmean = dconcat.slice_cols(self.feat_dim, self.feat_dim + dh_width);
-        // mean/sum → per-message gradients
-        let mut dm = Matrix::zeros(b * self.k, dh_width);
+        let mut dconcat = ws.take(0, 0);
+        self.mlp2.backward_into(&cache.mlp2, &dh_tilde, &mut dconcat, ws);
+        // mean/sum → per-message gradients; the mean block of `dconcat` is
+        // read in place instead of sliced into a copy.
+        let mut dm = ws.take(b * self.k, dh_width);
         for qi in 0..b {
             let len = cache.lens[qi];
             if len == 0 {
@@ -197,7 +314,7 @@ impl SlimModel {
             let inv = 1.0 / len as f32;
             for slot in 0..len {
                 let row = dm.row_mut(qi * self.k + slot);
-                let dmean_row = dmean.row(qi);
+                let dmean_row = &dconcat.row(qi)[self.feat_dim..self.feat_dim + dh_width];
                 let dsum_row = dsum.row(qi);
                 for j in 0..dh_width {
                     row[j] = dmean_row[j] * inv + dsum_row[j];
@@ -205,8 +322,16 @@ impl SlimModel {
             }
         }
         // m = MLP1(raw) ⊙ w
-        let dm_all = dm.scale_rows(&cache.weights);
-        self.mlp1.backward(&cache.mlp1, &dm_all);
+        dm.scale_rows_assign(&cache.weights);
+        let mut dx_sink = ws.take(0, 0);
+        self.mlp1.backward_into(&cache.mlp1, &dm, &mut dx_sink, ws);
+        ws.give(dh);
+        ws.give(dh_tilde);
+        ws.give(dh_scaled);
+        ws.give(dsum);
+        ws.give(dconcat);
+        ws.give(dm);
+        ws.give(dx_sink);
     }
 }
 
@@ -365,6 +490,30 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The cache-free inference trunk (`represent_core`, behind `infer` /
+    /// `represent` / `*_into`) and the cache-building `forward` are two
+    /// code paths over the same math; this pins them bit-equal so an edit
+    /// to one that misses the other fails immediately.
+    #[test]
+    fn infer_and_represent_match_forward_bitwise() {
+        let model = tiny_model(6);
+        let q1 = query(
+            vec![0.2, -0.4, 0.6, 0.0],
+            vec![neighbor(vec![0.3, 0.1, -0.2, 0.5], 96.0, 1.1), neighbor(vec![0.2; 4], 98.0, 0.4)],
+        );
+        let q2 = query(vec![0.9, 0.0, -0.1, 0.3], vec![]);
+        let batch = model.build_batch(&[&q1, &q2]);
+        let (logits, h, _) = model.forward(&batch);
+        assert_eq!(logits.data(), model.infer(&batch).data());
+        assert_eq!(h.data(), model.represent(&batch).data());
+        let mut ws = nn::Workspace::new();
+        let mut out = nn::Matrix::default();
+        model.infer_into(&batch, &mut out, &mut ws);
+        assert_eq!(logits.data(), out.data());
+        model.represent_into(&batch, &mut out, &mut ws);
+        assert_eq!(h.data(), out.data());
     }
 
     #[test]

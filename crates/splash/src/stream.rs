@@ -13,16 +13,18 @@
 //! `streaming_matches_batch_pipeline` test): both paths snapshot neighbor
 //! features at edge-arrival time, as Eq. 14 requires.
 
+use std::cell::RefCell;
+
 use ctdg::{Label, NodeId, PropertyQuery, TemporalEdge};
 use datasets::Dataset;
-use nn::Matrix;
+use nn::{Matrix, Workspace};
 
 use crate::augment::{Augmenter, FeatureProcess};
 use crate::capture::{capture, seen_end_time, CapturedNeighbor, CapturedQuery, InputFeatures};
 use crate::config::SplashConfig;
 use crate::pipeline::{split_bounds, train_slim, SEEN_FRAC};
 use crate::select::select_features;
-use crate::slim::SlimModel;
+use crate::slim::{SlimBatch, SlimModel};
 
 /// Chunk size [`StreamingPredictor::predict_batch`] hands to the
 /// (chunk-parallel) batched forward pass.
@@ -35,6 +37,23 @@ struct Ring {
     head: usize,
 }
 
+/// Reusable buffers for steady-state query answering: assembled query
+/// inputs, the packed batch, the model's workspace, and the logits buffer.
+/// Warmed up by the first few predictions, then reused verbatim, so
+/// [`StreamingPredictor::predict_into`] stays off the allocator.
+#[derive(Debug, Clone, Default)]
+struct PredictScratch {
+    query: CapturedQuery,
+    queries: Vec<CapturedQuery>,
+    /// Parked neighbor slots: when a query has fewer neighbors than the
+    /// previous one, the surplus slots move here instead of being dropped,
+    /// keeping their feature buffers alive for the next longer query.
+    spare: Vec<CapturedNeighbor>,
+    batch: SlimBatch,
+    ws: Workspace,
+    logits: Matrix,
+}
+
 /// A trained SPLASH model plus all streaming state, ready to consume a live
 /// edge stream and answer label queries in real time.
 #[derive(Debug, Clone)]
@@ -45,6 +64,13 @@ pub struct StreamingPredictor {
     rings: Vec<Ring>,
     k: usize,
     last_time: f64,
+    /// Interior-mutable so the `&self` prediction methods can reuse their
+    /// assembly buffers across calls. This makes the predictor
+    /// single-threaded (`!Sync`) by design; for concurrent serving, clone
+    /// one predictor per worker (cloning isolates the scratch) or use
+    /// [`StreamingPredictor::predict_batch`], which parallelizes over
+    /// query chunks internally.
+    scratch: RefCell<PredictScratch>,
 }
 
 impl StreamingPredictor {
@@ -86,6 +112,7 @@ impl StreamingPredictor {
             rings: Vec::new(),
             k: cfg.k,
             last_time: f64::NEG_INFINITY,
+            scratch: RefCell::new(PredictScratch::default()),
         };
         // Prime the neighbor rings with the seen-period edges. The
         // augmenter already observed them in `Augmenter::new`, so only the
@@ -127,6 +154,7 @@ impl StreamingPredictor {
             rings: Vec::new(),
             k: cfg.k,
             last_time: f64::NEG_INFINITY,
+            scratch: RefCell::new(PredictScratch::default()),
         };
         for edge in &dataset.stream.edges()[..prefix] {
             predictor.remember(edge);
@@ -145,50 +173,64 @@ impl StreamingPredictor {
         self.last_time
     }
 
-    fn ring_mut(&mut self, node: NodeId) -> &mut Ring {
+    /// Grows the ring table to cover `node` (a free function over the
+    /// `rings` field so callers can keep borrowing the augmenter).
+    fn grow_rings(rings: &mut Vec<Ring>, node: NodeId) {
         let need = node as usize + 1;
-        if self.rings.len() < need {
-            self.rings.resize_with(need, Ring::default);
+        if rings.len() < need {
+            rings.resize_with(need, Ring::default);
         }
-        &mut self.rings[node as usize]
     }
 
-    fn push(&mut self, node: NodeId, entry: CapturedNeighbor) {
-        let k = self.k;
-        let ring = self.ring_mut(node);
+    /// Hands out the ring slot the next entry for `node` should overwrite,
+    /// growing the ring table only during warm-up.
+    fn push_slot(rings: &mut Vec<Ring>, k: usize, node: NodeId) -> &mut CapturedNeighbor {
+        Self::grow_rings(rings, node);
+        let ring = &mut rings[node as usize];
         if ring.entries.len() < k {
-            ring.entries.push(entry);
+            if ring.entries.capacity() == 0 {
+                // One allocation per ring, ever: the ring can only hold k
+                // entries, so reserve them all on first touch instead of
+                // growing through the doubling sequence.
+                ring.entries.reserve_exact(k);
+            }
+            ring.entries.push(CapturedNeighbor::default());
+            ring.entries.last_mut().expect("just pushed")
         } else {
-            ring.entries[ring.head] = entry;
+            let head = ring.head;
             ring.head = (ring.head + 1) % k;
+            &mut ring.entries[head]
         }
     }
 
-    /// Snapshots both endpoints' current features into the rings.
+    /// Fills one (reused) ring slot with the snapshot of `other` as seen
+    /// from the slot owner's side of `edge` — a free function over the
+    /// augmenter so the caller can keep its mutable borrow of the rings.
+    fn fill_slot(
+        augmenter: &Augmenter,
+        process: FeatureProcess,
+        slot: &mut CapturedNeighbor,
+        other: NodeId,
+        edge: &TemporalEdge,
+    ) {
+        slot.other = other;
+        augmenter.feature_into(process, other, &mut slot.feat);
+        slot.edge_feat.clear();
+        slot.edge_feat.extend_from_slice(&edge.feat);
+        slot.time = edge.time;
+        slot.weight = edge.weight;
+    }
+
+    /// Snapshots both endpoints' current features into the rings, writing
+    /// each snapshot directly into its (reused) ring slot — steady-state
+    /// edge ingestion touches the allocator only when a ring or the ring
+    /// table itself grows.
     fn remember(&mut self, edge: &TemporalEdge) {
-        let src_feat = self.augmenter.feature(self.process, edge.src);
-        let dst_feat = self.augmenter.feature(self.process, edge.dst);
-        self.push(
-            edge.src,
-            CapturedNeighbor {
-                other: edge.dst,
-                feat: dst_feat,
-                edge_feat: edge.feat.to_vec(),
-                time: edge.time,
-                weight: edge.weight,
-            },
-        );
+        let slot = Self::push_slot(&mut self.rings, self.k, edge.src);
+        Self::fill_slot(&self.augmenter, self.process, slot, edge.dst, edge);
         if edge.src != edge.dst {
-            self.push(
-                edge.dst,
-                CapturedNeighbor {
-                    other: edge.src,
-                    feat: src_feat,
-                    edge_feat: edge.feat.to_vec(),
-                    time: edge.time,
-                    weight: edge.weight,
-                },
-            );
+            let slot = Self::push_slot(&mut self.rings, self.k, edge.dst);
+            Self::fill_slot(&self.augmenter, self.process, slot, edge.src, edge);
         }
     }
 
@@ -227,7 +269,7 @@ impl StreamingPredictor {
             prev = edge.time;
             max_node = max_node.max(edge.src).max(edge.dst);
         }
-        self.ring_mut(max_node);
+        Self::grow_rings(&mut self.rings, max_node);
         for edge in edges {
             self.augmenter.observe(edge);
             self.remember(edge);
@@ -235,41 +277,87 @@ impl StreamingPredictor {
         self.last_time = last.time;
     }
 
-    /// Builds the model input for `node` as of time `t`.
-    fn query_input(&self, node: NodeId, time: f64) -> CapturedQuery {
-        let neighbors = match self.rings.get(node as usize) {
-            None => Vec::new(),
-            Some(ring) => {
-                let n = ring.entries.len();
-                (0..n)
-                    .map(|i| ring.entries[(ring.head + i) % n.max(1)].clone())
-                    .collect()
-            }
+    /// Builds the model input for `node` as of time `t` into the reused
+    /// query buffer: the target feature vector and every neighbor slot keep
+    /// their allocations, and the ring is copied as (at most) two
+    /// contiguous slices — oldest-first is `entries[head..]` then
+    /// `entries[..head]` — instead of a per-entry modulo walk.
+    fn query_input_into(
+        &self,
+        node: NodeId,
+        time: f64,
+        q: &mut CapturedQuery,
+        spare: &mut Vec<CapturedNeighbor>,
+    ) {
+        q.node = node;
+        q.time = time;
+        q.label = Label::Class(0); // placeholder; predictions ignore labels
+        self.augmenter.feature_into(self.process, node, &mut q.target_feat);
+        let (older, newer) = match self.rings.get(node as usize) {
+            None => (&[][..], &[][..]),
+            Some(ring) => (&ring.entries[ring.head..], &ring.entries[..ring.head]),
         };
-        CapturedQuery {
-            node,
-            time,
-            target_feat: self.augmenter.feature(self.process, node),
-            neighbors,
-            label: Label::Class(0), // placeholder; predictions ignore labels
+        // Shrink by parking surplus slots (keeping their buffers), grow by
+        // unparking; every slot is overwritten via `clone_from`, which
+        // reuses its feature allocations.
+        let n = older.len() + newer.len();
+        while q.neighbors.len() > n {
+            spare.push(q.neighbors.pop().expect("len checked"));
+        }
+        for (i, src) in older.iter().chain(newer).enumerate() {
+            match q.neighbors.get_mut(i) {
+                Some(slot) => slot.clone_from(src),
+                None => {
+                    let mut slot = spare.pop().unwrap_or_default();
+                    slot.clone_from(src);
+                    q.neighbors.push(slot);
+                }
+            }
         }
     }
 
     /// Predicts the property logits of `node` at time `time` (which must
     /// not precede the last observed edge).
+    ///
+    /// Allocates only the returned vector; [`StreamingPredictor::
+    /// predict_into`] is the fully allocation-free form.
     pub fn predict(&self, node: NodeId, time: f64) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.predict_into(node, time, &mut out);
+        out
+    }
+
+    /// [`StreamingPredictor::predict`] into a caller-owned vector. This is
+    /// the steady-state serving path: query assembly, batch packing, and
+    /// the SLIM forward all run in buffers reused across calls, so after a
+    /// few warm-up queries it performs **zero heap allocations** (pinned by
+    /// the `alloc` regression test).
+    pub fn predict_into(&self, node: NodeId, time: f64, out: &mut Vec<f32>) {
         debug_assert!(time >= self.last_time, "cannot predict in the past");
-        let q = self.query_input(node, time);
-        let batch = self.model.build_batch(&[&q]);
-        self.model.infer(&batch).row(0).to_vec()
+        let mut scratch = self.scratch.borrow_mut();
+        let s = &mut *scratch;
+        self.query_input_into(node, time, &mut s.query, &mut s.spare);
+        self.model.build_batch_into(&[&s.query], &mut s.batch);
+        self.model.infer_into(&s.batch, &mut s.logits, &mut s.ws);
+        out.clear();
+        out.extend_from_slice(s.logits.row(0));
     }
 
     /// Predicts logits for several nodes at once (single shared timestamp).
     pub fn predict_many(&self, nodes: &[NodeId], time: f64) -> Matrix {
-        let qs: Vec<CapturedQuery> = nodes.iter().map(|&v| self.query_input(v, time)).collect();
-        let refs: Vec<&CapturedQuery> = qs.iter().collect();
-        let batch = self.model.build_batch(&refs);
-        self.model.infer(&batch)
+        let mut scratch = self.scratch.borrow_mut();
+        let s = &mut *scratch;
+        if s.queries.len() < nodes.len() {
+            s.queries.resize_with(nodes.len(), CapturedQuery::default);
+        }
+        for (q, &v) in s.queries.iter_mut().zip(nodes) {
+            self.query_input_into(v, time, q, &mut s.spare);
+        }
+        let refs: Vec<&CapturedQuery> = s.queries[..nodes.len()].iter().collect();
+        self.model.build_batch_into(&refs, &mut s.batch);
+        let mut out = Matrix::default();
+        self.model.infer_into(&s.batch, &mut out, &mut s.ws);
+        out
     }
 
     /// Answers a micro-batch of label queries in one SLIM forward pass;
@@ -284,21 +372,29 @@ impl StreamingPredictor {
     /// captured state. Queries may carry distinct timestamps; none may
     /// precede the last observed edge.
     pub fn predict_batch(&self, queries: &[PropertyQuery]) -> Matrix {
-        let qs: Vec<CapturedQuery> = queries
-            .iter()
-            .map(|q| {
-                debug_assert!(q.time >= self.last_time, "cannot predict in the past");
-                self.query_input(q.node, q.time)
-            })
-            .collect();
-        crate::pipeline::predict_slim(&self.model, &qs, STREAM_BATCH)
+        let mut scratch = self.scratch.borrow_mut();
+        let s = &mut *scratch;
+        // The assembled-query buffers persist across batches at their
+        // high-water count; only a batch larger than any before grows them.
+        if s.queries.len() < queries.len() {
+            s.queries.resize_with(queries.len(), CapturedQuery::default);
+        }
+        for (dst, q) in s.queries.iter_mut().zip(queries) {
+            debug_assert!(q.time >= self.last_time, "cannot predict in the past");
+            self.query_input_into(q.node, q.time, dst, &mut s.spare);
+        }
+        crate::pipeline::predict_slim(&self.model, &s.queries[..queries.len()], STREAM_BATCH)
     }
 
-    /// The dynamic representation `h_i(t)` of a node (Eq. 18).
+    /// The dynamic representation `h_i(t)` of a node (Eq. 18). Reuses the
+    /// predict scratch; allocates only the returned vector.
     pub fn represent(&self, node: NodeId, time: f64) -> Vec<f32> {
-        let q = self.query_input(node, time);
-        let batch = self.model.build_batch(&[&q]);
-        self.model.represent(&batch).row(0).to_vec()
+        let mut scratch = self.scratch.borrow_mut();
+        let s = &mut *scratch;
+        self.query_input_into(node, time, &mut s.query, &mut s.spare);
+        self.model.build_batch_into(&[&s.query], &mut s.batch);
+        self.model.represent_into(&s.batch, &mut s.logits, &mut s.ws);
+        s.logits.row(0).to_vec()
     }
 }
 

@@ -1,0 +1,151 @@
+//! Allocation-regression tests: the steady-state streaming hot paths must
+//! stay off the global allocator.
+//!
+//! This integration test binary installs a counting wrapper around the
+//! system allocator (each test binary is its own process, so the wrapper
+//! does not affect the rest of the suite), warms the predictor's reusable
+//! buffers up, and then pins the exact number of allocator calls the hot
+//! loops may make: zero for `predict_into`, one (the returned vector) for
+//! `predict`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ctdg::TemporalEdge;
+use splash::{seen_end_time, FeatureProcess, SplashConfig, StreamingPredictor, SEEN_FRAC};
+
+/// Counts every `alloc`/`realloc` that reaches the system allocator.
+///
+/// Kept in sync with the identical wrapper in
+/// `crates/bench/benches/hotloop.rs` (a global allocator must live in the
+/// binary that uses it, and the bench crate sits above `splash` in the
+/// dependency graph, so the two copies cannot share a crate below both).
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Runs `f` and returns how many allocator calls it made.
+fn count_allocs(mut f: impl FnMut()) -> u64 {
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    f();
+    ALLOC_CALLS.load(Ordering::Relaxed) - before
+}
+
+fn trained_predictor() -> (StreamingPredictor, Vec<TemporalEdge>) {
+    let dataset = splash::truncate_to_available(&datasets::synthetic_shift(40, 6), 0.5);
+    let mut cfg = SplashConfig::tiny();
+    cfg.epochs = 2;
+    let predictor =
+        StreamingPredictor::train_with_process(&dataset, &cfg, FeatureProcess::Random);
+    let t_seen = seen_end_time(&dataset, SEEN_FRAC);
+    let prefix = dataset.stream.prefix_len_at(t_seen);
+    let tail = dataset.stream.edges()[prefix..].to_vec();
+    (predictor, tail)
+}
+
+/// After warm-up, `predict_into` performs zero heap allocations per query,
+/// and `predict` performs at most one (the returned logits vector).
+#[test]
+fn steady_state_predict_is_allocation_free() {
+    let (mut predictor, tail) = trained_predictor();
+    assert!(tail.len() > 20, "fixture too small");
+    predictor.push_edges(&tail);
+    let t0 = predictor.last_time();
+
+    // Query a spread of nodes, including one far outside the ring table
+    // (no ring at all → zero neighbors): alternating between full and
+    // empty neighbor lists exercises the slot-parking path in query
+    // assembly. Warm every buffer: the workspace, the packed batch, the
+    // assembled query, and the output vector.
+    let mut nodes: Vec<u32> = (0..32u32).map(|i| i * 3 % 40).collect();
+    nodes.insert(7, 9_999); // never seen: rings.get(..) is None
+    nodes.insert(21, 9_999);
+    let mut out = Vec::new();
+    for (i, &v) in nodes.iter().enumerate() {
+        predictor.predict_into(v, t0 + i as f64, &mut out);
+    }
+
+    // Steady state: repeat the same query mix; not a single allocator call
+    // may happen.
+    let mut sink = 0.0f32;
+    let allocs = count_allocs(|| {
+        for (i, &v) in nodes.iter().enumerate() {
+            predictor.predict_into(v, t0 + (nodes.len() + i) as f64, &mut out);
+            sink += out[0];
+        }
+    });
+    assert!(sink.is_finite());
+    assert_eq!(
+        allocs, 0,
+        "steady-state predict_into must not allocate ({allocs} calls over {} queries)",
+        nodes.len()
+    );
+
+    // The convenience form may allocate exactly its returned Vec.
+    let warm = predictor.predict(nodes[0], t0 + 1000.0);
+    assert!(!warm.is_empty());
+    let allocs = count_allocs(|| {
+        let logits = predictor.predict(nodes[0], t0 + 1001.0);
+        sink += logits[0];
+    });
+    assert!(
+        allocs <= 1,
+        "predict should allocate at most the returned vector, saw {allocs}"
+    );
+}
+
+/// Steady-state edge ingestion reuses ring slots and augmenter scratch:
+/// once every touched ring is at capacity `k` and the propagated-feature
+/// slots exist, pushing further edges does not allocate.
+#[test]
+fn steady_state_ingest_is_allocation_free() {
+    let (mut predictor, tail) = trained_predictor();
+    assert!(tail.len() > 40, "fixture too small");
+    // Warm-up: fill the rings to capacity `k`, grow the ring table, and
+    // create propagated-feature slots for unseen endpoints. A node seen `e`
+    // times per pass needs ⌈k/e⌉ passes to saturate its ring, so replay the
+    // tail k times — afterwards every touched ring slot exists.
+    predictor.push_edges(&tail);
+    let k = SplashConfig::tiny().k;
+    let mut replay: Vec<TemporalEdge> = tail.to_vec();
+    for _ in 0..k {
+        let t0 = predictor.last_time();
+        for (i, e) in replay.iter_mut().enumerate() {
+            e.time = t0 + i as f64;
+        }
+        predictor.push_edges(&replay);
+    }
+
+    // Steady state: the same endpoints again, strictly buffer reuse.
+    let t0 = predictor.last_time();
+    for (i, e) in replay.iter_mut().enumerate() {
+        e.time = t0 + i as f64;
+    }
+    let allocs = count_allocs(|| {
+        predictor.push_edges(&replay);
+    });
+    assert_eq!(
+        allocs, 0,
+        "steady-state push_edges must not allocate ({allocs} calls over {} edges)",
+        replay.len()
+    );
+}
