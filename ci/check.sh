@@ -26,6 +26,14 @@ fi
 echo "==> docs gate: rustdoc warning-free on nn + splash"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -p nn -p splash
 
+echo "==> docs gate: doc examples execute (the service façade's docs can't rot)"
+cargo test -q --doc
+
+echo "==> examples: the serving-façade examples compile and run"
+cargo build --release --examples
+cargo run --release --example streaming_inference
+cargo run --release --example hot_swap_serving
+
 echo "==> serial fallback: nn alone without 'parallel'"
 # nn must be tested by itself: any workspace sibling that depends on nn
 # with default features would re-enable 'parallel' via feature unification.

@@ -4,13 +4,14 @@ use std::fmt::Write as _;
 use std::path::Path;
 
 use baselines::{run as run_baseline, run_dtdg, BaselineKind, DtdgKind};
-use ctdg::Label;
+use ctdg::{replay, Event, Label, TemporalEdge};
 use datasets::{
     edges_from_csv, export_csv, queries_from_csv, Dataset, DatasetStats, Task,
 };
 use splash::{
     capture, load_model, predict_slim, run_slim_with, run_splash, save_model, split_bounds,
-    FeatureProcess, InputFeatures, SplashConfig, SEEN_FRAC,
+    FeatureProcess, IngestRequest, InputFeatures, LateEdgePolicy, PredictRequest,
+    PredictResponse, SplashConfig, SplashService, SEEN_FRAC,
 };
 
 use crate::args::{ArgError, Args};
@@ -27,6 +28,8 @@ USAGE:
                   [--dv N] [--hidden N] [--seed N] [--save <model.bin>]
   splash predict  --model-file <model.bin> --edges <csv> --queries <csv>
                   --task <task> [--scores <out.csv>]
+  splash serve    --model-file <model.bin> --edges <csv> --queries <csv>
+                  --task <task> [--late-policy error|drop]
   splash baseline --model <name> --edges <csv> --queries <csv> --task <task>
                   [--classes N] [--features plain|RF] [--epochs N] [--seed N]
   splash drift    --edges <csv> --queries <csv> --task <task> [--buckets N]
@@ -47,6 +50,7 @@ pub fn dispatch(tokens: Vec<String>) -> Result<String, ArgError> {
         Some("stats") => cmd_stats(&args)?,
         Some("run") => cmd_run(&args)?,
         Some("predict") => cmd_predict(&args)?,
+        Some("serve") => cmd_serve(&args)?,
         Some("baseline") => cmd_baseline(&args)?,
         Some("drift") => cmd_drift(&args)?,
         Some("help") | None => return Ok(usage()),
@@ -132,6 +136,9 @@ fn config_from(args: &Args) -> Result<SplashConfig, ArgError> {
     cfg.node2vec = embed::Node2VecConfig::fast(cfg.feat_dim);
     cfg.hidden = args.get_parsed("hidden", cfg.hidden)?;
     cfg.seed = args.get_parsed("seed", cfg.seed)?;
+    // Reject impossible knob combinations here, with the service layer's
+    // message, instead of panicking (or hanging) somewhere in training.
+    cfg.validate().map_err(|e| ArgError(e.to_string()))?;
     Ok(cfg)
 }
 
@@ -206,8 +213,10 @@ fn parse_features(raw: &str) -> Result<Option<InputFeatures>, ArgError> {
 }
 
 fn cmd_run(args: &Args) -> Result<String, ArgError> {
-    let (dataset, task) = load_from(args)?;
+    // Validate the config before touching the (possibly large) input
+    // files: a bad knob should fail in milliseconds.
     let cfg = config_from(args)?;
+    let (dataset, task) = load_from(args)?;
     let mode = parse_features(args.get("features").unwrap_or("auto"))?;
     let save_path = args.get("save").map(String::from);
     let out = match mode {
@@ -300,6 +309,121 @@ fn cmd_predict(args: &Args) -> Result<String, ArgError> {
         saved.mode.name(),
         test.len(),
         cap.queries.len(),
+        metric_name(task),
+    ))
+}
+
+fn parse_late_policy(raw: &str) -> Result<LateEdgePolicy, ArgError> {
+    match raw {
+        "error" => Ok(LateEdgePolicy::Error),
+        "drop" => Ok(LateEdgePolicy::DropLate),
+        other => Err(ArgError(format!("unknown late policy {other:?} (error | drop)"))),
+    }
+}
+
+/// Streaming deployment through the `SplashService` façade: load a
+/// persisted model, replay the post-training period as a live stream
+/// (edges ingested in micro-batches, queries answered immediately), and
+/// report the serving counters next to the test metric.
+fn cmd_serve(args: &Args) -> Result<String, ArgError> {
+    let model_path = args.require("model-file")?.to_string();
+    let policy = parse_late_policy(args.get("late-policy").unwrap_or("error"))?;
+    let task = parse_task(args.require("task")?)?;
+    let edges = args.require("edges")?.to_string();
+    let queries = args.require("queries")?.to_string();
+
+    // Read the artifact's header first: its output width bounds the legal
+    // labels (load_dataset checks them) and its edge-feature width must
+    // match the stream, so incompatible inputs fail here as rendered
+    // errors instead of shape panics mid-serve.
+    let saved = load_model(Path::new(&model_path))
+        .map_err(|e| ArgError(format!("{model_path}: {e}")))?;
+    let dataset = load_dataset(
+        Path::new(&edges),
+        Path::new(&queries),
+        task,
+        Some(saved.out_dim),
+    )?;
+    if dataset.stream.feat_dim() != saved.edge_feat_dim {
+        return Err(ArgError(format!(
+            "edge-feature width {} does not match the saved model's {}",
+            dataset.stream.feat_dim(),
+            saved.edge_feat_dim
+        )));
+    }
+
+    // The builder config only governs in-service training; the loaded
+    // model carries (and validates) its own.
+    let mut service = SplashService::builder(SplashConfig::default())
+        .late_edge_policy(policy)
+        .build()
+        .map_err(|e| ArgError(e.to_string()))?;
+    service
+        .load_model("serving", Path::new(&model_path), &dataset)
+        .map_err(|e| ArgError(format!("{model_path}: {e}")))?;
+
+    // Go live: everything after the model's training prefix arrives as a
+    // stream. Consecutive edges between queries form one ingest batch.
+    let prefix = dataset
+        .stream
+        .prefix_len_at(service.model("serving").map_err(|e| ArgError(e.to_string()))?.last_time());
+    let (_, val_end) = split_bounds(dataset.queries.len());
+    let mut pending: Vec<TemporalEdge> = Vec::new();
+    let mut resp = PredictResponse::default();
+    let mut logits: Vec<f32> = Vec::new();
+    let mut labels: Vec<&Label> = Vec::new();
+    let started = std::time::Instant::now();
+    for event in replay(&dataset.stream, &dataset.queries) {
+        match event {
+            Event::Edge(idx, edge) => {
+                if idx >= prefix {
+                    pending.push(edge.clone());
+                }
+            }
+            Event::Query(qi, q) => {
+                if !pending.is_empty() {
+                    service
+                        .ingest("serving", IngestRequest::new(&pending))
+                        .map_err(|e| ArgError(format!("ingest at t={}: {e}", q.time)))?;
+                    pending.clear();
+                }
+                if qi >= val_end {
+                    service
+                        .predict_into("serving", PredictRequest::new(q.node, q.time), &mut resp)
+                        .map_err(|e| ArgError(format!("query at t={}: {e}", q.time)))?;
+                    logits.extend_from_slice(&resp.logits);
+                    labels.push(&q.label);
+                }
+            }
+        }
+    }
+    if !pending.is_empty() {
+        service
+            .ingest("serving", IngestRequest::new(&pending))
+            .map_err(|e| ArgError(format!("final ingest: {e}")))?;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+
+    if labels.is_empty() {
+        return Err(ArgError("the query file has no test-split queries to serve".into()));
+    }
+    let out_dim = logits.len() / labels.len();
+    let metric = splash::task::evaluate(
+        dataset.task,
+        &nn::Matrix::from_vec(labels.len(), out_dim, logits),
+        &labels,
+    );
+    let stats = service.stats();
+    Ok(format!(
+        "model          : {model_path}\n\
+         late policy    : {policy:?}\n\
+         edges ingested : {} (+{} dropped)\n\
+         queries served : {} in {elapsed:.2}s ({:.0}/s)\n\
+         test {:<10}: {metric:.4}\n",
+        stats.edges_ingested,
+        stats.edges_dropped,
+        stats.queries_served,
+        stats.queries_served as f64 / elapsed.max(1e-9),
         metric_name(task),
     ))
 }
@@ -451,5 +575,56 @@ mod tests {
     fn run_requires_inputs() {
         let err = dispatch(toks("run --task anomaly")).unwrap_err();
         assert!(err.0.contains("--edges"));
+    }
+
+    #[test]
+    fn serve_requires_a_model_file() {
+        let err = dispatch(toks("serve --task anomaly")).unwrap_err();
+        assert!(err.0.contains("--model-file"));
+    }
+
+    #[test]
+    fn late_policies_parse() {
+        assert_eq!(parse_late_policy("error").unwrap(), LateEdgePolicy::Error);
+        assert_eq!(parse_late_policy("drop").unwrap(), LateEdgePolicy::DropLate);
+        assert!(parse_late_policy("panic").is_err());
+    }
+
+    #[test]
+    fn invalid_config_is_a_rendered_error_not_a_panic() {
+        let err = dispatch(toks(
+            "run --task anomaly --edges /tmp/x.csv --queries /tmp/y.csv --dv 0",
+        ))
+        .unwrap_err();
+        assert!(err.0.contains("invalid config"), "{}", err.0);
+        assert!(err.0.contains("feat_dim"), "{}", err.0);
+    }
+
+    #[test]
+    fn serve_surfaces_persist_errors() {
+        let dir = std::env::temp_dir();
+        let base = dir.join(format!("splash-cli-serve-{}", std::process::id()));
+        let edges = base.with_extension("edges.csv");
+        let queries = base.with_extension("queries.csv");
+        let model = base.with_extension("bin");
+        std::fs::write(&edges, "src,dst,time,weight\n0,1,1.0,1.0\n1,2,2.0,1.0\n").unwrap();
+        std::fs::write(&queries, "node,time,label\n0,1.5,0\n1,2.5,1\n").unwrap();
+        std::fs::write(&model, b"NOTAMODEL").unwrap();
+        let err = dispatch(
+            format!(
+                "serve --model-file {} --edges {} --queries {} --task classification",
+                model.display(),
+                edges.display(),
+                queries.display()
+            )
+            .split_whitespace()
+            .map(String::from)
+            .collect(),
+        )
+        .unwrap_err();
+        for p in [&edges, &queries, &model] {
+            std::fs::remove_file(p).ok();
+        }
+        assert!(err.0.contains("corrupt model"), "{}", err.0);
     }
 }

@@ -178,6 +178,15 @@ impl Augmenter {
         self.seen.get(node as usize).copied().unwrap_or(false)
     }
 
+    /// Number of node ids this augmenter has allocated state for: the
+    /// training stream's node universe, grown by every ingested edge.
+    /// Valid ids are `0..known_nodes()`; larger ids are still servable
+    /// (they get zero/propagated features) but a strict caller can use
+    /// this bound to reject them.
+    pub fn known_nodes(&self) -> usize {
+        self.seen.len()
+    }
+
     /// Current degree of `node`.
     pub fn degree(&self, node: NodeId) -> u64 {
         self.degrees.degree(node)

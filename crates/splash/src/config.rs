@@ -2,6 +2,8 @@
 
 use embed::{GraRepConfig, Node2VecConfig};
 
+use crate::error::SplashError;
+
 /// Which implementation of the positional `Embedding(G^(s))` function
 /// (paper Eq. 1) augmentation uses for seen nodes. The paper uses node2vec
 /// and notes any positional embedding works; GraRep is the §II-D
@@ -77,6 +79,44 @@ impl Default for SplashConfig {
 }
 
 impl SplashConfig {
+    /// Checks that the configuration describes a buildable, trainable
+    /// model: structural dimensions must be positive and every scale must
+    /// be finite. Called by the service builder before any training or
+    /// loading happens, so a bad knob surfaces as one
+    /// [`SplashError::InvalidConfig`] instead of a panic (or a hang) deep
+    /// inside the pipeline.
+    pub fn validate(&self) -> Result<(), SplashError> {
+        let invalid = |what: String| Err(SplashError::InvalidConfig { what });
+        if self.feat_dim == 0 {
+            return invalid("feat_dim must be positive".into());
+        }
+        if self.k == 0 {
+            return invalid("k (recent-neighbor memory size) must be positive".into());
+        }
+        if self.hidden == 0 {
+            return invalid("hidden width must be positive".into());
+        }
+        if self.time_dim == 0 {
+            return invalid("time_dim must be positive".into());
+        }
+        if self.batch_size == 0 {
+            return invalid("batch_size must be positive".into());
+        }
+        for (name, value) in [
+            ("lambda_s", self.lambda_s),
+            ("degree_alpha", self.degree_alpha),
+            ("time_alpha", self.time_alpha),
+            ("time_beta", self.time_beta),
+            ("lr", self.lr),
+            ("selector_lr", self.selector_lr),
+        ] {
+            if !value.is_finite() {
+                return invalid(format!("{name} must be finite, got {value}"));
+            }
+        }
+        Ok(())
+    }
+
     /// A smaller/faster configuration for unit tests.
     pub fn tiny() -> Self {
         let feat_dim = 8;
@@ -89,6 +129,39 @@ impl SplashConfig {
             epochs: 4,
             selector_epochs: 3,
             ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stock_configs_validate() {
+        SplashConfig::default().validate().unwrap();
+        SplashConfig::tiny().validate().unwrap();
+    }
+
+    #[test]
+    fn zero_dimensions_and_nonfinite_scales_are_rejected() {
+        for breakage in [
+            (&|c: &mut SplashConfig| c.feat_dim = 0) as &dyn Fn(&mut SplashConfig),
+            &|c| c.k = 0,
+            &|c| c.hidden = 0,
+            &|c| c.time_dim = 0,
+            &|c| c.batch_size = 0,
+            &|c| c.lr = f32::NAN,
+            &|c| c.time_alpha = f32::INFINITY,
+            &|c| c.degree_alpha = f32::NEG_INFINITY,
+        ] {
+            let mut cfg = SplashConfig::tiny();
+            breakage(&mut cfg);
+            let err = cfg.validate().unwrap_err();
+            assert!(
+                matches!(err, SplashError::InvalidConfig { .. }),
+                "expected InvalidConfig, got {err}"
+            );
         }
     }
 }

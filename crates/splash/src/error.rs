@@ -1,0 +1,161 @@
+//! The typed error taxonomy of the `splash` serving surface.
+//!
+//! Every fallible public operation — edge ingestion, label queries, config
+//! validation, model persistence, registry lookups — reports a
+//! [`SplashError`] instead of panicking or returning a reason-less
+//! `Option`. The numeric core stays infallible (shape bugs are programmer
+//! errors and still panic); *input* problems a caller can cause at runtime
+//! are the error surface.
+//!
+//! The enum is `#[non_exhaustive]`: later PRs (sharding, async serving,
+//! remote registries) can add variants without breaking downstream
+//! matches.
+
+use std::fmt;
+use std::io;
+
+use ctdg::NodeId;
+
+/// Everything that can go wrong at the `splash` API surface.
+///
+/// Constructing a variant never allocates except where a field owns a
+/// `String` (`InvalidConfig`, `CorruptModel`, `UnknownModel`) — and those
+/// are built only on the failure path, so the steady-state serving hot
+/// loops stay allocation-free.
+#[non_exhaustive]
+#[derive(Debug)]
+pub enum SplashError {
+    /// An ingested edge travelled back in time: its timestamp precedes the
+    /// most recently observed edge's.
+    OutOfOrderEdge {
+        /// Timestamp of the offending edge.
+        got: f64,
+        /// Timestamp of the last edge already observed.
+        last: f64,
+    },
+    /// A label query asked about the past: its timestamp precedes the most
+    /// recently observed edge, so answering it would require state that has
+    /// already been overwritten.
+    PastQuery {
+        /// Timestamp of the offending query.
+        got: f64,
+        /// Timestamp of the last edge already observed.
+        last: f64,
+    },
+    /// A query named a node outside the service's known node universe
+    /// (only reported when the service is built with strict node checking;
+    /// the default is to serve unknown nodes from propagated features).
+    UnknownNode {
+        /// The offending node id.
+        node: NodeId,
+        /// Number of node ids currently known (valid ids are `0..known`).
+        known: usize,
+    },
+    /// A request named a model that is not in the service's registry.
+    UnknownModel {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// A [`crate::SplashConfig`] failed validation.
+    InvalidConfig {
+        /// Which field was rejected and why.
+        what: String,
+    },
+    /// A saved model file carries a format version this build does not
+    /// understand.
+    PersistVersionMismatch {
+        /// The version word found in the file.
+        found: u32,
+        /// The version this build reads and writes.
+        supported: u32,
+    },
+    /// A saved model file is not a SPLASH model or has been damaged
+    /// (bad magic, truncation, impossible tags or shapes).
+    CorruptModel {
+        /// What was wrong with the file.
+        what: String,
+    },
+    /// A saved model cannot back a streaming predictor because its feature
+    /// mode is not a single augmentation process (streaming state is
+    /// defined per process).
+    NotStreamable {
+        /// Display name of the offending feature mode.
+        mode: &'static str,
+    },
+    /// An underlying I/O operation failed (file missing, permissions, …).
+    Io(io::Error),
+}
+
+impl fmt::Display for SplashError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SplashError::OutOfOrderEdge { got, last } => write!(
+                f,
+                "edges must arrive chronologically ({got} < {last})"
+            ),
+            SplashError::PastQuery { got, last } => write!(
+                f,
+                "cannot predict in the past (query time {got} precedes the last \
+                 observed edge at {last})"
+            ),
+            SplashError::UnknownNode { node, known } => write!(
+                f,
+                "unknown node {node} (this service knows nodes 0..{known})"
+            ),
+            SplashError::UnknownModel { name } => {
+                write!(f, "no model named {name:?} in the registry")
+            }
+            SplashError::InvalidConfig { what } => write!(f, "invalid config: {what}"),
+            SplashError::PersistVersionMismatch { found, supported } => write!(
+                f,
+                "saved model has format version {found}, this build supports {supported}"
+            ),
+            SplashError::CorruptModel { what } => write!(f, "corrupt model file: {what}"),
+            SplashError::NotStreamable { mode } => write!(
+                f,
+                "feature mode {mode} cannot back a streaming predictor \
+                 (streaming state needs a single augmentation process)"
+            ),
+            SplashError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SplashError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SplashError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SplashError {
+    fn from(e: io::Error) -> Self {
+        SplashError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_the_payload() {
+        let e = SplashError::OutOfOrderEdge { got: 1.0, last: 2.0 };
+        assert!(e.to_string().contains("chronologically"), "{e}");
+        assert!(e.to_string().contains('1') && e.to_string().contains('2'), "{e}");
+        let e = SplashError::PersistVersionMismatch { found: 9, supported: 1 };
+        assert!(e.to_string().contains("version 9"), "{e}");
+        let e = SplashError::UnknownModel { name: "prod".into() };
+        assert!(e.to_string().contains("prod"), "{e}");
+    }
+
+    #[test]
+    fn io_errors_convert_and_chain() {
+        let io = io::Error::new(io::ErrorKind::NotFound, "gone");
+        let e: SplashError = io.into();
+        assert!(matches!(&e, SplashError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -20,15 +20,25 @@
 //! let out = run_splash(&dataset, &SplashConfig::tiny());
 //! assert!(out.metric > 0.2);
 //! ```
+//!
+//! For **deployment**, the [`service`] module wraps the streaming core in
+//! the [`SplashService`] façade: a registry of named, hot-swappable
+//! models behind a fallible, typed request/response API ([`error`] holds
+//! the [`SplashError`] taxonomy). The core's infallible methods remain as
+//! thin wrappers, but a serving layer should speak the `try_*` /
+//! service forms — bad input then comes back as a value, never as an
+//! aborted process.
 
 #![deny(missing_docs)]
 
 pub mod augment;
 pub mod capture;
 pub mod config;
+pub mod error;
 pub mod persist;
 pub mod pipeline;
 pub mod select;
+pub mod service;
 pub mod slim;
 pub mod stream;
 pub mod task;
@@ -38,15 +48,20 @@ pub use capture::{
     capture, encodings, seen_end_time, Capture, CapturedNeighbor, CapturedQuery, InputFeatures,
 };
 pub use config::{PositionalSource, SplashConfig};
+pub use error::SplashError;
 pub use persist::{load_model, save_model, SavedModel};
 pub use pipeline::{
     predict_slim, represent_slim, run_slim_with, run_slim_with_frac, run_splash,
-    run_splash_frac, split_bounds, split_bounds_frac, train_slim, SplashOutput, SEEN_FRAC,
-    TRAIN_FRAC,
+    run_splash_frac, split_bounds, split_bounds_frac, train_slim, try_run_slim_with,
+    try_run_splash, SplashOutput, SEEN_FRAC, TRAIN_FRAC,
 };
 pub use select::{
     select_features, select_features_with_splits, truncate_to_available, SelectionReport,
     SPLIT_FRACTIONS,
+};
+pub use service::{
+    IngestReport, IngestRequest, LateEdgePolicy, PredictRequest, PredictResponse, ServiceStats,
+    SplashService, SplashServiceBuilder,
 };
 pub use slim::{SlimBatch, SlimCache, SlimModel};
 pub use stream::StreamingPredictor;

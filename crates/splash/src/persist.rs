@@ -9,9 +9,16 @@
 //! predictor bit-for-bit (see `roundtrip_predictions_are_identical`).
 //!
 //! The on-disk format is a little-endian binary layout with an 8-byte magic
-//! and a version word, written and parsed by hand: the model is a flat list
-//! of shaped `f32` tensors plus a dozen scalars, which does not justify a
-//! serialization dependency.
+//! and a format-version word, written and parsed by hand: the model is a
+//! flat list of shaped `f32` tensors plus a dozen scalars, which does not
+//! justify a serialization dependency.
+//!
+//! Failures are typed ([`SplashError`]): a file that is not a SPLASH model
+//! or has been damaged loads as [`SplashError::CorruptModel`], a file from
+//! an incompatible format revision as
+//! [`SplashError::PersistVersionMismatch`], and plain filesystem trouble
+//! as [`SplashError::Io`] — so a serving layer can distinguish "retry with
+//! the right file" from "re-export the model" from "fix the disk".
 
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
@@ -24,6 +31,7 @@ use rand::{rngs::StdRng, SeedableRng};
 use crate::augment::FeatureProcess;
 use crate::capture::InputFeatures;
 use crate::config::{PositionalSource, SplashConfig};
+use crate::error::SplashError;
 use crate::slim::SlimModel;
 
 const MAGIC: &[u8; 8] = b"SPLASHM\x01";
@@ -70,7 +78,7 @@ pub fn save_model(
     feat_dim: usize,
     edge_feat_dim: usize,
     out_dim: usize,
-) -> io::Result<()> {
+) -> Result<(), SplashError> {
     let mut w = BufWriter::new(File::create(path)?);
     w.write_all(MAGIC)?;
     put_u32(&mut w, VERSION)?;
@@ -98,22 +106,47 @@ pub fn save_model(
             put_f32(&mut w, x)?;
         }
     }
-    w.flush()
+    w.flush()?;
+    Ok(())
 }
 
-/// Reads a model written by [`save_model`]. Shape or format mismatches
-/// surface as `InvalidData` errors with a description of what went wrong.
-pub fn load_model(path: &Path) -> io::Result<SavedModel> {
+/// Reads a model written by [`save_model`].
+///
+/// Typed failures: a wrong magic, truncation, or impossible tags/shapes
+/// load as [`SplashError::CorruptModel`]; a recognisable SPLASH file from
+/// another format revision as [`SplashError::PersistVersionMismatch`];
+/// filesystem errors as [`SplashError::Io`].
+pub fn load_model(path: &Path) -> Result<SavedModel, SplashError> {
     let mut r = BufReader::new(File::open(path)?);
     let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
+    r.read_exact(&mut magic).map_err(corrupt_or_io)?;
     if &magic != MAGIC {
-        return Err(bad("not a SPLASH model file (bad magic)"));
+        return Err(SplashError::CorruptModel {
+            what: "not a SPLASH model file (bad magic)".into(),
+        });
     }
-    let version = get_u32(&mut r)?;
+    let version = get_u32(&mut r).map_err(corrupt_or_io)?;
     if version != VERSION {
-        return Err(bad(format!("unsupported model version {version}")));
+        return Err(SplashError::PersistVersionMismatch { found: version, supported: VERSION });
     }
+    read_body(&mut r).map_err(corrupt_or_io)
+}
+
+/// Classifies an error raised while parsing a file whose magic already
+/// checked out: anything that means "the bytes are wrong" (truncation,
+/// impossible tags or shapes) is a corrupt model; the rest is plain I/O.
+fn corrupt_or_io(e: io::Error) -> SplashError {
+    match e.kind() {
+        io::ErrorKind::UnexpectedEof => SplashError::CorruptModel {
+            what: "file is truncated".into(),
+        },
+        io::ErrorKind::InvalidData => SplashError::CorruptModel { what: e.to_string() },
+        _ => SplashError::Io(e),
+    }
+}
+
+/// Parses everything after the magic + version header.
+fn read_body<R: Read>(mut r: &mut R) -> io::Result<SavedModel> {
     let cfg = read_config(&mut r)?;
     let mode = match get_u8(&mut r)? {
         0 => InputFeatures::Zero,
@@ -428,17 +461,25 @@ mod tests {
     }
 
     #[test]
-    fn wrong_magic_is_rejected() {
+    fn wrong_magic_is_corrupt() {
         let path = tmp("magic");
         std::fs::write(&path, b"NOTAMODELFILE....").unwrap();
         let err = load_model(&path).unwrap_err();
         std::fs::remove_file(&path).ok();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(matches!(err, SplashError::CorruptModel { .. }), "{err:?}");
         assert!(err.to_string().contains("magic"), "{err}");
     }
 
     #[test]
-    fn truncated_file_is_rejected() {
+    fn missing_file_is_io() {
+        let err = load_model(Path::new("/definitely/not/here.bin")).unwrap_err();
+        assert!(matches!(err, SplashError::Io(_)), "{err:?}");
+    }
+
+    /// Truncating a valid file anywhere after the header must load as
+    /// `CorruptModel`, never panic and never yield a half-read model.
+    #[test]
+    fn truncated_file_is_corrupt() {
         let dataset = truncate_to_available(&synthetic_shift(50, 13), 0.2);
         let mut cfg = SplashConfig::tiny();
         cfg.epochs = 1;
@@ -449,8 +490,42 @@ mod tests {
         save_model(&path, &mut model, &cfg, InputFeatures::RawRandom, cap.feat_dim, cap.edge_feat_dim, 2)
             .unwrap();
         let bytes = std::fs::read(&path).unwrap();
-        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
-        assert!(load_model(&path).is_err(), "truncation must not load");
+        for keep in [bytes.len() / 2, MAGIC.len() + 4 + 1, bytes.len() - 1] {
+            std::fs::write(&path, &bytes[..keep]).unwrap();
+            let err = load_model(&path).unwrap_err();
+            assert!(
+                matches!(err, SplashError::CorruptModel { .. }),
+                "truncation to {keep} bytes: {err:?}"
+            );
+        }
         std::fs::remove_file(&path).ok();
+    }
+
+    /// A file whose version word differs from this build's must report the
+    /// found/supported pair, not a generic corruption.
+    #[test]
+    fn version_mismatch_is_typed() {
+        let dataset = truncate_to_available(&synthetic_shift(50, 13), 0.2);
+        let mut cfg = SplashConfig::tiny();
+        cfg.epochs = 1;
+        let cap = capture(&dataset, InputFeatures::RawRandom, &cfg, SEEN_FRAC);
+        let (train_end, _) = split_bounds(cap.queries.len());
+        let (mut model, _) = train_slim(&cap, &dataset, &cap.queries[..train_end], &cfg);
+        let path = tmp("version");
+        save_model(&path, &mut model, &cfg, InputFeatures::RawRandom, cap.feat_dim, cap.edge_feat_dim, 2)
+            .unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // The version word sits right after the 8-byte magic.
+        bytes[MAGIC.len()..MAGIC.len() + 4].copy_from_slice(&99u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let err = load_model(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        match err {
+            SplashError::PersistVersionMismatch { found, supported } => {
+                assert_eq!(found, 99);
+                assert_eq!(supported, VERSION);
+            }
+            other => panic!("expected PersistVersionMismatch, got {other:?}"),
+        }
     }
 }

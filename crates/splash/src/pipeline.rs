@@ -198,6 +198,27 @@ pub fn run_splash(dataset: &Dataset, cfg: &SplashConfig) -> SplashOutput {
     run_splash_frac(dataset, cfg, TRAIN_FRAC, SEEN_FRAC)
 }
 
+/// Fallible form of [`run_splash`]: validates `cfg` first, so a bad knob
+/// surfaces as [`crate::SplashError::InvalidConfig`] instead of a panic
+/// (or a hang) deep inside training.
+pub fn try_run_splash(
+    dataset: &Dataset,
+    cfg: &SplashConfig,
+) -> Result<SplashOutput, crate::SplashError> {
+    cfg.validate()?;
+    Ok(run_splash(dataset, cfg))
+}
+
+/// Fallible form of [`run_slim_with`] (config validated up front).
+pub fn try_run_slim_with(
+    dataset: &Dataset,
+    cfg: &SplashConfig,
+    mode: InputFeatures,
+) -> Result<SplashOutput, crate::SplashError> {
+    cfg.validate()?;
+    Ok(run_slim_with(dataset, cfg, mode))
+}
+
 /// Full pipeline under a custom chronological split (Fig. 9's unseen-ratio
 /// sweep): train on the first `train_frac`, validate up to `seen_frac`, test
 /// on the rest.

@@ -1,0 +1,486 @@
+//! The serving façade: [`SplashService`].
+//!
+//! [`crate::stream::StreamingPredictor`] is the numeric core of
+//! deployment; this module is the *operational* surface a production
+//! system actually talks to. The service owns a registry of **named
+//! models** (train in place, load from a persisted artifact, hot-swap
+//! either way while serving), speaks **typed requests and responses**
+//! ([`IngestRequest`]/[`IngestReport`], [`PredictRequest`]/
+//! [`PredictResponse`]), reports every input problem as a
+//! [`SplashError`] instead of aborting the process, and keeps cheap
+//! serving counters ([`ServiceStats`]).
+//!
+//! Two properties are pinned by tests and worth relying on:
+//!
+//! * **Bit-identity** — a prediction served through the façade is exactly
+//!   the prediction the underlying [`StreamingPredictor`] would produce;
+//!   the service adds policy and accounting, never arithmetic.
+//! * **Zero-alloc steady state** — [`SplashService::predict_into`] with a
+//!   reused [`PredictResponse`] performs no heap allocation after warm-up
+//!   (enforced by the counting-allocator test in
+//!   `crates/splash/tests/alloc.rs`).
+//!
+//! ```
+//! use datasets::synthetic_shift;
+//! use splash::service::{IngestRequest, PredictRequest, SplashService};
+//! use splash::{truncate_to_available, FeatureProcess, SplashConfig};
+//!
+//! let dataset = truncate_to_available(&synthetic_shift(40, 6), 0.5);
+//! let mut cfg = SplashConfig::tiny();
+//! cfg.epochs = 2;
+//!
+//! let mut service = SplashService::builder(cfg).build().unwrap();
+//! service
+//!     .train_model_with_process("live", &dataset, FeatureProcess::Random)
+//!     .unwrap();
+//!
+//! // Serve: ingest the unseen tail, then answer a query.
+//! let tail = &dataset.stream.edges()[dataset.stream.len() / 2..];
+//! let report = service.ingest("live", IngestRequest::new(tail)).unwrap();
+//! assert_eq!(report.dropped, 0);
+//! let resp = service
+//!     .predict("live", PredictRequest::new(0, report.last_time + 1.0))
+//!     .unwrap();
+//! assert!(resp.logits.iter().all(|v| v.is_finite()));
+//! ```
+
+use std::cell::Cell;
+use std::path::Path;
+
+use ctdg::{NodeId, PropertyQuery, TemporalEdge};
+use datasets::Dataset;
+use nn::Matrix;
+
+use crate::augment::FeatureProcess;
+use crate::config::SplashConfig;
+use crate::error::SplashError;
+use crate::stream::StreamingPredictor;
+use crate::task::argmax;
+
+/// What [`SplashService::ingest`] does with an edge whose timestamp
+/// precedes the model's last observed edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LateEdgePolicy {
+    /// Reject the whole batch with [`SplashError::OutOfOrderEdge`],
+    /// leaving the model's state exactly as it was (the default: loud,
+    /// lossless, lets the caller repair and retry).
+    #[default]
+    Error,
+    /// Silently drop late edges, count them in [`IngestReport::dropped`],
+    /// and ingest the rest — the model behaves exactly as if it had been
+    /// fed the chronologically filtered stream.
+    DropLate,
+}
+
+/// A micro-batch of edges for [`SplashService::ingest`].
+#[derive(Debug, Clone, Copy)]
+pub struct IngestRequest<'a> {
+    /// The edges, expected in chronological order.
+    pub edges: &'a [TemporalEdge],
+    /// Per-request override of the service's [`LateEdgePolicy`].
+    pub policy: Option<LateEdgePolicy>,
+}
+
+impl<'a> IngestRequest<'a> {
+    /// A request carrying `edges` under the service's configured policy.
+    pub fn new(edges: &'a [TemporalEdge]) -> Self {
+        Self { edges, policy: None }
+    }
+
+    /// Overrides the late-edge policy for this request only.
+    pub fn with_policy(mut self, policy: LateEdgePolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+}
+
+/// What [`SplashService::ingest`] did with a batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IngestReport {
+    /// Edges applied to the model.
+    pub ingested: usize,
+    /// Late edges dropped (always 0 under [`LateEdgePolicy::Error`]).
+    pub dropped: usize,
+    /// The model's stream clock after the batch.
+    pub last_time: f64,
+}
+
+/// One label query for [`SplashService::predict`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictRequest {
+    /// The node whose property is queried.
+    pub node: NodeId,
+    /// Query time; must not precede the model's last observed edge.
+    pub time: f64,
+}
+
+impl PredictRequest {
+    /// A query for `node` at `time`.
+    pub fn new(node: NodeId, time: f64) -> Self {
+        Self { node, time }
+    }
+}
+
+/// The answer to a [`PredictRequest`].
+///
+/// Reuse one response across calls ([`SplashService::predict_into`]) and
+/// the logits buffer is recycled — that is the allocation-free serving
+/// path.
+#[derive(Debug, Clone, Default)]
+pub struct PredictResponse {
+    /// Property logits, one per class (width = the model's output dim).
+    pub logits: Vec<f32>,
+}
+
+impl PredictResponse {
+    /// Index of the highest logit, or `None` before the first prediction.
+    pub fn top_class(&self) -> Option<usize> {
+        if self.logits.is_empty() {
+            None
+        } else {
+            Some(argmax(&self.logits))
+        }
+    }
+}
+
+/// Cheap serving counters, snapshotted by [`SplashService::stats`].
+/// Aggregated across all models in the registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceStats {
+    /// Edges applied to any model.
+    pub edges_ingested: u64,
+    /// Late edges dropped under [`LateEdgePolicy::DropLate`].
+    pub edges_dropped: u64,
+    /// Predictions served (single + batched).
+    pub queries_served: u64,
+}
+
+/// One named slot in the registry.
+#[derive(Debug)]
+struct ModelEntry {
+    name: String,
+    predictor: StreamingPredictor,
+}
+
+/// Configures and checks a [`SplashService`] before it starts serving.
+#[derive(Debug, Clone, Copy)]
+pub struct SplashServiceBuilder {
+    cfg: SplashConfig,
+    policy: LateEdgePolicy,
+    strict_nodes: bool,
+}
+
+impl SplashServiceBuilder {
+    /// Sets the service-wide late-edge policy (default:
+    /// [`LateEdgePolicy::Error`]).
+    pub fn late_edge_policy(mut self, policy: LateEdgePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// When `true`, a [`PredictRequest`] naming a node outside the model's
+    /// known universe is rejected with [`SplashError::UnknownNode`]
+    /// instead of served from zero/propagated features (default: `false`,
+    /// the paper's unseen-node semantics).
+    pub fn strict_nodes(mut self, strict: bool) -> Self {
+        self.strict_nodes = strict;
+        self
+    }
+
+    /// Validates the configuration and produces an empty service; add
+    /// models with [`SplashService::train_model`] /
+    /// [`SplashService::load_model`].
+    pub fn build(self) -> Result<SplashService, SplashError> {
+        self.cfg.validate()?;
+        Ok(SplashService {
+            cfg: self.cfg,
+            policy: self.policy,
+            strict_nodes: self.strict_nodes,
+            models: Vec::new(),
+            edges_ingested: 0,
+            edges_dropped: 0,
+            queries_served: Cell::new(0),
+        })
+    }
+}
+
+/// A serving façade over a registry of named streaming models.
+///
+/// See the [module docs](self) for the full contract; in short: typed
+/// fallible requests in, bit-identical predictions out, and the process
+/// never aborts on bad input.
+#[derive(Debug)]
+pub struct SplashService {
+    cfg: SplashConfig,
+    policy: LateEdgePolicy,
+    strict_nodes: bool,
+    models: Vec<ModelEntry>,
+    edges_ingested: u64,
+    edges_dropped: u64,
+    /// `Cell` because predictions go through `&self` (the predictor's own
+    /// scratch is interior-mutable for the same reason) — the service is
+    /// single-threaded (`!Sync`) like the predictors it holds; for
+    /// concurrent serving, run one service per worker.
+    queries_served: Cell<u64>,
+}
+
+impl SplashService {
+    /// Starts configuring a service around `cfg` (used by the in-service
+    /// training entry points; loaded models carry their own config).
+    pub fn builder(cfg: SplashConfig) -> SplashServiceBuilder {
+        SplashServiceBuilder { cfg, policy: LateEdgePolicy::default(), strict_nodes: false }
+    }
+
+    /// Trains a model on `dataset` with automatic feature selection and
+    /// installs it under `name` (replacing — hot-swapping — any model
+    /// already there). Returns the selected augmentation process.
+    pub fn train_model(
+        &mut self,
+        name: &str,
+        dataset: &Dataset,
+    ) -> Result<FeatureProcess, SplashError> {
+        let predictor = StreamingPredictor::train(dataset, &self.cfg);
+        let process = predictor.process();
+        self.install(name, predictor);
+        Ok(process)
+    }
+
+    /// Like [`SplashService::train_model`] but with a fixed augmentation
+    /// process (skipping selection).
+    pub fn train_model_with_process(
+        &mut self,
+        name: &str,
+        dataset: &Dataset,
+        process: FeatureProcess,
+    ) -> Result<(), SplashError> {
+        let predictor = StreamingPredictor::train_with_process(dataset, &self.cfg, process);
+        self.install(name, predictor);
+        Ok(())
+    }
+
+    /// Loads a persisted model from `path`, rebuilds its streaming state
+    /// from `dataset`'s training prefix, and installs it under `name`
+    /// (hot-swapping any model already there — in-flight state of the
+    /// replaced model is discarded).
+    ///
+    /// The saved file's own config is validated and used; the service's
+    /// config only governs models trained in-service.
+    pub fn load_model(
+        &mut self,
+        name: &str,
+        path: &Path,
+        dataset: &Dataset,
+    ) -> Result<(), SplashError> {
+        let saved = crate::persist::load_model(path)?;
+        saved.cfg.validate()?;
+        let predictor = StreamingPredictor::try_from_saved(saved, dataset)?;
+        self.install(name, predictor);
+        Ok(())
+    }
+
+    /// Persists the named model to `path`; the artifact restores through
+    /// [`SplashService::load_model`].
+    pub fn save_model(&mut self, name: &str, path: &Path) -> Result<(), SplashError> {
+        let idx = self.index(name)?;
+        self.models[idx].predictor.save(path)
+    }
+
+    /// Removes the named model from the registry.
+    pub fn remove_model(&mut self, name: &str) -> Result<(), SplashError> {
+        let idx = self.index(name)?;
+        self.models.remove(idx);
+        Ok(())
+    }
+
+    /// The registered model names, in installation order.
+    pub fn model_names(&self) -> impl Iterator<Item = &str> {
+        self.models.iter().map(|e| e.name.as_str())
+    }
+
+    /// Direct (read-only) access to a registered predictor — the escape
+    /// hatch for callers that need core APIs the façade does not wrap
+    /// (representations, `predict_many`, …).
+    pub fn model(&self, name: &str) -> Result<&StreamingPredictor, SplashError> {
+        Ok(&self.entry(name)?.predictor)
+    }
+
+    /// Applies a batch of edges to the named model under the request's (or
+    /// the service's) [`LateEdgePolicy`].
+    ///
+    /// Under [`LateEdgePolicy::Error`] the whole batch is validated before
+    /// any state changes, so a rejected batch leaves the model untouched
+    /// and the service keeps serving. Under [`LateEdgePolicy::DropLate`]
+    /// the model ends up exactly as if it had consumed the
+    /// chronologically filtered stream.
+    pub fn ingest(
+        &mut self,
+        name: &str,
+        req: IngestRequest<'_>,
+    ) -> Result<IngestReport, SplashError> {
+        let policy = req.policy.unwrap_or(self.policy);
+        let idx = self.index(name)?;
+        let predictor = &mut self.models[idx].predictor;
+        let dropped = match policy {
+            LateEdgePolicy::Error => {
+                predictor.try_push_edges(req.edges)?;
+                0
+            }
+            LateEdgePolicy::DropLate => {
+                // A clean batch (the common case) takes the batched path
+                // with its single-pass validation and up-front ring
+                // growth; only a batch that actually contains late edges
+                // pays the per-edge filter.
+                let mut prev = predictor.last_time();
+                let mut clean = true;
+                for edge in req.edges {
+                    if edge.time < prev {
+                        clean = false;
+                        break;
+                    }
+                    prev = edge.time;
+                }
+                if clean {
+                    predictor.try_push_edges(req.edges)?;
+                    0
+                } else {
+                    let mut dropped = 0usize;
+                    for edge in req.edges {
+                        match predictor.try_observe_edge(edge) {
+                            Ok(()) => {}
+                            Err(SplashError::OutOfOrderEdge { .. }) => dropped += 1,
+                            Err(other) => return Err(other),
+                        }
+                    }
+                    dropped
+                }
+            }
+        };
+        let ingested = req.edges.len() - dropped;
+        self.edges_ingested += ingested as u64;
+        self.edges_dropped += dropped as u64;
+        Ok(IngestReport {
+            ingested,
+            dropped,
+            last_time: self.models[idx].predictor.last_time(),
+        })
+    }
+
+    /// Answers one query, writing the logits into `resp` (whose buffer is
+    /// reused across calls — the allocation-free serving path).
+    ///
+    /// The logits are bit-identical to
+    /// [`StreamingPredictor::predict_into`] on the same model.
+    pub fn predict_into(
+        &self,
+        name: &str,
+        req: PredictRequest,
+        resp: &mut PredictResponse,
+    ) -> Result<(), SplashError> {
+        let entry = self.entry(name)?;
+        if self.strict_nodes {
+            let known = entry.predictor.known_nodes();
+            if req.node as usize >= known {
+                return Err(SplashError::UnknownNode { node: req.node, known });
+            }
+        }
+        entry.predictor.try_predict_into(req.node, req.time, &mut resp.logits)?;
+        self.queries_served.set(self.queries_served.get() + 1);
+        Ok(())
+    }
+
+    /// Convenience form of [`SplashService::predict_into`] returning a
+    /// fresh response (allocates the logits vector).
+    pub fn predict(
+        &self,
+        name: &str,
+        req: PredictRequest,
+    ) -> Result<PredictResponse, SplashError> {
+        let mut resp = PredictResponse::default();
+        self.predict_into(name, req, &mut resp)?;
+        Ok(resp)
+    }
+
+    /// Answers a micro-batch of queries in one forward pass; row `i` holds
+    /// the logits for `queries[i]` (labels are ignored). Bit-identical to
+    /// [`StreamingPredictor::predict_batch`].
+    pub fn predict_batch(
+        &self,
+        name: &str,
+        queries: &[PropertyQuery],
+    ) -> Result<Matrix, SplashError> {
+        let entry = self.entry(name)?;
+        if self.strict_nodes {
+            let known = entry.predictor.known_nodes();
+            if let Some(q) = queries.iter().find(|q| q.node as usize >= known) {
+                return Err(SplashError::UnknownNode { node: q.node, known });
+            }
+        }
+        let out = entry.predictor.try_predict_batch(queries)?;
+        self.queries_served.set(self.queries_served.get() + queries.len() as u64);
+        Ok(out)
+    }
+
+    /// A snapshot of the serving counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            edges_ingested: self.edges_ingested,
+            edges_dropped: self.edges_dropped,
+            queries_served: self.queries_served.get(),
+        }
+    }
+
+    /// The service-wide late-edge policy.
+    pub fn late_edge_policy(&self) -> LateEdgePolicy {
+        self.policy
+    }
+
+    fn install(&mut self, name: &str, predictor: StreamingPredictor) {
+        match self.models.iter_mut().find(|e| e.name == name) {
+            Some(entry) => entry.predictor = predictor,
+            None => self.models.push(ModelEntry { name: name.to_string(), predictor }),
+        }
+    }
+
+    fn entry(&self, name: &str) -> Result<&ModelEntry, SplashError> {
+        self.models
+            .iter()
+            .find(|e| e.name == name)
+            .ok_or_else(|| SplashError::UnknownModel { name: name.to_string() })
+    }
+
+    fn index(&self, name: &str) -> Result<usize, SplashError> {
+        self.models
+            .iter()
+            .position(|e| e.name == name)
+            .ok_or_else(|| SplashError::UnknownModel { name: name.to_string() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_rejects_invalid_config() {
+        let mut cfg = SplashConfig::tiny();
+        cfg.k = 0;
+        let err = SplashService::builder(cfg).build().unwrap_err();
+        assert!(matches!(err, SplashError::InvalidConfig { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn unknown_model_is_typed() {
+        let mut service = SplashService::builder(SplashConfig::tiny()).build().unwrap();
+        let err = service.predict("nope", PredictRequest::new(0, 0.0)).unwrap_err();
+        assert!(matches!(err, SplashError::UnknownModel { .. }), "{err:?}");
+        let err = service.ingest("nope", IngestRequest::new(&[])).unwrap_err();
+        assert!(matches!(err, SplashError::UnknownModel { .. }), "{err:?}");
+        let err = service.remove_model("nope").unwrap_err();
+        assert!(matches!(err, SplashError::UnknownModel { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn empty_response_has_no_top_class() {
+        assert_eq!(PredictResponse::default().top_class(), None);
+    }
+}

@@ -22,9 +22,11 @@ use nn::{Matrix, Workspace};
 use crate::augment::{Augmenter, FeatureProcess};
 use crate::capture::{capture, seen_end_time, CapturedNeighbor, CapturedQuery, InputFeatures};
 use crate::config::SplashConfig;
+use crate::error::SplashError;
 use crate::pipeline::{split_bounds, train_slim, SEEN_FRAC};
 use crate::select::select_features;
 use crate::slim::{SlimBatch, SlimModel};
+use crate::task::output_dim;
 
 /// Chunk size [`StreamingPredictor::predict_batch`] hands to the
 /// (chunk-parallel) batched forward pass.
@@ -64,6 +66,12 @@ pub struct StreamingPredictor {
     rings: Vec<Ring>,
     k: usize,
     last_time: f64,
+    /// The full training config, kept so the predictor can persist itself
+    /// ([`StreamingPredictor::save`]) without the caller re-supplying it.
+    cfg: SplashConfig,
+    feat_dim: usize,
+    edge_feat_dim: usize,
+    out_dim: usize,
     /// Interior-mutable so the `&self` prediction methods can reuse their
     /// assembly buffers across calls. This makes the predictor
     /// single-threaded (`!Sync`) by design; for concurrent serving, clone
@@ -112,6 +120,10 @@ impl StreamingPredictor {
             rings: Vec::new(),
             k: cfg.k,
             last_time: f64::NEG_INFINITY,
+            cfg: *cfg,
+            feat_dim: cap.feat_dim,
+            edge_feat_dim: cap.edge_feat_dim,
+            out_dim: output_dim(dataset.task, dataset.num_classes),
             scratch: RefCell::new(PredictScratch::default()),
         };
         // Prime the neighbor rings with the seen-period edges. The
@@ -131,9 +143,23 @@ impl StreamingPredictor {
     /// the predictor that existed when the model was saved.
     ///
     /// Returns `None` when the saved model's feature mode is not a single
-    /// augmentation process (streaming state is defined per process).
+    /// augmentation process; [`StreamingPredictor::try_from_saved`] is the
+    /// fallible form that says *why* restoration failed.
     pub fn from_saved(saved: crate::persist::SavedModel, dataset: &Dataset) -> Option<Self> {
-        let process = saved.selected()?;
+        Self::try_from_saved(saved, dataset).ok()
+    }
+
+    /// Fallible form of [`StreamingPredictor::from_saved`]: returns
+    /// [`SplashError::NotStreamable`] when the saved model's feature mode
+    /// is not a single augmentation process (streaming state is defined
+    /// per process).
+    pub fn try_from_saved(
+        saved: crate::persist::SavedModel,
+        dataset: &Dataset,
+    ) -> Result<Self, SplashError> {
+        let Some(process) = saved.selected() else {
+            return Err(SplashError::NotStreamable { mode: saved.mode.name() });
+        };
         let cfg = saved.cfg;
         let t_seen = seen_end_time(dataset, SEEN_FRAC);
         let prefix = dataset.stream.prefix_len_at(t_seen);
@@ -154,13 +180,34 @@ impl StreamingPredictor {
             rings: Vec::new(),
             k: cfg.k,
             last_time: f64::NEG_INFINITY,
+            cfg,
+            feat_dim: saved.feat_dim,
+            edge_feat_dim: saved.edge_feat_dim,
+            out_dim: saved.out_dim,
             scratch: RefCell::new(PredictScratch::default()),
         };
         for edge in &dataset.stream.edges()[..prefix] {
             predictor.remember(edge);
             predictor.last_time = edge.time;
         }
-        Some(predictor)
+        Ok(predictor)
+    }
+
+    /// Persists this predictor's model (and everything needed to restore
+    /// it with [`StreamingPredictor::try_from_saved`]) to `path`.
+    ///
+    /// `&mut self` only because parameter access goes through
+    /// `Parameterized::params_mut`; no value changes.
+    pub fn save(&mut self, path: &std::path::Path) -> Result<(), SplashError> {
+        crate::persist::save_model(
+            path,
+            &mut self.model,
+            &self.cfg,
+            InputFeatures::Process(self.process),
+            self.feat_dim,
+            self.edge_feat_dim,
+            self.out_dim,
+        )
     }
 
     /// The selected (or fixed) augmentation process this predictor uses.
@@ -171,6 +218,22 @@ impl StreamingPredictor {
     /// Arrival time of the most recently observed edge.
     pub fn last_time(&self) -> f64 {
         self.last_time
+    }
+
+    /// Number of node ids with allocated state (training universe plus
+    /// everything ingested since); valid ids are `0..known_nodes()`.
+    pub fn known_nodes(&self) -> usize {
+        self.augmenter.known_nodes()
+    }
+
+    /// Output (logit) width of the model: one column per class.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// The configuration this predictor was trained (or restored) with.
+    pub fn config(&self) -> &SplashConfig {
+        &self.cfg
     }
 
     /// Grows the ring table to cover `node` (a free function over the
@@ -236,16 +299,26 @@ impl StreamingPredictor {
 
     /// Ingests one live temporal edge: O(d_v) feature propagation plus O(1)
     /// ring updates — independent of the total stream length.
+    ///
+    /// Panics on out-of-order input; [`StreamingPredictor::
+    /// try_observe_edge`] is the fallible form a serving layer should use.
     pub fn observe_edge(&mut self, edge: &TemporalEdge) {
-        assert!(
-            edge.time >= self.last_time,
-            "edges must arrive chronologically ({} < {})",
-            edge.time,
-            self.last_time
-        );
+        if let Err(e) = self.try_observe_edge(edge) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible form of [`StreamingPredictor::observe_edge`]: returns
+    /// [`SplashError::OutOfOrderEdge`] (leaving all state untouched)
+    /// instead of panicking when the edge travels back in time.
+    pub fn try_observe_edge(&mut self, edge: &TemporalEdge) -> Result<(), SplashError> {
+        if edge.time < self.last_time {
+            return Err(SplashError::OutOfOrderEdge { got: edge.time, last: self.last_time });
+        }
         self.augmenter.observe(edge);
         self.remember(edge);
         self.last_time = edge.time;
+        Ok(())
     }
 
     /// Ingests a chronologically ordered micro-batch of edges.
@@ -256,16 +329,26 @@ impl StreamingPredictor {
     /// instead of once per edge: the chronology check is a single pass,
     /// and the per-node ring table is grown to the batch's maximum
     /// endpoint up front so no ring push ever reallocates mid-batch.
+    /// Panics on out-of-order input; [`StreamingPredictor::try_push_edges`]
+    /// is the fallible form a serving layer should use.
     pub fn push_edges(&mut self, edges: &[TemporalEdge]) {
-        let Some(last) = edges.last() else { return };
+        if let Err(e) = self.try_push_edges(edges) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible form of [`StreamingPredictor::push_edges`]: the whole batch
+    /// is validated *before* any state changes, so on
+    /// [`SplashError::OutOfOrderEdge`] the predictor is exactly as it was —
+    /// the caller can drop or repair the batch and carry on serving.
+    pub fn try_push_edges(&mut self, edges: &[TemporalEdge]) -> Result<(), SplashError> {
+        let Some(last) = edges.last() else { return Ok(()) };
         let mut prev = self.last_time;
         let mut max_node = 0;
         for edge in edges {
-            assert!(
-                edge.time >= prev,
-                "edges must arrive chronologically ({} < {prev})",
-                edge.time
-            );
+            if edge.time < prev {
+                return Err(SplashError::OutOfOrderEdge { got: edge.time, last: prev });
+            }
             prev = edge.time;
             max_node = max_node.max(edge.src).max(edge.dst);
         }
@@ -275,6 +358,7 @@ impl StreamingPredictor {
             self.remember(edge);
         }
         self.last_time = last.time;
+        Ok(())
     }
 
     /// Builds the model input for `node` as of time `t` into the reused
@@ -320,20 +404,49 @@ impl StreamingPredictor {
     /// not precede the last observed edge).
     ///
     /// Allocates only the returned vector; [`StreamingPredictor::
-    /// predict_into`] is the fully allocation-free form.
+    /// predict_into`] is the fully allocation-free form. Panics on
+    /// past-time queries; [`StreamingPredictor::try_predict`] reports them
+    /// as [`SplashError::PastQuery`] instead.
     pub fn predict(&self, node: NodeId, time: f64) -> Vec<f32> {
         let mut out = Vec::new();
         self.predict_into(node, time, &mut out);
         out
     }
 
+    /// Fallible form of [`StreamingPredictor::predict`]. Allocates only
+    /// the returned vector.
+    pub fn try_predict(&self, node: NodeId, time: f64) -> Result<Vec<f32>, SplashError> {
+        let mut out = Vec::new();
+        self.try_predict_into(node, time, &mut out)?;
+        Ok(out)
+    }
+
     /// [`StreamingPredictor::predict`] into a caller-owned vector. This is
     /// the steady-state serving path: query assembly, batch packing, and
     /// the SLIM forward all run in buffers reused across calls, so after a
     /// few warm-up queries it performs **zero heap allocations** (pinned by
-    /// the `alloc` regression test).
+    /// the `alloc` regression test). Panics on past-time queries;
+    /// [`StreamingPredictor::try_predict_into`] is the fallible form.
     pub fn predict_into(&self, node: NodeId, time: f64, out: &mut Vec<f32>) {
-        debug_assert!(time >= self.last_time, "cannot predict in the past");
+        if let Err(e) = self.try_predict_into(node, time, out) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible form of [`StreamingPredictor::predict_into`]: returns
+    /// [`SplashError::PastQuery`] when `time` precedes the last observed
+    /// edge. The success path is identical to `predict_into` — zero heap
+    /// allocations after warm-up — and the error path allocates nothing
+    /// either.
+    pub fn try_predict_into(
+        &self,
+        node: NodeId,
+        time: f64,
+        out: &mut Vec<f32>,
+    ) -> Result<(), SplashError> {
+        if time < self.last_time {
+            return Err(SplashError::PastQuery { got: time, last: self.last_time });
+        }
         let mut scratch = self.scratch.borrow_mut();
         let s = &mut *scratch;
         self.query_input_into(node, time, &mut s.query, &mut s.spare);
@@ -341,10 +454,25 @@ impl StreamingPredictor {
         self.model.infer_into(&s.batch, &mut s.logits, &mut s.ws);
         out.clear();
         out.extend_from_slice(s.logits.row(0));
+        Ok(())
     }
 
-    /// Predicts logits for several nodes at once (single shared timestamp).
+    /// Predicts logits for several nodes at once (single shared timestamp,
+    /// which must not precede the last observed edge — panics otherwise;
+    /// [`StreamingPredictor::try_predict_many`] is the fallible form).
     pub fn predict_many(&self, nodes: &[NodeId], time: f64) -> Matrix {
+        match self.try_predict_many(nodes, time) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`StreamingPredictor::predict_many`]: a past
+    /// timestamp reports [`SplashError::PastQuery`].
+    pub fn try_predict_many(&self, nodes: &[NodeId], time: f64) -> Result<Matrix, SplashError> {
+        if time < self.last_time {
+            return Err(SplashError::PastQuery { got: time, last: self.last_time });
+        }
         let mut scratch = self.scratch.borrow_mut();
         let s = &mut *scratch;
         if s.queries.len() < nodes.len() {
@@ -357,7 +485,7 @@ impl StreamingPredictor {
         self.model.build_batch_into(&refs, &mut s.batch);
         let mut out = Matrix::default();
         self.model.infer_into(&s.batch, &mut out, &mut s.ws);
-        out
+        Ok(out)
     }
 
     /// Answers a micro-batch of label queries in one SLIM forward pass;
@@ -370,8 +498,24 @@ impl StreamingPredictor {
     /// matmul backend work on tall matrices instead of single rows, but
     /// every query's logits are still computed from exactly the same
     /// captured state. Queries may carry distinct timestamps; none may
-    /// precede the last observed edge.
+    /// precede the last observed edge (panics otherwise —
+    /// [`StreamingPredictor::try_predict_batch`] is the fallible form).
     pub fn predict_batch(&self, queries: &[PropertyQuery]) -> Matrix {
+        match self.try_predict_batch(queries) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`StreamingPredictor::predict_batch`]: every query
+    /// time is validated *before* any assembly work, and a past-time query
+    /// reports [`SplashError::PastQuery`].
+    pub fn try_predict_batch(&self, queries: &[PropertyQuery]) -> Result<Matrix, SplashError> {
+        for q in queries {
+            if q.time < self.last_time {
+                return Err(SplashError::PastQuery { got: q.time, last: self.last_time });
+            }
+        }
         let mut scratch = self.scratch.borrow_mut();
         let s = &mut *scratch;
         // The assembled-query buffers persist across batches at their
@@ -380,10 +524,13 @@ impl StreamingPredictor {
             s.queries.resize_with(queries.len(), CapturedQuery::default);
         }
         for (dst, q) in s.queries.iter_mut().zip(queries) {
-            debug_assert!(q.time >= self.last_time, "cannot predict in the past");
             self.query_input_into(q.node, q.time, dst, &mut s.spare);
         }
-        crate::pipeline::predict_slim(&self.model, &s.queries[..queries.len()], STREAM_BATCH)
+        Ok(crate::pipeline::predict_slim(
+            &self.model,
+            &s.queries[..queries.len()],
+            STREAM_BATCH,
+        ))
     }
 
     /// The dynamic representation `h_i(t)` of a node (Eq. 18). Reuses the

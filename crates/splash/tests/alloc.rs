@@ -12,7 +12,10 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use ctdg::TemporalEdge;
-use splash::{seen_end_time, FeatureProcess, SplashConfig, StreamingPredictor, SEEN_FRAC};
+use splash::{
+    seen_end_time, FeatureProcess, IngestRequest, PredictRequest, PredictResponse,
+    SplashConfig, SplashService, StreamingPredictor, SEEN_FRAC,
+};
 
 /// Counts every `alloc`/`realloc` that reaches the system allocator.
 ///
@@ -110,6 +113,56 @@ fn steady_state_predict_is_allocation_free() {
     assert!(
         allocs <= 1,
         "predict should allocate at most the returned vector, saw {allocs}"
+    );
+}
+
+/// The `SplashService` façade must not reintroduce per-query heap
+/// traffic: a steady-state `PredictRequest` through
+/// `SplashService::predict_into` (registry lookup, policy checks, typed
+/// response, serving counters and all) performs **zero** allocator calls,
+/// exactly like the bare predictor.
+#[test]
+fn steady_state_service_predict_is_allocation_free() {
+    let dataset = splash::truncate_to_available(&datasets::synthetic_shift(40, 6), 0.5);
+    let mut cfg = SplashConfig::tiny();
+    cfg.epochs = 2;
+    let mut service = SplashService::builder(cfg).build().unwrap();
+    service
+        .train_model_with_process("live", &dataset, FeatureProcess::Random)
+        .unwrap();
+    let t_seen = seen_end_time(&dataset, SEEN_FRAC);
+    let prefix = dataset.stream.prefix_len_at(t_seen);
+    let tail = &dataset.stream.edges()[prefix..];
+    let report = service.ingest("live", IngestRequest::new(tail)).unwrap();
+    let t0 = report.last_time;
+
+    // Same query mix as the bare-predictor test: a spread of nodes
+    // including never-seen ones, warming every reusable buffer.
+    let mut nodes: Vec<u32> = (0..32u32).map(|i| i * 3 % 40).collect();
+    nodes.insert(7, 9_999);
+    nodes.insert(21, 9_999);
+    let mut resp = PredictResponse::default();
+    for (i, &v) in nodes.iter().enumerate() {
+        service
+            .predict_into("live", PredictRequest::new(v, t0 + i as f64), &mut resp)
+            .unwrap();
+    }
+
+    let mut sink = 0.0f32;
+    let allocs = count_allocs(|| {
+        for (i, &v) in nodes.iter().enumerate() {
+            let req = PredictRequest::new(v, t0 + (nodes.len() + i) as f64);
+            match service.predict_into("live", req, &mut resp) {
+                Ok(()) => sink += resp.logits[0],
+                Err(_) => unreachable!("valid steady-state query"),
+            }
+        }
+    });
+    assert!(sink.is_finite());
+    assert_eq!(
+        allocs, 0,
+        "steady-state service predict_into must not allocate ({allocs} calls over {} queries)",
+        nodes.len()
     );
 }
 

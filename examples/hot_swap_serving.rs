@@ -1,0 +1,89 @@
+//! Production-shaped serving with [`SplashService`]: a registry of named
+//! models, persisted artifacts hot-swapped under live traffic, a
+//! late-edge policy, and typed errors that never abort the process.
+//!
+//! ```sh
+//! cargo run --release --example hot_swap_serving
+//! ```
+
+use splash_repro::ctdg::TemporalEdge;
+use splash_repro::datasets::synthetic_shift;
+use splash_repro::splash::{
+    truncate_to_available, FeatureProcess, IngestRequest, LateEdgePolicy, PredictRequest,
+    SplashConfig, SplashError, SplashService,
+};
+
+fn main() {
+    let dataset = truncate_to_available(&synthetic_shift(40, 6), 0.5);
+    let mut cfg = SplashConfig::tiny();
+    cfg.epochs = 2;
+
+    // One service, two independently trained models in the registry.
+    let mut service = SplashService::builder(cfg)
+        .late_edge_policy(LateEdgePolicy::Error)
+        .build()
+        .expect("stock config is valid");
+    service
+        .train_model_with_process("blue", &dataset, FeatureProcess::Random)
+        .expect("training succeeds");
+    service
+        .train_model_with_process("green", &dataset, FeatureProcess::Positional)
+        .expect("training succeeds");
+    println!("registry: {:?}", service.model_names().collect::<Vec<_>>());
+
+    // Persist "blue" so it can be swapped back in later.
+    let artifact = std::env::temp_dir()
+        .join(format!("splash-hot-swap-{}.bin", std::process::id()));
+    service.save_model("blue", &artifact).expect("artifact writes");
+
+    // Serve the unseen tail to both models.
+    let tail: Vec<TemporalEdge> =
+        dataset.stream.edges()[dataset.stream.len() / 2..].to_vec();
+    for name in ["blue", "green"] {
+        let report = service.ingest(name, IngestRequest::new(&tail)).expect("tail is clean");
+        println!("{name}: ingested {} edges up to t={}", report.ingested, report.last_time);
+    }
+    let t_now = service.model("blue").unwrap().last_time();
+    let blue_answer = service.predict("blue", PredictRequest::new(5, t_now + 1.0)).unwrap();
+
+    // Typed errors instead of aborts: an out-of-order batch is rejected
+    // (state untouched), a past-time query is refused, and serving
+    // continues either way.
+    let late = [TemporalEdge::plain(0, 1, t_now - 1e6)];
+    match service.ingest("blue", IngestRequest::new(&late)) {
+        Err(SplashError::OutOfOrderEdge { got, last }) => {
+            println!("rejected batch: edge at t={got} behind the clock at t={last}")
+        }
+        other => panic!("expected OutOfOrderEdge, got {other:?}"),
+    }
+    match service.predict("blue", PredictRequest::new(5, t_now - 50.0)) {
+        Err(SplashError::PastQuery { .. }) => println!("refused a query about the past"),
+        other => panic!("expected PastQuery, got {other:?}"),
+    }
+
+    // Under DropLate the same batch is absorbed: late edges are counted,
+    // the model state is what the filtered stream would have produced.
+    let report = service
+        .ingest("blue", IngestRequest::new(&late).with_policy(LateEdgePolicy::DropLate))
+        .expect("DropLate absorbs late edges");
+    println!("DropLate: ingested {}, dropped {}", report.ingested, report.dropped);
+
+    // Hot-swap: replace "green" with the persisted "blue" artifact while
+    // the service keeps running, replay the same tail, and the swapped
+    // slot now answers exactly like "blue".
+    service.load_model("green", &artifact, &dataset).expect("artifact restores");
+    std::fs::remove_file(&artifact).ok();
+    service.ingest("green", IngestRequest::new(&tail)).expect("tail replays");
+    let swapped_answer = service.predict("green", PredictRequest::new(5, t_now + 1.0)).unwrap();
+    assert_eq!(
+        blue_answer.logits, swapped_answer.logits,
+        "a restored artifact serves bit-identical predictions"
+    );
+    println!("hot-swapped \"green\" ← blue artifact: predictions bit-identical");
+
+    let stats = service.stats();
+    println!(
+        "served {} queries, ingested {} edges (+{} dropped)",
+        stats.queries_served, stats.edges_ingested, stats.edges_dropped
+    );
+}

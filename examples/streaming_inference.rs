@@ -1,60 +1,78 @@
-//! Streaming deployment (paper Fig. 4): train SPLASH once, then consume a
-//! live edge stream one event at a time, answering label queries
-//! immediately from sub-linear state.
+//! Streaming deployment (paper Fig. 4) through the serving façade: train
+//! SPLASH once, register it in a [`SplashService`], then consume a live
+//! edge stream in micro-batches, answering label queries immediately from
+//! sub-linear state.
+//!
+//! Everything fallible goes through typed requests — an out-of-order
+//! batch or a past-time query would come back as a `SplashError` value
+//! instead of aborting the process.
 //!
 //! ```sh
 //! cargo run --release --example streaming_inference
 //! ```
 
-use splash_repro::ctdg::{replay, Event};
+use splash_repro::ctdg::{replay, Event, TemporalEdge};
 use splash_repro::datasets::synthetic_shift;
 use splash_repro::eval::weighted_f1;
-use splash_repro::splash::{split_bounds, SplashConfig, StreamingPredictor};
+use splash_repro::splash::{
+    split_bounds, IngestRequest, PredictRequest, PredictResponse, SplashConfig, SplashService,
+};
 
 fn main() {
     let dataset = synthetic_shift(50, 7);
     let cfg = SplashConfig::default();
 
     println!("training SPLASH on the first 10% of queries…");
-    let mut predictor = StreamingPredictor::train(&dataset, &cfg);
-    println!("selected augmentation process: {}", predictor.process().name());
+    let mut service = SplashService::builder(cfg).build().expect("stock config is valid");
+    let selected = service.train_model("live", &dataset).expect("training succeeds");
+    println!("selected augmentation process: {}", selected.name());
 
     // Go live: replay the post-training stream as if it were arriving now.
+    // Edges between two queries form one ingest micro-batch; each query is
+    // answered from the state accumulated so far.
     let (_, val_end) = split_bounds(dataset.queries.len());
-    let prefix = dataset.stream.prefix_len_at(predictor.last_time());
+    let prefix = dataset
+        .stream
+        .prefix_len_at(service.model("live").expect("just registered").last_time());
+    let mut pending: Vec<TemporalEdge> = Vec::new();
+    let mut resp = PredictResponse::default();
     let mut preds = Vec::new();
     let mut truth = Vec::new();
-    let mut answered = 0usize;
     let started = std::time::Instant::now();
     for event in replay(&dataset.stream, &dataset.queries) {
         match event {
             Event::Edge(idx, edge) => {
                 if idx >= prefix {
-                    predictor.observe_edge(edge); // O(d_v) per edge
+                    pending.push(edge.clone());
                 }
             }
             Event::Query(qi, q) => {
+                if !pending.is_empty() {
+                    service
+                        .ingest("live", IngestRequest::new(&pending))
+                        .expect("replayed edges are chronological");
+                    pending.clear();
+                }
                 if qi >= val_end {
-                    let logits = predictor.predict(q.node, q.time);
-                    let pred = logits
-                        .iter()
-                        .enumerate()
-                        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-                        .map(|(i, _)| i)
-                        .unwrap();
-                    preds.push(pred);
+                    // The reused response keeps this loop allocation-free.
+                    service
+                        .predict_into("live", PredictRequest::new(q.node, q.time), &mut resp)
+                        .expect("replayed queries are never in the past");
+                    preds.push(resp.top_class().expect("logits are non-empty"));
                     truth.push(q.label.class());
-                    answered += 1;
                 }
             }
         }
     }
     let elapsed = started.elapsed().as_secs_f64();
+    let stats = service.stats();
     let f1 = weighted_f1(&preds, &truth, dataset.num_classes);
     println!(
-        "answered {answered} live queries in {elapsed:.2}s \
+        "ingested {} edges, answered {} live queries in {elapsed:.2}s \
          ({:.0} queries/s), weighted F1 {f1:.3}",
-        answered as f64 / elapsed
+        stats.edges_ingested,
+        stats.queries_served,
+        stats.queries_served as f64 / elapsed
     );
     assert!(f1 > 0.2, "streaming predictions should beat chance");
 }
