@@ -23,6 +23,9 @@ if [[ "${1:-}" == "--quick" ]]; then
     exit 0
 fi
 
+echo "==> lint gate: clippy warning-free across the workspace"
+cargo clippy --workspace -- -D warnings
+
 echo "==> docs gate: rustdoc warning-free on nn + splash"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -p nn -p splash
 
@@ -33,6 +36,7 @@ echo "==> examples: the serving-façade examples compile and run"
 cargo build --release --examples
 cargo run --release --example streaming_inference
 cargo run --release --example hot_swap_serving
+cargo run --release --example sharded_serving
 
 echo "==> serial fallback: nn alone without 'parallel'"
 # nn must be tested by itself: any workspace sibling that depends on nn
@@ -41,6 +45,12 @@ cargo test -q -p nn --no-default-features
 
 echo "==> serial fallback: splash without its 'parallel' chunking"
 cargo test -q -p splash --no-default-features
+
+echo "==> serial fallback: shard parity with the fan-out pinned off"
+# The sharded engine must be bit-identical to the single engine on the
+# strictly sequential dispatch path too (NN_THREADS=1 disables the
+# thread-per-shard scatter even with the 'parallel' feature on).
+NN_THREADS=1 cargo test -q -p splash --test shard --test proptests
 
 echo "==> forced threading: the 1-core container never spawns by default"
 NN_THREADS=4 cargo test -q -p nn -p splash
@@ -53,5 +63,8 @@ cargo bench --no-run -p bench
 
 echo "==> quick bench: hot-loop timings + allocation counts"
 cargo bench -p bench --bench hotloop
+
+echo "==> quick bench: shard-scaling timings + allocation counts"
+cargo bench -p bench --bench shard_scaling
 
 echo "==> all checks passed"

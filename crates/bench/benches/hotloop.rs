@@ -120,8 +120,7 @@ fn train_epoch_alloc_style(
 /// once through the per-step-allocating wrapper loop.
 fn bench_train_epoch(c: &mut Criterion) {
     let dataset = datasets::synthetic_shift(50, 5);
-    let mut cfg = SplashConfig::default();
-    cfg.epochs = 1;
+    let cfg = SplashConfig { epochs: 1, ..SplashConfig::default() };
     let cap = capture(&dataset, InputFeatures::RawRandom, &cfg, SEEN_FRAC);
     let (train_end, _) = split_bounds(cap.queries.len());
     let train = &cap.queries[..train_end];
@@ -170,12 +169,12 @@ fn bench_stream_predict_steady(c: &mut Criterion) {
     let mut sink = 0.0f32;
     let mut out = Vec::new();
     for q in &queries {
-        predictor.predict_into(q.node, q.time, &mut out);
+        predictor.try_predict_into(q.node, q.time, &mut out).unwrap();
         sink += out[0];
     }
     let allocs = count_allocs(|| {
         for q in &queries {
-            predictor.predict_into(q.node, q.time, &mut out);
+            predictor.try_predict_into(q.node, q.time, &mut out).unwrap();
             sink += out[0];
         }
     });
@@ -189,7 +188,7 @@ fn bench_stream_predict_steady(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0.0f32;
             for q in &queries {
-                predictor.predict_into(q.node, q.time, &mut out);
+                predictor.try_predict_into(q.node, q.time, &mut out).unwrap();
                 acc += out[0];
             }
             black_box(acc)
@@ -199,7 +198,7 @@ fn bench_stream_predict_steady(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0.0f32;
             for q in &queries {
-                acc += predictor.predict(q.node, q.time)[0];
+                acc += predictor.try_predict(q.node, q.time).unwrap()[0];
             }
             black_box(acc)
         })

@@ -208,7 +208,7 @@ fn bench_streaming_throughput(c: &mut Criterion) {
 
     // A primed predictor (tail ingested) for the query-side benchmarks.
     let mut primed = predictor.clone();
-    primed.push_edges(&tail);
+    primed.try_push_edges(&tail).unwrap();
     let t0 = primed.last_time();
     let n_nodes = dataset.stream.num_nodes() as u32;
     let queries: Vec<PropertyQuery> = (0..1024u32)
@@ -222,10 +222,10 @@ fn bench_streaming_throughput(c: &mut Criterion) {
     // Headline throughput numbers (single measured pass each).
     let start = std::time::Instant::now();
     let mut p = predictor.clone();
-    p.push_edges(&tail);
+    p.try_push_edges(&tail).unwrap();
     let eps = tail.len() as f64 / start.elapsed().as_secs_f64();
     let start = std::time::Instant::now();
-    let logits = primed.predict_batch(&queries);
+    let logits = primed.try_predict_batch(&queries).unwrap();
     let qps = queries.len() as f64 / start.elapsed().as_secs_f64();
     println!(
         "streaming_throughput: {eps:.0} edges/sec ingested, {qps:.0} queries/sec answered \
@@ -240,7 +240,7 @@ fn bench_streaming_throughput(c: &mut Criterion) {
         b.iter(|| {
             let mut p = predictor.clone();
             for e in &tail {
-                p.observe_edge(e);
+                p.try_observe_edge(e).unwrap();
             }
             black_box(p.last_time())
         })
@@ -248,7 +248,7 @@ fn bench_streaming_throughput(c: &mut Criterion) {
     group.bench_function(format!("push_edges_x{}", tail.len()), |b| {
         b.iter(|| {
             let mut p = predictor.clone();
-            p.push_edges(&tail);
+            p.try_push_edges(&tail).unwrap();
             black_box(p.last_time())
         })
     });
@@ -256,13 +256,13 @@ fn bench_streaming_throughput(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0.0f32;
             for q in &queries {
-                acc += primed.predict(q.node, q.time)[0];
+                acc += primed.try_predict(q.node, q.time).unwrap()[0];
             }
             black_box(acc)
         })
     });
     group.bench_function("predict_batch_x1024", |b| {
-        b.iter(|| black_box(primed.predict_batch(&queries).sum()))
+        b.iter(|| black_box(primed.try_predict_batch(&queries).unwrap().sum()))
     });
     group.finish();
 }

@@ -1,0 +1,152 @@
+//! Shard-scaling benchmarks: routed ingest and scatter–gather batched
+//! prediction at 1 / 2 / 4 shards, with heap-allocation accounting on the
+//! steady-state paths.
+//!
+//! The contract being measured, not just asserted: sharding never changes
+//! bits, only wall clock. On a single-core host (like the CI container)
+//! the thread-per-shard fan-out stays disabled (`NN_THREADS` = 1), so
+//! these numbers show the *serial overhead* of the routing layer — the
+//! scatter/gather bookkeeping plus the per-shard witness updates on
+//! ingest; multiply-by-cores wins appear on real multi-core hosts.
+//! `BENCH_PR4.json` records the numbers per PR.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ctdg::{Label, PropertyQuery, TemporalEdge};
+use splash::{
+    seen_end_time, FeatureProcess, ShardedPredictor, SplashConfig, StreamingPredictor,
+    SEEN_FRAC,
+};
+
+/// Counts every allocation and reallocation that reaches the global
+/// allocator; see `crates/splash/tests/alloc.rs` for why each binary
+/// carries its own copy.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Runs `f` once and returns how many allocator calls it made.
+fn count_allocs(mut f: impl FnMut()) -> u64 {
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    f();
+    ALLOC_CALLS.load(Ordering::Relaxed) - before
+}
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn fixture() -> (StreamingPredictor, Vec<TemporalEdge>, u32) {
+    let dataset =
+        splash::truncate_to_available(&datasets::synthetic_shift(50, 8), 0.5);
+    let mut cfg = SplashConfig::tiny();
+    cfg.epochs = 2;
+    let predictor =
+        StreamingPredictor::train_with_process(&dataset, &cfg, FeatureProcess::Random);
+    let t_seen = seen_end_time(&dataset, SEEN_FRAC);
+    let prefix = dataset.stream.prefix_len_at(t_seen);
+    let tail = dataset.stream.edges()[prefix..].to_vec();
+    (predictor, tail, dataset.stream.num_nodes() as u32)
+}
+
+/// Routed batch ingest at each shard count. Each iteration re-dates the
+/// same tail past the predictor's clock, so every pass exercises the full
+/// route-and-remember path on warmed rings.
+fn bench_shard_ingest(c: &mut Criterion) {
+    let (base, tail, _) = fixture();
+    let mut group = c.benchmark_group(format!("shard_ingest_x{}", tail.len()));
+    for shards in SHARD_COUNTS {
+        let mut sharded = ShardedPredictor::from_predictor(base.clone(), shards).unwrap();
+        let mut replay = tail.clone();
+        let redate = |replay: &mut Vec<TemporalEdge>, t0: f64| {
+            for (i, e) in replay.iter_mut().enumerate() {
+                e.time = t0 + i as f64;
+            }
+        };
+        // Warm the rings to capacity, then measure steady-state pushes.
+        for _ in 0..2 {
+            redate(&mut replay, sharded.last_time());
+            sharded.try_push_edges(&replay).unwrap();
+        }
+        redate(&mut replay, sharded.last_time());
+        let allocs = count_allocs(|| sharded.try_push_edges(&replay).unwrap());
+        println!(
+            "shard_ingest shards={shards}: {:.3} allocator calls per edge steady-state",
+            allocs as f64 / replay.len() as f64
+        );
+        group.bench_function(format!("shards{shards}"), |b| {
+            b.iter(|| {
+                redate(&mut replay, sharded.last_time());
+                sharded.try_push_edges(&replay).unwrap();
+                black_box(sharded.last_time())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Scatter–gather batched prediction at each shard count (512 queries into
+/// a reused output matrix — the zero-allocation serving path).
+fn bench_shard_predict_batch(c: &mut Criterion) {
+    let (base, tail, n_nodes) = fixture();
+    let mut group = c.benchmark_group("shard_predict_batch_x512");
+    for shards in SHARD_COUNTS {
+        let mut sharded = ShardedPredictor::from_predictor(base.clone(), shards).unwrap();
+        sharded.try_push_edges(&tail).unwrap();
+        let t0 = sharded.last_time();
+        let queries: Vec<PropertyQuery> = (0..512u32)
+            .map(|i| PropertyQuery {
+                node: (i * 7) % (n_nodes + 20),
+                time: t0 + i as f64,
+                label: Label::Class(0),
+            })
+            .collect();
+        let mut out = nn::Matrix::default();
+        // Warm every pool (scatter buffers, per-shard workspaces), then
+        // report the steady-state allocation count next to the timing.
+        for _ in 0..6 {
+            sharded.try_predict_batch_into(&queries, &mut out).unwrap();
+        }
+        let allocs = count_allocs(|| {
+            sharded.try_predict_batch_into(&queries, &mut out).unwrap();
+        });
+        println!(
+            "shard_predict_batch shards={shards}: {:.3} allocator calls per query steady-state",
+            allocs as f64 / queries.len() as f64
+        );
+        group.bench_function(format!("shards{shards}"), |b| {
+            b.iter(|| {
+                sharded.try_predict_batch_into(&queries, &mut out).unwrap();
+                black_box(out.row(0)[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_shard_ingest, bench_shard_predict_batch,
+}
+criterion_main!(benches);

@@ -29,7 +29,7 @@ USAGE:
   splash predict  --model-file <model.bin> --edges <csv> --queries <csv>
                   --task <task> [--scores <out.csv>]
   splash serve    --model-file <model.bin> --edges <csv> --queries <csv>
-                  --task <task> [--late-policy error|drop]
+                  --task <task> [--late-policy error|drop] [--shards N]
   splash baseline --model <name> --edges <csv> --queries <csv> --task <task>
                   [--classes N] [--features plain|RF] [--epochs N] [--seed N]
   splash drift    --edges <csv> --queries <csv> --task <task> [--buckets N]
@@ -324,10 +324,13 @@ fn parse_late_policy(raw: &str) -> Result<LateEdgePolicy, ArgError> {
 /// Streaming deployment through the `SplashService` façade: load a
 /// persisted model, replay the post-training period as a live stream
 /// (edges ingested in micro-batches, queries answered immediately), and
-/// report the serving counters next to the test metric.
+/// report the serving counters next to the test metric. With `--shards N`
+/// the model is served by N hash-partitioned engines (scatter–gather;
+/// identical predictions, per-shard counters in the report).
 fn cmd_serve(args: &Args) -> Result<String, ArgError> {
     let model_path = args.require("model-file")?.to_string();
     let policy = parse_late_policy(args.get("late-policy").unwrap_or("error"))?;
+    let shards: usize = args.get_parsed("shards", 1)?;
     let task = parse_task(args.require("task")?)?;
     let edges = args.require("edges")?.to_string();
     let queries = args.require("queries")?.to_string();
@@ -356,6 +359,7 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
     // model carries (and validates) its own.
     let mut service = SplashService::builder(SplashConfig::default())
         .late_edge_policy(policy)
+        .shards(shards)
         .build()
         .map_err(|e| ArgError(e.to_string()))?;
     service
@@ -364,9 +368,9 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
 
     // Go live: everything after the model's training prefix arrives as a
     // stream. Consecutive edges between queries form one ingest batch.
-    let prefix = dataset
-        .stream
-        .prefix_len_at(service.model("serving").map_err(|e| ArgError(e.to_string()))?.last_time());
+    let prefix = dataset.stream.prefix_len_at(
+        service.model_last_time("serving").map_err(|e| ArgError(e.to_string()))?,
+    );
     let (_, val_end) = split_bounds(dataset.queries.len());
     let mut pending: Vec<TemporalEdge> = Vec::new();
     let mut resp = PredictResponse::default();
@@ -414,18 +418,26 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
         &labels,
     );
     let stats = service.stats();
-    Ok(format!(
-        "model          : {model_path}\n\
-         late policy    : {policy:?}\n\
-         edges ingested : {} (+{} dropped)\n\
-         queries served : {} in {elapsed:.2}s ({:.0}/s)\n\
-         test {:<10}: {metric:.4}\n",
-        stats.edges_ingested,
-        stats.edges_dropped,
-        stats.queries_served,
+    let mut report = String::new();
+    let _ = writeln!(report, "model          : {model_path}");
+    let _ = writeln!(report, "late policy    : {policy:?}");
+    // The counters render through `ServiceStats`'s `Display` — one source
+    // of truth for the operator-facing format.
+    let _ = write!(report, "{stats}");
+    let _ = writeln!(
+        report,
+        "throughput     : {:.0} queries/s ({elapsed:.2}s wall)",
         stats.queries_served as f64 / elapsed.max(1e-9),
-        metric_name(task),
-    ))
+    );
+    for s in service.shard_stats("serving").map_err(|e| ArgError(e.to_string()))? {
+        let _ = writeln!(
+            report,
+            "  shard {:<2}     : {} ring nodes, {} owned edges ({} witnessed), {} queries",
+            s.shard, s.owned_nodes, s.owned_edges, s.witness_edges, s.queries_served,
+        );
+    }
+    let _ = writeln!(report, "test {:<10}: {metric:.4}", metric_name(task));
+    Ok(report)
 }
 
 fn cmd_baseline(args: &Args) -> Result<String, ArgError> {

@@ -90,6 +90,45 @@ fn run_save_then_predict_reproduces_the_metric() {
     );
 }
 
+/// `serve` replays the stream through the service façade; `--shards N`
+/// must serve the identical metric (bit-identical engine contract) and
+/// report per-shard counters.
+#[test]
+fn serve_sharded_matches_unsharded_metric() {
+    let (dir, edges, queries) = fixture("serve-shards");
+    let model_path = dir.join("model.bin");
+    cli::dispatch(toks(&format!(
+        "run --edges {edges} --queries {queries} --task classification --features S \
+         --epochs 2 --dv 8 --hidden 16 --k 4 --save {}",
+        model_path.display()
+    )))
+    .expect("run --save succeeds");
+
+    let serve = |extra: &str| {
+        cli::dispatch(toks(&format!(
+            "serve --model-file {} --edges {edges} --queries {queries} \
+             --task classification{extra}",
+            model_path.display()
+        )))
+        .expect("serve succeeds")
+    };
+    let single = serve("");
+    let sharded = serve(" --shards 3");
+    let metric = |report: &str| {
+        report
+            .lines()
+            .find(|l| l.starts_with("test weighted F1"))
+            .expect("metric line")
+            .to_string()
+    };
+    assert_eq!(metric(&single), metric(&sharded), "single: {single}\nsharded: {sharded}");
+    assert!(single.contains("shard engines  : 1"), "{single}");
+    assert!(sharded.contains("shard engines  : 3"), "{sharded}");
+    assert!(sharded.contains("shard 0"), "{sharded}");
+    assert!(sharded.contains("shard 2"), "{sharded}");
+    assert!(!single.contains("shard 0"), "single-engine report lists no shards: {single}");
+}
+
 #[test]
 fn predict_writes_score_csv() {
     let (dir, edges, queries) = fixture("scores");

@@ -334,6 +334,11 @@ fn tn_chunk(
 
 /// Computes output rows `r..r+MR`, cols `j..j+NR` of the `a · bᵀ` chunk:
 /// 16 dot products sharing 4 streams of `a` and 4 streams of `b`.
+///
+/// The flat scalar parameter list is deliberate: the microkernel is
+/// monomorphic and `inline(always)`, and bundling the operands into a
+/// struct buys nothing but indirection here.
+#[allow(clippy::too_many_arguments)]
 #[inline(always)]
 fn nt_tile(
     a: &[f32],
@@ -380,6 +385,8 @@ fn nt_tile(
 }
 
 /// Scalar dot product for `a · bᵀ` tile remainders — the naive chain.
+/// (Same flat-parameter rationale as [`nt_tile`].)
+#[allow(clippy::too_many_arguments)]
 #[inline(always)]
 fn nt_elem(
     a: &[f32],
@@ -494,6 +501,22 @@ pub fn with_serial_backend<T>(f: impl FnOnce() -> T) -> T {
 #[cfg(not(feature = "parallel"))]
 pub fn with_serial_backend<T>(f: impl FnOnce() -> T) -> T {
     f()
+}
+
+/// Whether [`with_serial_backend`] has pinned the current thread to the
+/// serial kernels. Coarse-grained fan-outs (chunk-parallel inference,
+/// thread-per-shard scatter) consult this so a caller that pinned serial
+/// execution — a worker thread, or an allocation-count harness — is obeyed
+/// at every grain, not just inside the matmul backend.
+#[cfg(feature = "parallel")]
+pub fn serial_pinned() -> bool {
+    SERIAL_ONLY.with(|c| c.get())
+}
+
+/// No-`parallel` builds are always serial.
+#[cfg(not(feature = "parallel"))]
+pub fn serial_pinned() -> bool {
+    true
 }
 
 /// Worker-thread count for [`ParallelBackend`]: the machine's available

@@ -82,6 +82,16 @@ pub enum SplashError {
         /// Display name of the offending feature mode.
         mode: &'static str,
     },
+    /// A request asked for the wrong engine form: single-engine access
+    /// ([`crate::SplashService::model`]) to a model served by multiple
+    /// shards, or sharded access ([`crate::SplashService::sharded_model`])
+    /// to a single-engine model.
+    ShardedModel {
+        /// The registry name of the model.
+        name: String,
+        /// How many shards actually serve it.
+        shards: usize,
+    },
     /// An underlying I/O operation failed (file missing, permissions, …).
     Io(io::Error),
 }
@@ -115,6 +125,11 @@ impl fmt::Display for SplashError {
                 f,
                 "feature mode {mode} cannot back a streaming predictor \
                  (streaming state needs a single augmentation process)"
+            ),
+            SplashError::ShardedModel { name, shards } => write!(
+                f,
+                "model {name:?} is served by {shards} shard(s), which does not \
+                 match the requested engine access"
             ),
             SplashError::Io(e) => write!(f, "i/o error: {e}"),
         }

@@ -25,9 +25,14 @@
 //! the [`SplashService`] façade: a registry of named, hot-swappable
 //! models behind a fallible, typed request/response API ([`error`] holds
 //! the [`SplashError`] taxonomy). The core's infallible methods remain as
-//! thin wrappers, but a serving layer should speak the `try_*` /
-//! service forms — bad input then comes back as a value, never as an
-//! aborted process.
+//! (deprecated) thin wrappers, but a serving layer should speak the
+//! `try_*` / service forms — bad input then comes back as a value, never
+//! as an aborted process.
+//!
+//! For **scale-out**, the [`shard`] module hash-partitions nodes across
+//! [`ShardedPredictor`] engines — scatter–gather queries, routed ingest,
+//! sharded persistence — with output bit-identical to the single engine
+//! at every shard count.
 
 #![deny(missing_docs)]
 
@@ -39,6 +44,7 @@ pub mod persist;
 pub mod pipeline;
 pub mod select;
 pub mod service;
+pub mod shard;
 pub mod slim;
 pub mod stream;
 pub mod task;
@@ -49,7 +55,10 @@ pub use capture::{
 };
 pub use config::{PositionalSource, SplashConfig};
 pub use error::SplashError;
-pub use persist::{load_model, save_model, SavedModel};
+pub use persist::{
+    load_manifest, load_model, load_sharded_model, save_model, save_sharded_model, SavedModel,
+    ShardFileEntry, ShardManifest,
+};
 pub use pipeline::{
     predict_slim, represent_slim, run_slim_with, run_slim_with_frac, run_splash,
     run_splash_frac, split_bounds, split_bounds_frac, train_slim, try_run_slim_with,
@@ -63,5 +72,6 @@ pub use service::{
     IngestReport, IngestRequest, LateEdgePolicy, PredictRequest, PredictResponse, ServiceStats,
     SplashService, SplashServiceBuilder,
 };
+pub use shard::{shard_of, ShardStats, ShardedPredictor};
 pub use slim::{SlimBatch, SlimCache, SlimModel};
 pub use stream::StreamingPredictor;

@@ -37,6 +37,12 @@ use crate::slim::SlimModel;
 const MAGIC: &[u8; 8] = b"SPLASHM\x01";
 const VERSION: u32 = 1;
 
+/// Magic of a *sharded* artifact manifest (distinct from the single-model
+/// [`MAGIC`], so [`is_sharded_artifact`] can sniff a path cheaply).
+const SHARD_MAGIC: &[u8; 8] = b"SPLASHS\x01";
+/// Format revision of the manifest layout.
+const SHARD_VERSION: u32 = 1;
+
 /// A model restored from disk, with everything needed to serve it.
 #[derive(Debug)]
 pub struct SavedModel {
@@ -80,6 +86,22 @@ pub fn save_model(
     out_dim: usize,
 ) -> Result<(), SplashError> {
     let mut w = BufWriter::new(File::create(path)?);
+    write_model(&mut w, model, cfg, mode, feat_dim, edge_feat_dim, out_dim)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// [`save_model`]'s body against any writer (the sharded save serializes
+/// once into memory and fans the bytes out to N files).
+fn write_model<W: Write>(
+    mut w: W,
+    model: &mut SlimModel,
+    cfg: &SplashConfig,
+    mode: InputFeatures,
+    feat_dim: usize,
+    edge_feat_dim: usize,
+    out_dim: usize,
+) -> Result<(), SplashError> {
     w.write_all(MAGIC)?;
     put_u32(&mut w, VERSION)?;
     write_config(&mut w, cfg)?;
@@ -106,7 +128,6 @@ pub fn save_model(
             put_f32(&mut w, x)?;
         }
     }
-    w.flush()?;
     Ok(())
 }
 
@@ -117,7 +138,12 @@ pub fn save_model(
 /// another format revision as [`SplashError::PersistVersionMismatch`];
 /// filesystem errors as [`SplashError::Io`].
 pub fn load_model(path: &Path) -> Result<SavedModel, SplashError> {
-    let mut r = BufReader::new(File::open(path)?);
+    read_model(BufReader::new(File::open(path)?))
+}
+
+/// [`load_model`]'s body against any reader (the sharded load parses shard
+/// 0 from the bytes it already checksummed instead of re-reading the file).
+fn read_model<R: Read>(mut r: R) -> Result<SavedModel, SplashError> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic).map_err(corrupt_or_io)?;
     if &magic != MAGIC {
@@ -130,6 +156,210 @@ pub fn load_model(path: &Path) -> Result<SavedModel, SplashError> {
         return Err(SplashError::PersistVersionMismatch { found: version, supported: VERSION });
     }
     read_body(&mut r).map_err(corrupt_or_io)
+}
+
+// ---------------------------------------------------------------------------
+// Sharded artifacts: a manifest plus one model file per shard.
+//
+// In the sharding design ([`crate::shard`]) every shard serves the *same*
+// trained weights — what a shard owns is streaming state (rings), and that
+// state is rebuilt from the training stream on load, exactly like the
+// single-engine path. A sharded artifact therefore is N independently
+// loadable model files (each a standard [`save_model`] artifact, so any one
+// of them restores through [`load_model`] on its own — e.g. when shard
+// files are placed on N machines) plus a manifest recording the shard
+// count and a checksum per file. Because the shard count is data, not
+// architecture, a model saved at N shards loads at any M
+// ("resharding-on-load").
+
+/// One entry of a [`ShardManifest`]: a shard's model file (named relative
+/// to the manifest's directory) and the FNV-1a checksum of its bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardFileEntry {
+    /// File name, relative to the manifest's parent directory.
+    pub name: String,
+    /// FNV-1a (64-bit) checksum of the file's bytes.
+    pub checksum: u64,
+}
+
+/// The header of a sharded artifact: how many shards it was saved with and
+/// which files hold their models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardManifest {
+    /// Shard count at save time (a load may pick a different count).
+    pub shards: usize,
+    /// One model file per shard, in shard order.
+    pub files: Vec<ShardFileEntry>,
+}
+
+/// FNV-1a over `bytes` — enough to catch a swapped or damaged shard file;
+/// integrity against adversaries is out of scope for a local model store.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The conventional file name of shard `index` under manifest `path`
+/// (`<manifest-name>.shard<index>` in the same directory).
+pub fn shard_file_path(path: &Path, index: usize) -> std::path::PathBuf {
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "sharded-model".into());
+    path.with_file_name(format!("{name}.shard{index}"))
+}
+
+/// Whether `path` starts with the sharded-manifest magic (reads 8 bytes;
+/// a short or unreadable file is simply "not a manifest" unless the open
+/// itself fails).
+pub fn is_sharded_artifact(path: &Path) -> Result<bool, SplashError> {
+    let mut r = File::open(path)?;
+    let mut magic = [0u8; 8];
+    match r.read_exact(&mut magic) {
+        Ok(()) => Ok(&magic == SHARD_MAGIC),
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Ok(false),
+        Err(e) => Err(SplashError::Io(e)),
+    }
+}
+
+/// Writes `model` as a sharded artifact at `path`: one [`save_model`] file
+/// per shard (identical bytes — shards share weights) plus the manifest.
+///
+/// `model` is taken mutably only because parameter access goes through
+/// [`Parameterized::params_mut`]; values are not modified.
+#[allow(clippy::too_many_arguments)]
+pub fn save_sharded_model(
+    path: &Path,
+    model: &mut SlimModel,
+    cfg: &SplashConfig,
+    mode: InputFeatures,
+    feat_dim: usize,
+    edge_feat_dim: usize,
+    out_dim: usize,
+    shards: usize,
+) -> Result<(), SplashError> {
+    if shards == 0 {
+        return Err(SplashError::InvalidConfig {
+            what: "shard count must be positive".into(),
+        });
+    }
+    // Shards share weights, so serialize once and fan the bytes out.
+    let mut bytes = Vec::new();
+    write_model(&mut bytes, model, cfg, mode, feat_dim, edge_feat_dim, out_dim)?;
+    let checksum = fnv1a(&bytes);
+    let mut files = Vec::with_capacity(shards);
+    for i in 0..shards {
+        let shard_path = shard_file_path(path, i);
+        std::fs::write(&shard_path, &bytes)?;
+        files.push(ShardFileEntry {
+            name: shard_path
+                .file_name()
+                .expect("shard_file_path always has a file name")
+                .to_string_lossy()
+                .into_owned(),
+            checksum,
+        });
+    }
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(SHARD_MAGIC)?;
+    put_u32(&mut w, SHARD_VERSION)?;
+    put_u64(&mut w, shards as u64)?;
+    for entry in &files {
+        put_u64(&mut w, entry.name.len() as u64)?;
+        w.write_all(entry.name.as_bytes())?;
+        put_u64(&mut w, entry.checksum)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads the manifest written by [`save_sharded_model`] (header only; no
+/// shard file is touched).
+///
+/// Typed failures mirror [`load_model`]: wrong magic, truncation, or an
+/// impossible shard count load as [`SplashError::CorruptModel`], a
+/// recognisable manifest from another revision as
+/// [`SplashError::PersistVersionMismatch`], filesystem trouble as
+/// [`SplashError::Io`].
+pub fn load_manifest(path: &Path) -> Result<ShardManifest, SplashError> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic).map_err(corrupt_or_io)?;
+    if &magic != SHARD_MAGIC {
+        return Err(SplashError::CorruptModel {
+            what: "not a SPLASH shard manifest (bad magic)".into(),
+        });
+    }
+    let version = get_u32(&mut r).map_err(corrupt_or_io)?;
+    if version != SHARD_VERSION {
+        return Err(SplashError::PersistVersionMismatch {
+            found: version,
+            supported: SHARD_VERSION,
+        });
+    }
+    read_manifest_body(&mut r).map_err(corrupt_or_io)
+}
+
+/// Parses everything after the manifest magic + version header.
+fn read_manifest_body<R: Read>(r: &mut R) -> io::Result<ShardManifest> {
+    let shards = get_u64(r)? as usize;
+    if shards == 0 || shards > 1 << 20 {
+        return Err(bad(format!("impossible shard count {shards}")));
+    }
+    let mut files = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let len = get_u64(r)? as usize;
+        if len == 0 || len > 4096 {
+            return Err(bad(format!("impossible shard file-name length {len}")));
+        }
+        let mut name = vec![0u8; len];
+        r.read_exact(&mut name)?;
+        let name = String::from_utf8(name)
+            .map_err(|_| bad("shard file name is not UTF-8".to_string()))?;
+        let checksum = get_u64(r)?;
+        files.push(ShardFileEntry { name, checksum });
+    }
+    Ok(ShardManifest { shards, files })
+}
+
+/// Loads a sharded artifact: reads the manifest, verifies every shard
+/// file's checksum, and restores the model from shard 0 (all shard files
+/// carry identical weights by construction).
+///
+/// A missing or altered shard file reports [`SplashError::CorruptModel`]
+/// naming the file, so an operator knows *which* artifact to re-export.
+pub fn load_sharded_model(path: &Path) -> Result<(ShardManifest, SavedModel), SplashError> {
+    let manifest = load_manifest(path)?;
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    let mut first: Option<Vec<u8>> = None;
+    for entry in &manifest.files {
+        let shard_path = dir.join(&entry.name);
+        let bytes = std::fs::read(&shard_path).map_err(|e| {
+            if e.kind() == io::ErrorKind::NotFound {
+                SplashError::CorruptModel {
+                    what: format!("manifest names missing shard file {:?}", entry.name),
+                }
+            } else {
+                SplashError::Io(e)
+            }
+        })?;
+        if fnv1a(&bytes) != entry.checksum {
+            return Err(SplashError::CorruptModel {
+                what: format!("shard file {:?} does not match its manifest checksum", entry.name),
+            });
+        }
+        if first.is_none() {
+            first = Some(bytes);
+        }
+    }
+    // Parse shard 0 from the bytes just checksummed — no second read.
+    let bytes = first.expect("manifests always list at least one shard");
+    let saved = read_model(bytes.as_slice())?;
+    Ok((manifest, saved))
 }
 
 /// Classifies an error raised while parsing a file whose magic already

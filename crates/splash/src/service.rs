@@ -45,6 +45,7 @@
 //! ```
 
 use std::cell::Cell;
+use std::fmt;
 use std::path::Path;
 
 use ctdg::{NodeId, PropertyQuery, TemporalEdge};
@@ -54,6 +55,7 @@ use nn::Matrix;
 use crate::augment::FeatureProcess;
 use crate::config::SplashConfig;
 use crate::error::SplashError;
+use crate::shard::{ShardStats, ShardedPredictor};
 use crate::stream::StreamingPredictor;
 use crate::task::argmax;
 
@@ -153,13 +155,117 @@ pub struct ServiceStats {
     pub edges_dropped: u64,
     /// Predictions served (single + batched).
     pub queries_served: u64,
+    /// Shard engines across the registry (a single-engine model counts 1).
+    pub shards: u64,
+}
+
+impl fmt::Display for ServiceStats {
+    /// The operator-facing rendering the CLI `serve` report embeds — one
+    /// aligned `label : value` line per counter, newline-terminated.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "edges ingested : {} (+{} dropped)",
+            self.edges_ingested, self.edges_dropped
+        )?;
+        writeln!(f, "queries served : {}", self.queries_served)?;
+        writeln!(f, "shard engines  : {}", self.shards)
+    }
+}
+
+/// The serving engine behind one registry slot: a single streaming
+/// predictor, or a hash-partitioned group of them. The enum delegates the
+/// handful of calls the façade makes, so the policy/accounting code above
+/// it is engine-agnostic — and so is the bit-identity contract, since the
+/// sharded engine reproduces the single engine exactly.
+#[derive(Debug)]
+enum Engine {
+    /// One streaming predictor (the default, `shards == 1`). Boxed so the
+    /// enum stays small next to the `Vec`-backed sharded variant.
+    Single(Box<StreamingPredictor>),
+    /// `N` hash-partitioned predictors behind a scatter–gather router.
+    Sharded(ShardedPredictor),
+}
+
+impl Engine {
+    fn shards(&self) -> usize {
+        match self {
+            Engine::Single(_) => 1,
+            Engine::Sharded(s) => s.num_shards(),
+        }
+    }
+
+    fn last_time(&self) -> f64 {
+        match self {
+            Engine::Single(p) => p.last_time(),
+            Engine::Sharded(s) => s.last_time(),
+        }
+    }
+
+    fn known_nodes(&self) -> usize {
+        match self {
+            Engine::Single(p) => p.known_nodes(),
+            Engine::Sharded(s) => s.known_nodes(),
+        }
+    }
+
+    fn try_push_edges(&mut self, edges: &[TemporalEdge]) -> Result<(), SplashError> {
+        match self {
+            Engine::Single(p) => p.try_push_edges(edges),
+            Engine::Sharded(s) => s.try_push_edges(edges),
+        }
+    }
+
+    fn try_observe_edge(&mut self, edge: &TemporalEdge) -> Result<(), SplashError> {
+        match self {
+            Engine::Single(p) => p.try_observe_edge(edge),
+            Engine::Sharded(s) => s.try_observe_edge(edge),
+        }
+    }
+
+    fn try_predict_into(
+        &self,
+        node: NodeId,
+        time: f64,
+        out: &mut Vec<f32>,
+    ) -> Result<(), SplashError> {
+        match self {
+            Engine::Single(p) => p.try_predict_into(node, time, out),
+            Engine::Sharded(s) => s.try_predict_into(node, time, out),
+        }
+    }
+
+    fn try_predict_batch(&self, queries: &[PropertyQuery]) -> Result<Matrix, SplashError> {
+        match self {
+            Engine::Single(p) => p.try_predict_batch(queries),
+            Engine::Sharded(s) => s.try_predict_batch(queries),
+        }
+    }
+
+    fn try_predict_batch_into(
+        &mut self,
+        queries: &[PropertyQuery],
+        out: &mut Matrix,
+    ) -> Result<(), SplashError> {
+        match self {
+            Engine::Single(p) => p.try_predict_batch_into(queries, out),
+            Engine::Sharded(s) => s.try_predict_batch_into(queries, out),
+        }
+    }
+
+    fn save(&mut self, path: &Path) -> Result<(), SplashError> {
+        match self {
+            Engine::Single(p) => p.save(path),
+            Engine::Sharded(s) => s.save(path),
+        }
+    }
 }
 
 /// One named slot in the registry.
 #[derive(Debug)]
 struct ModelEntry {
     name: String,
-    predictor: StreamingPredictor,
+    engine: Engine,
 }
 
 /// Configures and checks a [`SplashService`] before it starts serving.
@@ -168,6 +274,7 @@ pub struct SplashServiceBuilder {
     cfg: SplashConfig,
     policy: LateEdgePolicy,
     strict_nodes: bool,
+    shards: usize,
 }
 
 impl SplashServiceBuilder {
@@ -187,15 +294,31 @@ impl SplashServiceBuilder {
         self
     }
 
+    /// How many hash-partitioned shards serve each registered model
+    /// (default 1 = the plain single engine). Any count produces
+    /// bit-identical predictions; more shards split state and scatter
+    /// query compute ([`crate::shard`]). Must be positive — checked by
+    /// [`SplashServiceBuilder::build`].
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
     /// Validates the configuration and produces an empty service; add
     /// models with [`SplashService::train_model`] /
     /// [`SplashService::load_model`].
     pub fn build(self) -> Result<SplashService, SplashError> {
         self.cfg.validate()?;
+        if self.shards == 0 {
+            return Err(SplashError::InvalidConfig {
+                what: "shard count must be positive".into(),
+            });
+        }
         Ok(SplashService {
             cfg: self.cfg,
             policy: self.policy,
             strict_nodes: self.strict_nodes,
+            shards: self.shards,
             models: Vec::new(),
             edges_ingested: 0,
             edges_dropped: 0,
@@ -214,6 +337,8 @@ pub struct SplashService {
     cfg: SplashConfig,
     policy: LateEdgePolicy,
     strict_nodes: bool,
+    /// Shard count applied to every model installed from now on.
+    shards: usize,
     models: Vec<ModelEntry>,
     edges_ingested: u64,
     edges_dropped: u64,
@@ -228,7 +353,22 @@ impl SplashService {
     /// Starts configuring a service around `cfg` (used by the in-service
     /// training entry points; loaded models carry their own config).
     pub fn builder(cfg: SplashConfig) -> SplashServiceBuilder {
-        SplashServiceBuilder { cfg, policy: LateEdgePolicy::default(), strict_nodes: false }
+        SplashServiceBuilder {
+            cfg,
+            policy: LateEdgePolicy::default(),
+            strict_nodes: false,
+            shards: 1,
+        }
+    }
+
+    /// Wraps a freshly built predictor in the engine form the service was
+    /// configured for (single at `shards == 1`, scatter–gather otherwise).
+    fn engine_for(&self, predictor: StreamingPredictor) -> Result<Engine, SplashError> {
+        if self.shards == 1 {
+            Ok(Engine::Single(Box::new(predictor)))
+        } else {
+            Ok(Engine::Sharded(ShardedPredictor::from_predictor(predictor, self.shards)?))
+        }
     }
 
     /// Trains a model on `dataset` with automatic feature selection and
@@ -241,7 +381,8 @@ impl SplashService {
     ) -> Result<FeatureProcess, SplashError> {
         let predictor = StreamingPredictor::train(dataset, &self.cfg);
         let process = predictor.process();
-        self.install(name, predictor);
+        let engine = self.engine_for(predictor)?;
+        self.install(name, engine);
         Ok(process)
     }
 
@@ -254,7 +395,8 @@ impl SplashService {
         process: FeatureProcess,
     ) -> Result<(), SplashError> {
         let predictor = StreamingPredictor::train_with_process(dataset, &self.cfg, process);
-        self.install(name, predictor);
+        let engine = self.engine_for(predictor)?;
+        self.install(name, engine);
         Ok(())
     }
 
@@ -262,6 +404,12 @@ impl SplashService {
     /// from `dataset`'s training prefix, and installs it under `name`
     /// (hot-swapping any model already there — in-flight state of the
     /// replaced model is discarded).
+    ///
+    /// Both artifact kinds load interchangeably: a single-model file
+    /// ([`SplashService::save_model`] at 1 shard) or a sharded manifest
+    /// (more shards). Either way the model is served with the *service's*
+    /// configured shard count — resharding-on-load, since streaming state
+    /// is rebuilt and ownership recomputed here anyway.
     ///
     /// The saved file's own config is validated and used; the service's
     /// config only governs models trained in-service.
@@ -271,18 +419,25 @@ impl SplashService {
         path: &Path,
         dataset: &Dataset,
     ) -> Result<(), SplashError> {
-        let saved = crate::persist::load_model(path)?;
+        let saved = if crate::persist::is_sharded_artifact(path)? {
+            crate::persist::load_sharded_model(path)?.1
+        } else {
+            crate::persist::load_model(path)?
+        };
         saved.cfg.validate()?;
         let predictor = StreamingPredictor::try_from_saved(saved, dataset)?;
-        self.install(name, predictor);
+        let engine = self.engine_for(predictor)?;
+        self.install(name, engine);
         Ok(())
     }
 
-    /// Persists the named model to `path`; the artifact restores through
-    /// [`SplashService::load_model`].
+    /// Persists the named model to `path`: a single-engine model writes
+    /// one model file, a sharded model writes a manifest plus per-shard
+    /// files. Either artifact restores through
+    /// [`SplashService::load_model`] at any shard count.
     pub fn save_model(&mut self, name: &str, path: &Path) -> Result<(), SplashError> {
         let idx = self.index(name)?;
-        self.models[idx].predictor.save(path)
+        self.models[idx].engine.save(path)
     }
 
     /// Removes the named model from the registry.
@@ -297,11 +452,53 @@ impl SplashService {
         self.models.iter().map(|e| e.name.as_str())
     }
 
-    /// Direct (read-only) access to a registered predictor — the escape
-    /// hatch for callers that need core APIs the façade does not wrap
-    /// (representations, `predict_many`, …).
+    /// Direct (read-only) access to a registered single-engine predictor —
+    /// the escape hatch for callers that need core APIs the façade does
+    /// not wrap (representations, `predict_many`, …). A model served by
+    /// multiple shards has no single engine and reports
+    /// [`SplashError::ShardedModel`]; use
+    /// [`SplashService::sharded_model`] for those.
     pub fn model(&self, name: &str) -> Result<&StreamingPredictor, SplashError> {
-        Ok(&self.entry(name)?.predictor)
+        let entry = self.entry(name)?;
+        match &entry.engine {
+            Engine::Single(p) => Ok(p.as_ref()),
+            Engine::Sharded(s) => Err(SplashError::ShardedModel {
+                name: name.to_string(),
+                shards: s.num_shards(),
+            }),
+        }
+    }
+
+    /// Direct (read-only) access to a registered sharded engine (per-shard
+    /// stats, shard inspection). A single-engine model reports
+    /// [`SplashError::ShardedModel`] with `shards: 1`.
+    pub fn sharded_model(&self, name: &str) -> Result<&ShardedPredictor, SplashError> {
+        let entry = self.entry(name)?;
+        match &entry.engine {
+            Engine::Sharded(s) => Ok(s),
+            Engine::Single(_) => Err(SplashError::ShardedModel {
+                name: name.to_string(),
+                shards: 1,
+            }),
+        }
+    }
+
+    /// Per-shard serving counters of the named model: one
+    /// [`ShardStats`] row per shard for a sharded engine, an empty vector
+    /// for a single-engine model (whose counters are the service-level
+    /// [`ServiceStats`]).
+    pub fn shard_stats(&self, name: &str) -> Result<Vec<ShardStats>, SplashError> {
+        match &self.entry(name)?.engine {
+            Engine::Sharded(s) => Ok(s.shard_stats()),
+            Engine::Single(_) => Ok(Vec::new()),
+        }
+    }
+
+    /// The stream clock of the named model: arrival time of its most
+    /// recently observed edge (engine-agnostic, unlike the
+    /// [`SplashService::model`] escape hatch).
+    pub fn model_last_time(&self, name: &str) -> Result<f64, SplashError> {
+        Ok(self.entry(name)?.engine.last_time())
     }
 
     /// Applies a batch of edges to the named model under the request's (or
@@ -319,10 +516,10 @@ impl SplashService {
     ) -> Result<IngestReport, SplashError> {
         let policy = req.policy.unwrap_or(self.policy);
         let idx = self.index(name)?;
-        let predictor = &mut self.models[idx].predictor;
+        let engine = &mut self.models[idx].engine;
         let dropped = match policy {
             LateEdgePolicy::Error => {
-                predictor.try_push_edges(req.edges)?;
+                engine.try_push_edges(req.edges)?;
                 0
             }
             LateEdgePolicy::DropLate => {
@@ -330,7 +527,7 @@ impl SplashService {
                 // with its single-pass validation and up-front ring
                 // growth; only a batch that actually contains late edges
                 // pays the per-edge filter.
-                let mut prev = predictor.last_time();
+                let mut prev = engine.last_time();
                 let mut clean = true;
                 for edge in req.edges {
                     if edge.time < prev {
@@ -340,12 +537,12 @@ impl SplashService {
                     prev = edge.time;
                 }
                 if clean {
-                    predictor.try_push_edges(req.edges)?;
+                    engine.try_push_edges(req.edges)?;
                     0
                 } else {
                     let mut dropped = 0usize;
                     for edge in req.edges {
-                        match predictor.try_observe_edge(edge) {
+                        match engine.try_observe_edge(edge) {
                             Ok(()) => {}
                             Err(SplashError::OutOfOrderEdge { .. }) => dropped += 1,
                             Err(other) => return Err(other),
@@ -361,7 +558,7 @@ impl SplashService {
         Ok(IngestReport {
             ingested,
             dropped,
-            last_time: self.models[idx].predictor.last_time(),
+            last_time: self.models[idx].engine.last_time(),
         })
     }
 
@@ -378,12 +575,12 @@ impl SplashService {
     ) -> Result<(), SplashError> {
         let entry = self.entry(name)?;
         if self.strict_nodes {
-            let known = entry.predictor.known_nodes();
+            let known = entry.engine.known_nodes();
             if req.node as usize >= known {
                 return Err(SplashError::UnknownNode { node: req.node, known });
             }
         }
-        entry.predictor.try_predict_into(req.node, req.time, &mut resp.logits)?;
+        entry.engine.try_predict_into(req.node, req.time, &mut resp.logits)?;
         self.queries_served.set(self.queries_served.get() + 1);
         Ok(())
     }
@@ -410,14 +607,38 @@ impl SplashService {
     ) -> Result<Matrix, SplashError> {
         let entry = self.entry(name)?;
         if self.strict_nodes {
-            let known = entry.predictor.known_nodes();
+            let known = entry.engine.known_nodes();
             if let Some(q) = queries.iter().find(|q| q.node as usize >= known) {
                 return Err(SplashError::UnknownNode { node: q.node, known });
             }
         }
-        let out = entry.predictor.try_predict_batch(queries)?;
+        let out = entry.engine.try_predict_batch(queries)?;
         self.queries_served.set(self.queries_served.get() + queries.len() as u64);
         Ok(out)
+    }
+
+    /// [`SplashService::predict_batch`] into a caller-owned matrix — the
+    /// zero-allocation batched serving path (buffers reused across calls),
+    /// bit-identical to the allocating form. Takes `&mut self` because on
+    /// a sharded model this is the scatter–gather path that may fan the
+    /// per-shard forwards out thread-per-shard (see
+    /// [`ShardedPredictor::try_predict_batch_into`]).
+    pub fn predict_batch_into(
+        &mut self,
+        name: &str,
+        queries: &[PropertyQuery],
+        out: &mut Matrix,
+    ) -> Result<(), SplashError> {
+        let idx = self.index(name)?;
+        if self.strict_nodes {
+            let known = self.models[idx].engine.known_nodes();
+            if let Some(q) = queries.iter().find(|q| q.node as usize >= known) {
+                return Err(SplashError::UnknownNode { node: q.node, known });
+            }
+        }
+        self.models[idx].engine.try_predict_batch_into(queries, out)?;
+        self.queries_served.set(self.queries_served.get() + queries.len() as u64);
+        Ok(())
     }
 
     /// A snapshot of the serving counters.
@@ -426,6 +647,7 @@ impl SplashService {
             edges_ingested: self.edges_ingested,
             edges_dropped: self.edges_dropped,
             queries_served: self.queries_served.get(),
+            shards: self.models.iter().map(|e| e.engine.shards() as u64).sum(),
         }
     }
 
@@ -434,10 +656,10 @@ impl SplashService {
         self.policy
     }
 
-    fn install(&mut self, name: &str, predictor: StreamingPredictor) {
+    fn install(&mut self, name: &str, engine: Engine) {
         match self.models.iter_mut().find(|e| e.name == name) {
-            Some(entry) => entry.predictor = predictor,
-            None => self.models.push(ModelEntry { name: name.to_string(), predictor }),
+            Some(entry) => entry.engine = engine,
+            None => self.models.push(ModelEntry { name: name.to_string(), engine }),
         }
     }
 

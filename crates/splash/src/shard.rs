@@ -1,0 +1,563 @@
+//! Horizontal scale-out: hash-partitioned sharding over the streaming
+//! engine.
+//!
+//! A [`crate::stream::StreamingPredictor`] is single-threaded by design
+//! (interior scratch makes it `!Sync`), so one engine caps throughput at
+//! one core. [`ShardedPredictor`] multiplies that: nodes are
+//! hash-partitioned across `N` shards ([`shard_of`]), each shard owning a
+//! full engine, and
+//!
+//! * **ingest** routes a time-ordered batch so ring snapshots — the
+//!   dominant per-node state, `k·(d_v + d_e)` floats per active node —
+//!   are written only on the owner shard(s) of each edge's endpoints
+//!   (both, when they differ), while every shard *witnesses* every edge
+//!   in its feature tracker;
+//! * **queries** scatter to the owner shard of each queried node and
+//!   gather back into the caller's buffers, so the expensive part — the
+//!   SLIM forward — fans out across engines (thread-per-shard under the
+//!   `parallel` feature).
+//!
+//! # Why witness updates, and why this is exactly bit-identical
+//!
+//! SPLASH's per-node state is a ring of *snapshots*: each entry stores the
+//! **neighbor's** feature as of edge-arrival time (Eq. 14), and the
+//! structural process encodes the neighbor's **global** degree. Both are
+//! functions of the whole stream, not of the owned partition — a shard
+//! that saw only its own nodes' edges would snapshot stale neighbor
+//! features and undercounted degrees. So the router hands every edge to
+//! every shard for the cheap feature-tracker update (degree bumps, and
+//! `O(d_v)` propagation only at unseen endpoints) and reserves the ring
+//! write — the expensive snapshot — for owner shards. Every shard's
+//! feature tracker therefore evolves exactly like the unsharded one, every
+//! owned ring is filled from that identical tracker in the same edge
+//! order, and a query routed to its owner shard reads exactly the state
+//! the single engine would have read. Sharded output is the unsharded
+//! output, bit for bit, for **any** shard count and any valid stream —
+//! pinned by the `sharded_matches_unsharded_*` proptests.
+//!
+//! Work per shard is `O(E)` witness updates plus its share of ring writes
+//! and query forwards; state per shard is its partition's rings plus a
+//! replica of the (flat) feature tables. Throughput scales with shards ×
+//! cores on the query path; the serial ingest overhead of witnessing is
+//! one degree update per non-owned edge.
+//!
+//! Persistence is sharded too: [`ShardedPredictor::save`] writes one model
+//! file per shard plus a manifest ([`crate::persist`]), and
+//! [`ShardedPredictor::try_load`] reshards on load — an artifact saved at
+//! `N` shards serves identically at any `M`.
+
+use std::cell::{Cell, RefCell};
+use std::path::Path;
+
+use ctdg::{NodeId, PropertyQuery, TemporalEdge};
+use datasets::Dataset;
+use nn::Matrix;
+
+use crate::augment::FeatureProcess;
+use crate::config::SplashConfig;
+use crate::error::SplashError;
+use crate::persist::SavedModel;
+use crate::stream::StreamingPredictor;
+
+/// The owner shard of `node` under an `shards`-way partition.
+///
+/// A splitmix64-style finalizer avalanches the (dense) node ids so
+/// consecutive ids spread across shards instead of striping; the function
+/// is pure and version-independent *within a process*, and nothing
+/// persisted depends on it — ownership is recomputed from scratch when an
+/// artifact loads, which is what makes resharding-on-load free.
+pub fn shard_of(node: NodeId, shards: usize) -> usize {
+    debug_assert!(shards > 0, "shard count must be positive");
+    let mut x = (node as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x % shards as u64) as usize
+}
+
+/// A snapshot of one shard's serving counters
+/// ([`ShardedPredictor::shard_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardStats {
+    /// Which shard this row describes.
+    pub shard: usize,
+    /// Nodes whose rings live on this shard (at least one entry).
+    pub owned_nodes: usize,
+    /// Edges with at least one endpoint owned here (ring writes).
+    pub owned_edges: u64,
+    /// Edges observed feature-only (witness updates, no ring write).
+    pub witness_edges: u64,
+    /// Queries answered by this shard.
+    pub queries_served: u64,
+}
+
+/// Per-shard counters; `queries` is a [`Cell`] because predictions flow
+/// through `&self` (mirroring the service's counter design).
+#[derive(Debug, Clone, Default)]
+struct ShardCounters {
+    owned_edges: u64,
+    queries: Cell<u64>,
+}
+
+/// Reusable scatter–gather buffers: per-shard query sub-batches, the
+/// original row index of each scattered query, and per-shard logit blocks.
+/// Warmed up by the first batches, then reused verbatim, so
+/// [`ShardedPredictor::try_predict_batch_into`] stays off the allocator.
+#[derive(Debug, Clone, Default)]
+struct GatherScratch {
+    queries: Vec<Vec<PropertyQuery>>,
+    index: Vec<Vec<usize>>,
+    rows: Vec<Matrix>,
+    /// Per-edge `(owner_of_src, owner_of_dst)` for the batch being routed:
+    /// the ownership hash runs once per endpoint per *batch*, and every
+    /// shard (and the counters) reads the same precomputed pairs.
+    route: Vec<(usize, usize)>,
+}
+
+/// `N` hash-partitioned streaming engines behind one ingest/query surface.
+///
+/// See the [module docs](self) for the partitioning and determinism
+/// contract; in short: same API shape as [`StreamingPredictor`], same bits
+/// out, state and query compute split `N` ways.
+#[derive(Debug, Clone)]
+pub struct ShardedPredictor {
+    shards: Vec<StreamingPredictor>,
+    counters: Vec<ShardCounters>,
+    /// Total edges ingested (every shard witnesses every edge).
+    total_edges: u64,
+    scratch: RefCell<GatherScratch>,
+}
+
+impl ShardedPredictor {
+    /// Splits a (trained or restored) predictor into `shards` engines:
+    /// each shard keeps the full feature tracker but only its partition's
+    /// rings. `shards` must be positive.
+    pub fn from_predictor(
+        predictor: StreamingPredictor,
+        shards: usize,
+    ) -> Result<Self, SplashError> {
+        if shards == 0 {
+            return Err(SplashError::InvalidConfig {
+                what: "shard count must be positive".into(),
+            });
+        }
+        let mut parts = Vec::with_capacity(shards);
+        for s in 0..shards - 1 {
+            let mut p = predictor.clone();
+            p.retain_ring_nodes(|v| shard_of(v, shards) == s);
+            parts.push(p);
+        }
+        let mut p = predictor;
+        p.retain_ring_nodes(|v| shard_of(v, shards) == shards - 1);
+        parts.push(p);
+        Ok(Self {
+            shards: parts,
+            counters: vec![ShardCounters::default(); shards],
+            total_edges: 0,
+            scratch: RefCell::new(GatherScratch {
+                queries: vec![Vec::new(); shards],
+                index: vec![Vec::new(); shards],
+                rows: vec![Matrix::default(); shards],
+                route: Vec::new(),
+            }),
+        })
+    }
+
+    /// Trains SPLASH (with automatic feature selection) and shards the
+    /// result `shards` ways. See [`StreamingPredictor::train`].
+    pub fn train(dataset: &Dataset, cfg: &SplashConfig, shards: usize) -> Result<Self, SplashError> {
+        Self::from_predictor(StreamingPredictor::train(dataset, cfg), shards)
+    }
+
+    /// Like [`ShardedPredictor::train`] with a fixed augmentation process.
+    pub fn train_with_process(
+        dataset: &Dataset,
+        cfg: &SplashConfig,
+        process: FeatureProcess,
+        shards: usize,
+    ) -> Result<Self, SplashError> {
+        Self::from_predictor(
+            StreamingPredictor::train_with_process(dataset, cfg, process),
+            shards,
+        )
+    }
+
+    /// Rebuilds a sharded predictor from a restored model; the streaming
+    /// state is reconstructed from `dataset`'s training prefix exactly as
+    /// in [`StreamingPredictor::try_from_saved`], then partitioned.
+    pub fn try_from_saved(
+        saved: SavedModel,
+        dataset: &Dataset,
+        shards: usize,
+    ) -> Result<Self, SplashError> {
+        Self::from_predictor(StreamingPredictor::try_from_saved(saved, dataset)?, shards)
+    }
+
+    /// Loads a sharded artifact (manifest + per-shard model files, written
+    /// by [`ShardedPredictor::save`]) and serves it with `shards` engines —
+    /// `None` keeps the artifact's saved count. This is resharding-on-load:
+    /// ownership is recomputed, state is rebuilt from the training stream,
+    /// so any saved count loads at any serving count with identical output.
+    pub fn try_load(
+        path: &Path,
+        dataset: &Dataset,
+        shards: Option<usize>,
+    ) -> Result<Self, SplashError> {
+        let (manifest, saved) = crate::persist::load_sharded_model(path)?;
+        saved.cfg.validate()?;
+        Self::try_from_saved(saved, dataset, shards.unwrap_or(manifest.shards))
+    }
+
+    /// Persists this predictor as a sharded artifact at `path`: the
+    /// manifest plus one independently loadable model file per shard
+    /// (`<path>.shard<i>`). Restores through [`ShardedPredictor::try_load`]
+    /// at any shard count, or any single shard file through
+    /// [`crate::persist::load_model`].
+    pub fn save(&mut self, path: &Path) -> Result<(), SplashError> {
+        let shards = self.shards.len();
+        self.shards[0].save_sharded(path, shards)
+    }
+
+    /// Number of shards serving this predictor.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Arrival time of the most recently observed edge (identical on every
+    /// shard — all shards witness the full stream).
+    pub fn last_time(&self) -> f64 {
+        self.shards[0].last_time()
+    }
+
+    /// Number of node ids with allocated state; see
+    /// [`StreamingPredictor::known_nodes`].
+    pub fn known_nodes(&self) -> usize {
+        self.shards[0].known_nodes()
+    }
+
+    /// Output (logit) width of the model: one column per class.
+    pub fn out_dim(&self) -> usize {
+        self.shards[0].out_dim()
+    }
+
+    /// The configuration the underlying model was trained (or restored)
+    /// with.
+    pub fn config(&self) -> &SplashConfig {
+        self.shards[0].config()
+    }
+
+    /// The augmentation process the underlying model consumes.
+    pub fn process(&self) -> FeatureProcess {
+        self.shards[0].process()
+    }
+
+    /// Read-only access to one shard's engine, or `None` past the shard
+    /// count (diagnostics; queries should go through the routing entry
+    /// points so they reach the owner shard).
+    pub fn shard(&self, index: usize) -> Option<&StreamingPredictor> {
+        self.shards.get(index)
+    }
+
+    /// Per-shard serving counters, in shard order.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .zip(&self.counters)
+            .enumerate()
+            .map(|(shard, (engine, c))| ShardStats {
+                shard,
+                owned_nodes: engine.active_rings(),
+                owned_edges: c.owned_edges,
+                witness_edges: self.total_edges - c.owned_edges,
+                queries_served: c.queries.get(),
+            })
+            .collect()
+    }
+
+    /// Total queries answered across all shards.
+    pub fn queries_served(&self) -> u64 {
+        self.counters.iter().map(|c| c.queries.get()).sum()
+    }
+
+    /// Ingests a chronologically ordered micro-batch, routing each edge to
+    /// the owner shard(s) of its endpoints for ring snapshots while every
+    /// shard witnesses it in the feature tracker.
+    ///
+    /// Batch-atomic like [`StreamingPredictor::try_push_edges`]: the whole
+    /// batch is validated against the stream clock before any shard
+    /// mutates, so on [`SplashError::OutOfOrderEdge`] every shard is
+    /// exactly as it was. With the `parallel` feature and more than one
+    /// available thread, shards ingest on one thread each (disjoint state —
+    /// same bits, less wall clock).
+    pub fn try_push_edges(&mut self, edges: &[TemporalEdge]) -> Result<(), SplashError> {
+        let mut prev = self.last_time();
+        for edge in edges {
+            if edge.time < prev {
+                return Err(SplashError::OutOfOrderEdge { got: edge.time, last: prev });
+            }
+            prev = edge.time;
+        }
+        let n = self.shards.len();
+        let scratch = self.scratch.get_mut();
+        scratch.route.clear();
+        scratch
+            .route
+            .extend(edges.iter().map(|e| (shard_of(e.src, n), shard_of(e.dst, n))));
+        let route = &scratch.route;
+        #[cfg(feature = "parallel")]
+        {
+            if n > 1 && nn::backend::num_threads() > 1 && !nn::backend::serial_pinned() {
+                std::thread::scope(|scope| {
+                    for (s, shard) in self.shards.iter_mut().enumerate() {
+                        scope.spawn(move || shard.push_edges_prerouted(edges, route, s));
+                    }
+                });
+                for &(a, b) in route {
+                    self.counters[a].owned_edges += 1;
+                    if b != a {
+                        self.counters[b].owned_edges += 1;
+                    }
+                }
+                self.total_edges += edges.len() as u64;
+                return Ok(());
+            }
+        }
+        for (s, shard) in self.shards.iter_mut().enumerate() {
+            shard.push_edges_prerouted(edges, route, s);
+        }
+        for &(a, b) in route {
+            self.counters[a].owned_edges += 1;
+            if b != a {
+                self.counters[b].owned_edges += 1;
+            }
+        }
+        self.total_edges += edges.len() as u64;
+        Ok(())
+    }
+
+    /// Ingests one edge (the per-edge path a `DropLate` serving layer
+    /// uses): a late edge reports [`SplashError::OutOfOrderEdge`] with
+    /// every shard untouched — the drop decision is identical on all
+    /// shards because they share one stream clock.
+    pub fn try_observe_edge(&mut self, edge: &TemporalEdge) -> Result<(), SplashError> {
+        let last = self.last_time();
+        if edge.time < last {
+            return Err(SplashError::OutOfOrderEdge { got: edge.time, last });
+        }
+        let n = self.shards.len();
+        let owner_src = shard_of(edge.src, n);
+        let owner_dst = shard_of(edge.dst, n);
+        for (s, shard) in self.shards.iter_mut().enumerate() {
+            shard
+                .try_observe_edge_routed(edge, s == owner_src, s == owner_dst)
+                .expect("edge validated before the scatter");
+        }
+        self.counters[owner_src].owned_edges += 1;
+        if owner_dst != owner_src {
+            self.counters[owner_dst].owned_edges += 1;
+        }
+        self.total_edges += 1;
+        Ok(())
+    }
+
+    /// Predicts the property logits of `node` at `time`, answered by the
+    /// owner shard. Bit-identical to the unsharded predictor; zero heap
+    /// allocations after warm-up (the owner's scratch is reused).
+    pub fn try_predict_into(
+        &self,
+        node: NodeId,
+        time: f64,
+        out: &mut Vec<f32>,
+    ) -> Result<(), SplashError> {
+        let s = shard_of(node, self.shards.len());
+        self.shards[s].try_predict_into(node, time, out)?;
+        self.counters[s].queries.set(self.counters[s].queries.get() + 1);
+        Ok(())
+    }
+
+    /// Convenience form of [`ShardedPredictor::try_predict_into`]
+    /// (allocates only the returned vector).
+    pub fn try_predict(&self, node: NodeId, time: f64) -> Result<Vec<f32>, SplashError> {
+        let mut out = Vec::new();
+        self.try_predict_into(node, time, &mut out)?;
+        Ok(out)
+    }
+
+    /// Answers a micro-batch of label queries: scatter to owner shards,
+    /// one batched forward per shard, gather rows back into query order.
+    /// Row `i` holds the logits for `queries[i]`; bit-identical to
+    /// [`StreamingPredictor::try_predict_batch`] on the unsharded engine.
+    ///
+    /// Allocates the returned matrix; the reusing (and, with `parallel`,
+    /// thread-per-shard) form is
+    /// [`ShardedPredictor::try_predict_batch_into`].
+    pub fn try_predict_batch(&self, queries: &[PropertyQuery]) -> Result<Matrix, SplashError> {
+        let mut out = Matrix::default();
+        self.validate_and_scatter(queries)?;
+        let out_dim = self.out_dim();
+        let mut guard = self.scratch.borrow_mut();
+        let scratch = &mut *guard;
+        for ((shard, qs), rows) in
+            self.shards.iter().zip(&scratch.queries).zip(&mut scratch.rows)
+        {
+            shard
+                .try_predict_batch_into(qs, rows)
+                .expect("query times validated before the scatter");
+        }
+        gather_rows(scratch, &self.counters, out_dim, queries.len(), &mut out);
+        Ok(out)
+    }
+
+    /// [`ShardedPredictor::try_predict_batch`] into a caller-owned matrix —
+    /// the scatter–gather serving path. Per-shard sub-batches, index maps,
+    /// and logit blocks are all reused across calls, so a warmed-up caller
+    /// performs **zero** heap allocations per batch (pinned by the `alloc`
+    /// regression test).
+    ///
+    /// Takes `&mut self` so that, under the `parallel` feature with more
+    /// than one available thread, each shard's forward pass can run on its
+    /// own thread (the engines are `!Sync` by design; exclusive access is
+    /// what lets them fan out). The serial and threaded paths are
+    /// bit-identical.
+    pub fn try_predict_batch_into(
+        &mut self,
+        queries: &[PropertyQuery],
+        out: &mut Matrix,
+    ) -> Result<(), SplashError> {
+        self.validate_and_scatter(queries)?;
+        let out_dim = self.shards[0].out_dim();
+        let scratch = self.scratch.get_mut();
+        #[cfg(feature = "parallel")]
+        {
+            let n = self.shards.len();
+            if n > 1 && nn::backend::num_threads() > 1 && !nn::backend::serial_pinned() {
+                std::thread::scope(|scope| {
+                    for ((shard, qs), rows) in
+                        self.shards.iter_mut().zip(&scratch.queries).zip(&mut scratch.rows)
+                    {
+                        scope.spawn(move || {
+                            nn::backend::with_serial_backend(|| {
+                                shard
+                                    .try_predict_batch_into(qs, rows)
+                                    .expect("query times validated before the scatter");
+                            });
+                        });
+                    }
+                });
+                gather_rows(scratch, &self.counters, out_dim, queries.len(), out);
+                return Ok(());
+            }
+        }
+        for ((shard, qs), rows) in
+            self.shards.iter().zip(&scratch.queries).zip(&mut scratch.rows)
+        {
+            shard
+                .try_predict_batch_into(qs, rows)
+                .expect("query times validated before the scatter");
+        }
+        gather_rows(scratch, &self.counters, out_dim, queries.len(), out);
+        Ok(())
+    }
+
+    /// Validates every query time (batch atomicity: nothing runs if any
+    /// query is in the past), then partitions the batch into the reused
+    /// per-shard sub-batches. Labels are replaced by a class-0 placeholder —
+    /// predictions ignore them, and cloning a placeholder never allocates.
+    fn validate_and_scatter(&self, queries: &[PropertyQuery]) -> Result<(), SplashError> {
+        let last = self.last_time();
+        for q in queries {
+            if q.time < last {
+                return Err(SplashError::PastQuery { got: q.time, last });
+            }
+        }
+        let n = self.shards.len();
+        let mut guard = self.scratch.borrow_mut();
+        let scratch = &mut *guard;
+        for (qs, ix) in scratch.queries.iter_mut().zip(&mut scratch.index) {
+            qs.clear();
+            ix.clear();
+        }
+        for (i, q) in queries.iter().enumerate() {
+            let s = shard_of(q.node, n);
+            scratch.queries[s].push(PropertyQuery {
+                node: q.node,
+                time: q.time,
+                label: ctdg::Label::Class(0),
+            });
+            scratch.index[s].push(i);
+        }
+        Ok(())
+    }
+
+}
+
+/// Copies the per-shard logit blocks back into query order and bumps the
+/// per-shard query counters (a free function so the caller can keep its
+/// exclusive borrow of the scatter scratch).
+fn gather_rows(
+    scratch: &GatherScratch,
+    counters: &[ShardCounters],
+    out_dim: usize,
+    n_queries: usize,
+    out: &mut Matrix,
+) {
+    if n_queries == 0 {
+        // Match the unsharded batch path's 0×0 result bit for bit.
+        out.resize_zeroed(0, 0);
+        return;
+    }
+    out.resize_zeroed(n_queries, out_dim);
+    for ((ix, rows), c) in scratch.index.iter().zip(&scratch.rows).zip(counters) {
+        for (local, &orig) in ix.iter().enumerate() {
+            out.row_mut(orig).copy_from_slice(rows.row(local));
+        }
+        c.queries.set(c.queries.get() + ix.len() as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_of_partitions_every_node() {
+        for shards in [1usize, 2, 3, 7, 16] {
+            let mut hit = vec![0usize; shards];
+            for v in 0..10_000u32 {
+                let s = shard_of(v, shards);
+                assert!(s < shards);
+                hit[s] += 1;
+            }
+            // The hash must actually spread dense ids: no shard may be
+            // starved below half of a perfectly uniform share.
+            let floor = 10_000 / shards / 2;
+            for (s, &count) in hit.iter().enumerate() {
+                assert!(count >= floor, "shard {s}/{shards} got {count} of 10000");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_of_is_stable() {
+        // Routing is a pure function: the same node maps to the same shard
+        // on every call (ingest and query sides must agree).
+        for v in [0u32, 1, 17, 1 << 20, u32::MAX] {
+            assert_eq!(shard_of(v, 7), shard_of(v, 7));
+        }
+    }
+
+    #[test]
+    fn zero_shards_is_rejected() {
+        let dataset =
+            crate::truncate_to_available(&datasets::synthetic_shift(30, 5), 0.5);
+        let mut cfg = SplashConfig::tiny();
+        cfg.epochs = 1;
+        let p = StreamingPredictor::train_with_process(
+            &dataset,
+            &cfg,
+            FeatureProcess::Random,
+        );
+        let err = ShardedPredictor::from_predictor(p, 0).unwrap_err();
+        assert!(matches!(err, SplashError::InvalidConfig { .. }), "{err:?}");
+    }
+}

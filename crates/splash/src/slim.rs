@@ -109,7 +109,16 @@ impl SlimModel {
     /// [`SlimModel::build_batch`] into a reusable batch: every buffer is
     /// resized in place, so repacking with a steady batch size performs no
     /// heap allocation after the first call.
-    pub fn build_batch_into(&self, queries: &[&CapturedQuery], batch: &mut SlimBatch) {
+    ///
+    /// Generic over [`std::borrow::Borrow`] so callers can pass either a
+    /// slice of references (`&[&CapturedQuery]`, the training loop's shape)
+    /// or a plain slice of owned queries (`&[CapturedQuery]`, the
+    /// zero-allocation streaming paths — no per-call reference vector).
+    pub fn build_batch_into<Q: std::borrow::Borrow<CapturedQuery>>(
+        &self,
+        queries: &[Q],
+        batch: &mut SlimBatch,
+    ) {
         let b = queries.len();
         let raw_dim = self.feat_dim + self.edge_feat_dim + self.time_enc.dim();
         batch.raw.resize_zeroed(b * self.k, raw_dim);
@@ -119,6 +128,7 @@ impl SlimModel {
         batch.lens.resize(b, 0);
         batch.target.resize_zeroed(b, self.feat_dim);
         for (qi, q) in queries.iter().enumerate() {
+            let q = q.borrow();
             batch.target.set_row(qi, &q.target_feat);
             let len = q.neighbors.len().min(self.k);
             batch.lens[qi] = len;

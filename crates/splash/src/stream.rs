@@ -145,6 +145,7 @@ impl StreamingPredictor {
     /// Returns `None` when the saved model's feature mode is not a single
     /// augmentation process; [`StreamingPredictor::try_from_saved`] is the
     /// fallible form that says *why* restoration failed.
+    #[deprecated(note = "use the try_from_saved form")]
     pub fn from_saved(saved: crate::persist::SavedModel, dataset: &Dataset) -> Option<Self> {
         Self::try_from_saved(saved, dataset).ok()
     }
@@ -207,6 +208,27 @@ impl StreamingPredictor {
             self.feat_dim,
             self.edge_feat_dim,
             self.out_dim,
+        )
+    }
+
+    /// Persists this predictor's model as a *sharded* artifact (manifest +
+    /// `shards` model files); the sharded counterpart of
+    /// [`StreamingPredictor::save`], used by
+    /// [`crate::shard::ShardedPredictor::save`].
+    pub(crate) fn save_sharded(
+        &mut self,
+        path: &std::path::Path,
+        shards: usize,
+    ) -> Result<(), SplashError> {
+        crate::persist::save_sharded_model(
+            path,
+            &mut self.model,
+            &self.cfg,
+            InputFeatures::Process(self.process),
+            self.feat_dim,
+            self.edge_feat_dim,
+            self.out_dim,
+            shards,
         )
     }
 
@@ -289,9 +311,18 @@ impl StreamingPredictor {
     /// edge ingestion touches the allocator only when a ring or the ring
     /// table itself grows.
     fn remember(&mut self, edge: &TemporalEdge) {
-        let slot = Self::push_slot(&mut self.rings, self.k, edge.src);
-        Self::fill_slot(&self.augmenter, self.process, slot, edge.dst, edge);
-        if edge.src != edge.dst {
+        self.remember_routed(edge, true, true);
+    }
+
+    /// [`StreamingPredictor::remember`] restricted to the endpoints this
+    /// predictor owns: a sharded predictor witnesses every edge in the
+    /// feature tracker but keeps ring snapshots only for its partition.
+    fn remember_routed(&mut self, edge: &TemporalEdge, owns_src: bool, owns_dst: bool) {
+        if owns_src {
+            let slot = Self::push_slot(&mut self.rings, self.k, edge.src);
+            Self::fill_slot(&self.augmenter, self.process, slot, edge.dst, edge);
+        }
+        if owns_dst && edge.src != edge.dst {
             let slot = Self::push_slot(&mut self.rings, self.k, edge.dst);
             Self::fill_slot(&self.augmenter, self.process, slot, edge.src, edge);
         }
@@ -302,6 +333,7 @@ impl StreamingPredictor {
     ///
     /// Panics on out-of-order input; [`StreamingPredictor::
     /// try_observe_edge`] is the fallible form a serving layer should use.
+    #[deprecated(note = "use the try_observe_edge form")]
     pub fn observe_edge(&mut self, edge: &TemporalEdge) {
         if let Err(e) = self.try_observe_edge(edge) {
             panic!("{e}");
@@ -331,6 +363,7 @@ impl StreamingPredictor {
     /// endpoint up front so no ring push ever reallocates mid-batch.
     /// Panics on out-of-order input; [`StreamingPredictor::try_push_edges`]
     /// is the fallible form a serving layer should use.
+    #[deprecated(note = "use the try_push_edges form")]
     pub fn push_edges(&mut self, edges: &[TemporalEdge]) {
         if let Err(e) = self.try_push_edges(edges) {
             panic!("{e}");
@@ -359,6 +392,91 @@ impl StreamingPredictor {
         }
         self.last_time = last.time;
         Ok(())
+    }
+
+    /// The sharded-ingest primitive behind [`crate::shard::ShardedPredictor`]:
+    /// every edge updates the feature tracker (degrees, propagation — the
+    /// *witness* update, because neighbor snapshots and degree encodings are
+    /// global functions of the stream), but ring snapshots are written only
+    /// for endpoints whose precomputed owner (`owners[i] = (owner_of_src,
+    /// owner_of_dst)`, one hash evaluation per endpoint per *batch*, shared
+    /// by every shard) equals `shard`. For any partition of the node space,
+    /// predictions for owned nodes stay bit-identical to
+    /// [`StreamingPredictor::try_push_edges`] on the full stream.
+    ///
+    /// Infallible by precondition: the router has already validated the
+    /// batch against the shared stream clock (batch atomicity lives there),
+    /// so chronology is only debug-asserted here.
+    pub(crate) fn push_edges_prerouted(
+        &mut self,
+        edges: &[TemporalEdge],
+        owners: &[(usize, usize)],
+        shard: usize,
+    ) {
+        debug_assert_eq!(edges.len(), owners.len());
+        let Some(last) = edges.last() else { return };
+        let mut max_owned: Option<NodeId> = None;
+        for (edge, &(owner_src, owner_dst)) in edges.iter().zip(owners) {
+            if owner_src == shard {
+                max_owned = Some(max_owned.map_or(edge.src, |m| m.max(edge.src)));
+            }
+            if owner_dst == shard {
+                max_owned = Some(max_owned.map_or(edge.dst, |m| m.max(edge.dst)));
+            }
+        }
+        if let Some(node) = max_owned {
+            Self::grow_rings(&mut self.rings, node);
+        }
+        #[cfg(debug_assertions)]
+        {
+            let mut prev = self.last_time;
+            for edge in edges {
+                debug_assert!(edge.time >= prev, "router must validate the batch first");
+                prev = edge.time;
+            }
+        }
+        for (edge, &(owner_src, owner_dst)) in edges.iter().zip(owners) {
+            self.augmenter.observe(edge);
+            self.remember_routed(edge, owner_src == shard, owner_dst == shard);
+        }
+        self.last_time = last.time;
+    }
+
+    /// Single-edge form of [`StreamingPredictor::push_edges_prerouted`]
+    /// (the sharded `DropLate` path observes edge by edge). `owns_src` /
+    /// `owns_dst` are precomputed by the router so the ownership hash is
+    /// evaluated once per edge, not once per shard per endpoint.
+    pub(crate) fn try_observe_edge_routed(
+        &mut self,
+        edge: &TemporalEdge,
+        owns_src: bool,
+        owns_dst: bool,
+    ) -> Result<(), SplashError> {
+        if edge.time < self.last_time {
+            return Err(SplashError::OutOfOrderEdge { got: edge.time, last: self.last_time });
+        }
+        self.augmenter.observe(edge);
+        self.remember_routed(edge, owns_src, owns_dst);
+        self.last_time = edge.time;
+        Ok(())
+    }
+
+    /// Drops the ring state of every node `owns` disclaims, keeping the
+    /// (global) feature tracker intact. [`crate::shard::ShardedPredictor`]
+    /// applies this right after cloning the base predictor so each shard
+    /// carries only its partition's rings — the dominant per-node memory.
+    pub(crate) fn retain_ring_nodes(&mut self, owns: impl Fn(NodeId) -> bool) {
+        for (i, ring) in self.rings.iter_mut().enumerate() {
+            if !owns(i as NodeId) {
+                *ring = Ring::default();
+            }
+        }
+    }
+
+    /// Number of nodes currently holding at least one ring entry (the
+    /// shard-local state a partition actually pays for).
+    pub(crate) fn active_rings(&self) -> usize {
+        self.rings.iter().filter(|r| !r.entries.is_empty()).count()
     }
 
     /// Builds the model input for `node` as of time `t` into the reused
@@ -407,10 +525,12 @@ impl StreamingPredictor {
     /// predict_into`] is the fully allocation-free form. Panics on
     /// past-time queries; [`StreamingPredictor::try_predict`] reports them
     /// as [`SplashError::PastQuery`] instead.
+    #[deprecated(note = "use the try_predict form")]
     pub fn predict(&self, node: NodeId, time: f64) -> Vec<f32> {
-        let mut out = Vec::new();
-        self.predict_into(node, time, &mut out);
-        out
+        match self.try_predict(node, time) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Fallible form of [`StreamingPredictor::predict`]. Allocates only
@@ -427,6 +547,7 @@ impl StreamingPredictor {
     /// few warm-up queries it performs **zero heap allocations** (pinned by
     /// the `alloc` regression test). Panics on past-time queries;
     /// [`StreamingPredictor::try_predict_into`] is the fallible form.
+    #[deprecated(note = "use the try_predict_into form")]
     pub fn predict_into(&self, node: NodeId, time: f64, out: &mut Vec<f32>) {
         if let Err(e) = self.try_predict_into(node, time, out) {
             panic!("{e}");
@@ -460,6 +581,7 @@ impl StreamingPredictor {
     /// Predicts logits for several nodes at once (single shared timestamp,
     /// which must not precede the last observed edge — panics otherwise;
     /// [`StreamingPredictor::try_predict_many`] is the fallible form).
+    #[deprecated(note = "use the try_predict_many form")]
     pub fn predict_many(&self, nodes: &[NodeId], time: f64) -> Matrix {
         match self.try_predict_many(nodes, time) {
             Ok(m) => m,
@@ -500,6 +622,7 @@ impl StreamingPredictor {
     /// captured state. Queries may carry distinct timestamps; none may
     /// precede the last observed edge (panics otherwise —
     /// [`StreamingPredictor::try_predict_batch`] is the fallible form).
+    #[deprecated(note = "use the try_predict_batch form")]
     pub fn predict_batch(&self, queries: &[PropertyQuery]) -> Matrix {
         match self.try_predict_batch(queries) {
             Ok(m) => m,
@@ -531,6 +654,55 @@ impl StreamingPredictor {
             &s.queries[..queries.len()],
             STREAM_BATCH,
         ))
+    }
+
+    /// [`StreamingPredictor::try_predict_batch`] into a caller-owned
+    /// matrix: row `i` holds the logits for `queries[i]` (labels ignored).
+    ///
+    /// This is the steady-state batched serving path — query assembly, the
+    /// packed batch, the workspace, and the per-chunk logits all live in
+    /// buffers reused across calls, and `out` is resized in place, so a
+    /// warmed-up caller performs **zero** heap allocations per batch
+    /// (pinned by the `alloc` regression test). Bit-identical to
+    /// [`StreamingPredictor::try_predict_batch`]: each row depends only on
+    /// its own query, so chunking never changes bits.
+    pub fn try_predict_batch_into(
+        &self,
+        queries: &[PropertyQuery],
+        out: &mut Matrix,
+    ) -> Result<(), SplashError> {
+        for q in queries {
+            if q.time < self.last_time {
+                return Err(SplashError::PastQuery { got: q.time, last: self.last_time });
+            }
+        }
+        if queries.is_empty() {
+            // Match `try_predict_batch` (whose chunk map yields a 0×0
+            // matrix) so the two forms are interchangeable bit for bit.
+            out.resize_zeroed(0, 0);
+            return Ok(());
+        }
+        let mut scratch = self.scratch.borrow_mut();
+        let s = &mut *scratch;
+        out.resize_zeroed(queries.len(), self.out_dim);
+        let mut pos = 0;
+        while pos < queries.len() {
+            let end = (pos + STREAM_BATCH).min(queries.len());
+            let m = end - pos;
+            if s.queries.len() < m {
+                s.queries.resize_with(m, CapturedQuery::default);
+            }
+            for (dst, q) in s.queries.iter_mut().zip(&queries[pos..end]) {
+                self.query_input_into(q.node, q.time, dst, &mut s.spare);
+            }
+            self.model.build_batch_into(&s.queries[..m], &mut s.batch);
+            self.model.infer_into(&s.batch, &mut s.logits, &mut s.ws);
+            for i in 0..m {
+                out.row_mut(pos + i).copy_from_slice(s.logits.row(i));
+            }
+            pos = end;
+        }
+        Ok(())
     }
 
     /// The dynamic representation `h_i(t)` of a node (Eq. 18). Reuses the
@@ -586,12 +758,12 @@ mod tests {
             match ev {
                 Event::Edge(idx, edge) => {
                     if idx >= prefix {
-                        predictor.observe_edge(edge);
+                        predictor.try_observe_edge(edge).unwrap();
                     }
                 }
                 Event::Query(_, q) => {
                     if qi >= val_end {
-                        let logits = predictor.predict(q.node, q.time);
+                        let logits = predictor.try_predict(q.node, q.time).unwrap();
                         let expected = batch_logits.row(qi - val_end);
                         for (a, b) in logits.iter().zip(expected) {
                             assert!(
@@ -636,7 +808,7 @@ mod tests {
         .unwrap();
         let saved = crate::persist::load_model(&path).unwrap();
         std::fs::remove_file(&path).ok();
-        let mut restored = StreamingPredictor::from_saved(saved, &dataset)
+        let mut restored = StreamingPredictor::try_from_saved(saved, &dataset)
             .expect("process-mode models restore");
 
         // Continue both predictors over the unseen tail and compare.
@@ -644,14 +816,14 @@ mod tests {
         let prefix = dataset.stream.prefix_len_at(t_seen);
         let tail = &dataset.stream.edges()[prefix..];
         for (i, edge) in tail.iter().enumerate() {
-            live.observe_edge(edge);
-            restored.observe_edge(edge);
+            live.try_observe_edge(edge).unwrap();
+            restored.try_observe_edge(edge).unwrap();
             if i % 97 == 0 {
                 let t = edge.time;
                 for node in [edge.src, edge.dst] {
                     assert_eq!(
-                        live.predict(node, t),
-                        restored.predict(node, t),
+                        live.try_predict(node, t).unwrap(),
+                        restored.try_predict(node, t).unwrap(),
                         "diverged at edge {i}"
                     );
                 }
@@ -679,7 +851,7 @@ mod tests {
         .unwrap();
         let saved = crate::persist::load_model(&path).unwrap();
         std::fs::remove_file(&path).ok();
-        assert!(StreamingPredictor::from_saved(saved, &dataset).is_none());
+        assert!(StreamingPredictor::try_from_saved(saved, &dataset).is_err());
     }
 
     #[test]
@@ -687,12 +859,13 @@ mod tests {
         let (dataset, cfg) = setup();
         let predictor = StreamingPredictor::train(&dataset, &cfg);
         // It can predict for any node, including ones it has never seen.
-        let logits = predictor.predict(0, predictor.last_time() + 1.0);
+        let logits = predictor.try_predict(0, predictor.last_time() + 1.0).unwrap();
         assert_eq!(logits.len(), dataset.num_classes);
         assert!(logits.iter().all(|v| v.is_finite()));
         let unseen = dataset.stream.num_nodes() as u32 - 1;
         assert!(predictor
-            .predict(unseen, predictor.last_time() + 1.0)
+            .try_predict(unseen, predictor.last_time() + 1.0)
+            .unwrap()
             .iter()
             .all(|v| v.is_finite()));
     }
@@ -715,10 +888,10 @@ mod tests {
         // Ingest the tail edge-by-edge on one predictor and in micro-batches
         // on its clone.
         for edge in tail {
-            single.observe_edge(edge);
+            single.try_observe_edge(edge).unwrap();
         }
         for chunk in tail.chunks(17) {
-            batched.push_edges(chunk);
+            batched.try_push_edges(chunk).unwrap();
         }
         assert_eq!(single.last_time(), batched.last_time());
 
@@ -731,10 +904,10 @@ mod tests {
                 label: Label::Class(0),
             })
             .collect();
-        let logits = batched.predict_batch(&queries);
+        let logits = batched.try_predict_batch(&queries).unwrap();
         assert_eq!(logits.rows(), queries.len());
         for (i, q) in queries.iter().enumerate() {
-            let one = single.predict(q.node, q.time);
+            let one = single.try_predict(q.node, q.time).unwrap();
             assert_eq!(
                 logits.row(i),
                 &one[..],
@@ -750,11 +923,14 @@ mod tests {
         let (dataset, cfg) = setup();
         let predictor =
             StreamingPredictor::train_with_process(&dataset, &cfg, FeatureProcess::Random);
-        assert_eq!(predictor.predict_batch(&[]).shape(), (0, 0));
+        assert_eq!(predictor.try_predict_batch(&[]).unwrap().shape(), (0, 0));
     }
 
+    /// Pins the deprecated panicking wrapper's behavior (serving layers
+    /// use `try_push_edges`; the wrapper must keep panicking loudly).
     #[test]
     #[should_panic(expected = "chronologically")]
+    #[allow(deprecated)]
     fn push_edges_rejects_out_of_order_batches() {
         let (dataset, cfg) = setup();
         let mut predictor =
@@ -773,17 +949,20 @@ mod tests {
         let predictor =
             StreamingPredictor::train_with_process(&dataset, &cfg, FeatureProcess::Structural);
         let t = predictor.last_time() + 5.0;
-        let many = predictor.predict_many(&[0, 1, 2], t);
+        let many = predictor.try_predict_many(&[0, 1, 2], t).unwrap();
         for (i, node) in [0u32, 1, 2].iter().enumerate() {
-            let one = predictor.predict(*node, t);
+            let one = predictor.try_predict(*node, t).unwrap();
             for (a, b) in many.row(i).iter().zip(&one) {
                 assert!((a - b).abs() < 1e-5);
             }
         }
     }
 
+    /// Pins the deprecated panicking wrapper's behavior (serving layers
+    /// use `try_observe_edge`; the wrapper must keep panicking loudly).
     #[test]
     #[should_panic(expected = "chronologically")]
+    #[allow(deprecated)]
     fn rejects_out_of_order_edges() {
         let (dataset, cfg) = setup();
         let mut predictor =

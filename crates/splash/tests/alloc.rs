@@ -11,10 +11,10 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use ctdg::TemporalEdge;
+use ctdg::{Label, PropertyQuery, TemporalEdge};
 use splash::{
     seen_end_time, FeatureProcess, IngestRequest, PredictRequest, PredictResponse,
-    SplashConfig, SplashService, StreamingPredictor, SEEN_FRAC,
+    ShardedPredictor, SplashConfig, SplashService, StreamingPredictor, SEEN_FRAC,
 };
 
 /// Counts every `alloc`/`realloc` that reaches the system allocator.
@@ -71,7 +71,7 @@ fn trained_predictor() -> (StreamingPredictor, Vec<TemporalEdge>) {
 fn steady_state_predict_is_allocation_free() {
     let (mut predictor, tail) = trained_predictor();
     assert!(tail.len() > 20, "fixture too small");
-    predictor.push_edges(&tail);
+    predictor.try_push_edges(&tail).unwrap();
     let t0 = predictor.last_time();
 
     // Query a spread of nodes, including one far outside the ring table
@@ -84,7 +84,7 @@ fn steady_state_predict_is_allocation_free() {
     nodes.insert(21, 9_999);
     let mut out = Vec::new();
     for (i, &v) in nodes.iter().enumerate() {
-        predictor.predict_into(v, t0 + i as f64, &mut out);
+        predictor.try_predict_into(v, t0 + i as f64, &mut out).unwrap();
     }
 
     // Steady state: repeat the same query mix; not a single allocator call
@@ -92,7 +92,9 @@ fn steady_state_predict_is_allocation_free() {
     let mut sink = 0.0f32;
     let allocs = count_allocs(|| {
         for (i, &v) in nodes.iter().enumerate() {
-            predictor.predict_into(v, t0 + (nodes.len() + i) as f64, &mut out);
+            predictor
+                .try_predict_into(v, t0 + (nodes.len() + i) as f64, &mut out)
+                .unwrap();
             sink += out[0];
         }
     });
@@ -104,10 +106,10 @@ fn steady_state_predict_is_allocation_free() {
     );
 
     // The convenience form may allocate exactly its returned Vec.
-    let warm = predictor.predict(nodes[0], t0 + 1000.0);
+    let warm = predictor.try_predict(nodes[0], t0 + 1000.0).unwrap();
     assert!(!warm.is_empty());
     let allocs = count_allocs(|| {
-        let logits = predictor.predict(nodes[0], t0 + 1001.0);
+        let logits = predictor.try_predict(nodes[0], t0 + 1001.0).unwrap();
         sink += logits[0];
     });
     assert!(
@@ -166,6 +168,89 @@ fn steady_state_service_predict_is_allocation_free() {
     );
 }
 
+/// The sharded scatter–gather serving paths must be as allocation-free as
+/// the single engine: after warm-up, a routed single-node
+/// `try_predict_into` and a scattered `try_predict_batch_into` with a
+/// reused output matrix perform **zero** allocator calls — registry of
+/// per-shard sub-batches, index maps, per-shard logit blocks and all.
+///
+/// The counted section is pinned to the serial path
+/// (`with_serial_backend`): with threads available the scatter fans out
+/// thread-per-shard, and spawning threads allocates by design.
+#[test]
+fn steady_state_sharded_predict_is_allocation_free() {
+    let (base, tail) = trained_predictor();
+    let mut sharded = ShardedPredictor::from_predictor(base, 3).unwrap();
+    assert!(tail.len() > 20, "fixture too small");
+    sharded.try_push_edges(&tail).unwrap();
+    let t0 = sharded.last_time();
+
+    // The same query spread as the single-engine test (never-seen nodes
+    // included), batched; warm both the routed single-query path and the
+    // scatter–gather batch path.
+    let mut nodes: Vec<u32> = (0..32u32).map(|i| i * 3 % 40).collect();
+    nodes.insert(7, 9_999);
+    nodes.insert(21, 9_999);
+    let batch = |t_base: f64| -> Vec<PropertyQuery> {
+        nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| PropertyQuery {
+                node: v,
+                time: t_base + i as f64,
+                label: Label::Class(0),
+            })
+            .collect()
+    };
+    let mut out = Vec::new();
+    let mut logits = nn::Matrix::default();
+    nn::backend::with_serial_backend(|| {
+        // Warm-up: several full single-then-batch cycles. Two pools reach
+        // their steady state here: the parked-slot pool that the
+        // single-query and batch paths *share* (so the alternation, not
+        // each path alone, is what must stabilize), and each shard's
+        // workspace pool, which grows toward its high-water buffer set
+        // over the first few batched forwards rather than in one call.
+        for cycle in 0..6 {
+            let warm = batch(t0 + 100.0 * cycle as f64);
+            for q in &warm {
+                sharded.try_predict_into(q.node, q.time, &mut out).unwrap();
+            }
+            sharded.try_predict_batch_into(&warm, &mut logits).unwrap();
+        }
+
+        // Steady state: same mix at later times, zero allocator calls.
+        let steady = batch(t0 + 1_000.0);
+        let mut sink = 0.0f32;
+        let allocs = count_allocs(|| {
+            for q in &steady {
+                sharded.try_predict_into(q.node, q.time, &mut out).unwrap();
+                sink += out[0];
+            }
+        });
+        assert!(sink.is_finite());
+        assert_eq!(
+            allocs, 0,
+            "steady-state sharded try_predict_into must not allocate \
+             ({allocs} calls over {} queries)",
+            steady.len()
+        );
+
+        let steady = batch(t0 + 2_000.0);
+        let allocs = count_allocs(|| {
+            sharded.try_predict_batch_into(&steady, &mut logits).unwrap();
+            sink += logits.row(0)[0];
+        });
+        assert!(sink.is_finite());
+        assert_eq!(
+            allocs, 0,
+            "steady-state sharded try_predict_batch_into must not allocate \
+             ({allocs} calls over {} queries)",
+            steady.len()
+        );
+    });
+}
+
 /// Steady-state edge ingestion reuses ring slots and augmenter scratch:
 /// once every touched ring is at capacity `k` and the propagated-feature
 /// slots exist, pushing further edges does not allocate.
@@ -177,7 +262,7 @@ fn steady_state_ingest_is_allocation_free() {
     // create propagated-feature slots for unseen endpoints. A node seen `e`
     // times per pass needs ⌈k/e⌉ passes to saturate its ring, so replay the
     // tail k times — afterwards every touched ring slot exists.
-    predictor.push_edges(&tail);
+    predictor.try_push_edges(&tail).unwrap();
     let k = SplashConfig::tiny().k;
     let mut replay: Vec<TemporalEdge> = tail.to_vec();
     for _ in 0..k {
@@ -185,7 +270,7 @@ fn steady_state_ingest_is_allocation_free() {
         for (i, e) in replay.iter_mut().enumerate() {
             e.time = t0 + i as f64;
         }
-        predictor.push_edges(&replay);
+        predictor.try_push_edges(&replay).unwrap();
     }
 
     // Steady state: the same endpoints again, strictly buffer reuse.
@@ -194,7 +279,7 @@ fn steady_state_ingest_is_allocation_free() {
         e.time = t0 + i as f64;
     }
     let allocs = count_allocs(|| {
-        predictor.push_edges(&replay);
+        predictor.try_push_edges(&replay).unwrap();
     });
     assert_eq!(
         allocs, 0,

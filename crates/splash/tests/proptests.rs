@@ -3,7 +3,10 @@
 use ctdg::{EdgeStream, Label, PropertyQuery, TemporalEdge};
 use datasets::{Dataset, Task};
 use proptest::prelude::*;
-use splash::{capture, encodings, Augmenter, FeatureProcess, InputFeatures, SplashConfig};
+use splash::{
+    capture, encodings, Augmenter, FeatureProcess, InputFeatures, ShardedPredictor,
+    SplashConfig, SplashError, StreamingPredictor,
+};
 
 fn arb_dataset(max_nodes: u32, max_edges: usize) -> impl Strategy<Value = Dataset> {
     (
@@ -41,8 +44,142 @@ fn arb_dataset(max_nodes: u32, max_edges: usize) -> impl Strategy<Value = Datase
         })
 }
 
+/// Shard counts every sharding property is checked at (1 is the identity
+/// case; 7 exceeds the base fixture's per-shard node density).
+const SHARD_COUNTS: [usize; 4] = [1, 2, 3, 7];
+
+/// One trained streaming predictor per test thread, cloned per proptest
+/// case: training is deterministic and by far the most expensive step, so
+/// the property loops only pay for ingest + inference.
+fn base_predictor() -> StreamingPredictor {
+    thread_local! {
+        static BASE: std::cell::OnceCell<StreamingPredictor> =
+            const { std::cell::OnceCell::new() };
+    }
+    BASE.with(|cell| {
+        cell.get_or_init(|| {
+            let dataset =
+                splash::truncate_to_available(&datasets::synthetic_shift(40, 6), 0.5);
+            let mut cfg = SplashConfig::tiny();
+            cfg.epochs = 2;
+            StreamingPredictor::train_with_process(&dataset, &cfg, FeatureProcess::Structural)
+        })
+        .clone()
+    })
+}
+
+/// A random live tail: per-edge (src, dst, Δt ≥ 0) offsets accumulated from
+/// the predictor's clock, so the stream is always chronologically valid.
+/// Node ids run past the training universe to exercise unseen-node
+/// propagation across shard boundaries.
+fn arb_tail(max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32, f64)>> {
+    prop::collection::vec((0u32..60, 0u32..60, 0.0f64..3.0), 1..max_edges)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The sharding acceptance contract: for every shard count, routed
+    /// ingest + scattered `predict_batch`/`predict_into` are byte-for-byte
+    /// the single-engine results, on any valid stream.
+    #[test]
+    fn sharded_matches_unsharded_bitwise(
+        raw_tail in arb_tail(60),
+        raw_queries in prop::collection::vec((0u32..70, 0.0f64..4.0), 1..25),
+        chunk in 1usize..9,
+    ) {
+        let mut single = base_predictor();
+        let mut t = single.last_time();
+        let tail: Vec<TemporalEdge> = raw_tail
+            .iter()
+            .map(|&(s, d, dt)| {
+                t += dt;
+                TemporalEdge::plain(s, d, t)
+            })
+            .collect();
+        for c in tail.chunks(chunk) {
+            single.try_push_edges(c).unwrap();
+        }
+        let t_end = single.last_time();
+        let queries: Vec<PropertyQuery> = raw_queries
+            .iter()
+            .map(|&(v, dt)| PropertyQuery { node: v, time: t_end + dt, label: Label::Class(0) })
+            .collect();
+        let expected = single.try_predict_batch(&queries).unwrap();
+
+        for shards in SHARD_COUNTS {
+            let mut sharded =
+                ShardedPredictor::from_predictor(base_predictor(), shards).unwrap();
+            for c in tail.chunks(chunk) {
+                sharded.try_push_edges(c).unwrap();
+            }
+            prop_assert_eq!(sharded.last_time(), t_end);
+
+            // Scattered batch — gathered rows must be the single engine's.
+            let got = sharded.try_predict_batch(&queries).unwrap();
+            prop_assert_eq!(got.shape(), expected.shape());
+            prop_assert_eq!(got.data(), expected.data(), "batch diverged at {} shards", shards);
+
+            // The zero-alloc gather form and the single-query route agree.
+            let mut gathered = nn::Matrix::default();
+            sharded.try_predict_batch_into(&queries, &mut gathered).unwrap();
+            prop_assert_eq!(gathered.data(), expected.data());
+            let mut out = Vec::new();
+            for (i, q) in queries.iter().enumerate() {
+                sharded.try_predict_into(q.node, q.time, &mut out).unwrap();
+                prop_assert_eq!(&out[..], expected.row(i), "query {} diverged", i);
+            }
+        }
+    }
+
+    /// `DropLate`-shaped streams (some edges stale): every shard shares the
+    /// single engine's clock, so per-edge drop decisions — and the state
+    /// that survives them — are identical at every shard count.
+    #[test]
+    fn sharded_drop_decisions_match_unsharded(
+        raw_tail in prop::collection::vec((0u32..60, 0u32..60, -2.0f64..2.0), 1..50),
+        raw_queries in prop::collection::vec((0u32..70, 0.0f64..4.0), 1..15),
+    ) {
+        let mut single = base_predictor();
+        let mut t = single.last_time();
+        let tail: Vec<TemporalEdge> = raw_tail
+            .iter()
+            .map(|&(s, d, dt)| {
+                t += dt; // may go backwards: stale edges to drop
+                TemporalEdge::plain(s, d, t)
+            })
+            .collect();
+        let mut dropped = Vec::new();
+        for e in &tail {
+            match single.try_observe_edge(e) {
+                Ok(()) => dropped.push(false),
+                Err(SplashError::OutOfOrderEdge { .. }) => dropped.push(true),
+                Err(other) => return Err(TestCaseError::Fail(format!("{other}"))),
+            }
+        }
+        let t_end = single.last_time();
+        let queries: Vec<PropertyQuery> = raw_queries
+            .iter()
+            .map(|&(v, dt)| PropertyQuery { node: v, time: t_end + dt, label: Label::Class(0) })
+            .collect();
+        let expected = single.try_predict_batch(&queries).unwrap();
+
+        for shards in SHARD_COUNTS {
+            let mut sharded =
+                ShardedPredictor::from_predictor(base_predictor(), shards).unwrap();
+            for (e, &was_dropped) in tail.iter().zip(&dropped) {
+                let verdict = sharded.try_observe_edge(e);
+                prop_assert_eq!(
+                    verdict.is_err(),
+                    was_dropped,
+                    "drop decision diverged at {} shards",
+                    shards
+                );
+            }
+            let got = sharded.try_predict_batch(&queries).unwrap();
+            prop_assert_eq!(got.data(), expected.data(), "post-drop state diverged at {} shards", shards);
+        }
+    }
 
     /// Propagated features are convex combinations of seen features, so
     /// their magnitude never exceeds the largest seen-feature magnitude.

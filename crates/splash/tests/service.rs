@@ -132,7 +132,7 @@ fn service_predictions_match_core_bit_for_bit() {
     let mut core = StreamingPredictor::train_with_process(&dataset, &cfg, FeatureProcess::Random);
 
     service.ingest("live", IngestRequest::new(&tail)).unwrap();
-    core.push_edges(&tail);
+    core.try_push_edges(&tail).unwrap();
 
     let t0 = core.last_time();
     let queries: Vec<PropertyQuery> = (0..30u32)
@@ -146,10 +146,15 @@ fn service_predictions_match_core_bit_for_bit() {
     let mut resp = PredictResponse::default();
     for q in &queries {
         service.predict_into("live", PredictRequest::new(q.node, q.time), &mut resp).unwrap();
-        assert_eq!(resp.logits, core.predict(q.node, q.time), "node {} diverged", q.node);
+        assert_eq!(
+            resp.logits,
+            core.try_predict(q.node, q.time).unwrap(),
+            "node {} diverged",
+            q.node
+        );
     }
     let batched = service.predict_batch("live", &queries).unwrap();
-    let expected = core.predict_batch(&queries);
+    let expected = core.try_predict_batch(&queries).unwrap();
     assert_eq!(batched.data(), expected.data(), "batched façade path diverged");
 }
 

@@ -1,0 +1,376 @@
+//! Behavioral contract of the sharding subsystem: sharded artifacts
+//! round-trip through the manifest at any shard count, corruption is
+//! typed, the service façade serves sharded engines bit-identically to
+//! single engines, and the late-edge policy matrix holds under sharding.
+
+use ctdg::{Label, PropertyQuery, TemporalEdge};
+use datasets::Dataset;
+use splash::{
+    load_manifest, seen_end_time, truncate_to_available, FeatureProcess, IngestRequest,
+    LateEdgePolicy, PredictRequest, PredictResponse, ShardedPredictor, SplashConfig,
+    SplashError, SplashService, StreamingPredictor, SEEN_FRAC,
+};
+
+fn fixture() -> (Dataset, SplashConfig, Vec<TemporalEdge>) {
+    let dataset = truncate_to_available(&datasets::synthetic_shift(40, 6), 0.5);
+    let mut cfg = SplashConfig::tiny();
+    cfg.epochs = 2;
+    let t_seen = seen_end_time(&dataset, SEEN_FRAC);
+    let prefix = dataset.stream.prefix_len_at(t_seen);
+    let tail = dataset.stream.edges()[prefix..].to_vec();
+    assert!(tail.len() > 20, "fixture too small");
+    (dataset, cfg, tail)
+}
+
+fn spread_queries(t0: f64, n_nodes: u32) -> Vec<PropertyQuery> {
+    (0..32u32)
+        .map(|i| PropertyQuery {
+            node: (i * 7) % (n_nodes + 12), // includes never-seen ids
+            time: t0 + i as f64,
+            label: Label::Class(0),
+        })
+        .collect()
+}
+
+fn tmp(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("splash-shard-{tag}-{}.bin", std::process::id()))
+}
+
+/// A model saved at N shards loads and serves identically at M shards —
+/// for M below, equal to, and above N — and identically to the unsharded
+/// engine. This is the persistence half of the bit-identity acceptance
+/// contract.
+#[test]
+fn sharded_artifact_reshards_on_load_bitwise() {
+    let (dataset, cfg, tail) = fixture();
+    let mut single =
+        StreamingPredictor::train_with_process(&dataset, &cfg, FeatureProcess::Positional);
+    let mut sharded = ShardedPredictor::from_predictor(single.clone(), 3).unwrap();
+
+    let path = tmp("reshard");
+    sharded.save(&path).unwrap();
+
+    single.try_push_edges(&tail).unwrap();
+    let t0 = single.last_time();
+    let queries = spread_queries(t0, dataset.stream.num_nodes() as u32);
+    let expected = single.try_predict_batch(&queries).unwrap();
+
+    for m in [1usize, 2, 3, 7] {
+        let mut restored = ShardedPredictor::try_load(&path, &dataset, Some(m)).unwrap();
+        assert_eq!(restored.num_shards(), m);
+        restored.try_push_edges(&tail).unwrap();
+        let got = restored.try_predict_batch(&queries).unwrap();
+        assert_eq!(
+            got.data(),
+            expected.data(),
+            "model saved at 3 shards diverged when served at {m}"
+        );
+    }
+    // `None` keeps the artifact's saved count.
+    let restored = ShardedPredictor::try_load(&path, &dataset, None).unwrap();
+    assert_eq!(restored.num_shards(), 3);
+
+    let manifest = load_manifest(&path).unwrap();
+    assert_eq!(manifest.shards, 3);
+    assert_eq!(manifest.files.len(), 3);
+    for i in 0..3 {
+        std::fs::remove_file(splash::persist::shard_file_path(&path, i)).ok();
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// Any single shard file of a sharded artifact is a complete, standalone
+/// model file (shards share weights; state is rebuilt on load).
+#[test]
+fn each_shard_file_is_independently_loadable() {
+    let (dataset, cfg, tail) = fixture();
+    let mut sharded =
+        ShardedPredictor::train_with_process(&dataset, &cfg, FeatureProcess::Random, 2).unwrap();
+    let path = tmp("standalone");
+    sharded.save(&path).unwrap();
+
+    sharded.try_push_edges(&tail).unwrap();
+    let t0 = sharded.last_time();
+    let queries = spread_queries(t0, dataset.stream.num_nodes() as u32);
+    let expected = sharded.try_predict_batch(&queries).unwrap();
+
+    for i in 0..2 {
+        let shard_file = splash::persist::shard_file_path(&path, i);
+        let saved = splash::load_model(&shard_file).unwrap();
+        let mut solo = StreamingPredictor::try_from_saved(saved, &dataset).unwrap();
+        solo.try_push_edges(&tail).unwrap();
+        let got = solo.try_predict_batch(&queries).unwrap();
+        assert_eq!(got.data(), expected.data(), "shard file {i} diverged");
+        std::fs::remove_file(&shard_file).ok();
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// Manifest damage is typed: bad magic / truncation / checksum mismatch /
+/// missing shard file load as `CorruptModel`, a foreign format revision as
+/// `PersistVersionMismatch` — never a panic, never a half-built engine.
+#[test]
+fn corrupt_sharded_artifacts_are_typed() {
+    let (dataset, cfg, _) = fixture();
+    let mut sharded =
+        ShardedPredictor::train_with_process(&dataset, &cfg, FeatureProcess::Random, 2).unwrap();
+    let path = tmp("corrupt");
+    sharded.save(&path).unwrap();
+    let manifest_bytes = std::fs::read(&path).unwrap();
+
+    // Truncations anywhere inside the manifest body.
+    for keep in [9usize, 13, manifest_bytes.len() - 1] {
+        std::fs::write(&path, &manifest_bytes[..keep]).unwrap();
+        let err = ShardedPredictor::try_load(&path, &dataset, None).unwrap_err();
+        assert!(
+            matches!(err, SplashError::CorruptModel { .. }),
+            "truncation to {keep} bytes: {err:?}"
+        );
+    }
+
+    // A foreign format revision reports the found/supported pair.
+    let mut versioned = manifest_bytes.clone();
+    versioned[8..12].copy_from_slice(&42u32.to_le_bytes());
+    std::fs::write(&path, &versioned).unwrap();
+    match ShardedPredictor::try_load(&path, &dataset, None).unwrap_err() {
+        SplashError::PersistVersionMismatch { found, supported } => {
+            assert_eq!(found, 42);
+            assert_eq!(supported, 1);
+        }
+        other => panic!("expected PersistVersionMismatch, got {other:?}"),
+    }
+
+    // A tampered shard file fails its manifest checksum, by name.
+    std::fs::write(&path, &manifest_bytes).unwrap();
+    let shard0 = splash::persist::shard_file_path(&path, 0);
+    let mut shard_bytes = std::fs::read(&shard0).unwrap();
+    let mid = shard_bytes.len() / 2;
+    shard_bytes[mid] ^= 0xFF;
+    std::fs::write(&shard0, &shard_bytes).unwrap();
+    let err = ShardedPredictor::try_load(&path, &dataset, None).unwrap_err();
+    match &err {
+        SplashError::CorruptModel { what } => {
+            assert!(what.contains("checksum"), "{what}");
+            assert!(what.contains(".shard0"), "{what}");
+        }
+        other => panic!("expected CorruptModel, got {other:?}"),
+    }
+
+    // A missing shard file is named too.
+    std::fs::remove_file(&shard0).unwrap();
+    let err = ShardedPredictor::try_load(&path, &dataset, None).unwrap_err();
+    assert!(
+        matches!(&err, SplashError::CorruptModel { what } if what.contains("missing")),
+        "{err:?}"
+    );
+
+    std::fs::remove_file(splash::persist::shard_file_path(&path, 1)).ok();
+    std::fs::remove_file(&path).ok();
+}
+
+/// The service façade over a sharded engine: ingest/predict/batch are
+/// bit-identical to a single-engine service, the engine accessors are
+/// typed, and the stats counters see every shard.
+#[test]
+fn sharded_service_matches_single_service_bitwise() {
+    let (dataset, cfg, tail) = fixture();
+    let mut single = SplashService::builder(cfg).build().unwrap();
+    single
+        .train_model_with_process("live", &dataset, FeatureProcess::Random)
+        .unwrap();
+    let mut sharded = SplashService::builder(cfg).shards(3).build().unwrap();
+    sharded
+        .train_model_with_process("live", &dataset, FeatureProcess::Random)
+        .unwrap();
+
+    let a = single.ingest("live", IngestRequest::new(&tail)).unwrap();
+    let b = sharded.ingest("live", IngestRequest::new(&tail)).unwrap();
+    assert_eq!(a, b, "ingest reports diverged");
+
+    let t0 = b.last_time;
+    let queries = spread_queries(t0, dataset.stream.num_nodes() as u32);
+    let mut resp_a = PredictResponse::default();
+    let mut resp_b = PredictResponse::default();
+    for q in &queries {
+        let req = PredictRequest::new(q.node, q.time);
+        single.predict_into("live", req, &mut resp_a).unwrap();
+        sharded.predict_into("live", req, &mut resp_b).unwrap();
+        assert_eq!(resp_a.logits, resp_b.logits, "node {} diverged", q.node);
+    }
+    let batch_a = single.predict_batch("live", &queries).unwrap();
+    let batch_b = sharded.predict_batch("live", &queries).unwrap();
+    assert_eq!(batch_a.data(), batch_b.data(), "batched path diverged");
+    let mut batch_c = nn::Matrix::default();
+    sharded.predict_batch_into("live", &queries, &mut batch_c).unwrap();
+    assert_eq!(batch_c.data(), batch_a.data(), "scatter-gather path diverged");
+
+    // Engine accessors are typed per engine form.
+    assert!(single.model("live").is_ok());
+    assert!(matches!(
+        single.sharded_model("live").unwrap_err(),
+        SplashError::ShardedModel { shards: 1, .. }
+    ));
+    assert!(matches!(
+        sharded.model("live").unwrap_err(),
+        SplashError::ShardedModel { shards: 3, .. }
+    ));
+    let engine = sharded.sharded_model("live").unwrap();
+    assert_eq!(engine.num_shards(), 3);
+    assert_eq!(single.model_last_time("live").unwrap(), t0);
+    assert_eq!(sharded.model_last_time("live").unwrap(), t0);
+
+    // Per-shard counters: every edge lands on 1–2 owner shards, every
+    // query on exactly one, and witness counts cover the rest.
+    let stats = sharded.shard_stats("live").unwrap();
+    assert_eq!(stats.len(), 3);
+    let owned: u64 = stats.iter().map(|s| s.owned_edges).sum();
+    assert!(owned >= tail.len() as u64 && owned <= 2 * tail.len() as u64, "{owned}");
+    for s in &stats {
+        assert_eq!(s.owned_edges + s.witness_edges, tail.len() as u64, "shard {}", s.shard);
+    }
+    let served: u64 = stats.iter().map(|s| s.queries_served).sum();
+    // predict_into + predict_batch + predict_batch_into passes above.
+    assert_eq!(served, 3 * queries.len() as u64);
+    assert!(single.shard_stats("live").unwrap().is_empty());
+
+    // Service-level counters count shard engines.
+    assert_eq!(sharded.stats().shards, 3);
+    assert_eq!(single.stats().shards, 1);
+    let rendered = sharded.stats().to_string();
+    assert!(rendered.contains("shard engines  : 3"), "{rendered}");
+    assert!(rendered.contains("edges ingested"), "{rendered}");
+}
+
+/// Save/load through the service registry, across engine forms: a sharded
+/// slot writes a manifest artifact that hot-swaps back bit-identically
+/// into services configured with *different* shard counts (including 1),
+/// and a single-file artifact loads into a sharded service.
+#[test]
+fn service_registry_roundtrips_sharded_artifacts() {
+    let (dataset, cfg, tail) = fixture();
+    let mut origin = SplashService::builder(cfg).shards(3).build().unwrap();
+    origin
+        .train_model_with_process("live", &dataset, FeatureProcess::Positional)
+        .unwrap();
+    let path = tmp("svc");
+    origin.save_model("live", &path).unwrap();
+    origin.ingest("live", IngestRequest::new(&tail)).unwrap();
+    let t_q = origin.model_last_time("live").unwrap() + 1.0;
+    let expected = origin.predict("live", PredictRequest::new(5, t_q)).unwrap();
+
+    for shards in [1usize, 2, 5] {
+        let mut svc = SplashService::builder(cfg).shards(shards).build().unwrap();
+        svc.load_model("serving", &path, &dataset).unwrap();
+        svc.ingest("serving", IngestRequest::new(&tail)).unwrap();
+        let got = svc.predict("serving", PredictRequest::new(5, t_q)).unwrap();
+        assert_eq!(expected.logits, got.logits, "diverged at {shards} shards");
+        assert_eq!(svc.stats().shards, shards as u64);
+    }
+
+    // Single-file artifact → sharded service.
+    let single_path = tmp("svc-single");
+    let mut single_svc = SplashService::builder(cfg).build().unwrap();
+    single_svc
+        .train_model_with_process("live", &dataset, FeatureProcess::Positional)
+        .unwrap();
+    single_svc.save_model("live", &single_path).unwrap();
+    let mut svc = SplashService::builder(cfg).shards(4).build().unwrap();
+    svc.load_model("serving", &single_path, &dataset).unwrap();
+    svc.ingest("serving", IngestRequest::new(&tail)).unwrap();
+    let got = svc.predict("serving", PredictRequest::new(5, t_q)).unwrap();
+    assert_eq!(expected.logits, got.logits, "single-file artifact diverged sharded");
+
+    for i in 0..3 {
+        std::fs::remove_file(splash::persist::shard_file_path(&path, i)).ok();
+    }
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&single_path).ok();
+}
+
+/// The `DropLate` policy under sharding: a messy batch leaves a 3-shard
+/// service exactly where the chronologically filtered stream leaves a
+/// single-engine service.
+#[test]
+fn sharded_drop_late_matches_filtered_stream() {
+    let (dataset, cfg, tail) = fixture();
+    let mut messy = SplashService::builder(cfg)
+        .late_edge_policy(LateEdgePolicy::DropLate)
+        .shards(3)
+        .build()
+        .unwrap();
+    messy
+        .train_model_with_process("live", &dataset, FeatureProcess::Random)
+        .unwrap();
+    let mut clean = SplashService::builder(cfg).build().unwrap();
+    clean
+        .train_model_with_process("live", &dataset, FeatureProcess::Random)
+        .unwrap();
+
+    let mut batch = Vec::new();
+    let mut expect_dropped = 0usize;
+    for (i, edge) in tail.iter().enumerate() {
+        batch.push(edge.clone());
+        if i % 4 == 1 {
+            let mut stale = edge.clone();
+            stale.time = edge.time - 1e6;
+            batch.push(stale);
+            expect_dropped += 1;
+        }
+    }
+    let report = messy.ingest("live", IngestRequest::new(&batch)).unwrap();
+    assert_eq!(report.dropped, expect_dropped);
+    assert_eq!(report.ingested, tail.len());
+    clean.ingest("live", IngestRequest::new(&tail)).unwrap();
+
+    let t0 = report.last_time;
+    let mut resp_m = PredictResponse::default();
+    let mut resp_c = PredictResponse::default();
+    for node in 0..45u32 {
+        let req = PredictRequest::new(node, t0 + node as f64);
+        messy.predict_into("live", req, &mut resp_m).unwrap();
+        clean.predict_into("live", req, &mut resp_c).unwrap();
+        assert_eq!(resp_m.logits, resp_c.logits, "node {node} diverged");
+    }
+}
+
+/// Engine-level edge cases: empty batches are no-ops with matching
+/// shapes, a rejected batch leaves every shard untouched (atomicity), and
+/// a zero shard count is a typed config error at the service builder.
+#[test]
+fn sharded_edge_cases_are_typed_and_atomic() {
+    let (dataset, cfg, tail) = fixture();
+    let mut sharded =
+        ShardedPredictor::train_with_process(&dataset, &cfg, FeatureProcess::Random, 3).unwrap();
+    sharded.try_push_edges(&[]).unwrap();
+    assert_eq!(sharded.try_predict_batch(&[]).unwrap().shape(), (0, 0));
+
+    sharded.try_push_edges(&tail).unwrap();
+    let t0 = sharded.last_time();
+    let before = sharded.try_predict(3, t0 + 1.0).unwrap();
+
+    // A batch that goes backwards mid-way is rejected atomically.
+    let bad = [
+        TemporalEdge::plain(0, 1, t0 + 2.0),
+        TemporalEdge::plain(1, 2, t0 - 100.0),
+    ];
+    let err = sharded.try_push_edges(&bad).unwrap_err();
+    assert!(matches!(err, SplashError::OutOfOrderEdge { .. }), "{err:?}");
+    assert_eq!(sharded.last_time(), t0, "clock must not advance on a rejected batch");
+    assert_eq!(
+        before,
+        sharded.try_predict(3, t0 + 1.0).unwrap(),
+        "rejected batch must not mutate any shard"
+    );
+
+    // A past-time query in a batch rejects the whole batch.
+    let err = sharded
+        .try_predict_batch(&[
+            PropertyQuery { node: 0, time: t0 + 1.0, label: Label::Class(0) },
+            PropertyQuery { node: 1, time: t0 - 50.0, label: Label::Class(0) },
+        ])
+        .unwrap_err();
+    assert!(matches!(err, SplashError::PastQuery { .. }), "{err:?}");
+
+    let err = SplashService::builder(cfg).shards(0).build().unwrap_err();
+    assert!(matches!(err, SplashError::InvalidConfig { .. }), "{err:?}");
+}
