@@ -37,6 +37,7 @@ cargo build --release --examples
 cargo run --release --example streaming_inference
 cargo run --release --example hot_swap_serving
 cargo run --release --example sharded_serving
+cargo run --release --example online_learning
 
 echo "==> serial fallback: nn alone without 'parallel'"
 # nn must be tested by itself: any workspace sibling that depends on nn
@@ -57,6 +58,14 @@ NN_THREADS=4 cargo test -q -p nn -p splash
 
 echo "==> alloc regression: steady-state streaming stays off the allocator"
 cargo test -q -p splash --test alloc
+
+echo "==> corrupt-artifact fuzz-lite: crafted files load as typed errors, never aborts"
+# Patched-byte artifacts (dimension bombs, invalid configs, damaged
+# SAVEDOPT trailers) plus the full persist corruption matrix, serially.
+NN_THREADS=1 cargo test -q -p splash --lib persist::
+
+echo "==> resume equivalence: fine-tune → checkpoint → restart is bit-identical (serial)"
+NN_THREADS=1 cargo test -q -p splash --test online
 
 echo "==> benches compile"
 cargo bench --no-run -p bench

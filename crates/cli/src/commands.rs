@@ -10,8 +10,8 @@ use datasets::{
 };
 use splash::{
     capture, load_model, predict_slim, run_slim_with, run_splash, save_model, split_bounds,
-    FeatureProcess, IngestRequest, InputFeatures, LateEdgePolicy, PredictRequest,
-    PredictResponse, SplashConfig, SplashService, SEEN_FRAC,
+    FeatureProcess, FineTunePolicy, IngestRequest, InputFeatures, LateEdgePolicy, OnlineConfig,
+    PredictRequest, PredictResponse, SplashConfig, SplashService, SEEN_FRAC,
 };
 
 use crate::args::{ArgError, Args};
@@ -30,6 +30,7 @@ USAGE:
                   --task <task> [--scores <out.csv>]
   splash serve    --model-file <model.bin> --edges <csv> --queries <csv>
                   --task <task> [--late-policy error|drop] [--shards N]
+                  [--online N]
   splash baseline --model <name> --edges <csv> --queries <csv> --task <task>
                   [--classes N] [--features plain|RF] [--epochs N] [--seed N]
   splash drift    --edges <csv> --queries <csv> --task <task> [--buckets N]
@@ -326,11 +327,27 @@ fn parse_late_policy(raw: &str) -> Result<LateEdgePolicy, ArgError> {
 /// (edges ingested in micro-batches, queries answered immediately), and
 /// report the serving counters next to the test metric. With `--shards N`
 /// the model is served by N hash-partitioned engines (scatter–gather;
-/// identical predictions, per-shard counters in the report).
+/// identical predictions, per-shard counters in the report). With
+/// `--online N` the model keeps learning while it serves: every query's
+/// ground-truth label is fed back after prediction (prequential
+/// evaluation), and a bounded fine-tune round runs — and publishes —
+/// every N labels.
 fn cmd_serve(args: &Args) -> Result<String, ArgError> {
     let model_path = args.require("model-file")?.to_string();
     let policy = parse_late_policy(args.get("late-policy").unwrap_or("error"))?;
     let shards: usize = args.get_parsed("shards", 1)?;
+    let online: Option<usize> = match args.get("online") {
+        None => None,
+        Some(raw) => {
+            let n: usize = raw
+                .parse()
+                .map_err(|e| ArgError(format!("--online {raw:?}: {e}")))?;
+            if n == 0 {
+                return Err(ArgError("--online expects a positive label cadence".into()));
+            }
+            Some(n)
+        }
+    };
     let task = parse_task(args.require("task")?)?;
     let edges = args.require("edges")?.to_string();
     let queries = args.require("queries")?.to_string();
@@ -357,20 +374,24 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
 
     // The builder config only governs in-service training; the loaded
     // model carries (and validates) its own.
-    let mut service = SplashService::builder(SplashConfig::default())
+    let mut builder = SplashService::builder(SplashConfig::default())
         .late_edge_policy(policy)
-        .shards(shards)
-        .build()
-        .map_err(|e| ArgError(e.to_string()))?;
+        .shards(shards);
+    if let Some(every) = online {
+        builder = builder.online(OnlineConfig {
+            policy: FineTunePolicy::EveryLabels(every),
+            ..OnlineConfig::default()
+        });
+    }
+    let mut service = builder.build().map_err(|e| ArgError(e.to_string()))?;
     service
         .load_model("serving", Path::new(&model_path), &dataset)
         .map_err(|e| ArgError(format!("{model_path}: {e}")))?;
 
     // Go live: everything after the model's training prefix arrives as a
     // stream. Consecutive edges between queries form one ingest batch.
-    let prefix = dataset.stream.prefix_len_at(
-        service.model_last_time("serving").map_err(|e| ArgError(e.to_string()))?,
-    );
+    let t_live = service.model_last_time("serving").map_err(|e| ArgError(e.to_string()))?;
+    let prefix = dataset.stream.prefix_len_at(t_live);
     let (_, val_end) = split_bounds(dataset.queries.len());
     let mut pending: Vec<TemporalEdge> = Vec::new();
     let mut resp = PredictResponse::default();
@@ -398,6 +419,16 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
                     logits.extend_from_slice(&resp.logits);
                     labels.push(&q.label);
                 }
+                // Prequential continual learning: the ground truth is fed
+                // back only after the prediction above was recorded, so
+                // the metric never sees a model trained on its own answer.
+                // Labels from the (already-trained-on) seen period would
+                // be past-time for the restored model and are skipped.
+                if online.is_some() && q.time >= t_live {
+                    service
+                        .observe_labels("serving", std::slice::from_ref(q))
+                        .map_err(|e| ArgError(format!("label at t={}: {e}", q.time)))?;
+                }
             }
         }
     }
@@ -421,6 +452,9 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
     let mut report = String::new();
     let _ = writeln!(report, "model          : {model_path}");
     let _ = writeln!(report, "late policy    : {policy:?}");
+    if let Some(every) = online {
+        let _ = writeln!(report, "online         : fine-tune every {every} labels");
+    }
     // The counters render through `ServiceStats`'s `Display` — one source
     // of truth for the operator-facing format.
     let _ = write!(report, "{stats}");

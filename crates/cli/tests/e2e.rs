@@ -129,6 +129,40 @@ fn serve_sharded_matches_unsharded_metric() {
     assert!(!single.contains("shard 0"), "single-engine report lists no shards: {single}");
 }
 
+/// `serve --online N` keeps learning while it serves: the report shows
+/// the continual-learning counters, the metric stays valid, and a zero
+/// cadence is a rendered error.
+#[test]
+fn serve_online_fine_tunes_while_serving() {
+    let (dir, edges, queries) = fixture("serve-online");
+    let model_path = dir.join("model.bin");
+    cli::dispatch(toks(&format!(
+        "run --edges {edges} --queries {queries} --task classification --features R \
+         --epochs 2 --dv 8 --hidden 16 --k 4 --save {}",
+        model_path.display()
+    )))
+    .expect("run --save succeeds");
+
+    let report = cli::dispatch(toks(&format!(
+        "serve --model-file {} --edges {edges} --queries {queries} \
+         --task classification --online 25",
+        model_path.display()
+    )))
+    .expect("serve --online succeeds");
+    assert!(report.contains("online         : fine-tune every 25 labels"), "{report}");
+    assert!(report.contains("labels absorbed"), "{report}");
+    assert!(report.contains("fine-tunes"), "{report}");
+    assert!(report.contains("test weighted F1"), "{report}");
+
+    let err = cli::dispatch(toks(&format!(
+        "serve --model-file {} --edges {edges} --queries {queries} \
+         --task classification --online 0",
+        model_path.display()
+    )))
+    .unwrap_err();
+    assert!(err.0.contains("positive"), "{err}");
+}
+
 #[test]
 fn predict_writes_score_csv() {
     let (dir, edges, queries) = fixture("scores");

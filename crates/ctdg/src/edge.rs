@@ -59,13 +59,34 @@ impl TemporalEdge {
 /// [`Label::Class`] (anomaly detection is binary classification with class 1
 /// = abnormal), node affinity prediction uses [`Label::Affinity`] — the
 /// normalized future affinity of the node to `d_a` candidate nodes.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub enum Label {
     /// Categorical class index in `0..num_classes`.
     Class(usize),
     /// Normalized affinity distribution over candidate nodes (sums to 1
     /// unless all-zero).
     Affinity(Box<[f32]>),
+}
+
+impl Clone for Label {
+    fn clone(&self) -> Self {
+        match self {
+            Label::Class(c) => Label::Class(*c),
+            Label::Affinity(a) => Label::Affinity(a.clone()),
+        }
+    }
+
+    /// Allocation-reusing overwrite: a same-length affinity label is copied
+    /// into the existing buffer (the online continual-learning path leans
+    /// on this for zero-allocation label absorption).
+    fn clone_from(&mut self, source: &Self) {
+        match (self, source) {
+            (Label::Affinity(dst), Label::Affinity(src)) if dst.len() == src.len() => {
+                dst.copy_from_slice(src);
+            }
+            (dst, src) => *dst = src.clone(),
+        }
+    }
 }
 
 impl Label {
@@ -285,6 +306,25 @@ mod tests {
     #[should_panic(expected = "expected a class label")]
     fn label_class_panics_on_affinity() {
         Label::Affinity(Box::new([1.0])).class();
+    }
+
+    /// `clone_from` between same-length affinity labels must reuse the
+    /// destination's heap buffer (the online label-ingest path pins its
+    /// zero-allocation contract on this).
+    #[test]
+    fn label_clone_from_reuses_same_length_affinity_buffers() {
+        let mut dst = Label::Affinity(Box::new([0.0, 0.0, 0.0]));
+        let src = Label::Affinity(Box::new([0.1, 0.7, 0.2]));
+        let before = dst.affinity().as_ptr();
+        dst.clone_from(&src);
+        assert_eq!(dst, src);
+        assert_eq!(dst.affinity().as_ptr(), before, "buffer must be reused");
+        // Mismatched lengths (and kind changes) fall back to a real clone.
+        let wider = Label::Affinity(Box::new([0.25; 4]));
+        dst.clone_from(&wider);
+        assert_eq!(dst, wider);
+        dst.clone_from(&Label::Class(2));
+        assert_eq!(dst, Label::Class(2));
     }
 
     #[test]

@@ -5,6 +5,16 @@
 /// Average precision: mean of precision values at each positive hit when
 /// items are ranked by score (descending). Returns 0 when there are no
 /// positives.
+///
+/// # NaN policy
+///
+/// Items are ranked by descending IEEE-754 total order
+/// ([`f32::total_cmp`]), so the ranking is deterministic for any scores: a
+/// NaN score (positive-sign, the kind arithmetic produces) ranks **first**
+/// — above `+∞` — rather than landing wherever the sort left it; equal bit
+/// patterns keep their input order (stable sort). The old
+/// `partial_cmp`-with-`Equal`-fallback silently produced an
+/// input-order-dependent ranking whenever a NaN was present.
 pub fn average_precision(scores: &[f32], labels: &[bool]) -> f64 {
     assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
     let n_pos = labels.iter().filter(|&&l| l).count();
@@ -12,11 +22,7 @@ pub fn average_precision(scores: &[f32], labels: &[bool]) -> f64 {
         return 0.0;
     }
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| {
-        scores[b]
-            .partial_cmp(&scores[a])
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
     let mut hits = 0usize;
     let mut sum_precision = 0.0f64;
     for (rank, &idx) in order.iter().enumerate() {
@@ -56,6 +62,20 @@ mod tests {
     #[test]
     fn all_positives_is_one() {
         assert_eq!(average_precision(&[0.5, 0.4], &[true, true]), 1.0);
+    }
+
+    /// Regression: the NaN policy is "ranked first", deterministically —
+    /// under the old `partial_cmp` fallback the position of a NaN-scored
+    /// item depended on where the sort happened to leave it.
+    #[test]
+    fn nan_scores_rank_first() {
+        assert_eq!(average_precision(&[f32::NAN, 0.5], &[true, false]), 1.0);
+        assert_eq!(average_precision(&[f32::NAN, 0.5], &[false, true]), 0.5);
+        // Position of the NaN in the input does not matter.
+        assert_eq!(
+            average_precision(&[0.5, f32::NAN], &[false, true]),
+            average_precision(&[f32::NAN, 0.5], &[true, false])
+        );
     }
 
     #[test]

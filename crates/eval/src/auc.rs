@@ -3,6 +3,24 @@
 
 /// ROC-AUC via the rank-sum (Mann–Whitney U) formulation with average ranks
 /// for tied scores. Returns 0.5 when either class is empty.
+///
+/// # NaN policy
+///
+/// Scores are ranked **and tied** by IEEE-754 total order
+/// ([`f32::total_cmp`]), which makes the metric a deterministic,
+/// permutation-invariant function of the `(score bits, label)` multiset
+/// even for non-finite scores (pinned by the `auc_is_permutation_invariant
+/// _with_nans` proptest):
+///
+/// * a NaN score (the positive-sign NaNs arithmetic produces) ranks
+///   **above `+∞`** — a model emitting NaN for an item has, in effect,
+///   flagged it maximally;
+/// * NaNs with identical bit patterns tie with each other (and share an
+///   averaged rank) but never with any real number;
+/// * ties are IEEE equality *or* total-order equality, so `-0.0` and
+///   `+0.0` still tie (they are mathematically equal — the Mann–Whitney
+///   definition demands it) even though the sort orders them
+///   deterministically.
 pub fn roc_auc(scores: &[f32], labels: &[bool]) -> f64 {
     assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
     let n_pos = labels.iter().filter(|&&l| l).count();
@@ -11,13 +29,18 @@ pub fn roc_auc(scores: &[f32], labels: &[bool]) -> f64 {
         return 0.5;
     }
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
     // Average ranks over tie groups (1-based ranks).
     let mut ranks = vec![0.0f64; scores.len()];
     let mut i = 0usize;
     while i < order.len() {
         let mut j = i;
-        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+        while j + 1 < order.len() && {
+            let (a, b) = (scores[order[j + 1]], scores[order[i]]);
+            // IEEE equality keeps ±0.0 tied; total-order equality makes
+            // identical-bit NaNs tie with each other.
+            a == b || a.total_cmp(&b) == std::cmp::Ordering::Equal
+        } {
             j += 1;
         }
         let avg_rank = (i + j + 2) as f64 / 2.0;
@@ -65,6 +88,30 @@ mod tests {
     fn single_class_is_half() {
         assert_eq!(roc_auc(&[0.1, 0.9], &[true, true]), 0.5);
         assert_eq!(roc_auc(&[], &[]), 0.5);
+    }
+
+    /// Regression: NaN scores used to fall through `partial_cmp`'s `Equal`
+    /// fallback, leaving the ranking at the mercy of the sort's internals.
+    /// Under the total order a NaN ranks above everything, deterministically.
+    #[test]
+    fn nan_scores_rank_highest() {
+        // The NaN-scored positive outranks every negative → perfect AUC.
+        assert_eq!(roc_auc(&[f32::NAN, 0.9, 0.5], &[true, false, false]), 1.0);
+        // The NaN-scored negative outranks the positives → zero AUC.
+        assert_eq!(roc_auc(&[f32::NAN, 0.9, 0.5], &[false, true, true]), 0.0);
+        // Identical-bit NaNs tie with each other: one positive, one
+        // negative, both above the rest → that pair contributes ½.
+        let auc = roc_auc(&[f32::NAN, f32::NAN, 0.1], &[true, false, false]);
+        assert!((auc - 0.75).abs() < 1e-12, "{auc}");
+    }
+
+    /// `-0.0` and `+0.0` are mathematically equal and must tie (the sort
+    /// orders them by total order, but the tie grouping uses IEEE
+    /// equality), exactly as the Mann–Whitney definition demands.
+    #[test]
+    fn signed_zeros_tie() {
+        assert_eq!(roc_auc(&[0.0, -0.0], &[true, false]), 0.5);
+        assert_eq!(roc_auc(&[-0.0, 0.0, 0.5], &[true, false, false]), 0.25);
     }
 
     #[test]

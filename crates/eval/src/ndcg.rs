@@ -13,6 +13,16 @@ fn dcg(ordered_relevance: &[f32]) -> f64 {
 /// NDCG@k of one query: items are ranked by `predicted` (descending) and
 /// gains are the ground-truth `relevance` values. Returns 1 when the
 /// ground-truth relevance is all-zero (nothing to rank).
+///
+/// # NaN policy
+///
+/// Both rankings (predicted and ideal) use descending IEEE-754 total order
+/// ([`f32::total_cmp`]), so they are deterministic for any inputs: a NaN
+/// predicted score (positive-sign, the kind arithmetic produces) ranks its
+/// item **first** — above `+∞` — instead of landing wherever the sort left
+/// it; equal bit patterns keep their input order (stable sort). Relevance
+/// values are assumed finite (NaN gains propagate into the DCG sums, as
+/// any weighted sum would).
 pub fn ndcg_at_k(predicted: &[f32], relevance: &[f32], k: usize) -> f64 {
     assert_eq!(predicted.len(), relevance.len(), "score/relevance length mismatch");
     let k = k.min(predicted.len());
@@ -20,13 +30,11 @@ pub fn ndcg_at_k(predicted: &[f32], relevance: &[f32], k: usize) -> f64 {
         return 1.0;
     }
     let mut by_pred: Vec<usize> = (0..predicted.len()).collect();
-    by_pred.sort_by(|&a, &b| {
-        predicted[b].partial_cmp(&predicted[a]).unwrap_or(std::cmp::Ordering::Equal)
-    });
+    by_pred.sort_by(|&a, &b| predicted[b].total_cmp(&predicted[a]));
     let top: Vec<f32> = by_pred[..k].iter().map(|&i| relevance[i]).collect();
 
     let mut ideal: Vec<f32> = relevance.to_vec();
-    ideal.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    ideal.sort_by(|a, b| b.total_cmp(a));
     let ideal_dcg = dcg(&ideal[..k]);
     if ideal_dcg == 0.0 {
         return 1.0;
@@ -81,6 +89,21 @@ mod tests {
     #[test]
     fn zero_relevance_is_one() {
         assert_eq!(ndcg_at_k(&[0.5, 0.1], &[0.0, 0.0], 2), 1.0);
+    }
+
+    /// Regression: a NaN predicted score deterministically ranks its item
+    /// first (total order) instead of wherever the sort left it.
+    #[test]
+    fn nan_prediction_ranks_item_first() {
+        let rel = [0.0f32, 1.0];
+        // NaN on the irrelevant item: it takes rank 1, relevant item rank 2.
+        let v = ndcg_at_k(&[f32::NAN, 0.9], &rel, 2);
+        let expected = (1.0 / 3f64.log2()) / 1.0;
+        assert!((v - expected).abs() < 1e-12, "{v}");
+        // Input position of the NaN is irrelevant.
+        assert_eq!(v, ndcg_at_k(&[0.9, f32::NAN], &[1.0, 0.0], 2));
+        // NaN on the relevant item: perfect ranking.
+        assert_eq!(ndcg_at_k(&[0.1, f32::NAN], &rel, 2), 1.0);
     }
 
     #[test]

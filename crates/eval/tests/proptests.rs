@@ -148,6 +148,40 @@ proptest! {
         prop_assert!((ap - 1.0).abs() < 1e-9, "{ap}");
     }
 
+    /// The documented NaN policy: with scores ranked by IEEE total order,
+    /// every metric stays bounded and AUC is a permutation-invariant
+    /// function of the (score, label) multiset even when NaNs are present.
+    /// (Under the old `partial_cmp`-with-`Equal`-fallback sorts, a NaN's
+    /// effective rank depended on its input position, so rotating the
+    /// inputs changed the metric.)
+    #[test]
+    fn metrics_with_nans_are_bounded_and_auc_is_permutation_invariant(
+        raw in prop::collection::vec((0.0f32..1.0, any::<bool>(), any::<bool>()), 2..40),
+        rot in 1usize..39,
+    ) {
+        let scores: Vec<f32> = raw
+            .iter()
+            .map(|&(s, _, poison)| if poison { f32::NAN } else { s })
+            .collect();
+        let labels: Vec<bool> = raw.iter().map(|&(_, l, _)| l).collect();
+
+        let auc = roc_auc(&scores, &labels);
+        prop_assert!((0.0..=1.0).contains(&auc), "auc {auc}");
+        let ap = average_precision(&scores, &labels);
+        prop_assert!((0.0..=1.0).contains(&ap), "ap {ap}");
+        let rel: Vec<f32> = raw.iter().map(|&(s, _, _)| s).collect();
+        let ndcg = ndcg_at_k(&scores, &rel, 10);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&ndcg), "ndcg {ndcg}");
+
+        // Rotate scores and labels together: same multiset, same AUC bits.
+        let rot = rot % scores.len();
+        let mut rs = scores.clone();
+        rs.rotate_left(rot);
+        let mut rl = labels.clone();
+        rl.rotate_left(rot);
+        prop_assert_eq!(auc, roc_auc(&rs, &rl), "rotation by {} changed AUC", rot);
+    }
+
     /// Silhouette scores live in [−1, 1]; clearly separated clusters score
     /// positive; a random relabeling scores no better.
     #[test]

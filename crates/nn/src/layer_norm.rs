@@ -155,6 +155,16 @@ impl LayerNorm {
     }
 }
 
+impl LayerNorm {
+    /// Overwrites the gain/bias *values* with `other`'s (gradients and
+    /// optimizer moments untouched), reusing the existing buffers —
+    /// allocation-free. See [`crate::Linear::copy_weights_from`].
+    pub fn copy_weights_from(&mut self, other: &LayerNorm) {
+        self.gain.value.copy_from(&other.gain.value);
+        self.bias.value.copy_from(&other.bias.value);
+    }
+}
+
 impl Parameterized for LayerNorm {
     fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.gain, &mut self.bias]
@@ -162,6 +172,11 @@ impl Parameterized for LayerNorm {
 
     fn num_params(&self) -> usize {
         self.gain.len() + self.bias.len()
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gain);
+        f(&mut self.bias);
     }
 }
 

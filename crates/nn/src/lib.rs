@@ -65,7 +65,10 @@ pub use gru::{GruCache, GruCell};
 pub use init::{he, randn, randn_matrix, xavier};
 pub use layer_norm::{LayerNorm, LayerNormCache};
 pub use linear::{Linear, LinearCache};
-pub use loss::{bce_with_logits, log_softmax, mse, soft_cross_entropy, softmax, softmax_cross_entropy};
+pub use loss::{
+    bce_with_logits, log_softmax, mse, soft_cross_entropy, soft_cross_entropy_into, softmax,
+    softmax_cross_entropy, softmax_cross_entropy_into,
+};
 pub use matrix::Matrix;
 pub use mixer::{MixerBlock, MixerCache};
 pub use mlp::{Mlp, MlpCache};

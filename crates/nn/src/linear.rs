@@ -114,6 +114,17 @@ impl Linear {
     }
 }
 
+impl Linear {
+    /// Overwrites this layer's weight and bias *values* with `other`'s
+    /// (gradients and optimizer moments untouched), reusing the existing
+    /// buffers — allocation-free between same-shape layers. This is the
+    /// primitive behind atomic weight publication in serving stacks.
+    pub fn copy_weights_from(&mut self, other: &Linear) {
+        self.w.value.copy_from(&other.w.value);
+        self.b.value.copy_from(&other.b.value);
+    }
+}
+
 impl Parameterized for Linear {
     fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.w, &mut self.b]
@@ -121,6 +132,11 @@ impl Parameterized for Linear {
 
     fn num_params(&self) -> usize {
         self.w.len() + self.b.len()
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.w);
+        f(&mut self.b);
     }
 }
 

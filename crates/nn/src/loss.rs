@@ -48,49 +48,105 @@ pub fn log_softmax(logits: &Matrix) -> Matrix {
 /// Mean softmax cross-entropy against integer class targets.
 ///
 /// Returns `(loss, dlogits)` with `dlogits = (softmax − onehot) / B`.
+/// Thin allocating wrapper over [`softmax_cross_entropy_into`] (one
+/// implementation of the math, bit-identical by construction).
 pub fn softmax_cross_entropy(logits: &Matrix, targets: &[usize]) -> (f32, Matrix) {
+    let mut dlogits = Matrix::default();
+    let loss = softmax_cross_entropy_into(logits, targets, &mut dlogits);
+    (loss, dlogits)
+}
+
+/// [`softmax_cross_entropy`] into a caller-owned gradient buffer:
+/// `dlogits` is resized in place and overwritten, so a warmed-up caller
+/// (the online fine-tuning step path) performs **zero** heap allocations.
+/// Loss and gradient are bit-identical to the allocating form.
+pub fn softmax_cross_entropy_into(
+    logits: &Matrix,
+    targets: &[usize],
+    dlogits: &mut Matrix,
+) -> f32 {
     let (rows, cols) = logits.shape();
     assert_eq!(rows, targets.len(), "batch/target mismatch");
     assert!(rows > 0, "empty batch");
-    let log_p = log_softmax(logits);
-    let mut loss = 0.0f32;
-    let mut dlogits = softmax(logits);
+    // Every element is written below; skip the zero fill.
+    dlogits.resize_for_overwrite(rows, cols);
     let inv_b = 1.0 / rows as f32;
+    let mut loss = 0.0f32;
     for (i, &t) in targets.iter().enumerate() {
         assert!(t < cols, "target {t} out of range for {cols} classes");
-        loss -= log_p.get(i, t);
-        let row = dlogits.row_mut(i);
-        row[t] -= 1.0;
-        for v in row {
+        let row = logits.row(i);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        // Same exp/sum accumulation as `softmax`, written straight into the
+        // gradient row; same log-sum-exp as `log_softmax` for the loss.
+        let out = dlogits.row_mut(i);
+        let mut sum = 0.0f32;
+        for j in 0..cols {
+            let e = (row[j] - max).exp();
+            out[j] = e;
+            sum += e;
+        }
+        for v in out.iter_mut() {
+            *v /= sum;
+        }
+        // `sum` accumulated the same exps in the same order the log-softmax
+        // would — reuse it for the log-sum-exp instead of a second exp pass.
+        let lse = sum.ln() + max;
+        loss -= row[t] - lse;
+        out[t] -= 1.0;
+        for v in out {
             *v *= inv_b;
         }
     }
-    (loss * inv_b, dlogits)
+    loss * inv_b
 }
 
 /// Mean cross-entropy against soft target distributions (rows of `targets`).
 ///
 /// Used for node affinity prediction, where `Y_i(t)` is a normalized affinity
 /// vector. Target rows need not sum to 1; the general gradient
-/// `dlogits = (softmax · Σ_j t_j − t) / B` is used.
+/// `dlogits = (softmax · Σ_j t_j − t) / B` is used. Thin allocating wrapper
+/// over [`soft_cross_entropy_into`].
 pub fn soft_cross_entropy(logits: &Matrix, targets: &Matrix) -> (f32, Matrix) {
+    let mut dlogits = Matrix::default();
+    let loss = soft_cross_entropy_into(logits, targets, &mut dlogits);
+    (loss, dlogits)
+}
+
+/// [`soft_cross_entropy`] into a caller-owned gradient buffer (`dlogits`
+/// resized in place and overwritten — zero heap allocations once warmed
+/// up). Loss and gradient are bit-identical to the allocating form.
+pub fn soft_cross_entropy_into(logits: &Matrix, targets: &Matrix, dlogits: &mut Matrix) -> f32 {
     assert_eq!(logits.shape(), targets.shape(), "logits/targets shape mismatch");
-    let rows = logits.rows();
+    let (rows, cols) = logits.shape();
     assert!(rows > 0, "empty batch");
-    let log_p = log_softmax(logits);
-    let p = softmax(logits);
+    // Every element is written below; skip the zero fill.
+    dlogits.resize_for_overwrite(rows, cols);
     let inv_b = 1.0 / rows as f32;
     let mut loss = 0.0f32;
-    let mut dlogits = Matrix::zeros(logits.rows(), logits.cols());
     for i in 0..rows {
+        let row = logits.row(i);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        // `softmax`'s probabilities, staged in the gradient row.
+        let out = dlogits.row_mut(i);
+        let mut sum = 0.0f32;
+        for j in 0..cols {
+            let e = (row[j] - max).exp();
+            out[j] = e;
+            sum += e;
+        }
+        for v in out.iter_mut() {
+            *v /= sum;
+        }
+        // Same exp-sum, same accumulation order — no second exp pass.
+        let lse = sum.ln() + max;
         let t_row = targets.row(i);
         let t_sum: f32 = t_row.iter().sum();
         for (j, &t) in t_row.iter().enumerate() {
-            loss -= t * log_p.get(i, j);
-            dlogits.set(i, j, (p.get(i, j) * t_sum - t) * inv_b);
+            loss -= t * (row[j] - lse);
+            out[j] = (out[j] * t_sum - t) * inv_b;
         }
     }
-    (loss * inv_b, dlogits)
+    loss * inv_b
 }
 
 /// Mean binary cross-entropy with logits; `logits` is `(B, 1)`.
@@ -217,6 +273,33 @@ mod tests {
         let (loss, grad) = mse(&pred, &target);
         assert!((loss - 2.5).abs() < 1e-6);
         assert_eq!(grad.data(), &[1.0, 2.0]);
+    }
+
+    /// The `_into` forms are a second implementation of the same math; pin
+    /// them bit-equal to the allocating forms so an edit to one that misses
+    /// the other fails immediately.
+    #[test]
+    fn into_forms_match_allocating_forms_bitwise() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let logits = randn_matrix(5, 4, 2.0, &mut rng);
+        let targets = [0usize, 3, 1, 2, 2];
+        let (l1, g1) = softmax_cross_entropy(&logits, &targets);
+        let mut g2 = Matrix::default();
+        let l2 = softmax_cross_entropy_into(&logits, &targets, &mut g2);
+        assert_eq!(l1, l2);
+        assert_eq!(g1.data(), g2.data());
+
+        let soft = {
+            let mut t = randn_matrix(5, 4, 1.0, &mut rng);
+            for v in t.data_mut() {
+                *v = v.abs();
+            }
+            t
+        };
+        let (l1, g1) = soft_cross_entropy(&logits, &soft);
+        let l2 = soft_cross_entropy_into(&logits, &soft, &mut g2);
+        assert_eq!(l1, l2);
+        assert_eq!(g1.data(), g2.data());
     }
 
     #[test]

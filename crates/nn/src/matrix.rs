@@ -166,9 +166,9 @@ impl Matrix {
     /// Reshapes to `rows × cols` without clearing: existing elements keep
     /// whatever values they had (any grown tail is zeroed). Only for
     /// callers that overwrite every element immediately — the `matmul*_into`
-    /// wrappers use this so the backend's single zeroing/assignment pass is
-    /// the only full sweep over the output.
-    fn resize_for_overwrite(&mut self, rows: usize, cols: usize) {
+    /// wrappers and the `*_cross_entropy_into` losses use this so their own
+    /// assignment pass is the only full sweep over the output.
+    pub fn resize_for_overwrite(&mut self, rows: usize, cols: usize) {
         self.rows = rows;
         self.cols = cols;
         self.data.resize(rows * cols, 0.0);

@@ -154,6 +154,18 @@ impl Mlp {
     }
 }
 
+impl Mlp {
+    /// Overwrites every layer's *values* with `other`'s (same architecture
+    /// required; gradients and optimizer moments untouched), reusing the
+    /// existing buffers — allocation-free. See [`Linear::copy_weights_from`].
+    pub fn copy_weights_from(&mut self, other: &Mlp) {
+        assert_eq!(self.layers.len(), other.layers.len(), "MLP depth mismatch");
+        for (dst, src) in self.layers.iter_mut().zip(&other.layers) {
+            dst.copy_weights_from(src);
+        }
+    }
+}
+
 impl Parameterized for Mlp {
     fn params_mut(&mut self) -> Vec<&mut Param> {
         self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
@@ -161,6 +173,12 @@ impl Parameterized for Mlp {
 
     fn num_params(&self) -> usize {
         self.layers.iter().map(|l| l.num_params()).sum()
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for l in &mut self.layers {
+            l.visit_params(f);
+        }
     }
 }
 

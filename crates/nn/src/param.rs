@@ -58,6 +58,19 @@ impl Param {
         }
     }
 
+    /// Read-only view of the Adam moment estimates `(m, v)` — what a
+    /// checkpoint must carry so a resumed optimizer is bit-identical to one
+    /// that never stopped.
+    pub fn adam_state(&self) -> (&Matrix, &Matrix) {
+        (&self.m, &self.v)
+    }
+
+    /// Mutable view of the Adam moment estimates `(m, v)`, for restoring a
+    /// checkpointed optimizer. Shapes must stay equal to the value's shape.
+    pub fn adam_state_mut(&mut self) -> (&mut Matrix, &mut Matrix) {
+        (&mut self.m, &mut self.v)
+    }
+
     /// Plain SGD update.
     pub fn sgd_step(&mut self, lr: f32) {
         let value = self.value.data_mut();
@@ -75,6 +88,17 @@ pub trait Parameterized {
 
     /// Total scalar parameter count.
     fn num_params(&self) -> usize;
+
+    /// Calls `f` on every parameter, in the same stable order as
+    /// [`Parameterized::params_mut`], without materialising a vector — the
+    /// allocation-free traversal [`Adam::step_visit`] relies on. The
+    /// default goes through `params_mut` (which allocates); layers on a
+    /// zero-allocation path should override it.
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for p in self.params_mut() {
+            f(p);
+        }
+    }
 
     /// Clears all gradients.
     fn zero_grad(&mut self) {
@@ -113,6 +137,13 @@ impl Adam {
         self.t
     }
 
+    /// Overrides the step counter — used when restoring a checkpointed
+    /// optimizer, so the bias-correction schedule continues exactly where
+    /// the saved run left off.
+    pub fn set_steps(&mut self, t: u64) {
+        self.t = t;
+    }
+
     /// Applies one update to every parameter, then clears gradients.
     pub fn step(&mut self, mut params: Vec<&mut Param>) {
         self.t += 1;
@@ -123,6 +154,34 @@ impl Adam {
             p.adam_step(self.lr, self.beta1, self.beta2, self.eps, self.t);
             p.zero_grad();
         }
+    }
+
+    /// [`Adam::step`] via [`Parameterized::visit_params`]: bit-identical
+    /// updates with **zero** heap allocation (no parameter vector is
+    /// built). Gradient clipping runs as two traversals — one to accumulate
+    /// the global norm in `params_mut` order, one to scale and step — which
+    /// reproduces [`clip_global_norm`]'s accumulation order exactly.
+    pub fn step_visit(&mut self, model: &mut dyn Parameterized) {
+        self.t += 1;
+        let mut scale = 1.0f32;
+        if let Some(max_norm) = self.clip_norm {
+            let mut total = 0.0f32;
+            model.visit_params(&mut |p| {
+                total += p.grad.data().iter().map(|g| g * g).sum::<f32>();
+            });
+            let norm = total.sqrt();
+            if norm > max_norm && norm > 0.0 {
+                scale = max_norm / norm;
+            }
+        }
+        let (lr, beta1, beta2, eps, t) = (self.lr, self.beta1, self.beta2, self.eps, self.t);
+        model.visit_params(&mut |p| {
+            if scale != 1.0 {
+                p.grad.scale_assign(scale);
+            }
+            p.adam_step(lr, beta1, beta2, eps, t);
+            p.zero_grad();
+        });
     }
 }
 
@@ -197,5 +256,86 @@ mod tests {
         opt.step(vec![&mut p]);
         assert_eq!(p.grad, Matrix::zeros(2, 2));
         assert_eq!(opt.steps(), 1);
+    }
+
+    /// A two-param model for exercising the visitor-based optimizer path.
+    struct Pair(Param, Param);
+
+    impl Parameterized for Pair {
+        fn params_mut(&mut self) -> Vec<&mut Param> {
+            vec![&mut self.0, &mut self.1]
+        }
+
+        fn num_params(&self) -> usize {
+            self.0.len() + self.1.len()
+        }
+
+        fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+            f(&mut self.0);
+            f(&mut self.1);
+        }
+    }
+
+    /// `step_visit` must be bit-identical to `step` — including when
+    /// gradient clipping triggers (huge grads) and when it does not.
+    #[test]
+    fn step_visit_matches_step_bitwise() {
+        for grad_scale in [0.01f32, 100.0] {
+            let make = || {
+                let mut a = Param::new(Matrix::filled(2, 3, 0.5));
+                let mut b = Param::new(Matrix::filled(1, 3, -0.25));
+                for (i, g) in a.grad.data_mut().iter_mut().enumerate() {
+                    *g = grad_scale * (i as f32 - 2.5);
+                }
+                for (i, g) in b.grad.data_mut().iter_mut().enumerate() {
+                    *g = grad_scale * (1.5 - i as f32);
+                }
+                Pair(a, b)
+            };
+            let mut via_vec = make();
+            let mut via_visit = make();
+            let mut opt1 = Adam::new(0.05);
+            let mut opt2 = Adam::new(0.05);
+            for _ in 0..3 {
+                opt1.step(via_vec.params_mut());
+                opt2.step_visit(&mut via_visit);
+                // Refill the gradients so later steps exercise the moments.
+                for (p, q) in [(&mut via_vec.0, &mut via_visit.0), (&mut via_vec.1, &mut via_visit.1)] {
+                    for (i, g) in p.grad.data_mut().iter_mut().enumerate() {
+                        *g = grad_scale * (i as f32 - 1.0);
+                    }
+                    for (i, g) in q.grad.data_mut().iter_mut().enumerate() {
+                        *g = grad_scale * (i as f32 - 1.0);
+                    }
+                }
+            }
+            assert_eq!(via_vec.0.value.data(), via_visit.0.value.data());
+            assert_eq!(via_vec.1.value.data(), via_visit.1.value.data());
+            let (m1, v1) = via_vec.0.adam_state();
+            let (m2, v2) = via_visit.0.adam_state();
+            assert_eq!(m1.data(), m2.data());
+            assert_eq!(v1.data(), v2.data());
+            assert_eq!(opt1.steps(), opt2.steps());
+        }
+    }
+
+    #[test]
+    fn adam_state_round_trips_through_the_accessors() {
+        let mut p = Param::new(Matrix::zeros(1, 2));
+        p.grad = Matrix::filled(1, 2, 1.0);
+        let mut opt = Adam::new(0.1);
+        opt.step(vec![&mut p]);
+        let (m, v) = p.adam_state();
+        let (m, v) = (m.clone(), v.clone());
+        assert!(m.data().iter().any(|&x| x != 0.0));
+        let mut q = Param::new(Matrix::zeros(1, 2));
+        let (qm, qv) = q.adam_state_mut();
+        qm.copy_from(&m);
+        qv.copy_from(&v);
+        assert_eq!(q.adam_state().0.data(), m.data());
+        assert_eq!(q.adam_state().1.data(), v.data());
+        let mut restored = Adam::new(0.1);
+        restored.set_steps(opt.steps());
+        assert_eq!(restored.steps(), 1);
     }
 }

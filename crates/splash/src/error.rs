@@ -92,6 +92,24 @@ pub enum SplashError {
         /// How many shards actually serve it.
         shards: usize,
     },
+    /// A ground-truth observation fed to the continual learner cannot be
+    /// trained on: the label does not fit the model's task or output
+    /// width, carries non-finite affinity mass, or arrives with a
+    /// non-finite timestamp. Training on it would panic deep in the loss
+    /// or poison the published weights with NaN, so it is rejected up
+    /// front (batch-atomically).
+    LabelMismatch {
+        /// What the model expects, and what arrived instead.
+        expected: String,
+    },
+    /// A continual-learning request ([`crate::SplashService::fine_tune`],
+    /// label ingest, publish) named a model that has no online trainer —
+    /// the service was built without
+    /// [`crate::SplashServiceBuilder::online`].
+    OnlineDisabled {
+        /// The registry name of the model.
+        name: String,
+    },
     /// An underlying I/O operation failed (file missing, permissions, …).
     Io(io::Error),
 }
@@ -130,6 +148,14 @@ impl fmt::Display for SplashError {
                 f,
                 "model {name:?} is served by {shards} shard(s), which does not \
                  match the requested engine access"
+            ),
+            SplashError::LabelMismatch { expected } => {
+                write!(f, "label does not fit the model: expected {expected}")
+            }
+            SplashError::OnlineDisabled { name } => write!(
+                f,
+                "model {name:?} has no online trainer (build the service \
+                 with .online(OnlineConfig) to enable continual learning)"
             ),
             SplashError::Io(e) => write!(f, "i/o error: {e}"),
         }

@@ -33,6 +33,13 @@
 //! [`ShardedPredictor`] engines — scatter–gather queries, routed ingest,
 //! sharded persistence — with output bit-identical to the single engine
 //! at every shard count.
+//!
+//! For **continual learning**, the [`online`] module fine-tunes a served
+//! model from the live label stream without downtime: a hot-standby
+//! [`OnlineTrainer`] buffers labeled snapshots, runs bounded Adam steps,
+//! and publishes weights atomically into the serving engine(s);
+//! checkpoints carry the optimizer (`SAVEDOPT`), so a restarted
+//! deployment resumes bit-identically.
 
 #![deny(missing_docs)]
 
@@ -40,6 +47,7 @@ pub mod augment;
 pub mod capture;
 pub mod config;
 pub mod error;
+pub mod online;
 pub mod persist;
 pub mod pipeline;
 pub mod select;
@@ -55,9 +63,10 @@ pub use capture::{
 };
 pub use config::{PositionalSource, SplashConfig};
 pub use error::SplashError;
+pub use online::{FineTunePolicy, FineTuneReport, OnlineConfig, OnlineTrainer};
 pub use persist::{
-    load_manifest, load_model, load_sharded_model, save_model, save_sharded_model, SavedModel,
-    ShardFileEntry, ShardManifest,
+    load_manifest, load_model, load_sharded_model, save_model, save_model_with_opt,
+    save_sharded_model, save_sharded_model_with_opt, SavedModel, ShardFileEntry, ShardManifest,
 };
 pub use pipeline::{
     predict_slim, represent_slim, run_slim_with, run_slim_with_frac, run_splash,
@@ -69,9 +78,9 @@ pub use select::{
     SPLIT_FRACTIONS,
 };
 pub use service::{
-    IngestReport, IngestRequest, LateEdgePolicy, PredictRequest, PredictResponse, ServiceStats,
-    SplashService, SplashServiceBuilder,
+    IngestReport, IngestRequest, LabelReport, LateEdgePolicy, PredictRequest, PredictResponse,
+    ServiceStats, SplashService, SplashServiceBuilder,
 };
 pub use shard::{shard_of, ShardStats, ShardedPredictor};
-pub use slim::{SlimBatch, SlimCache, SlimModel};
+pub use slim::{AdamState, SlimBatch, SlimCache, SlimModel};
 pub use stream::StreamingPredictor;

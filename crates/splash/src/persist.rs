@@ -25,17 +25,39 @@ use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 use embed::{GraRepConfig, Node2VecConfig};
-use nn::Parameterized;
+use nn::{Matrix, Parameterized};
 use rand::{rngs::StdRng, SeedableRng};
 
 use crate::augment::FeatureProcess;
 use crate::capture::InputFeatures;
 use crate::config::{PositionalSource, SplashConfig};
 use crate::error::SplashError;
-use crate::slim::SlimModel;
+use crate::slim::{AdamState, SlimModel};
 
 const MAGIC: &[u8; 8] = b"SPLASHM\x01";
 const VERSION: u32 = 1;
+
+/// Tag of the optional trailing optimizer-state section
+/// ([`save_model_with_opt`]). Files without it load with `opt: None`, and
+/// readers from before this section existed simply never read past the
+/// parameters — both directions stay compatible within [`VERSION`].
+const OPT_MAGIC: &[u8; 8] = b"SAVEDOPT";
+/// Format revision of the optimizer-state section.
+const OPT_VERSION: u32 = 1;
+
+/// Upper bound on any persisted structural dimension. A corrupt (or
+/// hostile) file claiming `hidden = 2^60` used to abort the process on
+/// allocation inside `SlimModel::new` before any typed error could be
+/// reported; every dimension is now checked against this bound *before*
+/// the architecture is instantiated, so impossible values surface as
+/// [`SplashError::CorruptModel`].
+const MAX_DIM: u64 = 1 << 20;
+
+/// Upper bound on any single weight tensor's element count (256 MiB of
+/// `f32`). Individually sane dimensions can still multiply into an
+/// allocation abort (`hidden = feat_dim = 2^20` ⇒ a 4 TiB matrix), so the
+/// per-tensor products are bounded too, before `SlimModel::new` runs.
+const MAX_TENSOR_ELEMS: u64 = 1 << 26;
 
 /// Magic of a *sharded* artifact manifest (distinct from the single-model
 /// [`MAGIC`], so [`is_sharded_artifact`] can sniff a path cheaply).
@@ -60,6 +82,10 @@ pub struct SavedModel {
     pub out_dim: usize,
     /// The restored model.
     pub model: SlimModel,
+    /// Checkpointed optimizer state, when the file carries a `SAVEDOPT`
+    /// section ([`save_model_with_opt`]) — what makes resumed online
+    /// fine-tuning bit-identical to an uninterrupted run.
+    pub opt: Option<AdamState>,
 }
 
 impl SavedModel {
@@ -85,14 +111,33 @@ pub fn save_model(
     edge_feat_dim: usize,
     out_dim: usize,
 ) -> Result<(), SplashError> {
+    save_model_with_opt(path, model, cfg, mode, feat_dim, edge_feat_dim, out_dim, None)
+}
+
+/// [`save_model`] plus an optional `SAVEDOPT` trailer carrying the Adam
+/// moments and step count of an online fine-tuning run, so the artifact
+/// restores not just the weights but the optimizer mid-flight
+/// ([`SavedModel::opt`]).
+#[allow(clippy::too_many_arguments)]
+pub fn save_model_with_opt(
+    path: &Path,
+    model: &mut SlimModel,
+    cfg: &SplashConfig,
+    mode: InputFeatures,
+    feat_dim: usize,
+    edge_feat_dim: usize,
+    out_dim: usize,
+    opt: Option<&AdamState>,
+) -> Result<(), SplashError> {
     let mut w = BufWriter::new(File::create(path)?);
-    write_model(&mut w, model, cfg, mode, feat_dim, edge_feat_dim, out_dim)?;
+    write_model(&mut w, model, cfg, mode, feat_dim, edge_feat_dim, out_dim, opt)?;
     w.flush()?;
     Ok(())
 }
 
 /// [`save_model`]'s body against any writer (the sharded save serializes
 /// once into memory and fans the bytes out to N files).
+#[allow(clippy::too_many_arguments)]
 fn write_model<W: Write>(
     mut w: W,
     model: &mut SlimModel,
@@ -101,6 +146,7 @@ fn write_model<W: Write>(
     feat_dim: usize,
     edge_feat_dim: usize,
     out_dim: usize,
+    opt: Option<&AdamState>,
 ) -> Result<(), SplashError> {
     w.write_all(MAGIC)?;
     put_u32(&mut w, VERSION)?;
@@ -126,6 +172,23 @@ fn write_model<W: Write>(
         put_u64(&mut w, c as u64)?;
         for &x in p.value.data() {
             put_f32(&mut w, x)?;
+        }
+    }
+    if let Some(state) = opt {
+        w.write_all(OPT_MAGIC)?;
+        put_u32(&mut w, OPT_VERSION)?;
+        put_u64(&mut w, state.steps)?;
+        put_u64(&mut w, state.moments.len() as u64)?;
+        for (m, v) in &state.moments {
+            // Shapes are implied: the section is only valid against the
+            // architecture whose parameters precede it, and the reader
+            // checks each pair against the rebuilt model's shapes.
+            for &x in m.data() {
+                put_f32(&mut w, x)?;
+            }
+            for &x in v.data() {
+                put_f32(&mut w, x)?;
+            }
         }
     }
     Ok(())
@@ -242,6 +305,26 @@ pub fn save_sharded_model(
     out_dim: usize,
     shards: usize,
 ) -> Result<(), SplashError> {
+    save_sharded_model_with_opt(
+        path, model, cfg, mode, feat_dim, edge_feat_dim, out_dim, shards, None,
+    )
+}
+
+/// [`save_sharded_model`] plus the optional `SAVEDOPT` optimizer trailer
+/// (see [`save_model_with_opt`]); every shard file carries the identical
+/// section, so any one of them restores the optimizer on its own.
+#[allow(clippy::too_many_arguments)]
+pub fn save_sharded_model_with_opt(
+    path: &Path,
+    model: &mut SlimModel,
+    cfg: &SplashConfig,
+    mode: InputFeatures,
+    feat_dim: usize,
+    edge_feat_dim: usize,
+    out_dim: usize,
+    shards: usize,
+    opt: Option<&AdamState>,
+) -> Result<(), SplashError> {
     if shards == 0 {
         return Err(SplashError::InvalidConfig {
             what: "shard count must be positive".into(),
@@ -249,7 +332,7 @@ pub fn save_sharded_model(
     }
     // Shards share weights, so serialize once and fan the bytes out.
     let mut bytes = Vec::new();
-    write_model(&mut bytes, model, cfg, mode, feat_dim, edge_feat_dim, out_dim)?;
+    write_model(&mut bytes, model, cfg, mode, feat_dim, edge_feat_dim, out_dim, opt)?;
     let checksum = fnv1a(&bytes);
     let mut files = Vec::with_capacity(shards);
     for i in 0..shards {
@@ -376,6 +459,13 @@ fn corrupt_or_io(e: io::Error) -> SplashError {
 }
 
 /// Parses everything after the magic + version header.
+///
+/// The deserialized config is **validated before the architecture is
+/// instantiated**: `SplashConfig::validate` plus a sanity bound on every
+/// structural dimension ([`MAX_DIM`]). A corrupt or hostile file used to
+/// reach `SlimModel::new` unchecked, where an absurd `hidden` aborted the
+/// process on allocation; it now reports [`SplashError::CorruptModel`]
+/// (pinned by the crafted-artifact tests).
 fn read_body<R: Read>(mut r: &mut R) -> io::Result<SavedModel> {
     let cfg = read_config(&mut r)?;
     let mode = match get_u8(&mut r)? {
@@ -388,9 +478,40 @@ fn read_body<R: Read>(mut r: &mut R) -> io::Result<SavedModel> {
         6 => InputFeatures::Joint,
         t => return Err(bad(format!("unknown feature-mode tag {t}"))),
     };
-    let feat_dim = get_u64(&mut r)? as usize;
-    let edge_feat_dim = get_u64(&mut r)? as usize;
-    let out_dim = get_u64(&mut r)? as usize;
+    let feat_dim = sane_dim("node-feature width", get_u64(&mut r)?)?;
+    let edge_feat_dim = sane_dim("edge-feature width", get_u64(&mut r)?)?;
+    let out_dim = sane_dim("output width", get_u64(&mut r)?)?;
+    if out_dim == 0 {
+        return Err(bad("output width must be positive".to_string()));
+    }
+    cfg.validate()
+        .map_err(|e| bad(format!("stored config fails validation: {e}")))?;
+    for (name, value) in [
+        ("feat_dim", cfg.feat_dim),
+        ("k", cfg.k),
+        ("time_dim", cfg.time_dim),
+        ("hidden", cfg.hidden),
+        ("batch_size", cfg.batch_size),
+    ] {
+        sane_dim(name, value as u64)?;
+    }
+    // Dimensions are individually bounded (≤ 2^20, so these u64 products
+    // cannot overflow); now bound every weight tensor SlimModel::new will
+    // allocate — the largest inputs to each of its three MLPs.
+    let (dh, dt) = (cfg.hidden as u64, cfg.time_dim as u64);
+    let raw_dim = feat_dim as u64 + edge_feat_dim as u64 + dt;
+    for (name, elems) in [
+        ("message-MLP input weight", raw_dim * dh),
+        ("aggregate-MLP input weight", (feat_dim as u64 + dh) * dh),
+        ("hidden weight", dh * dh),
+        ("decoder output weight", dh * out_dim as u64),
+    ] {
+        if elems > MAX_TENSOR_ELEMS {
+            return Err(bad(format!(
+                "impossible {name}: {elems} elements (limit {MAX_TENSOR_ELEMS})"
+            )));
+        }
+    }
 
     // Rebuild the architecture, then overwrite every parameter in the
     // stable `params_mut` order.
@@ -417,7 +538,66 @@ fn read_body<R: Read>(mut r: &mut R) -> io::Result<SavedModel> {
             *x = get_f32(&mut r)?;
         }
     }
-    Ok(SavedModel { cfg, mode, feat_dim, edge_feat_dim, out_dim, model })
+    let opt = read_opt_section(&mut r, &mut model)?;
+    Ok(SavedModel { cfg, mode, feat_dim, edge_feat_dim, out_dim, model, opt })
+}
+
+/// Bounds-checks one persisted structural dimension against [`MAX_DIM`].
+fn sane_dim(name: &str, value: u64) -> io::Result<usize> {
+    if value > MAX_DIM {
+        return Err(bad(format!("impossible {name} {value} (limit {MAX_DIM})")));
+    }
+    Ok(value as usize)
+}
+
+/// Parses the optional trailing `SAVEDOPT` section. Clean EOF right after
+/// the parameters means "no optimizer state" (`None`); anything else that
+/// is not a complete, architecture-matching section is corruption.
+fn read_opt_section<R: Read>(r: &mut R, model: &mut SlimModel) -> io::Result<Option<AdamState>> {
+    let mut magic = [0u8; 8];
+    let mut got = 0usize;
+    while got < magic.len() {
+        let n = r.read(&mut magic[got..])?;
+        if n == 0 {
+            break;
+        }
+        got += n;
+    }
+    if got == 0 {
+        return Ok(None);
+    }
+    if got < magic.len() || &magic != OPT_MAGIC {
+        return Err(bad("trailing bytes are not a SAVEDOPT section".to_string()));
+    }
+    let version = get_u32(r)?;
+    if version != OPT_VERSION {
+        return Err(bad(format!(
+            "unknown SAVEDOPT section version {version} (this build reads {OPT_VERSION})"
+        )));
+    }
+    let steps = get_u64(r)?;
+    let stored = get_u64(r)? as usize;
+    let params = model.params_mut();
+    if stored != params.len() {
+        return Err(bad(format!(
+            "SAVEDOPT moment count mismatch: file has {stored}, architecture has {}",
+            params.len()
+        )));
+    }
+    let mut moments = Vec::with_capacity(stored);
+    for p in params {
+        let (rows, cols) = p.value.shape();
+        let mut m = Matrix::zeros(rows, cols);
+        for x in m.data_mut() {
+            *x = get_f32(r)?;
+        }
+        let mut v = Matrix::zeros(rows, cols);
+        for x in v.data_mut() {
+            *x = get_f32(r)?;
+        }
+        moments.push((m, v));
+    }
+    Ok(Some(AdamState { steps, moments }))
 }
 
 fn write_config<W: Write>(w: &mut W, cfg: &SplashConfig) -> io::Result<()> {
@@ -729,6 +909,156 @@ mod tests {
             );
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    /// A freshly trained tiny model saved to `path`; returns its bytes.
+    fn saved_bytes(tag: &str) -> (std::path::PathBuf, Vec<u8>) {
+        let dataset = truncate_to_available(&synthetic_shift(50, 13), 0.2);
+        let mut cfg = SplashConfig::tiny();
+        cfg.epochs = 1;
+        let cap = capture(&dataset, InputFeatures::RawRandom, &cfg, SEEN_FRAC);
+        let (train_end, _) = split_bounds(cap.queries.len());
+        let (mut model, _) = train_slim(&cap, &dataset, &cap.queries[..train_end], &cfg);
+        let path = tmp(tag);
+        save_model(
+            &path,
+            &mut model,
+            &cfg,
+            InputFeatures::RawRandom,
+            cap.feat_dim,
+            cap.edge_feat_dim,
+            dataset.num_classes,
+        )
+        .unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        (path, bytes)
+    }
+
+    /// Byte offsets of the config fields patched by the crafted-artifact
+    /// tests (magic 8 + version 4, then the `write_config` layout:
+    /// feat_dim, k, time_dim, hidden as u64s, then f32 scales).
+    const OFF_K: usize = 20;
+    const OFF_TIME_DIM: usize = 28;
+    const OFF_HIDDEN: usize = 36;
+    const OFF_LR: usize = 60;
+
+    /// Regression (crafted artifact): a file claiming `hidden = 2^60` used
+    /// to abort the process on allocation inside `SlimModel::new`; it must
+    /// load as a typed `CorruptModel` naming the bad dimension.
+    #[test]
+    fn oversized_dimension_is_corrupt_not_abort() {
+        let (path, bytes) = saved_bytes("dim-bomb");
+        let mut patched = bytes.clone();
+        patched[OFF_HIDDEN..OFF_HIDDEN + 8].copy_from_slice(&(1u64 << 60).to_le_bytes());
+        std::fs::write(&path, &patched).unwrap();
+        let err = load_model(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, SplashError::CorruptModel { .. }), "{err:?}");
+        assert!(err.to_string().contains("hidden"), "{err}");
+    }
+
+    /// Regression (crafted artifact): dimensions that are individually
+    /// under [`MAX_DIM`] can still multiply into an allocation abort; the
+    /// per-tensor element bound must catch the product.
+    #[test]
+    fn oversized_dimension_product_is_corrupt_not_abort() {
+        let (path, bytes) = saved_bytes("dim-product-bomb");
+        let mut patched = bytes.clone();
+        // hidden = time_dim = 2^20: each passes sane_dim, but the message
+        // MLP's input weight alone would be ≥ 2^40 elements (~4 TiB).
+        patched[OFF_HIDDEN..OFF_HIDDEN + 8].copy_from_slice(&(1u64 << 20).to_le_bytes());
+        patched[OFF_TIME_DIM..OFF_TIME_DIM + 8].copy_from_slice(&(1u64 << 20).to_le_bytes());
+        std::fs::write(&path, &patched).unwrap();
+        let err = load_model(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, SplashError::CorruptModel { .. }), "{err:?}");
+        assert!(err.to_string().contains("elements"), "{err}");
+    }
+
+    /// Regression (crafted artifact): the deserialized config must pass
+    /// `SplashConfig::validate` — a zero dimension or a non-finite scale is
+    /// corruption, not a panic (or a hang) later in the pipeline.
+    #[test]
+    fn invalid_stored_config_is_corrupt() {
+        let (path, bytes) = saved_bytes("cfg-bomb");
+        // Zero `k`: fails validation.
+        let mut patched = bytes.clone();
+        patched[OFF_K..OFF_K + 8].copy_from_slice(&0u64.to_le_bytes());
+        std::fs::write(&path, &patched).unwrap();
+        let err = load_model(&path).unwrap_err();
+        assert!(matches!(err, SplashError::CorruptModel { .. }), "{err:?}");
+        assert!(err.to_string().contains("validation"), "{err}");
+        // NaN learning rate: fails validation too.
+        let mut patched = bytes.clone();
+        patched[OFF_LR..OFF_LR + 4].copy_from_slice(&f32::NAN.to_le_bytes());
+        std::fs::write(&path, &patched).unwrap();
+        let err = load_model(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, SplashError::CorruptModel { .. }), "{err:?}");
+        assert!(err.to_string().contains("lr"), "{err}");
+    }
+
+    /// Trailing bytes that are not a complete `SAVEDOPT` section are
+    /// corruption, never a silent partial read.
+    #[test]
+    fn damaged_opt_trailer_is_corrupt() {
+        let (path, bytes) = saved_bytes("opt-trailer");
+        // Garbage appended after the parameters.
+        let mut patched = bytes.clone();
+        patched.extend_from_slice(b"JUNKJUNKJUNK");
+        std::fs::write(&path, &patched).unwrap();
+        let err = load_model(&path).unwrap_err();
+        assert!(matches!(err, SplashError::CorruptModel { .. }), "{err:?}");
+        assert!(err.to_string().contains("SAVEDOPT"), "{err}");
+        // A truncated (but correctly tagged) section is corruption too.
+        let mut patched = bytes.clone();
+        patched.extend_from_slice(OPT_MAGIC);
+        patched.extend_from_slice(&OPT_VERSION.to_le_bytes());
+        std::fs::write(&path, &patched).unwrap();
+        let err = load_model(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, SplashError::CorruptModel { .. }), "{err:?}");
+    }
+
+    /// The `SAVEDOPT` section round-trips the optimizer clock and every
+    /// moment bit; a file without it loads with `opt: None`.
+    #[test]
+    fn opt_state_round_trips() {
+        let dataset = truncate_to_available(&synthetic_shift(50, 13), 0.2);
+        let mut cfg = SplashConfig::tiny();
+        cfg.epochs = 2;
+        let cap = capture(&dataset, InputFeatures::RawRandom, &cfg, SEEN_FRAC);
+        let (train_end, _) = split_bounds(cap.queries.len());
+        let (mut model, _) = train_slim(&cap, &dataset, &cap.queries[..train_end], &cfg);
+        let state = model.extract_adam_state(17);
+        let path = tmp("opt-roundtrip");
+        save_model_with_opt(
+            &path,
+            &mut model,
+            &cfg,
+            InputFeatures::RawRandom,
+            cap.feat_dim,
+            cap.edge_feat_dim,
+            dataset.num_classes,
+            Some(&state),
+        )
+        .unwrap();
+        let restored = load_model(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let back = restored.opt.expect("SAVEDOPT section restores");
+        assert_eq!(back.steps, 17);
+        assert_eq!(back.moments.len(), state.moments.len());
+        for ((m1, v1), (m2, v2)) in back.moments.iter().zip(&state.moments) {
+            assert_eq!(m1.data(), m2.data());
+            assert_eq!(v1.data(), v2.data());
+        }
+
+        // Without the section: opt is None (the pre-existing roundtrip
+        // files in the other tests already exercise this, but pin it).
+        let (path, _) = saved_bytes("opt-none");
+        let plain = load_model(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(plain.opt.is_none());
     }
 
     /// A file whose version word differs from this build's must report the

@@ -34,9 +34,17 @@ pub struct SelectionReport {
 
 /// Restricts a dataset to its available portion: the first `avail_frac` of
 /// queries and the edges up to the last such query's time.
+///
+/// A dataset with no queries truncates to itself (empty queries, empty
+/// stream) instead of panicking — `clamp(1, 0)` used to abort here; the
+/// regression is pinned by `truncating_an_empty_dataset_is_empty`.
 pub fn truncate_to_available(dataset: &Dataset, avail_frac: f64) -> Dataset {
-    let n_avail = (((dataset.queries.len() as f64) * avail_frac) as usize)
-        .clamp(1, dataset.queries.len());
+    let n_queries = dataset.queries.len();
+    let n_avail = if n_queries == 0 {
+        0
+    } else {
+        (((n_queries as f64) * avail_frac) as usize).clamp(1, n_queries)
+    };
     let queries: Vec<_> = dataset.queries[..n_avail].to_vec();
     let t_end = queries.last().map_or(f64::NEG_INFINITY, |q| q.time);
     let prefix = dataset.stream.prefix_len_at(t_end);
@@ -80,13 +88,29 @@ pub fn select_features_with_splits(
         }
     });
 
-    let best = FeatureProcess::ALL
-        .iter()
-        .enumerate()
-        .min_by(|a, b| risks[a.0].partial_cmp(&risks[b.0]).unwrap())
-        .map(|(_, &p)| p)
-        .expect("at least one process");
+    let best = FeatureProcess::ALL[argmin_risk(&risks)];
     SelectionReport { selected: best, risks }
+}
+
+/// Index of the smallest risk under a **total** order, so a diverged
+/// selector fit cannot panic the pipeline.
+///
+/// Policy (deterministic by construction):
+/// * risks compare by [`f64::total_cmp`] — a NaN risk orders above `+∞`
+///   (for the positive-sign NaNs arithmetic produces), so a process whose
+///   fit diverged loses to any process with a finite (or even infinite)
+///   risk;
+/// * ties keep the **earliest** process in [`FeatureProcess::ALL`] order
+///   (R, then P, then S) — in particular, if every fit diverged to the
+///   same NaN, process R is selected rather than aborting.
+fn argmin_risk(risks: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, r) in risks.iter().enumerate().skip(1) {
+        if r.total_cmp(&risks[best]) == std::cmp::Ordering::Less {
+            best = i;
+        }
+    }
+    best
 }
 
 /// Summed multi-split validation risk of one process (Eq. 13's inner sum).
@@ -305,6 +329,46 @@ mod tests {
             "risks: {:?}",
             report.risks
         );
+    }
+
+    /// Regression: an empty dataset used to hit `clamp(1, 0)` ("min > max"
+    /// panic) at `truncate_to_available`'s first line. It must truncate to
+    /// an equally empty dataset instead.
+    #[test]
+    fn truncating_an_empty_dataset_is_empty() {
+        let empty = Dataset {
+            name: "empty".into(),
+            task: Task::Classification,
+            stream: EdgeStream::new_unchecked(Vec::new()),
+            queries: Vec::new(),
+            num_classes: 2,
+            node_feats: None,
+        };
+        for frac in [0.0, 0.2, 1.0] {
+            let out = truncate_to_available(&empty, frac);
+            assert!(out.queries.is_empty());
+            assert_eq!(out.stream.len(), 0);
+        }
+    }
+
+    /// Regression: selection used `partial_cmp(..).unwrap()`, which panics
+    /// the moment any selector fit diverges to NaN. The total-order argmin
+    /// must instead treat NaN as worse than every real risk and break ties
+    /// toward the earliest process.
+    #[test]
+    fn argmin_risk_handles_nan_and_ties_deterministically() {
+        // A NaN risk loses to any finite risk, wherever it sits.
+        assert_eq!(argmin_risk(&[f64::NAN, 2.0, 3.0]), 1);
+        assert_eq!(argmin_risk(&[2.0, f64::NAN, 1.0]), 2);
+        // ... and even to an infinite one (total order: NaN > +inf).
+        assert_eq!(argmin_risk(&[f64::NAN, f64::INFINITY, f64::NAN]), 1);
+        // All-NaN selects the first process instead of panicking.
+        assert_eq!(argmin_risk(&[f64::NAN, f64::NAN, f64::NAN]), 0);
+        // Exact ties keep the earliest process.
+        assert_eq!(argmin_risk(&[1.5, 1.5, 1.5]), 0);
+        assert_eq!(argmin_risk(&[2.0, 1.5, 1.5]), 1);
+        // Plain minima still win.
+        assert_eq!(argmin_risk(&[3.0, 0.5, 2.0]), 1);
     }
 
     #[test]

@@ -53,11 +53,16 @@ use datasets::Dataset;
 use nn::Matrix;
 
 use crate::augment::FeatureProcess;
+use crate::capture::{CapturedNeighbor, CapturedQuery};
 use crate::config::SplashConfig;
 use crate::error::SplashError;
+use crate::online::{FineTuneReport, OnlineConfig, OnlineTrainer};
 use crate::shard::{ShardStats, ShardedPredictor};
+use crate::slim::{AdamState, SlimModel};
 use crate::stream::StreamingPredictor;
 use crate::task::argmax;
+use ctdg::Label;
+use datasets::Task;
 
 /// What [`SplashService::ingest`] does with an edge whose timestamp
 /// precedes the model's last observed edge.
@@ -145,6 +150,21 @@ impl PredictResponse {
     }
 }
 
+/// What [`SplashService::observe_labels`] did with a batch of ground-truth
+/// observations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LabelReport {
+    /// Labels captured into the model's replay buffer.
+    pub buffered: usize,
+    /// Past-time labels dropped (always 0 under [`LateEdgePolicy::Error`]).
+    pub dropped: usize,
+    /// Automatic tune rounds the batch triggered
+    /// ([`crate::online::FineTunePolicy::EveryLabels`]); each one published.
+    pub tunes: usize,
+    /// Adam steps those rounds executed in total.
+    pub steps: usize,
+}
+
 /// Cheap serving counters, snapshotted by [`SplashService::stats`].
 /// Aggregated across all models in the registry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -157,11 +177,24 @@ pub struct ServiceStats {
     pub queries_served: u64,
     /// Shard engines across the registry (a single-engine model counts 1).
     pub shards: u64,
+    /// Ground-truth labels captured for continual learning.
+    pub labels_buffered: u64,
+    /// Past-time labels dropped under [`LateEdgePolicy::DropLate`].
+    pub labels_dropped: u64,
+    /// Online tune rounds completed (manual + automatic).
+    pub fine_tunes: u64,
+    /// Adam steps executed across all tune rounds.
+    pub fine_tune_steps: u64,
+    /// Weight publications into serving engines (every fine-tune publishes
+    /// once; explicit [`SplashService::publish`] calls count too).
+    pub publishes: u64,
 }
 
 impl fmt::Display for ServiceStats {
     /// The operator-facing rendering the CLI `serve` report embeds — one
-    /// aligned `label : value` line per counter, newline-terminated.
+    /// aligned `label : value` line per counter, newline-terminated. The
+    /// continual-learning block renders only once labels have flowed, so a
+    /// frozen-model report stays as terse as before.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
@@ -169,7 +202,20 @@ impl fmt::Display for ServiceStats {
             self.edges_ingested, self.edges_dropped
         )?;
         writeln!(f, "queries served : {}", self.queries_served)?;
-        writeln!(f, "shard engines  : {}", self.shards)
+        writeln!(f, "shard engines  : {}", self.shards)?;
+        if self.labels_buffered > 0 || self.labels_dropped > 0 || self.publishes > 0 {
+            writeln!(
+                f,
+                "labels absorbed: {} (+{} dropped)",
+                self.labels_buffered, self.labels_dropped
+            )?;
+            writeln!(
+                f,
+                "fine-tunes     : {} ({} steps, {} publishes)",
+                self.fine_tunes, self.fine_tune_steps, self.publishes
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -253,10 +299,38 @@ impl Engine {
         }
     }
 
-    fn save(&mut self, path: &Path) -> Result<(), SplashError> {
+    fn save(&mut self, path: &Path, opt: Option<&AdamState>) -> Result<(), SplashError> {
         match self {
-            Engine::Single(p) => p.save(path),
-            Engine::Sharded(s) => s.save(path),
+            Engine::Single(p) => p.save_with_opt(path, opt),
+            Engine::Sharded(s) => s.save_with_opt(path, opt),
+        }
+    }
+
+    /// Assembles a labeled training example from the engine's current
+    /// streaming state (the owner shard's, for a sharded engine — same
+    /// bits as the single engine by the sharding invariant).
+    fn capture_labeled_into(
+        &self,
+        node: NodeId,
+        time: f64,
+        label: &Label,
+        q: &mut CapturedQuery,
+        spare: &mut Vec<CapturedNeighbor>,
+    ) -> Result<(), SplashError> {
+        match self {
+            Engine::Single(p) => p.capture_labeled_into(node, time, label, q, spare),
+            Engine::Sharded(s) => s.capture_labeled_into(node, time, label, q, spare),
+        }
+    }
+
+    /// Atomically replaces the served weights (every shard of a sharded
+    /// engine — shards share weights). Streaming state is untouched, so
+    /// the next query runs the new weights over exactly the state the old
+    /// weights saw.
+    fn set_weights(&mut self, src: &SlimModel) {
+        match self {
+            Engine::Single(p) => p.set_model_weights(src),
+            Engine::Sharded(s) => s.set_weights(src),
         }
     }
 }
@@ -266,6 +340,9 @@ impl Engine {
 struct ModelEntry {
     name: String,
     engine: Engine,
+    /// The hot-standby continual learner, present when the service was
+    /// built with [`SplashServiceBuilder::online`].
+    trainer: Option<OnlineTrainer>,
 }
 
 /// Configures and checks a [`SplashService`] before it starts serving.
@@ -275,6 +352,7 @@ pub struct SplashServiceBuilder {
     policy: LateEdgePolicy,
     strict_nodes: bool,
     shards: usize,
+    online: Option<OnlineConfig>,
 }
 
 impl SplashServiceBuilder {
@@ -304,6 +382,16 @@ impl SplashServiceBuilder {
         self
     }
 
+    /// Enables online continual learning: every model installed from now
+    /// on gets a hot-standby [`OnlineTrainer`] behind it, fed by
+    /// [`SplashService::observe_labels`] and flushed by
+    /// [`SplashService::fine_tune`] (or automatically, per
+    /// `online.policy`). Default: disabled — models stay frozen.
+    pub fn online(mut self, online: OnlineConfig) -> Self {
+        self.online = Some(online);
+        self
+    }
+
     /// Validates the configuration and produces an empty service; add
     /// models with [`SplashService::train_model`] /
     /// [`SplashService::load_model`].
@@ -314,14 +402,23 @@ impl SplashServiceBuilder {
                 what: "shard count must be positive".into(),
             });
         }
+        if let Some(online) = &self.online {
+            online.validate()?;
+        }
         Ok(SplashService {
             cfg: self.cfg,
             policy: self.policy,
             strict_nodes: self.strict_nodes,
             shards: self.shards,
+            online: self.online,
             models: Vec::new(),
             edges_ingested: 0,
             edges_dropped: 0,
+            labels_buffered: 0,
+            labels_dropped: 0,
+            fine_tunes: 0,
+            fine_tune_steps: 0,
+            publishes: 0,
             queries_served: Cell::new(0),
         })
     }
@@ -339,9 +436,17 @@ pub struct SplashService {
     strict_nodes: bool,
     /// Shard count applied to every model installed from now on.
     shards: usize,
+    /// Continual-learning knobs; `Some` attaches a trainer to every model
+    /// installed from now on.
+    online: Option<OnlineConfig>,
     models: Vec<ModelEntry>,
     edges_ingested: u64,
     edges_dropped: u64,
+    labels_buffered: u64,
+    labels_dropped: u64,
+    fine_tunes: u64,
+    fine_tune_steps: u64,
+    publishes: u64,
     /// `Cell` because predictions go through `&self` (the predictor's own
     /// scratch is interior-mutable for the same reason) — the service is
     /// single-threaded (`!Sync`) like the predictors it holds; for
@@ -358,6 +463,27 @@ impl SplashService {
             policy: LateEdgePolicy::default(),
             strict_nodes: false,
             shards: 1,
+            online: None,
+        }
+    }
+
+    /// Builds the hot-standby trainer for a model about to be installed
+    /// (`None` when the service has continual learning disabled). `saved`
+    /// carries a checkpointed optimizer from a `SAVEDOPT` artifact section.
+    fn trainer_for(
+        &self,
+        predictor: &StreamingPredictor,
+        task: Task,
+        saved: Option<&AdamState>,
+    ) -> Result<Option<OnlineTrainer>, SplashError> {
+        match &self.online {
+            None => Ok(None),
+            Some(cfg) => Ok(Some(OnlineTrainer::resume(
+                *cfg,
+                predictor.model().clone(),
+                task,
+                saved,
+            )?)),
         }
     }
 
@@ -381,8 +507,9 @@ impl SplashService {
     ) -> Result<FeatureProcess, SplashError> {
         let predictor = StreamingPredictor::train(dataset, &self.cfg);
         let process = predictor.process();
+        let trainer = self.trainer_for(&predictor, dataset.task, None)?;
         let engine = self.engine_for(predictor)?;
-        self.install(name, engine);
+        self.install(name, engine, trainer);
         Ok(process)
     }
 
@@ -395,8 +522,9 @@ impl SplashService {
         process: FeatureProcess,
     ) -> Result<(), SplashError> {
         let predictor = StreamingPredictor::train_with_process(dataset, &self.cfg, process);
+        let trainer = self.trainer_for(&predictor, dataset.task, None)?;
         let engine = self.engine_for(predictor)?;
-        self.install(name, engine);
+        self.install(name, engine, trainer);
         Ok(())
     }
 
@@ -413,21 +541,28 @@ impl SplashService {
     ///
     /// The saved file's own config is validated and used; the service's
     /// config only governs models trained in-service.
+    ///
+    /// When the service has continual learning enabled and the artifact
+    /// carries a `SAVEDOPT` optimizer section, the restored trainer
+    /// continues the checkpointed run's Adam schedule — resuming a
+    /// fine-tuning deployment is bit-identical to never restarting it.
     pub fn load_model(
         &mut self,
         name: &str,
         path: &Path,
         dataset: &Dataset,
     ) -> Result<(), SplashError> {
-        let saved = if crate::persist::is_sharded_artifact(path)? {
+        let mut saved = if crate::persist::is_sharded_artifact(path)? {
             crate::persist::load_sharded_model(path)?.1
         } else {
             crate::persist::load_model(path)?
         };
         saved.cfg.validate()?;
+        let opt = saved.opt.take();
         let predictor = StreamingPredictor::try_from_saved(saved, dataset)?;
+        let trainer = self.trainer_for(&predictor, dataset.task, opt.as_ref())?;
         let engine = self.engine_for(predictor)?;
-        self.install(name, engine);
+        self.install(name, engine, trainer);
         Ok(())
     }
 
@@ -435,9 +570,15 @@ impl SplashService {
     /// one model file, a sharded model writes a manifest plus per-shard
     /// files. Either artifact restores through
     /// [`SplashService::load_model`] at any shard count.
+    ///
+    /// A model with an online trainer also writes the trainer's optimizer
+    /// checkpoint (`SAVEDOPT` section), making the artifact a true
+    /// continual-learning checkpoint.
     pub fn save_model(&mut self, name: &str, path: &Path) -> Result<(), SplashError> {
         let idx = self.index(name)?;
-        self.models[idx].engine.save(path)
+        let ModelEntry { engine, trainer, .. } = &mut self.models[idx];
+        let opt = trainer.as_mut().map(|t| t.checkpoint());
+        engine.save(path, opt.as_ref())
     }
 
     /// Removes the named model from the registry.
@@ -562,6 +703,128 @@ impl SplashService {
         })
     }
 
+    /// Feeds ground-truth observations from the live stream into the named
+    /// model's continual learner: each `(node, time, label)` query is
+    /// captured — against the model's *current* streaming state, exactly
+    /// what a prediction at that instant would have seen — into the
+    /// bounded replay buffer.
+    ///
+    /// The whole batch is validated **before anything is absorbed**
+    /// (batch atomicity): a label that does not fit the model's task or
+    /// output width is [`SplashError::LabelMismatch`] (training on it
+    /// would panic deep in the loss), and under strict node checking
+    /// ([`SplashServiceBuilder::strict_nodes`]) an unknown node is
+    /// [`SplashError::UnknownNode`] — the write path that mutates weights
+    /// honors the same guardrails as the read paths. Past-time labels
+    /// (time before the model's last observed edge) follow the service's
+    /// [`LateEdgePolicy`]: under `Error` they also reject the whole
+    /// batch; under `DropLate` they are dropped and counted.
+    ///
+    /// Under [`crate::online::FineTunePolicy::EveryLabels`] this is also
+    /// where automatic fine-tuning fires: the moment the cadence is
+    /// reached mid-batch, a tune round runs and its weights publish — the
+    /// remaining labels of the batch are then captured against the same
+    /// streaming state (capture reads rings, not weights, so ordering
+    /// stays deterministic).
+    ///
+    /// Steady-state absorption performs zero heap allocations (pinned in
+    /// `crates/splash/tests/alloc.rs`).
+    pub fn observe_labels(
+        &mut self,
+        name: &str,
+        queries: &[PropertyQuery],
+    ) -> Result<LabelReport, SplashError> {
+        let policy = self.policy;
+        let idx = self.index(name)?;
+        let ModelEntry { engine, trainer, .. } = &mut self.models[idx];
+        let Some(trainer) = trainer.as_mut() else {
+            return Err(SplashError::OnlineDisabled { name: name.to_string() });
+        };
+        for q in queries {
+            trainer.validate_observation(q.time, &q.label)?;
+        }
+        if self.strict_nodes {
+            let known = engine.known_nodes();
+            if let Some(q) = queries.iter().find(|q| q.node as usize >= known) {
+                return Err(SplashError::UnknownNode { node: q.node, known });
+            }
+        }
+        let last = engine.last_time();
+        if policy == LateEdgePolicy::Error {
+            if let Some(q) = queries.iter().find(|q| q.time < last) {
+                return Err(SplashError::PastQuery { got: q.time, last });
+            }
+        }
+        let mut report = LabelReport::default();
+        for q in queries {
+            if q.time < last {
+                report.dropped += 1;
+                continue;
+            }
+            trainer.absorb_with(|slot, spare| {
+                engine.capture_labeled_into(q.node, q.time, &q.label, slot, spare)
+            })?;
+            report.buffered += 1;
+            if trainer.tune_due() {
+                let r = trainer.fine_tune();
+                engine.set_weights(trainer.model());
+                report.tunes += 1;
+                report.steps += r.steps;
+            }
+        }
+        self.labels_buffered += report.buffered as u64;
+        self.labels_dropped += report.dropped as u64;
+        self.fine_tunes += report.tunes as u64;
+        self.fine_tune_steps += report.steps as u64;
+        self.publishes += report.tunes as u64;
+        Ok(report)
+    }
+
+    /// Runs one bounded tune round on the named model's continual learner
+    /// and atomically publishes the updated weights into its serving
+    /// engine(s) — all shards of a sharded model, which share weights, in
+    /// one publish. An empty replay buffer is a cheap no-op (0 steps, but
+    /// the publish still happens, making `fine_tune` idempotent).
+    pub fn fine_tune(&mut self, name: &str) -> Result<FineTuneReport, SplashError> {
+        let idx = self.index(name)?;
+        let ModelEntry { engine, trainer, .. } = &mut self.models[idx];
+        let Some(trainer) = trainer.as_mut() else {
+            return Err(SplashError::OnlineDisabled { name: name.to_string() });
+        };
+        let mut report = trainer.fine_tune();
+        engine.set_weights(trainer.model());
+        report.published = true;
+        self.fine_tunes += 1;
+        self.fine_tune_steps += report.steps as u64;
+        self.publishes += 1;
+        Ok(report)
+    }
+
+    /// Publishes the named model's trainer weights into its serving
+    /// engine(s) without running any steps — for callers that want to
+    /// decouple tuning cadence from publication cadence.
+    pub fn publish(&mut self, name: &str) -> Result<(), SplashError> {
+        let idx = self.index(name)?;
+        let ModelEntry { engine, trainer, .. } = &mut self.models[idx];
+        let Some(trainer) = trainer.as_mut() else {
+            return Err(SplashError::OnlineDisabled { name: name.to_string() });
+        };
+        engine.set_weights(trainer.model());
+        self.publishes += 1;
+        Ok(())
+    }
+
+    /// Read-only access to the named model's continual learner (buffer
+    /// fill, lifetime counters, the unpublished model). Reports
+    /// [`SplashError::OnlineDisabled`] when the service was built without
+    /// [`SplashServiceBuilder::online`].
+    pub fn trainer(&self, name: &str) -> Result<&OnlineTrainer, SplashError> {
+        self.entry(name)?
+            .trainer
+            .as_ref()
+            .ok_or_else(|| SplashError::OnlineDisabled { name: name.to_string() })
+    }
+
     /// Answers one query, writing the logits into `resp` (whose buffer is
     /// reused across calls — the allocation-free serving path).
     ///
@@ -648,6 +911,11 @@ impl SplashService {
             edges_dropped: self.edges_dropped,
             queries_served: self.queries_served.get(),
             shards: self.models.iter().map(|e| e.engine.shards() as u64).sum(),
+            labels_buffered: self.labels_buffered,
+            labels_dropped: self.labels_dropped,
+            fine_tunes: self.fine_tunes,
+            fine_tune_steps: self.fine_tune_steps,
+            publishes: self.publishes,
         }
     }
 
@@ -656,10 +924,13 @@ impl SplashService {
         self.policy
     }
 
-    fn install(&mut self, name: &str, engine: Engine) {
+    fn install(&mut self, name: &str, engine: Engine, trainer: Option<OnlineTrainer>) {
         match self.models.iter_mut().find(|e| e.name == name) {
-            Some(entry) => entry.engine = engine,
-            None => self.models.push(ModelEntry { name: name.to_string(), engine }),
+            Some(entry) => {
+                entry.engine = engine;
+                entry.trainer = trainer;
+            }
+            None => self.models.push(ModelEntry { name: name.to_string(), engine, trainer }),
         }
     }
 

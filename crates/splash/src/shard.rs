@@ -214,8 +214,45 @@ impl ShardedPredictor {
     /// at any shard count, or any single shard file through
     /// [`crate::persist::load_model`].
     pub fn save(&mut self, path: &Path) -> Result<(), SplashError> {
+        self.save_with_opt(path, None)
+    }
+
+    /// [`ShardedPredictor::save`] plus an optional checkpoint of the
+    /// online-fine-tuning optimizer; every shard file carries the identical
+    /// `SAVEDOPT` section (shards share weights *and* their optimizer).
+    pub fn save_with_opt(
+        &mut self,
+        path: &Path,
+        opt: Option<&crate::slim::AdamState>,
+    ) -> Result<(), SplashError> {
         let shards = self.shards.len();
-        self.shards[0].save_sharded(path, shards)
+        self.shards[0].save_sharded(path, shards, opt)
+    }
+
+    /// Atomically publishes `src`'s weights into **every** shard engine
+    /// (shards share weights by construction — see the module docs — so
+    /// one publish fans out N ways; allocation-free per shard). Streaming
+    /// state is untouched.
+    pub(crate) fn set_weights(&mut self, src: &crate::slim::SlimModel) {
+        for shard in &mut self.shards {
+            shard.set_model_weights(src);
+        }
+    }
+
+    /// Label-carrying ingest, routed: the owner shard of `node` holds its
+    /// rings, so it (and only it) assembles the training example — which
+    /// makes the captured bits identical to the unsharded capture. See
+    /// [`StreamingPredictor::capture_labeled_into`].
+    pub(crate) fn capture_labeled_into(
+        &self,
+        node: NodeId,
+        time: f64,
+        label: &ctdg::Label,
+        q: &mut crate::capture::CapturedQuery,
+        spare: &mut Vec<crate::capture::CapturedNeighbor>,
+    ) -> Result<(), SplashError> {
+        let s = shard_of(node, self.shards.len());
+        self.shards[s].capture_labeled_into(node, time, label, q, spare)
     }
 
     /// Number of shards serving this predictor.

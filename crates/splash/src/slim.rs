@@ -19,6 +19,24 @@ use nn::{
 };
 use rand::Rng;
 
+/// A checkpoint of the Adam optimizer driving a [`SlimModel`]: the step
+/// count and, per parameter (in [`Parameterized::params_mut`] order), the
+/// first/second moment estimates.
+///
+/// Carrying this across a save/load makes resume-after-restart
+/// **bit-identical** to never restarting: the restored optimizer continues
+/// the exact bias-correction schedule and moment trajectories of the saved
+/// one (pinned by the resume-equivalence tests in
+/// `crates/splash/tests/online.rs`).
+#[derive(Debug, Clone)]
+pub struct AdamState {
+    /// Optimizer steps taken so far (Adam's bias-correction clock `t`).
+    pub steps: u64,
+    /// `(m, v)` moment matrices, one pair per parameter, in the model's
+    /// stable parameter order.
+    pub moments: Vec<(Matrix, Matrix)>,
+}
+
 use crate::capture::CapturedQuery;
 use crate::config::SplashConfig;
 
@@ -97,6 +115,11 @@ impl SlimModel {
     /// Recent-edge capacity `k`.
     pub fn k(&self) -> usize {
         self.k
+    }
+
+    /// Output (logit) width: one column per class / affinity candidate.
+    pub fn out_dim(&self) -> usize {
+        self.decoder.out_dim()
     }
 
     /// Packs captured queries into a dense batch.
@@ -345,6 +368,56 @@ impl SlimModel {
     }
 }
 
+impl SlimModel {
+    /// Overwrites this model's parameter *values* with `other`'s (same
+    /// architecture required; gradients and optimizer moments untouched),
+    /// reusing every existing buffer — the allocation-free weight-publish
+    /// primitive behind [`crate::service::SplashService::publish`].
+    pub fn copy_weights_from(&mut self, other: &SlimModel) {
+        self.mlp1.copy_weights_from(&other.mlp1);
+        self.mlp2.copy_weights_from(&other.mlp2);
+        self.ln1.copy_weights_from(&other.ln1);
+        self.ln2.copy_weights_from(&other.ln2);
+        self.decoder.copy_weights_from(&other.decoder);
+    }
+
+    /// Snapshots the Adam moments attached to this model's parameters as an
+    /// [`AdamState`] at optimizer step `steps` (checkpoint side; `&mut`
+    /// only because parameter access goes through
+    /// [`Parameterized::params_mut`]).
+    pub fn extract_adam_state(&mut self, steps: u64) -> AdamState {
+        let moments = self
+            .params_mut()
+            .into_iter()
+            .map(|p| {
+                let (m, v) = p.adam_state();
+                (m.clone(), v.clone())
+            })
+            .collect();
+        AdamState { steps, moments }
+    }
+
+    /// Restores checkpointed Adam moments into this model's parameters
+    /// (resume side). Panics on a parameter-count or shape mismatch — the
+    /// persistence layer validates states against the architecture before
+    /// they get here.
+    pub fn restore_adam_state(&mut self, state: &AdamState) {
+        let params = self.params_mut();
+        assert_eq!(
+            params.len(),
+            state.moments.len(),
+            "optimizer state does not match the architecture"
+        );
+        for (p, (m, v)) in params.into_iter().zip(&state.moments) {
+            assert_eq!(p.value.shape(), m.shape(), "moment shape mismatch");
+            assert_eq!(p.value.shape(), v.shape(), "moment shape mismatch");
+            let (pm, pv) = p.adam_state_mut();
+            pm.copy_from(m);
+            pv.copy_from(v);
+        }
+    }
+}
+
 impl Parameterized for SlimModel {
     fn params_mut(&mut self) -> Vec<&mut Param> {
         let mut out = self.mlp1.params_mut();
@@ -361,6 +434,16 @@ impl Parameterized for SlimModel {
             + self.ln1.num_params()
             + self.ln2.num_params()
             + self.decoder.num_params()
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        // Same stable order as `params_mut` (the visitor-based Adam step
+        // and the checkpoint layout both depend on it).
+        self.mlp1.visit_params(f);
+        self.mlp2.visit_params(f);
+        self.ln1.visit_params(f);
+        self.ln2.visit_params(f);
+        self.decoder.visit_params(f);
     }
 }
 
@@ -524,6 +607,73 @@ mod tests {
         assert_eq!(logits.data(), out.data());
         model.represent_into(&batch, &mut out, &mut ws);
         assert_eq!(h.data(), out.data());
+    }
+
+    /// The visitor traversal must enumerate exactly the `params_mut`
+    /// sequence — the optimizer step and the checkpoint layout both assume
+    /// the two orders agree.
+    #[test]
+    fn visit_params_matches_params_mut_order() {
+        let mut a = tiny_model(7);
+        let mut b = a.clone();
+        let shapes: Vec<(usize, usize)> =
+            a.params_mut().iter().map(|p| p.value.shape()).collect();
+        let mut visited = Vec::new();
+        b.visit_params(&mut |p| visited.push(p.value.shape()));
+        assert_eq!(shapes, visited);
+        assert_eq!(shapes.len(), 16, "SLIM is 3 two-layer MLPs + 2 LayerNorms");
+    }
+
+    #[test]
+    fn copy_weights_from_transfers_values_only() {
+        let mut src = tiny_model(8);
+        let mut dst = tiny_model(9);
+        // Give src a non-trivial moment so we can check it is NOT copied.
+        src.params_mut()[0].grad.data_mut()[0] = 1.0;
+        let mut opt = nn::Adam::new(0.01);
+        opt.step_visit(&mut src);
+        dst.copy_weights_from(&src);
+        let q = query(vec![0.3, -0.2, 0.5, 0.1], vec![neighbor(vec![0.4; 4], 95.0, 1.0)]);
+        let batch = src.build_batch(&[&q]);
+        assert_eq!(src.infer(&batch).data(), dst.infer(&batch).data());
+        // Moments stayed put: dst's are still all zero.
+        let params = dst.params_mut();
+        let (m, _) = params[0].adam_state();
+        assert!(m.data().iter().all(|&x| x == 0.0));
+    }
+
+    /// Extract → restore round-trips the optimizer clock and moments so a
+    /// resumed Adam continues bit-identically.
+    #[test]
+    fn adam_state_round_trips() {
+        let mut trained = tiny_model(10);
+        let q = query(vec![0.1; 4], vec![neighbor(vec![0.2; 4], 90.0, 1.0)]);
+        let batch = trained.build_batch(&[&q]);
+        let mut opt = nn::Adam::new(0.02);
+        for _ in 0..3 {
+            let (logits, _, cache) = trained.forward(&batch);
+            let (_, dlogits) = nn::softmax_cross_entropy(&logits, &[1]);
+            trained.backward(&cache, &dlogits);
+            opt.step_visit(&mut trained);
+        }
+        let state = trained.extract_adam_state(opt.steps());
+        assert_eq!(state.steps, 3);
+        let mut resumed = tiny_model(10);
+        resumed.copy_weights_from(&trained);
+        resumed.restore_adam_state(&state);
+
+        // One more identical step on both must produce identical weights.
+        let mut opt2 = nn::Adam::new(0.02);
+        opt2.set_steps(state.steps);
+        for (model, o) in [(&mut trained, &mut opt), (&mut resumed, &mut opt2)] {
+            let (logits, _, cache) = model.forward(&batch);
+            let (_, dlogits) = nn::softmax_cross_entropy(&logits, &[1]);
+            model.backward(&cache, &dlogits);
+            o.step_visit(model);
+        }
+        for (p, q) in trained.params_mut().into_iter().zip(resumed.params_mut()) {
+            assert_eq!(p.value.data(), q.value.data());
+        }
     }
 
     #[test]

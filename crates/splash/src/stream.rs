@@ -200,7 +200,18 @@ impl StreamingPredictor {
     /// `&mut self` only because parameter access goes through
     /// `Parameterized::params_mut`; no value changes.
     pub fn save(&mut self, path: &std::path::Path) -> Result<(), SplashError> {
-        crate::persist::save_model(
+        self.save_with_opt(path, None)
+    }
+
+    /// [`StreamingPredictor::save`] plus an optional checkpoint of the
+    /// online-fine-tuning optimizer (`SAVEDOPT` section — see
+    /// [`crate::persist::save_model_with_opt`]).
+    pub fn save_with_opt(
+        &mut self,
+        path: &std::path::Path,
+        opt: Option<&crate::slim::AdamState>,
+    ) -> Result<(), SplashError> {
+        crate::persist::save_model_with_opt(
             path,
             &mut self.model,
             &self.cfg,
@@ -208,6 +219,7 @@ impl StreamingPredictor {
             self.feat_dim,
             self.edge_feat_dim,
             self.out_dim,
+            opt,
         )
     }
 
@@ -219,8 +231,9 @@ impl StreamingPredictor {
         &mut self,
         path: &std::path::Path,
         shards: usize,
+        opt: Option<&crate::slim::AdamState>,
     ) -> Result<(), SplashError> {
-        crate::persist::save_sharded_model(
+        crate::persist::save_sharded_model_with_opt(
             path,
             &mut self.model,
             &self.cfg,
@@ -229,7 +242,23 @@ impl StreamingPredictor {
             self.edge_feat_dim,
             self.out_dim,
             shards,
+            opt,
         )
+    }
+
+    /// The trained SLIM model this predictor serves (read-only; the online
+    /// trainer clones it as its hot-standby training copy).
+    pub(crate) fn model(&self) -> &SlimModel {
+        &self.model
+    }
+
+    /// Atomically replaces the served weights with `src`'s (same
+    /// architecture; allocation-free). The weight-publish half of online
+    /// continual learning: streaming state (rings, augmenter, clock) is
+    /// untouched, so the very next query runs the new weights over exactly
+    /// the state the old weights saw.
+    pub(crate) fn set_model_weights(&mut self, src: &SlimModel) {
+        self.model.copy_weights_from(src);
     }
 
     /// The selected (or fixed) augmentation process this predictor uses.
@@ -493,7 +522,10 @@ impl StreamingPredictor {
     ) {
         q.node = node;
         q.time = time;
-        q.label = Label::Class(0); // placeholder; predictions ignore labels
+        // `q.label` is deliberately left as-is: predictions ignore labels,
+        // and the labeled-capture path overwrites it via `Label::clone_from`
+        // right after — resetting it here would drop a reusable affinity
+        // buffer and force an allocation per absorbed label.
         self.augmenter.feature_into(self.process, node, &mut q.target_feat);
         let (older, newer) = match self.rings.get(node as usize) {
             None => (&[][..], &[][..]),
@@ -516,6 +548,34 @@ impl StreamingPredictor {
                 }
             }
         }
+    }
+
+    /// Label-carrying ingest: assembles the model input for `node` at
+    /// `time` — exactly the state a prediction at that instant would read —
+    /// into the caller-owned `q`, and stamps it with `label`. This is how
+    /// the online trainer turns a ground-truth observation from the live
+    /// stream into an immutable training example (Eq. 14 snapshot
+    /// semantics: the example is fixed at capture time, so later edges
+    /// cannot leak into it).
+    ///
+    /// `q`'s buffers (and the `spare` slot pool) are reused across calls,
+    /// so steady-state capture performs zero heap allocations. A `time`
+    /// before the last observed edge reports [`SplashError::PastQuery`] —
+    /// the ring state needed to honor it is already gone.
+    pub fn capture_labeled_into(
+        &self,
+        node: NodeId,
+        time: f64,
+        label: &Label,
+        q: &mut CapturedQuery,
+        spare: &mut Vec<CapturedNeighbor>,
+    ) -> Result<(), SplashError> {
+        if time < self.last_time {
+            return Err(SplashError::PastQuery { got: time, last: self.last_time });
+        }
+        self.query_input_into(node, time, q, spare);
+        q.label.clone_from(label);
+        Ok(())
     }
 
     /// Predicts the property logits of `node` at time `time` (which must

@@ -13,8 +13,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use ctdg::{Label, PropertyQuery, TemporalEdge};
 use splash::{
-    seen_end_time, FeatureProcess, IngestRequest, PredictRequest, PredictResponse,
-    ShardedPredictor, SplashConfig, SplashService, StreamingPredictor, SEEN_FRAC,
+    seen_end_time, FeatureProcess, FineTunePolicy, IngestRequest, OnlineConfig, PredictRequest,
+    PredictResponse, ShardedPredictor, SplashConfig, SplashService, StreamingPredictor, SEEN_FRAC,
 };
 
 /// Counts every `alloc`/`realloc` that reaches the system allocator.
@@ -246,6 +246,77 @@ fn steady_state_sharded_predict_is_allocation_free() {
             allocs, 0,
             "steady-state sharded try_predict_batch_into must not allocate \
              ({allocs} calls over {} queries)",
+            steady.len()
+        );
+    });
+}
+
+/// The steady-state online continual-learning path — absorb a batch of
+/// labeled observations, run a bounded fine-tune round, publish the
+/// weights — performs **zero** heap allocations after warm-up: capture
+/// recycles replay-buffer slots, packing/forward/backward run through the
+/// trainer's workspace, the Adam step goes through the allocation-free
+/// visitor, and the publish copies weights into the engine's existing
+/// buffers.
+///
+/// The counted section is pinned to the serial backend like the sharded
+/// test (threads would allocate by design under NN_THREADS>1).
+#[test]
+fn steady_state_fine_tune_is_allocation_free() {
+    let dataset = splash::truncate_to_available(&datasets::synthetic_shift(40, 6), 0.5);
+    let mut cfg = SplashConfig::tiny();
+    cfg.epochs = 2;
+    let online = OnlineConfig {
+        policy: FineTunePolicy::Manual,
+        buffer_capacity: 64,
+        batch_size: 16,
+        steps_per_tune: 4,
+        lr: 1e-3,
+    };
+    let mut service = SplashService::builder(cfg).online(online).build().unwrap();
+    service
+        .train_model_with_process("live", &dataset, FeatureProcess::Random)
+        .unwrap();
+    let t_seen = seen_end_time(&dataset, SEEN_FRAC);
+    let prefix = dataset.stream.prefix_len_at(t_seen);
+    let tail = &dataset.stream.edges()[prefix..];
+    let report = service.ingest("live", IngestRequest::new(tail)).unwrap();
+    let t0 = report.last_time;
+
+    // Class labels only: affinity labels carry a boxed slice whose reuse
+    // is covered by `Label::clone_from`, but this dataset is categorical.
+    let labels = |t_base: f64| -> Vec<PropertyQuery> {
+        (0..32usize)
+            .map(|i| PropertyQuery {
+                node: (i as u32 * 3) % 40,
+                time: t_base + i as f64 * 0.1,
+                label: Label::Class(i % 2),
+            })
+            .collect()
+    };
+
+    nn::backend::with_serial_backend(|| {
+        // Warm-up: several full absorb → tune → publish cycles (the
+        // trainer's workspace pool grows toward its high-water buffer set
+        // over the first few batched forwards, like every other pool).
+        for cycle in 0..6 {
+            let batch = labels(t0 + 100.0 * cycle as f64);
+            service.observe_labels("live", &batch).unwrap();
+            service.fine_tune("live").unwrap();
+        }
+
+        let steady = labels(t0 + 10_000.0);
+        let mut sink = 0.0f32;
+        let allocs = count_allocs(|| {
+            service.observe_labels("live", &steady).unwrap();
+            let r = service.fine_tune("live").unwrap();
+            sink += r.mean_loss;
+        });
+        assert!(sink.is_finite());
+        assert_eq!(
+            allocs, 0,
+            "steady-state observe_labels + fine_tune must not allocate \
+             ({allocs} calls over {} labels)",
             steady.len()
         );
     });
