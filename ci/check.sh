@@ -38,6 +38,7 @@ cargo run --release --example streaming_inference
 cargo run --release --example hot_swap_serving
 cargo run --release --example sharded_serving
 cargo run --release --example online_learning
+cargo run --release --example http_serving
 
 echo "==> serial fallback: nn alone without 'parallel'"
 # nn must be tested by itself: any workspace sibling that depends on nn
@@ -67,6 +68,12 @@ NN_THREADS=1 cargo test -q -p splash --lib persist::
 echo "==> resume equivalence: fine-tune → checkpoint → restart is bit-identical (serial)"
 NN_THREADS=1 cargo test -q -p splash --test online
 
+echo "==> wire serving: socket-level suite (bit-identity, fuzz-lite, backpressure), serial"
+# The server's engine thread is the only service owner either way;
+# NN_THREADS=1 additionally pins the sharded wire-replay leg to the
+# sequential scatter path, matching the in-process comparison run.
+NN_THREADS=1 cargo test -q -p splash_repro --test server
+
 echo "==> benches compile"
 cargo bench --no-run -p bench
 
@@ -75,5 +82,8 @@ cargo bench -p bench --bench hotloop
 
 echo "==> quick bench: shard-scaling timings + allocation counts"
 cargo bench -p bench --bench shard_scaling
+
+echo "==> quick bench: wire mixed-load throughput + server-side latency percentiles"
+cargo bench -p bench --bench server_load
 
 echo "==> all checks passed"

@@ -1,0 +1,143 @@
+//! Mixed-load wire benchmark: sustained ingest throughput and query
+//! latency percentiles through the `splash::server` HTTP front end, on a
+//! loopback socket with a keep-alive client.
+//!
+//! Two numbers matter and both are printed (recorded per PR in
+//! `BENCH_PR6.json`): sustained **edges/sec** while queries interleave,
+//! and the server-side **p50/p99/p999 query latency** from the service's
+//! fixed-bucket histogram — the same numbers an operator reads off
+//! `GET /stats` in production.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+use ctdg::TemporalEdge;
+use splash::{
+    seen_end_time, FeatureProcess, ServerConfig, ServerHandle, SplashConfig, SplashService,
+    SEEN_FRAC,
+};
+
+/// One HTTP/1.1 exchange on a kept-alive connection; returns the status
+/// and body.
+fn request(stream: &mut TcpStream, method: &str, path: &str, body: &str) -> (u16, String) {
+    let head = format!("{method} {path} HTTP/1.1\r\ncontent-length: {}\r\n\r\n", body.len());
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(body.as_bytes()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let status: u16 = line.split_whitespace().nth(1).unwrap().parse().unwrap();
+    let mut len = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header).unwrap();
+        if header.trim_end().is_empty() {
+            break;
+        }
+        if let Some(v) = header.to_ascii_lowercase().strip_prefix("content-length:") {
+            len = v.trim().parse().unwrap();
+        }
+    }
+    let mut reply = vec![0u8; len];
+    reader.read_exact(&mut reply).unwrap();
+    (status, String::from_utf8(reply).unwrap())
+}
+
+struct WireFixture {
+    handle: ServerHandle,
+    client: TcpStream,
+    tail: Vec<TemporalEdge>,
+    /// Advances past the model clock each round so every ingest is clean.
+    clock: f64,
+}
+
+fn fixture() -> WireFixture {
+    let dataset = splash::truncate_to_available(&datasets::synthetic_shift(50, 8), 0.5);
+    let mut cfg = SplashConfig::tiny();
+    cfg.epochs = 2;
+    let mut service = SplashService::builder(cfg).build().unwrap();
+    service
+        .train_model_with_process("live", &dataset, FeatureProcess::Random)
+        .unwrap();
+    let t_seen = seen_end_time(&dataset, SEEN_FRAC);
+    let prefix = dataset.stream.prefix_len_at(t_seen);
+    let tail = dataset.stream.edges()[prefix..prefix + 64].to_vec();
+    let handle =
+        SplashServer::bind(service, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let client = TcpStream::connect(handle.addr()).unwrap();
+    client.set_nodelay(true).ok();
+    let clock = dataset.stream.edges().last().unwrap().time + 1.0;
+    WireFixture { handle, client, tail, clock }
+}
+
+use splash::SplashServer;
+
+const EDGES_PER_ROUND: usize = 64;
+const QUERIES_PER_ROUND: usize = 16;
+
+/// One mixed round: a 64-edge ingest batch followed by 16 predictions,
+/// all over the kept-alive socket.
+fn mixed_round(fx: &mut WireFixture) {
+    let mut csv = String::from("src,dst,time,weight\n");
+    let mut clock = fx.clock;
+    for e in &fx.tail {
+        clock += 1.0;
+        csv.push_str(&format!("{},{},{},{}\n", e.src, e.dst, clock, e.weight));
+    }
+    fx.clock = clock;
+    let (status, body) = request(&mut fx.client, "POST", "/models/live/ingest", &csv);
+    assert_eq!(status, 200, "{body}");
+
+    let mut queries = String::new();
+    for q in 0..QUERIES_PER_ROUND as u32 {
+        queries.push_str(&format!("{},{}\n", (q * 7) % 50, fx.clock));
+    }
+    let (status, body) = request(&mut fx.client, "POST", "/models/live/predict", &queries);
+    assert_eq!(status, 200, "{body}");
+    black_box(body.len());
+}
+
+fn bench_server_mixed_load(c: &mut Criterion) {
+    let mut fx = fixture();
+
+    // Sustained run first: 200 mixed rounds timed wall-clock, then the
+    // server's own histogram — these are the BENCH_PR6.json numbers.
+    const ROUNDS: usize = 200;
+    let started = Instant::now();
+    for _ in 0..ROUNDS {
+        mixed_round(&mut fx);
+    }
+    let wall = started.elapsed().as_secs_f64();
+    let edges = (ROUNDS * EDGES_PER_ROUND) as f64;
+    let queries = (ROUNDS * QUERIES_PER_ROUND) as f64;
+    println!(
+        "server_mixed_load sustained: {:.0} edges/s, {:.0} queries/s over {wall:.2}s wall",
+        edges / wall,
+        queries / wall,
+    );
+    let (status, stats) = request(&mut fx.client, "GET", "/stats", "");
+    assert_eq!(status, 200);
+    for line in stats.lines().filter(|l| l.starts_with("wire")) {
+        println!("server_mixed_load {line}");
+    }
+
+    let mut group = c.benchmark_group("server_mixed_load");
+    group.bench_function("round_64e_16q", |b| b.iter(|| mixed_round(&mut fx)));
+    group.finish();
+
+    // A clean drain at the end keeps the bench process leak-free.
+    let WireFixture { handle, client, .. } = fx;
+    drop(client);
+    let service = handle.shutdown();
+    assert_eq!(service.stats().deadlines_expired, 0);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_server_mixed_load,
+}
+criterion_main!(benches);

@@ -11,7 +11,8 @@ use datasets::{
 use splash::{
     capture, load_model, predict_slim, run_slim_with, run_splash, save_model, split_bounds,
     FeatureProcess, FineTunePolicy, IngestRequest, InputFeatures, LateEdgePolicy, OnlineConfig,
-    PredictRequest, PredictResponse, SplashConfig, SplashService, SEEN_FRAC,
+    PredictRequest, PredictResponse, ServerConfig, SplashConfig, SplashServer, SplashService,
+    SEEN_FRAC,
 };
 
 use crate::args::{ArgError, Args};
@@ -31,6 +32,7 @@ USAGE:
   splash serve    --model-file <model.bin> --edges <csv> --queries <csv>
                   --task <task> [--late-policy error|drop] [--shards N]
                   [--online N]
+                  [--listen ADDR [--workers N] [--queue-depth Q] [--deadline-ms D]]
   splash baseline --model <name> --edges <csv> --queries <csv> --task <task>
                   [--classes N] [--features plain|RF] [--epochs N] [--seed N]
   splash drift    --edges <csv> --queries <csv> --task <task> [--buckets N]
@@ -322,17 +324,19 @@ fn parse_late_policy(raw: &str) -> Result<LateEdgePolicy, ArgError> {
     }
 }
 
-/// Streaming deployment through the `SplashService` façade: load a
-/// persisted model, replay the post-training period as a live stream
-/// (edges ingested in micro-batches, queries answered immediately), and
-/// report the serving counters next to the test metric. With `--shards N`
-/// the model is served by N hash-partitioned engines (scatter–gather;
-/// identical predictions, per-shard counters in the report). With
-/// `--online N` the model keeps learning while it serves: every query's
-/// ground-truth label is fed back after prediction (prequential
-/// evaluation), and a bounded fine-tune round runs — and publishes —
-/// every N labels.
-fn cmd_serve(args: &Args) -> Result<String, ArgError> {
+/// Everything `serve` needs before going live, for either mode (in-process
+/// replay or `--listen` wire serving): the loaded service plus the inputs
+/// that shaped it.
+struct ServingSetup {
+    service: SplashService,
+    dataset: Dataset,
+    model_path: String,
+    policy: LateEdgePolicy,
+    online: Option<usize>,
+    task: Task,
+}
+
+fn serving_setup(args: &Args) -> Result<ServingSetup, ArgError> {
     let model_path = args.require("model-file")?.to_string();
     let policy = parse_late_policy(args.get("late-policy").unwrap_or("error"))?;
     let shards: usize = args.get_parsed("shards", 1)?;
@@ -387,6 +391,73 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
     service
         .load_model("serving", Path::new(&model_path), &dataset)
         .map_err(|e| ArgError(format!("{model_path}: {e}")))?;
+    Ok(ServingSetup { service, dataset, model_path, policy, online, task })
+}
+
+/// `serve --listen`: put the loaded model behind the wire front end
+/// ([`SplashServer`]) and block until stdin closes (ctrl-d), then shut
+/// down cleanly and report the serving counters. The replay mode below
+/// and this mode share `serving_setup`, so a model serves identically
+/// either way.
+fn cmd_serve_listen(args: &Args, addr: &str) -> Result<String, ArgError> {
+    // Flags first: a typo'd knob should fail in milliseconds, before the
+    // (possibly large) model and stream files are read.
+    let cfg = ServerConfig {
+        workers: args.get_parsed("workers", ServerConfig::default().workers)?,
+        queue_depth: args.get_parsed("queue-depth", ServerConfig::default().queue_depth)?,
+        deadline: std::time::Duration::from_millis(args.get_parsed("deadline-ms", 2000u64)?),
+        ..ServerConfig::default()
+    };
+    let setup = serving_setup(args)?;
+    // Flag errors (zero workers/queue/deadline) surface through the
+    // server's own typed validation.
+    let handle = SplashServer::bind(setup.service, addr, cfg)
+        .map_err(|e| ArgError(format!("--listen {addr}: {e}")))?;
+    println!(
+        "serving {} on http://{} ({} workers, queue depth {}, deadline {}ms)",
+        setup.model_path,
+        handle.addr(),
+        cfg.workers,
+        cfg.queue_depth,
+        cfg.deadline.as_millis(),
+    );
+    println!(
+        "model \"serving\": POST /models/serving/{{ingest,predict,labels,fine-tune,publish}}; GET /stats"
+    );
+    println!("late policy {:?}; press ctrl-d (stdin EOF) to stop", setup.policy);
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+
+    let mut sink = String::new();
+    while matches!(std::io::stdin().read_line(&mut sink), Ok(n) if n > 0) {
+        sink.clear();
+    }
+
+    let shed = handle.requests_shed();
+    let service = handle.shutdown();
+    let mut stats = service.stats();
+    stats.requests_shed = shed;
+    Ok(format!("{stats}"))
+}
+
+/// Streaming deployment through the `SplashService` façade: load a
+/// persisted model, replay the post-training period as a live stream
+/// (edges ingested in micro-batches, queries answered immediately), and
+/// report the serving counters next to the test metric. With `--shards N`
+/// the model is served by N hash-partitioned engines (scatter–gather;
+/// identical predictions, per-shard counters in the report). With
+/// `--online N` the model keeps learning while it serves: every query's
+/// ground-truth label is fed back after prediction (prequential
+/// evaluation), and a bounded fine-tune round runs — and publishes —
+/// every N labels. With `--listen ADDR` the model instead goes behind
+/// the HTTP front end until stdin closes.
+fn cmd_serve(args: &Args) -> Result<String, ArgError> {
+    if let Some(addr) = args.get("listen") {
+        let addr = addr.to_string();
+        return cmd_serve_listen(args, &addr);
+    }
+    let ServingSetup { mut service, dataset, model_path, policy, online, task } =
+        serving_setup(args)?;
 
     // Go live: everything after the model's training prefix arrives as a
     // stream. Consecutive edges between queries form one ingest batch.
@@ -627,6 +698,18 @@ mod tests {
     fn serve_requires_a_model_file() {
         let err = dispatch(toks("serve --task anomaly")).unwrap_err();
         assert!(err.0.contains("--model-file"));
+    }
+
+    #[test]
+    fn listen_flags_fail_fast() {
+        // A bad knob errors before any file is opened.
+        let err = dispatch(toks(
+            "serve --listen 127.0.0.1:0 --deadline-ms nope --model-file /nope.bin \
+             --edges /nope.csv --queries /nope.csv --task anomaly",
+        ))
+        .unwrap_err();
+        assert!(err.0.contains("deadline-ms"), "{}", err.0);
+        assert!(dispatch(toks("help")).unwrap().contains("--listen"));
     }
 
     #[test]

@@ -114,6 +114,61 @@ pub enum SplashError {
     Io(io::Error),
 }
 
+impl SplashError {
+    /// Short machine-readable variant name, stable across `Display`
+    /// wording changes. The wire front end ([`crate::server`]) echoes it
+    /// in the `x-splash-error` response header so socket clients can match
+    /// on the taxonomy without parsing prose.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SplashError::OutOfOrderEdge { .. } => "OutOfOrderEdge",
+            SplashError::PastQuery { .. } => "PastQuery",
+            SplashError::UnknownNode { .. } => "UnknownNode",
+            SplashError::UnknownModel { .. } => "UnknownModel",
+            SplashError::InvalidConfig { .. } => "InvalidConfig",
+            SplashError::PersistVersionMismatch { .. } => "PersistVersionMismatch",
+            SplashError::CorruptModel { .. } => "CorruptModel",
+            SplashError::NotStreamable { .. } => "NotStreamable",
+            SplashError::ShardedModel { .. } => "ShardedModel",
+            SplashError::LabelMismatch { .. } => "LabelMismatch",
+            SplashError::OnlineDisabled { .. } => "OnlineDisabled",
+            SplashError::Io(_) => "Io",
+            // `#[non_exhaustive]`: a variant added later still maps.
+            #[allow(unreachable_patterns)]
+            _ => "SplashError",
+        }
+    }
+
+    /// The HTTP status code the wire front end answers this error with.
+    ///
+    /// Everything a client can cause is 4xx (the request was understood
+    /// and refused, the server keeps serving); only a genuine server-side
+    /// failure ([`SplashError::Io`]) is 5xx. The full table is documented
+    /// in ARCHITECTURE.md ("Wire protocol & backpressure").
+    pub fn http_status(&self) -> u16 {
+        match self {
+            // The request contradicts the stream clock — a state conflict,
+            // retryable after repair.
+            SplashError::OutOfOrderEdge { .. } | SplashError::PastQuery { .. } => 409,
+            // The named resource does not exist.
+            SplashError::UnknownModel { .. } => 404,
+            // Well-formed but semantically impossible payloads.
+            SplashError::UnknownNode { .. }
+            | SplashError::InvalidConfig { .. }
+            | SplashError::PersistVersionMismatch { .. }
+            | SplashError::CorruptModel { .. }
+            | SplashError::NotStreamable { .. }
+            | SplashError::LabelMismatch { .. } => 422,
+            // The request asks for a capability this deployment lacks.
+            SplashError::ShardedModel { .. } | SplashError::OnlineDisabled { .. } => 409,
+            SplashError::Io(_) => 500,
+            // `#[non_exhaustive]`: unknown future variants are server-side.
+            #[allow(unreachable_patterns)]
+            _ => 500,
+        }
+    }
+}
+
 impl fmt::Display for SplashError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -40,6 +40,12 @@
 //! and publishes weights atomically into the serving engine(s);
 //! checkpoints carry the optimizer (`SAVEDOPT`), so a restarted
 //! deployment resumes bit-identically.
+//!
+//! For **networked serving**, the [`server`] module puts a hand-rolled
+//! HTTP/1.1 front end ([`SplashServer`]) over the service: a bounded
+//! worker pool, admission control with load shedding (`429`) and
+//! per-request deadlines (`504`), and a zero-alloc latency histogram in
+//! [`ServiceStats`] — with wire replay bit-identical to in-process calls.
 
 #![deny(missing_docs)]
 
@@ -51,6 +57,7 @@ pub mod online;
 pub mod persist;
 pub mod pipeline;
 pub mod select;
+pub mod server;
 pub mod service;
 pub mod shard;
 pub mod slim;
@@ -77,9 +84,10 @@ pub use select::{
     select_features, select_features_with_splits, truncate_to_available, SelectionReport,
     SPLIT_FRACTIONS,
 };
+pub use server::{ServerConfig, ServerHandle, SplashServer};
 pub use service::{
-    IngestReport, IngestRequest, LabelReport, LateEdgePolicy, PredictRequest, PredictResponse,
-    ServiceStats, SplashService, SplashServiceBuilder,
+    IngestReport, IngestRequest, LabelReport, LatencyHistogram, LateEdgePolicy, PredictRequest,
+    PredictResponse, ServiceStats, SplashService, SplashServiceBuilder,
 };
 pub use shard::{shard_of, ShardStats, ShardedPredictor};
 pub use slim::{AdamState, SlimBatch, SlimCache, SlimModel};

@@ -463,6 +463,13 @@ impl OnlineTrainer {
         &self.cfg
     }
 
+    /// The task whose loss this trainer optimizes — also the label format
+    /// it accepts (class index vs. affinity vector), which is how the wire
+    /// front end knows how to parse a label payload for this model.
+    pub fn task(&self) -> Task {
+        self.task
+    }
+
     /// Labeled examples currently waiting in the replay buffer.
     pub fn buffered(&self) -> usize {
         self.filled

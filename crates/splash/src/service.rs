@@ -165,6 +165,108 @@ pub struct LabelReport {
     pub steps: usize,
 }
 
+/// Number of fixed buckets in a [`LatencyHistogram`].
+pub const LATENCY_BUCKETS: usize = 32;
+
+/// A fixed-bucket latency histogram with geometric (power-of-two) bucket
+/// bounds: bucket `i` counts samples strictly below `1024 << i`
+/// nanoseconds (~1 µs for bucket 0, doubling up to ~2200 s), and the last
+/// bucket absorbs everything larger.
+///
+/// Recording is a single array-index increment — **zero heap allocations**
+/// on the record path, so the wire front end can time every request
+/// without disturbing the zero-alloc steady-state contract. Percentile
+/// reads ([`LatencyHistogram::quantile_ns`]) walk the fixed array and are
+/// fully deterministic for a fixed recorded sequence (pinned in
+/// `tests/server.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencyHistogram {
+    buckets: [u64; LATENCY_BUCKETS],
+    count: u64,
+    sum_ns: u64,
+    max_ns: u64,
+}
+
+impl LatencyHistogram {
+    /// Upper bound (exclusive, in nanoseconds) of bucket `i`; the last
+    /// bucket is unbounded.
+    fn bound_ns(i: usize) -> u64 {
+        1024u64 << i
+    }
+
+    /// Index of the bucket a sample of `ns` nanoseconds falls into.
+    fn bucket_of(ns: u64) -> usize {
+        // First i with ns < 1024 << i, i.e. floor(log2(ns / 1024)) + 1 for
+        // ns >= 1024; clamped into the fixed range.
+        if ns < 1024 {
+            return 0;
+        }
+        let msb = 63 - ns.leading_zeros() as usize; // ns >= 1024 => msb >= 10
+        (msb - 9).min(LATENCY_BUCKETS - 1)
+    }
+
+    /// Counts one sample of `ns` nanoseconds. Never allocates.
+    pub fn record_ns(&mut self, ns: u64) {
+        self.buckets[Self::bucket_of(ns)] += 1;
+        self.count += 1;
+        self.sum_ns = self.sum_ns.saturating_add(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest sample recorded, in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Mean sample, in nanoseconds (0 before the first record).
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The latency below which a fraction `q` of samples fell, resolved to
+    /// the upper bound of the bucket containing that rank (the exact
+    /// recorded maximum for the unbounded last bucket; 0 while empty).
+    /// `q` is clamped into `[0, 1]`.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= target {
+                return if i == LATENCY_BUCKETS - 1 {
+                    self.max_ns
+                } else {
+                    Self::bound_ns(i)
+                };
+            }
+        }
+        self.max_ns
+    }
+
+    /// Median latency bound, in nanoseconds.
+    pub fn p50_ns(&self) -> u64 {
+        self.quantile_ns(0.50)
+    }
+
+    /// 99th-percentile latency bound, in nanoseconds.
+    pub fn p99_ns(&self) -> u64 {
+        self.quantile_ns(0.99)
+    }
+
+    /// 99.9th-percentile latency bound, in nanoseconds.
+    pub fn p999_ns(&self) -> u64 {
+        self.quantile_ns(0.999)
+    }
+}
+
 /// Cheap serving counters, snapshotted by [`SplashService::stats`].
 /// Aggregated across all models in the registry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -188,6 +290,17 @@ pub struct ServiceStats {
     /// Weight publications into serving engines (every fine-tune publishes
     /// once; explicit [`SplashService::publish`] calls count too).
     pub publishes: u64,
+    /// Wire requests rejected by admission control (a full request queue
+    /// sheds load with a typed 429 instead of building unbounded backlog).
+    /// Always 0 for a purely in-process service; the wire front end
+    /// ([`crate::server`]) fills it into its stats snapshots.
+    pub requests_shed: u64,
+    /// Wire requests whose per-request deadline expired while they queued —
+    /// answered with a typed 504, never executed against the model.
+    pub deadlines_expired: u64,
+    /// End-to-end request latency (arrival to completion) of executed wire
+    /// requests. Empty for a purely in-process service.
+    pub latency: LatencyHistogram,
 }
 
 impl fmt::Display for ServiceStats {
@@ -213,6 +326,24 @@ impl fmt::Display for ServiceStats {
                 f,
                 "fine-tunes     : {} ({} steps, {} publishes)",
                 self.fine_tunes, self.fine_tune_steps, self.publishes
+            )?;
+        }
+        if self.latency.count() > 0 || self.requests_shed > 0 || self.deadlines_expired > 0 {
+            writeln!(
+                f,
+                "wire requests  : {} served, {} shed, {} past deadline",
+                self.latency.count(),
+                self.requests_shed,
+                self.deadlines_expired
+            )?;
+            let ms = |ns: u64| ns as f64 / 1e6;
+            writeln!(
+                f,
+                "wire latency   : p50 {:.3}ms / p99 {:.3}ms / p999 {:.3}ms (max {:.3}ms)",
+                ms(self.latency.p50_ns()),
+                ms(self.latency.p99_ns()),
+                ms(self.latency.p999_ns()),
+                ms(self.latency.max_ns()),
             )?;
         }
         Ok(())
@@ -419,6 +550,8 @@ impl SplashServiceBuilder {
             fine_tunes: 0,
             fine_tune_steps: 0,
             publishes: 0,
+            deadlines_expired: 0,
+            latency: LatencyHistogram::default(),
             queries_served: Cell::new(0),
         })
     }
@@ -447,6 +580,8 @@ pub struct SplashService {
     fine_tunes: u64,
     fine_tune_steps: u64,
     publishes: u64,
+    deadlines_expired: u64,
+    latency: LatencyHistogram,
     /// `Cell` because predictions go through `&self` (the predictor's own
     /// scratch is interior-mutable for the same reason) — the service is
     /// single-threaded (`!Sync`) like the predictors it holds; for
@@ -916,7 +1051,23 @@ impl SplashService {
             fine_tunes: self.fine_tunes,
             fine_tune_steps: self.fine_tune_steps,
             publishes: self.publishes,
+            requests_shed: 0,
+            deadlines_expired: self.deadlines_expired,
+            latency: self.latency,
         }
+    }
+
+    /// Counts one executed wire request that took `ns` nanoseconds end to
+    /// end (arrival to completion). Called by the wire front end
+    /// ([`crate::server`]); a single array increment, never allocates.
+    pub fn record_request_latency_ns(&mut self, ns: u64) {
+        self.latency.record_ns(ns);
+    }
+
+    /// Counts one wire request whose deadline expired before execution
+    /// (the front end answers it 504 without touching the model).
+    pub fn note_deadline_expired(&mut self) {
+        self.deadlines_expired += 1;
     }
 
     /// The service-wide late-edge policy.
