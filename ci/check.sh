@@ -39,6 +39,7 @@ cargo run --release --example hot_swap_serving
 cargo run --release --example sharded_serving
 cargo run --release --example online_learning
 cargo run --release --example http_serving
+cargo run --release --example durable_serving
 
 echo "==> serial fallback: nn alone without 'parallel'"
 # nn must be tested by itself: any workspace sibling that depends on nn
@@ -68,6 +69,11 @@ NN_THREADS=1 cargo test -q -p splash --lib persist::
 echo "==> resume equivalence: fine-tune → checkpoint → restart is bit-identical (serial)"
 NN_THREADS=1 cargo test -q -p splash --test online
 
+echo "==> crash recovery: snapshot+WAL restart is bit-identical at every kill offset (serial)"
+# Fault-injected crash matrices (shards 1 and 3), WAL byte-level kill
+# sweep, corrupt-WAL fuzz-lite, and the checkpoint-policy suite.
+NN_THREADS=1 cargo test -q -p splash --test durable
+
 echo "==> wire serving: socket-level suite (bit-identity, fuzz-lite, backpressure), serial"
 # The server's engine thread is the only service owner either way;
 # NN_THREADS=1 additionally pins the sharded wire-replay leg to the
@@ -85,5 +91,8 @@ cargo bench -p bench --bench shard_scaling
 
 echo "==> quick bench: wire mixed-load throughput + server-side latency percentiles"
 cargo bench -p bench --bench server_load
+
+echo "==> quick bench: restart cost — full stream replay vs checkpoint+WAL recovery"
+cargo bench -p bench --bench restart
 
 echo "==> all checks passed"

@@ -1,0 +1,154 @@
+//! Restart-cost benchmark: full stream replay vs checkpoint + WAL recovery.
+//!
+//! The durability claim being measured: a crashed deployment restarts in
+//! O(state + WAL tail) via `make_durable` on its checkpoint directory,
+//! not O(stream) like the artifact path (`load_model` + re-ingesting the
+//! live tail). Both restarts must land on bit-identical logits — the
+//! bench asserts that before timing anything. `BENCH_PR7.json` records
+//! the measured ratio per PR.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::path::PathBuf;
+
+use ctdg::TemporalEdge;
+use splash::{
+    seen_end_time, truncate_to_available, DurabilityConfig, FeatureProcess, IngestRequest,
+    PredictRequest, SplashConfig, SplashService, SEEN_FRAC,
+};
+
+const MODEL: &str = "live";
+const CHUNK: usize = 64;
+
+struct Fixture {
+    dataset: datasets::Dataset,
+    cfg: SplashConfig,
+    tail: Vec<TemporalEdge>,
+    base: PathBuf,
+    ckpt: PathBuf,
+    artifact: PathBuf,
+    probe_time: f64,
+}
+
+/// Trains once, streams the live tail through a durable deployment,
+/// checkpoints with ~10% of the stream left, and streams the rest so the
+/// WAL holds a realistic tail. Leaves behind both restart inputs: the
+/// portable artifact (full-replay path) and the checkpoint directory
+/// (recovery path).
+fn fixture() -> Fixture {
+    let dataset = truncate_to_available(&datasets::synthetic_shift(60, 10), 0.5);
+    let mut cfg = SplashConfig::tiny();
+    cfg.epochs = 2;
+    let t_seen = seen_end_time(&dataset, SEEN_FRAC);
+    let prefix = dataset.stream.prefix_len_at(t_seen);
+    let tail = dataset.stream.edges()[prefix..].to_vec();
+    let base = std::env::temp_dir().join(format!("splash-restart-bench-{}", std::process::id()));
+    std::fs::remove_dir_all(&base).ok();
+    std::fs::create_dir_all(&base).unwrap();
+    let ckpt = base.join("ckpt");
+    let artifact = base.join("model.bin");
+
+    let mut service = SplashService::builder(cfg).build().unwrap();
+    service
+        .train_model_with_process(MODEL, &dataset, FeatureProcess::Random)
+        .unwrap();
+    service.save_model(MODEL, &artifact).unwrap();
+    service
+        .make_durable(MODEL, DurabilityConfig::new(&ckpt).checkpoint_every(1_000_000))
+        .unwrap();
+    let cut = tail.len() - tail.len() / 10;
+    for batch in tail[..cut].chunks(CHUNK) {
+        service.ingest(MODEL, IngestRequest::new(batch)).unwrap();
+    }
+    service.checkpoint(MODEL).unwrap();
+    for batch in tail[cut..].chunks(CHUNK) {
+        service.ingest(MODEL, IngestRequest::new(batch)).unwrap();
+    }
+    let probe_time = service.model_last_time(MODEL).unwrap() + 1.0;
+    Fixture { dataset, cfg, tail, base, ckpt, artifact, probe_time }
+}
+
+fn probe(service: &mut SplashService, t: f64) -> Vec<f32> {
+    (0..8u32)
+        .flat_map(|i| {
+            service
+                .predict(MODEL, PredictRequest::new((i * 7) % 60, t + i as f64))
+                .unwrap()
+                .logits
+        })
+        .collect()
+}
+
+/// Full-replay restart: load the portable artifact, then re-ingest the
+/// entire live tail to rebuild streaming state — O(stream).
+fn restart_full_replay(fx: &Fixture) -> SplashService {
+    let mut service = SplashService::builder(fx.cfg).build().unwrap();
+    service.load_model(MODEL, &fx.artifact, &fx.dataset).unwrap();
+    for batch in fx.tail.chunks(CHUNK) {
+        service.ingest(MODEL, IngestRequest::new(batch)).unwrap();
+    }
+    service
+}
+
+/// Checkpoint + WAL restart: recover the committed snapshot and replay
+/// only the WAL tail — O(state + WAL tail), no dataset access.
+fn restart_recovery(fx: &Fixture) -> SplashService {
+    let mut service = SplashService::builder(fx.cfg).build().unwrap();
+    service
+        .make_durable(MODEL, DurabilityConfig::new(&fx.ckpt).checkpoint_every(1_000_000))
+        .unwrap();
+    service
+}
+
+fn bench_restart(c: &mut Criterion) {
+    let fx = fixture();
+
+    // Bit-identity first: both restart paths must answer identically.
+    let mut replayed = restart_full_replay(&fx);
+    let mut recovered = restart_recovery(&fx);
+    assert_eq!(
+        probe(&mut replayed, fx.probe_time),
+        probe(&mut recovered, fx.probe_time),
+        "both restart paths must reconstruct the same deployment"
+    );
+    drop((replayed, recovered));
+
+    // Headline ratio, measured outside criterion so it prints even on a
+    // single sample (each path's cost is the whole restart).
+    let reps = 5;
+    let t0 = std::time::Instant::now();
+    for _ in 0..reps {
+        black_box(restart_full_replay(&fx));
+    }
+    let full = t0.elapsed() / reps;
+    let t0 = std::time::Instant::now();
+    for _ in 0..reps {
+        black_box(restart_recovery(&fx));
+    }
+    let fast = t0.elapsed() / reps;
+    println!(
+        "restart tail={} edges: full replay {:?} vs checkpoint+WAL {:?} ({:.1}x faster)",
+        fx.tail.len(),
+        full,
+        fast,
+        full.as_secs_f64() / fast.as_secs_f64().max(1e-9),
+    );
+
+    let mut group = c.benchmark_group("restart");
+    group.bench_function("full_replay", |b| {
+        b.iter(|| black_box(restart_full_replay(&fx)))
+    });
+    group.bench_function("checkpoint_wal", |b| {
+        b.iter(|| black_box(restart_recovery(&fx)))
+    });
+    group.finish();
+
+    std::fs::remove_dir_all(&fx.base).ok();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_restart,
+}
+criterion_main!(benches);

@@ -10,9 +10,9 @@ use datasets::{
 };
 use splash::{
     capture, load_model, predict_slim, run_slim_with, run_splash, save_model, split_bounds,
-    FeatureProcess, FineTunePolicy, IngestRequest, InputFeatures, LateEdgePolicy, OnlineConfig,
-    PredictRequest, PredictResponse, ServerConfig, SplashConfig, SplashServer, SplashService,
-    SEEN_FRAC,
+    DurabilityConfig, FeatureProcess, FineTunePolicy, IngestRequest, InputFeatures,
+    LateEdgePolicy, OnlineConfig, PredictRequest, PredictResponse, RecoveryReport, ServerConfig,
+    SplashConfig, SplashServer, SplashService, SEEN_FRAC,
 };
 
 use crate::args::{ArgError, Args};
@@ -32,6 +32,7 @@ USAGE:
   splash serve    --model-file <model.bin> --edges <csv> --queries <csv>
                   --task <task> [--late-policy error|drop] [--shards N]
                   [--online N]
+                  [--checkpoint-dir DIR [--checkpoint-every N]]
                   [--listen ADDR [--workers N] [--queue-depth Q] [--deadline-ms D]]
   splash baseline --model <name> --edges <csv> --queries <csv> --task <task>
                   [--classes N] [--features plain|RF] [--epochs N] [--seed N]
@@ -334,6 +335,7 @@ struct ServingSetup {
     policy: LateEdgePolicy,
     online: Option<usize>,
     task: Task,
+    recovered: Option<RecoveryReport>,
 }
 
 fn serving_setup(args: &Args) -> Result<ServingSetup, ArgError> {
@@ -391,7 +393,48 @@ fn serving_setup(args: &Args) -> Result<ServingSetup, ArgError> {
     service
         .load_model("serving", Path::new(&model_path), &dataset)
         .map_err(|e| ArgError(format!("{model_path}: {e}")))?;
-    Ok(ServingSetup { service, dataset, model_path, policy, online, task })
+
+    // `--checkpoint-dir` makes the deployment durable. An empty directory
+    // seeds its first checkpoint from the model loaded above; a directory
+    // with a committed checkpoint hot-swaps the loaded model with the
+    // recovered one (snapshot + WAL replay), so a restarted process picks
+    // up exactly where the crashed one stopped — no stream re-replay.
+    let recovered = match args.get("checkpoint-dir") {
+        None => {
+            if args.get("checkpoint-every").is_some() {
+                return Err(ArgError(
+                    "--checkpoint-every needs --checkpoint-dir".into(),
+                ));
+            }
+            None
+        }
+        Some(dir) => {
+            let dir = dir.to_string();
+            let every: u64 = args.get_parsed("checkpoint-every", 256u64)?;
+            let cfg = DurabilityConfig::new(&dir).checkpoint_every(every);
+            service
+                .make_durable("serving", cfg)
+                .map_err(|e| ArgError(format!("--checkpoint-dir {dir}: {e}")))?
+        }
+    };
+    Ok(ServingSetup { service, dataset, model_path, policy, online, task, recovered })
+}
+
+/// Renders a recovery summary for the operator, or nothing on a cold
+/// (first-checkpoint) start.
+fn recovery_line(recovered: &Option<RecoveryReport>) -> String {
+    match recovered {
+        None => String::new(),
+        Some(r) => format!(
+            "recovered      : epoch {} ({} state shard{}), {} WAL records replayed ({} edges){}\n",
+            r.epoch,
+            r.snapshot_shards,
+            if r.snapshot_shards == 1 { "" } else { "s" },
+            r.wal_records_replayed,
+            r.wal_edges_replayed,
+            if r.wal_tail_truncated { ", torn tail truncated" } else { "" },
+        ),
+    }
 }
 
 /// `serve --listen`: put the loaded model behind the wire front end
@@ -424,6 +467,7 @@ fn cmd_serve_listen(args: &Args, addr: &str) -> Result<String, ArgError> {
     println!(
         "model \"serving\": POST /models/serving/{{ingest,predict,labels,fine-tune,publish}}; GET /stats"
     );
+    print!("{}", recovery_line(&setup.recovered));
     println!("late policy {:?}; press ctrl-d (stdin EOF) to stop", setup.policy);
     use std::io::Write as _;
     std::io::stdout().flush().ok();
@@ -456,7 +500,7 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
         let addr = addr.to_string();
         return cmd_serve_listen(args, &addr);
     }
-    let ServingSetup { mut service, dataset, model_path, policy, online, task } =
+    let ServingSetup { mut service, dataset, model_path, policy, online, task, recovered } =
         serving_setup(args)?;
 
     // Go live: everything after the model's training prefix arrives as a
@@ -483,7 +527,10 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
                         .map_err(|e| ArgError(format!("ingest at t={}: {e}", q.time)))?;
                     pending.clear();
                 }
-                if qi >= val_end {
+                // After a recovery, queries the crashed process already
+                // served sit before the restored stream clock — skip them
+                // (the metric then covers the resumed tail only).
+                if qi >= val_end && q.time >= t_live {
                     service
                         .predict_into("serving", PredictRequest::new(q.node, q.time), &mut resp)
                         .map_err(|e| ArgError(format!("query at t={}: {e}", q.time)))?;
@@ -511,6 +558,16 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
     let elapsed = started.elapsed().as_secs_f64();
 
     if labels.is_empty() {
+        if recovered.is_some() {
+            // A fully-caught-up restart: the checkpoint already covers the
+            // whole stream, so there is nothing left to serve or score.
+            let mut report = String::new();
+            let _ = writeln!(report, "model          : {model_path}");
+            let _ = write!(report, "{}", recovery_line(&recovered));
+            let _ = writeln!(report, "stream         : fully consumed before restart");
+            let _ = write!(report, "{}", service.stats());
+            return Ok(report);
+        }
         return Err(ArgError("the query file has no test-split queries to serve".into()));
     }
     let out_dim = logits.len() / labels.len();
@@ -523,6 +580,7 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
     let mut report = String::new();
     let _ = writeln!(report, "model          : {model_path}");
     let _ = writeln!(report, "late policy    : {policy:?}");
+    let _ = write!(report, "{}", recovery_line(&recovered));
     if let Some(every) = online {
         let _ = writeln!(report, "online         : fine-tune every {every} labels");
     }

@@ -59,6 +59,19 @@ impl DegreeTracker {
         }
     }
 
+    /// The raw per-node degree counts (index = node id; trailing nodes with
+    /// no incident edges may be absent). Pairs with [`DegreeTracker::from_raw`]
+    /// so a checkpoint can persist the tracker verbatim.
+    pub fn degrees_raw(&self) -> &[u64] {
+        &self.degrees
+    }
+
+    /// Rebuilds a tracker from counts captured via
+    /// [`DegreeTracker::degrees_raw`] and [`DegreeTracker::total`].
+    pub fn from_raw(degrees: Vec<u64>, total: u64) -> Self {
+        Self { degrees, total }
+    }
+
     /// Builds a tracker from a stream prefix of `prefix_len` edges.
     pub fn from_stream_prefix(stream: &crate::EdgeStream, prefix_len: usize) -> Self {
         let mut t = Self::new(stream.num_nodes());

@@ -278,6 +278,39 @@ impl Augmenter {
         }
     }
 
+    /// Clones every field a durable checkpoint must persist. Scratch buffers
+    /// and the degree encoder are excluded: both are rebuilt from the config
+    /// on restore ([`Augmenter::from_durable_state`]).
+    pub(crate) fn durable_state(&self) -> AugmenterState {
+        AugmenterState {
+            dv: self.dv,
+            seen: self.seen.clone(),
+            random_seen: self.random_seen.clone(),
+            positional_seen: self.positional_seen.clone(),
+            random_prop: self.random_prop.clone(),
+            positional_prop: self.positional_prop.clone(),
+            degrees: self.degrees.degrees_raw().to_vec(),
+            degrees_total: self.degrees.total(),
+        }
+    }
+
+    /// Rebuilds an augmenter from a captured [`AugmenterState`], bypassing
+    /// the embedding build and prefix replay of [`Augmenter::with_source`]
+    /// entirely — this is what makes restart O(state) instead of O(stream).
+    pub(crate) fn from_durable_state(state: AugmenterState, degree_alpha: f32) -> Self {
+        Self {
+            dv: state.dv,
+            seen: state.seen,
+            random_seen: state.random_seen,
+            positional_seen: state.positional_seen,
+            random_prop: state.random_prop,
+            positional_prop: state.positional_prop,
+            degrees: DegreeTracker::from_raw(state.degrees, state.degrees_total),
+            degree_enc: DegreeEncode::new(state.dv, degree_alpha),
+            scratch: ObserveScratch::default(),
+        }
+    }
+
     /// Concatenated `[R || P || S]` feature (the SLIM+Joint ablation input).
     pub fn joint_feature(&self, node: NodeId) -> Vec<f32> {
         let mut out = self.feature(FeatureProcess::Random, node);
@@ -285,6 +318,30 @@ impl Augmenter {
         out.extend(self.feature(FeatureProcess::Structural, node));
         out
     }
+}
+
+/// Owned snapshot of an [`Augmenter`]'s persistent state, produced by
+/// [`Augmenter::durable_state`] and consumed by
+/// [`Augmenter::from_durable_state`]. The degree encoder and observe
+/// scratch are derived state and deliberately absent.
+#[derive(Debug, Clone)]
+pub(crate) struct AugmenterState {
+    /// Feature dimension `d_v`.
+    pub dv: usize,
+    /// Training-period visibility flags (`V_seen`), grown by ingestion.
+    pub seen: Vec<bool>,
+    /// Fixed Gaussian features for seen nodes (process `R`).
+    pub random_seen: Matrix,
+    /// Positional embedding rows for seen nodes (process `P`, Eq. 1).
+    pub positional_seen: Matrix,
+    /// Propagated random features for unseen nodes (Eqs. 4–5).
+    pub random_prop: Vec<Option<Vec<f32>>>,
+    /// Propagated positional features for unseen nodes (Eqs. 4–5).
+    pub positional_prop: Vec<Option<Vec<f32>>>,
+    /// Raw per-node degree counts (Eq. 2).
+    pub degrees: Vec<u64>,
+    /// Sum of all degrees (2 × ingested edges).
+    pub degrees_total: u64,
 }
 
 /// Eq. 4/5: `x_i ← (deg_i · x_i + x_j) / (deg_i + 1)` with zero
@@ -442,6 +499,23 @@ mod tests {
             .feature(FeatureProcess::Positional, 1)
             .iter()
             .any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn durable_state_round_trips_bit_identically() {
+        let stream = make_stream();
+        let mut aug = augmenter(4);
+        for e in &stream.edges()[4..] {
+            aug.observe(e);
+        }
+        let restored = Augmenter::from_durable_state(aug.durable_state(), 50.0);
+        for v in 0..12u32 {
+            for p in FeatureProcess::ALL {
+                assert_eq!(aug.feature(p, v), restored.feature(p, v), "node {v} {}", p.name());
+            }
+        }
+        assert_eq!(aug.known_nodes(), restored.known_nodes());
+        assert_eq!(aug.degree(10), restored.degree(10));
     }
 
     #[test]

@@ -110,6 +110,33 @@ pub enum SplashError {
         /// The registry name of the model.
         name: String,
     },
+    /// A write-ahead-log file in a checkpoint directory is damaged beyond
+    /// its recoverable prefix: a record in the *middle* of the log fails
+    /// its checksum or decodes to an impossible payload. (A torn *tail* —
+    /// the last record cut short by a crash — is not an error: recovery
+    /// truncates it and carries on.)
+    WalCorrupt {
+        /// What was wrong, and where.
+        what: String,
+    },
+    /// Recovery was asked to restart from a checkpoint directory that has
+    /// no committed checkpoint (no `CURRENT` pointer) — nothing to restore
+    /// from. A fresh deployment should install a model first and let the
+    /// durable layer write epoch 0.
+    CheckpointMissing {
+        /// The directory that was searched.
+        dir: String,
+    },
+    /// A checkpoint or artifact save was refused because the online replay
+    /// buffer still holds captured labels that the destination cannot
+    /// carry; persisting would silently drop them. Drain the buffer first
+    /// ([`crate::SplashService::fine_tune`]) or build the service with
+    /// [`crate::CheckpointPolicy::PersistBuffer`] and use a durable
+    /// checkpoint, which persists the buffer alongside the state.
+    CheckpointUnflushed {
+        /// How many captured labels are still buffered.
+        buffered: usize,
+    },
     /// An underlying I/O operation failed (file missing, permissions, …).
     Io(io::Error),
 }
@@ -132,6 +159,9 @@ impl SplashError {
             SplashError::ShardedModel { .. } => "ShardedModel",
             SplashError::LabelMismatch { .. } => "LabelMismatch",
             SplashError::OnlineDisabled { .. } => "OnlineDisabled",
+            SplashError::WalCorrupt { .. } => "WalCorrupt",
+            SplashError::CheckpointMissing { .. } => "CheckpointMissing",
+            SplashError::CheckpointUnflushed { .. } => "CheckpointUnflushed",
             SplashError::Io(_) => "Io",
             // `#[non_exhaustive]`: a variant added later still maps.
             #[allow(unreachable_patterns)]
@@ -159,8 +189,14 @@ impl SplashError {
             | SplashError::CorruptModel { .. }
             | SplashError::NotStreamable { .. }
             | SplashError::LabelMismatch { .. } => 422,
-            // The request asks for a capability this deployment lacks.
-            SplashError::ShardedModel { .. } | SplashError::OnlineDisabled { .. } => 409,
+            // Damaged or absent durable state: the *artifact* is the
+            // problem, exactly like a corrupt model file.
+            SplashError::WalCorrupt { .. } | SplashError::CheckpointMissing { .. } => 422,
+            // The request asks for a capability this deployment lacks, or
+            // conflicts with serving state that must be drained first.
+            SplashError::ShardedModel { .. }
+            | SplashError::OnlineDisabled { .. }
+            | SplashError::CheckpointUnflushed { .. } => 409,
             SplashError::Io(_) => 500,
             // `#[non_exhaustive]`: unknown future variants are server-side.
             #[allow(unreachable_patterns)]
@@ -211,6 +247,20 @@ impl fmt::Display for SplashError {
                 f,
                 "model {name:?} has no online trainer (build the service \
                  with .online(OnlineConfig) to enable continual learning)"
+            ),
+            SplashError::WalCorrupt { what } => {
+                write!(f, "corrupt write-ahead log: {what}")
+            }
+            SplashError::CheckpointMissing { dir } => write!(
+                f,
+                "no committed checkpoint in {dir:?} (no CURRENT pointer; \
+                 nothing to recover from)"
+            ),
+            SplashError::CheckpointUnflushed { buffered } => write!(
+                f,
+                "refusing to checkpoint: {buffered} captured label(s) still \
+                 buffered would be dropped (fine_tune first, or persist the \
+                 buffer with a durable checkpoint)"
             ),
             SplashError::Io(e) => write!(f, "i/o error: {e}"),
         }

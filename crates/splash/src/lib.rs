@@ -46,12 +46,22 @@
 //! worker pool, admission control with load shedding (`429`) and
 //! per-request deadlines (`504`), and a zero-alloc latency histogram in
 //! [`ServiceStats`] — with wire replay bit-identical to in-process calls.
+//!
+//! For **durability**, the [`durable`] module checkpoints the streaming
+//! state the model artifact does not carry — per-node rings, augmenter
+//! and degree-tracker state, the stream clock, the online replay buffer —
+//! and fills the gap between checkpoints with an append-only, checksummed
+//! edge WAL. A `kill -9` at *any* byte restarts bit-identically to a
+//! process that never crashed, in O(state + WAL tail) instead of
+//! O(stream); the [`FaultPlan`] / [`DurableWriter`] seam lets the test
+//! suite prove exactly that, one injected crash offset at a time.
 
 #![deny(missing_docs)]
 
 pub mod augment;
 pub mod capture;
 pub mod config;
+pub mod durable;
 pub mod error;
 pub mod online;
 pub mod persist;
@@ -69,6 +79,7 @@ pub use capture::{
     capture, encodings, seen_end_time, Capture, CapturedNeighbor, CapturedQuery, InputFeatures,
 };
 pub use config::{PositionalSource, SplashConfig};
+pub use durable::{DurabilityConfig, DurableWriter, FaultPlan, RecoveryReport};
 pub use error::SplashError;
 pub use online::{FineTunePolicy, FineTuneReport, OnlineConfig, OnlineTrainer};
 pub use persist::{
@@ -86,8 +97,8 @@ pub use select::{
 };
 pub use server::{ServerConfig, ServerHandle, SplashServer};
 pub use service::{
-    IngestReport, IngestRequest, LabelReport, LatencyHistogram, LateEdgePolicy, PredictRequest,
-    PredictResponse, ServiceStats, SplashService, SplashServiceBuilder,
+    CheckpointPolicy, IngestReport, IngestRequest, LabelReport, LatencyHistogram, LateEdgePolicy,
+    PredictRequest, PredictResponse, ServiceStats, SplashService, SplashServiceBuilder,
 };
 pub use shard::{shard_of, ShardStats, ShardedPredictor};
 pub use slim::{AdamState, SlimBatch, SlimCache, SlimModel};

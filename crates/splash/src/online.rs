@@ -453,6 +453,59 @@ impl OnlineTrainer {
         self.model.extract_adam_state(self.opt.steps())
     }
 
+    /// Snapshots the replay buffer and lifetime counters for a durable
+    /// checkpoint — storage order and ring cursors verbatim, so a restored
+    /// trainer's window splits (and therefore its tune rounds) reproduce
+    /// bit-identically. The weights + optimizer travel separately, in the
+    /// model artifact's `SAVEDOPT` section ([`OnlineTrainer::checkpoint`]).
+    pub(crate) fn durable_state(&self) -> crate::durable::TrainerState {
+        crate::durable::TrainerState {
+            task: self.task,
+            buffer: self.buffer[..].to_vec(),
+            head: self.head,
+            filled: self.filled,
+            capacity: self.cfg.buffer_capacity,
+            labels_seen: self.labels_seen,
+            tunes: self.tunes,
+            since_tune: self.since_tune,
+        }
+    }
+
+    /// Restores a [`OnlineTrainer::durable_state`] snapshot into a freshly
+    /// resumed trainer. The configured buffer capacity must match the
+    /// snapshot's — the ring cursors are only meaningful against the
+    /// capacity they were written at.
+    pub(crate) fn restore_durable_state(
+        &mut self,
+        state: crate::durable::TrainerState,
+    ) -> Result<(), SplashError> {
+        if state.capacity != self.cfg.buffer_capacity {
+            return Err(SplashError::InvalidConfig {
+                what: format!(
+                    "checkpointed replay buffer has capacity {}, the service is \
+                     configured for {} (online buffer_capacity must match across \
+                     restarts)",
+                    state.capacity, self.cfg.buffer_capacity
+                ),
+            });
+        }
+        if state.task != self.task {
+            return Err(SplashError::InvalidConfig {
+                what: format!(
+                    "checkpointed trainer optimizes {:?}, this trainer {:?}",
+                    state.task, self.task
+                ),
+            });
+        }
+        self.buffer = state.buffer;
+        self.head = state.head;
+        self.filled = state.filled;
+        self.labels_seen = state.labels_seen;
+        self.tunes = state.tunes;
+        self.since_tune = state.since_tune;
+        Ok(())
+    }
+
     /// The trainer's current (possibly unpublished) model.
     pub fn model(&self) -> &SlimModel {
         &self.model

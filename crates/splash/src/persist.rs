@@ -51,7 +51,7 @@ const OPT_VERSION: u32 = 1;
 /// reported; every dimension is now checked against this bound *before*
 /// the architecture is instantiated, so impossible values surface as
 /// [`SplashError::CorruptModel`].
-const MAX_DIM: u64 = 1 << 20;
+pub(crate) const MAX_DIM: u64 = 1 << 20;
 
 /// Upper bound on any single weight tensor's element count (256 MiB of
 /// `f32`). Individually sane dimensions can still multiply into an
@@ -61,9 +61,9 @@ const MAX_TENSOR_ELEMS: u64 = 1 << 26;
 
 /// Magic of a *sharded* artifact manifest (distinct from the single-model
 /// [`MAGIC`], so [`is_sharded_artifact`] can sniff a path cheaply).
-const SHARD_MAGIC: &[u8; 8] = b"SPLASHS\x01";
+pub(crate) const SHARD_MAGIC: &[u8; 8] = b"SPLASHS\x01";
 /// Format revision of the manifest layout.
-const SHARD_VERSION: u32 = 1;
+pub(crate) const SHARD_VERSION: u32 = 1;
 
 /// A model restored from disk, with everything needed to serve it.
 #[derive(Debug)]
@@ -194,6 +194,25 @@ fn write_model<W: Write>(
     Ok(())
 }
 
+/// Serializes a complete single-model artifact (magic, config, parameters,
+/// optional `SAVEDOPT` trailer) into memory. The durable checkpoint layer
+/// writes these bytes through its crash-injection seam instead of straight
+/// to a file, so `write_model` stays the single source of format truth.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn model_artifact_bytes(
+    model: &mut SlimModel,
+    cfg: &SplashConfig,
+    mode: InputFeatures,
+    feat_dim: usize,
+    edge_feat_dim: usize,
+    out_dim: usize,
+    opt: Option<&AdamState>,
+) -> Result<Vec<u8>, SplashError> {
+    let mut bytes = Vec::new();
+    write_model(&mut bytes, model, cfg, mode, feat_dim, edge_feat_dim, out_dim, opt)?;
+    Ok(bytes)
+}
+
 /// Reads a model written by [`save_model`].
 ///
 /// Typed failures: a wrong magic, truncation, or impossible tags/shapes
@@ -257,7 +276,7 @@ pub struct ShardManifest {
 
 /// FNV-1a over `bytes` — enough to catch a swapped or damaged shard file;
 /// integrity against adversaries is out of scope for a local model store.
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= b as u64;
@@ -448,7 +467,7 @@ pub fn load_sharded_model(path: &Path) -> Result<(ShardManifest, SavedModel), Sp
 /// Classifies an error raised while parsing a file whose magic already
 /// checked out: anything that means "the bytes are wrong" (truncation,
 /// impossible tags or shapes) is a corrupt model; the rest is plain I/O.
-fn corrupt_or_io(e: io::Error) -> SplashError {
+pub(crate) fn corrupt_or_io(e: io::Error) -> SplashError {
     match e.kind() {
         io::ErrorKind::UnexpectedEof => SplashError::CorruptModel {
             what: "file is truncated".into(),
@@ -543,7 +562,7 @@ fn read_body<R: Read>(mut r: &mut R) -> io::Result<SavedModel> {
 }
 
 /// Bounds-checks one persisted structural dimension against [`MAX_DIM`].
-fn sane_dim(name: &str, value: u64) -> io::Result<usize> {
+pub(crate) fn sane_dim(name: &str, value: u64) -> io::Result<usize> {
     if value > MAX_DIM {
         return Err(bad(format!("impossible {name} {value} (limit {MAX_DIM})")));
     }
@@ -700,45 +719,45 @@ fn read_config<R: Read>(r: &mut R) -> io::Result<SplashConfig> {
     })
 }
 
-fn bad(msg: impl Into<String>) -> io::Error {
+pub(crate) fn bad(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
-fn put_u8<W: Write>(w: &mut W, v: u8) -> io::Result<()> {
+pub(crate) fn put_u8<W: Write>(w: &mut W, v: u8) -> io::Result<()> {
     w.write_all(&[v])
 }
 
-fn put_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+pub(crate) fn put_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
 
-fn put_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+pub(crate) fn put_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
 
-fn put_f32<W: Write>(w: &mut W, v: f32) -> io::Result<()> {
+pub(crate) fn put_f32<W: Write>(w: &mut W, v: f32) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
 
-fn get_u8<R: Read>(r: &mut R) -> io::Result<u8> {
+pub(crate) fn get_u8<R: Read>(r: &mut R) -> io::Result<u8> {
     let mut b = [0u8; 1];
     r.read_exact(&mut b)?;
     Ok(b[0])
 }
 
-fn get_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+pub(crate) fn get_u32<R: Read>(r: &mut R) -> io::Result<u32> {
     let mut b = [0u8; 4];
     r.read_exact(&mut b)?;
     Ok(u32::from_le_bytes(b))
 }
 
-fn get_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+pub(crate) fn get_u64<R: Read>(r: &mut R) -> io::Result<u64> {
     let mut b = [0u8; 8];
     r.read_exact(&mut b)?;
     Ok(u64::from_le_bytes(b))
 }
 
-fn get_f32<R: Read>(r: &mut R) -> io::Result<f32> {
+pub(crate) fn get_f32<R: Read>(r: &mut R) -> io::Result<f32> {
     let mut b = [0u8; 4];
     r.read_exact(&mut b)?;
     Ok(f32::from_le_bytes(b))

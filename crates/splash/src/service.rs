@@ -55,6 +55,10 @@ use nn::Matrix;
 use crate::augment::FeatureProcess;
 use crate::capture::{CapturedNeighbor, CapturedQuery};
 use crate::config::SplashConfig;
+use crate::durable::{
+    CheckpointData, DurabilityConfig, DurableLog, PersistedCounters, RecoveryReport, WalEntry,
+    WalRecord,
+};
 use crate::error::SplashError;
 use crate::online::{FineTuneReport, OnlineConfig, OnlineTrainer};
 use crate::shard::{ShardStats, ShardedPredictor};
@@ -63,6 +67,29 @@ use crate::stream::StreamingPredictor;
 use crate::task::argmax;
 use ctdg::Label;
 use datasets::Task;
+
+/// What a durable checkpoint does when the online replay buffer still
+/// holds captured labels ([`SplashServiceBuilder::checkpoint_policy`]).
+///
+/// Plain artifact saves ([`SplashService::save_model`]) are unaffected by
+/// this choice: the artifact format cannot carry the buffer, so a
+/// non-empty buffer always refuses with
+/// [`SplashError::CheckpointUnflushed`] there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CheckpointPolicy {
+    /// Serialize the buffer into the checkpoint (the default): a restored
+    /// trainer resumes with the exact buffered examples, cursors and
+    /// cadence, so nothing is lost and replayed tune rounds stay
+    /// bit-identical.
+    #[default]
+    PersistBuffer,
+    /// Refuse to checkpoint while labels are buffered
+    /// ([`SplashError::CheckpointUnflushed`]); the caller drains with
+    /// [`SplashService::fine_tune`] first. Automatic (WAL-threshold)
+    /// checkpoints are deferred — not failed — until the buffer drains;
+    /// the WAL keeps every request durable in the meantime.
+    Refuse,
+}
 
 /// What [`SplashService::ingest`] does with an edge whose timestamp
 /// precedes the model's last observed edge.
@@ -301,6 +328,18 @@ pub struct ServiceStats {
     /// End-to-end request latency (arrival to completion) of executed wire
     /// requests. Empty for a purely in-process service.
     pub latency: LatencyHistogram,
+    /// Durable checkpoints committed (epoch-0 creations, WAL-threshold
+    /// rotations and explicit [`SplashService::checkpoint`] calls).
+    pub snapshots_written: u64,
+    /// Write-ahead-log records group-committed since the service started.
+    pub wal_records_appended: u64,
+    /// WAL records replayed on top of recovered snapshots.
+    pub wal_records_replayed: u64,
+    /// Crash recoveries completed ([`SplashService::make_durable`] finding
+    /// a committed checkpoint and restoring from it).
+    pub recoveries: u64,
+    /// Torn WAL tails truncated at the last valid record during recovery.
+    pub wal_truncations: u64,
 }
 
 impl fmt::Display for ServiceStats {
@@ -326,6 +365,18 @@ impl fmt::Display for ServiceStats {
                 f,
                 "fine-tunes     : {} ({} steps, {} publishes)",
                 self.fine_tunes, self.fine_tune_steps, self.publishes
+            )?;
+        }
+        if self.snapshots_written > 0 || self.recoveries > 0 || self.wal_records_appended > 0 {
+            writeln!(
+                f,
+                "durability     : {} snapshots, {} WAL records ({} replayed), \
+                 {} recoveries, {} torn tails",
+                self.snapshots_written,
+                self.wal_records_appended,
+                self.wal_records_replayed,
+                self.recoveries,
+                self.wal_truncations
             )?;
         }
         if self.latency.count() > 0 || self.requests_shed > 0 || self.deadlines_expired > 0 {
@@ -464,6 +515,35 @@ impl Engine {
             Engine::Sharded(s) => s.set_weights(src),
         }
     }
+
+    /// Per-shard streaming-state snapshots for a durable checkpoint
+    /// (length 1 for the single engine).
+    fn durable_states(&self) -> Vec<crate::stream::StreamState> {
+        match self {
+            Engine::Single(p) => vec![p.durable_state()],
+            Engine::Sharded(s) => s.durable_shard_states(),
+        }
+    }
+
+    /// The model-artifact bytes of the served weights (persist format,
+    /// optional `SAVEDOPT` trailer) for a durable checkpoint.
+    fn model_bytes(&mut self, opt: Option<&AdamState>) -> Result<Vec<u8>, SplashError> {
+        match self {
+            Engine::Single(p) => p.model_artifact_bytes(opt),
+            Engine::Sharded(s) => s.model_artifact_bytes(opt),
+        }
+    }
+
+    /// A copy of the served weights (shards share them), for rebuilding a
+    /// trainer at recovery.
+    fn model_clone(&self) -> SlimModel {
+        match self {
+            Engine::Single(p) => p.model().clone(),
+            Engine::Sharded(s) => {
+                s.shard(0).expect("a sharded engine has at least one shard").model().clone()
+            }
+        }
+    }
 }
 
 /// One named slot in the registry.
@@ -474,6 +554,9 @@ struct ModelEntry {
     /// The hot-standby continual learner, present when the service was
     /// built with [`SplashServiceBuilder::online`].
     trainer: Option<OnlineTrainer>,
+    /// The durable checkpoint + WAL log, present after
+    /// [`SplashService::make_durable`].
+    durable: Option<DurableLog>,
 }
 
 /// Configures and checks a [`SplashService`] before it starts serving.
@@ -484,6 +567,7 @@ pub struct SplashServiceBuilder {
     strict_nodes: bool,
     shards: usize,
     online: Option<OnlineConfig>,
+    checkpoint_policy: CheckpointPolicy,
 }
 
 impl SplashServiceBuilder {
@@ -523,6 +607,13 @@ impl SplashServiceBuilder {
         self
     }
 
+    /// What durable checkpoints do when the online replay buffer is
+    /// non-empty (default: [`CheckpointPolicy::PersistBuffer`]).
+    pub fn checkpoint_policy(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint_policy = policy;
+        self
+    }
+
     /// Validates the configuration and produces an empty service; add
     /// models with [`SplashService::train_model`] /
     /// [`SplashService::load_model`].
@@ -542,6 +633,7 @@ impl SplashServiceBuilder {
             strict_nodes: self.strict_nodes,
             shards: self.shards,
             online: self.online,
+            checkpoint_policy: self.checkpoint_policy,
             models: Vec::new(),
             edges_ingested: 0,
             edges_dropped: 0,
@@ -551,6 +643,11 @@ impl SplashServiceBuilder {
             fine_tune_steps: 0,
             publishes: 0,
             deadlines_expired: 0,
+            snapshots_written: 0,
+            wal_records_appended: 0,
+            wal_records_replayed: 0,
+            recoveries: 0,
+            wal_truncations: 0,
             latency: LatencyHistogram::default(),
             queries_served: Cell::new(0),
         })
@@ -572,6 +669,8 @@ pub struct SplashService {
     /// Continual-learning knobs; `Some` attaches a trainer to every model
     /// installed from now on.
     online: Option<OnlineConfig>,
+    /// Durable-checkpoint policy toward a non-empty replay buffer.
+    checkpoint_policy: CheckpointPolicy,
     models: Vec<ModelEntry>,
     edges_ingested: u64,
     edges_dropped: u64,
@@ -581,6 +680,11 @@ pub struct SplashService {
     fine_tune_steps: u64,
     publishes: u64,
     deadlines_expired: u64,
+    snapshots_written: u64,
+    wal_records_appended: u64,
+    wal_records_replayed: u64,
+    recoveries: u64,
+    wal_truncations: u64,
     latency: LatencyHistogram,
     /// `Cell` because predictions go through `&self` (the predictor's own
     /// scratch is interior-mutable for the same reason) — the service is
@@ -599,6 +703,7 @@ impl SplashService {
             strict_nodes: false,
             shards: 1,
             online: None,
+            checkpoint_policy: CheckpointPolicy::default(),
         }
     }
 
@@ -644,7 +749,8 @@ impl SplashService {
         let process = predictor.process();
         let trainer = self.trainer_for(&predictor, dataset.task, None)?;
         let engine = self.engine_for(predictor)?;
-        self.install(name, engine, trainer);
+        let idx = self.install(name, engine, trainer);
+        self.checkpoint_barrier(idx)?;
         Ok(process)
     }
 
@@ -659,7 +765,8 @@ impl SplashService {
         let predictor = StreamingPredictor::train_with_process(dataset, &self.cfg, process);
         let trainer = self.trainer_for(&predictor, dataset.task, None)?;
         let engine = self.engine_for(predictor)?;
-        self.install(name, engine, trainer);
+        let idx = self.install(name, engine, trainer);
+        self.checkpoint_barrier(idx)?;
         Ok(())
     }
 
@@ -697,7 +804,8 @@ impl SplashService {
         let predictor = StreamingPredictor::try_from_saved(saved, dataset)?;
         let trainer = self.trainer_for(&predictor, dataset.task, opt.as_ref())?;
         let engine = self.engine_for(predictor)?;
-        self.install(name, engine, trainer);
+        let idx = self.install(name, engine, trainer);
+        self.checkpoint_barrier(idx)?;
         Ok(())
     }
 
@@ -709,9 +817,19 @@ impl SplashService {
     /// A model with an online trainer also writes the trainer's optimizer
     /// checkpoint (`SAVEDOPT` section), making the artifact a true
     /// continual-learning checkpoint.
+    ///
+    /// A non-empty online replay buffer refuses the save with
+    /// [`SplashError::CheckpointUnflushed`]: the artifact format cannot
+    /// carry buffered labels, so persisting now would silently drop them.
+    /// Drain with [`SplashService::fine_tune`] first, or use a durable
+    /// checkpoint ([`SplashService::checkpoint`]) under
+    /// [`CheckpointPolicy::PersistBuffer`], which persists the buffer.
     pub fn save_model(&mut self, name: &str, path: &Path) -> Result<(), SplashError> {
         let idx = self.index(name)?;
         let ModelEntry { engine, trainer, .. } = &mut self.models[idx];
+        if let Some(buffered) = trainer.as_ref().map(|t| t.buffered()).filter(|&b| b > 0) {
+            return Err(SplashError::CheckpointUnflushed { buffered });
+        }
         let opt = trainer.as_mut().map(|t| t.checkpoint());
         engine.save(path, opt.as_ref())
     }
@@ -792,10 +910,32 @@ impl SplashService {
     ) -> Result<IngestReport, SplashError> {
         let policy = req.policy.unwrap_or(self.policy);
         let idx = self.index(name)?;
+        let report = self.apply_ingest(idx, req.edges, policy)?;
+        if !req.edges.is_empty() {
+            self.append_wal(
+                idx,
+                WalRecord::Edges {
+                    edges: req.edges,
+                    drop_late: policy == LateEdgePolicy::DropLate,
+                },
+            )?;
+        }
+        Ok(report)
+    }
+
+    /// The engine-and-counter core of [`SplashService::ingest`], shared
+    /// with WAL replay (which must reproduce the live path exactly, minus
+    /// the re-append).
+    fn apply_ingest(
+        &mut self,
+        idx: usize,
+        edges: &[TemporalEdge],
+        policy: LateEdgePolicy,
+    ) -> Result<IngestReport, SplashError> {
         let engine = &mut self.models[idx].engine;
         let dropped = match policy {
             LateEdgePolicy::Error => {
-                engine.try_push_edges(req.edges)?;
+                engine.try_push_edges(edges)?;
                 0
             }
             LateEdgePolicy::DropLate => {
@@ -805,7 +945,7 @@ impl SplashService {
                 // pays the per-edge filter.
                 let mut prev = engine.last_time();
                 let mut clean = true;
-                for edge in req.edges {
+                for edge in edges {
                     if edge.time < prev {
                         clean = false;
                         break;
@@ -813,11 +953,11 @@ impl SplashService {
                     prev = edge.time;
                 }
                 if clean {
-                    engine.try_push_edges(req.edges)?;
+                    engine.try_push_edges(edges)?;
                     0
                 } else {
                     let mut dropped = 0usize;
-                    for edge in req.edges {
+                    for edge in edges {
                         match engine.try_observe_edge(edge) {
                             Ok(()) => {}
                             Err(SplashError::OutOfOrderEdge { .. }) => dropped += 1,
@@ -828,7 +968,7 @@ impl SplashService {
                 }
             }
         };
-        let ingested = req.edges.len() - dropped;
+        let ingested = edges.len() - dropped;
         self.edges_ingested += ingested as u64;
         self.edges_dropped += dropped as u64;
         Ok(IngestReport {
@@ -869,11 +1009,25 @@ impl SplashService {
         name: &str,
         queries: &[PropertyQuery],
     ) -> Result<LabelReport, SplashError> {
-        let policy = self.policy;
         let idx = self.index(name)?;
-        let ModelEntry { engine, trainer, .. } = &mut self.models[idx];
+        let report = self.apply_labels(idx, queries)?;
+        if !queries.is_empty() {
+            self.append_wal(idx, WalRecord::Labels(queries))?;
+        }
+        Ok(report)
+    }
+
+    /// The validate-capture-tune core of [`SplashService::observe_labels`],
+    /// shared with WAL replay.
+    fn apply_labels(
+        &mut self,
+        idx: usize,
+        queries: &[PropertyQuery],
+    ) -> Result<LabelReport, SplashError> {
+        let policy = self.policy;
+        let ModelEntry { name, engine, trainer, .. } = &mut self.models[idx];
         let Some(trainer) = trainer.as_mut() else {
-            return Err(SplashError::OnlineDisabled { name: name.to_string() });
+            return Err(SplashError::OnlineDisabled { name: name.clone() });
         };
         for q in queries {
             trainer.validate_observation(q.time, &q.label)?;
@@ -922,9 +1076,17 @@ impl SplashService {
     /// the publish still happens, making `fine_tune` idempotent).
     pub fn fine_tune(&mut self, name: &str) -> Result<FineTuneReport, SplashError> {
         let idx = self.index(name)?;
-        let ModelEntry { engine, trainer, .. } = &mut self.models[idx];
+        let report = self.apply_fine_tune(idx)?;
+        self.append_wal(idx, WalRecord::FineTune)?;
+        Ok(report)
+    }
+
+    /// The tune-and-publish core of [`SplashService::fine_tune`], shared
+    /// with WAL replay.
+    fn apply_fine_tune(&mut self, idx: usize) -> Result<FineTuneReport, SplashError> {
+        let ModelEntry { name, engine, trainer, .. } = &mut self.models[idx];
         let Some(trainer) = trainer.as_mut() else {
-            return Err(SplashError::OnlineDisabled { name: name.to_string() });
+            return Err(SplashError::OnlineDisabled { name: name.clone() });
         };
         let mut report = trainer.fine_tune();
         engine.set_weights(trainer.model());
@@ -940,9 +1102,17 @@ impl SplashService {
     /// decouple tuning cadence from publication cadence.
     pub fn publish(&mut self, name: &str) -> Result<(), SplashError> {
         let idx = self.index(name)?;
-        let ModelEntry { engine, trainer, .. } = &mut self.models[idx];
+        self.apply_publish(idx)?;
+        self.append_wal(idx, WalRecord::Publish)?;
+        Ok(())
+    }
+
+    /// The publish core of [`SplashService::publish`], shared with WAL
+    /// replay.
+    fn apply_publish(&mut self, idx: usize) -> Result<(), SplashError> {
+        let ModelEntry { name, engine, trainer, .. } = &mut self.models[idx];
         let Some(trainer) = trainer.as_mut() else {
-            return Err(SplashError::OnlineDisabled { name: name.to_string() });
+            return Err(SplashError::OnlineDisabled { name: name.clone() });
         };
         engine.set_weights(trainer.model());
         self.publishes += 1;
@@ -1053,6 +1223,11 @@ impl SplashService {
             publishes: self.publishes,
             requests_shed: 0,
             deadlines_expired: self.deadlines_expired,
+            snapshots_written: self.snapshots_written,
+            wal_records_appended: self.wal_records_appended,
+            wal_records_replayed: self.wal_records_replayed,
+            recoveries: self.recoveries,
+            wal_truncations: self.wal_truncations,
             latency: self.latency,
         }
     }
@@ -1075,14 +1250,269 @@ impl SplashService {
         self.policy
     }
 
-    fn install(&mut self, name: &str, engine: Engine, trainer: Option<OnlineTrainer>) {
-        match self.models.iter_mut().find(|e| e.name == name) {
-            Some(entry) => {
-                entry.engine = engine;
-                entry.trainer = trainer;
+    /// Attaches a durable checkpoint + WAL log to the named model.
+    ///
+    /// If `cfg.dir` holds a committed checkpoint, the model is **recovered
+    /// from disk**: the restored model is installed under `name` (hot-
+    /// swapping any model already deployed there) with its streaming
+    /// state, counters and replay buffer, at the service's configured
+    /// shard count — resharding-on-restore. The WAL's surviving records
+    /// are replayed through the exact live code paths, a torn tail is
+    /// truncated at the last valid record, and the summary comes back as
+    /// `Some(report)`. Recovery needs **no dataset and no prior model** —
+    /// a freshly built service restarts in O(state + WAL tail), not
+    /// O(stream).
+    ///
+    /// Otherwise the installed model's state is written as the directory's
+    /// first checkpoint (epoch 0) and `None` comes back. Either way, every
+    /// subsequent mutating request (ingest, labels, fine-tune, publish) is
+    /// group-committed to the WAL before it is acknowledged, and a fresh
+    /// snapshot is cut every `cfg.checkpoint_every` records (or on
+    /// [`SplashService::checkpoint`]).
+    ///
+    /// Caveats: one durable directory serves one model (the durable
+    /// counters are service-wide, so durability is designed for
+    /// single-model deployments); the builder's `SplashConfig` /
+    /// [`OnlineConfig`] must match across restarts (the buffer capacity
+    /// and stream clock are validated, the rest is the deployment's
+    /// contract); a service without [`SplashServiceBuilder::online`]
+    /// cannot recover a checkpoint that carries a replay buffer, and vice
+    /// versa.
+    pub fn make_durable(
+        &mut self,
+        name: &str,
+        cfg: DurabilityConfig,
+    ) -> Result<Option<RecoveryReport>, SplashError> {
+        cfg.validate()?;
+        if let Ok(idx) = self.index(name) {
+            if self.models[idx].durable.is_some() {
+                return Err(SplashError::InvalidConfig {
+                    what: format!("model {name:?} is already durable"),
+                });
             }
-            None => self.models.push(ModelEntry { name: name.to_string(), engine, trainer }),
         }
+        if !DurableLog::exists(&cfg.dir) {
+            // Nothing to recover: the *installed* model seeds epoch 0 (a
+            // missing name is the usual typed error — an empty directory
+            // cannot conjure a model).
+            let idx = self.index(name)?;
+            let data = self.checkpoint_data(idx)?;
+            let log = DurableLog::create(&cfg, data)?;
+            self.models[idx].durable = Some(log);
+            self.snapshots_written += 1;
+            return Ok(None);
+        }
+
+        let (log, recovered) = DurableLog::recover(&cfg)?;
+        let mut saved = recovered.saved;
+        saved.cfg.validate()?;
+        let opt = saved.opt.take();
+        let engine = if self.shards == 1 {
+            let state = crate::stream::merge_stream_states(recovered.states)?;
+            Engine::Single(Box::new(StreamingPredictor::try_from_saved_state(saved, state)?))
+        } else {
+            Engine::Sharded(ShardedPredictor::try_from_saved_states(
+                saved,
+                recovered.states,
+                self.shards,
+            )?)
+        };
+        let trainer = match (&self.online, recovered.trainer) {
+            (None, None) => None,
+            (None, Some(_)) => {
+                return Err(SplashError::InvalidConfig {
+                    what: "checkpoint carries an online replay buffer but this service \
+                           has continual learning disabled"
+                        .into(),
+                });
+            }
+            (Some(_), None) => {
+                return Err(SplashError::InvalidConfig {
+                    what: "this service has continual learning enabled but the \
+                           checkpoint was written without it"
+                        .into(),
+                });
+            }
+            (Some(ocfg), Some(state)) => {
+                let mut trainer =
+                    OnlineTrainer::resume(*ocfg, engine.model_clone(), state.task, opt.as_ref())?;
+                trainer.restore_durable_state(state)?;
+                Some(trainer)
+            }
+        };
+        let idx = self.install(name, engine, trainer);
+
+        let counters = recovered.counters;
+        self.edges_ingested = counters.edges_ingested;
+        self.edges_dropped = counters.edges_dropped;
+        self.labels_buffered = counters.labels_buffered;
+        self.labels_dropped = counters.labels_dropped;
+        self.fine_tunes = counters.fine_tunes;
+        self.fine_tune_steps = counters.fine_tune_steps;
+        self.publishes = counters.publishes;
+
+        for (i, entry) in recovered.entries.into_iter().enumerate() {
+            self.apply_wal_entry(idx, entry).map_err(|e| SplashError::WalCorrupt {
+                what: format!("replaying record {i} failed: {e}"),
+            })?;
+        }
+        let report = recovered.report;
+        self.models[idx].durable = Some(log);
+        self.recoveries += 1;
+        self.wal_records_replayed += report.wal_records_replayed;
+        self.wal_truncations += u64::from(report.wal_tail_truncated);
+        Ok(Some(report))
+    }
+
+    /// Cuts a fresh durable checkpoint of the named model now (snapshot +
+    /// empty WAL + atomic `CURRENT` commit), independent of the automatic
+    /// WAL-record threshold. Requires a prior
+    /// [`SplashService::make_durable`].
+    ///
+    /// Under [`CheckpointPolicy::Refuse`], a non-empty online replay
+    /// buffer refuses with [`SplashError::CheckpointUnflushed`].
+    pub fn checkpoint(&mut self, name: &str) -> Result<(), SplashError> {
+        let idx = self.index(name)?;
+        if self.models[idx].durable.is_none() {
+            return Err(SplashError::InvalidConfig {
+                what: format!("model {name:?} has no durable log (call make_durable first)"),
+            });
+        }
+        self.checkpoint_idx(idx)
+    }
+
+    /// The committed checkpoint epoch of the named model's durable log,
+    /// `None` before [`SplashService::make_durable`].
+    pub fn checkpoint_epoch(&self, name: &str) -> Result<Option<u64>, SplashError> {
+        Ok(self.entry(name)?.durable.as_ref().map(|log| log.epoch()))
+    }
+
+    /// Writes epoch `current + 1` from the entry's live state and swaps
+    /// the WAL. On error the previous epoch stays committed and appends
+    /// continue against it.
+    fn checkpoint_idx(&mut self, idx: usize) -> Result<(), SplashError> {
+        let data = self.checkpoint_data(idx)?;
+        let log = self.models[idx]
+            .durable
+            .as_mut()
+            .expect("checkpoint_idx requires an attached durable log");
+        log.checkpoint(data)?;
+        self.snapshots_written += 1;
+        Ok(())
+    }
+
+    /// Assembles everything one checkpoint persists, honoring the
+    /// [`CheckpointPolicy`] toward a non-empty replay buffer.
+    fn checkpoint_data(&mut self, idx: usize) -> Result<CheckpointData, SplashError> {
+        let counters = PersistedCounters {
+            edges_ingested: self.edges_ingested,
+            edges_dropped: self.edges_dropped,
+            labels_buffered: self.labels_buffered,
+            labels_dropped: self.labels_dropped,
+            fine_tunes: self.fine_tunes,
+            fine_tune_steps: self.fine_tune_steps,
+            publishes: self.publishes,
+        };
+        let policy = self.checkpoint_policy;
+        let ModelEntry { engine, trainer, .. } = &mut self.models[idx];
+        if policy == CheckpointPolicy::Refuse {
+            if let Some(buffered) = trainer.as_ref().map(|t| t.buffered()).filter(|&b| b > 0) {
+                return Err(SplashError::CheckpointUnflushed { buffered });
+            }
+        }
+        let opt = trainer.as_mut().map(|t| t.checkpoint());
+        let model_bytes = engine.model_bytes(opt.as_ref())?;
+        let states = engine.durable_states();
+        let trainer_state = trainer.as_ref().map(|t| t.durable_state());
+        Ok(CheckpointData { model_bytes, states, counters, trainer: trainer_state })
+    }
+
+    /// Group-commits one accepted mutating request to the entry's WAL (a
+    /// no-op for non-durable entries), then cuts a snapshot if the WAL
+    /// has crossed the configured threshold. A threshold checkpoint that
+    /// [`CheckpointPolicy::Refuse`] would reject is deferred, not failed —
+    /// the WAL keeps the backlog durable until the buffer drains.
+    fn append_wal(&mut self, idx: usize, record: WalRecord<'_>) -> Result<(), SplashError> {
+        let entry = &mut self.models[idx];
+        let Some(log) = entry.durable.as_mut() else {
+            return Ok(());
+        };
+        log.append(record)?;
+        self.wal_records_appended += 1;
+        let due = self.models[idx]
+            .durable
+            .as_ref()
+            .is_some_and(|log| log.should_checkpoint());
+        if due {
+            let refused = self.checkpoint_policy == CheckpointPolicy::Refuse
+                && self.models[idx]
+                    .trainer
+                    .as_ref()
+                    .is_some_and(|t| t.buffered() > 0);
+            if !refused {
+                self.checkpoint_idx(idx)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-applies one recovered WAL entry through the live code paths
+    /// (minus the re-append) — replay is the same computation the original
+    /// request ran, so the restored process is bit-identical to one that
+    /// never crashed.
+    fn apply_wal_entry(&mut self, idx: usize, entry: WalEntry) -> Result<(), SplashError> {
+        match entry {
+            WalEntry::Edges { edges, drop_late } => {
+                let policy = if drop_late {
+                    LateEdgePolicy::DropLate
+                } else {
+                    LateEdgePolicy::Error
+                };
+                self.apply_ingest(idx, &edges, policy)?;
+            }
+            WalEntry::Labels(queries) => {
+                self.apply_labels(idx, &queries)?;
+            }
+            WalEntry::FineTune => {
+                self.apply_fine_tune(idx)?;
+            }
+            WalEntry::Publish => {
+                self.apply_publish(idx)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Installs (or hot-swaps) a registry entry, preserving any attached
+    /// durable log, and returns the entry's index.
+    fn install(&mut self, name: &str, engine: Engine, trainer: Option<OnlineTrainer>) -> usize {
+        match self.models.iter_mut().position(|e| e.name == name) {
+            Some(idx) => {
+                self.models[idx].engine = engine;
+                self.models[idx].trainer = trainer;
+                idx
+            }
+            None => {
+                self.models.push(ModelEntry {
+                    name: name.to_string(),
+                    engine,
+                    trainer,
+                    durable: None,
+                });
+                self.models.len() - 1
+            }
+        }
+    }
+
+    /// After hot-swapping a durable model, the on-disk snapshot describes
+    /// the *old* model and the WAL must not straddle the swap — write a
+    /// fresh checkpoint immediately (the load/train route is a checkpoint
+    /// barrier). A no-op for non-durable entries.
+    fn checkpoint_barrier(&mut self, idx: usize) -> Result<(), SplashError> {
+        if self.models[idx].durable.is_some() {
+            self.checkpoint_idx(idx)?;
+        }
+        Ok(())
     }
 
     fn entry(&self, name: &str) -> Result<&ModelEntry, SplashError> {

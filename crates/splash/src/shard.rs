@@ -193,6 +193,38 @@ impl ShardedPredictor {
         Self::from_predictor(StreamingPredictor::try_from_saved(saved, dataset)?, shards)
     }
 
+    /// The per-shard slices of durable streaming state: element `i` is
+    /// shard `i`'s full feature-tracker state (identical across shards by
+    /// the witness invariant, duplicated so each state file loads on its
+    /// own) plus only its partition's rings.
+    pub(crate) fn durable_shard_states(&self) -> Vec<crate::stream::StreamState> {
+        self.shards.iter().map(|s| s.durable_state()).collect()
+    }
+
+    /// Rebuilds a sharded predictor from a restored model plus the
+    /// per-shard durable states written at checkpoint time. The states'
+    /// rings are re-unioned and repartitioned for `shards` engines, so a
+    /// checkpoint taken at any shard count restores at any other
+    /// (resharding-on-restore, mirroring [`ShardedPredictor::try_load`]).
+    pub(crate) fn try_from_saved_states(
+        saved: SavedModel,
+        states: Vec<crate::stream::StreamState>,
+        shards: usize,
+    ) -> Result<Self, SplashError> {
+        let base = crate::stream::merge_stream_states(states)?;
+        let predictor = StreamingPredictor::try_from_saved_state(saved, base)?;
+        Self::from_predictor(predictor, shards)
+    }
+
+    /// The model-artifact bytes of this engine's weights (every shard
+    /// shares them), with an optional `SAVEDOPT` optimizer trailer.
+    pub(crate) fn model_artifact_bytes(
+        &mut self,
+        opt: Option<&crate::slim::AdamState>,
+    ) -> Result<Vec<u8>, SplashError> {
+        self.shards[0].model_artifact_bytes(opt)
+    }
+
     /// Loads a sharded artifact (manifest + per-shard model files, written
     /// by [`ShardedPredictor::save`]) and serves it with `shards` engines —
     /// `None` keeps the artifact's saved count. This is resharding-on-load:

@@ -39,6 +39,69 @@ struct Ring {
     head: usize,
 }
 
+/// One node's ring as a durable checkpoint sees it: the owning node id, the
+/// overwrite cursor, and the captured entries in *storage* order (the
+/// oldest-first read order is `entries[head..]` then `entries[..head]`, and
+/// restoring both fields verbatim preserves it bit for bit).
+#[derive(Debug, Clone)]
+pub(crate) struct RingState {
+    /// Node id owning this ring.
+    pub node: NodeId,
+    /// Overwrite cursor (0 while the ring is still filling).
+    pub head: usize,
+    /// Captured neighbor snapshots in storage order.
+    pub entries: Vec<CapturedNeighbor>,
+}
+
+/// Everything a [`StreamingPredictor`] holds that `persist::SavedModel`
+/// does not: augmenter/tracker state, the non-empty per-node rings, and the
+/// stream clock. Produced by [`StreamingPredictor::durable_state`] and
+/// consumed by [`StreamingPredictor::try_from_saved_state`].
+#[derive(Debug, Clone)]
+pub(crate) struct StreamState {
+    /// Feature-augmentation state (seen tables, propagated features, degrees).
+    pub augmenter: crate::augment::AugmenterState,
+    /// Non-empty rings only (empty rings are implicit).
+    pub rings: Vec<RingState>,
+    /// Ring capacity `k` at capture time (must match the model's config).
+    pub k: usize,
+    /// Arrival time of the most recently observed edge.
+    pub last_time: f64,
+}
+
+/// Merges per-shard [`StreamState`]s back into one unsharded state: the
+/// first state's augmenter (identical across shards by the witness
+/// invariant) plus the union of all shards' rings. Rejects files that
+/// disagree on the stream clock or ring capacity, and duplicate ring
+/// ownership — a shard set from two different checkpoints.
+pub(crate) fn merge_stream_states(
+    states: Vec<StreamState>,
+) -> Result<StreamState, SplashError> {
+    let mut iter = states.into_iter();
+    let Some(mut base) = iter.next() else {
+        return Err(SplashError::CorruptModel {
+            what: "checkpoint carries no shard state".into(),
+        });
+    };
+    for st in iter {
+        // Bit-equality is the contract: every shard witnessed the same
+        // stream, so the clocks and capacities must agree exactly.
+        if st.last_time != base.last_time || st.k != base.k {
+            return Err(SplashError::CorruptModel {
+                what: "shard state files disagree on the stream clock or ring capacity".into(),
+            });
+        }
+        base.rings.extend(st.rings);
+    }
+    base.rings.sort_unstable_by_key(|r| r.node);
+    if base.rings.windows(2).any(|w| w[0].node == w[1].node) {
+        return Err(SplashError::CorruptModel {
+            what: "two shard state files claim rings for the same node".into(),
+        });
+    }
+    Ok(base)
+}
+
 /// Reusable buffers for steady-state query answering: assembled query
 /// inputs, the packed batch, the model's workspace, and the logits buffer.
 /// Warmed up by the first few predictions, then reused verbatim, so
@@ -194,6 +257,103 @@ impl StreamingPredictor {
         Ok(predictor)
     }
 
+    /// Clones the streaming state a durable checkpoint must persist on top
+    /// of the saved model: augmenter state, the non-empty rings (in storage
+    /// order, with cursors), and the stream clock.
+    pub(crate) fn durable_state(&self) -> StreamState {
+        let rings = self
+            .rings
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !r.entries.is_empty())
+            .map(|(i, r)| RingState {
+                node: i as NodeId,
+                head: r.head,
+                entries: r.entries.clone(),
+            })
+            .collect();
+        StreamState {
+            augmenter: self.augmenter.durable_state(),
+            rings,
+            k: self.k,
+            last_time: self.last_time,
+        }
+    }
+
+    /// Rebuilds a predictor from a restored model *plus* a captured
+    /// [`StreamState`] — the fast-restart path. Unlike
+    /// [`StreamingPredictor::try_from_saved`], this neither rebuilds the
+    /// positional embedding nor replays the training prefix: the cost is
+    /// O(state), independent of the stream length, and the result is
+    /// bit-identical to the predictor that produced the state.
+    ///
+    /// Dimension agreement between the model and the state is the caller's
+    /// contract; the cheap invariants (process mode, feature dimension,
+    /// ring capacity) are re-checked here and report
+    /// [`SplashError::CorruptModel`] on mismatch.
+    pub(crate) fn try_from_saved_state(
+        saved: crate::persist::SavedModel,
+        state: StreamState,
+    ) -> Result<Self, SplashError> {
+        let Some(process) = saved.selected() else {
+            return Err(SplashError::NotStreamable { mode: saved.mode.name() });
+        };
+        let cfg = saved.cfg;
+        if state.augmenter.dv != cfg.feat_dim {
+            return Err(SplashError::CorruptModel {
+                what: format!(
+                    "state feature dim {} does not match the model's {}",
+                    state.augmenter.dv, cfg.feat_dim
+                ),
+            });
+        }
+        if state.k != cfg.k {
+            return Err(SplashError::CorruptModel {
+                what: format!(
+                    "state ring capacity {} does not match the model's k={}",
+                    state.k, cfg.k
+                ),
+            });
+        }
+        let mut predictor = Self {
+            model: saved.model,
+            augmenter: Augmenter::from_durable_state(state.augmenter, cfg.degree_alpha),
+            process,
+            rings: Vec::new(),
+            k: cfg.k,
+            last_time: state.last_time,
+            cfg,
+            feat_dim: saved.feat_dim,
+            edge_feat_dim: saved.edge_feat_dim,
+            out_dim: saved.out_dim,
+            scratch: RefCell::new(PredictScratch::default()),
+        };
+        for ring in state.rings {
+            if ring.entries.len() > predictor.k
+                || ring.head >= ring.entries.len().max(1)
+                || (ring.entries.len() < predictor.k && ring.head != 0)
+            {
+                return Err(SplashError::CorruptModel {
+                    what: format!(
+                        "ring for node {} is inconsistent ({} entries, head {}, k={})",
+                        ring.node,
+                        ring.entries.len(),
+                        ring.head,
+                        predictor.k
+                    ),
+                });
+            }
+            Self::grow_rings(&mut predictor.rings, ring.node);
+            let slot = &mut predictor.rings[ring.node as usize];
+            slot.head = ring.head;
+            slot.entries = ring.entries;
+            // Keep the one-allocation-per-ring discipline: a partially
+            // filled restored ring must not regrow through doubling.
+            slot.entries.reserve_exact(predictor.k - slot.entries.len());
+        }
+        Ok(predictor)
+    }
+
     /// Persists this predictor's model (and everything needed to restore
     /// it with [`StreamingPredictor::try_from_saved`]) to `path`.
     ///
@@ -213,6 +373,25 @@ impl StreamingPredictor {
     ) -> Result<(), SplashError> {
         crate::persist::save_model_with_opt(
             path,
+            &mut self.model,
+            &self.cfg,
+            InputFeatures::Process(self.process),
+            self.feat_dim,
+            self.edge_feat_dim,
+            self.out_dim,
+            opt,
+        )
+    }
+
+    /// Serializes this predictor's model artifact (the exact bytes
+    /// [`StreamingPredictor::save_with_opt`] would write) into memory, for
+    /// the durable checkpoint layer to write through its crash-injection
+    /// seam.
+    pub(crate) fn model_artifact_bytes(
+        &mut self,
+        opt: Option<&crate::slim::AdamState>,
+    ) -> Result<Vec<u8>, SplashError> {
+        crate::persist::model_artifact_bytes(
             &mut self.model,
             &self.cfg,
             InputFeatures::Process(self.process),
