@@ -41,6 +41,20 @@ cargo run --release --example online_learning
 cargo run --release --example http_serving
 cargo run --release --example durable_serving
 
+echo "==> scenario matrix: smoke report bytes are deterministic for a fixed seed"
+# Two independent smoke runs (drift + anomaly regimes × SPLASH, its online
+# twin, and two baseline engines through the multi-tenant registry) must
+# produce byte-identical report artifacts.
+SCEN_DIR=$(mktemp -d)
+trap 'rm -rf "$SCEN_DIR"' EXIT
+cargo run --release -q -p cli -- scenarios --smoke true --seed 7 --out "$SCEN_DIR/a" >/dev/null
+cargo run --release -q -p cli -- scenarios --smoke true --seed 7 --out "$SCEN_DIR/b" >/dev/null
+cmp "$SCEN_DIR/a/report.json" "$SCEN_DIR/b/report.json"
+cmp "$SCEN_DIR/a/report.md" "$SCEN_DIR/b/report.md"
+grep -q '"regime":"drift"' "$SCEN_DIR/a/report.json"
+grep -q '"regime":"anomaly"' "$SCEN_DIR/a/report.json"
+grep -q '"model":"splash+online"' "$SCEN_DIR/a/report.json"
+
 echo "==> serial fallback: nn alone without 'parallel'"
 # nn must be tested by itself: any workspace sibling that depends on nn
 # with default features would re-enable 'parallel' via feature unification.

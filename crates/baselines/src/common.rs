@@ -18,7 +18,11 @@ use rand::{rngs::StdRng, RngExt, SeedableRng};
 use splash::{Capture, CapturedQuery, SplashConfig};
 
 /// A trainable baseline model over captured queries.
-pub trait Baseline {
+///
+/// `Send` so a boxed baseline can sit behind a [`splash::ServeEngine`]
+/// slot inside a service that moves across threads (every implementation
+/// is a plain bundle of owned matrices).
+pub trait Baseline: Send {
     /// Display name (without the feature-mode suffix).
     fn name(&self) -> &'static str;
 
@@ -82,27 +86,9 @@ pub fn run_baseline_frac(
     let n = cap.queries.len();
     let (train_end, val_end) = splash::split_bounds_frac(n, train_frac, seen_frac);
     let train = &cap.queries[..train_end];
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xBA5E);
 
     let start = Instant::now();
-    let nt = train.len();
-    if nt > 0 {
-        let mut order: Vec<usize> = (0..nt).collect();
-        for _epoch in 0..cfg.epochs {
-            for i in (1..nt).rev() {
-                let j = rng.random_range(0..=i);
-                order.swap(i, j);
-            }
-            let mut pos = 0;
-            while pos < nt {
-                let end = (pos + cfg.batch_size).min(nt);
-                let refs: Vec<&CapturedQuery> = order[pos..end].iter().map(|&i| &train[i]).collect();
-                let labels: Vec<&Label> = refs.iter().map(|q| &q.label).collect();
-                model.train_batch(&refs, &labels, dataset.task);
-                pos = end;
-            }
-        }
-    }
+    train_on_queries(model, train, dataset.task, cfg);
     let train_secs = start.elapsed().as_secs_f64();
 
     let test = &cap.queries[val_end..];
@@ -120,6 +106,40 @@ pub fn run_baseline_frac(
         infer_secs,
         test_logits,
         test_range: (val_end, n),
+    }
+}
+
+/// Trains `model` over `train`: `cfg.epochs` epochs of
+/// Fisher–Yates-shuffled minibatches of `cfg.batch_size`, under an RNG
+/// seeded from `cfg.seed` alone. This is the exact loop (and RNG stream)
+/// behind [`run_baseline_frac`], exposed so serving adapters
+/// ([`crate::serve::BaselineEngine`]) can reproduce offline training
+/// bit-identically.
+pub fn train_on_queries(
+    model: &mut dyn Baseline,
+    train: &[CapturedQuery],
+    task: Task,
+    cfg: &SplashConfig,
+) {
+    let nt = train.len();
+    if nt == 0 {
+        return;
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xBA5E);
+    let mut order: Vec<usize> = (0..nt).collect();
+    for _epoch in 0..cfg.epochs {
+        for i in (1..nt).rev() {
+            let j = rng.random_range(0..=i);
+            order.swap(i, j);
+        }
+        let mut pos = 0;
+        while pos < nt {
+            let end = (pos + cfg.batch_size).min(nt);
+            let refs: Vec<&CapturedQuery> = order[pos..end].iter().map(|&i| &train[i]).collect();
+            let labels: Vec<&Label> = refs.iter().map(|q| &q.label).collect();
+            model.train_batch(&refs, &labels, task);
+            pos = end;
+        }
     }
 }
 

@@ -16,13 +16,15 @@ pub mod intervention;
 pub mod jodie;
 pub mod recurrent;
 pub mod registry;
+pub mod serve;
 pub mod slade;
 pub mod slid;
 pub mod tgat;
 pub mod tgn;
 
 pub use common::{
-    pack_window_onehot, predict_all, run_baseline, run_baseline_frac, Baseline, BaselineOutput,
+    pack_window_onehot, predict_all, run_baseline, run_baseline_frac, train_on_queries, Baseline,
+    BaselineOutput,
 };
 pub use dida::Dida;
 pub use dygformer::DyGFormerModel;
@@ -31,8 +33,10 @@ pub use freedyg::FreeDyGModel;
 pub use graphmixer::GraphMixerModel;
 pub use jodie::Jodie;
 pub use registry::{
-    build_baseline, build_dtdg, run, run_dtdg, run_frac, run_on_capture, BaselineKind, DtdgKind,
+    all_variants, build_baseline, build_dtdg, mode_suffix, parse_variant, run, run_dtdg, run_frac,
+    run_on_capture, BaselineKind, BaselineVariant, DtdgKind,
 };
+pub use serve::{engine_factory, BaselineEngine};
 pub use slade::Slade;
 pub use slid::Slid;
 pub use tgat::Tgat;

@@ -1,5 +1,11 @@
-//! Baseline registry: uniform construction and execution of all eight
-//! baselines, with and without random features (`+RF`).
+//! Baseline registry: uniform construction and execution of every
+//! competitor this reproduction fields. The authoritative roster is
+//! [`all_variants`]: the eight [`BaselineKind`] architectures in their
+//! plain (dataset-features) setting plus the seven `+RF` random-feature
+//! variants — SLADE runs only in its native feature-free setting — for
+//! **15 named Table III contenders** in total. The two [`DtdgKind`]
+//! methods stay outside that roster (Fig. 12 only; as DTDG models they
+//! cannot serve real-time queries).
 
 use datasets::{Dataset, Task};
 use rand::{rngs::StdRng, SeedableRng};
@@ -70,6 +76,81 @@ impl BaselineKind {
     pub fn supports(self, task: Task) -> bool {
         self != BaselineKind::Slade || task == Task::Anomaly
     }
+}
+
+/// Canonical name suffix of a feature mode (`""` plain, `"+RF"` random
+/// features, `"+joint"` / `"+aug"` for the augmented captures).
+pub fn mode_suffix(mode: InputFeatures) -> &'static str {
+    match mode {
+        InputFeatures::RawRandom => "+RF",
+        InputFeatures::Zero | InputFeatures::External => "",
+        other => {
+            if other == InputFeatures::Joint {
+                "+joint"
+            } else {
+                "+aug"
+            }
+        }
+    }
+}
+
+/// One named competitor: an architecture plus the feature mode it
+/// consumes. `kind.name()` + [`mode_suffix`] gives the canonical display
+/// name (`"tgn"`, `"tgn+RF"`, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BaselineVariant {
+    /// The architecture.
+    pub kind: BaselineKind,
+    /// The input-feature mode fed to its capture.
+    pub mode: InputFeatures,
+}
+
+impl BaselineVariant {
+    /// Canonical display name, e.g. `"tgn+RF"`.
+    pub fn name(self) -> String {
+        format!("{}{}", self.kind.name(), mode_suffix(self.mode))
+    }
+
+    /// Typed task-compatibility check: `Err(SplashError::TaskUnsupported)`
+    /// for a pairing the paper reports as N/A (SLADE outside anomaly
+    /// detection).
+    pub fn ensure_supports(self, task: Task) -> Result<(), splash::SplashError> {
+        if self.kind.supports(task) {
+            Ok(())
+        } else {
+            Err(splash::SplashError::TaskUnsupported {
+                model: self.name(),
+                task: splash::task::name(task),
+            })
+        }
+    }
+}
+
+/// The authoritative roster of named Table III contenders: every
+/// architecture in its plain setting, plus `+RF` for all but SLADE
+/// (which is self-supervised over the interaction stream itself and runs
+/// only in its native feature-free setting) — 15 variants in table order.
+pub fn all_variants() -> Vec<BaselineVariant> {
+    let mut out = Vec::with_capacity(15);
+    for kind in BaselineKind::ALL {
+        out.push(BaselineVariant { kind, mode: InputFeatures::External });
+        if kind != BaselineKind::Slade {
+            out.push(BaselineVariant { kind, mode: InputFeatures::RawRandom });
+        }
+    }
+    out
+}
+
+/// Parses a canonical variant name (`"tgn"`, `"tgn+RF"`; the suffix is
+/// case-insensitive). Returns `None` for names outside [`all_variants`].
+pub fn parse_variant(name: &str) -> Option<BaselineVariant> {
+    let (base, mode) = match name.strip_suffix("+RF").or_else(|| name.strip_suffix("+rf")) {
+        Some(base) => (base, InputFeatures::RawRandom),
+        None => (name, InputFeatures::External),
+    };
+    let kind = BaselineKind::ALL.into_iter().find(|k| k.name() == base)?;
+    let variant = BaselineVariant { kind, mode };
+    all_variants().contains(&variant).then_some(variant)
 }
 
 /// The two DTDG-based shift-robust methods of the paper's Fig. 12. The
@@ -166,18 +247,7 @@ pub fn run_on_capture(
 ) -> BaselineOutput {
     let out_dim = splash::task::output_dim(dataset.task, dataset.num_classes);
     let mut model = build_baseline(kind, cap.feat_dim, cap.edge_feat_dim, out_dim, cfg);
-    let suffix = match mode {
-        InputFeatures::RawRandom => "+RF",
-        InputFeatures::Zero | InputFeatures::External => "",
-        other => {
-            if other == InputFeatures::Joint {
-                "+joint"
-            } else {
-                "+aug"
-            }
-        }
-    };
-    run_baseline(model.as_mut(), dataset, cap, cfg, suffix)
+    run_baseline(model.as_mut(), dataset, cap, cfg, mode_suffix(mode))
 }
 
 /// Captures the dataset under `mode` and runs one baseline end to end.

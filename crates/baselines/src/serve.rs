@@ -1,0 +1,141 @@
+//! Serving adapter: any [`BaselineVariant`] behind a [`splash::ServeEngine`],
+//! so the Table III competitors plug into [`splash::SplashService`] registry
+//! slots next to SPLASH itself — same ingest path, same
+//! [`splash::LateEdgePolicy`] and strict-node policies, same counters, same
+//! typed [`SplashError`] surface.
+//!
+//! Construction reproduces the offline protocol bit-identically: the model
+//! trains on the capture's 10% chronological training split through
+//! [`crate::common::train_on_queries`] (the exact loop and RNG stream behind
+//! [`crate::common::run_baseline_frac`]), then a [`CaptureStream`] is
+//! advanced over the same training prefix SPLASH consumes, so every engine
+//! in a multi-tenant service starts serving at one shared stream clock. The
+//! bit-identity of serve-through-service vs. drive-directly is pinned in
+//! `crates/baselines/tests/serve.rs`.
+
+use std::fmt;
+
+use ctdg::{Label, NodeId, PropertyQuery, TemporalEdge};
+use datasets::Dataset;
+use nn::Matrix;
+use splash::{CaptureStream, CapturedQuery, ServeEngine, SplashConfig, SplashError};
+
+use crate::common::{train_on_queries, Baseline};
+use crate::registry::{build_baseline, BaselineVariant};
+
+/// A trained baseline serving live queries from a streaming feature
+/// capture — the [`ServeEngine`] the scenario matrix registers for every
+/// non-SPLASH contender.
+pub struct BaselineEngine {
+    name: String,
+    model: Box<dyn Baseline>,
+    stream: CaptureStream,
+    out_dim: usize,
+}
+
+impl fmt::Debug for BaselineEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BaselineEngine")
+            .field("name", &self.name)
+            .field("last_time", &self.stream.last_time())
+            .field("known_nodes", &self.stream.known_nodes())
+            .finish_non_exhaustive()
+    }
+}
+
+impl BaselineEngine {
+    /// Trains `variant` on the dataset's 10% chronological training split
+    /// and advances its capture stream over the same training prefix the
+    /// in-service SPLASH engines consume.
+    ///
+    /// Typed failures: [`SplashError::TaskUnsupported`] for a pairing the
+    /// paper reports as N/A (SLADE outside anomaly detection), and
+    /// [`SplashError::NotStreamable`] for feature modes that cannot be
+    /// served incrementally.
+    pub fn new(
+        variant: BaselineVariant,
+        dataset: &Dataset,
+        cfg: &SplashConfig,
+    ) -> Result<Self, SplashError> {
+        variant.ensure_supports(dataset.task)?;
+        let mut stream = CaptureStream::try_new(dataset, variant.mode, cfg)?;
+
+        let cap = splash::capture(dataset, variant.mode, cfg, splash::SEEN_FRAC);
+        let (train_end, _) = splash::split_bounds(cap.queries.len());
+        let out_dim = splash::task::output_dim(dataset.task, dataset.num_classes);
+        let mut model = build_baseline(variant.kind, cap.feat_dim, cap.edge_feat_dim, out_dim, cfg);
+        train_on_queries(model.as_mut(), &cap.queries[..train_end], dataset.task, cfg);
+
+        let t_seen = splash::seen_end_time(dataset, splash::SEEN_FRAC);
+        let prefix = dataset.stream.prefix_len_at(t_seen);
+        stream.try_push_edges(&dataset.stream.edges()[..prefix])?;
+
+        Ok(BaselineEngine { name: variant.name(), model, stream, out_dim })
+    }
+
+    /// The variant's canonical display name (e.g. `"tgn+RF"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn capture(&self, node: NodeId, time: f64, label: &Label) -> Result<CapturedQuery, SplashError> {
+        let mut q = CapturedQuery::default();
+        self.stream.capture_into(node, time, label, &mut q)?;
+        Ok(q)
+    }
+}
+
+impl ServeEngine for BaselineEngine {
+    fn kind(&self) -> String {
+        format!("baseline:{}", self.name)
+    }
+
+    fn last_time(&self) -> f64 {
+        self.stream.last_time()
+    }
+
+    fn known_nodes(&self) -> usize {
+        self.stream.known_nodes()
+    }
+
+    fn try_push_edges(&mut self, edges: &[TemporalEdge]) -> Result<(), SplashError> {
+        self.stream.try_push_edges(edges)
+    }
+
+    fn try_observe_edge(&mut self, edge: &TemporalEdge) -> Result<(), SplashError> {
+        self.stream.try_observe_edge(edge)
+    }
+
+    fn try_predict_into(
+        &self,
+        node: NodeId,
+        time: f64,
+        out: &mut Vec<f32>,
+    ) -> Result<(), SplashError> {
+        let q = self.capture(node, time, &Label::Class(0))?;
+        let logits = self.model.predict_batch(&[&q]);
+        out.clear();
+        out.extend_from_slice(logits.row(0));
+        Ok(())
+    }
+
+    fn try_predict_batch(&self, queries: &[PropertyQuery]) -> Result<Matrix, SplashError> {
+        if queries.is_empty() {
+            return Ok(Matrix::zeros(0, self.out_dim));
+        }
+        let mut caps = Vec::with_capacity(queries.len());
+        for q in queries {
+            caps.push(self.capture(q.node, q.time, &q.label)?);
+        }
+        let refs: Vec<&CapturedQuery> = caps.iter().collect();
+        Ok(self.model.predict_batch(&refs))
+    }
+}
+
+/// An [`splash::EngineFactory`] building this variant — the one-liner for
+/// wiring a baseline into a [`splash::ScenarioSpec`] contender list.
+pub fn engine_factory(variant: BaselineVariant) -> splash::EngineFactory {
+    Box::new(move |dataset, cfg| {
+        Ok(Box::new(BaselineEngine::new(variant, dataset, cfg)?) as Box<dyn ServeEngine>)
+    })
+}

@@ -1,0 +1,106 @@
+//! Bit-identity pins for the serving adapter: a baseline registered in a
+//! [`SplashService`] slot must be indistinguishable from the same engine
+//! driven by hand — the façade adds policy and accounting, never numerics.
+
+use baselines::{parse_variant, BaselineEngine};
+use ctdg::{replay, Event, TemporalEdge};
+use splash::{
+    split_bounds, IngestRequest, PredictRequest, PredictResponse, ServeEngine, SplashConfig,
+    SplashService,
+};
+
+fn small_drift() -> datasets::Dataset {
+    let dataset = datasets::synthetic_shift(40, 11);
+    splash::truncate_to_available(&dataset, 0.15)
+}
+
+fn tiny_cfg() -> SplashConfig {
+    let mut cfg = SplashConfig::tiny();
+    cfg.epochs = 1;
+    cfg
+}
+
+/// The same variant, the same dataset, the same seed: one copy served
+/// through `SplashService` slots, one driven directly through its
+/// `ServeEngine` methods. Every prediction must match to the bit.
+#[test]
+fn baseline_through_service_is_bit_identical_to_direct_drive() {
+    let dataset = small_drift();
+    let cfg = tiny_cfg();
+    let variant = parse_variant("jodie+RF").unwrap();
+
+    let mut service = SplashService::builder(cfg).build().unwrap();
+    let engine = BaselineEngine::new(variant, &dataset, &cfg).unwrap();
+    service.register_engine("jodie+RF", Box::new(engine)).unwrap();
+    let mut direct = BaselineEngine::new(variant, &dataset, &cfg).unwrap();
+
+    let t_live = service.model_last_time("jodie+RF").unwrap();
+    assert_eq!(direct.last_time(), t_live, "both copies consumed the same prefix");
+    let prefix = dataset.stream.prefix_len_at(t_live);
+    let (_, val_end) = split_bounds(dataset.queries.len());
+
+    let mut pending: Vec<TemporalEdge> = Vec::new();
+    let mut resp = PredictResponse::default();
+    let mut direct_logits = Vec::new();
+    let mut served = 0usize;
+    for event in replay(&dataset.stream, &dataset.queries) {
+        match event {
+            Event::Edge(idx, edge) => {
+                if idx >= prefix {
+                    pending.push(edge.clone());
+                }
+            }
+            Event::Query(qi, q) => {
+                if !pending.is_empty() {
+                    service.ingest("jodie+RF", IngestRequest::new(&pending)).unwrap();
+                    direct.try_push_edges(&pending).unwrap();
+                    pending.clear();
+                }
+                if qi >= val_end && q.time >= t_live {
+                    service
+                        .predict_into("jodie+RF", PredictRequest::new(q.node, q.time), &mut resp)
+                        .unwrap();
+                    direct.try_predict_into(q.node, q.time, &mut direct_logits).unwrap();
+                    assert_eq!(
+                        resp.logits, direct_logits,
+                        "query {qi} (node {}, t {}) diverged",
+                        q.node, q.time
+                    );
+                    served += 1;
+                }
+            }
+        }
+    }
+    assert!(served > 10, "test must exercise a real query stream, served {served}");
+
+    let stats = service.stats();
+    assert_eq!(stats.queries_served, served as u64);
+}
+
+/// SLADE refuses non-anomaly regimes with the typed error, at construction.
+#[test]
+fn slade_engine_is_anomaly_only() {
+    let dataset = small_drift(); // classification task
+    let cfg = tiny_cfg();
+    let variant = parse_variant("slade").unwrap();
+    let err = BaselineEngine::new(variant, &dataset, &cfg).unwrap_err();
+    assert_eq!(err.kind(), "TaskUnsupported");
+    assert!(err.to_string().contains("slade"), "{err}");
+}
+
+/// The variant roster is the authoritative count: 8 plain + 7 `+RF`.
+#[test]
+fn variant_roster_is_fifteen() {
+    let all = baselines::all_variants();
+    assert_eq!(all.len(), 15);
+    let names: Vec<String> = all.iter().map(|v| v.name()).collect();
+    assert!(names.contains(&"slade".to_string()));
+    assert!(!names.contains(&"slade+RF".to_string()), "SLADE runs feature-free only");
+    assert!(names.contains(&"tgn+RF".to_string()));
+    for name in &names {
+        let parsed = baselines::parse_variant(name).unwrap();
+        assert_eq!(&parsed.name(), name, "parse/name round-trip");
+    }
+    assert!(baselines::parse_variant("slade+RF").is_none());
+    assert!(baselines::parse_variant("bogus").is_none());
+}

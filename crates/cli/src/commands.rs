@@ -3,16 +3,17 @@
 use std::fmt::Write as _;
 use std::path::Path;
 
-use baselines::{run as run_baseline, run_dtdg, BaselineKind, DtdgKind};
+use baselines::{run as run_baseline, run_dtdg, BaselineKind, BaselineVariant, DtdgKind};
 use ctdg::{replay, Event, Label, TemporalEdge};
 use datasets::{
     edges_from_csv, export_csv, queries_from_csv, Dataset, DatasetStats, Task,
 };
 use splash::{
-    capture, load_model, predict_slim, run_slim_with, run_splash, save_model, split_bounds,
-    DurabilityConfig, FeatureProcess, FineTunePolicy, IngestRequest, InputFeatures,
-    LateEdgePolicy, OnlineConfig, PredictRequest, PredictResponse, RecoveryReport, ServerConfig,
-    SplashConfig, SplashServer, SplashService, SEEN_FRAC,
+    capture, load_model, predict_slim, run_matrix, run_slim_with, run_splash, save_model,
+    split_bounds, DurabilityConfig, EngineSpec, FeatureProcess, FineTunePolicy, IngestRequest,
+    InputFeatures, LateEdgePolicy, ModelSpec, OnlineConfig, PredictRequest, PredictResponse,
+    RecoveryReport, ScenarioConfig, ScenarioSpec, ServerConfig, SplashConfig, SplashServer,
+    SplashService, SEEN_FRAC,
 };
 
 use crate::args::{ArgError, Args};
@@ -36,12 +37,19 @@ USAGE:
                   [--listen ADDR [--workers N] [--queue-depth Q] [--deadline-ms D]]
   splash baseline --model <name> --edges <csv> --queries <csv> --task <task>
                   [--classes N] [--features plain|RF] [--epochs N] [--seed N]
+  splash scenarios [--out DIR] [--smoke true] [--timing true] [--frac F]
+                  [--regimes r1,r2,..] [--models m1,m2,..] [--online-every N]
+                  [--epochs N] [--k N] [--dv N] [--hidden N] [--seed N]
   splash drift    --edges <csv> --queries <csv> --task <task> [--buckets N]
 
-  <task>  anomaly | classification | affinity
-  <name>  reddit | wiki | mooc | email-eu | gdelt | tgbn-trade | tgbn-genre
-  <model> jodie | dysat | tgat | tgn | graphmixer | dygformer | freedyg |
-          slade | dida | slid
+  <task>   anomaly | classification | affinity
+  <name>   reddit | wiki | mooc | email-eu | gdelt | tgbn-trade | tgbn-genre
+  <model>  jodie | dysat | tgat | tgn | graphmixer | dygformer | freedyg |
+           slade | dida | slid
+  <regime> drift | anomaly | classification | affinity | scalability
+           (scenario models: splash, splash+online, or any baseline variant
+           such as tgn or tgn+RF; on the drift regime, splash+online is
+           added automatically next to the frozen splash slot)
 "
     .to_string()
 }
@@ -56,6 +64,7 @@ pub fn dispatch(tokens: Vec<String>) -> Result<String, ArgError> {
         Some("predict") => cmd_predict(&args)?,
         Some("serve") => cmd_serve(&args)?,
         Some("baseline") => cmd_baseline(&args)?,
+        Some("scenarios") => cmd_scenarios(&args)?,
         Some("drift") => cmd_drift(&args)?,
         Some("help") | None => return Ok(usage()),
         Some(other) => return Err(ArgError(format!("unknown command {other:?}\n\n{}", usage()))),
@@ -580,6 +589,10 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
     let mut report = String::new();
     let _ = writeln!(report, "model          : {model_path}");
     let _ = writeln!(report, "late policy    : {policy:?}");
+    // One line per registry slot, mirroring `GET /models` on the wire.
+    for info in service.models_info() {
+        let _ = writeln!(report, "slot           : {info}");
+    }
     let _ = write!(report, "{}", recovery_line(&recovered));
     if let Some(every) = online {
         let _ = writeln!(report, "online         : fine-tune every {every} labels");
@@ -615,9 +628,12 @@ fn cmd_baseline(args: &Args) -> Result<String, ArgError> {
         }
     };
     let out = if let Some(kind) = baseline_kind(&model) {
-        if !kind.supports(dataset.task) {
-            return Err(ArgError(format!("{model} does not support the {task:?} task")));
-        }
+        // Route the N/A pairing through the typed service-error taxonomy
+        // so the CLI, the scenario matrix, and the HTTP front end render
+        // the same message for the same refusal.
+        BaselineVariant { kind, mode }
+            .ensure_supports(dataset.task)
+            .map_err(|e| ArgError(e.to_string()))?;
         run_baseline(kind, &dataset, mode, &cfg)
     } else if let Some(kind) = dtdg_kind(&model) {
         run_dtdg(kind, &dataset, mode, &cfg)
@@ -633,6 +649,139 @@ fn cmd_baseline(args: &Args) -> Result<String, ArgError> {
         out.train_secs,
         out.infer_secs,
     ))
+}
+
+/// The benchmark dataset behind one scenario regime, truncated to `frac`
+/// of its available property set when `frac < 1`.
+fn scenario_dataset(regime: &str, frac: f64, seed: u64) -> Result<Dataset, ArgError> {
+    let base = match regime {
+        "drift" => datasets::synthetic_shift(50, seed),
+        "anomaly" => datasets::reddit(),
+        "classification" => datasets::email_eu(),
+        "affinity" => datasets::tgbn_trade(),
+        "scalability" => datasets::scalability_stream(20_000, 400, seed),
+        other => {
+            return Err(ArgError(format!(
+                "unknown regime {other:?} (drift | anomaly | classification | affinity | scalability)"
+            )))
+        }
+    };
+    if !(frac > 0.0 && frac <= 1.0) {
+        return Err(ArgError(format!("--frac {frac} must lie in (0, 1]")));
+    }
+    Ok(if frac < 1.0 { splash::truncate_to_available(&base, frac) } else { base })
+}
+
+/// One named contender: the SPLASH engines by their reserved names, any
+/// baseline variant from the registry roster through its serving adapter.
+fn scenario_model(name: &str) -> Result<ModelSpec, ArgError> {
+    let engine = match name {
+        "splash" => EngineSpec::Splash { online: false },
+        "splash+online" => EngineSpec::Splash { online: true },
+        other => match baselines::parse_variant(other) {
+            Some(variant) => EngineSpec::External(baselines::engine_factory(variant)),
+            None => {
+                let roster: Vec<String> =
+                    baselines::all_variants().iter().map(|v| v.name()).collect();
+                return Err(ArgError(format!(
+                    "unknown scenario model {other:?} (splash | splash+online | {})",
+                    roster.join(" | ")
+                )));
+            }
+        },
+    };
+    Ok(ModelSpec { name: name.to_string(), engine })
+}
+
+/// The scenario matrix: every requested dataset regime × every requested
+/// model, streamed prequentially through one multi-tenant `SplashService`
+/// per regime, rendered as a Table III-style artifact. `--smoke true`
+/// shrinks the matrix to a deterministic two-regime, three-contender run
+/// (timing off) for CI; `--timing true` adds edges/s and predict-p99
+/// cells at the cost of byte-reproducibility.
+fn cmd_scenarios(args: &Args) -> Result<String, ArgError> {
+    let smoke: bool = args.get_parsed("smoke", false)?;
+    let timing: bool = args.get_parsed("timing", false)?;
+    let every: usize = args.get_parsed("online-every", 25)?;
+    if every == 0 {
+        return Err(ArgError("--online-every must be positive".into()));
+    }
+    let cfg = if smoke {
+        let mut cfg = SplashConfig::tiny();
+        cfg.epochs = 2;
+        cfg.seed = args.get_parsed("seed", cfg.seed)?;
+        cfg
+    } else {
+        config_from(args)?
+    };
+    let frac: f64 = args.get_parsed("frac", if smoke { 0.2 } else { 1.0 })?;
+    let regimes = args
+        .get("regimes")
+        .unwrap_or(if smoke {
+            "drift,anomaly"
+        } else {
+            "drift,anomaly,classification,affinity,scalability"
+        })
+        .to_string();
+    let models = args
+        .get("models")
+        .unwrap_or(if smoke {
+            "splash,jodie,tgn+RF"
+        } else {
+            "splash,jodie,tgat,tgn+RF,graphmixer,slade"
+        })
+        .to_string();
+    let model_names: Vec<&str> = models.split(',').filter(|s| !s.is_empty()).collect();
+    if model_names.is_empty() {
+        return Err(ArgError("--models must name at least one contender".into()));
+    }
+    let out_dir = args.get("out").map(String::from);
+
+    let mut specs = Vec::new();
+    for regime in regimes.split(',').filter(|s| !s.is_empty()) {
+        let dataset = scenario_dataset(regime, frac, cfg.seed)?;
+        let mut slots = Vec::new();
+        for name in &model_names {
+            slots.push(scenario_model(name)?);
+            // The paper's drift story is frozen vs continually learning:
+            // pair the frozen SPLASH slot with its online twin unless the
+            // user already listed one.
+            if regime == "drift"
+                && *name == "splash"
+                && !model_names.contains(&"splash+online")
+            {
+                slots.push(scenario_model("splash+online")?);
+            }
+        }
+        specs.push(ScenarioSpec { regime: regime.to_string(), dataset, models: slots });
+    }
+
+    let scfg = ScenarioConfig {
+        splash: cfg,
+        online: OnlineConfig {
+            policy: FineTunePolicy::EveryLabels(every),
+            buffer_capacity: 128,
+            batch_size: 16,
+            steps_per_tune: 5,
+            lr: 5e-3,
+        },
+        timing,
+    };
+    let report = run_matrix(&specs, &scfg).map_err(|e| ArgError(e.to_string()))?;
+
+    let mut out = report.to_markdown();
+    if let Some(dir) = out_dir {
+        let dir = Path::new(&dir);
+        std::fs::create_dir_all(dir).map_err(|e| ArgError(format!("{}: {e}", dir.display())))?;
+        let write = |name: &str, body: &str| {
+            let path = dir.join(name);
+            std::fs::write(&path, body).map_err(|e| ArgError(format!("{}: {e}", path.display())))
+        };
+        write("report.json", &report.to_json())?;
+        write("report.md", &report.to_markdown())?;
+        let _ = writeln!(out, "\nwrote {}/report.json and {}/report.md", dir.display(), dir.display());
+    }
+    Ok(out)
 }
 
 fn cmd_drift(args: &Args) -> Result<String, ArgError> {
@@ -744,6 +893,30 @@ mod tests {
     fn generate_rejects_unknown_dataset() {
         let err = dispatch(toks("generate --dataset nope --out /tmp/x")).unwrap_err();
         assert!(err.0.contains("unknown dataset"));
+    }
+
+    #[test]
+    fn scenarios_rejects_unknown_regime_and_model() {
+        let err = dispatch(toks("scenarios --regimes warp --smoke true")).unwrap_err();
+        assert!(err.0.contains("unknown regime"), "{}", err.0);
+        let err = dispatch(toks("scenarios --models splash,bogus --smoke true")).unwrap_err();
+        assert!(err.0.contains("unknown scenario model"), "{}", err.0);
+        let err = dispatch(toks("scenarios --smoke true --frac 0")).unwrap_err();
+        assert!(err.0.contains("--frac"), "{}", err.0);
+    }
+
+    #[test]
+    fn scenarios_renders_na_cell_for_task_mismatch() {
+        // SLADE on the (classification) drift regime: the matrix keeps the
+        // row and reports the typed refusal instead of aborting.
+        let out = dispatch(toks(
+            "scenarios --smoke true --regimes drift --frac 0.08 --models splash,slade --seed 3",
+        ))
+        .unwrap();
+        assert!(out.contains("| splash | splash | off |"), "{out}");
+        assert!(out.contains("n/a") && out.contains("does not support"), "{out}");
+        // The drift regime pairs the frozen slot with its online twin.
+        assert!(out.contains("| splash+online | splash | on |"), "{out}");
     }
 
     #[test]

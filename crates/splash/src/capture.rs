@@ -15,6 +15,7 @@ use rand::{rngs::StdRng, SeedableRng};
 
 use crate::augment::{Augmenter, FeatureProcess};
 use crate::config::SplashConfig;
+use crate::error::SplashError;
 
 /// Which node features a model receives as input.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -127,11 +128,13 @@ pub struct Capture {
 }
 
 /// A fixed-size ring of [`CapturedNeighbor`]s per node.
+#[derive(Debug)]
 struct FeatRing {
     entries: Vec<CapturedNeighbor>,
     head: usize,
 }
 
+#[derive(Debug)]
 struct FeatMemory {
     rings: Vec<FeatRing>,
     k: usize,
@@ -187,6 +190,7 @@ enum Provider {
     Joint { aug: Augmenter },
 }
 
+#[derive(Debug)]
 enum ConstantTable {
     Zero(usize),
     Random { dv: usize, seed: u64 },
@@ -364,6 +368,160 @@ pub fn capture(dataset: &Dataset, mode: InputFeatures, cfg: &SplashConfig, seen_
     Capture { queries: captured, feat_dim, edge_feat_dim }
 }
 
+/// A *streaming* counterpart of [`capture`] for the constant feature modes
+/// ([`InputFeatures::Zero`], [`InputFeatures::RawRandom`],
+/// [`InputFeatures::External`]): edges arrive one batch at a time, and a
+/// query's model input can be assembled at any instant — bit-identical to
+/// what the offline [`capture`] pass would have produced for the same
+/// `(node, time)` against the same edge order.
+///
+/// This is the state behind serving a *baseline* TGNN through the
+/// [`crate::SplashService`] registry: the `baselines` crate wraps a
+/// trained model plus one `CaptureStream` into an engine
+/// ([`crate::service::ServeEngine`]), giving every Table III competitor
+/// the same streamed, Eq. 14-snapshotted inputs SPLASH sees. Augmented
+/// modes ([`InputFeatures::Process`], [`InputFeatures::Joint`]) need the
+/// full [`crate::StreamingPredictor`] (their features evolve with the
+/// stream) and are rejected with [`SplashError::NotStreamable`].
+#[derive(Debug)]
+pub struct CaptureStream {
+    table: ConstantTable,
+    memory: FeatMemory,
+    /// Initial node-universe size (rings may grow past it as unseen nodes
+    /// stream in).
+    initial_nodes: usize,
+    edge_feat_dim: usize,
+    last_time: f64,
+}
+
+impl CaptureStream {
+    /// A stream over `dataset`'s node universe under constant feature mode
+    /// `mode`, with **no edges observed yet**. Feed the training prefix
+    /// with [`CaptureStream::try_push_edges`] to reach the state a
+    /// deployment starts serving from.
+    pub fn try_new(
+        dataset: &Dataset,
+        mode: InputFeatures,
+        cfg: &SplashConfig,
+    ) -> Result<Self, SplashError> {
+        let table = match build_provider(dataset, mode, cfg, 0.0) {
+            Provider::Constant { table } => table,
+            Provider::Augmented { .. } | Provider::Joint { .. } => {
+                return Err(SplashError::NotStreamable { mode: mode.name() })
+            }
+        };
+        Ok(Self {
+            table,
+            memory: FeatMemory::new(dataset.stream.num_nodes(), cfg.k),
+            initial_nodes: dataset.stream.num_nodes(),
+            edge_feat_dim: dataset.stream.feat_dim(),
+            last_time: f64::NEG_INFINITY,
+        })
+    }
+
+    /// Arrival time of the most recently observed edge
+    /// (`f64::NEG_INFINITY` before the first).
+    pub fn last_time(&self) -> f64 {
+        self.last_time
+    }
+
+    /// Size of the known node universe (initial nodes plus any later ids
+    /// the stream has touched).
+    pub fn known_nodes(&self) -> usize {
+        self.initial_nodes.max(self.memory.rings.len())
+    }
+
+    /// Node feature dimension of the captured features.
+    pub fn feat_dim(&self) -> usize {
+        self.table.dim()
+    }
+
+    /// Edge feature dimension.
+    pub fn edge_feat_dim(&self) -> usize {
+        self.edge_feat_dim
+    }
+
+    /// Observes one edge, snapshotting both endpoints' features at its
+    /// arrival (Eq. 14) into the endpoint rings. Rejects time travel with
+    /// [`SplashError::OutOfOrderEdge`], leaving the state untouched.
+    pub fn try_observe_edge(&mut self, edge: &ctdg::TemporalEdge) -> Result<(), SplashError> {
+        if edge.time < self.last_time {
+            return Err(SplashError::OutOfOrderEdge { got: edge.time, last: self.last_time });
+        }
+        self.last_time = edge.time;
+        let dst_feat = self.table.feat(edge.dst);
+        self.memory.push(
+            edge.src,
+            CapturedNeighbor {
+                other: edge.dst,
+                feat: dst_feat,
+                edge_feat: edge.feat.to_vec(),
+                time: edge.time,
+                weight: edge.weight,
+            },
+        );
+        if edge.src != edge.dst {
+            let src_feat = self.table.feat(edge.src);
+            self.memory.push(
+                edge.dst,
+                CapturedNeighbor {
+                    other: edge.src,
+                    feat: src_feat,
+                    edge_feat: edge.feat.to_vec(),
+                    time: edge.time,
+                    weight: edge.weight,
+                },
+            );
+        }
+        Ok(())
+    }
+
+    /// Observes a chronological batch atomically: the whole batch is
+    /// validated against the stream clock before any state changes, so a
+    /// rejected batch leaves the stream exactly as it was.
+    pub fn try_push_edges(&mut self, edges: &[ctdg::TemporalEdge]) -> Result<(), SplashError> {
+        let mut prev = self.last_time;
+        for edge in edges {
+            if edge.time < prev {
+                return Err(SplashError::OutOfOrderEdge { got: edge.time, last: prev });
+            }
+            prev = edge.time;
+        }
+        for edge in edges {
+            self.try_observe_edge(edge)?;
+        }
+        Ok(())
+    }
+
+    /// Assembles the model input for `node` at `time` into `q` (buffers
+    /// reused across calls), exactly as the offline [`capture`] pass would
+    /// have: current target feature, ring neighbors oldest-first, `label`
+    /// attached. A query before the stream clock is
+    /// [`SplashError::PastQuery`] — the rings it would need are gone.
+    pub fn capture_into(
+        &self,
+        node: NodeId,
+        time: f64,
+        label: &Label,
+        q: &mut CapturedQuery,
+    ) -> Result<(), SplashError> {
+        if time < self.last_time {
+            return Err(SplashError::PastQuery { got: time, last: self.last_time });
+        }
+        q.node = node;
+        q.time = time;
+        q.target_feat.clear();
+        q.target_feat.extend_from_slice(&self.table.feat(node));
+        q.neighbors.clear();
+        if let Some(ring) = self.memory.rings.get(node as usize) {
+            q.neighbors.extend_from_slice(&ring.entries[ring.head..]);
+            q.neighbors.extend_from_slice(&ring.entries[..ring.head]);
+        }
+        q.label = label.clone();
+        Ok(())
+    }
+}
+
 /// Fills one Eq. 7 encoding row: `[x_i(t) ‖ mean_{δ ∈ N_i(t)} x_j(t^{(l)})]`.
 fn encoding_row(q: &CapturedQuery, dv: usize, row: &mut [f32]) {
     row[..dv].copy_from_slice(&q.target_feat);
@@ -528,6 +686,66 @@ mod tests {
         let cap = capture(&d, InputFeatures::Joint, &cfg, 0.5);
         assert_eq!(cap.feat_dim, 3 * cfg.feat_dim);
         assert_eq!(cap.queries[0].target_feat.len(), 3 * cfg.feat_dim);
+    }
+
+    /// The streamed constant-mode capture must reproduce the offline pass
+    /// bit for bit: same rings, same snapshot features, same ordering —
+    /// this is the contract that lets a baseline served through the
+    /// registry see exactly the inputs its offline harness saw.
+    #[test]
+    fn capture_stream_matches_offline_capture() {
+        for mode in [InputFeatures::RawRandom, InputFeatures::Zero, InputFeatures::External] {
+            let d = tiny_dataset();
+            let mut cfg = SplashConfig::tiny();
+            cfg.k = 2;
+            let offline = capture(&d, mode, &cfg, 0.5);
+
+            let mut stream = CaptureStream::try_new(&d, mode, &cfg).unwrap();
+            let mut pending: Vec<TemporalEdge> = Vec::new();
+            let mut q = CapturedQuery::default();
+            let mut qi = 0usize;
+            for event in replay(&d.stream, &d.queries) {
+                match event {
+                    Event::Edge(_, edge) => pending.push(edge.clone()),
+                    Event::Query(_, query) => {
+                        stream.try_push_edges(&pending).unwrap();
+                        pending.clear();
+                        stream
+                            .capture_into(query.node, query.time, &query.label, &mut q)
+                            .unwrap();
+                        let want = &offline.queries[qi];
+                        assert_eq!(q.target_feat, want.target_feat, "{mode:?} query {qi}");
+                        assert_eq!(q.neighbors.len(), want.neighbors.len());
+                        for (a, b) in q.neighbors.iter().zip(&want.neighbors) {
+                            assert_eq!(a.other, b.other);
+                            assert_eq!(a.feat, b.feat);
+                            assert_eq!(a.edge_feat, b.edge_feat);
+                            assert_eq!(a.time, b.time);
+                            assert_eq!(a.weight, b.weight);
+                        }
+                        qi += 1;
+                    }
+                }
+            }
+            assert_eq!(qi, offline.queries.len());
+        }
+    }
+
+    #[test]
+    fn capture_stream_rejects_what_it_cannot_stream() {
+        let d = tiny_dataset();
+        let cfg = SplashConfig::tiny();
+        let err = CaptureStream::try_new(&d, InputFeatures::Joint, &cfg).unwrap_err();
+        assert!(matches!(err, SplashError::NotStreamable { .. }), "{err:?}");
+
+        let mut s = CaptureStream::try_new(&d, InputFeatures::Zero, &cfg).unwrap();
+        s.try_push_edges(d.stream.edges()).unwrap();
+        let last = d.stream.end_time().unwrap();
+        let err = s.try_observe_edge(&TemporalEdge::plain(0, 1, last - 1.0)).unwrap_err();
+        assert!(matches!(err, SplashError::OutOfOrderEdge { .. }), "{err:?}");
+        let mut q = CapturedQuery::default();
+        let err = s.capture_into(0, last - 1.0, &Label::Class(0), &mut q).unwrap_err();
+        assert!(matches!(err, SplashError::PastQuery { .. }), "{err:?}");
     }
 
     #[test]

@@ -137,6 +137,17 @@ pub enum SplashError {
         /// How many captured labels are still buffered.
         buffered: usize,
     },
+    /// A model architecture was asked to serve a task it does not support
+    /// (e.g. SLADE, a self-supervised anomaly scorer, on a classification
+    /// or affinity workload — the paper reports N/A there). Registering or
+    /// running such a pairing is refused up front instead of producing a
+    /// nonsense metric.
+    TaskUnsupported {
+        /// The model (variant) name, e.g. `"slade"`.
+        model: String,
+        /// Display name of the requested task.
+        task: &'static str,
+    },
     /// An underlying I/O operation failed (file missing, permissions, …).
     Io(io::Error),
 }
@@ -162,6 +173,7 @@ impl SplashError {
             SplashError::WalCorrupt { .. } => "WalCorrupt",
             SplashError::CheckpointMissing { .. } => "CheckpointMissing",
             SplashError::CheckpointUnflushed { .. } => "CheckpointUnflushed",
+            SplashError::TaskUnsupported { .. } => "TaskUnsupported",
             SplashError::Io(_) => "Io",
             // `#[non_exhaustive]`: a variant added later still maps.
             #[allow(unreachable_patterns)]
@@ -188,7 +200,8 @@ impl SplashError {
             | SplashError::PersistVersionMismatch { .. }
             | SplashError::CorruptModel { .. }
             | SplashError::NotStreamable { .. }
-            | SplashError::LabelMismatch { .. } => 422,
+            | SplashError::LabelMismatch { .. }
+            | SplashError::TaskUnsupported { .. } => 422,
             // Damaged or absent durable state: the *artifact* is the
             // problem, exactly like a corrupt model file.
             SplashError::WalCorrupt { .. } | SplashError::CheckpointMissing { .. } => 422,
@@ -261,6 +274,11 @@ impl fmt::Display for SplashError {
                 "refusing to checkpoint: {buffered} captured label(s) still \
                  buffered would be dropped (fine_tune first, or persist the \
                  buffer with a durable checkpoint)"
+            ),
+            SplashError::TaskUnsupported { model, task } => write!(
+                f,
+                "model {model:?} does not support the {task} task (the paper \
+                 reports N/A for this pairing)"
             ),
             SplashError::Io(e) => write!(f, "i/o error: {e}"),
         }

@@ -66,6 +66,7 @@ pub mod error;
 pub mod online;
 pub mod persist;
 pub mod pipeline;
+pub mod scenarios;
 pub mod select;
 pub mod server;
 pub mod service;
@@ -76,7 +77,8 @@ pub mod task;
 
 pub use augment::{Augmenter, FeatureProcess};
 pub use capture::{
-    capture, encodings, seen_end_time, Capture, CapturedNeighbor, CapturedQuery, InputFeatures,
+    capture, encodings, seen_end_time, Capture, CaptureStream, CapturedNeighbor, CapturedQuery,
+    InputFeatures,
 };
 pub use config::{PositionalSource, SplashConfig};
 pub use durable::{DurabilityConfig, DurableWriter, FaultPlan, RecoveryReport};
@@ -91,6 +93,10 @@ pub use pipeline::{
     run_splash_frac, split_bounds, split_bounds_frac, train_slim, try_run_slim_with,
     try_run_splash, SplashOutput, SEEN_FRAC, TRAIN_FRAC,
 };
+pub use scenarios::{
+    run_matrix, run_scenario, EngineFactory, EngineSpec, ModelSpec, RegimeReport, ScenarioCell,
+    ScenarioConfig, ScenarioReport, ScenarioSpec,
+};
 pub use select::{
     select_features, select_features_with_splits, truncate_to_available, SelectionReport,
     SPLIT_FRACTIONS,
@@ -98,7 +104,8 @@ pub use select::{
 pub use server::{ServerConfig, ServerHandle, SplashServer};
 pub use service::{
     CheckpointPolicy, IngestReport, IngestRequest, LabelReport, LatencyHistogram, LateEdgePolicy,
-    PredictRequest, PredictResponse, ServiceStats, SplashService, SplashServiceBuilder,
+    ModelInfo, PredictRequest, PredictResponse, ServeEngine, ServiceStats, SplashService,
+    SplashServiceBuilder,
 };
 pub use shard::{shard_of, ShardStats, ShardedPredictor};
 pub use slim::{AdamState, SlimBatch, SlimCache, SlimModel};

@@ -1,0 +1,580 @@
+//! Scenario matrix: every dataset regime × every registered model, driven
+//! prequentially through one multi-tenant [`SplashService`].
+//!
+//! This is the repo's Table III analogue as a *serving* experiment rather
+//! than an offline evaluation. Each regime (drift / anomaly /
+//! classification / affinity / scalability) builds one service holding
+//! every contender as a registry slot — SPLASH engines trained in-service,
+//! external engines (e.g. the `baselines` crate's competitors behind
+//! [`ServeEngine`] adapters) registered next to them — then replays the
+//! post-training period as a live stream:
+//!
+//! 1. edges between queries are batched and ingested into **every** slot;
+//! 2. each test query is answered by every slot *before* its label is
+//!    revealed (prequential: predict-then-label);
+//! 3. the ground truth is then fed back to slots marked online, so the
+//!    drift regime shows continual learning against a bit-identically
+//!    initialized frozen copy in the same service.
+//!
+//! The result is a single deterministic report artifact
+//! ([`ScenarioReport::to_json`] / [`ScenarioReport::to_markdown`]) with one
+//! cell per regime × model: task metric (plus AP next to AUC on the
+//! anomaly regime), queries served, and — when [`ScenarioConfig::timing`]
+//! is on — ingest throughput and predict p99 from a per-cell
+//! [`LatencyHistogram`]. With timing off the report bytes are a pure
+//! function of the datasets, the specs, and the seed (pinned in
+//! `crates/splash/tests/scenarios.rs` and by the `ci/check.sh` smoke leg).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use ctdg::{replay, Event, Label, TemporalEdge};
+use datasets::{Dataset, Task};
+use nn::Matrix;
+
+use crate::config::SplashConfig;
+use crate::error::SplashError;
+use crate::online::OnlineConfig;
+use crate::pipeline::split_bounds;
+use crate::task::name as task_name;
+use crate::service::{
+    IngestRequest, LatencyHistogram, LateEdgePolicy, PredictRequest, PredictResponse,
+    ServeEngine, SplashService,
+};
+
+/// Builds the external engine for one (dataset, config) pair — the seam
+/// through which non-SPLASH models (baselines) enter the matrix without
+/// this crate depending on theirs. The factory must return an engine
+/// already trained on the dataset's training split and advanced to its
+/// training prefix (same 10/10/80 protocol as the in-service SPLASH
+/// training), or a typed error (e.g. [`SplashError::TaskUnsupported`]) —
+/// which the runner records as an `n/a` cell instead of aborting the
+/// regime.
+pub type EngineFactory =
+    Box<dyn Fn(&Dataset, &SplashConfig) -> Result<Box<dyn ServeEngine>, SplashError>>;
+
+/// How one contender slot is built for a regime.
+pub enum EngineSpec {
+    /// SPLASH trained in-service with automatic feature selection.
+    Splash {
+        /// Feed ground truth back prequentially (continual learning). A
+        /// frozen slot never observes labels and keeps its trained
+        /// weights bit-identical through the whole stream.
+        online: bool,
+    },
+    /// An external engine produced by a factory (see [`EngineFactory`]).
+    External(EngineFactory),
+}
+
+/// One named contender in a scenario.
+pub struct ModelSpec {
+    /// Registry slot name (e.g. `"splash"`, `"splash+online"`, `"tgn+RF"`).
+    pub name: String,
+    /// How the slot is built.
+    pub engine: EngineSpec,
+}
+
+/// One row of the matrix: a dataset regime plus the contenders to serve
+/// through it.
+pub struct ScenarioSpec {
+    /// Regime label (e.g. `"drift"`, `"anomaly"`).
+    pub regime: String,
+    /// The dataset driven through the service.
+    pub dataset: Dataset,
+    /// The contenders, in report order.
+    pub models: Vec<ModelSpec>,
+}
+
+/// Knobs shared by every cell of the matrix.
+pub struct ScenarioConfig {
+    /// Model/training config common to all contenders (seed, k, dims,
+    /// epochs) — the determinism root of the whole report.
+    pub splash: SplashConfig,
+    /// Continual-learning knobs for the online slots.
+    pub online: OnlineConfig,
+    /// Record wall-clock cells (edges/s, predict p99). Off (the default),
+    /// timing cells render as `null`/`-` and the report bytes are
+    /// deterministic for a fixed seed.
+    pub timing: bool,
+}
+
+impl ScenarioConfig {
+    /// A config with the given model knobs, default online knobs, and
+    /// timing off (deterministic report bytes).
+    pub fn new(splash: SplashConfig) -> Self {
+        ScenarioConfig { splash, online: OnlineConfig::default(), timing: false }
+    }
+}
+
+/// One cell of the report: a (regime, model) pairing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioCell {
+    /// Contender name.
+    pub model: String,
+    /// Engine kind serving the slot (from [`SplashService::models_info`]),
+    /// `"-"` for a contender that could not enter the regime.
+    pub engine: String,
+    /// Whether the slot observed labels prequentially.
+    pub online: bool,
+    /// Test queries served through the slot.
+    pub queries: usize,
+    /// Task metric over the served test queries (`None` for a skipped
+    /// contender).
+    pub metric: Option<f64>,
+    /// Average precision, reported next to AUC on the anomaly regime only.
+    pub ap: Option<f64>,
+    /// Ingest throughput (edges/second) — `None` unless
+    /// [`ScenarioConfig::timing`] is on.
+    pub edges_per_sec: Option<f64>,
+    /// Predict p99 in microseconds from the per-cell
+    /// [`LatencyHistogram`] — `None` unless timing is on.
+    pub p99_us: Option<u64>,
+    /// Why the contender was skipped (the typed error, rendered), e.g.
+    /// SLADE outside the anomaly regime.
+    pub note: Option<String>,
+}
+
+/// One regime's rendered row: the dataset it ran on and a cell per model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegimeReport {
+    /// Regime label from the spec.
+    pub regime: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Task the regime evaluates.
+    pub task: Task,
+    /// Display name of the task metric.
+    pub metric_name: &'static str,
+    /// One cell per contender, in spec order.
+    pub cells: Vec<ScenarioCell>,
+}
+
+/// The full matrix artifact: [`RegimeReport`] rows under one seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReport {
+    /// The seed the whole matrix ran under.
+    pub seed: u64,
+    /// One row per scenario, in spec order.
+    pub regimes: Vec<RegimeReport>,
+}
+
+/// Display name of a task's evaluation metric (the Table III headers).
+pub fn metric_name(task: Task) -> &'static str {
+    match task {
+        Task::Anomaly => "AUC",
+        Task::Classification => "weighted F1",
+        Task::Affinity => "NDCG@10",
+    }
+}
+
+
+/// Per-active-model accumulators over the prequential loop.
+struct Lane {
+    /// Index into the spec's model list (cell order).
+    spec_idx: usize,
+    name: String,
+    online: bool,
+    logits: Vec<f32>,
+    served: usize,
+    ingest_secs: f64,
+    edges: u64,
+    hist: LatencyHistogram,
+}
+
+/// Runs one regime: builds the multi-tenant service, registers every
+/// contender, streams the post-training period prequentially, and scores
+/// each slot. Contenders whose factory reports a typed error (task
+/// mismatch, unstreamable mode) become `n/a` cells; infrastructure errors
+/// (a slot rejecting the shared stream) abort the regime.
+pub fn run_scenario(
+    spec: &ScenarioSpec,
+    cfg: &ScenarioConfig,
+) -> Result<RegimeReport, SplashError> {
+    let dataset = &spec.dataset;
+    let any_online = spec
+        .models
+        .iter()
+        .any(|m| matches!(m.engine, EngineSpec::Splash { online: true }));
+    let mut builder =
+        SplashService::builder(cfg.splash).late_edge_policy(LateEdgePolicy::Error);
+    if any_online {
+        builder = builder.online(cfg.online);
+    }
+    let mut service = builder.build()?;
+
+    // Register every contender; factories that refuse the regime become
+    // skipped cells rather than errors.
+    let mut lanes: Vec<Lane> = Vec::new();
+    let mut skipped: Vec<(usize, String)> = Vec::new();
+    for (i, m) in spec.models.iter().enumerate() {
+        let online = match &m.engine {
+            EngineSpec::Splash { online: false } => {
+                service.train_frozen_model(&m.name, dataset)?;
+                false
+            }
+            EngineSpec::Splash { online: true } => {
+                service.train_model(&m.name, dataset)?;
+                true
+            }
+            EngineSpec::External(factory) => match factory(dataset, &cfg.splash) {
+                Ok(engine) => {
+                    service.register_engine(&m.name, engine)?;
+                    false
+                }
+                Err(e) => {
+                    skipped.push((i, e.to_string()));
+                    continue;
+                }
+            },
+        };
+        lanes.push(Lane {
+            spec_idx: i,
+            name: m.name.clone(),
+            online,
+            logits: Vec::new(),
+            served: 0,
+            ingest_secs: 0.0,
+            edges: 0,
+            hist: LatencyHistogram::default(),
+        });
+    }
+
+    // Every slot consumed the same training prefix, so the live period
+    // starts at one shared clock; a mismatch means a factory violated the
+    // protocol and the comparison would be apples-to-oranges.
+    let mut t_live = f64::NEG_INFINITY;
+    for lane in &lanes {
+        t_live = t_live.max(service.model_last_time(&lane.name)?);
+    }
+    for lane in &lanes {
+        let t = service.model_last_time(&lane.name)?;
+        if t != t_live && !(t == f64::NEG_INFINITY && t_live == f64::NEG_INFINITY) {
+            return Err(SplashError::InvalidConfig {
+                what: format!(
+                    "contender {:?} starts serving at t={t}, others at t={t_live}: \
+                     every engine must consume the same training prefix",
+                    lane.name
+                ),
+            });
+        }
+    }
+    let prefix = dataset.stream.prefix_len_at(t_live);
+    let (_, val_end) = split_bounds(dataset.queries.len());
+
+    let mut pending: Vec<TemporalEdge> = Vec::new();
+    let mut resp = PredictResponse::default();
+    let mut labels: Vec<&Label> = Vec::new();
+    for event in replay(&dataset.stream, &dataset.queries) {
+        match event {
+            Event::Edge(idx, edge) => {
+                if idx >= prefix {
+                    pending.push(edge.clone());
+                }
+            }
+            Event::Query(qi, q) => {
+                if !pending.is_empty() {
+                    for lane in &mut lanes {
+                        let started = cfg.timing.then(Instant::now);
+                        service.ingest(&lane.name, IngestRequest::new(&pending))?;
+                        if let Some(t0) = started {
+                            lane.ingest_secs += t0.elapsed().as_secs_f64();
+                        }
+                        lane.edges += pending.len() as u64;
+                    }
+                    pending.clear();
+                }
+                let scored = qi >= val_end && q.time >= t_live;
+                if scored {
+                    labels.push(&q.label);
+                }
+                // Prequential order: every slot answers before any slot
+                // sees the ground truth.
+                for lane in &mut lanes {
+                    if scored {
+                        let started = cfg.timing.then(Instant::now);
+                        service.predict_into(
+                            &lane.name,
+                            PredictRequest::new(q.node, q.time),
+                            &mut resp,
+                        )?;
+                        if let Some(t0) = started {
+                            lane.hist.record_ns(t0.elapsed().as_nanos() as u64);
+                        }
+                        lane.logits.extend_from_slice(&resp.logits);
+                        lane.served += 1;
+                    }
+                }
+                for lane in &lanes {
+                    if lane.online && q.time >= t_live {
+                        service.observe_labels(&lane.name, std::slice::from_ref(q))?;
+                    }
+                }
+            }
+        }
+    }
+    if !pending.is_empty() {
+        for lane in &mut lanes {
+            let started = cfg.timing.then(Instant::now);
+            service.ingest(&lane.name, IngestRequest::new(&pending))?;
+            if let Some(t0) = started {
+                lane.ingest_secs += t0.elapsed().as_secs_f64();
+            }
+            lane.edges += pending.len() as u64;
+        }
+    }
+
+    // Score each lane and assemble the cells in spec order.
+    let info = service.models_info();
+    let engine_of = |name: &str| {
+        info.iter()
+            .find(|i| i.name == name)
+            .map(|i| i.engine.clone())
+            .unwrap_or_else(|| "-".to_string())
+    };
+    let mut cells: Vec<ScenarioCell> = Vec::with_capacity(spec.models.len());
+    let mut lane_iter = lanes.into_iter().peekable();
+    for (i, m) in spec.models.iter().enumerate() {
+        if let Some((_, note)) = skipped.iter().find(|(si, _)| *si == i) {
+            cells.push(ScenarioCell {
+                model: m.name.clone(),
+                engine: "-".to_string(),
+                online: false,
+                queries: 0,
+                metric: None,
+                ap: None,
+                edges_per_sec: None,
+                p99_us: None,
+                note: Some(note.clone()),
+            });
+            continue;
+        }
+        let lane = lane_iter
+            .next()
+            .expect("every non-skipped model has a lane, in spec order");
+        debug_assert_eq!(lane.spec_idx, i);
+        let out_dim = lane.logits.len().checked_div(lane.served).unwrap_or(0);
+        let logits = Matrix::from_vec(lane.served, out_dim, lane.logits);
+        let metric = crate::task::evaluate(dataset.task, &logits, &labels);
+        let ap = (dataset.task == Task::Anomaly && out_dim >= 2).then(|| {
+            let p = nn::softmax(&logits);
+            let scores: Vec<f32> = (0..p.rows()).map(|r| p.get(r, 1)).collect();
+            let truth: Vec<bool> = labels.iter().map(|l| l.class() == 1).collect();
+            eval::average_precision(&scores, &truth)
+        });
+        cells.push(ScenarioCell {
+            model: lane.name.clone(),
+            engine: engine_of(&lane.name),
+            online: lane.online,
+            queries: lane.served,
+            metric: Some(metric),
+            ap,
+            edges_per_sec: (cfg.timing && lane.ingest_secs > 0.0)
+                .then(|| lane.edges as f64 / lane.ingest_secs),
+            p99_us: cfg.timing.then(|| lane.hist.p99_ns() / 1_000),
+            note: None,
+        });
+    }
+
+    Ok(RegimeReport {
+        regime: spec.regime.clone(),
+        dataset: dataset.name.clone(),
+        task: dataset.task,
+        metric_name: metric_name(dataset.task),
+        cells,
+    })
+}
+
+/// Runs every scenario in order and assembles the matrix artifact.
+pub fn run_matrix(
+    specs: &[ScenarioSpec],
+    cfg: &ScenarioConfig,
+) -> Result<ScenarioReport, SplashError> {
+    let mut regimes = Vec::with_capacity(specs.len());
+    for spec in specs {
+        regimes.push(run_scenario(spec, cfg)?);
+    }
+    Ok(ScenarioReport { seed: cfg.splash.seed, regimes })
+}
+
+// ---------------------------------------------------------------------------
+// Rendering. Both forms are pure functions of the report value; floats
+// print through `{}` (shortest round-trip) in JSON and `{:.4}` in
+// markdown, so fixed metric bits give fixed artifact bytes.
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_f64(v: Option<f64>) -> String {
+    match v {
+        Some(x) if x.is_finite() => format!("{x}"),
+        _ => "null".to_string(),
+    }
+}
+
+impl ScenarioReport {
+    /// The machine-readable artifact (stable key order, shortest
+    /// round-trip float formatting).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{{\"seed\":{},\"regimes\":[", self.seed);
+        for (ri, regime) in self.regimes.iter().enumerate() {
+            if ri > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"regime\":\"{}\",\"dataset\":\"{}\",\"task\":\"{}\",\"metric\":\"{}\",\"cells\":[",
+                json_escape(&regime.regime),
+                json_escape(&regime.dataset),
+                task_name(regime.task),
+                json_escape(regime.metric_name),
+            );
+            for (ci, cell) in regime.cells.iter().enumerate() {
+                if ci > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"model\":\"{}\",\"engine\":\"{}\",\"online\":{},\"queries\":{},\
+                     \"metric\":{},\"ap\":{},\"edges_per_sec\":{},\"p99_us\":{},\"note\":{}}}",
+                    json_escape(&cell.model),
+                    json_escape(&cell.engine),
+                    cell.online,
+                    cell.queries,
+                    json_f64(cell.metric),
+                    json_f64(cell.ap),
+                    json_f64(cell.edges_per_sec),
+                    cell.p99_us.map_or("null".to_string(), |v| v.to_string()),
+                    cell.note
+                        .as_deref()
+                        .map_or("null".to_string(), |n| format!("\"{}\"", json_escape(n))),
+                );
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// The human-readable artifact: one Table III-style table per regime.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# Scenario matrix (seed {})", self.seed);
+        for regime in &self.regimes {
+            let _ = writeln!(
+                out,
+                "\n## {} — {} ({}, {})\n",
+                regime.regime,
+                regime.dataset,
+                task_name(regime.task),
+                regime.metric_name,
+            );
+            let _ = writeln!(
+                out,
+                "| model | engine | online | {} | AP | queries | edges/s | p99 (µs) |",
+                regime.metric_name
+            );
+            let _ = writeln!(out, "|---|---|---|---:|---:|---:|---:|---:|");
+            for cell in &regime.cells {
+                let fmt_f = |v: Option<f64>| match v {
+                    Some(x) if x.is_finite() => format!("{x:.4}"),
+                    _ => "-".to_string(),
+                };
+                let row = format!(
+                    "| {} | {} | {} | {} | {} | {} | {} | {} |",
+                    cell.model,
+                    cell.engine,
+                    if cell.online { "on" } else { "off" },
+                    match cell.note {
+                        Some(ref n) => format!("n/a ({n})"),
+                        None => fmt_f(cell.metric),
+                    },
+                    fmt_f(cell.ap),
+                    cell.queries,
+                    match cell.edges_per_sec {
+                        Some(x) if x.is_finite() => format!("{x:.0}"),
+                        _ => "-".to_string(),
+                    },
+                    cell.p99_us.map_or("-".to_string(), |v| v.to_string()),
+                );
+                let _ = writeln!(out, "{row}");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> (ScenarioSpec, ScenarioConfig) {
+        let dataset = datasets::synthetic_shift(50, 7);
+        let dataset = crate::select::truncate_to_available(&dataset, 0.12);
+        let mut cfg = SplashConfig::tiny();
+        cfg.epochs = 1;
+        let spec = ScenarioSpec {
+            regime: "drift".into(),
+            dataset,
+            models: vec![ModelSpec {
+                name: "splash".into(),
+                engine: EngineSpec::Splash { online: false },
+            }],
+        };
+        (spec, ScenarioConfig::new(cfg))
+    }
+
+    #[test]
+    fn single_cell_matrix_runs_and_renders() {
+        let (spec, cfg) = tiny_spec();
+        let report = run_matrix(std::slice::from_ref(&spec), &cfg).unwrap();
+        assert_eq!(report.regimes.len(), 1);
+        let cell = &report.regimes[0].cells[0];
+        assert!(cell.metric.is_some());
+        assert!(cell.queries > 0);
+        assert_eq!(cell.edges_per_sec, None, "timing off leaves timing cells empty");
+        let json = report.to_json();
+        assert!(json.contains("\"regime\":\"drift\""), "{json}");
+        assert!(json.contains("\"edges_per_sec\":null"), "{json}");
+        let md = report.to_markdown();
+        assert!(md.contains("| splash | splash | off |"), "{md}");
+    }
+
+    #[test]
+    fn skipped_contender_renders_as_na_cell() {
+        let (mut spec, cfg) = tiny_spec();
+        spec.models.push(ModelSpec {
+            name: "grumpy".into(),
+            engine: EngineSpec::External(Box::new(|_, _| {
+                Err(SplashError::TaskUnsupported { model: "grumpy".into(), task: "drift" })
+            })),
+        });
+        let report = run_scenario(&spec, &cfg).unwrap();
+        assert_eq!(report.cells.len(), 2);
+        let cell = &report.cells[1];
+        assert_eq!(cell.metric, None);
+        assert!(cell.note.as_deref().unwrap().contains("does not support"), "{cell:?}");
+        assert!(report.cells[0].metric.is_some());
+    }
+
+    #[test]
+    fn json_escaping_handles_control_characters() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

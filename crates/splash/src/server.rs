@@ -39,7 +39,7 @@
 //! |---|---|
 //! | `GET /healthz` | (answered by the worker, never queued) |
 //! | `GET /stats` | [`SplashService::stats`] |
-//! | `GET /models` | [`SplashService::model_names`] |
+//! | `GET /models` | [`SplashService::models_info`] |
 //! | `POST /models/{name}/ingest` | [`SplashService::ingest`] |
 //! | `POST /models/{name}/predict` | [`SplashService::predict_into`] |
 //! | `POST /models/{name}/labels` | [`SplashService::observe_labels`] |
@@ -603,8 +603,8 @@ fn execute(service: &mut SplashService, route: &Route, body: &[u8], shed: &Atomi
         Route::Stats => render_stats(service, shed),
         Route::Models => {
             let mut body = String::new();
-            for name in service.model_names() {
-                body.push_str(name);
+            for info in service.models_info() {
+                body.push_str(&info.to_string());
                 body.push('\n');
             }
             Response::ok(body)

@@ -401,10 +401,101 @@ impl fmt::Display for ServiceStats {
     }
 }
 
+/// An externally implemented serving engine, pluggable into a
+/// [`SplashService`] registry slot next to the built-in SPLASH engines via
+/// [`SplashService::register_engine`].
+///
+/// This is the seam that turns the registry into a genuinely multi-model,
+/// multi-tenant serving plane: any model that can consume a chronological
+/// edge stream and answer `(node, time)` property queries — the
+/// `baselines` crate's Table III competitors, for instance — serves
+/// through the **same** slots, policies ([`LateEdgePolicy`], strict node
+/// checking), counters ([`ServiceStats`]) and typed [`SplashError`]
+/// surface as SPLASH itself.
+///
+/// Contract expected of implementors (the same one the SPLASH engines
+/// honor): edges arrive chronologically and a violated batch is rejected
+/// **atomically** with [`SplashError::OutOfOrderEdge`] before any state
+/// changes; queries before the stream clock are [`SplashError::PastQuery`];
+/// prediction is read-only and deterministic for a given observed stream.
+///
+/// External engines are serving-only: they have no online trainer (label
+/// feedback reports [`SplashError::OnlineDisabled`]) and no persistence
+/// (saving or checkpointing the slot reports a typed error instead of
+/// silently writing an artifact that could not restore the engine).
+pub trait ServeEngine: std::fmt::Debug + Send {
+    /// Short engine-kind label shown in [`ModelInfo`] and `GET /models`
+    /// (e.g. `"baseline:tgn+rf"`).
+    fn kind(&self) -> String;
+
+    /// Arrival time of the most recently observed edge
+    /// (`f64::NEG_INFINITY` before the first).
+    fn last_time(&self) -> f64;
+
+    /// Size of the known node universe (valid ids are `0..known`), used by
+    /// strict node checking.
+    fn known_nodes(&self) -> usize;
+
+    /// Validates and applies a chronological edge batch atomically: a
+    /// rejected batch ([`SplashError::OutOfOrderEdge`]) leaves the engine
+    /// untouched.
+    fn try_push_edges(&mut self, edges: &[TemporalEdge]) -> Result<(), SplashError>;
+
+    /// Observes one edge, advancing the stream clock.
+    fn try_observe_edge(&mut self, edge: &TemporalEdge) -> Result<(), SplashError>;
+
+    /// Answers one query, writing the logits into `out` (cleared first;
+    /// buffer reused across calls).
+    fn try_predict_into(
+        &self,
+        node: NodeId,
+        time: f64,
+        out: &mut Vec<f32>,
+    ) -> Result<(), SplashError>;
+
+    /// Answers a micro-batch of queries; row `i` holds the logits for
+    /// `queries[i]` (labels are ignored).
+    fn try_predict_batch(&self, queries: &[PropertyQuery]) -> Result<Matrix, SplashError>;
+}
+
+/// Descriptive snapshot of one registry slot
+/// ([`SplashService::models_info`]): which engine serves it and with what
+/// capabilities — the inspectable face of a multi-tenant registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelInfo {
+    /// The registry name.
+    pub name: String,
+    /// Engine kind: `"splash"` for the built-in streaming engines, or the
+    /// external engine's own label (e.g. `"baseline:tgn+rf"`).
+    pub engine: String,
+    /// How many hash-partitioned shards serve the slot (1 = single).
+    pub shards: usize,
+    /// Whether the slot has a hot-standby online trainer attached.
+    pub online: bool,
+    /// Whether the slot has a durable checkpoint + WAL log attached.
+    pub durable: bool,
+}
+
+impl fmt::Display for ModelInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let onoff = |b: bool| if b { "on" } else { "off" };
+        write!(
+            f,
+            "{} engine={} shards={} online={} durable={}",
+            self.name,
+            self.engine,
+            self.shards,
+            onoff(self.online),
+            onoff(self.durable),
+        )
+    }
+}
+
 /// The serving engine behind one registry slot: a single streaming
-/// predictor, or a hash-partitioned group of them. The enum delegates the
-/// handful of calls the façade makes, so the policy/accounting code above
-/// it is engine-agnostic — and so is the bit-identity contract, since the
+/// predictor, a hash-partitioned group of them, or an externally
+/// implemented [`ServeEngine`]. The enum delegates the handful of calls
+/// the façade makes, so the policy/accounting code above it is
+/// engine-agnostic — and so is the bit-identity contract, since the
 /// sharded engine reproduces the single engine exactly.
 #[derive(Debug)]
 enum Engine {
@@ -413,12 +504,23 @@ enum Engine {
     Single(Box<StreamingPredictor>),
     /// `N` hash-partitioned predictors behind a scatter–gather router.
     Sharded(ShardedPredictor),
+    /// An externally implemented engine behind the same slot surface
+    /// (serving-only: no trainer, no persistence).
+    External(Box<dyn ServeEngine>),
 }
 
 impl Engine {
+    /// The [`ModelInfo`] engine-kind label.
+    fn kind_label(&self) -> String {
+        match self {
+            Engine::Single(_) | Engine::Sharded(_) => "splash".to_string(),
+            Engine::External(e) => e.kind(),
+        }
+    }
+
     fn shards(&self) -> usize {
         match self {
-            Engine::Single(_) => 1,
+            Engine::Single(_) | Engine::External(_) => 1,
             Engine::Sharded(s) => s.num_shards(),
         }
     }
@@ -427,6 +529,7 @@ impl Engine {
         match self {
             Engine::Single(p) => p.last_time(),
             Engine::Sharded(s) => s.last_time(),
+            Engine::External(e) => e.last_time(),
         }
     }
 
@@ -434,6 +537,7 @@ impl Engine {
         match self {
             Engine::Single(p) => p.known_nodes(),
             Engine::Sharded(s) => s.known_nodes(),
+            Engine::External(e) => e.known_nodes(),
         }
     }
 
@@ -441,6 +545,7 @@ impl Engine {
         match self {
             Engine::Single(p) => p.try_push_edges(edges),
             Engine::Sharded(s) => s.try_push_edges(edges),
+            Engine::External(e) => e.try_push_edges(edges),
         }
     }
 
@@ -448,6 +553,7 @@ impl Engine {
         match self {
             Engine::Single(p) => p.try_observe_edge(edge),
             Engine::Sharded(s) => s.try_observe_edge(edge),
+            Engine::External(e) => e.try_observe_edge(edge),
         }
     }
 
@@ -460,6 +566,7 @@ impl Engine {
         match self {
             Engine::Single(p) => p.try_predict_into(node, time, out),
             Engine::Sharded(s) => s.try_predict_into(node, time, out),
+            Engine::External(e) => e.try_predict_into(node, time, out),
         }
     }
 
@@ -467,6 +574,7 @@ impl Engine {
         match self {
             Engine::Single(p) => p.try_predict_batch(queries),
             Engine::Sharded(s) => s.try_predict_batch(queries),
+            Engine::External(e) => e.try_predict_batch(queries),
         }
     }
 
@@ -478,6 +586,10 @@ impl Engine {
         match self {
             Engine::Single(p) => p.try_predict_batch_into(queries, out),
             Engine::Sharded(s) => s.try_predict_batch_into(queries, out),
+            Engine::External(e) => {
+                *out = e.try_predict_batch(queries)?;
+                Ok(())
+            }
         }
     }
 
@@ -485,6 +597,12 @@ impl Engine {
         match self {
             Engine::Single(p) => p.save_with_opt(path, opt),
             Engine::Sharded(s) => s.save_with_opt(path, opt),
+            Engine::External(e) => Err(SplashError::InvalidConfig {
+                what: format!(
+                    "external engine {:?} cannot be persisted (serving-only slot)",
+                    e.kind()
+                ),
+            }),
         }
     }
 
@@ -502,6 +620,9 @@ impl Engine {
         match self {
             Engine::Single(p) => p.capture_labeled_into(node, time, label, q, spare),
             Engine::Sharded(s) => s.capture_labeled_into(node, time, label, q, spare),
+            // Unreachable in practice: external slots carry no trainer, so
+            // nothing ever captures through them — but keep it typed.
+            Engine::External(e) => Err(SplashError::OnlineDisabled { name: e.kind() }),
         }
     }
 
@@ -513,6 +634,9 @@ impl Engine {
         match self {
             Engine::Single(p) => p.set_model_weights(src),
             Engine::Sharded(s) => s.set_weights(src),
+            // No SLIM weights to publish into; unreachable because external
+            // slots have no trainer, and harmless if that ever changes.
+            Engine::External(_) => {}
         }
     }
 
@@ -522,6 +646,9 @@ impl Engine {
         match self {
             Engine::Single(p) => vec![p.durable_state()],
             Engine::Sharded(s) => s.durable_shard_states(),
+            // Unreachable: checkpointing an external slot fails earlier, in
+            // `model_bytes`.
+            Engine::External(_) => Vec::new(),
         }
     }
 
@@ -531,17 +658,25 @@ impl Engine {
         match self {
             Engine::Single(p) => p.model_artifact_bytes(opt),
             Engine::Sharded(s) => s.model_artifact_bytes(opt),
+            Engine::External(e) => Err(SplashError::InvalidConfig {
+                what: format!(
+                    "external engine {:?} cannot be checkpointed (serving-only slot)",
+                    e.kind()
+                ),
+            }),
         }
     }
 
     /// A copy of the served weights (shards share them), for rebuilding a
-    /// trainer at recovery.
-    fn model_clone(&self) -> SlimModel {
+    /// trainer at recovery. `None` for an external engine, which has no
+    /// SLIM weights (recovery only ever constructs SPLASH engines).
+    fn model_clone(&self) -> Option<SlimModel> {
         match self {
-            Engine::Single(p) => p.model().clone(),
-            Engine::Sharded(s) => {
-                s.shard(0).expect("a sharded engine has at least one shard").model().clone()
-            }
+            Engine::Single(p) => Some(p.model().clone()),
+            Engine::Sharded(s) => Some(
+                s.shard(0).expect("a sharded engine has at least one shard").model().clone(),
+            ),
+            Engine::External(_) => None,
         }
     }
 }
@@ -754,6 +889,26 @@ impl SplashService {
         Ok(process)
     }
 
+    /// Like [`SplashService::train_model`], but the installed copy never
+    /// gets a continual-learning trainer — even when the service was built
+    /// with [`SplashServiceBuilder::online`]. Training is deterministic,
+    /// so a frozen slot and an online slot trained from the same dataset
+    /// and config start from bit-identical weights; only the online copy
+    /// then moves. This is what lets one multi-tenant service hold the
+    /// frozen-vs-adapted comparison the scenario matrix reports.
+    pub fn train_frozen_model(
+        &mut self,
+        name: &str,
+        dataset: &Dataset,
+    ) -> Result<FeatureProcess, SplashError> {
+        let predictor = StreamingPredictor::train(dataset, &self.cfg);
+        let process = predictor.process();
+        let engine = self.engine_for(predictor)?;
+        let idx = self.install(name, engine, None);
+        self.checkpoint_barrier(idx)?;
+        Ok(process)
+    }
+
     /// Like [`SplashService::train_model`] but with a fixed augmentation
     /// process (skipping selection).
     pub fn train_model_with_process(
@@ -846,12 +1001,49 @@ impl SplashService {
         self.models.iter().map(|e| e.name.as_str())
     }
 
+    /// One [`ModelInfo`] row per registered slot, in installation order —
+    /// the machine-readable registry inventory behind `GET /models` and
+    /// the CLI `serve` report.
+    pub fn models_info(&self) -> Vec<ModelInfo> {
+        self.models
+            .iter()
+            .map(|e| ModelInfo {
+                name: e.name.clone(),
+                engine: e.engine.kind_label(),
+                shards: e.engine.shards(),
+                online: e.trainer.is_some(),
+                durable: e.durable.is_some(),
+            })
+            .collect()
+    }
+
+    /// Registers an external engine (anything implementing
+    /// [`ServeEngine`] — e.g. a baseline model adapted to streamed
+    /// serving) under `name`, hot-swapping any model already there.
+    ///
+    /// External slots are serving-only tenants: they share the registry,
+    /// [`ServiceStats`], late-edge policies, and typed-error surface with
+    /// SPLASH slots, but carry no online trainer (labels observed on them
+    /// report [`SplashError::OnlineDisabled`]) and cannot be persisted or
+    /// made durable (typed [`SplashError::InvalidConfig`]).
+    pub fn register_engine(
+        &mut self,
+        name: &str,
+        engine: Box<dyn ServeEngine>,
+    ) -> Result<(), SplashError> {
+        let idx = self.install(name, Engine::External(engine), None);
+        self.checkpoint_barrier(idx)?;
+        Ok(())
+    }
+
     /// Direct (read-only) access to a registered single-engine predictor —
     /// the escape hatch for callers that need core APIs the façade does
     /// not wrap (representations, `predict_many`, …). A model served by
     /// multiple shards has no single engine and reports
     /// [`SplashError::ShardedModel`]; use
-    /// [`SplashService::sharded_model`] for those.
+    /// [`SplashService::sharded_model`] for those. An external engine has
+    /// no [`StreamingPredictor`] at all and reports
+    /// [`SplashError::InvalidConfig`].
     pub fn model(&self, name: &str) -> Result<&StreamingPredictor, SplashError> {
         let entry = self.entry(name)?;
         match &entry.engine {
@@ -860,17 +1052,24 @@ impl SplashService {
                 name: name.to_string(),
                 shards: s.num_shards(),
             }),
+            Engine::External(e) => Err(SplashError::InvalidConfig {
+                what: format!(
+                    "model {name:?} is served by an external engine ({:?}); direct \
+                     predictor access applies only to SPLASH engines",
+                    e.kind()
+                ),
+            }),
         }
     }
 
     /// Direct (read-only) access to a registered sharded engine (per-shard
-    /// stats, shard inspection). A single-engine model reports
+    /// stats, shard inspection). A single-engine or external model reports
     /// [`SplashError::ShardedModel`] with `shards: 1`.
     pub fn sharded_model(&self, name: &str) -> Result<&ShardedPredictor, SplashError> {
         let entry = self.entry(name)?;
         match &entry.engine {
             Engine::Sharded(s) => Ok(s),
-            Engine::Single(_) => Err(SplashError::ShardedModel {
+            Engine::Single(_) | Engine::External(_) => Err(SplashError::ShardedModel {
                 name: name.to_string(),
                 shards: 1,
             }),
@@ -879,12 +1078,12 @@ impl SplashService {
 
     /// Per-shard serving counters of the named model: one
     /// [`ShardStats`] row per shard for a sharded engine, an empty vector
-    /// for a single-engine model (whose counters are the service-level
-    /// [`ServiceStats`]).
+    /// for a single-engine or external model (whose counters are the
+    /// service-level [`ServiceStats`]).
     pub fn shard_stats(&self, name: &str) -> Result<Vec<ShardStats>, SplashError> {
         match &self.entry(name)?.engine {
             Engine::Sharded(s) => Ok(s.shard_stats()),
-            Engine::Single(_) => Ok(Vec::new()),
+            Engine::Single(_) | Engine::External(_) => Ok(Vec::new()),
         }
     }
 
@@ -1334,8 +1533,10 @@ impl SplashService {
                 });
             }
             (Some(ocfg), Some(state)) => {
-                let mut trainer =
-                    OnlineTrainer::resume(*ocfg, engine.model_clone(), state.task, opt.as_ref())?;
+                let model = engine
+                    .model_clone()
+                    .expect("recovery constructs only SPLASH engines, which carry SLIM weights");
+                let mut trainer = OnlineTrainer::resume(*ocfg, model, state.task, opt.as_ref())?;
                 trainer.restore_durable_state(state)?;
                 Some(trainer)
             }
@@ -1556,5 +1757,136 @@ mod tests {
     #[test]
     fn empty_response_has_no_top_class() {
         assert_eq!(PredictResponse::default().top_class(), None);
+    }
+
+    /// A minimal [`ServeEngine`] honoring the streaming contract: the
+    /// stream clock advances monotonically, batches reject atomically, and
+    /// predictions are a pure function of `(node, time)`.
+    #[derive(Debug)]
+    struct MockEngine {
+        last: f64,
+        nodes: usize,
+        edges_seen: usize,
+    }
+
+    impl ServeEngine for MockEngine {
+        fn kind(&self) -> String {
+            "mock".to_string()
+        }
+
+        fn last_time(&self) -> f64 {
+            self.last
+        }
+
+        fn known_nodes(&self) -> usize {
+            self.nodes
+        }
+
+        fn try_push_edges(&mut self, edges: &[TemporalEdge]) -> Result<(), SplashError> {
+            let mut prev = self.last;
+            for e in edges {
+                if e.time < prev {
+                    return Err(SplashError::OutOfOrderEdge { got: e.time, last: prev });
+                }
+                prev = e.time;
+            }
+            for e in edges {
+                self.try_observe_edge(e)?;
+            }
+            Ok(())
+        }
+
+        fn try_observe_edge(&mut self, edge: &TemporalEdge) -> Result<(), SplashError> {
+            if edge.time < self.last {
+                return Err(SplashError::OutOfOrderEdge { got: edge.time, last: self.last });
+            }
+            self.last = edge.time;
+            self.edges_seen += 1;
+            self.nodes = self.nodes.max(edge.src as usize + 1).max(edge.dst as usize + 1);
+            Ok(())
+        }
+
+        fn try_predict_into(
+            &self,
+            node: NodeId,
+            time: f64,
+            out: &mut Vec<f32>,
+        ) -> Result<(), SplashError> {
+            if time < self.last {
+                return Err(SplashError::PastQuery { got: time, last: self.last });
+            }
+            out.clear();
+            out.extend_from_slice(&[node as f32, time as f32]);
+            Ok(())
+        }
+
+        fn try_predict_batch(&self, queries: &[PropertyQuery]) -> Result<Matrix, SplashError> {
+            let mut data = Vec::with_capacity(queries.len() * 2);
+            let mut scratch = Vec::new();
+            for q in queries {
+                self.try_predict_into(q.node, q.time, &mut scratch)?;
+                data.extend_from_slice(&scratch);
+            }
+            Ok(Matrix::from_vec(queries.len(), 2, data))
+        }
+    }
+
+    fn edge(src: NodeId, dst: NodeId, time: f64) -> TemporalEdge {
+        TemporalEdge { src, dst, time, weight: 1.0, feat: Box::new([]) }
+    }
+
+    #[test]
+    fn external_engine_serves_through_registry_slots() {
+        let mut service = SplashService::builder(SplashConfig::tiny()).build().unwrap();
+        service
+            .register_engine("mock", Box::new(MockEngine { last: f64::NEG_INFINITY, nodes: 4, edges_seen: 0 }))
+            .unwrap();
+
+        // Same ingest path and counters as a SPLASH slot.
+        let report =
+            service.ingest("mock", IngestRequest::new(&[edge(0, 1, 1.0), edge(1, 2, 2.0)])).unwrap();
+        assert_eq!((report.ingested, report.dropped), (2, 0));
+        assert_eq!(service.model_last_time("mock").unwrap(), 2.0);
+
+        // Late-edge policy applies: whole batch rejected atomically.
+        let err = service.ingest("mock", IngestRequest::new(&[edge(2, 3, 0.5)])).unwrap_err();
+        assert!(matches!(err, SplashError::OutOfOrderEdge { .. }), "{err:?}");
+
+        // Queries serve and count.
+        let resp = service.predict("mock", PredictRequest::new(3, 5.0)).unwrap();
+        assert_eq!(resp.logits, vec![3.0, 5.0]);
+        let stats = service.stats();
+        assert_eq!(stats.edges_ingested, 2);
+        assert_eq!(stats.queries_served, 1);
+
+        // Serving-only: no trainer, no persistence, no direct predictor.
+        let q = PropertyQuery { node: 0, time: 9.0, label: ctdg::Label::Class(0) };
+        let err = service.observe_labels("mock", std::slice::from_ref(&q)).unwrap_err();
+        assert!(matches!(err, SplashError::OnlineDisabled { .. }), "{err:?}");
+        let err = service.save_model("mock", Path::new("/tmp/never-written")).unwrap_err();
+        assert!(matches!(err, SplashError::InvalidConfig { .. }), "{err:?}");
+        let err = service.model("mock").unwrap_err();
+        assert!(matches!(err, SplashError::InvalidConfig { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn models_info_reports_engine_kinds() {
+        let mut service = SplashService::builder(SplashConfig::tiny()).build().unwrap();
+        service
+            .register_engine("mock", Box::new(MockEngine { last: f64::NEG_INFINITY, nodes: 1, edges_seen: 0 }))
+            .unwrap();
+        let info = service.models_info();
+        assert_eq!(info.len(), 1);
+        assert_eq!(
+            info[0],
+            ModelInfo {
+                name: "mock".into(),
+                engine: "mock".into(),
+                shards: 1,
+                online: false,
+                durable: false,
+            }
+        );
+        assert_eq!(info[0].to_string(), "mock engine=mock shards=1 online=off durable=off");
     }
 }

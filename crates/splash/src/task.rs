@@ -20,6 +20,15 @@ pub fn output_dim(_task: Task, num_classes: usize) -> usize {
     num_classes
 }
 
+/// Canonical lowercase name of a task (error messages, report keys).
+pub fn name(task: Task) -> &'static str {
+    match task {
+        Task::Anomaly => "anomaly",
+        Task::Classification => "classification",
+        Task::Affinity => "affinity",
+    }
+}
+
 /// Empirical risk and its gradient w.r.t. `logits` for a labeled batch.
 pub fn loss_and_grad(task: Task, logits: &Matrix, labels: &[&Label]) -> (f32, Matrix) {
     assert_eq!(logits.rows(), labels.len());

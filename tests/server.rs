@@ -341,9 +341,13 @@ fn error_taxonomy_maps_to_statuses_over_the_wire() {
     let reply = client.request("POST", "/models/live/fine-tune", &[], "");
     assert_eq!((reply.status, reply.kind.as_deref()), (409, Some("OnlineDisabled")));
 
-    // The model list and a live prediction still answer after the errors.
+    // The model list (with per-slot engine kind) and a live prediction
+    // still answer after the errors.
     let reply = client.request("GET", "/models", &[], "");
-    assert_eq!((reply.status, reply.body.as_str()), (200, "live\n"));
+    assert_eq!(
+        (reply.status, reply.body.as_str()),
+        (200, "live engine=splash shards=1 online=off durable=off\n")
+    );
     let reply = client.request("POST", "/models/live/predict", &[], &format!("3,{t0}\n"));
     assert_eq!(reply.status, 200, "{}", reply.body);
     handle.shutdown();
