@@ -46,7 +46,8 @@ echo "==> scenario matrix: smoke report bytes are deterministic for a fixed seed
 # twin, and two baseline engines through the multi-tenant registry) must
 # produce byte-identical report artifacts.
 SCEN_DIR=$(mktemp -d)
-trap 'rm -rf "$SCEN_DIR"' EXIT
+TELEM_DIR=$(mktemp -d)
+trap 'rm -rf "$SCEN_DIR" "$TELEM_DIR"' EXIT
 cargo run --release -q -p cli -- scenarios --smoke true --seed 7 --out "$SCEN_DIR/a" >/dev/null
 cargo run --release -q -p cli -- scenarios --smoke true --seed 7 --out "$SCEN_DIR/b" >/dev/null
 cmp "$SCEN_DIR/a/report.json" "$SCEN_DIR/b/report.json"
@@ -54,6 +55,49 @@ cmp "$SCEN_DIR/a/report.md" "$SCEN_DIR/b/report.md"
 grep -q '"regime":"drift"' "$SCEN_DIR/a/report.json"
 grep -q '"regime":"anomaly"' "$SCEN_DIR/a/report.json"
 grep -q '"model":"splash+online"' "$SCEN_DIR/a/report.json"
+
+echo "==> telemetry: deterministic statz dumps + live /metrics exposition grammar"
+# A tiny trained artifact to serve.
+cargo run --release -q -p cli -- generate --dataset wiki --out "$TELEM_DIR" >/dev/null
+cargo run --release -q -p cli -- run \
+    --edges "$TELEM_DIR/wiki.edges.csv" --queries "$TELEM_DIR/wiki.queries.csv" \
+    --task anomaly --epochs 1 --k 4 --dv 8 --hidden 16 \
+    --save "$TELEM_DIR/wiki.bin" >/dev/null
+# Two identical in-process replays write byte-identical registry dumps:
+# --statz-out gates every timing-dependent field off.
+for side in a b; do
+    cargo run --release -q -p cli -- serve \
+        --model-file "$TELEM_DIR/wiki.bin" \
+        --edges "$TELEM_DIR/wiki.edges.csv" --queries "$TELEM_DIR/wiki.queries.csv" \
+        --task anomaly --statz-out "$TELEM_DIR/statz.$side.json" >/dev/null
+done
+cmp "$TELEM_DIR/statz.a.json" "$TELEM_DIR/statz.b.json"
+# A live server's /metrics must satisfy the Prometheus text-exposition
+# grammar, scraped and validated by the in-repo promcheck binary. The
+# fifo keeps stdin open (the server drains on stdin EOF).
+mkfifo "$TELEM_DIR/ctl"
+cargo run --release -q -p cli -- serve \
+    --model-file "$TELEM_DIR/wiki.bin" \
+    --edges "$TELEM_DIR/wiki.edges.csv" --queries "$TELEM_DIR/wiki.queries.csv" \
+    --task anomaly --listen 127.0.0.1:0 --slow-ms 250 \
+    > "$TELEM_DIR/serve.log" < "$TELEM_DIR/ctl" &
+SERVE_PID=$!
+exec 3> "$TELEM_DIR/ctl"
+SERVE_ADDR=""
+for _ in $(seq 1 100); do
+    SERVE_ADDR=$(sed -n 's|^serving .* on http://\([0-9.:]*\) .*|\1|p' "$TELEM_DIR/serve.log")
+    [[ -n "$SERVE_ADDR" ]] && break
+    sleep 0.1
+done
+[[ -n "$SERVE_ADDR" ]] || { echo "server never announced its address"; exit 1; }
+cargo run --release -q -p cli --bin promcheck -- scrape "$SERVE_ADDR" /healthz >/dev/null
+cargo run --release -q -p cli --bin promcheck -- scrape "$SERVE_ADDR" /metrics --out "$TELEM_DIR/metrics.prom"
+cargo run --release -q -p cli --bin promcheck -- grammar "$TELEM_DIR/metrics.prom"
+grep -q '^splash_healthz_requests_total 1$' "$TELEM_DIR/metrics.prom"
+grep -q '^# TYPE splash_request_latency_seconds histogram$' "$TELEM_DIR/metrics.prom"
+exec 3>&-   # stdin EOF: the server drains and prints its telemetry summary
+wait "$SERVE_PID"
+grep -q '^telemetry      : ' "$TELEM_DIR/serve.log"
 
 echo "==> serial fallback: nn alone without 'parallel'"
 # nn must be tested by itself: any workspace sibling that depends on nn

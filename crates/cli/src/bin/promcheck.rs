@@ -1,0 +1,557 @@
+//! `promcheck` — an in-repo Prometheus text-exposition checker.
+//!
+//! Two modes:
+//!
+//! ```text
+//! promcheck grammar <file|->            validate an exposition dump
+//! promcheck scrape  <addr> <path> [--out FILE]
+//!                                       GET http://<addr><path>, print the
+//!                                       body (or write it to FILE)
+//! ```
+//!
+//! The grammar mode enforces the text format (version 0.0.4): metric and
+//! label name character sets, `# HELP`/`# TYPE` lines declared once and
+//! before their samples, the `\\`/`\"`/`\n` label-value escapes, float
+//! sample values, duplicate-series rejection, and histogram shape
+//! (cumulative non-decreasing `_bucket` lines, a `le="+Inf"` bucket whose
+//! value matches `_count`). The CI observability leg scrapes a live
+//! `splash serve --listen` server's `GET /metrics` through this binary so
+//! the exposition endpoint is pinned by the repo's own tooling, with no
+//! external dependency.
+//!
+//! Exit codes: 0 valid / scraped, 1 validation failure, 2 usage or I/O
+//! error.
+
+use std::collections::BTreeMap;
+use std::io::{Read as _, Write as _};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(run(&args));
+}
+
+fn run(args: &[String]) -> i32 {
+    match args.first().map(String::as_str) {
+        Some("grammar") => cmd_grammar(&args[1..]),
+        Some("scrape") => cmd_scrape(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: promcheck grammar <file|->\n       promcheck scrape <addr> <path> [--out FILE]"
+            );
+            2
+        }
+    }
+}
+
+fn cmd_grammar(args: &[String]) -> i32 {
+    let Some(source) = args.first() else {
+        eprintln!("usage: promcheck grammar <file|->");
+        return 2;
+    };
+    let text = if source == "-" {
+        let mut buf = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+            eprintln!("stdin: {e}");
+            return 2;
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(source) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{source}: {e}");
+                return 2;
+            }
+        }
+    };
+    match validate_exposition(&text) {
+        Ok(summary) => {
+            println!("ok: {} families, {} samples", summary.families, summary.samples);
+            0
+        }
+        Err(e) => {
+            eprintln!("invalid exposition: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_scrape(args: &[String]) -> i32 {
+    let (Some(addr), Some(path)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: promcheck scrape <addr> <path> [--out FILE]");
+        return 2;
+    };
+    let out = match args.get(2).map(String::as_str) {
+        None => None,
+        Some("--out") => match args.get(3) {
+            Some(f) => Some(f.clone()),
+            None => {
+                eprintln!("--out needs a file argument");
+                return 2;
+            }
+        },
+        Some(other) => {
+            eprintln!("unknown scrape flag {other:?}");
+            return 2;
+        }
+    };
+    match http_get(addr, path) {
+        Ok(body) => {
+            let result = match out {
+                Some(f) => std::fs::write(&f, &body).map_err(|e| format!("{f}: {e}")),
+                None => std::io::stdout()
+                    .write_all(body.as_bytes())
+                    .map_err(|e| format!("stdout: {e}")),
+            };
+            match result {
+                Ok(()) => 0,
+                Err(e) => {
+                    eprintln!("{e}");
+                    2
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("GET http://{addr}{path}: {e}");
+            2
+        }
+    }
+}
+
+/// One HTTP/1.1 GET over a plain [`std::net::TcpStream`], body returned
+/// as a string. `Connection: close` keeps the read loop trivial; the
+/// `Content-Length` header, when present, bounds the body.
+fn http_get(addr: &str, path: &str) -> Result<String, String> {
+    let timeout = std::time::Duration::from_secs(10);
+    let mut stream = std::net::TcpStream::connect(addr).map_err(|e| e.to_string())?;
+    stream.set_read_timeout(Some(timeout)).map_err(|e| e.to_string())?;
+    stream.set_write_timeout(Some(timeout)).map_err(|e| e.to_string())?;
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes())
+        .map_err(|e| e.to_string())?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).map_err(|e| e.to_string())?;
+    let raw = String::from_utf8(raw).map_err(|e| e.to_string())?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| "malformed HTTP response (no header terminator)".to_string())?;
+    let status = head.lines().next().unwrap_or("");
+    let code = status.split_whitespace().nth(1).unwrap_or("");
+    if code != "200" {
+        return Err(format!("{status}: {}", body.trim_end()));
+    }
+    let len = head
+        .lines()
+        .find_map(|l| {
+            let (k, v) = l.split_once(':')?;
+            k.eq_ignore_ascii_case("content-length")
+                .then(|| v.trim().parse::<usize>().ok())
+                .flatten()
+        })
+        .unwrap_or(body.len());
+    Ok(body.get(..len).unwrap_or(body).to_string())
+}
+
+/// What a valid dump contained, for the one-line `ok:` report.
+#[derive(Debug)]
+struct ExpositionSummary {
+    families: usize,
+    samples: usize,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum FamilyKind {
+    Counter,
+    Gauge,
+    Histogram,
+    Summary,
+    Untyped,
+}
+
+/// Per-histogram-series state: `(le bound, cumulative count)` in file
+/// order, plus the `_count` value once seen.
+#[derive(Default)]
+struct HistogramSeries {
+    buckets: Vec<(f64, f64)>,
+    count: Option<f64>,
+}
+
+/// Validates one text-exposition dump; returns family/sample counts or
+/// the first error, prefixed with its 1-based line number.
+fn validate_exposition(text: &str) -> Result<ExpositionSummary, String> {
+    if !text.is_empty() && !text.ends_with('\n') {
+        return Err("the last line must end with a newline".into());
+    }
+    let mut types: BTreeMap<String, FamilyKind> = BTreeMap::new();
+    let mut helped: BTreeMap<String, ()> = BTreeMap::new();
+    let mut seen_series: BTreeMap<(String, String), ()> = BTreeMap::new();
+    let mut histograms: BTreeMap<(String, String), HistogramSeries> = BTreeMap::new();
+    let mut sampled: BTreeMap<String, ()> = BTreeMap::new();
+    let mut samples = 0usize;
+
+    for (i, line) in text.lines().enumerate() {
+        let at = |msg: String| format!("line {}: {msg}", i + 1);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, _help) = rest
+                .split_once(' ')
+                .map(|(n, h)| (n, Some(h)))
+                .unwrap_or((rest, None));
+            check_metric_name(name).map_err(&at)?;
+            if helped.insert(name.to_string(), ()).is_some() {
+                return Err(at(format!("duplicate # HELP for {name}")));
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest
+                .split_once(' ')
+                .ok_or_else(|| at("# TYPE needs a name and a type".into()))?;
+            check_metric_name(name).map_err(&at)?;
+            let kind = match kind {
+                "counter" => FamilyKind::Counter,
+                "gauge" => FamilyKind::Gauge,
+                "histogram" => FamilyKind::Histogram,
+                "summary" => FamilyKind::Summary,
+                "untyped" => FamilyKind::Untyped,
+                other => return Err(at(format!("unknown metric type {other:?}"))),
+            };
+            if sampled.contains_key(name) {
+                return Err(at(format!("# TYPE for {name} after its samples")));
+            }
+            if types.insert(name.to_string(), kind).is_some() {
+                return Err(at(format!("duplicate # TYPE for {name}")));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // free-form comment
+        }
+
+        let sample = parse_sample(line).map_err(&at)?;
+        samples += 1;
+        let (family, suffix) = resolve_family(&sample.name, &types)
+            .ok_or_else(|| at(format!("sample {} has no preceding # TYPE", sample.name)))?;
+        sampled.insert(family.clone(), ());
+        let series_key = (sample.name.clone(), sample.labels_joined());
+        if seen_series.insert(series_key, ()).is_some() {
+            return Err(at(format!("duplicate series {}", sample.name)));
+        }
+
+        if types.get(&family) == Some(&FamilyKind::Histogram) {
+            let base_labels = sample.labels_joined_without("le");
+            let entry = histograms.entry((family.clone(), base_labels)).or_default();
+            match suffix {
+                "_bucket" => {
+                    let le = sample
+                        .label("le")
+                        .ok_or_else(|| at(format!("{}_bucket without an le label", family)))?;
+                    let bound = parse_float(le)
+                        .map_err(|e| at(format!("le={le:?}: {e}")))?;
+                    if let Some(&(prev_bound, prev_cum)) = entry.buckets.last() {
+                        // NaN bounds are incomparable and must fail too.
+                        if bound.partial_cmp(&prev_bound) != Some(std::cmp::Ordering::Greater) {
+                            return Err(at(format!(
+                                "{family} buckets out of order: le {bound} after {prev_bound}"
+                            )));
+                        }
+                        if sample.value < prev_cum {
+                            return Err(at(format!(
+                                "{family} cumulative bucket count decreased ({} < {prev_cum})",
+                                sample.value
+                            )));
+                        }
+                    }
+                    entry.buckets.push((bound, sample.value));
+                }
+                "_count" => entry.count = Some(sample.value),
+                "_sum" | "" => {}
+                other => {
+                    return Err(at(format!("unexpected histogram suffix {other:?}")));
+                }
+            }
+        }
+    }
+
+    for ((family, labels), h) in &histograms {
+        let place = if labels.is_empty() {
+            family.clone()
+        } else {
+            format!("{family}{{{labels}}}")
+        };
+        let Some(&(last_bound, last_cum)) = h.buckets.last() else {
+            return Err(format!("histogram {place} has no _bucket samples"));
+        };
+        if !last_bound.is_infinite() {
+            return Err(format!("histogram {place} is missing the le=\"+Inf\" bucket"));
+        }
+        match h.count {
+            None => return Err(format!("histogram {place} is missing its _count sample")),
+            Some(c) if c != last_cum => {
+                return Err(format!(
+                    "histogram {place}: _count {c} != +Inf bucket {last_cum}"
+                ))
+            }
+            Some(_) => {}
+        }
+    }
+
+    Ok(ExpositionSummary { families: types.len(), samples })
+}
+
+/// Maps a sample name to its declared family: exact match first, then the
+/// histogram/summary component suffixes. Returns `(family, suffix)`.
+fn resolve_family(
+    name: &str,
+    types: &BTreeMap<String, FamilyKind>,
+) -> Option<(String, &'static str)> {
+    if types.contains_key(name) {
+        return Some((name.to_string(), ""));
+    }
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            match types.get(base) {
+                Some(FamilyKind::Histogram) => return Some((base.to_string(), suffix)),
+                Some(FamilyKind::Summary) if suffix != "_bucket" => {
+                    return Some((base.to_string(), suffix))
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+fn check_metric_name(name: &str) -> Result<(), String> {
+    let mut chars = name.chars();
+    let ok_first = chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':');
+    if !ok_first || !chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':') {
+        return Err(format!("invalid metric name {name:?}"));
+    }
+    Ok(())
+}
+
+fn check_label_name(name: &str) -> Result<(), String> {
+    let mut chars = name.chars();
+    let ok_first = chars.next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_');
+    if !ok_first || !chars.all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        return Err(format!("invalid label name {name:?}"));
+    }
+    Ok(())
+}
+
+/// Accepts the Go float forms the exposition format allows, on top of
+/// Rust's own: `+Inf`, `-Inf`, `NaN` (any case).
+fn parse_float(raw: &str) -> Result<f64, String> {
+    raw.parse::<f64>().map_err(|_| format!("not a float: {raw:?}"))
+}
+
+/// One parsed sample line.
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+impl Sample {
+    fn label(&self, key: &str) -> Option<&str> {
+        self.labels.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    fn labels_joined(&self) -> String {
+        self.labels
+            .iter()
+            .map(|(k, v)| format!("{k}={v:?}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    fn labels_joined_without(&self, skip: &str) -> String {
+        self.labels
+            .iter()
+            .filter(|(k, _)| k != skip)
+            .map(|(k, v)| format!("{k}={v:?}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+/// Parses `name{label="value",...} value [timestamp]`.
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let bytes = line.as_bytes();
+    let name_end = bytes
+        .iter()
+        .position(|&b| b == b'{' || b == b' ')
+        .ok_or_else(|| format!("sample line has no value: {line:?}"))?;
+    let name = &line[..name_end];
+    check_metric_name(name)?;
+
+    let mut labels = Vec::new();
+    let mut rest = &line[name_end..];
+    if rest.starts_with('{') {
+        let close = rest
+            .find('}')
+            .ok_or_else(|| format!("unterminated label set: {line:?}"))?;
+        let body = &rest[1..close];
+        rest = &rest[close + 1..];
+        let mut cursor = body;
+        while !cursor.is_empty() {
+            let eq = cursor
+                .find('=')
+                .ok_or_else(|| format!("label without '=': {cursor:?}"))?;
+            let lname = &cursor[..eq];
+            check_label_name(lname)?;
+            let after = &cursor[eq + 1..];
+            if !after.starts_with('"') {
+                return Err(format!("label value for {lname} is not quoted"));
+            }
+            let (value, used) = parse_quoted(&after[1..])
+                .map_err(|e| format!("label {lname}: {e}"))?;
+            labels.push((lname.to_string(), value));
+            cursor = &after[1 + used..];
+            if let Some(tail) = cursor.strip_prefix(',') {
+                cursor = tail;
+                if cursor.is_empty() {
+                    return Err("trailing comma in label set".into());
+                }
+            } else if !cursor.is_empty() {
+                return Err(format!("junk after label value: {cursor:?}"));
+            }
+        }
+    }
+
+    let rest = rest
+        .strip_prefix(' ')
+        .ok_or_else(|| format!("no space before the sample value: {line:?}"))?;
+    let mut parts = rest.split(' ');
+    let value_raw = parts.next().filter(|s| !s.is_empty()).ok_or("missing sample value")?;
+    let value = parse_float(value_raw)?;
+    if let Some(ts) = parts.next() {
+        ts.parse::<i64>().map_err(|_| format!("bad timestamp {ts:?}"))?;
+    }
+    if parts.next().is_some() {
+        return Err(format!("junk after the sample value: {line:?}"));
+    }
+    Ok(Sample { name: name.to_string(), labels, value })
+}
+
+/// Consumes an escaped label value up to (and including) its closing
+/// quote; returns the unescaped value and the byte count consumed.
+fn parse_quoted(s: &str) -> Result<(String, usize), String> {
+    let mut out = String::new();
+    let mut it = s.char_indices();
+    while let Some((i, c)) = it.next() {
+        match c {
+            '"' => return Ok((out, i + 1)),
+            '\\' => match it.next() {
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, '"')) => out.push('"'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, other)) => return Err(format!("invalid escape \\{other}")),
+                None => return Err("dangling backslash".into()),
+            },
+            '\n' => return Err("raw newline inside a label value".into()),
+            other => out.push(other),
+        }
+    }
+    Err("unterminated label value".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_a_well_formed_dump() {
+        let text = "\
+# HELP splash_queries_served_total Queries answered.
+# TYPE splash_queries_served_total counter
+splash_queries_served_total 42
+# HELP splash_request_latency_seconds End-to-end latency.
+# TYPE splash_request_latency_seconds histogram
+splash_request_latency_seconds_bucket{le=\"0.001\"} 3
+splash_request_latency_seconds_bucket{le=\"0.01\"} 7
+splash_request_latency_seconds_bucket{le=\"+Inf\"} 9
+splash_request_latency_seconds_sum 0.5
+splash_request_latency_seconds_count 9
+# HELP splash_shard_queries_total Per-shard queries.
+# TYPE splash_shard_queries_total counter
+splash_shard_queries_total{model=\"a b\",shard=\"0\"} 1
+splash_shard_queries_total{model=\"a b\",shard=\"1\"} 2
+";
+        let s = validate_exposition(text).unwrap();
+        assert_eq!((s.families, s.samples), (3, 8));
+    }
+
+    #[test]
+    fn rejects_structural_errors() {
+        for (text, needle) in [
+            ("splash_x_total 1\n", "no preceding # TYPE"),
+            ("# TYPE x counter\nx 1\n# TYPE x counter\n", "after its samples"),
+            ("# TYPE x counter\nx 1\nx 1\n", "duplicate series"),
+            ("# TYPE x counter\nx{le=\"a} 1\n", "unterminated"),
+            ("# TYPE x counter\nx nope\n", "not a float"),
+            ("# TYPE x counter\nx 1", "end with a newline"),
+            ("# TYPE 9bad counter\n", "invalid metric name"),
+            ("# TYPE x counter\nx{v=\"a\\q\"} 1\n", "invalid escape"),
+        ] {
+            let err = validate_exposition(text).unwrap_err();
+            assert!(err.contains(needle), "{text:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn rejects_histogram_shape_violations() {
+        let missing_inf = "\
+# TYPE h histogram
+h_bucket{le=\"1\"} 2
+h_sum 1.0
+h_count 2
+";
+        assert!(validate_exposition(missing_inf).unwrap_err().contains("+Inf"));
+
+        let decreasing = "\
+# TYPE h histogram
+h_bucket{le=\"1\"} 5
+h_bucket{le=\"2\"} 3
+h_bucket{le=\"+Inf\"} 5
+h_sum 1.0
+h_count 5
+";
+        assert!(validate_exposition(decreasing).unwrap_err().contains("decreased"));
+
+        let count_mismatch = "\
+# TYPE h histogram
+h_bucket{le=\"+Inf\"} 5
+h_sum 1.0
+h_count 4
+";
+        assert!(validate_exposition(count_mismatch).unwrap_err().contains("!="));
+    }
+
+    #[test]
+    fn label_escapes_round_trip() {
+        let (v, used) = parse_quoted("a\\\\b\\\"c\\n\" tail").unwrap();
+        assert_eq!(v, "a\\b\"c\n");
+        assert_eq!(&"a\\\\b\\\"c\\n\" tail"[used..], " tail");
+    }
+
+    #[test]
+    fn histogram_series_split_by_labels() {
+        // Two labelled histogram series validate independently.
+        let text = "\
+# TYPE h histogram
+h_bucket{model=\"a\",le=\"+Inf\"} 2
+h_sum{model=\"a\"} 0.1
+h_count{model=\"a\"} 2
+h_bucket{model=\"b\",le=\"+Inf\"} 7
+h_sum{model=\"b\"} 0.2
+h_count{model=\"b\"} 7
+";
+        assert!(validate_exposition(text).is_ok());
+    }
+}

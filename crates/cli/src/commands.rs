@@ -32,9 +32,10 @@ USAGE:
                   --task <task> [--scores <out.csv>]
   splash serve    --model-file <model.bin> --edges <csv> --queries <csv>
                   --task <task> [--late-policy error|drop] [--shards N]
-                  [--online N]
+                  [--online N] [--statz-out FILE]
                   [--checkpoint-dir DIR [--checkpoint-every N]]
-                  [--listen ADDR [--workers N] [--queue-depth Q] [--deadline-ms D]]
+                  [--listen ADDR [--workers N] [--queue-depth Q] [--deadline-ms D]
+                   [--slow-ms MS]]
   splash baseline --model <name> --edges <csv> --queries <csv> --task <task>
                   [--classes N] [--features plain|RF] [--epochs N] [--seed N]
   splash scenarios [--out DIR] [--smoke true] [--timing true] [--frac F]
@@ -460,6 +461,15 @@ fn cmd_serve_listen(args: &Args, addr: &str) -> Result<String, ArgError> {
         deadline: std::time::Duration::from_millis(args.get_parsed("deadline-ms", 2000u64)?),
         ..ServerConfig::default()
     };
+    // `--slow-ms MS` turns the shutdown summary into a slow-request log:
+    // every retained trace span at or over the threshold is printed.
+    let slow_ms: Option<u64> = match args.get("slow-ms") {
+        None => None,
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|e| ArgError(format!("--slow-ms {raw:?}: {e}")))?,
+        ),
+    };
     let setup = serving_setup(args)?;
     // Flag errors (zero workers/queue/deadline) surface through the
     // server's own typed validation.
@@ -474,7 +484,8 @@ fn cmd_serve_listen(args: &Args, addr: &str) -> Result<String, ArgError> {
         cfg.deadline.as_millis(),
     );
     println!(
-        "model \"serving\": POST /models/serving/{{ingest,predict,labels,fine-tune,publish}}; GET /stats"
+        "model \"serving\": POST /models/serving/{{ingest,predict,labels,fine-tune,publish}}; \
+         GET /stats /metrics /statz.json /trace"
     );
     print!("{}", recovery_line(&setup.recovered));
     println!("late policy {:?}; press ctrl-d (stdin EOF) to stop", setup.policy);
@@ -486,11 +497,13 @@ fn cmd_serve_listen(args: &Args, addr: &str) -> Result<String, ArgError> {
         sink.clear();
     }
 
-    let shed = handle.requests_shed();
+    // Shed/deadline counts live in the shared telemetry registry, so the
+    // stats snapshot taken after shutdown already carries them; no
+    // server-side overlay is needed.
+    let tel = handle.telemetry();
     let service = handle.shutdown();
-    let mut stats = service.stats();
-    stats.requests_shed = shed;
-    Ok(format!("{stats}"))
+    let stats = service.stats();
+    Ok(format!("{stats}{}", tel.summary(slow_ms.map(|ms| ms.saturating_mul(1_000_000)))))
 }
 
 /// Streaming deployment through the `SplashService` façade: load a
@@ -565,6 +578,14 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
             .map_err(|e| ArgError(format!("final ingest: {e}")))?;
     }
     let elapsed = started.elapsed().as_secs_f64();
+
+    // `--statz-out FILE` dumps the metrics registry as JSON with the
+    // timing-dependent histogram fields gated off, so two replays of the
+    // same inputs write byte-identical files (the CI determinism check).
+    if let Some(path) = args.get("statz-out") {
+        let body = service.telemetry().registry().render_statz_json(false);
+        std::fs::write(path, body).map_err(|e| ArgError(format!("{path}: {e}")))?;
+    }
 
     if labels.is_empty() {
         if recovered.is_some() {

@@ -488,6 +488,11 @@ pub(crate) struct DurableLog {
     epoch: u64,
     wal: File,
     wal_records: u64,
+    /// Scratch for [`DurableLog::append`]: the encoded payload and the
+    /// framed record. Warmed up by the first appends, then reused — the
+    /// steady-state WAL path stays off the allocator.
+    payload_buf: Vec<u8>,
+    rec_buf: Vec<u8>,
 }
 
 impl DurableLog {
@@ -508,6 +513,8 @@ impl DurableLog {
             epoch: 0,
             wal,
             wal_records: 0,
+            payload_buf: Vec::new(),
+            rec_buf: Vec::new(),
         })
     }
 
@@ -586,6 +593,8 @@ impl DurableLog {
             epoch,
             wal,
             wal_records: report.wal_records_replayed,
+            payload_buf: Vec::new(),
+            rec_buf: Vec::new(),
         };
         Ok((log, recovered))
     }
@@ -600,23 +609,26 @@ impl DurableLog {
     /// the length prefix, payload, and checksum, so a crash leaves either
     /// a fully valid record or a torn tail recovery truncates away.
     pub(crate) fn append(&mut self, record: WalRecord<'_>) -> Result<(), SplashError> {
-        let payload = encode_wal_payload(record).map_err(SplashError::Io)?;
+        encode_wal_payload_into(&mut self.payload_buf, record).map_err(SplashError::Io)?;
+        let payload = &self.payload_buf;
         if payload.len() as u64 > MAX_WAL_RECORD {
             return Err(SplashError::InvalidConfig {
                 what: format!("WAL record of {} bytes exceeds the format limit", payload.len()),
             });
         }
-        let mut rec = Vec::with_capacity(payload.len() + 12);
-        put_u32(&mut rec, payload.len() as u32).map_err(SplashError::Io)?;
-        rec.extend_from_slice(&payload);
-        put_u64(&mut rec, fnv1a(&payload)).map_err(SplashError::Io)?;
+        let rec = &mut self.rec_buf;
+        rec.clear();
+        rec.reserve(payload.len() + 12);
+        put_u32(rec, payload.len() as u32).map_err(SplashError::Io)?;
+        rec.extend_from_slice(payload);
+        put_u64(rec, fnv1a(payload)).map_err(SplashError::Io)?;
 
         let fault = self.faults.next();
         let mut w = match fault {
             Some(FaultKind::WriteAt(off)) => DurableWriter::with_fault(&mut self.wal, off),
             _ => DurableWriter::new(&mut self.wal),
         };
-        w.write_all(&rec).map_err(SplashError::Io)?;
+        w.write_all(rec).map_err(SplashError::Io)?;
         w.flush().map_err(SplashError::Io)?;
         if matches!(fault, Some(FaultKind::BeforeRename)) {
             // No rename in an append; the crash lands right after the
@@ -1357,8 +1369,12 @@ fn read_state_manifest_body<R: Read>(
 // ---------------------------------------------------------------------------
 // WAL encoding and replay.
 
-fn encode_wal_payload(record: WalRecord<'_>) -> io::Result<Vec<u8>> {
-    let mut w = Vec::new();
+/// Encodes `record` into `w` (cleared first). Taking the buffer from the
+/// caller lets [`DurableLog::append`] reuse one scratch vector across
+/// appends — the steady-state WAL path performs zero heap allocations
+/// after warm-up (pinned in `crates/splash/tests/alloc.rs`).
+fn encode_wal_payload_into(mut w: &mut Vec<u8>, record: WalRecord<'_>) -> io::Result<()> {
+    w.clear();
     match record {
         WalRecord::Edges { edges, drop_late } => {
             put_u8(&mut w, WAL_EDGES)?;
@@ -1387,7 +1403,7 @@ fn encode_wal_payload(record: WalRecord<'_>) -> io::Result<Vec<u8>> {
         WalRecord::FineTune => put_u8(&mut w, WAL_FINE_TUNE)?,
         WalRecord::Publish => put_u8(&mut w, WAL_PUBLISH)?,
     }
-    Ok(w)
+    Ok(())
 }
 
 fn decode_wal_payload(payload: &[u8]) -> io::Result<WalEntry> {
@@ -1621,6 +1637,8 @@ mod tests {
             epoch: 0,
             wal: OpenOptions::new().append(true).open(&path).unwrap(),
             wal_records: 0,
+            payload_buf: Vec::new(),
+            rec_buf: Vec::new(),
         };
         let edges = vec![
             TemporalEdge::plain(1, 2, 10.0),
@@ -1671,6 +1689,8 @@ mod tests {
             epoch: 0,
             wal: OpenOptions::new().append(true).open(&path).unwrap(),
             wal_records: 0,
+            payload_buf: Vec::new(),
+            rec_buf: Vec::new(),
         };
         let edges = vec![TemporalEdge::plain(1, 2, 10.0)];
         log.append(WalRecord::Edges { edges: &edges, drop_late: false }).unwrap();
@@ -1707,6 +1727,8 @@ mod tests {
             epoch: 0,
             wal: OpenOptions::new().append(true).open(&path).unwrap(),
             wal_records: 0,
+            payload_buf: Vec::new(),
+            rec_buf: Vec::new(),
         };
         log.append(WalRecord::Edges { edges: &[TemporalEdge::plain(1, 2, 10.0)], drop_late: false })
             .unwrap();

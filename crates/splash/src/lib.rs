@@ -47,6 +47,16 @@
 //! per-request deadlines (`504`), and a zero-alloc latency histogram in
 //! [`ServiceStats`] — with wire replay bit-identical to in-process calls.
 //!
+//! For **observability**, the [`telemetry`] module is the plane the whole
+//! stack reports through: a metrics [`Registry`] of
+//! flat atomics (zero-alloc, lock-free recording — the same counting-
+//! allocator contract as `predict_into`), a fixed ring of per-request
+//! [`TraceSpan`]s with queue-wait / engine-execute
+//! / WAL-commit decomposed, and deterministic exposition: `GET /metrics`
+//! (Prometheus text), `GET /statz.json`, `GET /trace?n=K`. Every counter
+//! surface — `/stats`, [`ServiceStats`], the CLI serve report — renders
+//! from this one source of truth.
+//!
 //! For **durability**, the [`durable`] module checkpoints the streaming
 //! state the model artifact does not carry — per-node rings, augmenter
 //! and degree-tracker state, the stream clock, the online replay buffer —
@@ -74,6 +84,7 @@ pub mod shard;
 pub mod slim;
 pub mod stream;
 pub mod task;
+pub mod telemetry;
 
 pub use augment::{Augmenter, FeatureProcess};
 pub use capture::{
@@ -110,3 +121,4 @@ pub use service::{
 pub use shard::{shard_of, ShardStats, ShardedPredictor};
 pub use slim::{AdamState, SlimBatch, SlimCache, SlimModel};
 pub use stream::StreamingPredictor;
+pub use telemetry::{Counter, Gauge, Histogram, Registry, Telemetry, TraceSpan};

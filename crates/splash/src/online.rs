@@ -59,6 +59,7 @@ use crate::capture::{CapturedNeighbor, CapturedQuery};
 use crate::error::SplashError;
 use crate::slim::{AdamState, SlimBatch, SlimCache, SlimModel};
 use crate::stream::StreamingPredictor;
+use crate::telemetry::Gauge;
 
 /// When the service fine-tunes (and publishes) automatically.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -177,6 +178,11 @@ pub struct OnlineTrainer {
     labels_seen: u64,
     since_tune: usize,
     tunes: u64,
+    /// Mirror of `filled` in the telemetry plane
+    /// (`splash_online_buffered{model="..."}`), attached by the service at
+    /// install time; a bare trainer carries none. An atomic store per
+    /// absorb — no allocation on the steady-state label path.
+    buffer_gauge: Option<Gauge>,
 }
 
 impl OnlineTrainer {
@@ -241,6 +247,7 @@ impl OnlineTrainer {
             labels_seen: 0,
             since_tune: 0,
             tunes: 0,
+            buffer_gauge: None,
         })
     }
 
@@ -339,7 +346,22 @@ impl OnlineTrainer {
         }
         self.labels_seen += 1;
         self.since_tune += 1;
+        self.sync_buffer_gauge();
         Ok(())
+    }
+
+    /// Points the trainer's buffer-fill mirror at a registry gauge and
+    /// seeds it with the current fill (the trainer may already hold
+    /// restored state when the service attaches the gauge).
+    pub(crate) fn attach_buffer_gauge(&mut self, gauge: Gauge) {
+        gauge.set(self.filled as u64);
+        self.buffer_gauge = Some(gauge);
+    }
+
+    fn sync_buffer_gauge(&self) {
+        if let Some(g) = &self.buffer_gauge {
+            g.set(self.filled as u64);
+        }
     }
 
     /// Whether the configured policy calls for a tune round now.
@@ -432,6 +454,7 @@ impl OnlineTrainer {
         }
         self.since_tune = 0;
         self.tunes += 1;
+        self.sync_buffer_gauge();
         FineTuneReport {
             steps,
             examples: consumed,
@@ -503,6 +526,7 @@ impl OnlineTrainer {
         self.labels_seen = state.labels_seen;
         self.tunes = state.tunes;
         self.since_tune = state.since_tune;
+        self.sync_buffer_gauge();
         Ok(())
     }
 

@@ -147,6 +147,11 @@ pub struct RegimeReport {
     pub metric_name: &'static str,
     /// One cell per contender, in spec order.
     pub cells: Vec<ScenarioCell>,
+    /// Predict p99 (µs) pooled across every contender in the regime —
+    /// the per-lane [`LatencyHistogram`]s folded together with
+    /// [`LatencyHistogram::merge`]. `None` unless timing is on, and
+    /// rendered only then, so timing-off artifacts keep their bytes.
+    pub pooled_p99_us: Option<u64>,
 }
 
 /// The full matrix artifact: [`RegimeReport`] rows under one seed.
@@ -332,6 +337,15 @@ pub fn run_scenario(
             .unwrap_or_else(|| "-".to_string())
     };
     let mut cells: Vec<ScenarioCell> = Vec::with_capacity(spec.models.len());
+    // The regime-wide latency view: every lane's histogram folded into
+    // one, so the pooled p99 prices all contenders' serving together.
+    let pooled_p99_us = cfg.timing.then(|| {
+        let mut pooled = LatencyHistogram::default();
+        for lane in &lanes {
+            pooled.merge(&lane.hist);
+        }
+        pooled.p99_ns() / 1_000
+    });
     let mut lane_iter = lanes.into_iter().peekable();
     for (i, m) in spec.models.iter().enumerate() {
         if let Some((_, note)) = skipped.iter().find(|(si, _)| *si == i) {
@@ -381,6 +395,7 @@ pub fn run_scenario(
         task: dataset.task,
         metric_name: metric_name(dataset.task),
         cells,
+        pooled_p99_us,
     })
 }
 
@@ -465,7 +480,13 @@ impl ScenarioReport {
                         .map_or("null".to_string(), |n| format!("\"{}\"", json_escape(n))),
                 );
             }
-            out.push_str("]}");
+            out.push(']');
+            // Timing-only key: absent (not null) with timing off, so the
+            // deterministic artifact keeps its exact bytes.
+            if let Some(p99) = regime.pooled_p99_us {
+                let _ = write!(out, ",\"pooled_p99_us\":{p99}");
+            }
+            out.push('}');
         }
         out.push_str("]}\n");
         out
@@ -514,6 +535,9 @@ impl ScenarioReport {
                 );
                 let _ = writeln!(out, "{row}");
             }
+            if let Some(p99) = regime.pooled_p99_us {
+                let _ = writeln!(out, "\npooled predict p99 (µs): {p99}");
+            }
         }
         out
     }
@@ -551,8 +575,27 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"regime\":\"drift\""), "{json}");
         assert!(json.contains("\"edges_per_sec\":null"), "{json}");
+        assert!(!json.contains("pooled_p99_us"), "timing off must omit the pooled key: {json}");
         let md = report.to_markdown();
         assert!(md.contains("| splash | splash | off |"), "{md}");
+        assert!(!md.contains("pooled predict p99"), "{md}");
+    }
+
+    #[test]
+    fn timing_pools_lane_histograms_into_a_regime_p99() {
+        let (spec, mut cfg) = tiny_spec();
+        cfg.timing = true;
+        let report = run_scenario(&spec, &cfg).unwrap();
+        let pooled = report.pooled_p99_us.expect("timing on fills the pooled cell");
+        // One lane: the pooled (merged) histogram is that lane's histogram.
+        assert_eq!(Some(pooled), report.cells[0].p99_us);
+        let artifact = ScenarioReport { seed: 0, regimes: vec![report] };
+        assert!(artifact.to_json().contains("\"pooled_p99_us\":"), "{}", artifact.to_json());
+        assert!(
+            artifact.to_markdown().contains("pooled predict p99 (µs):"),
+            "{}",
+            artifact.to_markdown()
+        );
     }
 
     #[test]

@@ -24,6 +24,16 @@
 //!   the fixed-bucket [`crate::service::LatencyHistogram`] (zero
 //!   allocations on the record path).
 //!
+//! Every counter the front end keeps lives in the service's shared
+//! [`Telemetry`] plane, and the **observability routes** are answered by
+//! the worker that parsed them — straight off the telemetry atomics,
+//! never queued behind the engine: `GET /metrics` (Prometheus text
+//! exposition), `GET /statz.json` (`?timing=0` gates the
+//! latency-histogram fields off for byte-deterministic replays), and
+//! `GET /trace?n=K` (the last K request spans as JSON, queue-wait and
+//! engine-execute separated). `GET /healthz` is counted — probes and
+//! their non-queued latency — without touching the engine thread.
+//!
 //! # Wire protocol
 //!
 //! HTTP/1.1 with length-delimited bodies (`content-length` required on
@@ -37,7 +47,10 @@
 //!
 //! | Route | Service call |
 //! |---|---|
-//! | `GET /healthz` | (answered by the worker, never queued) |
+//! | `GET /healthz` | (answered by the worker, never queued; counted) |
+//! | `GET /metrics` | (worker-direct: Prometheus text exposition) |
+//! | `GET /statz.json` | (worker-direct: counters as JSON, `?timing=0`) |
+//! | `GET /trace` | (worker-direct: last `?n=K` request spans as JSON) |
 //! | `GET /stats` | [`SplashService::stats`] |
 //! | `GET /models` | [`SplashService::models_info`] |
 //! | `POST /models/{name}/ingest` | [`SplashService::ingest`] |
@@ -61,7 +74,7 @@
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
@@ -74,6 +87,7 @@ use crate::error::SplashError;
 use crate::service::{
     IngestRequest, PredictRequest, PredictResponse, SplashService,
 };
+use crate::telemetry::Telemetry;
 
 /// Limits and knobs of one [`SplashServer`] deployment.
 #[derive(Debug, Clone, Copy)]
@@ -151,18 +165,29 @@ struct Response {
     /// `x-splash-error` header value on failures (a [`SplashError::kind`]
     /// or a wire-level kind like `QueueFull` / `DeadlineExpired`).
     kind: Option<&'static str>,
+    content_type: &'static str,
     body: String,
 }
 
+const TEXT_PLAIN: &str = "text/plain; charset=utf-8";
+/// The Prometheus text exposition content type (scrapers key on the
+/// `version` parameter).
+const PROMETHEUS_TEXT: &str = "text/plain; version=0.0.4; charset=utf-8";
+const APPLICATION_JSON: &str = "application/json";
+
 impl Response {
     fn ok(body: String) -> Self {
-        Self { status: 200, kind: None, body }
+        Self { status: 200, kind: None, content_type: TEXT_PLAIN, body }
+    }
+
+    fn ok_typed(body: String, content_type: &'static str) -> Self {
+        Self { status: 200, kind: None, content_type, body }
     }
 
     fn err(status: u16, kind: &'static str, msg: impl Into<String>) -> Self {
         let mut body = msg.into();
         body.push('\n');
-        Self { status, kind: Some(kind), body }
+        Self { status, kind: Some(kind), content_type: TEXT_PLAIN, body }
     }
 
     fn splash(e: &SplashError) -> Self {
@@ -200,6 +225,66 @@ enum Route {
     FineTune(String),
     Publish(String),
     Load(String),
+}
+
+impl Route {
+    /// The span label for this route (static — span recording allocates
+    /// nothing).
+    fn label(&self) -> &'static str {
+        match self {
+            Route::Stats => "stats",
+            Route::Models => "models",
+            Route::Ingest(_) => "ingest",
+            Route::Predict(_) => "predict",
+            Route::Labels(_) => "labels",
+            Route::FineTune(_) => "fine-tune",
+            Route::Publish(_) => "publish",
+            Route::Load(_) => "load",
+        }
+    }
+
+    /// The model a route addresses (empty for registry-wide routes).
+    fn model(&self) -> &str {
+        match self {
+            Route::Stats | Route::Models => "",
+            Route::Ingest(n)
+            | Route::Predict(n)
+            | Route::Labels(n)
+            | Route::FineTune(n)
+            | Route::Publish(n)
+            | Route::Load(n) => n,
+        }
+    }
+}
+
+/// An observability route the worker answers itself, straight off the
+/// shared [`Telemetry`] atomics — never queued behind the engine, so
+/// health probes and metric scrapes stay responsive under full load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DirectRoute {
+    Healthz,
+    Metrics,
+    /// `timing: false` (`?timing=0`) gates the latency-histogram fields
+    /// off, making the dump byte-deterministic across identical replays.
+    Statz { timing: bool },
+    /// The last `n` request spans as JSON.
+    Trace { n: usize },
+}
+
+/// Where a request goes: through the engine queue, or answered by the
+/// worker directly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Routed {
+    Engine(Route),
+    Direct(DirectRoute),
+}
+
+/// The value of `key` in a raw query string (`a=1&b=2`), if present.
+fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
+    query.split('&').find_map(|kv| {
+        let (k, v) = kv.split_once('=')?;
+        (k == key).then_some(v)
+    })
 }
 
 /// One queued request: everything the engine needs to execute and reply.
@@ -396,9 +481,10 @@ fn read_request(reader: &mut BufReader<TcpStream>, max_body: usize) -> ReadOutco
     ReadOutcome::Request(HttpRequest { method, path, body, keep_alive, delay_ms })
 }
 
-/// Resolves method + path to a route; errors are complete responses.
-fn route_of(method: &str, path: &str) -> Result<Option<Route>, Response> {
-    // `None` means /healthz: answered by the worker without queueing.
+/// Resolves method + path (query string included) to a route; errors are
+/// complete responses.
+fn route_of(method: &str, path: &str) -> Result<Routed, Response> {
+    let (path, query) = path.split_once('?').unwrap_or((path, ""));
     let model_route = |name: &str, verb: &str| -> Option<Route> {
         if name.is_empty() {
             return None;
@@ -424,9 +510,20 @@ fn route_of(method: &str, path: &str) -> Result<Option<Route>, Response> {
     };
     match method {
         "GET" => match path {
-            "/healthz" => Ok(None),
-            "/stats" => Ok(Some(Route::Stats)),
-            "/models" => Ok(Some(Route::Models)),
+            "/healthz" => Ok(Routed::Direct(DirectRoute::Healthz)),
+            "/metrics" => Ok(Routed::Direct(DirectRoute::Metrics)),
+            "/statz.json" => {
+                let timing = query_param(query, "timing") != Some("0");
+                Ok(Routed::Direct(DirectRoute::Statz { timing }))
+            }
+            "/trace" => {
+                let n = query_param(query, "n")
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .unwrap_or(DEFAULT_TRACE_SPANS);
+                Ok(Routed::Direct(DirectRoute::Trace { n }))
+            }
+            "/stats" => Ok(Routed::Engine(Route::Stats)),
+            "/models" => Ok(Routed::Engine(Route::Models)),
             other if post_route(other).is_some() => Err(Response::err(
                 405,
                 "MethodNotAllowed",
@@ -435,12 +532,18 @@ fn route_of(method: &str, path: &str) -> Result<Option<Route>, Response> {
             other => Err(Response::err(404, "NotFound", format!("error: no route {other}"))),
         },
         "POST" => match post_route(path) {
-            Some(route) => Ok(Some(route)),
-            None if matches!(path, "/healthz" | "/stats" | "/models") => Err(Response::err(
-                405,
-                "MethodNotAllowed",
-                format!("error: {path} expects GET"),
-            )),
+            Some(route) => Ok(Routed::Engine(route)),
+            None if matches!(
+                path,
+                "/healthz" | "/metrics" | "/statz.json" | "/trace" | "/stats" | "/models"
+            ) =>
+            {
+                Err(Response::err(
+                    405,
+                    "MethodNotAllowed",
+                    format!("error: {path} expects GET"),
+                ))
+            }
             None => Err(Response::err(404, "NotFound", format!("error: no route {path}"))),
         },
         other => Err(Response::err(
@@ -451,11 +554,39 @@ fn route_of(method: &str, path: &str) -> Result<Option<Route>, Response> {
     }
 }
 
+/// Spans returned by `GET /trace` when the request names no `n`.
+const DEFAULT_TRACE_SPANS: usize = 32;
+
+/// Answers an observability route off the telemetry plane. Health probes
+/// are counted here — requests and their (non-queued) latency — which is
+/// what makes them visible in `/metrics` at all: they never reach the
+/// engine thread.
+fn serve_direct(route: DirectRoute, tel: &Telemetry, arrival: Instant) -> Response {
+    match route {
+        DirectRoute::Healthz => {
+            let resp = Response::ok("ok\n".into());
+            tel.healthz_requests.inc();
+            tel.healthz_latency.record_ns(arrival.elapsed().as_nanos() as u64);
+            resp
+        }
+        DirectRoute::Metrics => {
+            Response::ok_typed(tel.registry().render_prometheus(), PROMETHEUS_TEXT)
+        }
+        DirectRoute::Statz { timing } => {
+            Response::ok_typed(tel.registry().render_statz_json(timing), APPLICATION_JSON)
+        }
+        DirectRoute::Trace { n } => {
+            Response::ok_typed(tel.render_trace_json(n), APPLICATION_JSON)
+        }
+    }
+}
+
 fn write_response(stream: &mut TcpStream, resp: &Response, keep_alive: bool) -> std::io::Result<()> {
     let mut head = format!(
-        "HTTP/1.1 {} {}\r\ncontent-type: text/plain; charset=utf-8\r\ncontent-length: {}\r\nconnection: {}\r\n",
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
         resp.status,
         reason(resp.status),
+        resp.content_type,
         resp.body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     );
@@ -581,15 +712,7 @@ fn parse_load(text: &str) -> Result<(String, String, String, Task, Option<usize>
 // ---------------------------------------------------------------------------
 // The engine thread: sole owner of the service.
 
-fn render_stats(service: &SplashService, shed: &AtomicU64) -> Response {
-    let mut stats = service.stats();
-    // Shedding happens on the worker threads, which never touch the
-    // service — the server owns that counter and overlays it here.
-    stats.requests_shed = shed.load(Ordering::Relaxed);
-    Response::ok(format!("{stats}"))
-}
-
-fn execute(service: &mut SplashService, route: &Route, body: &[u8], shed: &AtomicU64) -> Response {
+fn execute(service: &mut SplashService, route: &Route, body: &[u8]) -> Response {
     let text = match route {
         Route::Stats | Route::Models | Route::FineTune(_) | Route::Publish(_) => "",
         _ => match std::str::from_utf8(body) {
@@ -600,7 +723,9 @@ fn execute(service: &mut SplashService, route: &Route, body: &[u8], shed: &Atomi
         },
     };
     match route {
-        Route::Stats => render_stats(service, shed),
+        // Shedding happens on the worker threads, but they and the
+        // service count into the same registry atomics — no overlay.
+        Route::Stats => Response::ok(format!("{}", service.stats())),
         Route::Models => {
             let mut body = String::new();
             for info in service.models_info() {
@@ -756,12 +881,11 @@ fn load_dataset_for(
     })
 }
 
-fn engine_loop(
-    mut service: SplashService,
-    rx: Receiver<Job>,
-    cfg: ServerConfig,
-    shed: Arc<AtomicU64>,
-) -> SplashService {
+fn engine_loop(mut service: SplashService, rx: Receiver<Job>, cfg: ServerConfig) -> SplashService {
+    let tel = service.telemetry();
+    // Drain WAL-commit time staged before serving started (e.g. by a
+    // make_durable bootstrap) so the first span is not over-attributed.
+    let _ = tel.take_wal_commit_ns();
     while let Ok(job) = rx.recv() {
         if cfg.allow_test_delay && job.delay_ms > 0 {
             std::thread::sleep(Duration::from_millis(job.delay_ms));
@@ -769,7 +893,7 @@ fn engine_loop(
         let waited = job.arrival.elapsed();
         if waited > cfg.deadline {
             service.note_deadline_expired();
-            let _ = job.reply.send(Response::err(
+            let resp = Response::err(
                 504,
                 "DeadlineExpired",
                 format!(
@@ -777,11 +901,39 @@ fn engine_loop(
                     waited.as_millis(),
                     cfg.deadline.as_millis()
                 ),
-            ));
+            );
+            tel.record_span(
+                job.route.label(),
+                job.route.model(),
+                waited.as_nanos() as u64,
+                0,
+                0,
+                job.body.len() as u64,
+                resp.body.len() as u64,
+                resp.status,
+                "DeadlineExpired",
+            );
+            let _ = job.reply.send(resp);
             continue;
         }
-        let resp = execute(&mut service, &job.route, &job.body, &shed);
+        let started = Instant::now();
+        let resp = execute(&mut service, &job.route, &job.body);
+        let execute_ns = started.elapsed().as_nanos() as u64;
+        // Whatever the durable seam staged during this execute belongs to
+        // this request's span.
+        let wal_commit_ns = tel.take_wal_commit_ns();
         service.record_request_latency_ns(job.arrival.elapsed().as_nanos() as u64);
+        tel.record_span(
+            job.route.label(),
+            job.route.model(),
+            waited.as_nanos() as u64,
+            execute_ns,
+            wal_commit_ns,
+            job.body.len() as u64,
+            resp.body.len() as u64,
+            resp.status,
+            resp.kind.unwrap_or("ok"),
+        );
         let _ = job.reply.send(resp);
     }
     service
@@ -795,7 +947,7 @@ fn handle_connection(
     job_tx: &SyncSender<Job>,
     cfg: &ServerConfig,
     stop: &AtomicBool,
-    shed: &AtomicU64,
+    tel: &Telemetry,
 ) {
     if stream.set_read_timeout(Some(cfg.read_timeout)).is_err() {
         return;
@@ -821,8 +973,8 @@ fn handle_connection(
                 let arrival = Instant::now();
                 let resp = match route_of(&req.method, &req.path) {
                     Err(resp) => resp,
-                    Ok(None) => Response::ok("ok\n".into()),
-                    Ok(Some(route)) => {
+                    Ok(Routed::Direct(route)) => serve_direct(route, tel, arrival),
+                    Ok(Routed::Engine(route)) => {
                         let (reply_tx, reply_rx) = mpsc::sync_channel(1);
                         let job = Job {
                             route,
@@ -836,7 +988,7 @@ fn handle_connection(
                                 Response::err(503, "Shutdown", "error: server is shutting down")
                             }),
                             Err(TrySendError::Full(_)) => {
-                                shed.fetch_add(1, Ordering::Relaxed);
+                                tel.requests_shed.inc();
                                 Response::err(
                                     429,
                                     "QueueFull",
@@ -883,32 +1035,40 @@ impl SplashServer {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let shed = Arc::new(AtomicU64::new(0));
+        let tel = service.telemetry();
+        // Deployment-shape gauges: registered every bind, so a service
+        // re-served under a different config re-exposes the new shape.
+        tel.registry()
+            .gauge("splash_server_workers", "Connection-worker threads parsing requests.")
+            .set(cfg.workers as u64);
+        tel.registry()
+            .gauge(
+                "splash_server_queue_depth",
+                "Capacity of the bounded job queue between workers and the engine.",
+            )
+            .set(cfg.queue_depth as u64);
 
         let (job_tx, job_rx) = mpsc::sync_channel::<Job>(cfg.queue_depth);
         let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
         let conn_rx = Arc::new(Mutex::new(conn_rx));
 
-        let engine = {
-            let shed = Arc::clone(&shed);
-            std::thread::Builder::new()
-                .name("splash-engine".into())
-                .spawn(move || engine_loop(service, job_rx, cfg, shed))
-                .map_err(SplashError::Io)?
-        };
+        let engine = std::thread::Builder::new()
+            .name("splash-engine".into())
+            .spawn(move || engine_loop(service, job_rx, cfg))
+            .map_err(SplashError::Io)?;
 
         let mut workers = Vec::with_capacity(cfg.workers);
         for i in 0..cfg.workers {
             let conn_rx = Arc::clone(&conn_rx);
             let job_tx = job_tx.clone();
             let stop = Arc::clone(&stop);
-            let shed = Arc::clone(&shed);
+            let tel = Arc::clone(&tel);
             let worker = std::thread::Builder::new()
                 .name(format!("splash-worker-{i}"))
                 .spawn(move || loop {
                     let next = conn_rx.lock().expect("worker lock poisoned").recv();
                     match next {
-                        Ok(stream) => handle_connection(stream, &job_tx, &cfg, &stop, &shed),
+                        Ok(stream) => handle_connection(stream, &job_tx, &cfg, &stop, &tel),
                         Err(_) => return,
                     }
                 })
@@ -942,7 +1102,7 @@ impl SplashServer {
         Ok(ServerHandle {
             addr: local,
             stop,
-            shed,
+            tel,
             acceptor: Some(acceptor),
             workers,
             engine: Some(engine),
@@ -958,7 +1118,7 @@ impl SplashServer {
 pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    shed: Arc<AtomicU64>,
+    tel: Arc<Telemetry>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     engine: Option<JoinHandle<SplashService>>,
@@ -970,15 +1130,24 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Wire requests shed so far by admission control.
+    /// Wire requests shed so far by admission control — the same registry
+    /// counter `/stats` and `/metrics` report.
     pub fn requests_shed(&self) -> u64 {
-        self.shed.load(Ordering::Relaxed)
+        self.tel.requests_shed.get()
+    }
+
+    /// The service's telemetry plane, observable while the server runs
+    /// (the engine thread owns the service itself until
+    /// [`ServerHandle::shutdown`]).
+    pub fn telemetry(&self) -> Arc<Telemetry> {
+        Arc::clone(&self.tel)
     }
 
     /// Stops accepting, drains queued requests, joins every thread, and
-    /// returns the service (with the shed counter folded into its next
-    /// [`SplashService::stats`] call via the returned snapshot overlay —
-    /// see [`crate::service::ServiceStats::requests_shed`](crate::ServiceStats)).
+    /// returns the service. Every counter — including worker-side sheds
+    /// and health probes — already lives in the service's shared registry,
+    /// so the returned service's [`SplashService::stats`] needs no
+    /// overlay.
     ///
     /// In-flight requests are answered before their connections close; a
     /// shutdown never loses an accepted request.
@@ -1032,22 +1201,48 @@ mod tests {
 
     #[test]
     fn routes_resolve_and_reject() {
-        assert_eq!(route_of("GET", "/healthz").unwrap(), None);
-        assert_eq!(route_of("GET", "/stats").unwrap(), Some(Route::Stats));
+        assert_eq!(route_of("GET", "/healthz").unwrap(), Routed::Direct(DirectRoute::Healthz));
+        assert_eq!(route_of("GET", "/metrics").unwrap(), Routed::Direct(DirectRoute::Metrics));
+        assert_eq!(route_of("GET", "/stats").unwrap(), Routed::Engine(Route::Stats));
         assert_eq!(
             route_of("POST", "/models/live/ingest").unwrap(),
-            Some(Route::Ingest("live".into()))
+            Routed::Engine(Route::Ingest("live".into()))
         );
         assert_eq!(
             route_of("POST", "/models/a b/predict").unwrap(),
-            Some(Route::Predict("a b".into()))
+            Routed::Engine(Route::Predict("a b".into()))
         );
         assert_eq!(route_of("GET", "/models/live/ingest").unwrap_err().status, 405);
         assert_eq!(route_of("POST", "/stats").unwrap_err().status, 405);
+        assert_eq!(route_of("POST", "/metrics").unwrap_err().status, 405);
         assert_eq!(route_of("PUT", "/stats").unwrap_err().status, 405);
         assert_eq!(route_of("GET", "/nope").unwrap_err().status, 404);
         assert_eq!(route_of("POST", "/models//ingest").unwrap_err().status, 404);
         assert_eq!(route_of("POST", "/models/live/frobnicate").unwrap_err().status, 404);
+    }
+
+    #[test]
+    fn observability_routes_parse_their_query_strings() {
+        assert_eq!(
+            route_of("GET", "/statz.json").unwrap(),
+            Routed::Direct(DirectRoute::Statz { timing: true })
+        );
+        assert_eq!(
+            route_of("GET", "/statz.json?timing=0").unwrap(),
+            Routed::Direct(DirectRoute::Statz { timing: false })
+        );
+        assert_eq!(
+            route_of("GET", "/trace?n=7").unwrap(),
+            Routed::Direct(DirectRoute::Trace { n: 7 })
+        );
+        assert_eq!(
+            route_of("GET", "/trace").unwrap(),
+            Routed::Direct(DirectRoute::Trace { n: DEFAULT_TRACE_SPANS })
+        );
+        assert_eq!(
+            route_of("GET", "/trace?n=bogus").unwrap(),
+            Routed::Direct(DirectRoute::Trace { n: DEFAULT_TRACE_SPANS })
+        );
     }
 
     #[test]

@@ -44,9 +44,10 @@
 //! assert!(resp.logits.iter().all(|v| v.is_finite()));
 //! ```
 
-use std::cell::Cell;
 use std::fmt;
 use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
 
 use ctdg::{NodeId, PropertyQuery, TemporalEdge};
 use datasets::Dataset;
@@ -64,6 +65,7 @@ use crate::online::{FineTuneReport, OnlineConfig, OnlineTrainer};
 use crate::shard::{ShardStats, ShardedPredictor};
 use crate::slim::{AdamState, SlimModel};
 use crate::stream::StreamingPredictor;
+use crate::telemetry::{escape_label_value, Gauge, Telemetry};
 use crate::task::argmax;
 use ctdg::Label;
 use datasets::Task;
@@ -192,107 +194,9 @@ pub struct LabelReport {
     pub steps: usize,
 }
 
-/// Number of fixed buckets in a [`LatencyHistogram`].
-pub const LATENCY_BUCKETS: usize = 32;
-
-/// A fixed-bucket latency histogram with geometric (power-of-two) bucket
-/// bounds: bucket `i` counts samples strictly below `1024 << i`
-/// nanoseconds (~1 µs for bucket 0, doubling up to ~2200 s), and the last
-/// bucket absorbs everything larger.
-///
-/// Recording is a single array-index increment — **zero heap allocations**
-/// on the record path, so the wire front end can time every request
-/// without disturbing the zero-alloc steady-state contract. Percentile
-/// reads ([`LatencyHistogram::quantile_ns`]) walk the fixed array and are
-/// fully deterministic for a fixed recorded sequence (pinned in
-/// `tests/server.rs`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct LatencyHistogram {
-    buckets: [u64; LATENCY_BUCKETS],
-    count: u64,
-    sum_ns: u64,
-    max_ns: u64,
-}
-
-impl LatencyHistogram {
-    /// Upper bound (exclusive, in nanoseconds) of bucket `i`; the last
-    /// bucket is unbounded.
-    fn bound_ns(i: usize) -> u64 {
-        1024u64 << i
-    }
-
-    /// Index of the bucket a sample of `ns` nanoseconds falls into.
-    fn bucket_of(ns: u64) -> usize {
-        // First i with ns < 1024 << i, i.e. floor(log2(ns / 1024)) + 1 for
-        // ns >= 1024; clamped into the fixed range.
-        if ns < 1024 {
-            return 0;
-        }
-        let msb = 63 - ns.leading_zeros() as usize; // ns >= 1024 => msb >= 10
-        (msb - 9).min(LATENCY_BUCKETS - 1)
-    }
-
-    /// Counts one sample of `ns` nanoseconds. Never allocates.
-    pub fn record_ns(&mut self, ns: u64) {
-        self.buckets[Self::bucket_of(ns)] += 1;
-        self.count += 1;
-        self.sum_ns = self.sum_ns.saturating_add(ns);
-        self.max_ns = self.max_ns.max(ns);
-    }
-
-    /// Number of samples recorded.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Largest sample recorded, in nanoseconds.
-    pub fn max_ns(&self) -> u64 {
-        self.max_ns
-    }
-
-    /// Mean sample, in nanoseconds (0 before the first record).
-    pub fn mean_ns(&self) -> u64 {
-        self.sum_ns.checked_div(self.count).unwrap_or(0)
-    }
-
-    /// The latency below which a fraction `q` of samples fell, resolved to
-    /// the upper bound of the bucket containing that rank (the exact
-    /// recorded maximum for the unbounded last bucket; 0 while empty).
-    /// `q` is clamped into `[0, 1]`.
-    pub fn quantile_ns(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
-        let mut cum = 0u64;
-        for (i, &n) in self.buckets.iter().enumerate() {
-            cum += n;
-            if cum >= target {
-                return if i == LATENCY_BUCKETS - 1 {
-                    self.max_ns
-                } else {
-                    Self::bound_ns(i)
-                };
-            }
-        }
-        self.max_ns
-    }
-
-    /// Median latency bound, in nanoseconds.
-    pub fn p50_ns(&self) -> u64 {
-        self.quantile_ns(0.50)
-    }
-
-    /// 99th-percentile latency bound, in nanoseconds.
-    pub fn p99_ns(&self) -> u64 {
-        self.quantile_ns(0.99)
-    }
-
-    /// 99.9th-percentile latency bound, in nanoseconds.
-    pub fn p999_ns(&self) -> u64 {
-        self.quantile_ns(0.999)
-    }
-}
+// The histogram moved into the telemetry plane (PR 9); the re-export
+// keeps `splash::service::LatencyHistogram` paths working.
+pub use crate::telemetry::{LatencyHistogram, LATENCY_BUCKETS};
 
 /// Cheap serving counters, snapshotted by [`SplashService::stats`].
 /// Aggregated across all models in the registry.
@@ -320,7 +224,8 @@ pub struct ServiceStats {
     /// Wire requests rejected by admission control (a full request queue
     /// sheds load with a typed 429 instead of building unbounded backlog).
     /// Always 0 for a purely in-process service; the wire front end
-    /// ([`crate::server`]) fills it into its stats snapshots.
+    /// ([`crate::server`]) counts them into the shared telemetry registry,
+    /// so this snapshot and the server's own report are the same number.
     pub requests_shed: u64,
     /// Wire requests whose per-request deadline expired while they queued —
     /// answered with a typed 504, never executed against the model.
@@ -770,21 +675,7 @@ impl SplashServiceBuilder {
             online: self.online,
             checkpoint_policy: self.checkpoint_policy,
             models: Vec::new(),
-            edges_ingested: 0,
-            edges_dropped: 0,
-            labels_buffered: 0,
-            labels_dropped: 0,
-            fine_tunes: 0,
-            fine_tune_steps: 0,
-            publishes: 0,
-            deadlines_expired: 0,
-            snapshots_written: 0,
-            wal_records_appended: 0,
-            wal_records_replayed: 0,
-            recoveries: 0,
-            wal_truncations: 0,
-            latency: LatencyHistogram::default(),
-            queries_served: Cell::new(0),
+            tel: Arc::new(Telemetry::new()),
         })
     }
 }
@@ -807,25 +698,12 @@ pub struct SplashService {
     /// Durable-checkpoint policy toward a non-empty replay buffer.
     checkpoint_policy: CheckpointPolicy,
     models: Vec<ModelEntry>,
-    edges_ingested: u64,
-    edges_dropped: u64,
-    labels_buffered: u64,
-    labels_dropped: u64,
-    fine_tunes: u64,
-    fine_tune_steps: u64,
-    publishes: u64,
-    deadlines_expired: u64,
-    snapshots_written: u64,
-    wal_records_appended: u64,
-    wal_records_replayed: u64,
-    recoveries: u64,
-    wal_truncations: u64,
-    latency: LatencyHistogram,
-    /// `Cell` because predictions go through `&self` (the predictor's own
-    /// scratch is interior-mutable for the same reason) — the service is
-    /// single-threaded (`!Sync`) like the predictors it holds; for
-    /// concurrent serving, run one service per worker.
-    queries_served: Cell<u64>,
+    /// The unified telemetry plane: every counter the service keeps is a
+    /// handle into this shared registry (atomics, so counting works
+    /// through `&self` on the predict path and from the wire front end's
+    /// worker threads). `Arc` so [`SplashService::telemetry`] can hand the
+    /// same plane to the server without the service giving up ownership.
+    tel: Arc<Telemetry>,
 }
 
 impl SplashService {
@@ -989,10 +867,16 @@ impl SplashService {
         engine.save(path, opt.as_ref())
     }
 
-    /// Removes the named model from the registry.
+    /// Removes the named model from the registry, dropping its per-model
+    /// telemetry series (per-shard counters, online buffer gauge) from
+    /// exposition.
     pub fn remove_model(&mut self, name: &str) -> Result<(), SplashError> {
         let idx = self.index(name)?;
         self.models.remove(idx);
+        self.tel
+            .registry()
+            .remove_series_with_label(&format!("model=\"{}\"", escape_label_value(name)));
+        self.sync_registry_gauges();
         Ok(())
     }
 
@@ -1168,8 +1052,8 @@ impl SplashService {
             }
         };
         let ingested = edges.len() - dropped;
-        self.edges_ingested += ingested as u64;
-        self.edges_dropped += dropped as u64;
+        self.tel.edges_ingested.add(ingested as u64);
+        self.tel.edges_dropped.add(dropped as u64);
         Ok(IngestReport {
             ingested,
             dropped,
@@ -1260,11 +1144,11 @@ impl SplashService {
                 report.steps += r.steps;
             }
         }
-        self.labels_buffered += report.buffered as u64;
-        self.labels_dropped += report.dropped as u64;
-        self.fine_tunes += report.tunes as u64;
-        self.fine_tune_steps += report.steps as u64;
-        self.publishes += report.tunes as u64;
+        self.tel.labels_buffered.add(report.buffered as u64);
+        self.tel.labels_dropped.add(report.dropped as u64);
+        self.tel.fine_tunes.add(report.tunes as u64);
+        self.tel.fine_tune_steps.add(report.steps as u64);
+        self.tel.publishes.add(report.tunes as u64);
         Ok(report)
     }
 
@@ -1290,9 +1174,9 @@ impl SplashService {
         let mut report = trainer.fine_tune();
         engine.set_weights(trainer.model());
         report.published = true;
-        self.fine_tunes += 1;
-        self.fine_tune_steps += report.steps as u64;
-        self.publishes += 1;
+        self.tel.fine_tunes.inc();
+        self.tel.fine_tune_steps.add(report.steps as u64);
+        self.tel.publishes.inc();
         Ok(report)
     }
 
@@ -1314,7 +1198,7 @@ impl SplashService {
             return Err(SplashError::OnlineDisabled { name: name.clone() });
         };
         engine.set_weights(trainer.model());
-        self.publishes += 1;
+        self.tel.publishes.inc();
         Ok(())
     }
 
@@ -1348,7 +1232,7 @@ impl SplashService {
             }
         }
         entry.engine.try_predict_into(req.node, req.time, &mut resp.logits)?;
-        self.queries_served.set(self.queries_served.get() + 1);
+        self.tel.queries_served.inc();
         Ok(())
     }
 
@@ -1380,7 +1264,7 @@ impl SplashService {
             }
         }
         let out = entry.engine.try_predict_batch(queries)?;
-        self.queries_served.set(self.queries_served.get() + queries.len() as u64);
+        self.tel.queries_served.add(queries.len() as u64);
         Ok(out)
     }
 
@@ -1404,44 +1288,55 @@ impl SplashService {
             }
         }
         self.models[idx].engine.try_predict_batch_into(queries, out)?;
-        self.queries_served.set(self.queries_served.get() + queries.len() as u64);
+        self.tel.queries_served.add(queries.len() as u64);
         Ok(())
     }
 
-    /// A snapshot of the serving counters.
+    /// A snapshot of the serving counters, read out of the shared
+    /// [`Telemetry`] plane — `/stats`, `GET /metrics`, and this method all
+    /// render the same atomics and can no longer disagree.
     pub fn stats(&self) -> ServiceStats {
+        let tel = &self.tel;
         ServiceStats {
-            edges_ingested: self.edges_ingested,
-            edges_dropped: self.edges_dropped,
-            queries_served: self.queries_served.get(),
+            edges_ingested: tel.edges_ingested.get(),
+            edges_dropped: tel.edges_dropped.get(),
+            queries_served: tel.queries_served.get(),
             shards: self.models.iter().map(|e| e.engine.shards() as u64).sum(),
-            labels_buffered: self.labels_buffered,
-            labels_dropped: self.labels_dropped,
-            fine_tunes: self.fine_tunes,
-            fine_tune_steps: self.fine_tune_steps,
-            publishes: self.publishes,
-            requests_shed: 0,
-            deadlines_expired: self.deadlines_expired,
-            snapshots_written: self.snapshots_written,
-            wal_records_appended: self.wal_records_appended,
-            wal_records_replayed: self.wal_records_replayed,
-            recoveries: self.recoveries,
-            wal_truncations: self.wal_truncations,
-            latency: self.latency,
+            labels_buffered: tel.labels_buffered.get(),
+            labels_dropped: tel.labels_dropped.get(),
+            fine_tunes: tel.fine_tunes.get(),
+            fine_tune_steps: tel.fine_tune_steps.get(),
+            publishes: tel.publishes.get(),
+            requests_shed: tel.requests_shed.get(),
+            deadlines_expired: tel.deadlines_expired.get(),
+            snapshots_written: tel.snapshots_written.get(),
+            wal_records_appended: tel.wal_records_appended.get(),
+            wal_records_replayed: tel.wal_records_replayed.get(),
+            recoveries: tel.recoveries.get(),
+            wal_truncations: tel.wal_truncations.get(),
+            latency: tel.request_latency.snapshot(),
         }
+    }
+
+    /// The service's telemetry plane. The wire front end
+    /// ([`crate::server`]) clones this `Arc` so worker threads can count
+    /// sheds and health probes and serve `/metrics`, `/statz.json`, and
+    /// `/trace` without queueing behind the engine thread.
+    pub fn telemetry(&self) -> Arc<Telemetry> {
+        Arc::clone(&self.tel)
     }
 
     /// Counts one executed wire request that took `ns` nanoseconds end to
     /// end (arrival to completion). Called by the wire front end
-    /// ([`crate::server`]); a single array increment, never allocates.
-    pub fn record_request_latency_ns(&mut self, ns: u64) {
-        self.latency.record_ns(ns);
+    /// ([`crate::server`]); a single atomic increment, never allocates.
+    pub fn record_request_latency_ns(&self, ns: u64) {
+        self.tel.request_latency.record_ns(ns);
     }
 
     /// Counts one wire request whose deadline expired before execution
     /// (the front end answers it 504 without touching the model).
-    pub fn note_deadline_expired(&mut self) {
-        self.deadlines_expired += 1;
+    pub fn note_deadline_expired(&self) {
+        self.tel.deadlines_expired.inc();
     }
 
     /// The service-wide late-edge policy.
@@ -1498,7 +1393,7 @@ impl SplashService {
             let data = self.checkpoint_data(idx)?;
             let log = DurableLog::create(&cfg, data)?;
             self.models[idx].durable = Some(log);
-            self.snapshots_written += 1;
+            self.tel.snapshots_written.inc();
             return Ok(None);
         }
 
@@ -1544,13 +1439,13 @@ impl SplashService {
         let idx = self.install(name, engine, trainer);
 
         let counters = recovered.counters;
-        self.edges_ingested = counters.edges_ingested;
-        self.edges_dropped = counters.edges_dropped;
-        self.labels_buffered = counters.labels_buffered;
-        self.labels_dropped = counters.labels_dropped;
-        self.fine_tunes = counters.fine_tunes;
-        self.fine_tune_steps = counters.fine_tune_steps;
-        self.publishes = counters.publishes;
+        self.tel.edges_ingested.set(counters.edges_ingested);
+        self.tel.edges_dropped.set(counters.edges_dropped);
+        self.tel.labels_buffered.set(counters.labels_buffered);
+        self.tel.labels_dropped.set(counters.labels_dropped);
+        self.tel.fine_tunes.set(counters.fine_tunes);
+        self.tel.fine_tune_steps.set(counters.fine_tune_steps);
+        self.tel.publishes.set(counters.publishes);
 
         for (i, entry) in recovered.entries.into_iter().enumerate() {
             self.apply_wal_entry(idx, entry).map_err(|e| SplashError::WalCorrupt {
@@ -1559,9 +1454,9 @@ impl SplashService {
         }
         let report = recovered.report;
         self.models[idx].durable = Some(log);
-        self.recoveries += 1;
-        self.wal_records_replayed += report.wal_records_replayed;
-        self.wal_truncations += u64::from(report.wal_tail_truncated);
+        self.tel.recoveries.inc();
+        self.tel.wal_records_replayed.add(report.wal_records_replayed);
+        self.tel.wal_truncations.add(u64::from(report.wal_tail_truncated));
         Ok(Some(report))
     }
 
@@ -1598,7 +1493,7 @@ impl SplashService {
             .as_mut()
             .expect("checkpoint_idx requires an attached durable log");
         log.checkpoint(data)?;
-        self.snapshots_written += 1;
+        self.tel.snapshots_written.inc();
         Ok(())
     }
 
@@ -1606,13 +1501,13 @@ impl SplashService {
     /// [`CheckpointPolicy`] toward a non-empty replay buffer.
     fn checkpoint_data(&mut self, idx: usize) -> Result<CheckpointData, SplashError> {
         let counters = PersistedCounters {
-            edges_ingested: self.edges_ingested,
-            edges_dropped: self.edges_dropped,
-            labels_buffered: self.labels_buffered,
-            labels_dropped: self.labels_dropped,
-            fine_tunes: self.fine_tunes,
-            fine_tune_steps: self.fine_tune_steps,
-            publishes: self.publishes,
+            edges_ingested: self.tel.edges_ingested.get(),
+            edges_dropped: self.tel.edges_dropped.get(),
+            labels_buffered: self.tel.labels_buffered.get(),
+            labels_dropped: self.tel.labels_dropped.get(),
+            fine_tunes: self.tel.fine_tunes.get(),
+            fine_tune_steps: self.tel.fine_tune_steps.get(),
+            publishes: self.tel.publishes.get(),
         };
         let policy = self.checkpoint_policy;
         let ModelEntry { engine, trainer, .. } = &mut self.models[idx];
@@ -1638,8 +1533,12 @@ impl SplashService {
         let Some(log) = entry.durable.as_mut() else {
             return Ok(());
         };
+        let start = Instant::now();
         log.append(record)?;
-        self.wal_records_appended += 1;
+        // Stage the fsync cost for the span the engine thread is about to
+        // record — the wire front end drains it per request.
+        self.tel.note_wal_commit_ns(start.elapsed().as_nanos() as u64);
+        self.tel.wal_records_appended.inc();
         let due = self.models[idx]
             .durable
             .as_ref()
@@ -1687,7 +1586,7 @@ impl SplashService {
     /// Installs (or hot-swaps) a registry entry, preserving any attached
     /// durable log, and returns the entry's index.
     fn install(&mut self, name: &str, engine: Engine, trainer: Option<OnlineTrainer>) -> usize {
-        match self.models.iter_mut().position(|e| e.name == name) {
+        let idx = match self.models.iter_mut().position(|e| e.name == name) {
             Some(idx) => {
                 self.models[idx].engine = engine;
                 self.models[idx].trainer = trainer;
@@ -1702,7 +1601,44 @@ impl SplashService {
                 });
                 self.models.len() - 1
             }
+        };
+        self.register_model_telemetry(idx);
+        idx
+    }
+
+    /// (Re-)exposes one entry's per-model series in the shared registry —
+    /// per-shard ingest/query counters for sharded engines, the online
+    /// replay-buffer fill gauge — and refreshes the registry-shape gauges.
+    /// Hot-swap safe: stale series under the same model label are dropped
+    /// first, so a model re-installed at a different shard count does not
+    /// leave orphan shard series behind.
+    fn register_model_telemetry(&mut self, idx: usize) {
+        let needle = format!("model=\"{}\"", escape_label_value(&self.models[idx].name));
+        self.tel.registry().remove_series_with_label(&needle);
+        let entry = &mut self.models[idx];
+        if let Engine::Sharded(s) = &entry.engine {
+            s.register_telemetry(self.tel.registry(), &entry.name);
         }
+        if let Some(trainer) = entry.trainer.as_mut() {
+            let gauge = Gauge::new();
+            self.tel.registry().register_gauge(
+                "splash_online_buffered",
+                &needle,
+                "Labeled snapshots currently held in the model's bounded replay buffer.",
+                &gauge,
+            );
+            trainer.attach_buffer_gauge(gauge);
+        }
+        self.sync_registry_gauges();
+    }
+
+    /// Refreshes the registry-shape gauges (`splash_models`,
+    /// `splash_shard_engines`) from the current model table.
+    fn sync_registry_gauges(&self) {
+        self.tel.models.set(self.models.len() as u64);
+        self.tel
+            .shards
+            .set(self.models.iter().map(|e| e.engine.shards() as u64).sum());
     }
 
     /// After hot-swapping a durable model, the on-disk snapshot describes

@@ -46,7 +46,7 @@
 //! [`ShardedPredictor::try_load`] reshards on load — an artifact saved at
 //! `N` shards serves identically at any `M`.
 
-use std::cell::{Cell, RefCell};
+use std::cell::RefCell;
 use std::path::Path;
 
 use ctdg::{NodeId, PropertyQuery, TemporalEdge};
@@ -58,6 +58,7 @@ use crate::config::SplashConfig;
 use crate::error::SplashError;
 use crate::persist::SavedModel;
 use crate::stream::StreamingPredictor;
+use crate::telemetry::{escape_label_value, Counter, Registry};
 
 /// The owner shard of `node` under an `shards`-way partition.
 ///
@@ -91,12 +92,26 @@ pub struct ShardStats {
     pub queries_served: u64,
 }
 
-/// Per-shard counters; `queries` is a [`Cell`] because predictions flow
-/// through `&self` (mirroring the service's counter design).
-#[derive(Debug, Clone, Default)]
+/// Per-shard counters, held as [`Counter`] handles (atomics) so
+/// predictions count through `&self` and an installed engine can expose
+/// the same cells as registry series on `/metrics`
+/// ([`ShardedPredictor::register_telemetry`]).
+#[derive(Debug, Default)]
 struct ShardCounters {
-    owned_edges: u64,
-    queries: Cell<u64>,
+    owned_edges: Counter,
+    queries: Counter,
+}
+
+impl Clone for ShardCounters {
+    /// A clone gets **detached** copies of the cells: counter handles
+    /// share their atomic, so a derived clone would leave two predictors
+    /// double-counting into one registry series.
+    fn clone(&self) -> Self {
+        Self {
+            owned_edges: self.owned_edges.detached_copy(),
+            queries: self.queries.detached_copy(),
+        }
+    }
 }
 
 /// Reusable scatter–gather buffers: per-shard query sub-batches, the
@@ -336,8 +351,8 @@ impl ShardedPredictor {
             .map(|(shard, (engine, c))| ShardStats {
                 shard,
                 owned_nodes: engine.active_rings(),
-                owned_edges: c.owned_edges,
-                witness_edges: self.total_edges - c.owned_edges,
+                owned_edges: c.owned_edges.get(),
+                witness_edges: self.total_edges - c.owned_edges.get(),
                 queries_served: c.queries.get(),
             })
             .collect()
@@ -346,6 +361,31 @@ impl ShardedPredictor {
     /// Total queries answered across all shards.
     pub fn queries_served(&self) -> u64 {
         self.counters.iter().map(|c| c.queries.get()).sum()
+    }
+
+    /// Exposes the per-shard counters as labelled series in `registry`:
+    /// `splash_shard_edges_owned_total{model="...",shard="N"}` and
+    /// `splash_shard_queries_total{model="...",shard="N"}`. The handles
+    /// share the engine's own cells — counting on the serving path stays a
+    /// plain atomic increment; registration (here, at install time) is the
+    /// only step that allocates.
+    pub(crate) fn register_telemetry(&self, registry: &Registry, model: &str) {
+        let model = escape_label_value(model);
+        for (shard, c) in self.counters.iter().enumerate() {
+            let labels = format!("model=\"{model}\",shard=\"{shard}\"");
+            registry.register_counter(
+                "splash_shard_edges_owned_total",
+                &labels,
+                "Edges whose ring snapshot was written on this shard (owner writes).",
+                &c.owned_edges,
+            );
+            registry.register_counter(
+                "splash_shard_queries_total",
+                &labels,
+                "Queries answered by this shard (owner of the queried node).",
+                &c.queries,
+            );
+        }
     }
 
     /// Ingests a chronologically ordered micro-batch, routing each edge to
@@ -382,9 +422,9 @@ impl ShardedPredictor {
                     }
                 });
                 for &(a, b) in route {
-                    self.counters[a].owned_edges += 1;
+                    self.counters[a].owned_edges.inc();
                     if b != a {
-                        self.counters[b].owned_edges += 1;
+                        self.counters[b].owned_edges.inc();
                     }
                 }
                 self.total_edges += edges.len() as u64;
@@ -395,9 +435,9 @@ impl ShardedPredictor {
             shard.push_edges_prerouted(edges, route, s);
         }
         for &(a, b) in route {
-            self.counters[a].owned_edges += 1;
+            self.counters[a].owned_edges.inc();
             if b != a {
-                self.counters[b].owned_edges += 1;
+                self.counters[b].owned_edges.inc();
             }
         }
         self.total_edges += edges.len() as u64;
@@ -421,9 +461,9 @@ impl ShardedPredictor {
                 .try_observe_edge_routed(edge, s == owner_src, s == owner_dst)
                 .expect("edge validated before the scatter");
         }
-        self.counters[owner_src].owned_edges += 1;
+        self.counters[owner_src].owned_edges.inc();
         if owner_dst != owner_src {
-            self.counters[owner_dst].owned_edges += 1;
+            self.counters[owner_dst].owned_edges.inc();
         }
         self.total_edges += 1;
         Ok(())
@@ -440,7 +480,7 @@ impl ShardedPredictor {
     ) -> Result<(), SplashError> {
         let s = shard_of(node, self.shards.len());
         self.shards[s].try_predict_into(node, time, out)?;
-        self.counters[s].queries.set(self.counters[s].queries.get() + 1);
+        self.counters[s].queries.inc();
         Ok(())
     }
 
@@ -580,7 +620,7 @@ fn gather_rows(
         for (local, &orig) in ix.iter().enumerate() {
             out.row_mut(orig).copy_from_slice(rows.row(local));
         }
-        c.queries.set(c.queries.get() + ix.len() as u64);
+        c.queries.add(ix.len() as u64);
     }
 }
 

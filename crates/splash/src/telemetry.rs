@@ -1,0 +1,1159 @@
+//! The unified telemetry plane: a zero-alloc metrics [`Registry`] and a
+//! fixed-capacity ring of per-request [`TraceSpan`]s, shared by every
+//! runtime layer (server → service → shard → online → durable).
+//!
+//! Before this module, each layer kept its own ad-hoc counters — plain
+//! `u64` fields in the service, a server-local `AtomicU64` for shed
+//! requests, per-shard cells — and `/stats` was the only window into any
+//! of them. Now there is **one source of truth**: every counter is a slot
+//! in the registry, recorded through cheap cloneable handles
+//! ([`Counter`], [`Gauge`], [`Histogram`]) and read by every surface
+//! (`/stats`, `/metrics`, `/statz.json`, the CLI serve report) from the
+//! same atomics, so the surfaces can no longer disagree.
+//!
+//! Three properties are load-bearing and pinned by tests:
+//!
+//! * **Zero-alloc recording** — a [`Counter::add`], [`Gauge::set`],
+//!   [`Histogram::record_ns`] or [`Telemetry::record_span`] performs no
+//!   heap allocation: counters and gauges are single atomic adds/stores,
+//!   histograms are one atomic increment into a fixed bucket array, and
+//!   spans are copied into a preallocated ring slot. The counting-
+//!   allocator tests in `crates/splash/tests/alloc.rs` prove the serving
+//!   hot paths stay allocation-free with telemetry recording enabled.
+//!   (Registration allocates — it happens at install/startup time, never
+//!   on the request path.)
+//! * **Lock-free metric recording** — handles are `Arc`'d atomics, so the
+//!   connection workers count shed requests and healthz probes without
+//!   touching the engine thread. Only the span ring takes a (short,
+//!   uncontended) mutex.
+//! * **Deterministic exposition** — [`Registry::render_prometheus`] and
+//!   [`Registry::render_statz_json`] emit series in sorted order with
+//!   shortest-roundtrip float formatting, so two replays of the same
+//!   stream produce byte-identical output once timing-dependent fields
+//!   (histograms, spans) are gated off (`/statz.json?timing=0`).
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of fixed buckets in a [`LatencyHistogram`].
+pub const LATENCY_BUCKETS: usize = 32;
+
+/// A fixed-bucket latency histogram with geometric (power-of-two) bucket
+/// bounds: bucket `i` counts samples strictly below `1024 << i`
+/// nanoseconds (~1 µs for bucket 0, doubling up to ~2200 s), and the last
+/// bucket absorbs everything larger.
+///
+/// Recording is a single array-index increment — **zero heap allocations**
+/// on the record path, so the wire front end can time every request
+/// without disturbing the zero-alloc steady-state contract. Percentile
+/// reads ([`LatencyHistogram::quantile_ns`]) walk the fixed array and are
+/// fully deterministic for a fixed recorded sequence (pinned in
+/// `tests/server.rs`).
+///
+/// # Percentile semantics
+///
+/// A quantile resolves to the **upper bound of the bucket containing that
+/// rank**, not an interpolated sample value: the histogram keeps counts,
+/// not samples, so `p99_ns()` answers "99% of samples were *at most*
+/// this" with one-bucket (2×) resolution. The unbounded last bucket
+/// resolves to the exact recorded maximum instead (there is no finite
+/// upper bound to report). This makes every percentile an upper bound —
+/// conservative, never flattering — and makes percentile reads of a fixed
+/// recorded sequence bit-deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencyHistogram {
+    buckets: [u64; LATENCY_BUCKETS],
+    count: u64,
+    sum_ns: u64,
+    max_ns: u64,
+}
+
+impl LatencyHistogram {
+    /// Upper bound (exclusive, in nanoseconds) of bucket `i`; the last
+    /// bucket is unbounded.
+    fn bound_ns(i: usize) -> u64 {
+        1024u64 << i
+    }
+
+    /// Index of the bucket a sample of `ns` nanoseconds falls into.
+    fn bucket_of(ns: u64) -> usize {
+        // First i with ns < 1024 << i, i.e. floor(log2(ns / 1024)) + 1 for
+        // ns >= 1024; clamped into the fixed range.
+        if ns < 1024 {
+            return 0;
+        }
+        let msb = 63 - ns.leading_zeros() as usize; // ns >= 1024 => msb >= 10
+        (msb - 9).min(LATENCY_BUCKETS - 1)
+    }
+
+    /// Counts one sample of `ns` nanoseconds. Never allocates.
+    pub fn record_ns(&mut self, ns: u64) {
+        self.buckets[Self::bucket_of(ns)] += 1;
+        self.count += 1;
+        self.sum_ns = self.sum_ns.saturating_add(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Folds `other`'s samples into `self` — the aggregation path for
+    /// per-shard and per-cell histograms (bucket bounds are fixed and
+    /// identical, so merging is element-wise addition and quantiles of the
+    /// merged histogram are exactly the quantiles of the union of both
+    /// recorded multisets, at bucket resolution).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest sample recorded, in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Mean sample, in nanoseconds (0 before the first record).
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Sum of all samples, in nanoseconds (saturating).
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns
+    }
+
+    /// The latency below which a fraction `q` of samples fell, resolved to
+    /// the upper bound of the bucket containing that rank (the exact
+    /// recorded maximum for the unbounded last bucket; 0 while empty).
+    /// `q` is clamped into `[0, 1]`. See the type docs for the
+    /// percentile-as-bucket-upper-bound semantics.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= target {
+                return if i == LATENCY_BUCKETS - 1 {
+                    self.max_ns
+                } else {
+                    Self::bound_ns(i)
+                };
+            }
+        }
+        self.max_ns
+    }
+
+    /// Median latency bound, in nanoseconds.
+    pub fn p50_ns(&self) -> u64 {
+        self.quantile_ns(0.50)
+    }
+
+    /// 99th-percentile latency bound, in nanoseconds.
+    pub fn p99_ns(&self) -> u64 {
+        self.quantile_ns(0.99)
+    }
+
+    /// 99.9th-percentile latency bound, in nanoseconds.
+    pub fn p999_ns(&self) -> u64 {
+        self.quantile_ns(0.999)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Handles: the write side of the registry.
+
+/// A monotonically increasing counter handle. Cloning shares the
+/// underlying atomic (handles are `Arc`'d); recording is one relaxed
+/// `fetch_add` — lock-free and allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh, unregistered counter at 0 (register it with
+    /// [`Registry::register_counter`] to expose it).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Overwrites the absolute value — for durable recovery, which
+    /// restores persisted lifetime counters rather than re-counting.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// A **detached** copy: a fresh atomic seeded with the current value.
+    /// Cloning a structure that owns counters (e.g. a sharded engine)
+    /// must not leave both copies incrementing the same cell.
+    pub fn detached_copy(&self) -> Self {
+        Self(Arc::new(AtomicU64::new(self.get())))
+    }
+}
+
+/// A gauge handle: an arbitrary settable value (queue depths, buffer
+/// fill, engine counts). Same sharing and zero-alloc properties as
+/// [`Counter`].
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// A fresh, unregistered gauge at 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// The shared storage behind a [`Histogram`] handle: the same fixed
+/// power-of-two buckets as [`LatencyHistogram`], in atomics.
+#[derive(Debug, Default)]
+struct AtomicHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+/// A histogram handle over shared atomic buckets (bounds identical to
+/// [`LatencyHistogram`]). Recording is a handful of relaxed atomic ops —
+/// lock-free, allocation-free; reads snapshot into a plain
+/// [`LatencyHistogram`] for quantiles and rendering.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Arc<AtomicHistogram>);
+
+impl Histogram {
+    /// A fresh, unregistered histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts one sample of `ns` nanoseconds. Never allocates.
+    pub fn record_ns(&self, ns: u64) {
+        let h = &*self.0;
+        h.buckets[LatencyHistogram::bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        h.count.fetch_add(1, Ordering::Relaxed);
+        h.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        h.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy as a plain [`LatencyHistogram`] (the read
+    /// side: quantiles, merging, rendering).
+    pub fn snapshot(&self) -> LatencyHistogram {
+        let h = &*self.0;
+        let mut out = LatencyHistogram::default();
+        for (b, a) in out.buckets.iter_mut().zip(h.buckets.iter()) {
+            *b = a.load(Ordering::Relaxed);
+        }
+        out.count = h.count.load(Ordering::Relaxed);
+        out.sum_ns = h.sum_ns.load(Ordering::Relaxed);
+        out.max_ns = h.max_ns.load(Ordering::Relaxed);
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The registry: names, help text, exposition.
+
+/// What kind of value a registered series carries.
+#[derive(Debug, Clone)]
+enum MetricValue {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// One registered series: a metric family name, an optional label set
+/// (rendered verbatim inside `{...}`), help text, and the shared handle.
+#[derive(Debug, Clone)]
+struct Metric {
+    name: String,
+    labels: String,
+    help: String,
+    value: MetricValue,
+}
+
+/// The metric registry: a flat, mutex-guarded list of registered series.
+///
+/// The mutex guards **registration and exposition only** — recording goes
+/// through the [`Counter`]/[`Gauge`]/[`Histogram`] handles and never
+/// takes it. Registration is idempotent per `(name, labels)` key: asking
+/// for an existing series of the same kind returns a handle to the same
+/// atomics, and registering over an existing key replaces the entry
+/// (hot-swap semantics — a re-installed model re-registers its per-shard
+/// series).
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<Vec<Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter registered under `name` (no labels), creating
+    /// it if absent.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        let mut g = self.inner.lock().expect("registry poisoned");
+        if let Some(m) = g.iter().find(|m| m.name == name && m.labels.is_empty()) {
+            if let MetricValue::Counter(c) = &m.value {
+                return c.clone();
+            }
+        }
+        let c = Counter::new();
+        Self::upsert(&mut g, name, "", help, MetricValue::Counter(c.clone()));
+        c
+    }
+
+    /// Returns the gauge registered under `name` (no labels), creating it
+    /// if absent.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        let mut g = self.inner.lock().expect("registry poisoned");
+        if let Some(m) = g.iter().find(|m| m.name == name && m.labels.is_empty()) {
+            if let MetricValue::Gauge(v) = &m.value {
+                return v.clone();
+            }
+        }
+        let v = Gauge::new();
+        Self::upsert(&mut g, name, "", help, MetricValue::Gauge(v.clone()));
+        v
+    }
+
+    /// Returns the histogram registered under `name` (no labels), creating
+    /// it if absent.
+    pub fn histogram(&self, name: &str, help: &str) -> Histogram {
+        let mut g = self.inner.lock().expect("registry poisoned");
+        if let Some(m) = g.iter().find(|m| m.name == name && m.labels.is_empty()) {
+            if let MetricValue::Histogram(h) = &m.value {
+                return h.clone();
+            }
+        }
+        let h = Histogram::new();
+        Self::upsert(&mut g, name, "", help, MetricValue::Histogram(h.clone()));
+        h
+    }
+
+    /// Exposes an existing counter handle under `(name, labels)` —
+    /// the path for structures that own their counters (per-shard
+    /// engines) and register them at install time. `labels` is rendered
+    /// verbatim inside `{...}` (e.g. `model="live",shard="0"`); pass `""`
+    /// for none. Replaces any series already at that key.
+    pub fn register_counter(&self, name: &str, labels: &str, help: &str, c: &Counter) {
+        let mut g = self.inner.lock().expect("registry poisoned");
+        Self::upsert(&mut g, name, labels, help, MetricValue::Counter(c.clone()));
+    }
+
+    /// Exposes an existing gauge handle under `(name, labels)`; see
+    /// [`Registry::register_counter`].
+    pub fn register_gauge(&self, name: &str, labels: &str, help: &str, v: &Gauge) {
+        let mut g = self.inner.lock().expect("registry poisoned");
+        Self::upsert(&mut g, name, labels, help, MetricValue::Gauge(v.clone()));
+    }
+
+    /// Exposes an existing histogram handle under `(name, labels)`; see
+    /// [`Registry::register_counter`].
+    pub fn register_histogram(&self, name: &str, labels: &str, help: &str, h: &Histogram) {
+        let mut g = self.inner.lock().expect("registry poisoned");
+        Self::upsert(&mut g, name, labels, help, MetricValue::Histogram(h.clone()));
+    }
+
+    /// Drops every labelled series whose label string contains `needle`
+    /// (e.g. `model="beta"` when a model is removed from the service).
+    /// Unlabelled series are never removed.
+    pub fn remove_series_with_label(&self, needle: &str) {
+        let mut g = self.inner.lock().expect("registry poisoned");
+        g.retain(|m| m.labels.is_empty() || !m.labels.contains(needle));
+    }
+
+    fn upsert(list: &mut Vec<Metric>, name: &str, labels: &str, help: &str, value: MetricValue) {
+        debug_assert!(
+            name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "metric name {name:?} violates the exposition grammar"
+        );
+        match list.iter_mut().find(|m| m.name == name && m.labels == labels) {
+            Some(m) => {
+                m.help = help.to_string();
+                m.value = value;
+            }
+            None => list.push(Metric {
+                name: name.to_string(),
+                labels: labels.to_string(),
+                help: help.to_string(),
+                value,
+            }),
+        }
+    }
+
+    /// A sorted snapshot of the registered series.
+    fn sorted(&self) -> Vec<Metric> {
+        let mut list = self.inner.lock().expect("registry poisoned").clone();
+        list.sort_by(|a, b| a.name.cmp(&b.name).then_with(|| a.labels.cmp(&b.labels)));
+        list
+    }
+
+    /// Renders the Prometheus text exposition format, hand-rolled:
+    /// `# HELP` / `# TYPE` per family, one sample line per series, series
+    /// sorted by `(name, labels)`, floats in Rust's shortest-roundtrip
+    /// `{}` form. The output is **byte-deterministic** for fixed recorded
+    /// values — no timestamps, no random iteration order.
+    ///
+    /// Histograms follow the Prometheus convention: cumulative
+    /// `name_bucket{le="..."}` lines (bounds in seconds), a final
+    /// `le="+Inf"` bucket, and `name_sum` (seconds) / `name_count` lines.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_family = String::new();
+        for m in self.sorted() {
+            if m.name != last_family {
+                let kind = match &m.value {
+                    MetricValue::Counter(_) => "counter",
+                    MetricValue::Gauge(_) => "gauge",
+                    MetricValue::Histogram(_) => "histogram",
+                };
+                let _ = writeln!(out, "# HELP {} {}", m.name, m.help);
+                let _ = writeln!(out, "# TYPE {} {}", m.name, kind);
+                last_family = m.name.clone();
+            }
+            let series = |out: &mut String, suffix: &str, extra: &str| {
+                out.push_str(&m.name);
+                out.push_str(suffix);
+                if !m.labels.is_empty() || !extra.is_empty() {
+                    out.push('{');
+                    out.push_str(&m.labels);
+                    if !m.labels.is_empty() && !extra.is_empty() {
+                        out.push(',');
+                    }
+                    out.push_str(extra);
+                    out.push('}');
+                }
+                out.push(' ');
+            };
+            match &m.value {
+                MetricValue::Counter(c) => {
+                    series(&mut out, "", "");
+                    let _ = writeln!(out, "{}", c.get());
+                }
+                MetricValue::Gauge(v) => {
+                    series(&mut out, "", "");
+                    let _ = writeln!(out, "{}", v.get());
+                }
+                MetricValue::Histogram(h) => {
+                    let snap = h.snapshot();
+                    let mut cum = 0u64;
+                    for i in 0..LATENCY_BUCKETS {
+                        cum += snap.buckets[i];
+                        let bound_s = LatencyHistogram::bound_ns(i) as f64 / 1e9;
+                        let mut le = String::new();
+                        let _ = write!(le, "le=\"{bound_s}\"");
+                        series(&mut out, "_bucket", &le);
+                        let _ = writeln!(out, "{cum}");
+                    }
+                    series(&mut out, "_bucket", "le=\"+Inf\"");
+                    let _ = writeln!(out, "{}", snap.count);
+                    series(&mut out, "_sum", "");
+                    let _ = writeln!(out, "{}", snap.sum_ns as f64 / 1e9);
+                    series(&mut out, "_count", "");
+                    let _ = writeln!(out, "{}", snap.count);
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the machine-readable `/statz.json` body: sorted keys,
+    /// counters and gauges always, histograms only when `timing` is on —
+    /// with timing off the output is **byte-identical across identical
+    /// replays** (pinned by the CI telemetry leg).
+    pub fn render_statz_json(&self, timing: bool) -> String {
+        let mut out = String::from("{");
+        let list = self.sorted();
+        let key = |m: &Metric| {
+            if m.labels.is_empty() {
+                m.name.clone()
+            } else {
+                format!("{}{{{}}}", m.name, m.labels)
+            }
+        };
+        for (section, want) in [("counters", 0usize), ("gauges", 1)] {
+            let _ = write!(out, "\"{section}\":{{");
+            let mut first = true;
+            for m in &list {
+                let v = match (&m.value, want) {
+                    (MetricValue::Counter(c), 0) => c.get(),
+                    (MetricValue::Gauge(v), 1) => v.get(),
+                    _ => continue,
+                };
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(out, "\"{}\":{}", key(m), v);
+            }
+            out.push_str("},");
+        }
+        if timing {
+            out.push_str("\"histograms\":{");
+            let mut first = true;
+            for m in &list {
+                let MetricValue::Histogram(h) = &m.value else { continue };
+                let snap = h.snapshot();
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(
+                    out,
+                    "\"{}\":{{\"count\":{},\"sum_ns\":{},\"max_ns\":{},\"p50_ns\":{},\
+                     \"p99_ns\":{},\"p999_ns\":{}}}",
+                    key(m),
+                    snap.count(),
+                    snap.sum_ns(),
+                    snap.max_ns(),
+                    snap.p50_ns(),
+                    snap.p99_ns(),
+                    snap.p999_ns(),
+                );
+            }
+            out.push_str("},");
+        }
+        let _ = write!(out, "\"timing\":{timing}}}");
+        out.push('\n');
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trace spans: the per-request ring.
+
+/// Byte capacity of the inline model-name buffer in a [`TraceSpan`]
+/// (longer names are truncated at a UTF-8 character boundary — the span
+/// record path must not allocate).
+pub const TRACE_MODEL_BYTES: usize = 24;
+
+/// Default capacity of the span ring ([`Telemetry::new`]).
+pub const TRACE_CAPACITY: usize = 256;
+
+/// One request's timing decomposition, recorded at the server/service/
+/// durable seams. All fields are inline (`Copy`) so recording into the
+/// ring is a plain slot overwrite — no allocation.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceSpan {
+    /// Monotonically increasing request id (1-based, server lifetime).
+    pub id: u64,
+    /// Static route label (`"predict"`, `"ingest"`, `"stats"`, …).
+    pub route: &'static str,
+    /// Time spent queued between arrival at a worker and pickup by the
+    /// engine thread.
+    pub queue_wait_ns: u64,
+    /// Time inside the engine executing the service call (includes
+    /// WAL-commit time, which [`TraceSpan::wal_commit_ns`] breaks out).
+    pub execute_ns: u64,
+    /// Time spent group-committing the request's WAL record (0 for reads
+    /// and non-durable models).
+    pub wal_commit_ns: u64,
+    /// Request body bytes.
+    pub bytes_in: u64,
+    /// Response body bytes.
+    pub bytes_out: u64,
+    /// HTTP status answered.
+    pub status: u16,
+    /// `"ok"`, or the machine-readable error kind
+    /// ([`crate::SplashError::kind`] / `"DeadlineExpired"` / …).
+    pub outcome: &'static str,
+    model_len: u8,
+    model: [u8; TRACE_MODEL_BYTES],
+}
+
+impl TraceSpan {
+    /// The model name the request addressed (`""` for registry-wide
+    /// routes), truncated to [`TRACE_MODEL_BYTES`].
+    pub fn model(&self) -> &str {
+        std::str::from_utf8(&self.model[..self.model_len as usize]).unwrap_or("")
+    }
+
+    /// End-to-end time: queue wait plus engine execution.
+    pub fn total_ns(&self) -> u64 {
+        self.queue_wait_ns + self.execute_ns
+    }
+}
+
+impl Default for TraceSpan {
+    fn default() -> Self {
+        Self {
+            id: 0,
+            route: "",
+            queue_wait_ns: 0,
+            execute_ns: 0,
+            wal_commit_ns: 0,
+            bytes_in: 0,
+            bytes_out: 0,
+            status: 0,
+            outcome: "",
+            model_len: 0,
+            model: [0; TRACE_MODEL_BYTES],
+        }
+    }
+}
+
+/// Escapes `s` for use inside a Prometheus label value: `\` becomes
+/// `\\`, `"` becomes `\"`, and newlines become `\n` — the three escapes
+/// the exposition grammar defines for quoted label values.
+pub fn escape_label_value(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Appends `s` to `out` as a JSON string body (no surrounding quotes):
+/// escapes `"` and `\`, hex-escapes control characters, passes other
+/// UTF-8 through raw (valid JSON).
+fn push_json_escaped(out: &mut String, s: &str) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// A fixed-capacity ring of the most recent [`TraceSpan`]s. Preallocated
+/// once; recording overwrites the oldest slot.
+#[derive(Debug)]
+struct TraceRing {
+    spans: Box<[TraceSpan]>,
+    /// Next slot to overwrite.
+    next: usize,
+    /// Spans currently retained (saturates at capacity).
+    len: usize,
+}
+
+impl TraceRing {
+    fn with_capacity(capacity: usize) -> Self {
+        Self {
+            spans: vec![TraceSpan::default(); capacity.max(1)].into_boxed_slice(),
+            next: 0,
+            len: 0,
+        }
+    }
+
+    fn record(&mut self, span: TraceSpan) {
+        self.spans[self.next] = span;
+        self.next = (self.next + 1) % self.spans.len();
+        self.len = (self.len + 1).min(self.spans.len());
+    }
+
+    /// The last `k` retained spans, oldest first.
+    fn last(&self, k: usize) -> Vec<TraceSpan> {
+        let k = k.min(self.len);
+        let mut out = Vec::with_capacity(k);
+        let cap = self.spans.len();
+        for i in 0..k {
+            let idx = (self.next + cap - k + i) % cap;
+            out.push(self.spans[idx]);
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry: the pre-registered handle set the whole stack records into.
+
+/// The service-wide telemetry plane: one [`Registry`] plus pre-registered
+/// handles for every counter the stack keeps, and the trace-span ring.
+///
+/// Created by the service builder and shared (`Arc`) with the wire front
+/// end, so worker threads (shed counting, `/healthz`, `/metrics`) and the
+/// engine thread (everything else) record into the same cells. All handle
+/// fields are public — recording through them is the telemetry API.
+#[derive(Debug)]
+pub struct Telemetry {
+    registry: Registry,
+
+    /// Edges applied to any model.
+    pub edges_ingested: Counter,
+    /// Late edges dropped under the drop-late policy.
+    pub edges_dropped: Counter,
+    /// Predictions served (single + batched).
+    pub queries_served: Counter,
+    /// Ground-truth labels captured for continual learning.
+    pub labels_buffered: Counter,
+    /// Past-time labels dropped under the drop-late policy.
+    pub labels_dropped: Counter,
+    /// Online tune rounds completed (manual + automatic).
+    pub fine_tunes: Counter,
+    /// Adam steps executed across all tune rounds.
+    pub fine_tune_steps: Counter,
+    /// Weight publications into serving engines.
+    pub publishes: Counter,
+    /// Wire requests shed by admission control (worker-side, 429).
+    pub requests_shed: Counter,
+    /// Wire requests whose deadline expired while queued (504).
+    pub deadlines_expired: Counter,
+    /// Durable checkpoints committed.
+    pub snapshots_written: Counter,
+    /// WAL records group-committed.
+    pub wal_records_appended: Counter,
+    /// WAL records replayed on top of recovered snapshots.
+    pub wal_records_replayed: Counter,
+    /// Crash recoveries completed.
+    pub recoveries: Counter,
+    /// Torn WAL tails truncated during recovery.
+    pub wal_truncations: Counter,
+    /// `/healthz` probes answered worker-direct (never queued).
+    pub healthz_requests: Counter,
+    /// Registered models (gauge).
+    pub models: Gauge,
+    /// Shard engines across the registry (gauge; a single-engine model
+    /// counts 1).
+    pub shards: Gauge,
+    /// End-to-end latency of executed wire requests.
+    pub request_latency: Histogram,
+    /// Latency of worker-direct `/healthz` probes (never queued — this is
+    /// parse-to-response time on the worker thread).
+    pub healthz_latency: Histogram,
+
+    /// WAL-commit duration of the most recent append, staged by the
+    /// durable seam for the engine loop to fold into the request's span.
+    last_wal_commit_ns: AtomicU64,
+    trace_seq: AtomicU64,
+    trace: Mutex<TraceRing>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Telemetry {
+    /// A telemetry plane with the default span-ring capacity
+    /// ([`TRACE_CAPACITY`]).
+    pub fn new() -> Self {
+        Self::with_trace_capacity(TRACE_CAPACITY)
+    }
+
+    /// A telemetry plane retaining the last `capacity` spans (min 1).
+    pub fn with_trace_capacity(capacity: usize) -> Self {
+        let registry = Registry::new();
+        let c = |name: &str, help: &str| registry.counter(name, help);
+        Self {
+            edges_ingested: c("splash_edges_ingested_total", "Edges applied to any model."),
+            edges_dropped: c(
+                "splash_edges_dropped_total",
+                "Late edges dropped under the drop-late policy.",
+            ),
+            queries_served: c(
+                "splash_queries_served_total",
+                "Predictions served (single + batched).",
+            ),
+            labels_buffered: c(
+                "splash_labels_buffered_total",
+                "Ground-truth labels captured for continual learning.",
+            ),
+            labels_dropped: c(
+                "splash_labels_dropped_total",
+                "Past-time labels dropped under the drop-late policy.",
+            ),
+            fine_tunes: c(
+                "splash_fine_tunes_total",
+                "Online tune rounds completed (manual + automatic).",
+            ),
+            fine_tune_steps: c(
+                "splash_fine_tune_steps_total",
+                "Adam steps executed across all tune rounds.",
+            ),
+            publishes: c(
+                "splash_publishes_total",
+                "Weight publications into serving engines.",
+            ),
+            requests_shed: c(
+                "splash_requests_shed_total",
+                "Wire requests rejected by admission control (429).",
+            ),
+            deadlines_expired: c(
+                "splash_deadlines_expired_total",
+                "Wire requests whose deadline expired while queued (504).",
+            ),
+            snapshots_written: c(
+                "splash_snapshots_written_total",
+                "Durable checkpoints committed.",
+            ),
+            wal_records_appended: c(
+                "splash_wal_records_appended_total",
+                "Write-ahead-log records group-committed.",
+            ),
+            wal_records_replayed: c(
+                "splash_wal_records_replayed_total",
+                "WAL records replayed on top of recovered snapshots.",
+            ),
+            recoveries: c("splash_recoveries_total", "Crash recoveries completed."),
+            wal_truncations: c(
+                "splash_wal_truncations_total",
+                "Torn WAL tails truncated during recovery.",
+            ),
+            healthz_requests: c(
+                "splash_healthz_requests_total",
+                "Health probes answered worker-direct (never queued).",
+            ),
+            models: registry.gauge("splash_models", "Registered models."),
+            shards: registry.gauge(
+                "splash_shard_engines",
+                "Shard engines across the registry (a single-engine model counts 1).",
+            ),
+            request_latency: registry.histogram(
+                "splash_request_latency_seconds",
+                "End-to-end latency of executed wire requests.",
+            ),
+            healthz_latency: registry.histogram(
+                "splash_healthz_latency_seconds",
+                "Latency of worker-direct health probes.",
+            ),
+            last_wal_commit_ns: AtomicU64::new(0),
+            trace_seq: AtomicU64::new(0),
+            trace: Mutex::new(TraceRing::with_capacity(capacity)),
+            registry,
+        }
+    }
+
+    /// The registry, for registering further series (per-shard counters,
+    /// server gauges) and for exposition.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Stages the WAL-commit duration of the append the engine is
+    /// currently executing (called by the durable seam; zero-alloc).
+    pub fn note_wal_commit_ns(&self, ns: u64) {
+        self.last_wal_commit_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Drains the staged WAL-commit duration (called by the engine loop
+    /// around each request so the span attributes commit time correctly).
+    pub fn take_wal_commit_ns(&self) -> u64 {
+        self.last_wal_commit_ns.swap(0, Ordering::Relaxed)
+    }
+
+    /// Records one request span into the ring (assigns the next request
+    /// id and returns it). Copies `model` into the span's inline buffer —
+    /// no heap allocation on this path.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_span(
+        &self,
+        route: &'static str,
+        model: &str,
+        queue_wait_ns: u64,
+        execute_ns: u64,
+        wal_commit_ns: u64,
+        bytes_in: u64,
+        bytes_out: u64,
+        status: u16,
+        outcome: &'static str,
+    ) -> u64 {
+        let id = self.trace_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut span = TraceSpan {
+            id,
+            route,
+            queue_wait_ns,
+            execute_ns,
+            wal_commit_ns,
+            bytes_in,
+            bytes_out,
+            status,
+            outcome,
+            ..TraceSpan::default()
+        };
+        let mut len = model.len().min(TRACE_MODEL_BYTES);
+        while !model.is_char_boundary(len) {
+            len -= 1;
+        }
+        span.model[..len].copy_from_slice(&model.as_bytes()[..len]);
+        span.model_len = len as u8;
+        self.trace.lock().expect("trace ring poisoned").record(span);
+        id
+    }
+
+    /// Total spans recorded over the server's lifetime (the ring retains
+    /// only the most recent ones).
+    pub fn spans_recorded(&self) -> u64 {
+        self.trace_seq.load(Ordering::Relaxed)
+    }
+
+    /// The last `k` retained spans, oldest first.
+    pub fn last_spans(&self, k: usize) -> Vec<TraceSpan> {
+        self.trace.lock().expect("trace ring poisoned").last(k)
+    }
+
+    /// The retained spans whose end-to-end time is at least
+    /// `threshold_ns`, oldest first — the slow-request log.
+    pub fn slow_log(&self, threshold_ns: u64) -> Vec<TraceSpan> {
+        let g = self.trace.lock().expect("trace ring poisoned");
+        g.last(g.len).into_iter().filter(|s| s.total_ns() >= threshold_ns).collect()
+    }
+
+    /// Renders the last `k` spans as a JSON array (oldest first), the
+    /// `GET /trace?n=K` body.
+    pub fn render_trace_json(&self, k: usize) -> String {
+        let spans = self.last_spans(k);
+        let mut out = String::from("[");
+        for (i, s) in spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"id\":{},\"route\":\"{}\",\"model\":\"", s.id, s.route);
+            push_json_escaped(&mut out, s.model());
+            let _ = write!(
+                out,
+                "\",\"queue_wait_ns\":{},\"execute_ns\":{},\"wal_commit_ns\":{},\
+                 \"bytes_in\":{},\"bytes_out\":{},\"status\":{},\"outcome\":\"{}\"}}",
+                s.queue_wait_ns,
+                s.execute_ns,
+                s.wal_commit_ns,
+                s.bytes_in,
+                s.bytes_out,
+                s.status,
+                s.outcome,
+            );
+        }
+        out.push_str("]\n");
+        out
+    }
+
+    /// The operator-facing shutdown summary the CLI `serve` report embeds:
+    /// lifetime span/probe counts, and — when `slow_threshold_ns` is set —
+    /// the retained spans at or over the threshold, slowest-last.
+    pub fn summary(&self, slow_threshold_ns: Option<u64>) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "telemetry      : {} spans recorded, {} healthz probes",
+            self.spans_recorded(),
+            self.healthz_requests.get(),
+        );
+        if let Some(threshold) = slow_threshold_ns {
+            let slow = self.slow_log(threshold);
+            let _ = writeln!(
+                out,
+                "slow requests  : {} retained at/over {:.3}ms",
+                slow.len(),
+                threshold as f64 / 1e6,
+            );
+            for s in slow.iter().rev().take(8).rev() {
+                let ms = |ns: u64| ns as f64 / 1e6;
+                let _ = writeln!(
+                    out,
+                    "  #{} {} {:?} queue {:.3}ms exec {:.3}ms wal {:.3}ms -> {} {}",
+                    s.id,
+                    s.route,
+                    s.model(),
+                    ms(s.queue_wait_ns),
+                    ms(s.execute_ns),
+                    ms(s.wal_commit_ns),
+                    s.status,
+                    s.outcome,
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_share_and_set() {
+        let reg = Registry::new();
+        let a = reg.counter("t_total", "help");
+        let b = reg.counter("t_total", "help");
+        a.add(3);
+        b.inc();
+        assert_eq!(a.get(), 4, "same name returns the same cell");
+        a.set(10);
+        assert_eq!(b.get(), 10);
+        let d = a.detached_copy();
+        d.inc();
+        assert_eq!((a.get(), d.get()), (10, 11), "detached copies diverge");
+        let g = reg.gauge("t_gauge", "help");
+        g.set(7);
+        assert_eq!(reg.gauge("t_gauge", "help").get(), 7);
+    }
+
+    #[test]
+    fn histogram_handle_matches_plain_histogram() {
+        let h = Histogram::new();
+        let mut plain = LatencyHistogram::default();
+        for ns in [100, 2_000, 1_000_000, 123_456_789, u64::MAX / 2] {
+            h.record_ns(ns);
+            plain.record_ns(ns);
+        }
+        assert_eq!(h.snapshot(), plain);
+    }
+
+    #[test]
+    fn merge_is_elementwise_union() {
+        let mut a = LatencyHistogram::default();
+        let mut b = LatencyHistogram::default();
+        let mut whole = LatencyHistogram::default();
+        for ns in [500, 1_500, 3_000_000] {
+            a.record_ns(ns);
+            whole.record_ns(ns);
+        }
+        for ns in [900, 70_000, 200_000_000] {
+            b.record_ns(ns);
+            whole.record_ns(ns);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+        assert_eq!(a.count(), 6);
+        assert_eq!(a.p99_ns(), whole.p99_ns());
+    }
+
+    #[test]
+    fn top_bucket_saturates_and_reports_exact_max() {
+        let mut h = LatencyHistogram::default();
+        // Everything from the last finite bound upward lands in bucket 31.
+        let top_bound = 1024u64 << (LATENCY_BUCKETS - 1);
+        h.record_ns(top_bound);
+        h.record_ns(u64::MAX);
+        h.record_ns(u64::MAX); // sum saturates instead of wrapping
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum_ns(), u64::MAX);
+        assert_eq!(
+            h.p50_ns(),
+            h.max_ns(),
+            "quantiles landing in the unbounded bucket resolve to the exact max"
+        );
+        assert_eq!(h.max_ns(), u64::MAX);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_sorted_and_stable() {
+        let reg = Registry::new();
+        reg.counter("z_total", "last family").add(2);
+        reg.counter("a_total", "first family").inc();
+        let shard = Counter::new();
+        shard.add(5);
+        reg.register_counter("m_total", "model=\"live\",shard=\"0\"", "labeled", &shard);
+        let text = reg.render_prometheus();
+        let a = text.find("a_total 1").expect("a_total sample");
+        let m = text.find("m_total{model=\"live\",shard=\"0\"} 5").expect("labeled sample");
+        let z = text.find("z_total 2").expect("z_total sample");
+        assert!(a < m && m < z, "series are sorted by name:\n{text}");
+        assert!(text.contains("# TYPE a_total counter"));
+        assert_eq!(text, reg.render_prometheus(), "rendering is deterministic");
+    }
+
+    #[test]
+    fn histogram_exposition_is_cumulative_with_inf() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat_seconds", "latency");
+        h.record_ns(500); // bucket 0
+        h.record_ns(2_000); // bucket 1
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE lat_seconds histogram"), "{text}");
+        assert!(text.contains("lat_seconds_bucket{le=\"0.000001024\"} 1"), "{text}");
+        assert!(text.contains("lat_seconds_bucket{le=\"0.000002048\"} 2"), "{text}");
+        assert!(text.contains("lat_seconds_bucket{le=\"+Inf\"} 2"), "{text}");
+        assert!(text.contains("lat_seconds_count 2"), "{text}");
+        assert!(text.contains("lat_seconds_sum 0.0000025"), "{text}");
+    }
+
+    #[test]
+    fn statz_json_gates_histograms_behind_timing() {
+        let reg = Registry::new();
+        reg.counter("c_total", "c").add(3);
+        reg.histogram("h_seconds", "h").record_ns(1);
+        let gated = reg.render_statz_json(false);
+        assert!(gated.contains("\"c_total\":3"), "{gated}");
+        assert!(!gated.contains("histograms"), "{gated}");
+        assert!(gated.ends_with("\"timing\":false}\n"), "{gated}");
+        let timed = reg.render_statz_json(true);
+        assert!(timed.contains("\"h_seconds\":{\"count\":1"), "{timed}");
+        assert_eq!(gated, reg.render_statz_json(false), "gated form is deterministic");
+    }
+
+    #[test]
+    fn trace_ring_wraps_and_slow_log_filters() {
+        let tel = Telemetry::with_trace_capacity(4);
+        for i in 0..6u64 {
+            tel.record_span("predict", "live", i * 1_000, 500, 0, 10, 20, 200, "ok");
+        }
+        assert_eq!(tel.spans_recorded(), 6);
+        let last = tel.last_spans(10);
+        assert_eq!(last.len(), 4, "ring retains only its capacity");
+        assert_eq!(last.first().unwrap().id, 3, "oldest retained span");
+        assert_eq!(last.last().unwrap().id, 6, "newest span last");
+        let slow = tel.slow_log(4_000);
+        assert_eq!(slow.len(), 2, "spans 5 and 6 wait >= 4µs: {slow:?}");
+        assert!(slow.iter().all(|s| s.total_ns() >= 4_000));
+    }
+
+    #[test]
+    fn span_model_names_truncate_at_char_boundaries() {
+        let tel = Telemetry::with_trace_capacity(2);
+        let name = "模型".repeat(8); // 48 bytes of multi-byte chars
+        tel.record_span("ingest", &name, 0, 0, 0, 0, 0, 200, "ok");
+        let span = tel.last_spans(1)[0];
+        assert!(span.model().len() <= TRACE_MODEL_BYTES);
+        assert!(name.starts_with(span.model()));
+        let json = tel.render_trace_json(1);
+        assert!(json.starts_with('['), "{json}");
+        assert!(json.contains("\"route\":\"ingest\""), "{json}");
+    }
+
+    #[test]
+    fn wal_commit_staging_accumulates_and_drains() {
+        let tel = Telemetry::new();
+        assert_eq!(tel.take_wal_commit_ns(), 0);
+        tel.note_wal_commit_ns(120);
+        tel.note_wal_commit_ns(30);
+        assert_eq!(tel.take_wal_commit_ns(), 150);
+        assert_eq!(tel.take_wal_commit_ns(), 0, "draining resets the stage");
+    }
+}

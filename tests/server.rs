@@ -39,6 +39,7 @@ struct Client {
 struct Reply {
     status: u16,
     kind: Option<String>,
+    ctype: Option<String>,
     body: String,
 }
 
@@ -72,6 +73,7 @@ fn read_reply(stream: &mut TcpStream) -> Reply {
         .unwrap_or_else(|| panic!("unparsable status line {line:?}"));
     let mut content_length = 0usize;
     let mut kind = None;
+    let mut ctype = None;
     loop {
         let mut header = String::new();
         reader.read_line(&mut header).expect("header line");
@@ -83,6 +85,7 @@ fn read_reply(stream: &mut TcpStream) -> Reply {
             match name.trim().to_ascii_lowercase().as_str() {
                 "content-length" => content_length = value.trim().parse().expect("length"),
                 "x-splash-error" => kind = Some(value.trim().to_string()),
+                "content-type" => ctype = Some(value.trim().to_string()),
                 _ => {}
             }
         }
@@ -93,7 +96,7 @@ fn read_reply(stream: &mut TcpStream) -> Reply {
     // are read whole per request and the next request starts fresh on the
     // raw stream, so nothing is ever left buffered.
     assert!(reader.buffer().is_empty(), "reply left unread bytes in the buffer");
-    Reply { status, kind, body: String::from_utf8(body).expect("utf-8 body") }
+    Reply { status, kind, ctype, body: String::from_utf8(body).expect("utf-8 body") }
 }
 
 // ---------------------------------------------------------------------------
@@ -542,14 +545,24 @@ fn saturated_queue_sheds_typed_rejections() {
     }
     assert_eq!(handle.requests_shed(), shed as u64);
 
-    // The shed counter is visible in the rendered stats.
+    // The shed counter lives in the shared telemetry registry, so every
+    // surface reads the same cell: the rendered stats, the Prometheus
+    // exposition, and the post-shutdown `ServiceStats` snapshot.
     let mut client = Client::connect(addr);
     let reply = client.request("GET", "/stats", &[], "");
     assert_eq!(reply.status, 200);
     assert!(reply.body.contains(&format!("{shed} shed")), "{}", reply.body);
+    let metrics = client.request("GET", "/metrics", &[], "");
+    assert_eq!(metrics.status, 200);
+    assert!(
+        metrics.body.contains(&format!("splash_requests_shed_total {shed}\n")),
+        "{}",
+        metrics.body
+    );
 
     let service = handle.shutdown();
     let stats = service.stats();
+    assert_eq!(stats.requests_shed, shed as u64);
     // Every executed request was timed: the slow ones plus the final probe.
     assert_eq!(stats.latency.count(), served as u64 + 1);
     assert_eq!(stats.deadlines_expired, 0);
@@ -626,6 +639,180 @@ fn histogram_percentiles_are_deterministic() {
     tiny.record_ns(0);
     tiny.record_ns(1_023);
     assert_eq!((tiny.count(), tiny.p50_ns(), tiny.p999_ns()), (2, 1_024, 1_024));
+}
+
+// ---------------------------------------------------------------------------
+// Observability surface: /metrics, /statz.json, /trace, worker-direct probes.
+
+/// The value of an unlabelled sample line in a Prometheus dump.
+fn metric_value(exposition: &str, name: &str) -> u64 {
+    exposition
+        .lines()
+        .find_map(|l| l.strip_prefix(name)?.strip_prefix(' ')?.parse().ok())
+        .unwrap_or_else(|| panic!("metric {name} not found in:\n{exposition}"))
+}
+
+/// One `u64` field out of a flat JSON object/array body.
+fn json_field(body: &str, key: &str) -> Vec<u64> {
+    let pat = format!("\"{key}\":");
+    body.match_indices(&pat)
+        .map(|(i, _)| {
+            body[i + pat.len()..]
+                .chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect::<String>()
+                .parse()
+                .expect("numeric json field")
+        })
+        .collect()
+}
+
+/// `GET /metrics` renders the same counters the stats snapshot carries —
+/// one registry behind every surface — and worker-direct probes
+/// (`/healthz`, `/metrics` itself) are counted without ever entering the
+/// engine queue.
+#[test]
+fn metrics_exposition_agrees_with_stats() {
+    let (dataset, cfg) = fixture();
+    let mut service = trained_service(&dataset, &cfg, 2);
+    let tail: Vec<TemporalEdge> = {
+        let t_seen = seen_end_time(&dataset, SEEN_FRAC);
+        let prefix = dataset.stream.prefix_len_at(t_seen);
+        dataset.stream.edges()[prefix..prefix + 8].to_vec()
+    };
+    service.ingest("live", IngestRequest::new(&tail)).unwrap();
+    let t0 = tail.last().unwrap().time;
+
+    let handle = SplashServer::bind(service, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.addr());
+
+    for _ in 0..3 {
+        let reply = client.request("POST", "/models/live/predict", &[], &format!("3,{t0}\n"));
+        assert_eq!(reply.status, 200, "{}", reply.body);
+    }
+    for _ in 0..2 {
+        assert_eq!(client.request("GET", "/healthz", &[], "").status, 200);
+    }
+
+    let reply = client.request("GET", "/metrics", &[], "");
+    assert_eq!(reply.status, 200);
+    assert_eq!(reply.ctype.as_deref(), Some("text/plain; version=0.0.4; charset=utf-8"));
+    let body = &reply.body;
+    assert!(body.contains("# TYPE splash_queries_served_total counter"), "{body}");
+    assert!(body.contains("# TYPE splash_request_latency_seconds histogram"), "{body}");
+    assert_eq!(metric_value(body, "splash_queries_served_total"), 3);
+    assert_eq!(metric_value(body, "splash_edges_ingested_total"), 8);
+    assert_eq!(metric_value(body, "splash_healthz_requests_total"), 2);
+    assert_eq!(metric_value(body, "splash_models"), 1);
+    assert_eq!(metric_value(body, "splash_shard_engines"), 2);
+    // The per-shard series carry the model label; the queries land on the
+    // owning shard, so the labelled series sum to the family total.
+    for shard in 0..2 {
+        assert!(
+            body.contains(&format!("splash_shard_queries_total{{model=\"live\",shard=\"{shard}\"}}")),
+            "{body}"
+        );
+    }
+    let shard_queries: u64 = body
+        .lines()
+        .filter(|l| l.starts_with("splash_shard_queries_total{model=\"live\""))
+        .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+        .sum();
+    assert_eq!(shard_queries, 3);
+
+    // Worker-direct routes never enter the engine queue: the request
+    // histogram only counts the 3 predicts, while the healthz probes have
+    // their own (non-queued) histogram.
+    let snapshot = handle.telemetry();
+    assert_eq!(snapshot.request_latency.snapshot().count(), 3);
+    assert_eq!(snapshot.healthz_latency.snapshot().count(), 2);
+
+    // The post-shutdown stats snapshot reads the same registry cells.
+    let service = handle.shutdown();
+    let stats = service.stats();
+    assert_eq!(stats.queries_served, 3);
+    assert_eq!(stats.edges_ingested, 8);
+    assert_eq!(stats.latency.count(), 3);
+}
+
+/// `GET /trace` separates queue-wait from engine-execute: a request
+/// stalled behind a slow one shows its stall as queue time, not execute
+/// time, and the slow one shows the inverse.
+#[test]
+fn trace_separates_queue_wait_from_execute() {
+    let service = SplashService::builder(SplashConfig::tiny()).build().unwrap();
+    let cfg = ServerConfig {
+        workers: 4,
+        queue_depth: 8,
+        deadline: Duration::from_secs(10),
+        allow_test_delay: true,
+        ..ServerConfig::default()
+    };
+    let handle = SplashServer::bind(service, "127.0.0.1:0", cfg).unwrap();
+    let addr = handle.addr();
+
+    std::thread::scope(|scope| {
+        let slow = scope.spawn(move || {
+            let mut c = Client::connect(addr);
+            c.request("GET", "/stats", &[("x-splash-delay-ms", "200")], "").status
+        });
+        // Arrive while the slow request holds the (single) engine thread.
+        std::thread::sleep(Duration::from_millis(50));
+        let fast = scope.spawn(move || {
+            let mut c = Client::connect(addr);
+            c.request("GET", "/stats", &[], "").status
+        });
+        assert_eq!(slow.join().unwrap(), 200);
+        assert_eq!(fast.join().unwrap(), 200);
+    });
+
+    let mut client = Client::connect(addr);
+    let reply = client.request("GET", "/trace?n=10", &[], "");
+    assert_eq!(reply.status, 200);
+    assert_eq!(reply.ctype.as_deref(), Some("application/json"));
+    let waits = json_field(&reply.body, "queue_wait_ns");
+    let execs = json_field(&reply.body, "execute_ns");
+    assert_eq!(waits.len(), 2, "{}", reply.body);
+    // The injected delay sleeps before the deadline check, so it is
+    // accounted as queue time — and the fast request genuinely queued
+    // behind it. Both spans show their stall as queue-wait (the slow one
+    // its full 200ms, the fast one the ~150ms left when it arrived) while
+    // the /stats execution itself stays fast.
+    assert!(waits.iter().all(|&ns| ns >= 100_000_000), "waits {waits:?}");
+    assert!(execs.iter().all(|&ns| ns < 100_000_000), "execs {execs:?}");
+
+    // Both spans carry the route and a 200 outcome.
+    assert_eq!(reply.body.matches("\"route\":\"stats\"").count(), 2, "{}", reply.body);
+    assert_eq!(reply.body.matches("\"outcome\":\"ok\"").count(), 2, "{}", reply.body);
+    handle.shutdown();
+}
+
+/// `GET /statz.json?timing=0` is byte-deterministic: two servers fed the
+/// identical request sequence produce identical bodies, because every
+/// timing-dependent field is gated off.
+#[test]
+fn statz_json_is_byte_identical_with_timing_gated() {
+    let dump = || {
+        let service = SplashService::builder(SplashConfig::tiny()).build().unwrap();
+        let handle = SplashServer::bind(service, "127.0.0.1:0", ServerConfig::default()).unwrap();
+        let mut client = Client::connect(handle.addr());
+        for _ in 0..3 {
+            assert_eq!(client.request("GET", "/healthz", &[], "").status, 200);
+        }
+        assert_eq!(client.request("GET", "/stats", &[], "").status, 200);
+        let gated = client.request("GET", "/statz.json?timing=0", &[], "");
+        assert_eq!(gated.status, 200);
+        assert_eq!(gated.ctype.as_deref(), Some("application/json"));
+        let timed = client.request("GET", "/statz.json", &[], "");
+        handle.shutdown();
+        (gated.body, timed.body)
+    };
+    let (gated_a, timed_a) = dump();
+    let (gated_b, _) = dump();
+    assert_eq!(gated_a, gated_b, "timing-gated statz must be byte-identical across runs");
+    assert!(!gated_a.contains("splash_request_latency_seconds"), "{gated_a}");
+    assert!(timed_a.contains("splash_request_latency_seconds"), "{timed_a}");
+    assert!(gated_a.contains("\"splash_healthz_requests_total\":3"), "{gated_a}");
 }
 
 /// Keep-alive and `connection: close` both work; a second request on a
