@@ -138,6 +138,15 @@ echo "==> wire serving: socket-level suite (bit-identity, fuzz-lite, backpressur
 # sequential scatter path, matching the in-process comparison run.
 NN_THREADS=1 cargo test -q -p splash_repro --test server
 
+echo "==> perf baseline gate: splash bench --baseline / --check round-trip"
+# Records a machine-keyed baseline (time + steady-state allocator calls
+# over the serving hot loops) and immediately checks against it: the
+# check leg proves the gate mechanism end-to-end every run, and the
+# alloc half is exact — any steady-state allocation regression fails
+# here even between back-to-back runs. Serial, like the other perf legs.
+NN_THREADS=1 cargo run --release -q -p cli -- bench --baseline "$TELEM_DIR/bench-baseline.json" --iters 3
+NN_THREADS=1 cargo run --release -q -p cli -- bench --check "$TELEM_DIR/bench-baseline.json" --iters 3
+
 echo "==> benches compile"
 cargo bench --no-run -p bench
 

@@ -1,14 +1,14 @@
 //! Shard-scaling benchmarks: routed ingest and scatter–gather batched
-//! prediction at 1 / 2 / 4 shards, with heap-allocation accounting on the
-//! steady-state paths.
+//! prediction at 1 / 2 / 4 / 8 shards, with heap-allocation accounting on
+//! the steady-state paths.
 //!
 //! The contract being measured, not just asserted: sharding never changes
 //! bits, only wall clock. On a single-core host (like the CI container)
 //! the thread-per-shard fan-out stays disabled (`NN_THREADS` = 1), so
-//! these numbers show the *serial overhead* of the routing layer — the
-//! scatter/gather bookkeeping plus the per-shard witness updates on
-//! ingest; multiply-by-cores wins appear on real multi-core hosts.
-//! `BENCH_PR4.json` records the numbers per PR.
+//! these numbers show the *serial overhead* of the routing layer — one
+//! shared witness pass per batch (independent of shard count) plus the
+//! scatter/gather bookkeeping; multiply-by-cores wins appear on real
+//! multi-core hosts. `BENCH_PR10.json` records the numbers per PR.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -54,7 +54,7 @@ fn count_allocs(mut f: impl FnMut()) -> u64 {
     ALLOC_CALLS.load(Ordering::Relaxed) - before
 }
 
-const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 fn fixture() -> (StreamingPredictor, Vec<TemporalEdge>, u32) {
     let dataset =

@@ -1,0 +1,386 @@
+//! The `splash bench` subcommand: a perf-baseline gate over the serving
+//! hot loops, borrowing the baseline-command idiom (record once, check
+//! forever) so throughput and zero-allocation invariants are enforced by
+//! CI instead of hand-read JSON files.
+//!
+//! `--baseline FILE` runs the workloads and writes a machine-keyed
+//! baseline: per-bench wall time (minimum over iterations — robust to
+//! scheduler noise) and the steady-state allocator-call count.
+//! `--check FILE` re-runs the same workloads and fails (exit 2 through
+//! the usual [`ArgError`] path) on a >15% time regression in any bench
+//! or on **any** steady-state allocation-count increase. Baselines are
+//! machine-keyed (`os-arch-<cores>cores`); comparing across machines is
+//! refused rather than silently noisy.
+//!
+//! The workloads are the serving hot loops the BENCH_*.json files track:
+//! single-engine query + ingest, and the sharded routed-ingest /
+//! scatter–gather paths at 1/2/4/8 shards — the shape whose O(shards)
+//! witness sweep PR 10 removed.
+
+use std::fmt::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use ctdg::{Label, PropertyQuery, TemporalEdge};
+use splash::{
+    seen_end_time, FeatureProcess, ShardedPredictor, SplashConfig, StreamingPredictor,
+    SEEN_FRAC,
+};
+
+use crate::args::{ArgError, Args};
+
+/// Counts every allocation/reallocation that reaches the global
+/// allocator. The `splash` binary installs it via `#[global_allocator]`
+/// (see `main.rs`); when the library is driven without it (unit tests),
+/// counts read as zero and the alloc gate is vacuous — the real gate is
+/// the binary `ci/check.sh` runs.
+pub struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers every operation to `System`; the counter is a relaxed
+// atomic with no other side effects.
+unsafe impl std::alloc::GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: std::alloc::Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { std::alloc::System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: std::alloc::Layout) {
+        unsafe { std::alloc::System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(
+        &self,
+        ptr: *mut u8,
+        layout: std::alloc::Layout,
+        new_size: usize,
+    ) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { std::alloc::System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Runs `f` once and returns how many allocator calls it made.
+fn count_allocs(mut f: impl FnMut()) -> u64 {
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    f();
+    ALLOC_CALLS.load(Ordering::Relaxed) - before
+}
+
+/// The key a baseline is valid for: recorded numbers from a different
+/// OS/arch/core-count are incomparable, so `--check` refuses them.
+fn machine_key() -> String {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    format!("{}-{}-{cores}cores", std::env::consts::OS, std::env::consts::ARCH)
+}
+
+/// One measured workload: minimum wall time over the iterations (ns) and
+/// the steady-state allocator-call count of a single pass.
+struct Measurement {
+    name: String,
+    ns: u64,
+    allocs: u64,
+}
+
+/// Times `f` as min-of-`iters` after the caller has warmed it up.
+fn time_min(iters: usize, mut f: impl FnMut()) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_nanos() as u64);
+    }
+    best
+}
+
+/// Runs the full workload suite. `iters` trades precision for runtime;
+/// the default (7) keeps the whole suite under ~10s on the CI container.
+fn run_suite(iters: usize) -> Vec<Measurement> {
+    let dataset = splash::truncate_to_available(&datasets::synthetic_shift(50, 8), 0.5);
+    let mut cfg = SplashConfig::tiny();
+    cfg.epochs = 2;
+    let base = StreamingPredictor::train_with_process(&dataset, &cfg, FeatureProcess::Random);
+    let t_seen = seen_end_time(&dataset, SEEN_FRAC);
+    let prefix = dataset.stream.prefix_len_at(t_seen);
+    let tail = dataset.stream.edges()[prefix..].to_vec();
+    let n_nodes = dataset.stream.num_nodes() as u32;
+    let redate = |replay: &mut Vec<TemporalEdge>, t0: f64| {
+        for (i, e) in replay.iter_mut().enumerate() {
+            e.time = t0 + i as f64;
+        }
+    };
+
+    let mut out = Vec::new();
+
+    // Single-engine query path: the k-NN capture + SLIM forward per query.
+    {
+        let mut single = base.clone();
+        single.try_push_edges(&tail).unwrap();
+        let t0 = single.last_time();
+        let mut logits = Vec::new();
+        for i in 0..64u32 {
+            single.try_predict_into((i * 7) % n_nodes, t0 + i as f64, &mut logits).unwrap();
+        }
+        let allocs = count_allocs(|| {
+            for i in 0..64u32 {
+                single.try_predict_into((i * 7) % n_nodes, t0 + i as f64, &mut logits).unwrap();
+            }
+        });
+        let ns = time_min(iters, || {
+            for i in 0..64u32 {
+                single.try_predict_into((i * 7) % n_nodes, t0 + i as f64, &mut logits).unwrap();
+            }
+        });
+        out.push(Measurement { name: "predict_single_x64".into(), ns, allocs });
+    }
+
+    // Routed ingest and scatter–gather prediction at each shard count —
+    // the serial-overhead shape the shared witness flattened.
+    for shards in [1usize, 2, 4, 8] {
+        let mut sharded = ShardedPredictor::from_predictor(base.clone(), shards).unwrap();
+        let mut replay = tail.clone();
+        for _ in 0..2 {
+            redate(&mut replay, sharded.last_time());
+            sharded.try_push_edges(&replay).unwrap();
+        }
+        redate(&mut replay, sharded.last_time());
+        let allocs = count_allocs(|| sharded.try_push_edges(&replay).unwrap());
+        let ns = time_min(iters, || {
+            redate(&mut replay, sharded.last_time());
+            sharded.try_push_edges(&replay).unwrap();
+        });
+        out.push(Measurement { name: format!("shard_ingest_n{shards}"), ns, allocs });
+
+        let t0 = sharded.last_time();
+        let queries: Vec<PropertyQuery> = (0..256u32)
+            .map(|i| PropertyQuery {
+                node: (i * 7) % (n_nodes + 20),
+                time: t0 + i as f64,
+                label: Label::Class(0),
+            })
+            .collect();
+        let mut gathered = nn::Matrix::default();
+        for _ in 0..4 {
+            sharded.try_predict_batch_into(&queries, &mut gathered).unwrap();
+        }
+        let allocs = count_allocs(|| {
+            sharded.try_predict_batch_into(&queries, &mut gathered).unwrap();
+        });
+        let ns = time_min(iters, || {
+            sharded.try_predict_batch_into(&queries, &mut gathered).unwrap();
+        });
+        out.push(Measurement { name: format!("shard_predict_n{shards}"), ns, allocs });
+    }
+    out
+}
+
+/// Renders the baseline file: one flat JSON object, hand-rolled (the
+/// workspace has no serde) — `machine` plus `<bench>.ns` / `<bench>.allocs`
+/// number entries, keys sorted by construction order.
+fn render_json(machine: &str, suite: &[Measurement]) -> String {
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"machine\": \"{machine}\",");
+    for (i, m) in suite.iter().enumerate() {
+        let comma = if i + 1 == suite.len() { "" } else { "," };
+        let _ = writeln!(s, "  \"{}.ns\": {},", m.name, m.ns);
+        let _ = writeln!(s, "  \"{}.allocs\": {}{comma}", m.name, m.allocs);
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Parses the flat baseline JSON written by [`render_json`]: string or
+/// integer values only, no nesting. Tolerant of whitespace, strict about
+/// shape — anything else is a typed [`ArgError`] naming the file.
+fn parse_json(path: &Path, raw: &str) -> Result<(String, Vec<(String, u64)>), ArgError> {
+    let err = |what: &str| ArgError(format!("{}: {what}", path.display()));
+    let body = raw.trim();
+    let body = body
+        .strip_prefix('{')
+        .and_then(|b| b.strip_suffix('}'))
+        .ok_or_else(|| err("not a JSON object"))?;
+    let mut machine = None;
+    let mut entries = Vec::new();
+    for part in body.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (key, value) = part.split_once(':').ok_or_else(|| err("entry without ':'"))?;
+        let key = key
+            .trim()
+            .strip_prefix('"')
+            .and_then(|k| k.strip_suffix('"'))
+            .ok_or_else(|| err("unquoted key"))?;
+        let value = value.trim();
+        if key == "machine" {
+            let v = value
+                .strip_prefix('"')
+                .and_then(|v| v.strip_suffix('"'))
+                .ok_or_else(|| err("machine value must be a string"))?;
+            machine = Some(v.to_string());
+        } else {
+            let n: u64 = value
+                .parse()
+                .map_err(|_| err(&format!("non-integer value for {key:?}")))?;
+            entries.push((key.to_string(), n));
+        }
+    }
+    let machine = machine.ok_or_else(|| err("missing \"machine\" key"))?;
+    if entries.is_empty() {
+        return Err(err("no benchmark entries"));
+    }
+    Ok((machine, entries))
+}
+
+/// Allowed wall-time regression before `--check` fails. Allocation counts
+/// allow zero slack: a steady-state alloc is a bug, not noise.
+const TIME_SLACK: f64 = 0.15;
+
+/// The `splash bench` subcommand.
+pub fn cmd_bench(args: &Args) -> Result<String, ArgError> {
+    let iters = args.get_parsed("iters", 7usize)?;
+    if iters == 0 {
+        return Err(ArgError("--iters must be positive".into()));
+    }
+    let baseline_out = args.get("baseline").map(str::to_string);
+    let check_against = args.get("check").map(str::to_string);
+    match (&baseline_out, &check_against) {
+        (Some(_), Some(_)) => {
+            return Err(ArgError("--baseline and --check are mutually exclusive".into()))
+        }
+        (None, None) => {
+            return Err(ArgError(
+                "bench needs --baseline FILE (record) or --check FILE (compare)".into(),
+            ))
+        }
+        _ => {}
+    }
+
+    let machine = machine_key();
+    let suite = run_suite(iters);
+    let mut report = String::new();
+    let _ = writeln!(report, "splash bench — machine {machine}, min of {iters} iterations");
+    for m in &suite {
+        let _ = writeln!(
+            report,
+            "  {:<22} {:>12.1} µs   {:>6} allocs steady-state",
+            m.name,
+            m.ns as f64 / 1_000.0,
+            m.allocs
+        );
+    }
+
+    if let Some(path) = baseline_out {
+        let path = Path::new(&path);
+        std::fs::write(path, render_json(&machine, &suite))
+            .map_err(|e| ArgError(format!("{}: {e}", path.display())))?;
+        let _ = writeln!(report, "baseline written to {}", path.display());
+        return Ok(report);
+    }
+
+    let path_raw = check_against.expect("checked above");
+    let path = Path::new(&path_raw);
+    let raw = std::fs::read_to_string(path)
+        .map_err(|e| ArgError(format!("{}: {e}", path.display())))?;
+    let (base_machine, base_entries) = parse_json(path, &raw)?;
+    if base_machine != machine {
+        return Err(ArgError(format!(
+            "baseline {} was recorded on {base_machine:?} but this machine is \
+             {machine:?} — cross-machine numbers are not comparable; re-record \
+             with --baseline",
+            path.display()
+        )));
+    }
+
+    let mut failures = Vec::new();
+    for (key, want) in &base_entries {
+        let Some((name, kind)) = key.rsplit_once('.') else {
+            return Err(ArgError(format!("{}: malformed key {key:?}", path.display())));
+        };
+        let Some(m) = suite.iter().find(|m| m.name == name) else {
+            failures.push(format!("{name}: in the baseline but no longer measured"));
+            continue;
+        };
+        match kind {
+            "ns" => {
+                let got = m.ns as f64;
+                let limit = *want as f64 * (1.0 + TIME_SLACK);
+                if got > limit {
+                    failures.push(format!(
+                        "{name}: {:.1} µs vs baseline {:.1} µs (+{:.0}% > {:.0}% allowed)",
+                        got / 1_000.0,
+                        *want as f64 / 1_000.0,
+                        (got / *want as f64 - 1.0) * 100.0,
+                        TIME_SLACK * 100.0
+                    ));
+                }
+            }
+            "allocs" => {
+                if m.allocs > *want {
+                    failures.push(format!(
+                        "{name}: {} steady-state allocs vs baseline {} (any increase fails)",
+                        m.allocs, want
+                    ));
+                }
+            }
+            other => {
+                return Err(ArgError(format!(
+                    "{}: unknown metric {other:?} in key {key:?}",
+                    path.display()
+                )))
+            }
+        }
+    }
+    if failures.is_empty() {
+        let _ = writeln!(
+            report,
+            "check passed against {} ({} entries)",
+            path.display(),
+            base_entries.len()
+        );
+        Ok(report)
+    } else {
+        let mut msg = format!("bench check failed against {}:\n", path.display());
+        for f in &failures {
+            let _ = writeln!(msg, "  {f}");
+        }
+        Err(ArgError(msg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip_and_machine_guard() {
+        let suite = vec![
+            Measurement { name: "a".into(), ns: 1_000, allocs: 0 },
+            Measurement { name: "b".into(), ns: 2_500, allocs: 3 },
+        ];
+        let rendered = render_json("linux-x86_64-4cores", &suite);
+        let (machine, entries) = parse_json(Path::new("mem"), &rendered).unwrap();
+        assert_eq!(machine, "linux-x86_64-4cores");
+        assert_eq!(
+            entries,
+            vec![
+                ("a.ns".into(), 1_000),
+                ("a.allocs".into(), 0),
+                ("b.ns".into(), 2_500),
+                ("b.allocs".into(), 3),
+            ]
+        );
+    }
+
+    #[test]
+    fn malformed_baselines_are_typed_errors() {
+        let p = Path::new("mem");
+        assert!(parse_json(p, "not json").is_err());
+        assert!(parse_json(p, "{}").is_err());
+        assert!(parse_json(p, "{\"machine\": \"m\"}").is_err());
+        assert!(parse_json(p, "{\"machine\": \"m\", \"a.ns\": \"str\"}").is_err());
+    }
+}

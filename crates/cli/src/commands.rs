@@ -42,6 +42,7 @@ USAGE:
                   [--regimes r1,r2,..] [--models m1,m2,..] [--online-every N]
                   [--epochs N] [--k N] [--dv N] [--hidden N] [--seed N]
   splash drift    --edges <csv> --queries <csv> --task <task> [--buckets N]
+  splash bench    --baseline <file> | --check <file>  [--iters N]
 
   <task>   anomaly | classification | affinity
   <name>   reddit | wiki | mooc | email-eu | gdelt | tgbn-trade | tgbn-genre
@@ -67,6 +68,7 @@ pub fn dispatch(tokens: Vec<String>) -> Result<String, ArgError> {
         Some("baseline") => cmd_baseline(&args)?,
         Some("scenarios") => cmd_scenarios(&args)?,
         Some("drift") => cmd_drift(&args)?,
+        Some("bench") => crate::bench::cmd_bench(&args)?,
         Some("help") | None => return Ok(usage()),
         Some(other) => return Err(ArgError(format!("unknown command {other:?}\n\n{}", usage()))),
     };
@@ -629,8 +631,8 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
     for s in service.shard_stats("serving").map_err(|e| ArgError(e.to_string()))? {
         let _ = writeln!(
             report,
-            "  shard {:<2}     : {} ring nodes, {} owned edges ({} witnessed), {} queries",
-            s.shard, s.owned_nodes, s.owned_edges, s.witness_edges, s.queries_served,
+            "  shard {:<2}     : {} ring nodes, {} owned edges, {} queries",
+            s.shard, s.owned_nodes, s.owned_edges, s.queries_served,
         );
     }
     let _ = writeln!(report, "test {:<10}: {metric:.4}", metric_name(task));

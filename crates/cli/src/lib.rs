@@ -12,6 +12,10 @@
 //!   serving counters and the test metric;
 //! * `baseline` — any Table III baseline (or DTDG method) on the same data.
 //!
+//! Alongside them, `bench` ([`bench::cmd_bench`]) records and checks a
+//! machine-keyed performance baseline over the serving hot loops — the
+//! regression gate `ci/check.sh` runs.
+//!
 //! Invalid input — bad configs, corrupt or version-mismatched model
 //! files, out-of-order streams — surfaces as rendered `SplashError`
 //! messages with exit code 2, never as a panic.
@@ -21,6 +25,7 @@
 //! the CLI without spawning processes.
 
 pub mod args;
+pub mod bench;
 pub mod commands;
 
 pub use args::{ArgError, Args};

@@ -14,16 +14,18 @@
 //!
 //! * `model.<e>.bin` — the standard model artifact ([`crate::persist`]
 //!   format, including the `SAVEDOPT` optimizer trailer); at shard counts
-//!   above one this is the usual `SPLASHS` manifest plus
-//!   `model.<e>.bin.shard<i>` files;
-//! * `state.<e>.bin.shard<i>` — one **streaming-state snapshot per shard**
-//!   (magic `SPLASHD`): the full augmenter/tracker state (identical across
-//!   shards by the witness invariant, duplicated so each file loads on its
-//!   own) plus that shard's rings and the stream clock;
-//! * `state.<e>.bin` — the state **manifest** (magic `SPLASHX`): per-shard
-//!   file names + FNV-1a checksums (the `SPLASHS` discipline), the durable
-//!   service counters, the optional online replay buffer, and a whole-file
-//!   checksum;
+//!   above one this is the usual `SPLASHS` manifest plus a single
+//!   `model.<e>.bin.shard0` file (shards share weights, stored once);
+//! * `witness.<e>.bin` — the **global witness snapshot** (magic `SPLASHG`):
+//!   the augmenter/tracker state, ring capacity, and stream clock. These
+//!   are global functions of the edge stream (there is exactly one writer),
+//!   so they are written once per checkpoint regardless of shard count;
+//! * `state.<e>.bin.shard<i>` — one **ring partition per shard** (magic
+//!   `SPLASHD`): just that shard's per-node rings;
+//! * `state.<e>.bin` — the state **manifest** (magic `SPLASHX`): the
+//!   witness file's name + FNV-1a checksum, per-shard file names +
+//!   checksums (the `SPLASHS` discipline), the durable service counters,
+//!   the optional online replay buffer, and a whole-file checksum;
 //! * `wal.<e>.log` — the **append-only edge WAL** (magic `SPLASHW`):
 //!   everything applied since the snapshot, as length-prefixed,
 //!   per-record-checksummed entries, group-committed once per accepted
@@ -70,16 +72,22 @@ use crate::persist::{
     self, bad, corrupt_or_io, fnv1a, get_f32, get_u32, get_u64, get_u8, put_f32, put_u32,
     put_u64, put_u8, sane_dim, SavedModel,
 };
-use crate::stream::{RingState, StreamState};
+use crate::stream::{RingState, WitnessSnapshot};
 
-/// Magic of one per-shard streaming-state snapshot file.
+/// Magic of the global witness snapshot file (augmenter + stream clock).
+const WITNESS_MAGIC: &[u8; 8] = b"SPLASHG\x01";
+/// Format revision of the witness snapshot.
+const WITNESS_VERSION: u32 = 1;
+/// Magic of one per-shard ring-partition file.
 const STATE_MAGIC: &[u8; 8] = b"SPLASHD\x01";
-/// Format revision of the state snapshot.
-const STATE_VERSION: u32 = 1;
-/// Magic of the state manifest (per-shard checksums + service sections).
+/// Format revision of the ring partition (v2: rings only — the augmenter
+/// and clock moved to the witness file; v1 checkpoints do not load).
+const STATE_VERSION: u32 = 2;
+/// Magic of the state manifest (witness + per-shard checksums + service
+/// sections).
 const STATE_MANIFEST_MAGIC: &[u8; 8] = b"SPLASHX\x01";
-/// Format revision of the state manifest.
-const STATE_MANIFEST_VERSION: u32 = 1;
+/// Format revision of the state manifest (v2 adds the witness entry).
+const STATE_MANIFEST_VERSION: u32 = 2;
 /// Magic of the write-ahead log.
 const WAL_MAGIC: &[u8; 8] = b"SPLASHW\x01";
 /// Format revision of the WAL.
@@ -447,10 +455,13 @@ pub(crate) enum WalRecord<'a> {
 /// Everything one checkpoint persists, assembled by the service.
 #[derive(Debug)]
 pub(crate) struct CheckpointData {
-    /// The serialized model artifact (fanned out per shard when sharded).
+    /// The serialized model artifact (stored once; shards share weights).
     pub model_bytes: Vec<u8>,
-    /// Per-shard streaming state (length = shard count, ≥ 1).
-    pub states: Vec<StreamState>,
+    /// The global witness snapshot (augmenter, ring capacity, clock) —
+    /// one per checkpoint regardless of shard count.
+    pub witness: WitnessSnapshot,
+    /// Per-shard ring partitions (length = shard count, ≥ 1).
+    pub ring_shards: Vec<Vec<RingState>>,
     /// Durable service counters.
     pub counters: PersistedCounters,
     /// The online replay buffer, when the trainer persists it.
@@ -462,8 +473,10 @@ pub(crate) struct CheckpointData {
 pub(crate) struct RecoveredCheckpoint {
     /// The restored model (weights, config, optional optimizer state).
     pub saved: SavedModel,
-    /// Per-shard streaming state, as written.
-    pub states: Vec<StreamState>,
+    /// The global witness snapshot, as written.
+    pub witness: WitnessSnapshot,
+    /// Per-shard ring partitions, as written.
+    pub ring_shards: Vec<Vec<RingState>>,
     /// Durable service counters at snapshot time.
     pub counters: PersistedCounters,
     /// The persisted replay buffer, if any.
@@ -537,19 +550,26 @@ impl DurableLog {
 
         let state_path = cfg.dir.join(format!("state.{epoch}.bin"));
         require_checkpoint_file(&state_path, epoch)?;
-        let (shard_files, counters, trainer) = read_state_manifest(&state_path)?;
+        let (witness_file, shard_files, counters, trainer) =
+            read_state_manifest(&state_path)?;
         let dir = state_path.parent().unwrap_or_else(|| Path::new("."));
-        let mut states = Vec::with_capacity(shard_files.len());
-        for (name, checksum) in &shard_files {
+        let read_verified = |name: &str, checksum: u64| -> Result<Vec<u8>, SplashError> {
             let path = dir.join(name);
             require_checkpoint_file(&path, epoch)?;
             let bytes = fs::read(&path)?;
-            if fnv1a(&bytes) != *checksum {
+            if fnv1a(&bytes) != checksum {
                 return Err(SplashError::CorruptModel {
                     what: format!("state file {name:?} does not match its manifest checksum"),
                 });
             }
-            states.push(read_state_shard(&bytes)?);
+            Ok(bytes)
+        };
+        let witness =
+            read_witness_snapshot(&read_verified(&witness_file.0, witness_file.1)?)?;
+        let mut ring_shards = Vec::with_capacity(shard_files.len());
+        for (name, checksum) in &shard_files {
+            let bytes = read_verified(name, *checksum)?;
+            ring_shards.push(read_state_shard(&bytes, witness.k)?);
         }
 
         let wal_path = cfg.dir.join(format!("wal.{epoch}.log"));
@@ -566,7 +586,7 @@ impl DurableLog {
 
         let report = RecoveryReport {
             epoch,
-            snapshot_shards: states.len(),
+            snapshot_shards: ring_shards.len(),
             wal_records_replayed: scan.entries.len() as u64,
             wal_edges_replayed: scan
                 .entries
@@ -580,7 +600,8 @@ impl DurableLog {
         };
         let recovered = RecoveredCheckpoint {
             saved,
-            states,
+            witness,
+            ring_shards,
             counters,
             trainer,
             entries: scan.entries,
@@ -728,48 +749,55 @@ fn write_checkpoint(
     epoch: u64,
     data: &CheckpointData,
 ) -> Result<File, SplashError> {
-    let shards = data.states.len();
+    let shards = data.ring_shards.len();
     if shards == 0 {
         return Err(SplashError::InvalidConfig {
             what: "a checkpoint needs at least one shard state".into(),
         });
     }
 
-    // 1. Model artifact (the persist-format bytes, fanned out when sharded).
+    // 1. Model artifact (the persist-format bytes; shards share weights,
+    //    so a sharded checkpoint stores them once behind a manifest).
     let model_path = dir.join(format!("model.{epoch}.bin"));
     if shards == 1 {
         write_file_atomic(faults, "model", &model_path, &data.model_bytes)?;
     } else {
         let checksum = fnv1a(&data.model_bytes);
+        let shard_path = persist::shard_file_path(&model_path, 0);
+        write_file_atomic(faults, "model.shard0", &shard_path, &data.model_bytes)?;
+        let name = shard_path
+            .file_name()
+            .expect("shard_file_path always has a file name")
+            .to_string_lossy()
+            .into_owned();
         let mut manifest = Vec::new();
         manifest.extend_from_slice(persist::SHARD_MAGIC);
         put_u32(&mut manifest, persist::SHARD_VERSION).map_err(SplashError::Io)?;
         put_u64(&mut manifest, shards as u64).map_err(SplashError::Io)?;
-        for i in 0..shards {
-            let shard_path = persist::shard_file_path(&model_path, i);
-            write_file_atomic(
-                faults,
-                &format!("model.shard{i}"),
-                &shard_path,
-                &data.model_bytes,
-            )?;
-            let name = shard_path
-                .file_name()
-                .expect("shard_file_path always has a file name")
-                .to_string_lossy()
-                .into_owned();
-            put_u64(&mut manifest, name.len() as u64).map_err(SplashError::Io)?;
-            manifest.extend_from_slice(name.as_bytes());
-            put_u64(&mut manifest, checksum).map_err(SplashError::Io)?;
-        }
+        put_u64(&mut manifest, name.len() as u64).map_err(SplashError::Io)?;
+        manifest.extend_from_slice(name.as_bytes());
+        put_u64(&mut manifest, checksum).map_err(SplashError::Io)?;
         write_file_atomic(faults, "model.manifest", &model_path, &manifest)?;
     }
 
-    // 2. Per-shard state snapshots.
+    // 2. The global witness snapshot — one file regardless of shard count.
+    let witness_path = dir.join(format!("witness.{epoch}.bin"));
+    let witness_bytes = witness_snapshot_bytes(&data.witness).map_err(SplashError::Io)?;
+    write_file_atomic(faults, "witness", &witness_path, &witness_bytes)?;
+    let witness_file = (
+        witness_path
+            .file_name()
+            .expect("witness path always has a file name")
+            .to_string_lossy()
+            .into_owned(),
+        fnv1a(&witness_bytes),
+    );
+
+    // 3. Per-shard ring partitions.
     let state_path = dir.join(format!("state.{epoch}.bin"));
     let mut shard_files = Vec::with_capacity(shards);
-    for (i, state) in data.states.iter().enumerate() {
-        let bytes = state_shard_bytes(state, i, shards).map_err(SplashError::Io)?;
+    for (i, rings) in data.ring_shards.iter().enumerate() {
+        let bytes = state_shard_bytes(rings, i, shards).map_err(SplashError::Io)?;
         let shard_path = persist::shard_file_path(&state_path, i);
         write_file_atomic(faults, &format!("state.shard{i}"), &shard_path, &bytes)?;
         let name = shard_path
@@ -780,13 +808,18 @@ fn write_checkpoint(
         shard_files.push((name, fnv1a(&bytes)));
     }
 
-    // 3. State manifest (checksums + counters + replay buffer).
-    let manifest =
-        state_manifest_bytes(&shard_files, &data.counters, data.trainer.as_ref())
-            .map_err(SplashError::Io)?;
+    // 4. State manifest (witness + shard checksums + counters + replay
+    //    buffer).
+    let manifest = state_manifest_bytes(
+        &witness_file,
+        &shard_files,
+        &data.counters,
+        data.trainer.as_ref(),
+    )
+    .map_err(SplashError::Io)?;
     write_file_atomic(faults, "state.manifest", &state_path, &manifest)?;
 
-    // 4. The new epoch's WAL, header only. Append-only, so no temp+rename:
+    // 5. The new epoch's WAL, header only. Append-only, so no temp+rename:
     //    a crash here leaves a torn orphan `CURRENT` never points at.
     let wal_path = dir.join(format!("wal.{epoch}.log"));
     let mut header = Vec::with_capacity(20);
@@ -807,7 +840,7 @@ fn write_checkpoint(
     }
     faults.complete("wal.create", header.len() as u64);
 
-    // 5. Commit: CURRENT now names the complete epoch.
+    // 6. Commit: CURRENT now names the complete epoch.
     let mut current = Vec::with_capacity(28);
     current.extend_from_slice(CURRENT_MAGIC);
     put_u32(&mut current, CURRENT_VERSION).map_err(SplashError::Io)?;
@@ -876,10 +909,12 @@ fn gc_epochs(dir: &Path, keep_epoch: u64) {
 }
 
 /// Parses the epoch out of a durable file name (`model.<e>.bin[.shardN]`,
-/// `state.<e>.bin[.shardN]`, `wal.<e>.log`); `None` for anything else.
+/// `witness.<e>.bin`, `state.<e>.bin[.shardN]`, `wal.<e>.log`); `None` for
+/// anything else.
 fn durable_file_epoch(name: &str) -> Option<u64> {
     let rest = name
         .strip_prefix("model.")
+        .or_else(|| name.strip_prefix("witness."))
         .or_else(|| name.strip_prefix("state."))
         .or_else(|| name.strip_prefix("wal."))?;
     let (epoch, suffix) = rest.split_once('.')?;
@@ -1004,18 +1039,17 @@ fn read_neighbor<R: Read>(r: &mut R) -> io::Result<CapturedNeighbor> {
     Ok(CapturedNeighbor { other, feat, edge_feat, time, weight })
 }
 
-/// Serializes one shard's streaming state (everything
-/// [`crate::persist::SavedModel`] does not carry).
-fn state_shard_bytes(state: &StreamState, shard: usize, shards: usize) -> io::Result<Vec<u8>> {
+/// Serializes the global witness snapshot: stream clock, ring capacity,
+/// and the full augmenter/tracker state — everything that is a global
+/// function of the edge stream, written once per checkpoint.
+fn witness_snapshot_bytes(witness: &WitnessSnapshot) -> io::Result<Vec<u8>> {
     let mut w = Vec::new();
-    w.extend_from_slice(STATE_MAGIC);
-    put_u32(&mut w, STATE_VERSION)?;
-    put_u64(&mut w, shard as u64)?;
-    put_u64(&mut w, shards as u64)?;
-    put_f64(&mut w, state.last_time)?;
-    put_u64(&mut w, state.k as u64)?;
+    w.extend_from_slice(WITNESS_MAGIC);
+    put_u32(&mut w, WITNESS_VERSION)?;
+    put_f64(&mut w, witness.last_time)?;
+    put_u64(&mut w, witness.k as u64)?;
 
-    let a = &state.augmenter;
+    let a = &witness.augmenter;
     put_u64(&mut w, a.dv as u64)?;
     put_u64(&mut w, a.seen.len() as u64)?;
     for &b in &a.seen {
@@ -1030,47 +1064,32 @@ fn state_shard_bytes(state: &StreamState, shard: usize, shards: usize) -> io::Re
         put_u64(&mut w, d)?;
     }
     put_u64(&mut w, a.degrees_total)?;
-
-    put_u64(&mut w, state.rings.len() as u64)?;
-    for ring in &state.rings {
-        put_u32(&mut w, ring.node)?;
-        put_u64(&mut w, ring.head as u64)?;
-        put_u64(&mut w, ring.entries.len() as u64)?;
-        for e in &ring.entries {
-            write_neighbor(&mut w, e)?;
-        }
-    }
     Ok(w)
 }
 
-/// Parses one shard's state file (already checksum-verified against the
+/// Parses the witness file (already checksum-verified against the state
 /// manifest).
-fn read_state_shard(bytes: &[u8]) -> Result<StreamState, SplashError> {
+fn read_witness_snapshot(bytes: &[u8]) -> Result<WitnessSnapshot, SplashError> {
     let mut r = bytes;
     let r = &mut r;
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic).map_err(corrupt_or_io)?;
-    if &magic != STATE_MAGIC {
+    if &magic != WITNESS_MAGIC {
         return Err(SplashError::CorruptModel {
-            what: "not a SPLASH state snapshot (bad magic)".into(),
+            what: "not a SPLASH witness snapshot (bad magic)".into(),
         });
     }
     let version = get_u32(r).map_err(corrupt_or_io)?;
-    if version != STATE_VERSION {
+    if version != WITNESS_VERSION {
         return Err(SplashError::PersistVersionMismatch {
             found: version,
-            supported: STATE_VERSION,
+            supported: WITNESS_VERSION,
         });
     }
-    read_state_body(r).map_err(corrupt_or_io)
+    read_witness_body(r).map_err(corrupt_or_io)
 }
 
-fn read_state_body<R: Read>(r: &mut R) -> io::Result<StreamState> {
-    let _shard = get_u64(r)?;
-    let shards = get_u64(r)?;
-    if shards == 0 || shards > 1 << 20 {
-        return Err(bad(format!("impossible shard count {shards}")));
-    }
+fn read_witness_body<R: Read>(r: &mut R) -> io::Result<WitnessSnapshot> {
     let last_time = get_f64(r)?;
     let k = sane_dim("ring capacity", get_u64(r)?)?;
 
@@ -1104,6 +1123,71 @@ fn read_state_body<R: Read>(r: &mut R) -> io::Result<StreamState> {
     }
     let degrees_total = get_u64(r)?;
 
+    Ok(WitnessSnapshot {
+        augmenter: AugmenterState {
+            dv,
+            seen,
+            random_seen,
+            positional_seen,
+            random_prop,
+            positional_prop,
+            degrees,
+            degrees_total,
+        },
+        k,
+        last_time,
+    })
+}
+
+/// Serializes one shard's ring partition (v2: rings only — the witness
+/// travels in its own file).
+fn state_shard_bytes(rings: &[RingState], shard: usize, shards: usize) -> io::Result<Vec<u8>> {
+    let mut w = Vec::new();
+    w.extend_from_slice(STATE_MAGIC);
+    put_u32(&mut w, STATE_VERSION)?;
+    put_u64(&mut w, shard as u64)?;
+    put_u64(&mut w, shards as u64)?;
+    put_u64(&mut w, rings.len() as u64)?;
+    for ring in rings {
+        put_u32(&mut w, ring.node)?;
+        put_u64(&mut w, ring.head as u64)?;
+        put_u64(&mut w, ring.entries.len() as u64)?;
+        for e in &ring.entries {
+            write_neighbor(&mut w, e)?;
+        }
+    }
+    Ok(w)
+}
+
+/// Parses one shard's ring-partition file (already checksum-verified
+/// against the manifest). `k` is the witness's ring capacity, bounding
+/// every ring's entry count.
+fn read_state_shard(bytes: &[u8], k: usize) -> Result<Vec<RingState>, SplashError> {
+    let mut r = bytes;
+    let r = &mut r;
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic).map_err(corrupt_or_io)?;
+    if &magic != STATE_MAGIC {
+        return Err(SplashError::CorruptModel {
+            what: "not a SPLASH state snapshot (bad magic)".into(),
+        });
+    }
+    let version = get_u32(r).map_err(corrupt_or_io)?;
+    if version != STATE_VERSION {
+        return Err(SplashError::PersistVersionMismatch {
+            found: version,
+            supported: STATE_VERSION,
+        });
+    }
+    read_state_body(r, k).map_err(corrupt_or_io)
+}
+
+fn read_state_body<R: Read>(r: &mut R, k: usize) -> io::Result<Vec<RingState>> {
+    let _shard = get_u64(r)?;
+    let shards = get_u64(r)?;
+    if shards == 0 || shards > 1 << 20 {
+        return Err(bad(format!("impossible shard count {shards}")));
+    }
     let ring_count = get_u64(r)?;
     if ring_count > MAX_NODES {
         return Err(bad(format!("impossible ring count {ring_count}")));
@@ -1124,22 +1208,7 @@ fn read_state_body<R: Read>(r: &mut R) -> io::Result<StreamState> {
         }
         rings.push(RingState { node, head, entries });
     }
-
-    Ok(StreamState {
-        augmenter: AugmenterState {
-            dv,
-            seen,
-            random_seen,
-            positional_seen,
-            random_prop,
-            positional_prop,
-            degrees,
-            degrees_total,
-        },
-        rings,
-        k,
-        last_time,
-    })
+    Ok(rings)
 }
 
 // ---------------------------------------------------------------------------
@@ -1210,7 +1279,9 @@ fn read_captured_query<R: Read>(r: &mut R) -> io::Result<CapturedQuery> {
 
 /// Serializes the state manifest, ending with a whole-file FNV-1a
 /// checksum so a damaged counters/buffer section loads as a typed error.
+/// The witness file's entry comes first, then the per-shard ring files.
 fn state_manifest_bytes(
+    witness_file: &(String, u64),
     shard_files: &[(String, u64)],
     counters: &PersistedCounters,
     trainer: Option<&TrainerState>,
@@ -1218,6 +1289,9 @@ fn state_manifest_bytes(
     let mut w = Vec::new();
     w.extend_from_slice(STATE_MANIFEST_MAGIC);
     put_u32(&mut w, STATE_MANIFEST_VERSION)?;
+    put_u64(&mut w, witness_file.0.len() as u64)?;
+    w.extend_from_slice(witness_file.0.as_bytes());
+    put_u64(&mut w, witness_file.1)?;
     put_u64(&mut w, shard_files.len() as u64)?;
     for (name, checksum) in shard_files {
         put_u64(&mut w, name.len() as u64)?;
@@ -1264,12 +1338,15 @@ fn state_manifest_bytes(
     Ok(w)
 }
 
-/// Reads the state manifest: shard files + checksums, the durable
-/// counters, and the optional replay buffer.
+/// Reads the state manifest: the witness file + checksum, shard files +
+/// checksums, the durable counters, and the optional replay buffer.
 #[allow(clippy::type_complexity)]
 fn read_state_manifest(
     path: &Path,
-) -> Result<(Vec<(String, u64)>, PersistedCounters, Option<TrainerState>), SplashError> {
+) -> Result<
+    ((String, u64), Vec<(String, u64)>, PersistedCounters, Option<TrainerState>),
+    SplashError,
+> {
     let bytes = fs::read(path)?;
     if bytes.len() < 20 || &bytes[..8] != STATE_MANIFEST_MAGIC {
         return Err(SplashError::CorruptModel {
@@ -1298,22 +1375,26 @@ fn read_state_manifest(
 #[allow(clippy::type_complexity)]
 fn read_state_manifest_body<R: Read>(
     r: &mut R,
-) -> io::Result<(Vec<(String, u64)>, PersistedCounters, Option<TrainerState>)> {
+) -> io::Result<((String, u64), Vec<(String, u64)>, PersistedCounters, Option<TrainerState>)> {
+    let read_entry = |r: &mut R, what: &str| -> io::Result<(String, u64)> {
+        let len = get_u64(r)? as usize;
+        if len == 0 || len > 4096 {
+            return Err(bad(format!("impossible {what} file-name length {len}")));
+        }
+        let mut name = vec![0u8; len];
+        r.read_exact(&mut name)?;
+        let name = String::from_utf8(name)
+            .map_err(|_| bad(format!("{what} file name is not UTF-8")))?;
+        Ok((name, get_u64(r)?))
+    };
+    let witness = read_entry(r, "witness")?;
     let shards = get_u64(r)?;
     if shards == 0 || shards > 1 << 20 {
         return Err(bad(format!("impossible shard count {shards}")));
     }
     let mut files = Vec::with_capacity(shards as usize);
     for _ in 0..shards {
-        let len = get_u64(r)? as usize;
-        if len == 0 || len > 4096 {
-            return Err(bad(format!("impossible state file-name length {len}")));
-        }
-        let mut name = vec![0u8; len];
-        r.read_exact(&mut name)?;
-        let name = String::from_utf8(name)
-            .map_err(|_| bad("state file name is not UTF-8".to_string()))?;
-        files.push((name, get_u64(r)?));
+        files.push(read_entry(r, "state")?);
     }
     let counters = PersistedCounters {
         edges_ingested: get_u64(r)?,
@@ -1363,7 +1444,7 @@ fn read_state_manifest_body<R: Read>(
         }
         t => return Err(bad(format!("unknown trainer-section tag {t}"))),
     };
-    Ok((files, counters, trainer))
+    Ok((witness, files, counters, trainer))
 }
 
 // ---------------------------------------------------------------------------
@@ -1748,6 +1829,8 @@ mod tests {
     fn durable_file_names_parse() {
         assert_eq!(durable_file_epoch("model.3.bin"), Some(3));
         assert_eq!(durable_file_epoch("model.3.bin.shard1"), Some(3));
+        assert_eq!(durable_file_epoch("witness.7.bin"), Some(7));
+        assert_eq!(durable_file_epoch("witness.x.bin"), None);
         assert_eq!(durable_file_epoch("state.12.bin"), Some(12));
         assert_eq!(durable_file_epoch("wal.0.log"), Some(0));
         assert_eq!(durable_file_epoch("CURRENT"), None);

@@ -24,15 +24,18 @@
 //! For **deployment**, the [`service`] module wraps the streaming core in
 //! the [`SplashService`] façade: a registry of named, hot-swappable
 //! models behind a fallible, typed request/response API ([`error`] holds
-//! the [`SplashError`] taxonomy). The core's infallible methods remain as
-//! (deprecated) thin wrappers, but a serving layer should speak the
-//! `try_*` / service forms — bad input then comes back as a value, never
-//! as an aborted process.
+//! the [`SplashError`] taxonomy). The core speaks `try_*` / service forms
+//! exclusively — bad input comes back as a value, never as an aborted
+//! process. (The old infallible wrappers are gone; panicking call sites
+//! spell the policy themselves with `try_* + unwrap`.)
 //!
-//! For **scale-out**, the [`shard`] module hash-partitions nodes across
-//! [`ShardedPredictor`] engines — scatter–gather queries, routed ingest,
-//! sharded persistence — with output bit-identical to the single engine
-//! at every shard count.
+//! For **scale-out**, the [`shard`] module splits a model into one shared
+//! witness — the global feature tracker and stream clock, updated once
+//! per edge — plus N hash-partitioned ring partitions served by
+//! [`ShardedPredictor`] engines: scatter–gather queries, routed ingest
+//! where each shard touches only its owned edges, sharded persistence
+//! with one shared model file — output bit-identical to the single
+//! engine at every shard count.
 //!
 //! For **continual learning**, the [`online`] module fine-tunes a served
 //! model from the live label stream without downtime: a hot-standby

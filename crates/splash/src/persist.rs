@@ -63,7 +63,12 @@ const MAX_TENSOR_ELEMS: u64 = 1 << 26;
 /// [`MAGIC`], so [`is_sharded_artifact`] can sniff a path cheaply).
 pub(crate) const SHARD_MAGIC: &[u8; 8] = b"SPLASHS\x01";
 /// Format revision of the manifest layout.
-pub(crate) const SHARD_VERSION: u32 = 1;
+pub(crate) const SHARD_VERSION: u32 = 2;
+
+/// The last manifest revision that duplicated the model bytes into one
+/// file per shard. Still loadable (shards share weights, so any of the N
+/// identical files restores the model); no longer written.
+pub(crate) const SHARD_VERSION_DUPLICATED: u32 = 1;
 
 /// A model restored from disk, with everything needed to serve it.
 #[derive(Debug)]
@@ -241,21 +246,23 @@ fn read_model<R: Read>(mut r: R) -> Result<SavedModel, SplashError> {
 }
 
 // ---------------------------------------------------------------------------
-// Sharded artifacts: a manifest plus one model file per shard.
+// Sharded artifacts: a manifest plus one shared model file.
 //
 // In the sharding design ([`crate::shard`]) every shard serves the *same*
 // trained weights — what a shard owns is streaming state (rings), and that
 // state is rebuilt from the training stream on load, exactly like the
-// single-engine path. A sharded artifact therefore is N independently
-// loadable model files (each a standard [`save_model`] artifact, so any one
-// of them restores through [`load_model`] on its own — e.g. when shard
-// files are placed on N machines) plus a manifest recording the shard
-// count and a checksum per file. Because the shard count is data, not
-// architecture, a model saved at N shards loads at any M
-// ("resharding-on-load").
+// single-engine path. A sharded artifact therefore is ONE model file (a
+// standard [`save_model`] artifact, so it restores through [`load_model`]
+// on its own) plus a manifest recording the shard count and the file's
+// checksum. Because the shard count is data, not architecture, a model
+// saved at N shards loads at any M ("resharding-on-load").
+//
+// Manifest v1 duplicated the model bytes into one file per shard; those
+// artifacts still load (every listed file is checksummed, the model parses
+// from the first), but new saves write the deduplicated v2 layout.
 
-/// One entry of a [`ShardManifest`]: a shard's model file (named relative
-/// to the manifest's directory) and the FNV-1a checksum of its bytes.
+/// One entry of a [`ShardManifest`]: a model file (named relative to the
+/// manifest's directory) and the FNV-1a checksum of its bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardFileEntry {
     /// File name, relative to the manifest's parent directory.
@@ -270,7 +277,8 @@ pub struct ShardFileEntry {
 pub struct ShardManifest {
     /// Shard count at save time (a load may pick a different count).
     pub shards: usize,
-    /// One model file per shard, in shard order.
+    /// The model file(s): exactly one in the current layout; one per shard
+    /// (identical bytes) in a v1 artifact.
     pub files: Vec<ShardFileEntry>,
 }
 
@@ -309,7 +317,8 @@ pub fn is_sharded_artifact(path: &Path) -> Result<bool, SplashError> {
 }
 
 /// Writes `model` as a sharded artifact at `path`: one [`save_model`] file
-/// per shard (identical bytes — shards share weights) plus the manifest.
+/// (shards share weights, so the bytes are stored once) plus the manifest
+/// recording the shard count.
 ///
 /// `model` is taken mutably only because parameter access goes through
 /// [`Parameterized::params_mut`]; values are not modified.
@@ -330,8 +339,8 @@ pub fn save_sharded_model(
 }
 
 /// [`save_sharded_model`] plus the optional `SAVEDOPT` optimizer trailer
-/// (see [`save_model_with_opt`]); every shard file carries the identical
-/// section, so any one of them restores the optimizer on its own.
+/// (see [`save_model_with_opt`]); the shared model file carries the
+/// section, so it restores the optimizer on its own.
 #[allow(clippy::too_many_arguments)]
 pub fn save_sharded_model_with_opt(
     path: &Path,
@@ -349,32 +358,28 @@ pub fn save_sharded_model_with_opt(
             what: "shard count must be positive".into(),
         });
     }
-    // Shards share weights, so serialize once and fan the bytes out.
+    // Shards share weights, so serialize once and store the bytes once:
+    // the manifest carries the shard count, the model lives in one file.
     let mut bytes = Vec::new();
     write_model(&mut bytes, model, cfg, mode, feat_dim, edge_feat_dim, out_dim, opt)?;
     let checksum = fnv1a(&bytes);
-    let mut files = Vec::with_capacity(shards);
-    for i in 0..shards {
-        let shard_path = shard_file_path(path, i);
-        std::fs::write(&shard_path, &bytes)?;
-        files.push(ShardFileEntry {
-            name: shard_path
-                .file_name()
-                .expect("shard_file_path always has a file name")
-                .to_string_lossy()
-                .into_owned(),
-            checksum,
-        });
-    }
+    let shard_path = shard_file_path(path, 0);
+    std::fs::write(&shard_path, &bytes)?;
+    let entry = ShardFileEntry {
+        name: shard_path
+            .file_name()
+            .expect("shard_file_path always has a file name")
+            .to_string_lossy()
+            .into_owned(),
+        checksum,
+    };
     let mut w = BufWriter::new(File::create(path)?);
     w.write_all(SHARD_MAGIC)?;
     put_u32(&mut w, SHARD_VERSION)?;
     put_u64(&mut w, shards as u64)?;
-    for entry in &files {
-        put_u64(&mut w, entry.name.len() as u64)?;
-        w.write_all(entry.name.as_bytes())?;
-        put_u64(&mut w, entry.checksum)?;
-    }
+    put_u64(&mut w, entry.name.len() as u64)?;
+    w.write_all(entry.name.as_bytes())?;
+    put_u64(&mut w, entry.checksum)?;
     w.flush()?;
     Ok(())
 }
@@ -397,23 +402,26 @@ pub fn load_manifest(path: &Path) -> Result<ShardManifest, SplashError> {
         });
     }
     let version = get_u32(&mut r).map_err(corrupt_or_io)?;
-    if version != SHARD_VERSION {
+    if version != SHARD_VERSION && version != SHARD_VERSION_DUPLICATED {
         return Err(SplashError::PersistVersionMismatch {
             found: version,
             supported: SHARD_VERSION,
         });
     }
-    read_manifest_body(&mut r).map_err(corrupt_or_io)
+    read_manifest_body(&mut r, version).map_err(corrupt_or_io)
 }
 
-/// Parses everything after the manifest magic + version header.
-fn read_manifest_body<R: Read>(r: &mut R) -> io::Result<ShardManifest> {
+/// Parses everything after the manifest magic + version header. A v2
+/// manifest lists exactly one model file; the legacy v1 layout listed one
+/// (identical) file per shard.
+fn read_manifest_body<R: Read>(r: &mut R, version: u32) -> io::Result<ShardManifest> {
     let shards = get_u64(r)? as usize;
     if shards == 0 || shards > 1 << 20 {
         return Err(bad(format!("impossible shard count {shards}")));
     }
-    let mut files = Vec::with_capacity(shards);
-    for _ in 0..shards {
+    let n_files = if version == SHARD_VERSION_DUPLICATED { shards } else { 1 };
+    let mut files = Vec::with_capacity(n_files);
+    for _ in 0..n_files {
         let len = get_u64(r)? as usize;
         if len == 0 || len > 4096 {
             return Err(bad(format!("impossible shard file-name length {len}")));
@@ -428,9 +436,10 @@ fn read_manifest_body<R: Read>(r: &mut R) -> io::Result<ShardManifest> {
     Ok(ShardManifest { shards, files })
 }
 
-/// Loads a sharded artifact: reads the manifest, verifies every shard
-/// file's checksum, and restores the model from shard 0 (all shard files
-/// carry identical weights by construction).
+/// Loads a sharded artifact: reads the manifest, verifies every listed
+/// file's checksum, and restores the model from the first (a v2 manifest
+/// lists exactly one file; a legacy v1 manifest lists one identical copy
+/// per shard).
 ///
 /// A missing or altered shard file reports [`SplashError::CorruptModel`]
 /// naming the file, so an operator knows *which* artifact to re-export.

@@ -210,6 +210,11 @@ pub struct ServiceStats {
     pub queries_served: u64,
     /// Shard engines across the registry (a single-engine model counts 1).
     pub shards: u64,
+    /// Edges observed by the shared witness of sharded engines — exactly
+    /// one count per engine regardless of its shard count (PR 10 replaced
+    /// the per-shard `witness_edges` accounting, which multiplied the same
+    /// work N-fold, with this single global counter).
+    pub edges_witnessed: u64,
     /// Ground-truth labels captured for continual learning.
     pub labels_buffered: u64,
     /// Past-time labels dropped under [`LateEdgePolicy::DropLate`].
@@ -260,6 +265,9 @@ impl fmt::Display for ServiceStats {
         )?;
         writeln!(f, "queries served : {}", self.queries_served)?;
         writeln!(f, "shard engines  : {}", self.shards)?;
+        if self.edges_witnessed > 0 {
+            writeln!(f, "edges witnessed: {} (shared witness, counted once)", self.edges_witnessed)?;
+        }
         if self.labels_buffered > 0 || self.labels_dropped > 0 || self.publishes > 0 {
             writeln!(
                 f,
@@ -408,7 +416,8 @@ enum Engine {
     /// enum stays small next to the `Vec`-backed sharded variant.
     Single(Box<StreamingPredictor>),
     /// `N` hash-partitioned predictors behind a scatter–gather router.
-    Sharded(ShardedPredictor),
+    /// Boxed for the same reason: the router carries per-shard scratch.
+    Sharded(Box<ShardedPredictor>),
     /// An externally implemented engine behind the same slot surface
     /// (serving-only: no trainer, no persistence).
     External(Box<dyn ServeEngine>),
@@ -427,6 +436,16 @@ impl Engine {
         match self {
             Engine::Single(_) | Engine::External(_) => 1,
             Engine::Sharded(s) => s.num_shards(),
+        }
+    }
+
+    /// Edges the engine's shared witness has observed — one global count
+    /// per sharded engine (the single-writer witness pass); 0 for the
+    /// other engine kinds, whose ingest shows in `edges_ingested`.
+    fn witnessed_edges(&self) -> u64 {
+        match self {
+            Engine::Sharded(s) => s.witnessed_edges(),
+            Engine::Single(_) | Engine::External(_) => 0,
         }
     }
 
@@ -545,15 +564,24 @@ impl Engine {
         }
     }
 
-    /// Per-shard streaming-state snapshots for a durable checkpoint
-    /// (length 1 for the single engine).
-    fn durable_states(&self) -> Vec<crate::stream::StreamState> {
+    /// The witness snapshot plus per-shard ring partitions for a durable
+    /// checkpoint (one ring partition for the single engine).
+    #[allow(clippy::type_complexity)]
+    fn durable_stream_state(
+        &self,
+    ) -> Result<(crate::stream::WitnessSnapshot, Vec<Vec<crate::stream::RingState>>), SplashError>
+    {
         match self {
-            Engine::Single(p) => vec![p.durable_state()],
-            Engine::Sharded(s) => s.durable_shard_states(),
-            // Unreachable: checkpointing an external slot fails earlier, in
-            // `model_bytes`.
-            Engine::External(_) => Vec::new(),
+            Engine::Single(p) => Ok((p.durable_witness(), vec![p.durable_rings()])),
+            Engine::Sharded(s) => Ok((s.durable_witness(), s.durable_ring_shards())),
+            // Unreachable in the checkpoint flow: an external slot fails
+            // earlier, in `model_bytes` — but keep it typed.
+            Engine::External(e) => Err(SplashError::InvalidConfig {
+                what: format!(
+                    "external engine {:?} cannot be checkpointed (serving-only slot)",
+                    e.kind()
+                ),
+            }),
         }
     }
 
@@ -746,7 +774,10 @@ impl SplashService {
         if self.shards == 1 {
             Ok(Engine::Single(Box::new(predictor)))
         } else {
-            Ok(Engine::Sharded(ShardedPredictor::from_predictor(predictor, self.shards)?))
+            Ok(Engine::Sharded(Box::new(ShardedPredictor::from_predictor(
+                predictor,
+                self.shards,
+            )?)))
         }
     }
 
@@ -952,7 +983,7 @@ impl SplashService {
     pub fn sharded_model(&self, name: &str) -> Result<&ShardedPredictor, SplashError> {
         let entry = self.entry(name)?;
         match &entry.engine {
-            Engine::Sharded(s) => Ok(s),
+            Engine::Sharded(s) => Ok(s.as_ref()),
             Engine::Single(_) | Engine::External(_) => Err(SplashError::ShardedModel {
                 name: name.to_string(),
                 shards: 1,
@@ -1217,7 +1248,7 @@ impl SplashService {
     /// reused across calls — the allocation-free serving path).
     ///
     /// The logits are bit-identical to
-    /// [`StreamingPredictor::predict_into`] on the same model.
+    /// [`StreamingPredictor::try_predict_into`] on the same model.
     pub fn predict_into(
         &self,
         name: &str,
@@ -1250,7 +1281,7 @@ impl SplashService {
 
     /// Answers a micro-batch of queries in one forward pass; row `i` holds
     /// the logits for `queries[i]` (labels are ignored). Bit-identical to
-    /// [`StreamingPredictor::predict_batch`].
+    /// [`StreamingPredictor::try_predict_batch`].
     pub fn predict_batch(
         &self,
         name: &str,
@@ -1302,6 +1333,7 @@ impl SplashService {
             edges_dropped: tel.edges_dropped.get(),
             queries_served: tel.queries_served.get(),
             shards: self.models.iter().map(|e| e.engine.shards() as u64).sum(),
+            edges_witnessed: self.models.iter().map(|e| e.engine.witnessed_edges()).sum(),
             labels_buffered: tel.labels_buffered.get(),
             labels_dropped: tel.labels_dropped.get(),
             fine_tunes: tel.fine_tunes.get(),
@@ -1401,15 +1433,16 @@ impl SplashService {
         let mut saved = recovered.saved;
         saved.cfg.validate()?;
         let opt = saved.opt.take();
+        let state =
+            crate::stream::assemble_stream_state(recovered.witness, recovered.ring_shards)?;
         let engine = if self.shards == 1 {
-            let state = crate::stream::merge_stream_states(recovered.states)?;
             Engine::Single(Box::new(StreamingPredictor::try_from_saved_state(saved, state)?))
         } else {
-            Engine::Sharded(ShardedPredictor::try_from_saved_states(
+            Engine::Sharded(Box::new(ShardedPredictor::try_from_saved_state(
                 saved,
-                recovered.states,
+                state,
                 self.shards,
-            )?)
+            )?))
         };
         let trainer = match (&self.online, recovered.trainer) {
             (None, None) => None,
@@ -1518,9 +1551,9 @@ impl SplashService {
         }
         let opt = trainer.as_mut().map(|t| t.checkpoint());
         let model_bytes = engine.model_bytes(opt.as_ref())?;
-        let states = engine.durable_states();
+        let (witness, ring_shards) = engine.durable_stream_state()?;
         let trainer_state = trainer.as_ref().map(|t| t.durable_state());
-        Ok(CheckpointData { model_bytes, states, counters, trainer: trainer_state })
+        Ok(CheckpointData { model_bytes, witness, ring_shards, counters, trainer: trainer_state })
     }
 
     /// Group-commits one accepted mutating request to the entry's WAL (a

@@ -4,47 +4,52 @@
 //! A [`crate::stream::StreamingPredictor`] is single-threaded by design
 //! (interior scratch makes it `!Sync`), so one engine caps throughput at
 //! one core. [`ShardedPredictor`] multiplies that: nodes are
-//! hash-partitioned across `N` shards ([`shard_of`]), each shard owning a
-//! full engine, and
+//! hash-partitioned across `N` shards ([`shard_of`]), each shard owning the
+//! rings of its partition, and
 //!
-//! * **ingest** routes a time-ordered batch so ring snapshots — the
-//!   dominant per-node state, `k·(d_v + d_e)` floats per active node —
-//!   are written only on the owner shard(s) of each edge's endpoints
-//!   (both, when they differ), while every shard *witnesses* every edge
-//!   in its feature tracker;
+//! * **ingest** runs one shared *witness pass* — a single writer updates
+//!   the engine's one `WitnessState` (feature tracker + stream clock),
+//!   and only the owner shard(s) of each edge's endpoints take ring
+//!   writes. Serially the pass writes those ring slots directly from the
+//!   augmenter (the unsharded engine's single-copy path); with threads it
+//!   materializes each edge's feature snapshots into a reusable batch of
+//!   `EdgeSnapshot`s that the shard threads consume concurrently;
 //! * **queries** scatter to the owner shard of each queried node and
 //!   gather back into the caller's buffers, so the expensive part — the
 //!   SLIM forward — fans out across engines (thread-per-shard under the
 //!   `parallel` feature).
 //!
-//! # Why witness updates, and why this is exactly bit-identical
+//! # One witness, N ring partitions — and why this is exactly bit-identical
 //!
 //! SPLASH's per-node state is a ring of *snapshots*: each entry stores the
 //! **neighbor's** feature as of edge-arrival time (Eq. 14), and the
 //! structural process encodes the neighbor's **global** degree. Both are
-//! functions of the whole stream, not of the owned partition — a shard
-//! that saw only its own nodes' edges would snapshot stale neighbor
-//! features and undercounted degrees. So the router hands every edge to
-//! every shard for the cheap feature-tracker update (degree bumps, and
-//! `O(d_v)` propagation only at unseen endpoints) and reserves the ring
-//! write — the expensive snapshot — for owner shards. Every shard's
-//! feature tracker therefore evolves exactly like the unsharded one, every
-//! owned ring is filled from that identical tracker in the same edge
-//! order, and a query routed to its owner shard reads exactly the state
-//! the single engine would have read. Sharded output is the unsharded
-//! output, bit for bit, for **any** shard count and any valid stream —
-//! pinned by the `sharded_matches_unsharded_*` proptests.
+//! functions of the whole stream, not of the owned partition — so they are
+//! computed exactly once, by the engine's single witness, in stream order.
+//! What a shard writes into a ring slot — directly or via a snapshot — is
+//! byte-for-byte the feature vector the unsharded engine would have read
+//! from its own tracker at the same instant; the rings are filled in the
+//! same edge order; and every query routes to the owner shard, which reads the
+//! shared witness for the target feature and its own rings for neighbors.
+//! Sharded output is the unsharded output, bit for bit, for **any** shard
+//! count and any valid stream — pinned by the
+//! `sharded_matches_unsharded_*` proptests.
 //!
-//! Work per shard is `O(E)` witness updates plus its share of ring writes
-//! and query forwards; state per shard is its partition's rings plus a
-//! replica of the (flat) feature tables. Throughput scales with shards ×
-//! cores on the query path; the serial ingest overhead of witnessing is
-//! one degree update per non-owned edge.
+//! The cost model: the witness pass is the *serial prefix* of ingest —
+//! O(E) tracker updates plus one feature materialization per endpoint,
+//! paid once regardless of shard count — and the per-shard ring writes
+//! are O(E_owned), so total routed ingest work is O(E), ~flat in N
+//! instead of growing linearly (the pre-refactor design re-ran the
+//! witness on every shard). State per shard is its partition's rings
+//! only; the flat feature tables live once, on the shared witness.
+//! Threaded ring writes are safe because shards touch disjoint rings and
+//! the snapshot batch is read-only during the scatter.
 //!
-//! Persistence is sharded too: [`ShardedPredictor::save`] writes one model
-//! file per shard plus a manifest ([`crate::persist`]), and
+//! Persistence stores the model bytes once: [`ShardedPredictor::save`]
+//! writes a manifest plus a single shard file ([`crate::persist`]), and
 //! [`ShardedPredictor::try_load`] reshards on load — an artifact saved at
-//! `N` shards serves identically at any `M`.
+//! `N` shards serves identically at any `M`. Durable checkpoints mirror
+//! the split: one witness file plus `N` ring-partition files.
 
 use std::cell::RefCell;
 use std::path::Path;
@@ -57,7 +62,7 @@ use crate::augment::FeatureProcess;
 use crate::config::SplashConfig;
 use crate::error::SplashError;
 use crate::persist::SavedModel;
-use crate::stream::StreamingPredictor;
+use crate::stream::{EdgeSnapshot, StreamingPredictor, WitnessState};
 use crate::telemetry::{escape_label_value, Counter, Registry};
 
 /// The owner shard of `node` under an `shards`-way partition.
@@ -86,8 +91,6 @@ pub struct ShardStats {
     pub owned_nodes: usize,
     /// Edges with at least one endpoint owned here (ring writes).
     pub owned_edges: u64,
-    /// Edges observed feature-only (witness updates, no ring write).
-    pub witness_edges: u64,
     /// Queries answered by this shard.
     pub queries_served: u64,
 }
@@ -123,32 +126,63 @@ struct GatherScratch {
     queries: Vec<Vec<PropertyQuery>>,
     index: Vec<Vec<usize>>,
     rows: Vec<Matrix>,
-    /// Per-edge `(owner_of_src, owner_of_dst)` for the batch being routed:
-    /// the ownership hash runs once per endpoint per *batch*, and every
-    /// shard (and the counters) reads the same precomputed pairs.
-    route: Vec<(usize, usize)>,
 }
 
-/// `N` hash-partitioned streaming engines behind one ingest/query surface.
+/// `N` hash-partitioned ring engines behind one shared witness and one
+/// ingest/query surface.
 ///
 /// See the [module docs](self) for the partitioning and determinism
 /// contract; in short: same API shape as [`StreamingPredictor`], same bits
 /// out, state and query compute split `N` ways.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct ShardedPredictor {
+    /// The engine's single witness: one feature tracker + stream clock,
+    /// written by the serial ingest prefix, read by every query path.
+    witness: WitnessState,
+    /// Witness-less ring partitions (their `witness` field is `None`; all
+    /// shared state routes through [`ShardedPredictor::witness`]).
     shards: Vec<StreamingPredictor>,
     counters: Vec<ShardCounters>,
-    /// Total edges ingested (every shard witnesses every edge).
-    total_edges: u64,
+    /// Total edges witnessed (each edge is witnessed exactly once).
+    witnessed: Counter,
+    /// The reusable snapshot batch the *thread-parallel* witness pass
+    /// materializes and the shard threads consume (serial ingest writes
+    /// ring slots directly and never touches it); grown to the high-water
+    /// batch size, then reused allocation-free.
+    snaps: Vec<EdgeSnapshot>,
+    /// Per-shard routing built by the same parallel-path witness pass:
+    /// element `s` lists the indices into the snapshot batch that shard
+    /// `s` owns (src- or dst-side). Shard threads iterate only their own
+    /// list, so per-shard ingest touches O(edges owned) snapshots instead
+    /// of scanning the batch. Reused allocation-free like the batch.
+    routes: Vec<Vec<u32>>,
     scratch: RefCell<GatherScratch>,
 }
 
+impl Clone for ShardedPredictor {
+    /// A clone gets a **detached** copy of the witnessed-edges cell (like
+    /// the per-shard `ShardCounters`): counter handles share their atomic, so a derived
+    /// clone would double-count into one registry series.
+    fn clone(&self) -> Self {
+        Self {
+            witness: self.witness.clone(),
+            shards: self.shards.clone(),
+            counters: self.counters.clone(),
+            witnessed: self.witnessed.detached_copy(),
+            snaps: self.snaps.clone(),
+            routes: self.routes.clone(),
+            scratch: self.scratch.clone(),
+        }
+    }
+}
+
 impl ShardedPredictor {
-    /// Splits a (trained or restored) predictor into `shards` engines:
-    /// each shard keeps the full feature tracker but only its partition's
-    /// rings. `shards` must be positive.
+    /// Splits a (trained or restored) predictor into one shared witness
+    /// plus `shards` ring partitions: the base predictor's witness is
+    /// detached onto the engine, and each (witness-less) shard keeps only
+    /// its partition's rings. `shards` must be positive.
     pub fn from_predictor(
-        predictor: StreamingPredictor,
+        mut predictor: StreamingPredictor,
         shards: usize,
     ) -> Result<Self, SplashError> {
         if shards == 0 {
@@ -156,6 +190,7 @@ impl ShardedPredictor {
                 what: "shard count must be positive".into(),
             });
         }
+        let witness = predictor.detach_witness();
         let mut parts = Vec::with_capacity(shards);
         for s in 0..shards - 1 {
             let mut p = predictor.clone();
@@ -166,14 +201,16 @@ impl ShardedPredictor {
         p.retain_ring_nodes(|v| shard_of(v, shards) == shards - 1);
         parts.push(p);
         Ok(Self {
+            witness,
             shards: parts,
             counters: vec![ShardCounters::default(); shards],
-            total_edges: 0,
+            witnessed: Counter::new(),
+            snaps: Vec::new(),
+            routes: vec![Vec::new(); shards],
             scratch: RefCell::new(GatherScratch {
                 queries: vec![Vec::new(); shards],
                 index: vec![Vec::new(); shards],
                 rows: vec![Matrix::default(); shards],
-                route: Vec::new(),
             }),
         })
     }
@@ -208,26 +245,35 @@ impl ShardedPredictor {
         Self::from_predictor(StreamingPredictor::try_from_saved(saved, dataset)?, shards)
     }
 
-    /// The per-shard slices of durable streaming state: element `i` is
-    /// shard `i`'s full feature-tracker state (identical across shards by
-    /// the witness invariant, duplicated so each state file loads on its
-    /// own) plus only its partition's rings.
-    pub(crate) fn durable_shard_states(&self) -> Vec<crate::stream::StreamState> {
-        self.shards.iter().map(|s| s.durable_state()).collect()
+    /// The witness half of a durable checkpoint: the engine's single
+    /// feature-tracker state, ring capacity, and stream clock — written
+    /// once per checkpoint, not once per shard.
+    pub(crate) fn durable_witness(&self) -> crate::stream::WitnessSnapshot {
+        crate::stream::WitnessSnapshot {
+            augmenter: self.witness.augmenter.durable_state(),
+            k: self.config().k,
+            last_time: self.witness.last_time,
+        }
     }
 
-    /// Rebuilds a sharded predictor from a restored model plus the
-    /// per-shard durable states written at checkpoint time. The states'
-    /// rings are re-unioned and repartitioned for `shards` engines, so a
-    /// checkpoint taken at any shard count restores at any other
+    /// The ring half of a durable checkpoint: element `i` is shard `i`'s
+    /// partition of the per-node rings (non-empty rings only, in storage
+    /// order with cursors).
+    pub(crate) fn durable_ring_shards(&self) -> Vec<Vec<crate::stream::RingState>> {
+        self.shards.iter().map(|s| s.durable_rings()).collect()
+    }
+
+    /// Rebuilds a sharded predictor from a restored model plus an
+    /// assembled [`crate::stream::StreamState`] (one recovered witness +
+    /// the ring union). The rings are repartitioned for `shards` engines,
+    /// so a checkpoint taken at any shard count restores at any other
     /// (resharding-on-restore, mirroring [`ShardedPredictor::try_load`]).
-    pub(crate) fn try_from_saved_states(
+    pub(crate) fn try_from_saved_state(
         saved: SavedModel,
-        states: Vec<crate::stream::StreamState>,
+        state: crate::stream::StreamState,
         shards: usize,
     ) -> Result<Self, SplashError> {
-        let base = crate::stream::merge_stream_states(states)?;
-        let predictor = StreamingPredictor::try_from_saved_state(saved, base)?;
+        let predictor = StreamingPredictor::try_from_saved_state(saved, state)?;
         Self::from_predictor(predictor, shards)
     }
 
@@ -240,8 +286,8 @@ impl ShardedPredictor {
         self.shards[0].model_artifact_bytes(opt)
     }
 
-    /// Loads a sharded artifact (manifest + per-shard model files, written
-    /// by [`ShardedPredictor::save`]) and serves it with `shards` engines —
+    /// Loads a sharded artifact (manifest + model file, written by
+    /// [`ShardedPredictor::save`]) and serves it with `shards` engines —
     /// `None` keeps the artifact's saved count. This is resharding-on-load:
     /// ownership is recomputed, state is rebuilt from the training stream,
     /// so any saved count loads at any serving count with identical output.
@@ -256,17 +302,18 @@ impl ShardedPredictor {
     }
 
     /// Persists this predictor as a sharded artifact at `path`: the
-    /// manifest plus one independently loadable model file per shard
-    /// (`<path>.shard<i>`). Restores through [`ShardedPredictor::try_load`]
-    /// at any shard count, or any single shard file through
+    /// manifest (which records the shard count) plus one model file
+    /// (`<path>.shard0`) — shards share weights, so the bytes are stored
+    /// once. Restores through [`ShardedPredictor::try_load`] at any shard
+    /// count, or the model file alone through
     /// [`crate::persist::load_model`].
     pub fn save(&mut self, path: &Path) -> Result<(), SplashError> {
         self.save_with_opt(path, None)
     }
 
     /// [`ShardedPredictor::save`] plus an optional checkpoint of the
-    /// online-fine-tuning optimizer; every shard file carries the identical
-    /// `SAVEDOPT` section (shards share weights *and* their optimizer).
+    /// online-fine-tuning optimizer; the model file carries the `SAVEDOPT`
+    /// section (shards share weights *and* their optimizer).
     pub fn save_with_opt(
         &mut self,
         path: &Path,
@@ -299,7 +346,7 @@ impl ShardedPredictor {
         spare: &mut Vec<crate::capture::CapturedNeighbor>,
     ) -> Result<(), SplashError> {
         let s = shard_of(node, self.shards.len());
-        self.shards[s].capture_labeled_into(node, time, label, q, spare)
+        self.shards[s].capture_labeled_into_with(&self.witness, node, time, label, q, spare)
     }
 
     /// Number of shards serving this predictor.
@@ -307,16 +354,16 @@ impl ShardedPredictor {
         self.shards.len()
     }
 
-    /// Arrival time of the most recently observed edge (identical on every
-    /// shard — all shards witness the full stream).
+    /// Arrival time of the most recently observed edge (the engine's one
+    /// shared stream clock).
     pub fn last_time(&self) -> f64 {
-        self.shards[0].last_time()
+        self.witness.last_time
     }
 
     /// Number of node ids with allocated state; see
     /// [`StreamingPredictor::known_nodes`].
     pub fn known_nodes(&self) -> usize {
-        self.shards[0].known_nodes()
+        self.witness.augmenter.known_nodes()
     }
 
     /// Output (logit) width of the model: one column per class.
@@ -336,9 +383,10 @@ impl ShardedPredictor {
     }
 
     /// Read-only access to one shard's engine, or `None` past the shard
-    /// count (diagnostics; queries should go through the routing entry
-    /// points so they reach the owner shard).
-    pub fn shard(&self, index: usize) -> Option<&StreamingPredictor> {
+    /// count. Crate-internal: shard members are witness-less, so their
+    /// stream-dependent methods panic — the service façade uses this only
+    /// to clone the shared model weights.
+    pub(crate) fn shard(&self, index: usize) -> Option<&StreamingPredictor> {
         self.shards.get(index)
     }
 
@@ -352,10 +400,16 @@ impl ShardedPredictor {
                 shard,
                 owned_nodes: engine.active_rings(),
                 owned_edges: c.owned_edges.get(),
-                witness_edges: self.total_edges - c.owned_edges.get(),
                 queries_served: c.queries.get(),
             })
             .collect()
+    }
+
+    /// Total edges the shared witness has observed — a single global
+    /// counter (each edge is witnessed exactly once, by the engine's one
+    /// witness, regardless of the shard count).
+    pub fn witnessed_edges(&self) -> u64 {
+        self.witnessed.get()
     }
 
     /// Total queries answered across all shards.
@@ -363,7 +417,9 @@ impl ShardedPredictor {
         self.counters.iter().map(|c| c.queries.get()).sum()
     }
 
-    /// Exposes the per-shard counters as labelled series in `registry`:
+    /// Exposes the engine's counters as labelled series in `registry`: the
+    /// global `splash_witness_edges_total{model="..."}` (one witness, one
+    /// series) plus per-shard
     /// `splash_shard_edges_owned_total{model="...",shard="N"}` and
     /// `splash_shard_queries_total{model="...",shard="N"}`. The handles
     /// share the engine's own cells — counting on the serving path stays a
@@ -371,6 +427,12 @@ impl ShardedPredictor {
     /// only step that allocates.
     pub(crate) fn register_telemetry(&self, registry: &Registry, model: &str) {
         let model = escape_label_value(model);
+        registry.register_counter(
+            "splash_witness_edges_total",
+            &format!("model=\"{model}\""),
+            "Edges observed by the engine's single shared witness (feature tracker).",
+            &self.witnessed,
+        );
         for (shard, c) in self.counters.iter().enumerate() {
             let labels = format!("model=\"{model}\",shard=\"{shard}\"");
             registry.register_counter(
@@ -388,84 +450,134 @@ impl ShardedPredictor {
         }
     }
 
-    /// Ingests a chronologically ordered micro-batch, routing each edge to
-    /// the owner shard(s) of its endpoints for ring snapshots while every
-    /// shard witnesses it in the feature tracker.
+    /// Ingests a chronologically ordered micro-batch through the one
+    /// shared witness: each edge is observed exactly once, and only its
+    /// endpoints' owner shard(s) take ring writes — total ingest work is
+    /// O(E) regardless of the shard count.
     ///
     /// Batch-atomic like [`StreamingPredictor::try_push_edges`]: the whole
-    /// batch is validated against the stream clock before any shard
-    /// mutates, so on [`SplashError::OutOfOrderEdge`] every shard is
-    /// exactly as it was. With the `parallel` feature and more than one
-    /// available thread, shards ingest on one thread each (disjoint state —
-    /// same bits, less wall clock).
+    /// batch is validated against the stream clock before anything
+    /// mutates, so on [`SplashError::OutOfOrderEdge`] the engine is
+    /// exactly as it was. Serially, the witness pass writes the owner
+    /// shards' ring slots directly from the augmenter — the same
+    /// single-copy path the unsharded engine takes. With the `parallel`
+    /// feature and more than one available thread, the witness pass
+    /// instead materializes per-edge `EdgeSnapshot`s plus per-shard
+    /// routing index lists, and one thread per shard consumes its routed
+    /// snapshots (disjoint rings, read-only batch — same bits, less wall
+    /// clock).
     pub fn try_push_edges(&mut self, edges: &[TemporalEdge]) -> Result<(), SplashError> {
-        let mut prev = self.last_time();
+        let mut prev = self.witness.last_time;
+        let mut max_node = 0;
         for edge in edges {
             if edge.time < prev {
                 return Err(SplashError::OutOfOrderEdge { got: edge.time, last: prev });
             }
             prev = edge.time;
+            max_node = max_node.max(edge.src).max(edge.dst);
         }
+        let Some(last) = edges.last() else { return Ok(()) };
         let n = self.shards.len();
-        let scratch = self.scratch.get_mut();
-        scratch.route.clear();
-        scratch
-            .route
-            .extend(edges.iter().map(|e| (shard_of(e.src, n), shard_of(e.dst, n))));
-        let route = &scratch.route;
+        let process = self.process();
         #[cfg(feature = "parallel")]
         {
             if n > 1 && nn::backend::num_threads() > 1 && !nn::backend::serial_pinned() {
-                std::thread::scope(|scope| {
-                    for (s, shard) in self.shards.iter_mut().enumerate() {
-                        scope.spawn(move || shard.push_edges_prerouted(edges, route, s));
-                    }
-                });
-                for &(a, b) in route {
-                    self.counters[a].owned_edges.inc();
-                    if b != a {
-                        self.counters[b].owned_edges.inc();
+                // The snapshot batch persists at its high-water length;
+                // only a batch larger than any before grows it.
+                if self.snaps.len() < edges.len() {
+                    self.snaps.resize_with(edges.len(), EdgeSnapshot::default);
+                }
+                for (edge, snap) in edges.iter().zip(&mut self.snaps) {
+                    self.witness.observe_into(edge, process, n, snap);
+                }
+                let snaps = &self.snaps[..edges.len()];
+                // Route each snapshot to its owner shard(s) once, so every
+                // shard iterates only the indices it owns instead of
+                // scanning the batch.
+                for r in self.routes.iter_mut() {
+                    r.clear();
+                }
+                for (i, s) in snaps.iter().enumerate() {
+                    self.routes[s.owner_src].push(i as u32);
+                    if s.owner_dst != s.owner_src {
+                        self.routes[s.owner_dst].push(i as u32);
                     }
                 }
-                self.total_edges += edges.len() as u64;
+                // Ring tables are sized up front so the shard threads only
+                // ever write into existing rings.
+                for shard in self.shards.iter_mut() {
+                    shard.ensure_ring_capacity(max_node);
+                }
+                let routes = &self.routes;
+                std::thread::scope(|scope| {
+                    for (s, shard) in self.shards.iter_mut().enumerate() {
+                        scope.spawn(move || shard.apply_snapshots(snaps, &routes[s], s));
+                    }
+                });
+                for s in snaps {
+                    self.counters[s.owner_src].owned_edges.inc();
+                    if s.owner_dst != s.owner_src {
+                        self.counters[s.owner_dst].owned_edges.inc();
+                    }
+                }
+                self.witnessed.add(edges.len() as u64);
                 return Ok(());
             }
         }
-        for (s, shard) in self.shards.iter_mut().enumerate() {
-            shard.push_edges_prerouted(edges, route, s);
-        }
-        for &(a, b) in route {
-            self.counters[a].owned_edges.inc();
-            if b != a {
-                self.counters[b].owned_edges.inc();
+        // Serial: the witness pass writes each owner's ring slot directly
+        // from the augmenter — no intermediate snapshot, no per-shard
+        // batch scan. Src slot before dst slot, exactly the unsharded
+        // engine's write order.
+        for edge in edges {
+            self.witness.augmenter.observe(edge);
+            let owner_src = shard_of(edge.src, n);
+            self.shards[owner_src]
+                .remember_side(&self.witness.augmenter, process, edge.src, edge.dst, edge);
+            self.counters[owner_src].owned_edges.inc();
+            if edge.src != edge.dst {
+                let owner_dst = shard_of(edge.dst, n);
+                self.shards[owner_dst]
+                    .remember_side(&self.witness.augmenter, process, edge.dst, edge.src, edge);
+                if owner_dst != owner_src {
+                    self.counters[owner_dst].owned_edges.inc();
+                }
             }
         }
-        self.total_edges += edges.len() as u64;
+        self.witness.last_time = last.time;
+        self.witnessed.add(edges.len() as u64);
         Ok(())
     }
 
     /// Ingests one edge (the per-edge path a `DropLate` serving layer
     /// uses): a late edge reports [`SplashError::OutOfOrderEdge`] with
-    /// every shard untouched — the drop decision is identical on all
-    /// shards because they share one stream clock.
+    /// the engine untouched — the drop decision lives on the one shared
+    /// stream clock, so it is identical to the unsharded engine's.
     pub fn try_observe_edge(&mut self, edge: &TemporalEdge) -> Result<(), SplashError> {
-        let last = self.last_time();
-        if edge.time < last {
-            return Err(SplashError::OutOfOrderEdge { got: edge.time, last });
+        if edge.time < self.witness.last_time {
+            return Err(SplashError::OutOfOrderEdge {
+                got: edge.time,
+                last: self.witness.last_time,
+            });
         }
         let n = self.shards.len();
+        let process = self.process();
+        // Only the owner shard(s) take ring writes, straight from the
+        // augmenter — the same direct path as serial batch ingest.
+        self.witness.augmenter.observe(edge);
         let owner_src = shard_of(edge.src, n);
-        let owner_dst = shard_of(edge.dst, n);
-        for (s, shard) in self.shards.iter_mut().enumerate() {
-            shard
-                .try_observe_edge_routed(edge, s == owner_src, s == owner_dst)
-                .expect("edge validated before the scatter");
-        }
+        self.shards[owner_src]
+            .remember_side(&self.witness.augmenter, process, edge.src, edge.dst, edge);
         self.counters[owner_src].owned_edges.inc();
-        if owner_dst != owner_src {
-            self.counters[owner_dst].owned_edges.inc();
+        if edge.src != edge.dst {
+            let owner_dst = shard_of(edge.dst, n);
+            self.shards[owner_dst]
+                .remember_side(&self.witness.augmenter, process, edge.dst, edge.src, edge);
+            if owner_dst != owner_src {
+                self.counters[owner_dst].owned_edges.inc();
+            }
         }
-        self.total_edges += 1;
+        self.witness.last_time = edge.time;
+        self.witnessed.inc();
         Ok(())
     }
 
@@ -479,7 +591,7 @@ impl ShardedPredictor {
         out: &mut Vec<f32>,
     ) -> Result<(), SplashError> {
         let s = shard_of(node, self.shards.len());
-        self.shards[s].try_predict_into(node, time, out)?;
+        self.shards[s].try_predict_into_with(&self.witness, node, time, out)?;
         self.counters[s].queries.inc();
         Ok(())
     }
@@ -504,13 +616,14 @@ impl ShardedPredictor {
         let mut out = Matrix::default();
         self.validate_and_scatter(queries)?;
         let out_dim = self.out_dim();
+        let witness = &self.witness;
         let mut guard = self.scratch.borrow_mut();
         let scratch = &mut *guard;
         for ((shard, qs), rows) in
             self.shards.iter().zip(&scratch.queries).zip(&mut scratch.rows)
         {
             shard
-                .try_predict_batch_into(qs, rows)
+                .try_predict_batch_into_with(witness, qs, rows)
                 .expect("query times validated before the scatter");
         }
         gather_rows(scratch, &self.counters, out_dim, queries.len(), &mut out);
@@ -535,6 +648,7 @@ impl ShardedPredictor {
     ) -> Result<(), SplashError> {
         self.validate_and_scatter(queries)?;
         let out_dim = self.shards[0].out_dim();
+        let witness = &self.witness;
         let scratch = self.scratch.get_mut();
         #[cfg(feature = "parallel")]
         {
@@ -547,7 +661,7 @@ impl ShardedPredictor {
                         scope.spawn(move || {
                             nn::backend::with_serial_backend(|| {
                                 shard
-                                    .try_predict_batch_into(qs, rows)
+                                    .try_predict_batch_into_with(witness, qs, rows)
                                     .expect("query times validated before the scatter");
                             });
                         });
@@ -561,7 +675,7 @@ impl ShardedPredictor {
             self.shards.iter().zip(&scratch.queries).zip(&mut scratch.rows)
         {
             shard
-                .try_predict_batch_into(qs, rows)
+                .try_predict_batch_into_with(witness, qs, rows)
                 .expect("query times validated before the scatter");
         }
         gather_rows(scratch, &self.counters, out_dim, queries.len(), out);

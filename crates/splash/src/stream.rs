@@ -9,6 +9,15 @@
 //! propagated unseen-node features, incremental degrees) and a per-node ring
 //! of the `k` most recent incident edges with feature snapshots.
 //!
+//! The *witness* half of that state — the augmenter plus the stream clock —
+//! is a global, single-writer function of the edge stream, factored into
+//! its own `WitnessState` component: a standalone predictor owns one, while
+//! the ring partitions inside a [`crate::shard::ShardedPredictor`] stay
+//! witness-less — the engine's single shared witness either writes their
+//! ring slots directly (serial ingest) or hands them pre-materialized
+//! `EdgeSnapshot`s (thread-parallel ingest), so per-shard ingest work is
+//! O(owned endpoints), not O(edges).
+//!
 //! Predictions are bit-identical to the batch pipeline's (verified by the
 //! `streaming_matches_batch_pipeline` test): both paths snapshot neighbor
 //! features at edge-arrival time, as Eq. 14 requires.
@@ -28,7 +37,7 @@ use crate::select::select_features;
 use crate::slim::{SlimBatch, SlimModel};
 use crate::task::output_dim;
 
-/// Chunk size [`StreamingPredictor::predict_batch`] hands to the
+/// Chunk size [`StreamingPredictor::try_predict_batch`] hands to the
 /// (chunk-parallel) batched forward pass.
 const STREAM_BATCH: usize = 256;
 
@@ -55,8 +64,9 @@ pub(crate) struct RingState {
 
 /// Everything a [`StreamingPredictor`] holds that `persist::SavedModel`
 /// does not: augmenter/tracker state, the non-empty per-node rings, and the
-/// stream clock. Produced by [`StreamingPredictor::durable_state`] and
-/// consumed by [`StreamingPredictor::try_from_saved_state`].
+/// stream clock. Assembled by `assemble_stream_state` from a recovered
+/// witness + ring partitions and consumed by
+/// [`StreamingPredictor::try_from_saved_state`].
 #[derive(Debug, Clone)]
 pub(crate) struct StreamState {
     /// Feature-augmentation state (seen tables, propagated features, degrees).
@@ -69,43 +79,131 @@ pub(crate) struct StreamState {
     pub last_time: f64,
 }
 
-/// Merges per-shard [`StreamState`]s back into one unsharded state: the
-/// first state's augmenter (identical across shards by the witness
-/// invariant) plus the union of all shards' rings. Rejects files that
-/// disagree on the stream clock or ring capacity, and duplicate ring
-/// ownership — a shard set from two different checkpoints.
-pub(crate) fn merge_stream_states(
-    states: Vec<StreamState>,
+/// Reassembles one unsharded [`StreamState`] from a recovered witness
+/// snapshot plus the per-shard ring partitions: the single witness carries
+/// the augmenter/clock, and the ring union restores every node's ring.
+/// Rejects duplicate ring ownership — a shard set spliced together from
+/// two different checkpoints.
+pub(crate) fn assemble_stream_state(
+    witness: WitnessSnapshot,
+    ring_shards: Vec<Vec<RingState>>,
 ) -> Result<StreamState, SplashError> {
-    let mut iter = states.into_iter();
-    let Some(mut base) = iter.next() else {
-        return Err(SplashError::CorruptModel {
-            what: "checkpoint carries no shard state".into(),
-        });
-    };
-    for st in iter {
-        // Bit-equality is the contract: every shard witnessed the same
-        // stream, so the clocks and capacities must agree exactly.
-        if st.last_time != base.last_time || st.k != base.k {
-            return Err(SplashError::CorruptModel {
-                what: "shard state files disagree on the stream clock or ring capacity".into(),
-            });
-        }
-        base.rings.extend(st.rings);
-    }
-    base.rings.sort_unstable_by_key(|r| r.node);
-    if base.rings.windows(2).any(|w| w[0].node == w[1].node) {
+    let mut rings: Vec<RingState> = ring_shards.into_iter().flatten().collect();
+    rings.sort_unstable_by_key(|r| r.node);
+    if rings.windows(2).any(|w| w[0].node == w[1].node) {
         return Err(SplashError::CorruptModel {
             what: "two shard state files claim rings for the same node".into(),
         });
     }
-    Ok(base)
+    Ok(StreamState {
+        augmenter: witness.augmenter,
+        rings,
+        k: witness.k,
+        last_time: witness.last_time,
+    })
+}
+
+/// The global *witness* state of an edge stream: the feature [`Augmenter`]
+/// plus the stream clock. Degree encodings and propagated features are
+/// global functions of the whole stream (the paper's core observation), so
+/// there is exactly one writer of this state per logical model — a
+/// standalone [`StreamingPredictor`] owns one, a
+/// [`crate::shard::ShardedPredictor`] owns one shared by all of its ring
+/// partitions.
+#[derive(Debug, Clone)]
+pub(crate) struct WitnessState {
+    /// Feature tracker (seen tables, propagated features, degrees).
+    pub augmenter: Augmenter,
+    /// Arrival time of the most recently observed edge.
+    pub last_time: f64,
+}
+
+impl WitnessState {
+    /// Witnesses one edge: updates the tracker and the stream clock, and
+    /// materializes everything a ring partition needs — the post-update
+    /// endpoint feature snapshots, the edge payload, and the precomputed
+    /// ring owners under an `shards`-way partition — into the reusable
+    /// `snap` buffer. One call per edge per *batch*, shared by every
+    /// shard; the snapshot buffers are reused across batches, so
+    /// steady-state witnessing is allocation-free. Only the
+    /// thread-parallel ingest path materializes snapshots (serial ingest
+    /// writes ring slots directly), so this is unused without `parallel`.
+    #[cfg_attr(not(feature = "parallel"), allow(dead_code))]
+    pub fn observe_into(
+        &mut self,
+        edge: &TemporalEdge,
+        process: FeatureProcess,
+        shards: usize,
+        snap: &mut EdgeSnapshot,
+    ) {
+        self.augmenter.observe(edge);
+        snap.src = edge.src;
+        snap.dst = edge.dst;
+        // Ring slots snapshot the *other* endpoint's post-observe features
+        // (Eq. 14 snapshot-at-arrival): the src ring reads dst's, the dst
+        // ring reads src's. A self-loop writes only the src ring.
+        self.augmenter.feature_into(process, edge.dst, &mut snap.dst_feat);
+        if edge.src != edge.dst {
+            self.augmenter.feature_into(process, edge.src, &mut snap.src_feat);
+        }
+        snap.edge_feat.clear();
+        snap.edge_feat.extend_from_slice(&edge.feat);
+        snap.time = edge.time;
+        snap.weight = edge.weight;
+        snap.owner_src = crate::shard::shard_of(edge.src, shards);
+        snap.owner_dst = crate::shard::shard_of(edge.dst, shards);
+        self.last_time = edge.time;
+    }
+}
+
+/// Everything one witnessed edge contributes to the ring partitions,
+/// materialized once by `WitnessState::observe_into` and consumed by
+/// `StreamingPredictor::apply_snapshots` on each shard. Plain owned data
+/// (no references into the witness), so a batch of snapshots can be read
+/// by every shard thread concurrently. Serial ingest bypasses snapshots
+/// entirely (`StreamingPredictor::remember_side`), so the fields are only
+/// read with the `parallel` feature.
+#[derive(Debug, Clone, Default)]
+#[cfg_attr(not(feature = "parallel"), allow(dead_code))]
+pub(crate) struct EdgeSnapshot {
+    /// Source endpoint.
+    pub src: NodeId,
+    /// Destination endpoint.
+    pub dst: NodeId,
+    /// `src`'s post-observe features (what the dst ring snapshots); left
+    /// stale on self-loops, which never read it.
+    pub src_feat: Vec<f32>,
+    /// `dst`'s post-observe features (what the src ring snapshots).
+    pub dst_feat: Vec<f32>,
+    /// The edge's own feature payload.
+    pub edge_feat: Vec<f32>,
+    /// Edge arrival time.
+    pub time: f64,
+    /// Edge weight.
+    pub weight: f32,
+    /// Ring owner of `src` under the batch's shard count.
+    pub owner_src: usize,
+    /// Ring owner of `dst` under the batch's shard count.
+    pub owner_dst: usize,
+}
+
+/// The witness half of a durable checkpoint: augmenter state, ring
+/// capacity, and the stream clock — written once per checkpoint regardless
+/// of the shard count (the rings travel separately, one file per shard).
+#[derive(Debug, Clone)]
+pub(crate) struct WitnessSnapshot {
+    /// Feature-augmentation state (seen tables, propagated features, degrees).
+    pub augmenter: crate::augment::AugmenterState,
+    /// Ring capacity `k` at capture time (must match the model's config).
+    pub k: usize,
+    /// Arrival time of the most recently observed edge.
+    pub last_time: f64,
 }
 
 /// Reusable buffers for steady-state query answering: assembled query
 /// inputs, the packed batch, the model's workspace, and the logits buffer.
 /// Warmed up by the first few predictions, then reused verbatim, so
-/// [`StreamingPredictor::predict_into`] stays off the allocator.
+/// [`StreamingPredictor::try_predict_into`] stays off the allocator.
 #[derive(Debug, Clone, Default)]
 struct PredictScratch {
     query: CapturedQuery,
@@ -124,11 +222,14 @@ struct PredictScratch {
 #[derive(Debug, Clone)]
 pub struct StreamingPredictor {
     model: SlimModel,
-    augmenter: Augmenter,
+    /// The global witness state. `Some` for a predictor that owns its
+    /// stream (the standalone case); `None` for a ring-partition member
+    /// inside a [`crate::shard::ShardedPredictor`], which reads the
+    /// engine's single shared witness instead of carrying a copy.
+    witness: Option<WitnessState>,
     process: FeatureProcess,
     rings: Vec<Ring>,
     k: usize,
-    last_time: f64,
     /// The full training config, kept so the predictor can persist itself
     /// ([`StreamingPredictor::save`]) without the caller re-supplying it.
     cfg: SplashConfig,
@@ -139,7 +240,7 @@ pub struct StreamingPredictor {
     /// assembly buffers across calls. This makes the predictor
     /// single-threaded (`!Sync`) by design; for concurrent serving, clone
     /// one predictor per worker (cloning isolates the scratch) or use
-    /// [`StreamingPredictor::predict_batch`], which parallelizes over
+    /// [`StreamingPredictor::try_predict_batch`], which parallelizes over
     /// query chunks internally.
     scratch: RefCell<PredictScratch>,
 }
@@ -178,11 +279,10 @@ impl StreamingPredictor {
         );
         let mut predictor = Self {
             model,
-            augmenter,
+            witness: Some(WitnessState { augmenter, last_time: f64::NEG_INFINITY }),
             process,
             rings: Vec::new(),
             k: cfg.k,
-            last_time: f64::NEG_INFINITY,
             cfg: *cfg,
             feat_dim: cap.feat_dim,
             edge_feat_dim: cap.edge_feat_dim,
@@ -192,9 +292,10 @@ impl StreamingPredictor {
         // Prime the neighbor rings with the seen-period edges. The
         // augmenter already observed them in `Augmenter::new`, so only the
         // rings are updated here.
+        let w = predictor.witness.as_mut().expect("just constructed with an owned witness");
         for edge in &dataset.stream.edges()[..prefix] {
-            predictor.remember(edge);
-            predictor.last_time = edge.time;
+            Self::remember(&mut predictor.rings, cfg.k, &w.augmenter, process, edge);
+            w.last_time = edge.time;
         }
         predictor
     }
@@ -205,18 +306,9 @@ impl StreamingPredictor {
     /// stream and the stored (seeded) config, so the result is identical to
     /// the predictor that existed when the model was saved.
     ///
-    /// Returns `None` when the saved model's feature mode is not a single
-    /// augmentation process; [`StreamingPredictor::try_from_saved`] is the
-    /// fallible form that says *why* restoration failed.
-    #[deprecated(note = "use the try_from_saved form")]
-    pub fn from_saved(saved: crate::persist::SavedModel, dataset: &Dataset) -> Option<Self> {
-        Self::try_from_saved(saved, dataset).ok()
-    }
-
-    /// Fallible form of [`StreamingPredictor::from_saved`]: returns
-    /// [`SplashError::NotStreamable`] when the saved model's feature mode
-    /// is not a single augmentation process (streaming state is defined
-    /// per process).
+    /// Returns [`SplashError::NotStreamable`] when the saved model's
+    /// feature mode is not a single augmentation process (streaming state
+    /// is defined per process).
     pub fn try_from_saved(
         saved: crate::persist::SavedModel,
         dataset: &Dataset,
@@ -239,30 +331,37 @@ impl StreamingPredictor {
         );
         let mut predictor = Self {
             model: saved.model,
-            augmenter,
+            witness: Some(WitnessState { augmenter, last_time: f64::NEG_INFINITY }),
             process,
             rings: Vec::new(),
             k: cfg.k,
-            last_time: f64::NEG_INFINITY,
             cfg,
             feat_dim: saved.feat_dim,
             edge_feat_dim: saved.edge_feat_dim,
             out_dim: saved.out_dim,
             scratch: RefCell::new(PredictScratch::default()),
         };
+        let w = predictor.witness.as_mut().expect("just constructed with an owned witness");
         for edge in &dataset.stream.edges()[..prefix] {
-            predictor.remember(edge);
-            predictor.last_time = edge.time;
+            Self::remember(&mut predictor.rings, cfg.k, &w.augmenter, process, edge);
+            w.last_time = edge.time;
         }
         Ok(predictor)
     }
 
-    /// Clones the streaming state a durable checkpoint must persist on top
-    /// of the saved model: augmenter state, the non-empty rings (in storage
-    /// order, with cursors), and the stream clock.
-    pub(crate) fn durable_state(&self) -> StreamState {
-        let rings = self
-            .rings
+    /// Clones the witness half of the streaming state a durable checkpoint
+    /// must persist on top of the saved model: augmenter state, ring
+    /// capacity, and the stream clock. Requires an owned witness (a shard
+    /// member's witness lives on its `ShardedPredictor`).
+    pub(crate) fn durable_witness(&self) -> WitnessSnapshot {
+        let w = self.witness();
+        WitnessSnapshot { augmenter: w.augmenter.durable_state(), k: self.k, last_time: w.last_time }
+    }
+
+    /// Clones this predictor's non-empty rings (in storage order, with
+    /// cursors) — the partition half of a durable checkpoint.
+    pub(crate) fn durable_rings(&self) -> Vec<RingState> {
+        self.rings
             .iter()
             .enumerate()
             .filter(|(_, r)| !r.entries.is_empty())
@@ -271,13 +370,7 @@ impl StreamingPredictor {
                 head: r.head,
                 entries: r.entries.clone(),
             })
-            .collect();
-        StreamState {
-            augmenter: self.augmenter.durable_state(),
-            rings,
-            k: self.k,
-            last_time: self.last_time,
-        }
+            .collect()
     }
 
     /// Rebuilds a predictor from a restored model *plus* a captured
@@ -317,11 +410,13 @@ impl StreamingPredictor {
         }
         let mut predictor = Self {
             model: saved.model,
-            augmenter: Augmenter::from_durable_state(state.augmenter, cfg.degree_alpha),
+            witness: Some(WitnessState {
+                augmenter: Augmenter::from_durable_state(state.augmenter, cfg.degree_alpha),
+                last_time: state.last_time,
+            }),
             process,
             rings: Vec::new(),
             k: cfg.k,
-            last_time: state.last_time,
             cfg,
             feat_dim: saved.feat_dim,
             edge_feat_dim: saved.edge_feat_dim,
@@ -447,13 +542,33 @@ impl StreamingPredictor {
 
     /// Arrival time of the most recently observed edge.
     pub fn last_time(&self) -> f64 {
-        self.last_time
+        self.witness().last_time
     }
 
     /// Number of node ids with allocated state (training universe plus
     /// everything ingested since); valid ids are `0..known_nodes()`.
     pub fn known_nodes(&self) -> usize {
-        self.augmenter.known_nodes()
+        self.witness().augmenter.known_nodes()
+    }
+
+    /// The owned witness view every public query/ingest method reads.
+    ///
+    /// Panics on a detached shard member — by construction only
+    /// [`crate::shard::ShardedPredictor`] holds witness-less predictors,
+    /// and it routes every call through its shared witness via the
+    /// `*_with` variants instead.
+    fn witness(&self) -> &WitnessState {
+        self.witness
+            .as_ref()
+            .expect("detached shard member: route through the ShardedPredictor")
+    }
+
+    /// Takes ownership of this predictor's witness state, leaving it a
+    /// witness-less ring partition. Used once by
+    /// [`crate::shard::ShardedPredictor`] construction: the base
+    /// predictor's witness becomes the engine's single shared witness.
+    pub(crate) fn detach_witness(&mut self) -> WitnessState {
+        self.witness.take().expect("witness already detached")
     }
 
     /// Output (logit) width of the model: one column per class.
@@ -473,6 +588,17 @@ impl StreamingPredictor {
         if rings.len() < need {
             rings.resize_with(need, Ring::default);
         }
+    }
+
+    /// Pre-grows the ring table to cover `node`, so a following
+    /// [`StreamingPredictor::apply_snapshots`] never reallocates.
+    /// Unwritten entries stay default (empty) rings — invisible to
+    /// queries and to durable snapshots, which skip empty rings. Only
+    /// the thread-parallel ingest path pre-grows (serial ingest grows on
+    /// demand inside `push_slot`), so this is unused without `parallel`.
+    #[cfg_attr(not(feature = "parallel"), allow(dead_code))]
+    pub(crate) fn ensure_ring_capacity(&mut self, node: NodeId) {
+        Self::grow_rings(&mut self.rings, node);
     }
 
     /// Hands out the ring slot the next entry for `node` should overwrite,
@@ -514,77 +640,83 @@ impl StreamingPredictor {
         slot.weight = edge.weight;
     }
 
+    /// The *serial* sharded-ingest primitive: writes this engine's ring
+    /// slot for one side of `edge` directly from the (just-updated)
+    /// witness augmenter — the same single-copy path the unsharded
+    /// [`StreamingPredictor::try_push_edges`] takes, so serial routed
+    /// ingest materializes no intermediate snapshots at all. The
+    /// thread-parallel path goes through
+    /// [`StreamingPredictor::apply_snapshots`] instead (shard threads
+    /// cannot read the witness while it advances).
+    pub(crate) fn remember_side(
+        &mut self,
+        augmenter: &Augmenter,
+        process: FeatureProcess,
+        node: NodeId,
+        other: NodeId,
+        edge: &TemporalEdge,
+    ) {
+        let slot = Self::push_slot(&mut self.rings, self.k, node);
+        Self::fill_slot(augmenter, process, slot, other, edge);
+    }
+
     /// Snapshots both endpoints' current features into the rings, writing
     /// each snapshot directly into its (reused) ring slot — steady-state
     /// edge ingestion touches the allocator only when a ring or the ring
-    /// table itself grows.
-    fn remember(&mut self, edge: &TemporalEdge) {
-        self.remember_routed(edge, true, true);
-    }
-
-    /// [`StreamingPredictor::remember`] restricted to the endpoints this
-    /// predictor owns: a sharded predictor witnesses every edge in the
-    /// feature tracker but keeps ring snapshots only for its partition.
-    fn remember_routed(&mut self, edge: &TemporalEdge, owns_src: bool, owns_dst: bool) {
-        if owns_src {
-            let slot = Self::push_slot(&mut self.rings, self.k, edge.src);
-            Self::fill_slot(&self.augmenter, self.process, slot, edge.dst, edge);
-        }
-        if owns_dst && edge.src != edge.dst {
-            let slot = Self::push_slot(&mut self.rings, self.k, edge.dst);
-            Self::fill_slot(&self.augmenter, self.process, slot, edge.src, edge);
+    /// table itself grows. An associated function over the ring fields so
+    /// callers can keep borrowing the witness they just updated.
+    fn remember(
+        rings: &mut Vec<Ring>,
+        k: usize,
+        augmenter: &Augmenter,
+        process: FeatureProcess,
+        edge: &TemporalEdge,
+    ) {
+        let slot = Self::push_slot(rings, k, edge.src);
+        Self::fill_slot(augmenter, process, slot, edge.dst, edge);
+        if edge.src != edge.dst {
+            let slot = Self::push_slot(rings, k, edge.dst);
+            Self::fill_slot(augmenter, process, slot, edge.src, edge);
         }
     }
 
     /// Ingests one live temporal edge: O(d_v) feature propagation plus O(1)
-    /// ring updates — independent of the total stream length.
-    ///
-    /// Panics on out-of-order input; [`StreamingPredictor::
-    /// try_observe_edge`] is the fallible form a serving layer should use.
-    #[deprecated(note = "use the try_observe_edge form")]
-    pub fn observe_edge(&mut self, edge: &TemporalEdge) {
-        if let Err(e) = self.try_observe_edge(edge) {
-            panic!("{e}");
-        }
-    }
-
-    /// Fallible form of [`StreamingPredictor::observe_edge`]: returns
-    /// [`SplashError::OutOfOrderEdge`] (leaving all state untouched)
-    /// instead of panicking when the edge travels back in time.
+    /// ring updates — independent of the total stream length. Returns
+    /// [`SplashError::OutOfOrderEdge`] (leaving all state untouched) when
+    /// the edge travels back in time.
     pub fn try_observe_edge(&mut self, edge: &TemporalEdge) -> Result<(), SplashError> {
-        if edge.time < self.last_time {
-            return Err(SplashError::OutOfOrderEdge { got: edge.time, last: self.last_time });
+        let w = self
+            .witness
+            .as_mut()
+            .expect("detached shard member: route through the ShardedPredictor");
+        if edge.time < w.last_time {
+            return Err(SplashError::OutOfOrderEdge { got: edge.time, last: w.last_time });
         }
-        self.augmenter.observe(edge);
-        self.remember(edge);
-        self.last_time = edge.time;
+        w.augmenter.observe(edge);
+        Self::remember(&mut self.rings, self.k, &w.augmenter, self.process, edge);
+        w.last_time = edge.time;
         Ok(())
     }
 
     /// Ingests a chronologically ordered micro-batch of edges.
     ///
-    /// Equivalent to calling [`StreamingPredictor::observe_edge`] on each
-    /// edge in order — feature snapshots are still taken per edge, as
+    /// Equivalent to calling [`StreamingPredictor::try_observe_edge`] on
+    /// each edge in order — feature snapshots are still taken per edge, as
     /// Eq. 14 requires — but the fixed costs are paid once per batch
     /// instead of once per edge: the chronology check is a single pass,
     /// and the per-node ring table is grown to the batch's maximum
     /// endpoint up front so no ring push ever reallocates mid-batch.
-    /// Panics on out-of-order input; [`StreamingPredictor::try_push_edges`]
-    /// is the fallible form a serving layer should use.
-    #[deprecated(note = "use the try_push_edges form")]
-    pub fn push_edges(&mut self, edges: &[TemporalEdge]) {
-        if let Err(e) = self.try_push_edges(edges) {
-            panic!("{e}");
-        }
-    }
-
-    /// Fallible form of [`StreamingPredictor::push_edges`]: the whole batch
-    /// is validated *before* any state changes, so on
+    ///
+    /// The whole batch is validated *before* any state changes, so on
     /// [`SplashError::OutOfOrderEdge`] the predictor is exactly as it was —
     /// the caller can drop or repair the batch and carry on serving.
     pub fn try_push_edges(&mut self, edges: &[TemporalEdge]) -> Result<(), SplashError> {
+        let w = self
+            .witness
+            .as_mut()
+            .expect("detached shard member: route through the ShardedPredictor");
         let Some(last) = edges.last() else { return Ok(()) };
-        let mut prev = self.last_time;
+        let mut prev = w.last_time;
         let mut max_node = 0;
         for edge in edges {
             if edge.time < prev {
@@ -595,78 +727,53 @@ impl StreamingPredictor {
         }
         Self::grow_rings(&mut self.rings, max_node);
         for edge in edges {
-            self.augmenter.observe(edge);
-            self.remember(edge);
+            w.augmenter.observe(edge);
+            Self::remember(&mut self.rings, self.k, &w.augmenter, self.process, edge);
         }
-        self.last_time = last.time;
+        w.last_time = last.time;
         Ok(())
     }
 
     /// The sharded-ingest primitive behind [`crate::shard::ShardedPredictor`]:
-    /// every edge updates the feature tracker (degrees, propagation — the
-    /// *witness* update, because neighbor snapshots and degree encodings are
-    /// global functions of the stream), but ring snapshots are written only
-    /// for endpoints whose precomputed owner (`owners[i] = (owner_of_src,
-    /// owner_of_dst)`, one hash evaluation per endpoint per *batch*, shared
-    /// by every shard) equals `shard`. For any partition of the node space,
-    /// predictions for owned nodes stay bit-identical to
-    /// [`StreamingPredictor::try_push_edges`] on the full stream.
+    /// writes the ring snapshots this shard owns out of a batch of
+    /// pre-materialized `EdgeSnapshot`s (one shared witness pass produced
+    /// them — see `WitnessState::observe_into`). `idx` lists the snapshot
+    /// indices routed to this shard (built once by that same pass), so
+    /// work is O(edges owned): snapshots no endpoint of which this shard
+    /// owns are never even looked at. The caller must have grown the ring
+    /// table past the batch's highest node id
+    /// ([`StreamingPredictor::ensure_ring_capacity`]) — computed once in
+    /// the serial pass, not re-scanned per shard. Ring slots copy the
+    /// snapshot buffers via `clone_from`, so steady-state application is
+    /// allocation-free.
     ///
-    /// Infallible by precondition: the router has already validated the
-    /// batch against the shared stream clock (batch atomicity lives there),
-    /// so chronology is only debug-asserted here.
-    pub(crate) fn push_edges_prerouted(
-        &mut self,
-        edges: &[TemporalEdge],
-        owners: &[(usize, usize)],
-        shard: usize,
-    ) {
-        debug_assert_eq!(edges.len(), owners.len());
-        let Some(last) = edges.last() else { return };
-        let mut max_owned: Option<NodeId> = None;
-        for (edge, &(owner_src, owner_dst)) in edges.iter().zip(owners) {
-            if owner_src == shard {
-                max_owned = Some(max_owned.map_or(edge.src, |m| m.max(edge.src)));
+    /// For any partition of the node space, rings written this way are
+    /// bit-identical to [`StreamingPredictor::try_push_edges`] over the
+    /// same edges — the snapshots *are* the post-observe features that
+    /// path would have read. Serial sharded ingest takes the direct
+    /// [`StreamingPredictor::remember_side`] path instead, so this is
+    /// unused without `parallel`.
+    #[cfg_attr(not(feature = "parallel"), allow(dead_code))]
+    pub(crate) fn apply_snapshots(&mut self, snaps: &[EdgeSnapshot], idx: &[u32], shard: usize) {
+        for &i in idx {
+            let s = &snaps[i as usize];
+            if s.owner_src == shard {
+                let slot = Self::push_slot(&mut self.rings, self.k, s.src);
+                slot.other = s.dst;
+                slot.feat.clone_from(&s.dst_feat);
+                slot.edge_feat.clone_from(&s.edge_feat);
+                slot.time = s.time;
+                slot.weight = s.weight;
             }
-            if owner_dst == shard {
-                max_owned = Some(max_owned.map_or(edge.dst, |m| m.max(edge.dst)));
-            }
-        }
-        if let Some(node) = max_owned {
-            Self::grow_rings(&mut self.rings, node);
-        }
-        #[cfg(debug_assertions)]
-        {
-            let mut prev = self.last_time;
-            for edge in edges {
-                debug_assert!(edge.time >= prev, "router must validate the batch first");
-                prev = edge.time;
+            if s.owner_dst == shard && s.src != s.dst {
+                let slot = Self::push_slot(&mut self.rings, self.k, s.dst);
+                slot.other = s.src;
+                slot.feat.clone_from(&s.src_feat);
+                slot.edge_feat.clone_from(&s.edge_feat);
+                slot.time = s.time;
+                slot.weight = s.weight;
             }
         }
-        for (edge, &(owner_src, owner_dst)) in edges.iter().zip(owners) {
-            self.augmenter.observe(edge);
-            self.remember_routed(edge, owner_src == shard, owner_dst == shard);
-        }
-        self.last_time = last.time;
-    }
-
-    /// Single-edge form of [`StreamingPredictor::push_edges_prerouted`]
-    /// (the sharded `DropLate` path observes edge by edge). `owns_src` /
-    /// `owns_dst` are precomputed by the router so the ownership hash is
-    /// evaluated once per edge, not once per shard per endpoint.
-    pub(crate) fn try_observe_edge_routed(
-        &mut self,
-        edge: &TemporalEdge,
-        owns_src: bool,
-        owns_dst: bool,
-    ) -> Result<(), SplashError> {
-        if edge.time < self.last_time {
-            return Err(SplashError::OutOfOrderEdge { got: edge.time, last: self.last_time });
-        }
-        self.augmenter.observe(edge);
-        self.remember_routed(edge, owns_src, owns_dst);
-        self.last_time = edge.time;
-        Ok(())
     }
 
     /// Drops the ring state of every node `owns` disclaims, keeping the
@@ -694,6 +801,7 @@ impl StreamingPredictor {
     /// `entries[..head]` — instead of a per-entry modulo walk.
     fn query_input_into(
         &self,
+        aug: &Augmenter,
         node: NodeId,
         time: f64,
         q: &mut CapturedQuery,
@@ -705,7 +813,7 @@ impl StreamingPredictor {
         // and the labeled-capture path overwrites it via `Label::clone_from`
         // right after — resetting it here would drop a reusable affinity
         // buffer and force an allocation per absorbed label.
-        self.augmenter.feature_into(self.process, node, &mut q.target_feat);
+        aug.feature_into(self.process, node, &mut q.target_feat);
         let (older, newer) = match self.rings.get(node as usize) {
             None => (&[][..], &[][..]),
             Some(ring) => (&ring.entries[ring.head..], &ring.entries[..ring.head]),
@@ -749,67 +857,70 @@ impl StreamingPredictor {
         q: &mut CapturedQuery,
         spare: &mut Vec<CapturedNeighbor>,
     ) -> Result<(), SplashError> {
-        if time < self.last_time {
-            return Err(SplashError::PastQuery { got: time, last: self.last_time });
+        self.capture_labeled_into_with(self.witness(), node, time, label, q, spare)
+    }
+
+    /// [`StreamingPredictor::capture_labeled_into`] against an explicit
+    /// witness view — how a witness-less shard member captures labels for
+    /// nodes it owns, reading the sharded engine's shared witness.
+    pub(crate) fn capture_labeled_into_with(
+        &self,
+        w: &WitnessState,
+        node: NodeId,
+        time: f64,
+        label: &Label,
+        q: &mut CapturedQuery,
+        spare: &mut Vec<CapturedNeighbor>,
+    ) -> Result<(), SplashError> {
+        if time < w.last_time {
+            return Err(SplashError::PastQuery { got: time, last: w.last_time });
         }
-        self.query_input_into(node, time, q, spare);
+        self.query_input_into(&w.augmenter, node, time, q, spare);
         q.label.clone_from(label);
         Ok(())
     }
 
     /// Predicts the property logits of `node` at time `time` (which must
-    /// not precede the last observed edge).
-    ///
-    /// Allocates only the returned vector; [`StreamingPredictor::
-    /// predict_into`] is the fully allocation-free form. Panics on
-    /// past-time queries; [`StreamingPredictor::try_predict`] reports them
-    /// as [`SplashError::PastQuery`] instead.
-    #[deprecated(note = "use the try_predict form")]
-    pub fn predict(&self, node: NodeId, time: f64) -> Vec<f32> {
-        match self.try_predict(node, time) {
-            Ok(out) => out,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
-    /// Fallible form of [`StreamingPredictor::predict`]. Allocates only
-    /// the returned vector.
+    /// not precede the last observed edge — a past-time query reports
+    /// [`SplashError::PastQuery`]). Allocates only the returned vector;
+    /// [`StreamingPredictor::try_predict_into`] is the fully
+    /// allocation-free form.
     pub fn try_predict(&self, node: NodeId, time: f64) -> Result<Vec<f32>, SplashError> {
         let mut out = Vec::new();
         self.try_predict_into(node, time, &mut out)?;
         Ok(out)
     }
 
-    /// [`StreamingPredictor::predict`] into a caller-owned vector. This is
-    /// the steady-state serving path: query assembly, batch packing, and
+    /// [`StreamingPredictor::try_predict`] into a caller-owned vector. This
+    /// is the steady-state serving path: query assembly, batch packing, and
     /// the SLIM forward all run in buffers reused across calls, so after a
     /// few warm-up queries it performs **zero heap allocations** (pinned by
-    /// the `alloc` regression test). Panics on past-time queries;
-    /// [`StreamingPredictor::try_predict_into`] is the fallible form.
-    #[deprecated(note = "use the try_predict_into form")]
-    pub fn predict_into(&self, node: NodeId, time: f64, out: &mut Vec<f32>) {
-        if let Err(e) = self.try_predict_into(node, time, out) {
-            panic!("{e}");
-        }
-    }
-
-    /// Fallible form of [`StreamingPredictor::predict_into`]: returns
-    /// [`SplashError::PastQuery`] when `time` precedes the last observed
-    /// edge. The success path is identical to `predict_into` — zero heap
-    /// allocations after warm-up — and the error path allocates nothing
-    /// either.
+    /// the `alloc` regression test); the [`SplashError::PastQuery`] error
+    /// path allocates nothing either.
     pub fn try_predict_into(
         &self,
         node: NodeId,
         time: f64,
         out: &mut Vec<f32>,
     ) -> Result<(), SplashError> {
-        if time < self.last_time {
-            return Err(SplashError::PastQuery { got: time, last: self.last_time });
+        self.try_predict_into_with(self.witness(), node, time, out)
+    }
+
+    /// [`StreamingPredictor::try_predict_into`] against an explicit witness
+    /// view — the single-query serving path of a witness-less shard member.
+    pub(crate) fn try_predict_into_with(
+        &self,
+        w: &WitnessState,
+        node: NodeId,
+        time: f64,
+        out: &mut Vec<f32>,
+    ) -> Result<(), SplashError> {
+        if time < w.last_time {
+            return Err(SplashError::PastQuery { got: time, last: w.last_time });
         }
         let mut scratch = self.scratch.borrow_mut();
         let s = &mut *scratch;
-        self.query_input_into(node, time, &mut s.query, &mut s.spare);
+        self.query_input_into(&w.augmenter, node, time, &mut s.query, &mut s.spare);
         self.model.build_batch_into(&[&s.query], &mut s.batch);
         self.model.infer_into(&s.batch, &mut s.logits, &mut s.ws);
         out.clear();
@@ -817,22 +928,12 @@ impl StreamingPredictor {
         Ok(())
     }
 
-    /// Predicts logits for several nodes at once (single shared timestamp,
-    /// which must not precede the last observed edge — panics otherwise;
-    /// [`StreamingPredictor::try_predict_many`] is the fallible form).
-    #[deprecated(note = "use the try_predict_many form")]
-    pub fn predict_many(&self, nodes: &[NodeId], time: f64) -> Matrix {
-        match self.try_predict_many(nodes, time) {
-            Ok(m) => m,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
-    /// Fallible form of [`StreamingPredictor::predict_many`]: a past
-    /// timestamp reports [`SplashError::PastQuery`].
+    /// Predicts logits for several nodes at once (single shared timestamp;
+    /// a past timestamp reports [`SplashError::PastQuery`]).
     pub fn try_predict_many(&self, nodes: &[NodeId], time: f64) -> Result<Matrix, SplashError> {
-        if time < self.last_time {
-            return Err(SplashError::PastQuery { got: time, last: self.last_time });
+        let w = self.witness();
+        if time < w.last_time {
+            return Err(SplashError::PastQuery { got: time, last: w.last_time });
         }
         let mut scratch = self.scratch.borrow_mut();
         let s = &mut *scratch;
@@ -840,7 +941,7 @@ impl StreamingPredictor {
             s.queries.resize_with(nodes.len(), CapturedQuery::default);
         }
         for (q, &v) in s.queries.iter_mut().zip(nodes) {
-            self.query_input_into(v, time, q, &mut s.spare);
+            self.query_input_into(&w.augmenter, v, time, q, &mut s.spare);
         }
         let refs: Vec<&CapturedQuery> = s.queries[..nodes.len()].iter().collect();
         self.model.build_batch_into(&refs, &mut s.batch);
@@ -853,29 +954,19 @@ impl StreamingPredictor {
     /// row `i` of the result holds the logits for `queries[i]` (labels on
     /// the queries are ignored).
     ///
-    /// Bit-identical to calling [`StreamingPredictor::predict`] per query
-    /// (the `predict_batch_matches_single_predictions` test pins this):
-    /// batching amortizes input assembly and lets the blocked/parallel
-    /// matmul backend work on tall matrices instead of single rows, but
-    /// every query's logits are still computed from exactly the same
-    /// captured state. Queries may carry distinct timestamps; none may
-    /// precede the last observed edge (panics otherwise —
-    /// [`StreamingPredictor::try_predict_batch`] is the fallible form).
-    #[deprecated(note = "use the try_predict_batch form")]
-    pub fn predict_batch(&self, queries: &[PropertyQuery]) -> Matrix {
-        match self.try_predict_batch(queries) {
-            Ok(m) => m,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
-    /// Fallible form of [`StreamingPredictor::predict_batch`]: every query
-    /// time is validated *before* any assembly work, and a past-time query
-    /// reports [`SplashError::PastQuery`].
+    /// Bit-identical to calling [`StreamingPredictor::try_predict`] per
+    /// query (the `predict_batch_matches_single_predictions` test pins
+    /// this): batching amortizes input assembly and lets the
+    /// blocked/parallel matmul backend work on tall matrices instead of
+    /// single rows, but every query's logits are still computed from
+    /// exactly the same captured state. Queries may carry distinct
+    /// timestamps; every query time is validated *before* any assembly
+    /// work, and a past-time query reports [`SplashError::PastQuery`].
     pub fn try_predict_batch(&self, queries: &[PropertyQuery]) -> Result<Matrix, SplashError> {
+        let w = self.witness();
         for q in queries {
-            if q.time < self.last_time {
-                return Err(SplashError::PastQuery { got: q.time, last: self.last_time });
+            if q.time < w.last_time {
+                return Err(SplashError::PastQuery { got: q.time, last: w.last_time });
             }
         }
         let mut scratch = self.scratch.borrow_mut();
@@ -886,7 +977,7 @@ impl StreamingPredictor {
             s.queries.resize_with(queries.len(), CapturedQuery::default);
         }
         for (dst, q) in s.queries.iter_mut().zip(queries) {
-            self.query_input_into(q.node, q.time, dst, &mut s.spare);
+            self.query_input_into(&w.augmenter, q.node, q.time, dst, &mut s.spare);
         }
         Ok(crate::pipeline::predict_slim(
             &self.model,
@@ -910,9 +1001,21 @@ impl StreamingPredictor {
         queries: &[PropertyQuery],
         out: &mut Matrix,
     ) -> Result<(), SplashError> {
+        self.try_predict_batch_into_with(self.witness(), queries, out)
+    }
+
+    /// [`StreamingPredictor::try_predict_batch_into`] against an explicit
+    /// witness view — the batched serving path of a witness-less shard
+    /// member inside the sharded scatter–gather.
+    pub(crate) fn try_predict_batch_into_with(
+        &self,
+        w: &WitnessState,
+        queries: &[PropertyQuery],
+        out: &mut Matrix,
+    ) -> Result<(), SplashError> {
         for q in queries {
-            if q.time < self.last_time {
-                return Err(SplashError::PastQuery { got: q.time, last: self.last_time });
+            if q.time < w.last_time {
+                return Err(SplashError::PastQuery { got: q.time, last: w.last_time });
             }
         }
         if queries.is_empty() {
@@ -932,7 +1035,7 @@ impl StreamingPredictor {
                 s.queries.resize_with(m, CapturedQuery::default);
             }
             for (dst, q) in s.queries.iter_mut().zip(&queries[pos..end]) {
-                self.query_input_into(q.node, q.time, dst, &mut s.spare);
+                self.query_input_into(&w.augmenter, q.node, q.time, dst, &mut s.spare);
             }
             self.model.build_batch_into(&s.queries[..m], &mut s.batch);
             self.model.infer_into(&s.batch, &mut s.logits, &mut s.ws);
@@ -947,9 +1050,10 @@ impl StreamingPredictor {
     /// The dynamic representation `h_i(t)` of a node (Eq. 18). Reuses the
     /// predict scratch; allocates only the returned vector.
     pub fn represent(&self, node: NodeId, time: f64) -> Vec<f32> {
+        let w = self.witness();
         let mut scratch = self.scratch.borrow_mut();
         let s = &mut *scratch;
-        self.query_input_into(node, time, &mut s.query, &mut s.spare);
+        self.query_input_into(&w.augmenter, node, time, &mut s.query, &mut s.spare);
         self.model.build_batch_into(&[&s.query], &mut s.batch);
         self.model.represent_into(&s.batch, &mut s.logits, &mut s.ws);
         s.logits.row(0).to_vec()
@@ -1165,11 +1269,10 @@ mod tests {
         assert_eq!(predictor.try_predict_batch(&[]).unwrap().shape(), (0, 0));
     }
 
-    /// Pins the deprecated panicking wrapper's behavior (serving layers
-    /// use `try_push_edges`; the wrapper must keep panicking loudly).
+    /// Pins the out-of-order batch rejection (and that unwrapping it
+    /// panics with the chronology message a caller would log).
     #[test]
     #[should_panic(expected = "chronologically")]
-    #[allow(deprecated)]
     fn push_edges_rejects_out_of_order_batches() {
         let (dataset, cfg) = setup();
         let mut predictor =
@@ -1179,7 +1282,7 @@ mod tests {
             TemporalEdge::plain(0, 1, t + 2.0),
             TemporalEdge::plain(1, 2, t + 1.0), // goes backwards inside the batch
         ];
-        predictor.push_edges(&batch);
+        predictor.try_push_edges(&batch).unwrap_or_else(|e| panic!("{e}"));
     }
 
     #[test]
@@ -1197,17 +1300,16 @@ mod tests {
         }
     }
 
-    /// Pins the deprecated panicking wrapper's behavior (serving layers
-    /// use `try_observe_edge`; the wrapper must keep panicking loudly).
+    /// Pins the out-of-order single-edge rejection (and that unwrapping it
+    /// panics with the chronology message a caller would log).
     #[test]
     #[should_panic(expected = "chronologically")]
-    #[allow(deprecated)]
     fn rejects_out_of_order_edges() {
         let (dataset, cfg) = setup();
         let mut predictor =
             StreamingPredictor::train_with_process(&dataset, &cfg, FeatureProcess::Random);
         let stale = TemporalEdge::plain(0, 1, predictor.last_time() - 100.0);
-        predictor.observe_edge(&stale);
+        predictor.try_observe_edge(&stale).unwrap_or_else(|e| panic!("{e}"));
     }
 
     #[test]

@@ -339,8 +339,11 @@ fn crash_matrix(shards: usize) {
     std::fs::remove_dir_all(&base).ok();
     let trace = traced_operations(&fx, shards, &base.join("trace"));
     // 1 seed checkpoint + 7 appends + 3 rotation checkpoints, each
-    // checkpoint 5 ops unsharded / 10 ops at 3 shards.
-    let checkpoint_ops = if shards == 1 { 5 } else { 10 };
+    // checkpoint 6 ops unsharded (model, witness, ring shard, manifest,
+    // WAL create, CURRENT) / 9 ops at 3 shards (one shared model file +
+    // its manifest, witness, 3 ring shards, state manifest, WAL create,
+    // CURRENT).
+    let checkpoint_ops = if shards == 1 { 6 } else { 9 };
     assert_eq!(trace.len(), 4 * checkpoint_ops + fx.ops.len(), "unexpected op trace: {trace:?}");
 
     let dir = base.join("crash");
@@ -408,8 +411,8 @@ fn every_byte_of_a_wal_append_is_a_recoverable_crash_point() {
     service.ingest(MODEL, IngestRequest::new(&edges)).unwrap();
     drop(service);
     let trace = plan.take_trace();
-    assert_eq!(trace.len(), 6, "seed checkpoint (5 ops) + 1 append: {trace:?}");
-    let (label, record_len) = &trace[5];
+    assert_eq!(trace.len(), 7, "seed checkpoint (6 ops) + 1 append: {trace:?}");
+    let (label, record_len) = &trace[6];
     assert_eq!(label, "wal.append");
 
     let dir = base.join("crash");
@@ -420,11 +423,11 @@ fn every_byte_of_a_wal_append_is_a_recoverable_crash_point() {
         let plan = FaultPlan::new();
         let off_desc = match crash {
             Crash::WriteAt(off) => {
-                plan.arm_write(5, *off);
+                plan.arm_write(6, *off);
                 format!("write@{off}")
             }
             Crash::BeforeRename => {
-                plan.arm_rename(5);
+                plan.arm_rename(6);
                 "after-append".into()
             }
         };
@@ -451,6 +454,45 @@ fn every_byte_of_a_wal_append_is_a_recoverable_crash_point() {
             assert_eq!(recovered, after, "{off_desc}: partial record replayed");
         }
         assert_eq!(probe(&mut restarted, probe_time), want, "{off_desc}: diverged");
+    }
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// The global witness epoch file (`witness.<e>.bin`, new in the shared
+/// witness-state layout) is a first-class crash point: kill its write at
+/// several offsets — and right after it, before its rename — at every
+/// checkpoint that emits one, and recovery must land on a committed
+/// epoch bit-identically. The full matrix above covers these ops among
+/// all others; this case pins them *by label*, so a layout change that
+/// silently drops the witness file from the checkpoint sequence fails
+/// loudly here rather than shifting indices in the matrix.
+#[test]
+fn killing_the_witness_file_mid_write_recovers_bit_identically() {
+    let fx = fixture();
+    let reference = reference(&fx, 1, true);
+    let base = std::env::temp_dir()
+        .join(format!("splash-durable-witness-{}", std::process::id()));
+    std::fs::remove_dir_all(&base).ok();
+    let trace = traced_operations(&fx, 1, &base.join("trace"));
+    let witness_ops: Vec<usize> = trace
+        .iter()
+        .enumerate()
+        .filter(|(_, (label, _))| label == "witness")
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(witness_ops.len(), 4, "each checkpoint writes one witness file: {trace:?}");
+
+    let dir = base.join("crash");
+    for op in witness_ops {
+        let bytes = trace[op].1;
+        for crash in [Crash::WriteAt(0), Crash::WriteAt(bytes / 2), Crash::BeforeRename] {
+            let off = match &crash {
+                Crash::WriteAt(o) => format!("write@{o}"),
+                Crash::BeforeRename => "before-rename".into(),
+            };
+            let context = format!("witness op={op} ({bytes}B) {off}");
+            crash_trial(&fx, 1, &reference, &dir, op as u64, &crash, &context);
+        }
     }
     std::fs::remove_dir_all(&base).ok();
 }

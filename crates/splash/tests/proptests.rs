@@ -132,6 +132,68 @@ proptest! {
         }
     }
 
+    /// Sharded-artifact round-trip under the shared witness: ingest a
+    /// random tail at N shards, save the artifact (one shared model file),
+    /// reload it at every shard count M (resharding-on-load), replay the
+    /// tail, and the scattered batch must be byte-identical to the single
+    /// engine — with the global witness having seen each replayed edge
+    /// exactly once regardless of M.
+    #[test]
+    fn sharded_artifact_roundtrips_across_shard_counts(
+        raw_tail in arb_tail(40),
+        raw_queries in prop::collection::vec((0u32..70, 0.0f64..4.0), 1..15),
+        save_at in 0usize..SHARD_COUNTS.len(),
+    ) {
+        let dataset =
+            splash::truncate_to_available(&datasets::synthetic_shift(40, 6), 0.5);
+        let mut single = base_predictor();
+        let mut t = single.last_time();
+        let tail: Vec<TemporalEdge> = raw_tail
+            .iter()
+            .map(|&(s, d, dt)| {
+                t += dt;
+                TemporalEdge::plain(s, d, t)
+            })
+            .collect();
+        single.try_push_edges(&tail).unwrap();
+        let t_end = single.last_time();
+        let queries: Vec<PropertyQuery> = raw_queries
+            .iter()
+            .map(|&(v, dt)| PropertyQuery { node: v, time: t_end + dt, label: Label::Class(0) })
+            .collect();
+        let expected = single.try_predict_batch(&queries).unwrap();
+
+        let n = SHARD_COUNTS[save_at];
+        let mut origin = ShardedPredictor::from_predictor(base_predictor(), n).unwrap();
+        origin.try_push_edges(&tail).unwrap();
+        let path = std::env::temp_dir().join(format!(
+            "splash-prop-artifact-{}-{n}.manifest",
+            std::process::id()
+        ));
+        origin.save(&path).unwrap();
+
+        for m in SHARD_COUNTS {
+            let mut loaded = ShardedPredictor::try_load(&path, &dataset, Some(m)).unwrap();
+            let witnessed_before = loaded.witnessed_edges();
+            loaded.try_push_edges(&tail).unwrap();
+            prop_assert_eq!(
+                loaded.witnessed_edges() - witnessed_before,
+                tail.len() as u64,
+                "witness must observe each edge exactly once at {} shards",
+                m
+            );
+            let got = loaded.try_predict_batch(&queries).unwrap();
+            prop_assert_eq!(
+                got.data(),
+                expected.data(),
+                "artifact saved at {} shards diverged reloaded at {}",
+                n, m
+            );
+        }
+        std::fs::remove_file(splash::persist::shard_file_path(&path, 0)).ok();
+        std::fs::remove_file(&path).ok();
+    }
+
     /// `DropLate`-shaped streams (some edges stale): every shard shares the
     /// single engine's clock, so per-edge drop decisions — and the state
     /// that survives them — are identical at every shard count.

@@ -70,19 +70,20 @@ fn sharded_artifact_reshards_on_load_bitwise() {
     let restored = ShardedPredictor::try_load(&path, &dataset, None).unwrap();
     assert_eq!(restored.num_shards(), 3);
 
+    // The model bytes are stored once: a v2 manifest records the shard
+    // count as data and names exactly one model file.
     let manifest = load_manifest(&path).unwrap();
     assert_eq!(manifest.shards, 3);
-    assert_eq!(manifest.files.len(), 3);
-    for i in 0..3 {
-        std::fs::remove_file(splash::persist::shard_file_path(&path, i)).ok();
-    }
+    assert_eq!(manifest.files.len(), 1);
+    std::fs::remove_file(splash::persist::shard_file_path(&path, 0)).ok();
     std::fs::remove_file(&path).ok();
 }
 
-/// Any single shard file of a sharded artifact is a complete, standalone
-/// model file (shards share weights; state is rebuilt on load).
+/// The shared model file of a sharded artifact is a complete, standalone
+/// model file (shards share weights, stored once; state is rebuilt on
+/// load).
 #[test]
-fn each_shard_file_is_independently_loadable() {
+fn shared_model_file_is_independently_loadable() {
     let (dataset, cfg, tail) = fixture();
     let mut sharded =
         ShardedPredictor::train_with_process(&dataset, &cfg, FeatureProcess::Random, 2).unwrap();
@@ -94,15 +95,13 @@ fn each_shard_file_is_independently_loadable() {
     let queries = spread_queries(t0, dataset.stream.num_nodes() as u32);
     let expected = sharded.try_predict_batch(&queries).unwrap();
 
-    for i in 0..2 {
-        let shard_file = splash::persist::shard_file_path(&path, i);
-        let saved = splash::load_model(&shard_file).unwrap();
-        let mut solo = StreamingPredictor::try_from_saved(saved, &dataset).unwrap();
-        solo.try_push_edges(&tail).unwrap();
-        let got = solo.try_predict_batch(&queries).unwrap();
-        assert_eq!(got.data(), expected.data(), "shard file {i} diverged");
-        std::fs::remove_file(&shard_file).ok();
-    }
+    let shard_file = splash::persist::shard_file_path(&path, 0);
+    let saved = splash::load_model(&shard_file).unwrap();
+    let mut solo = StreamingPredictor::try_from_saved(saved, &dataset).unwrap();
+    solo.try_push_edges(&tail).unwrap();
+    let got = solo.try_predict_batch(&queries).unwrap();
+    assert_eq!(got.data(), expected.data(), "shared model file diverged");
+    std::fs::remove_file(&shard_file).ok();
     std::fs::remove_file(&path).ok();
 }
 
@@ -135,7 +134,7 @@ fn corrupt_sharded_artifacts_are_typed() {
     match ShardedPredictor::try_load(&path, &dataset, None).unwrap_err() {
         SplashError::PersistVersionMismatch { found, supported } => {
             assert_eq!(found, 42);
-            assert_eq!(supported, 1);
+            assert_eq!(supported, 2);
         }
         other => panic!("expected PersistVersionMismatch, got {other:?}"),
     }
@@ -220,24 +219,25 @@ fn sharded_service_matches_single_service_bitwise() {
     assert_eq!(sharded.model_last_time("live").unwrap(), t0);
 
     // Per-shard counters: every edge lands on 1–2 owner shards, every
-    // query on exactly one, and witness counts cover the rest.
+    // query on exactly one; the witness watches each edge exactly once,
+    // globally (not per shard).
     let stats = sharded.shard_stats("live").unwrap();
     assert_eq!(stats.len(), 3);
     let owned: u64 = stats.iter().map(|s| s.owned_edges).sum();
     assert!(owned >= tail.len() as u64 && owned <= 2 * tail.len() as u64, "{owned}");
-    for s in &stats {
-        assert_eq!(s.owned_edges + s.witness_edges, tail.len() as u64, "shard {}", s.shard);
-    }
     let served: u64 = stats.iter().map(|s| s.queries_served).sum();
     // predict_into + predict_batch + predict_batch_into passes above.
     assert_eq!(served, 3 * queries.len() as u64);
     assert!(single.shard_stats("live").unwrap().is_empty());
 
-    // Service-level counters count shard engines.
+    // Service-level counters count shard engines and the global witness.
     assert_eq!(sharded.stats().shards, 3);
     assert_eq!(single.stats().shards, 1);
+    assert_eq!(sharded.stats().edges_witnessed, tail.len() as u64);
+    assert_eq!(single.stats().edges_witnessed, 0);
     let rendered = sharded.stats().to_string();
     assert!(rendered.contains("shard engines  : 3"), "{rendered}");
+    assert!(rendered.contains(&format!("edges witnessed: {}", tail.len())), "{rendered}");
     assert!(rendered.contains("edges ingested"), "{rendered}");
 }
 
